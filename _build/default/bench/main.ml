@@ -1,0 +1,771 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (analytic model), runs the engine-measured counterparts
+   (the sim- targets), prints the ablations called out in DESIGN.md, and times one
+   Bechamel micro-benchmark per experiment.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- fig5 fig18   -- selected experiments
+     dune exec bench/main.exe -- --no-bechamel
+     dune exec bench/main.exe -- --quota 1.0  -- seconds per bechamel test *)
+
+open Dbproc
+open Dbproc.Costmodel
+
+let sim_p_sweep = [ 0.0; 0.2; 0.5; 0.8 ]
+
+(* ------------------------------------------------- Simulation sections *)
+
+let print_sim_comparison ?(label = "") ?(params = Workload.Driver.default_sim_params) ~model ()
+    =
+  let name =
+    match model with Model.Model1 -> "model1" | Model.Model2 -> "model2"
+  in
+  Printf.printf "== sim-%s%s: engine-measured vs analytic (scaled: N=%g, N1=%g, N2=%g, q=%g)\n"
+    (if label = "" then name else label)
+    (if label = "" then "" else Printf.sprintf " [%s]" name)
+    params.Params.n params.Params.n1 params.Params.n2 params.Params.q;
+  Printf.printf
+    "paper: who wins and the crossovers should match the analytic curves; absolute numbers \
+     within ~2x.\n\n";
+  let table =
+    Util.Ascii_table.create
+      ~header:
+        [
+          "P";
+          "AR meas"; "AR model";
+          "CI meas"; "CI model";
+          "AVM meas"; "AVM model";
+          "RVM meas"; "RVM model";
+          "ok";
+        ]
+      ()
+  in
+  List.iter
+    (fun p ->
+      let params = Params.with_update_probability params p in
+      let results = Workload.Driver.run_all ~model ~params () in
+      let cells =
+        List.concat_map
+          (fun (r : Workload.Driver.result) ->
+            [
+              Printf.sprintf "%.0f" r.measured_ms_per_query;
+              Printf.sprintf "%.0f" r.analytic_ms_per_query;
+            ])
+          results
+      in
+      let consistent =
+        List.for_all (fun (r : Workload.Driver.result) -> r.consistent) results
+      in
+      Util.Ascii_table.add_row table
+        ((Printf.sprintf "%.2f" p :: cells) @ [ (if consistent then "yes" else "NO") ]))
+    sim_p_sweep;
+  Util.Ascii_table.print table;
+  print_newline ()
+
+let print_ablation_buffer () =
+  print_endline "== ablation: buffer pool (paper assumes none; LRU buffer added)";
+  let params = Workload.Driver.default_sim_params in
+  let probe buffer_pages =
+    let db = Workload.Database.build ~seed:11 ?buffer_pages ~model:Model.Model1 params in
+    Storage.Cost.reset db.Workload.Database.cost;
+    for _ = 1 to 3 do
+      List.iter
+        (fun def -> ignore (Query.Executor.run (Query.Planner.compile def)))
+        (Workload.Database.all_defs db)
+    done;
+    Storage.Cost.page_reads db.Workload.Database.cost
+  in
+  let table =
+    Util.Ascii_table.create ~header:[ "configuration"; "page reads (3x all procs)" ] ()
+  in
+  Util.Ascii_table.add_row table [ "direct (paper model)"; string_of_int (probe None) ];
+  Util.Ascii_table.add_row table [ "LRU 200 pages"; string_of_int (probe (Some 200)) ];
+  Util.Ascii_table.add_row table [ "LRU 100k pages"; string_of_int (probe (Some 100_000)) ];
+  Util.Ascii_table.print table;
+  print_newline ()
+
+let print_ablation_yao () =
+  print_endline "== ablation: Appendix-A approximation vs exact Yao vs Cardenas";
+  let table =
+    Util.Ascii_table.create ~header:[ "n"; "m"; "k"; "exact"; "paper approx"; "cardenas" ] ()
+  in
+  List.iter
+    (fun (n, m, k) ->
+      Util.Ascii_table.add_row table
+        [
+          string_of_int n;
+          string_of_int m;
+          string_of_int k;
+          Printf.sprintf "%.3f" (Util.Yao.exact ~n ~m ~k);
+          Printf.sprintf "%.3f"
+            (Util.Yao.paper ~n:(float_of_int n) ~m:(float_of_int m) ~k:(float_of_int k));
+          Printf.sprintf "%.3f" (Util.Yao.cardenas ~m:(float_of_int m) ~k:(float_of_int k));
+        ])
+    [
+      (10_000, 250, 1);
+      (10_000, 250, 10);
+      (10_000, 250, 100);
+      (10_000, 250, 1000);
+      (100, 3, 2);
+      (40, 2, 5);
+    ];
+  Util.Ascii_table.print table;
+  print_newline ()
+
+let print_ablation_rete_shape () =
+  print_endline "== ablation: Rete join-tree shape, model 2 (right-deep = paper's network)";
+  let params = Workload.Driver.default_sim_params in
+  let run shape =
+    Workload.Driver.run_strategy ~rvm_shape:shape ~model:Model.Model2 ~params
+      Strategy.Update_cache_rvm
+  in
+  let right = run `Right_deep and left = run `Left_deep in
+  let table =
+    Util.Ascii_table.create ~header:[ "shape"; "measured ms/query"; "consistent" ] ()
+  in
+  Util.Ascii_table.add_row table
+    [
+      "right-deep (paper)";
+      Printf.sprintf "%.1f" right.measured_ms_per_query;
+      (if right.consistent then "yes" else "NO");
+    ];
+  Util.Ascii_table.add_row table
+    [
+      "left-deep";
+      Printf.sprintf "%.1f" left.measured_ms_per_query;
+      (if left.consistent then "yes" else "NO");
+    ];
+  Util.Ascii_table.print table;
+  print_newline ()
+
+let print_network_figures () =
+  (* Figures 3 and 16 of the paper are network diagrams; emit the same
+     structures as Graphviz dot from a small live population. *)
+  let params =
+    { Workload.Driver.default_sim_params with Params.n = 1000.0; n1 = 1.0; n2 = 1.0 }
+  in
+  List.iter
+    (fun (label, model) ->
+      let db = Workload.Database.build ~seed:3 ~model params in
+      let builder =
+        Rete.Builder.create ~io:db.Workload.Database.io ~record_bytes:100 ()
+      in
+      List.iter
+        (fun def -> ignore (Rete.Builder.add_view builder def))
+        (Workload.Database.all_defs db);
+      Printf.printf "== %s: Rete network for one P1 + one P2 procedure (Graphviz dot)\n"
+        label;
+      print_string (Rete.Network.to_dot (Rete.Builder.network builder));
+      print_newline ())
+    [ ("fig3-network", Model.Model1); ("fig16-network", Model.Model2) ]
+
+let print_crossovers () =
+  print_endline "== headline anchors";
+  (match Figures.crossover_sf Model.Model2 Params.default with
+  | Some sf -> Printf.printf "model 2 AVM/RVM crossover: SF = %.3f (paper: ~0.47)\n" sf
+  | None -> print_endline "model 2 AVM/RVM crossover: none found");
+  (match Figures.crossover_sf Model.Model1 Params.default with
+  | Some sf -> Printf.printf "model 1 AVM/RVM crossover: SF = %.3f (paper: near 1)\n" sf
+  | None -> print_endline "model 1 AVM/RVM crossover: none (RVM never cheaper)");
+  let p7 = Params.with_update_probability { Params.default with Params.f = 0.0001 } 0.1 in
+  let ar = Model.cost Model.Model1 p7 Strategy.Always_recompute in
+  let ci = Model.cost Model.Model1 p7 Strategy.Cache_invalidate in
+  let uc = Model.cost Model.Model1 p7 Strategy.Update_cache_avm in
+  Printf.printf
+    "fig7 anchor (f=0.0001, P=0.1): AR/CI = %.1fx, AR/UC = %.1fx (paper: ~5x and ~7x)\n\n"
+    (ar /. ci) (ar /. uc)
+
+(* ----------------------------------------------- Extension experiments *)
+
+let print_ext_update_mix () =
+  print_endline "== ext-update-mix: updates against R2 as well as R1 (model 2)";
+  print_endline
+    "extension: the paper's Section 8 flags update frequency per relation as unanalyzed.\n\
+     Expect UC to deteriorate as R2 churns (RVM worst: its precomputed beta-memory must\n\
+     be maintained), while AR and CI barely move.\n";
+  let params = Workload.Driver.default_sim_params in
+  let table =
+    Util.Ascii_table.create
+      ~header:[ "R2 fraction"; "AR"; "CI"; "AVM"; "RVM"; "RVM-opt"; "ok" ]
+      ()
+  in
+  List.iter
+    (fun mix ->
+      let results =
+        Workload.Driver.run_all ~r2_update_fraction:mix ~model:Model.Model2 ~params ()
+      in
+      (* The statically optimized network: shape chosen per the update
+         profile (Section 8's "statistics on relative update frequency"). *)
+      let opt =
+        Workload.Driver.run_strategy
+          ~rvm_shape:(`Auto [ ("R1", 1.0 -. mix); ("R2", mix) ])
+          ~r2_update_fraction:mix ~model:Model.Model2 ~params Strategy.Update_cache_rvm
+      in
+      let cells =
+        List.map
+          (fun (r : Workload.Driver.result) -> Printf.sprintf "%.0f" r.measured_ms_per_query)
+          results
+        @ [ Printf.sprintf "%.0f" opt.measured_ms_per_query ]
+      in
+      let ok =
+        opt.consistent
+        && List.for_all (fun (r : Workload.Driver.result) -> r.consistent) results
+      in
+      Util.Ascii_table.add_row table
+        ((Printf.sprintf "%.2f" mix :: cells) @ [ (if ok then "yes" else "NO") ]))
+    [ 0.0; 0.25; 0.5; 1.0 ];
+  Util.Ascii_table.print table;
+  print_newline ()
+
+let print_ext_wal () =
+  print_endline "== ext-wal: cost per invalidation under the Section-3 recording schemes";
+  print_endline
+    "extension: drive one invalidation/revalidation workload through each scheme and\n\
+     price it; the effective C_inval is what fig4 vs fig5 parameterizes.\n";
+  let procs = 200 in
+  let transitions = 2_000 in
+  let table =
+    Util.Ascii_table.create
+      ~header:[ "scheme"; "effective C_inval (ms)"; "recovery I/Os"; "recovered ok" ]
+      ()
+  in
+  List.iter
+    (fun scheme ->
+      let cost = Storage.Cost.create () in
+      let io = Storage.Io.direct cost ~page_bytes:4000 in
+      let tbl = Proc.Inval_table.create ~io ~scheme ~procs in
+      let prng = Util.Prng.create 17 in
+      for _ = 1 to transitions do
+        let proc = Util.Prng.int prng procs in
+        if Proc.Inval_table.is_valid tbl proc then Proc.Inval_table.set_invalid tbl proc
+        else Proc.Inval_table.set_valid tbl proc;
+        if Util.Prng.int prng 25 = 0 then Proc.Inval_table.end_of_transaction tbl
+      done;
+      Proc.Inval_table.end_of_transaction tbl;
+      let work_ms = Storage.Cost.total_ms Storage.Cost.default_charges cost in
+      let per_inval = work_ms /. float_of_int (Proc.Inval_table.invalidations_recorded tbl) in
+      Storage.Cost.reset cost;
+      let recovered = Proc.Inval_table.crash_and_recover tbl in
+      let recovery_ios = Storage.Cost.page_reads cost + Storage.Cost.page_writes cost in
+      let ok =
+        List.for_all
+          (fun p -> Proc.Inval_table.is_valid recovered p = Proc.Inval_table.is_valid tbl p)
+          (List.init procs Fun.id)
+      in
+      Util.Ascii_table.add_row table
+        [
+          Proc.Inval_table.scheme_name scheme;
+          Printf.sprintf "%.2f" per_inval;
+          string_of_int recovery_ios;
+          (if ok then "yes" else "NO");
+        ])
+    [
+      Proc.Inval_table.Page_flag;
+      Proc.Inval_table.Nvram;
+      Proc.Inval_table.Wal_logged { checkpoint_every = 500 };
+      Proc.Inval_table.Wal_logged { checkpoint_every = 50 };
+    ];
+  Util.Ascii_table.print table;
+  print_newline ()
+
+let print_ext_aggregates () =
+  print_endline "== ext-aggregates: differentially maintained aggregate procedures";
+  print_endline
+    "extension: intro feature (5).  A COUNT/SUM/MAX rollup over a P1-style selection is\n\
+     maintained per update and compared with recomputation.\n";
+  let params = Workload.Driver.default_sim_params in
+  let db = Workload.Database.build ~seed:23 ~model:Model.Model1 params in
+  let def = List.hd db.Workload.Database.p1_defs in
+  let schema = Query.View_def.schema def in
+  let agg =
+    Avm.Aggregate_view.create ~record_bytes:100
+      ~group_by:[ Schema.index_of schema "R1.a" ]
+      ~aggs:[ Avm.Aggregate_view.Count; Avm.Aggregate_view.Sum (Schema.index_of schema "R1.sel") ]
+      def
+  in
+  let prng = Util.Prng.create 29 in
+  let charges = Storage.Cost.default_charges in
+  let maint = ref 0.0 and recompute = ref 0.0 in
+  let screen (d : Query.View_def.t) tuples =
+    List.filter (Predicate.eval d.Query.View_def.base.restriction) tuples
+  in
+  for _ = 1 to 20 do
+    let changes = Workload.Database.random_update db prng in
+    let old_new =
+      Storage.Cost.with_disabled db.Workload.Database.cost (fun () ->
+          Relation.update_batch db.Workload.Database.r1 changes)
+    in
+    let olds = List.map fst old_new and news = List.map snd old_new in
+    Storage.Cost.reset db.Workload.Database.cost;
+    Avm.Aggregate_view.apply_base_delta agg ~inserted:(screen def news)
+      ~deleted:(screen def olds);
+    maint := !maint +. Storage.Cost.total_ms charges db.Workload.Database.cost;
+    Storage.Cost.reset db.Workload.Database.cost;
+    ignore (Query.Executor.run (Query.Planner.compile def));
+    recompute := !recompute +. Storage.Cost.total_ms charges db.Workload.Database.cost
+  done;
+  Printf.printf "20 update transactions: maintain rollup %.0f ms total; recompute the\n" !maint;
+  Printf.printf "underlying selection each time instead: %.0f ms; groups kept: %d; stored\n"
+    !recompute (Avm.Aggregate_view.group_count agg);
+  Printf.printf "state matches recompute: %b\n\n" (Avm.Aggregate_view.matches_recompute agg)
+
+(* Drive a TREAT engine through the driver's workload shape. *)
+let run_treat ~model ~params ~mix ~seed =
+  let db = Workload.Database.build ~seed ~model params in
+  let treat =
+    Rete.Treat.create ~io:db.Workload.Database.io ~record_bytes:100 ()
+  in
+  let ids = List.map (Rete.Treat.add_view treat) (Workload.Database.all_defs db) in
+  let arr = Array.of_list ids in
+  let q = int_of_float params.Params.q and k = int_of_float params.Params.k in
+  let prng = Util.Prng.create (seed + 1) in
+  let ops = Array.init (q + k) (fun i -> if i < q then `Q else `U) in
+  Util.Prng.shuffle prng ops;
+  Storage.Cost.reset db.Workload.Database.cost;
+  Array.iter
+    (fun op ->
+      match op with
+      | `Q -> ignore (Rete.Treat.read treat arr.(Util.Prng.int prng (Array.length arr)))
+      | `U ->
+        let target_r2 = mix > 0.0 && Util.Prng.float prng < mix in
+        let rel, changes =
+          if target_r2 then
+            (db.Workload.Database.r2, Workload.Database.random_update_r2 db prng)
+          else (db.Workload.Database.r1, Workload.Database.random_update db prng)
+        in
+        let old_new =
+          Storage.Cost.with_disabled db.Workload.Database.cost (fun () ->
+              Relation.update_batch rel changes)
+        in
+        Rete.Treat.apply_delta treat ~rel:(Relation.name rel)
+          ~inserted:(List.map snd old_new)
+          ~deleted:(List.map fst old_new))
+    ops;
+  let ms =
+    Storage.Cost.total_ms Storage.Cost.default_charges db.Workload.Database.cost
+    /. float_of_int q
+  in
+  let ok = List.for_all (fun id -> Rete.Treat.matches_recompute treat id) ids in
+  (ms, ok)
+
+let print_ext_treat () =
+  print_endline "== ext-treat: TREAT (alpha-memories only) vs AVM and RVM (model 2)";
+  print_endline
+    "extension: TREAT (Miranker 1987) is the contemporaneous no-beta-memory alternative\n\
+     the production-system literature set against Rete.  No beta upkeep means R2 churn\n\
+     hurts less than RVM; probing selected alphas beats AVM's base-relation probes.\n";
+  let params = Workload.Driver.default_sim_params in
+  let table =
+    Util.Ascii_table.create ~header:[ "R2 fraction"; "AVM"; "TREAT"; "RVM"; "ok" ] ()
+  in
+  List.iter
+    (fun mix ->
+      let avm =
+        Workload.Driver.run_strategy ~r2_update_fraction:mix ~model:Model.Model2 ~params
+          Strategy.Update_cache_avm
+      in
+      let rvm =
+        Workload.Driver.run_strategy ~r2_update_fraction:mix ~model:Model.Model2 ~params
+          Strategy.Update_cache_rvm
+      in
+      let treat_ms, treat_ok = run_treat ~model:Model.Model2 ~params ~mix ~seed:42 in
+      Util.Ascii_table.add_row table
+        [
+          Printf.sprintf "%.2f" mix;
+          Printf.sprintf "%.0f" avm.measured_ms_per_query;
+          Printf.sprintf "%.0f" treat_ms;
+          Printf.sprintf "%.0f" rvm.measured_ms_per_query;
+          (if treat_ok && avm.consistent && rvm.consistent then "yes" else "NO");
+        ])
+    [ 0.0; 0.5; 1.0 ];
+  Util.Ascii_table.print table;
+  print_newline ()
+
+let print_ext_latency () =
+  print_endline "== ext-latency: access-cost distribution per strategy (P = 0.3, model 1)";
+  print_endline
+    "extension: the paper compares means only.  Per-access distributions differ sharply:\n\
+     CI is bimodal (cheap hits vs recompute-priced misses), UC is uniform cheap reads\n\
+     with the cost shifted into updates, AR is uniformly expensive.\n";
+  let params =
+    Params.with_update_probability
+      { Workload.Driver.default_sim_params with Params.q = 120.0 }
+      0.3
+  in
+  let table =
+    Util.Ascii_table.create
+      ~header:[ "strategy"; "mean"; "p50"; "p95"; "max"; "update-side mean" ]
+      ()
+  in
+  List.iter
+    (fun (r : Workload.Driver.result) ->
+      let query_ms =
+        List.filter_map (fun (k, ms) -> if k = `Query then Some ms else None) r.per_op
+      in
+      let update_ms =
+        List.filter_map (fun (k, ms) -> if k = `Update then Some ms else None) r.per_op
+      in
+      let s = Util.Stats.summarize query_ms in
+      Util.Ascii_table.add_row table
+        [
+          Strategy.short_name r.strategy;
+          Printf.sprintf "%.0f" s.Util.Stats.mean;
+          Printf.sprintf "%.0f" s.Util.Stats.p50;
+          Printf.sprintf "%.0f" s.Util.Stats.p95;
+          Printf.sprintf "%.0f" s.Util.Stats.max;
+          (if update_ms = [] then "-" else Printf.sprintf "%.0f" (Util.Stats.mean update_ms));
+        ])
+    (Workload.Driver.run_all ~check_consistency:false ~model:Model.Model1 ~params ());
+  Util.Ascii_table.print table;
+  print_newline ()
+
+let print_ext_sensitivity () =
+  print_endline "== ext-sensitivity: cost elasticity per parameter (model 1, defaults)";
+  print_endline
+    "extension: elasticity = %change in cost per %change in parameter at the Figure-2\n\
+     operating point.  Expect: AR insensitive to everything but f and N; UC driven by k\n\
+     and the object-count parameters; CI spiked by C_inval; only RVM responds to SF.\n";
+  let table =
+    Util.Ascii_table.create ~header:[ "parameter"; "AR"; "CI"; "AVM"; "RVM" ] ()
+  in
+  List.iter
+    (fun (name, cells) ->
+      Util.Ascii_table.add_row table
+        (name :: List.map (fun (_, e) -> Printf.sprintf "%+.2f" e) cells))
+    (Sensitivity.table Model.Model1 Params.default);
+  Util.Ascii_table.print table;
+  print_newline ()
+
+let print_ext_nway () =
+  print_endline "== ext-nway: AVM vs RVM as the join chain grows";
+  print_endline
+    "extension: Section 8 argues precomputed subexpressions let RVM 'limit the total\n\
+     number of joins' for chains of 3+ relations.  Updates hit C1 only; f2 = 1 so delta\n\
+     tuples traverse the whole chain.  Expect AVM maintenance to grow with chain length\n\
+     and RVM's to stay flat (one probe into the precomputed spine).\n";
+  let params =
+    {
+      Workload.Driver.default_sim_params with
+      Params.f = 0.005;
+      f2 = 1.0;
+      k = 100.0;
+      q = 50.0;
+      n2 = 10.0;
+    }
+  in
+  let results = Workload.Nway.sweep ~max_length:6 ~params () in
+  let table =
+    Util.Ascii_table.create
+      ~header:
+        [ "chain length"; "AVM meas"; "AVM model"; "RVM meas"; "RVM model"; "ok" ]
+      ()
+  in
+  let rec pair = function
+    | (a : Workload.Nway.result) :: (r : Workload.Nway.result) :: rest ->
+      let model s = Nway_model.maintenance_per_update params ~chain_length:a.chain_length s in
+      Util.Ascii_table.add_row table
+        [
+          string_of_int a.chain_length;
+          Printf.sprintf "%.0f" a.maintenance_ms_per_update;
+          Printf.sprintf "%.0f" (model Strategy.Update_cache_avm);
+          Printf.sprintf "%.0f" r.maintenance_ms_per_update;
+          Printf.sprintf "%.0f" (model Strategy.Update_cache_rvm);
+          (if a.consistent && r.consistent then "yes" else "NO");
+        ];
+      pair rest
+    | _ -> ()
+  in
+  pair results;
+  Util.Ascii_table.print table;
+  print_newline ()
+
+let run_adaptive ~model ~params ~seed =
+  (* Mirror the driver's op sequence against the Adaptive selector. *)
+  let db = Workload.Database.build ~seed ~model params in
+  let a =
+    Proc.Adaptive.create
+      ~config:{ Proc.Adaptive.default_config with Proc.Adaptive.window = 10 }
+      ~io:db.Workload.Database.io ~record_bytes:100 ()
+  in
+  let ids =
+    List.map (fun def -> Proc.Adaptive.register a def) (Workload.Database.all_defs db)
+  in
+  let arr = Array.of_list ids in
+  let q = int_of_float params.Params.q and k = int_of_float params.Params.k in
+  let prng = Util.Prng.create (seed + 1) in
+  let ops = Array.init (q + k) (fun i -> if i < q then `Q else `U) in
+  Util.Prng.shuffle prng ops;
+  Storage.Cost.reset db.Workload.Database.cost;
+  Array.iter
+    (fun op ->
+      match op with
+      | `Q -> ignore (Proc.Adaptive.access a arr.(Util.Prng.int prng (Array.length arr)))
+      | `U ->
+        let changes = Workload.Database.random_update db prng in
+        let old_new =
+          Storage.Cost.with_disabled db.Workload.Database.cost (fun () ->
+              Relation.update_batch db.Workload.Database.r1 changes)
+        in
+        Proc.Adaptive.on_update a ~rel:db.Workload.Database.r1 ~changes:old_new)
+    ops;
+  let total =
+    Storage.Cost.total_ms Storage.Cost.default_charges db.Workload.Database.cost
+  in
+  let consistent = List.for_all (fun id -> Proc.Adaptive.matches_recompute a id) ids in
+  (total /. float_of_int q, Proc.Adaptive.switches a, consistent)
+
+let print_ext_adaptive () =
+  print_endline "== ext-adaptive: per-procedure strategy selection (Section 8's decision problem)";
+  print_endline
+    "extension: every procedure starts under CI and switches by observed conflict rate\n\
+     and object size.  Adaptive should roughly track the cheapest fixed strategy.\n";
+  let params = Workload.Driver.default_sim_params in
+  let table =
+    Util.Ascii_table.create
+      ~header:[ "P"; "best fixed (measured)"; "adaptive"; "switches"; "ok" ]
+      ()
+  in
+  List.iter
+    (fun p ->
+      let params = Params.with_update_probability params p in
+      let fixed =
+        Workload.Driver.run_all ~check_consistency:false ~model:Model.Model1 ~params ()
+      in
+      let best =
+        List.fold_left
+          (fun acc (r : Workload.Driver.result) ->
+            match acc with
+            | Some (_, c) when c <= r.measured_ms_per_query -> acc
+            | _ -> Some (Strategy.short_name r.strategy, r.measured_ms_per_query))
+          None fixed
+      in
+      let adaptive_ms, switches, ok = run_adaptive ~model:Model.Model1 ~params ~seed:42 in
+      let best_name, best_ms = Option.get best in
+      Util.Ascii_table.add_row table
+        [
+          Printf.sprintf "%.2f" p;
+          Printf.sprintf "%s %.0f" best_name best_ms;
+          Printf.sprintf "%.0f" adaptive_ms;
+          string_of_int switches;
+          (if ok then "yes" else "NO");
+        ])
+    [ 0.0; 0.2; 0.5; 0.8 ];
+  Util.Ascii_table.print table;
+  print_newline ()
+
+(* ------------------------------------------------------------ Bechamel *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let figure_tests =
+    List.map
+      (fun fig ->
+        Test.make ~name:fig.Figures.id
+          (Staged.stage (fun () -> ignore (fig.Figures.output ()))))
+      Figures.all
+  in
+  let sim_params =
+    {
+      Workload.Driver.default_sim_params with
+      Params.n = 4000.0;
+      n1 = 5.0;
+      n2 = 5.0;
+      q = 10.0;
+      k = 10.0;
+    }
+  in
+  (* Micro-benchmarks: wall-clock of the core data structures themselves
+     (the simulated-cost layer is bypassed; this measures the library). *)
+  let micro_tests =
+    let cost = Storage.Cost.create () in
+    Storage.Cost.disable cost;
+    let io = Storage.Io.direct cost ~page_bytes:4000 in
+    let btree = Index.Btree.create ~io ~entry_bytes:20 ~compare:Int.compare () in
+    for i = 0 to 9_999 do
+      Index.Btree.insert btree ((i * 7919) mod 10_000) i
+    done;
+    let hash =
+      Index.Hash_index.create ~io ~entry_bytes:20 ~expected_entries:10_000 ~equal:Int.equal ()
+    in
+    for i = 0 to 9_999 do
+      Index.Hash_index.insert hash i i
+    done;
+    let module Ii = Util.Interval_index.Make (Int) in
+    let stabber = Ii.create () in
+    for i = 0 to 999 do
+      Ii.add stabber ~lo:(Ii.Incl (i * 10)) ~hi:(Ii.Excl ((i * 10) + 50)) i
+    done;
+    ignore (Ii.stab stabber 0);
+    (* force the build outside the timed region *)
+    let counter = ref 0 in
+    [
+      Test.make ~name:"micro-btree-search"
+        (Staged.stage (fun () ->
+             incr counter;
+             ignore (Index.Btree.search btree (!counter * 37 mod 10_000))));
+      Test.make ~name:"micro-btree-insert"
+        (Staged.stage (fun () ->
+             incr counter;
+             Index.Btree.insert btree (!counter mod 10_000) !counter));
+      Test.make ~name:"micro-hash-probe"
+        (Staged.stage (fun () ->
+             incr counter;
+             ignore (Index.Hash_index.search hash (!counter * 31 mod 10_000))));
+      Test.make ~name:"micro-interval-stab"
+        (Staged.stage (fun () ->
+             incr counter;
+             ignore (Ii.stab stabber (!counter * 13 mod 10_000))));
+      Test.make ~name:"micro-yao-paper"
+        (Staged.stage (fun () ->
+             incr counter;
+             ignore
+               (Util.Yao.paper ~n:10_000.0 ~m:250.0 ~k:(float_of_int (!counter mod 1000)))));
+    ]
+  in
+  let sim_tests =
+    [
+      Test.make ~name:"sim-model1"
+        (Staged.stage (fun () ->
+             ignore
+               (Workload.Driver.run_strategy ~check_consistency:false ~model:Model.Model1
+                  ~params:sim_params Strategy.Update_cache_avm)));
+      Test.make ~name:"sim-model2"
+        (Staged.stage (fun () ->
+             ignore
+               (Workload.Driver.run_strategy ~check_consistency:false ~model:Model.Model2
+                  ~params:sim_params Strategy.Update_cache_rvm)));
+    ]
+  in
+  figure_tests @ sim_tests @ micro_tests
+
+let run_bechamel ~quota ids =
+  let open Bechamel in
+  let tests =
+    match ids with
+    | [] -> bechamel_tests ()
+    | ids -> List.filter (fun t -> List.mem (Test.name t) ids) (bechamel_tests ())
+  in
+  if tests <> [] then begin
+    print_endline "== bechamel: wall-clock per experiment regeneration";
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ~stabilize:false ()
+    in
+    let grouped = Test.make_grouped ~name:"dbproc" tests in
+    let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |])
+        Toolkit.Instance.monotonic_clock raw
+    in
+    let table = Util.Ascii_table.create ~header:[ "experiment"; "time/run"; "r^2" ] () in
+    let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) ols [] in
+    List.iter
+      (fun (name, ols) ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+        in
+        let pretty =
+          if Float.is_nan estimate then "-"
+          else if estimate > 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
+          else if estimate > 1e6 then Printf.sprintf "%.2f ms" (estimate /. 1e6)
+          else if estimate > 1e3 then Printf.sprintf "%.2f us" (estimate /. 1e3)
+          else Printf.sprintf "%.0f ns" estimate
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with
+          | Some r -> Printf.sprintf "%.3f" r
+          | None -> "-"
+        in
+        Util.Ascii_table.add_row table [ name; pretty; r2 ])
+      (List.sort compare rows);
+    Util.Ascii_table.print table;
+    print_newline ()
+  end
+
+(* -------------------------------------------------------------- CSV out *)
+
+let write_csv dir (fig : Figures.t) =
+  match fig.Figures.output () with
+  | Figures.Series { x_label; columns; rows; _ } ->
+    let path = Filename.concat dir (fig.Figures.id ^ ".csv") in
+    Out_channel.with_open_text path (fun oc ->
+        Printf.fprintf oc "%s,%s\n" x_label (String.concat "," columns);
+        List.iter
+          (fun (x, ys) ->
+            Printf.fprintf oc "%g,%s\n" x (String.concat "," (List.map (Printf.sprintf "%g") ys)))
+          rows);
+    Printf.printf "wrote %s\n" path
+  | Figures.Table { header; rows } ->
+    let path = Filename.concat dir (fig.Figures.id ^ ".csv") in
+    Out_channel.with_open_text path (fun oc ->
+        Printf.fprintf oc "%s\n" (String.concat "," header);
+        List.iter (fun row -> Printf.fprintf oc "%s\n" (String.concat "," row)) rows);
+    Printf.printf "wrote %s\n" path
+  | Figures.Region _ -> () (* region maps have no tabular form *)
+
+(* ----------------------------------------------------------------- Main *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse quota bechamel sim csv ids = function
+    | [] -> (quota, bechamel, sim, csv, List.rev ids)
+    | "--no-bechamel" :: rest -> parse quota false sim csv ids rest
+    | "--no-sim" :: rest -> parse quota bechamel false csv ids rest
+    | "--quota" :: v :: rest -> parse (float_of_string v) bechamel sim csv ids rest
+    | "--csv" :: dir :: rest -> parse quota bechamel sim (Some dir) ids rest
+    | id :: rest -> parse quota bechamel sim csv (id :: ids) rest
+  in
+  let quota, bechamel, sim, csv, ids = parse 0.3 true true None [] args in
+  (match csv with
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter (write_csv dir)
+      (match ids with
+      | [] -> Figures.all
+      | ids -> List.filter (fun f -> List.mem f.Figures.id ids) Figures.all)
+  | None -> ());
+  let selected =
+    match ids with
+    | [] -> Figures.all
+    | ids -> List.filter (fun f -> List.mem f.Figures.id ids) Figures.all
+  in
+  List.iter
+    (fun fig ->
+      print_string (Figures.render fig);
+      print_newline ();
+      print_newline ())
+    selected;
+  if ids = [] || List.mem "fig18" ids then print_crossovers ();
+  if List.mem "fig3-network" ids || List.mem "fig16-network" ids then print_network_figures ();
+  if sim then begin
+    let base = Workload.Driver.default_sim_params in
+    if ids = [] || List.mem "sim-model1" ids then print_sim_comparison ~model:Model.Model1 ();
+    if ids = [] || List.mem "sim-model2" ids then print_sim_comparison ~model:Model.Model2 ();
+    if ids = [] || List.mem "sim-fig4" ids then
+      print_sim_comparison ~label:"fig4" ~params:{ base with Params.c_inval = 60.0 }
+        ~model:Model.Model1 ();
+    if ids = [] || List.mem "sim-fig6" ids then
+      print_sim_comparison ~label:"fig6" ~params:{ base with Params.f = 0.01 }
+        ~model:Model.Model1 ();
+    if ids = [] || List.mem "sim-fig7" ids then
+      print_sim_comparison ~label:"fig7" ~params:{ base with Params.f = 0.0005 }
+        ~model:Model.Model1 ();
+    if ids = [] || List.mem "sim-fig9" ids then
+      print_sim_comparison ~label:"fig9" ~params:{ base with Params.z = 0.05 }
+        ~model:Model.Model1 ();
+    if ids = [] then begin
+      print_ablation_buffer ();
+      print_ablation_yao ();
+      print_ablation_rete_shape ()
+    end;
+    if ids = [] || List.mem "ext-update-mix" ids then print_ext_update_mix ();
+    if ids = [] || List.mem "ext-wal" ids then print_ext_wal ();
+    if ids = [] || List.mem "ext-aggregates" ids then print_ext_aggregates ();
+    if ids = [] || List.mem "ext-adaptive" ids then print_ext_adaptive ();
+    if ids = [] || List.mem "ext-nway" ids then print_ext_nway ();
+    if ids = [] || List.mem "ext-sensitivity" ids then print_ext_sensitivity ();
+    if ids = [] || List.mem "ext-latency" ids then print_ext_latency ();
+    if ids = [] || List.mem "ext-treat" ids then print_ext_treat ()
+  end;
+  if bechamel then run_bechamel ~quota ids

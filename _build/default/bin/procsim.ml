@@ -1,0 +1,293 @@
+(* procsim: command-line front end to the reproduction.
+
+   Subcommands:
+     figures [IDS...]   render the paper's tables and figures
+     sim                run the engine-measured workload comparison
+     cost               print a cost breakdown for one configuration
+     advise             recommend a strategy for a workload (Section 8)
+     params             print the Figure-2 parameter defaults *)
+
+open Cmdliner
+open Dbproc
+open Dbproc.Costmodel
+
+(* ------------------------------------------------------ shared options *)
+
+let model_term =
+  let parse = function
+    | "1" | "model1" -> Ok Model.Model1
+    | "2" | "model2" -> Ok Model.Model2
+    | s -> Error (`Msg (Printf.sprintf "unknown model %S (use 1 or 2)" s))
+  in
+  let print ppf m = Format.pp_print_string ppf (Model.which_name m) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Model.Model1
+    & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Procedure model: 1 (2-way joins) or 2 (3-way).")
+
+let float_opt_term names ~doc =
+  Arg.(value & opt (some float) None & info names ~docv:"X" ~doc)
+
+let apply_overrides params ~p ~f ~f2 ~sf ~z ~c_inval ~n1 ~n2 =
+  let params = match f with Some f -> { params with Params.f } | None -> params in
+  let params = match f2 with Some f2 -> { params with Params.f2 } | None -> params in
+  let params = match sf with Some sf -> { params with Params.sf } | None -> params in
+  let params = match z with Some z -> { params with Params.z } | None -> params in
+  let params =
+    match c_inval with Some c_inval -> { params with Params.c_inval } | None -> params
+  in
+  let params = match n1 with Some n1 -> { params with Params.n1 } | None -> params in
+  let params = match n2 with Some n2 -> { params with Params.n2 } | None -> params in
+  match p with Some p -> Params.with_update_probability params p | None -> params
+
+let params_term =
+  let p = float_opt_term [ "p" ] ~doc:"Update probability P = k/(k+q)." in
+  let f = float_opt_term [ "f" ] ~doc:"Selectivity of C_f(R1) (object size)." in
+  let f2 = float_opt_term [ "f2" ] ~doc:"Selectivity of C_f2(R2)." in
+  let sf = float_opt_term [ "sf" ] ~doc:"Sharing factor." in
+  let z = float_opt_term [ "z" ] ~doc:"Locality (fraction of hot procedures)." in
+  let c_inval = float_opt_term [ "c-inval" ] ~doc:"Cost (ms) to record an invalidation." in
+  let n1 = float_opt_term [ "n1" ] ~doc:"Number of P1 procedures." in
+  let n2 = float_opt_term [ "n2" ] ~doc:"Number of P2 procedures." in
+  Term.(
+    const (fun p f f2 sf z c_inval n1 n2 ->
+        apply_overrides Params.default ~p ~f ~f2 ~sf ~z ~c_inval ~n1 ~n2)
+    $ p $ f $ f2 $ sf $ z $ c_inval $ n1 $ n2)
+
+(* -------------------------------------------------------------- figures *)
+
+let figures_cmd =
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  let run ids =
+    let selected =
+      match ids with
+      | [] -> Figures.all
+      | ids ->
+        List.iter
+          (fun id ->
+            if Figures.find id = None then (
+              Printf.eprintf "unknown experiment %S; known ids:\n" id;
+              List.iter (fun f -> Printf.eprintf "  %s\n" f.Figures.id) Figures.all;
+              exit 1))
+          ids;
+        List.filter (fun f -> List.mem f.Figures.id ids) Figures.all
+    in
+    List.iter
+      (fun fig ->
+        print_string (Figures.render fig);
+        print_newline ())
+      selected
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Render the paper's tables and figures (all, or the given ids).")
+    Term.(const run $ ids)
+
+(* ------------------------------------------------------------------ sim *)
+
+let sim_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.") in
+  let scale =
+    Arg.(
+      value & opt float 10.0
+      & info [ "scale" ] ~docv:"X" ~doc:"Scale-down factor applied to N, N1, N2, q, k.")
+  in
+  let run model params seed scale =
+    let params = Workload.Driver.scale_params params ~factor:scale in
+    Printf.printf "simulating %s at N=%g, N1=%g, N2=%g, q=%g, k=%g (seed %d)\n\n"
+      (Model.which_name model) params.Params.n params.Params.n1 params.Params.n2
+      params.Params.q params.Params.k seed;
+    let results = Workload.Driver.run_all ~seed ~model ~params () in
+    List.iter (fun r -> Format.printf "%a@." Workload.Driver.pp_result r) results
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Run the update/access workload against the real engine under all four strategies \
+          and report measured vs analytic ms/query.")
+    Term.(const run $ model_term $ params_term $ seed $ scale)
+
+(* ----------------------------------------------------------------- cost *)
+
+let strategy_term =
+  let parse s =
+    match Strategy.of_string s with
+    | Some s -> Ok s
+    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S (ar|ci|avm|rvm)" s))
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, Strategy.pp))) None
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Strategy to break down (default: all four).")
+
+let cost_cmd =
+  let run model params strategy =
+    let strategies = match strategy with Some s -> [ s ] | None -> Strategy.all in
+    List.iter
+      (fun s ->
+        Printf.printf "%s, %s: %.2f ms/query\n" (Strategy.name s) (Model.which_name model)
+          (Model.cost model params s);
+        List.iter
+          (fun (name, v) -> Printf.printf "  %-42s %10.2f\n" name v)
+          (Model.breakdown model params s);
+        print_newline ())
+      strategies
+  in
+  Cmd.v
+    (Cmd.info "cost" ~doc:"Print the analytic cost breakdown at a parameter setting.")
+    Term.(const run $ model_term $ params_term $ strategy_term)
+
+(* --------------------------------------------------------------- advise *)
+
+let advise_cmd =
+  let run model params =
+    let best = Regions.best model params in
+    let costs = List.map (fun s -> (s, Model.cost model params s)) Strategy.all in
+    Printf.printf "workload: P=%.2f f=%g f2=%g SF=%.2f Z=%.2f C_inval=%g (%s)\n\n"
+      (Params.update_probability params)
+      params.Params.f params.Params.f2 params.Params.sf params.Params.z
+      params.Params.c_inval (Model.which_name model);
+    List.iter
+      (fun (s, c) ->
+        Printf.printf "  %-24s %10.1f ms/query%s\n" (Strategy.name s) c
+          (if s = best then "   <- recommended" else ""))
+      costs;
+    print_newline ();
+    (* Section 8 guidance. *)
+    let p = Params.update_probability params in
+    if p > 0.7 then
+      print_endline
+        "High update probability: Update Cache degrades sharply here; Cache and Invalidate \
+         is the safe second choice (its plateau sits just above Always Recompute)."
+    else if params.Params.f >= 0.01 then
+      print_endline
+        "Large objects: incremental maintenance is much cheaper than recomputation, so \
+         Update Cache wins when updates are not too frequent."
+    else if Model.false_invalidation_probability params > 0.5 then
+      Printf.printf
+        "Note: %.0f%% of invalidations would be false (1 - f2); Update Cache avoids \
+         recomputations that Cache and Invalidate triggers needlessly.\n"
+        (100.0 *. Model.false_invalidation_probability params)
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Recommend a processing strategy for a workload, per the paper's Section 8 \
+          decision rules.")
+    Term.(const run $ model_term $ params_term)
+
+(* ---------------------------------------------------------- sensitivity *)
+
+let sensitivity_cmd =
+  let run model params =
+    Printf.printf "cost elasticity per parameter at P=%.2f f=%g (%s)\n\n"
+      (Params.update_probability params)
+      params.Params.f (Model.which_name model);
+    let table =
+      Util.Ascii_table.create ~header:[ "parameter"; "AR"; "CI"; "AVM"; "RVM" ] ()
+    in
+    List.iter
+      (fun (name, cells) ->
+        Util.Ascii_table.add_row table
+          (name :: List.map (fun (_, e) -> Printf.sprintf "%+.2f" e) cells))
+      (Sensitivity.table model params);
+    Util.Ascii_table.print table
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Print cost elasticities (% cost change per % parameter change) per strategy.")
+    Term.(const run $ model_term $ params_term)
+
+(* ------------------------------------------------------------- anchors *)
+
+let anchors_cmd =
+  let run () =
+    (match Figures.crossover_sf Model.Model2 Params.default with
+    | Some sf -> Printf.printf "model 2 AVM/RVM crossover: SF = %.3f (paper: ~0.47)\n" sf
+    | None -> print_endline "model 2 AVM/RVM crossover: none");
+    (match Figures.crossover_sf Model.Model1 Params.default with
+    | Some sf -> Printf.printf "model 1 AVM/RVM crossover: SF = %.3f (paper: near 1)\n" sf
+    | None -> print_endline "model 1 AVM/RVM crossover: none");
+    let p7 =
+      Params.with_update_probability { Params.default with Params.f = 0.0001 } 0.1
+    in
+    let cost s = Model.cost Model.Model1 p7 s in
+    Printf.printf "fig7 anchor (f=0.0001, P=0.1): AR/CI = %.1fx, AR/UC = %.1fx (paper: ~5x, ~7x)\n"
+      (cost Strategy.Always_recompute /. cost Strategy.Cache_invalidate)
+      (cost Strategy.Always_recompute /. cost Strategy.Update_cache_avm);
+    let p0 = Params.with_update_probability Params.default 0.0 in
+    Printf.printf "P=0: CI = AVM = RVM = %.0f ms (C_read)\n"
+      (Model.cost Model.Model1 p0 Strategy.Cache_invalidate)
+  in
+  Cmd.v
+    (Cmd.info "anchors" ~doc:"Print the paper's headline quantitative anchors.")
+    Term.(const run $ const ())
+
+(* ---------------------------------------------------------- shell / run *)
+
+let shell_cmd =
+  let run () =
+    let session = Lang.Interp.create () in
+    print_endline "dbproc shell — QUEL-flavored commands; 'help' lists them; ctrl-d exits.";
+    let rec loop () =
+      Printf.printf "dbproc[%s]> %!" (Lang.Interp.strategy_name session);
+      match In_channel.input_line stdin with
+      | None -> print_newline ()
+      | Some line when String.trim line = "" -> loop ()
+      | Some line when String.trim line = "quit" || String.trim line = "exit" -> ()
+      | Some line ->
+        (match Lang.Interp.exec_line session line with
+        | Ok output -> print_endline output
+        | Error msg -> Printf.printf "error: %s\n" msg);
+        loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "shell" ~doc:"Interactive QUEL-flavored shell over the simulated engine.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc:"Script file to run.")
+  in
+  let run file =
+    let script = In_channel.with_open_text file In_channel.input_all in
+    let session = Lang.Interp.create () in
+    match Lang.Interp.exec_script session script with
+    | Ok output ->
+      print_string output;
+      `Ok ()
+    | Error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a script of shell commands (one per line).")
+    Term.(ret (const run $ file))
+
+(* --------------------------------------------------------------- params *)
+
+let params_cmd =
+  let run () =
+    let table = Util.Ascii_table.create ~aligns:[ Util.Ascii_table.Left ] ~header:[ "parameter"; "value" ] () in
+    List.iter (fun (k, v) -> Util.Ascii_table.add_row table [ k; v ]) (Params.to_rows Params.default);
+    Util.Ascii_table.print table
+  in
+  Cmd.v (Cmd.info "params" ~doc:"Print the Figure-2 parameter defaults.") Term.(const run $ const ())
+
+let () =
+  let doc = "database-procedure query processing: Hanson's 1987/88 performance analysis" in
+  let info = Cmd.info "procsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            figures_cmd;
+            sim_cmd;
+            cost_cmd;
+            advise_cmd;
+            params_cmd;
+            sensitivity_cmd;
+            anchors_cmd;
+            shell_cmd;
+            run_cmd;
+          ]))

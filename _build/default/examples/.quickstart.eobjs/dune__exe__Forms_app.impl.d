@@ -1,0 +1,1 @@
+examples/forms_app.ml: Array Cost Dbproc Executor Io List Planner Predicate Printf Relation Rete Schema Tuple Value View_def

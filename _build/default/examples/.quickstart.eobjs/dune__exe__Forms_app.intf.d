@@ -1,0 +1,1 @@
+examples/forms_app.mli:

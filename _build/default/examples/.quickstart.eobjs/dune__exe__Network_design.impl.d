@@ -1,0 +1,1 @@
+examples/network_design.ml: Dbproc List Model Params Printf Rete Strategy Util Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Catalog Cost Dbproc Io List Predicate Printf Proc Relation Schema Tuple Value View_def

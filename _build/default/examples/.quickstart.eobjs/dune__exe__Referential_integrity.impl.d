@@ -1,0 +1,1 @@
+examples/referential_integrity.ml: Cost Dbproc Executor Io List Planner Predicate Printf Proc Relation Schema Tuple Value View_def

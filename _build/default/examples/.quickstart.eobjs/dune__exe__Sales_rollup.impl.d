@@ -1,0 +1,1 @@
+examples/sales_rollup.ml: Aggregate_view Array Cost Dbproc Executor Io List Planner Predicate Printf Relation Schema Tuple Util Value View_def

@@ -1,0 +1,1 @@
+examples/strategy_advisor.ml: Dbproc Format List Model Params Printf Regions Strategy Util Workload

@@ -1,0 +1,101 @@
+(* Strategy selection — the paper's Section 8 question: given a workload,
+   which processing strategy should a DBMS pick for a stored procedure?
+
+   The advisor evaluates the paper's cost model over a set of workload
+   profiles, prints the recommendation for each, and then validates one
+   recommendation by actually running the workload in the simulated
+   engine.
+
+   Run with:  dune exec examples/strategy_advisor.exe *)
+
+open Dbproc
+open Dbproc.Costmodel
+
+type profile = { label : string; params : Params.t; model : Model.which }
+
+let d = Params.default
+
+let profiles =
+  [
+    {
+      label = "dashboard: hot small reports, few updates";
+      params = Params.with_update_probability { d with Params.f = 0.0001; z = 0.05 } 0.05;
+      model = Model.Model1;
+    };
+    {
+      label = "catalog pages: large objects, rare edits";
+      params = Params.with_update_probability { d with Params.f = 0.01 } 0.1;
+      model = Model.Model1;
+    };
+    {
+      label = "order entry: write-heavy OLTP";
+      params = Params.with_update_probability d 0.85;
+      model = Model.Model1;
+    };
+    {
+      label = "reporting mart: 3-way joins, shared dimensions";
+      params = { (Params.with_update_probability d 0.3) with Params.sf = 0.8 };
+      model = Model.Model2;
+    };
+    {
+      label = "expensive invalidation (no NVRAM), mixed load";
+      params = Params.with_update_probability { d with Params.c_inval = 60.0 } 0.4;
+      model = Model.Model1;
+    };
+  ]
+
+let () =
+  print_endline "strategy advisor: expected ms per procedure access\n";
+  let table =
+    Util.Ascii_table.create
+      ~aligns:[ Util.Ascii_table.Left ]
+      ~header:[ "workload"; "AR"; "CI"; "AVM"; "RVM"; "recommendation" ]
+      ()
+  in
+  List.iter
+    (fun { label; params; model } ->
+      let cost s = Model.cost model params s in
+      let best = Regions.best model params in
+      Util.Ascii_table.add_row table
+        [
+          label;
+          Printf.sprintf "%.0f" (cost Strategy.Always_recompute);
+          Printf.sprintf "%.0f" (cost Strategy.Cache_invalidate);
+          Printf.sprintf "%.0f" (cost Strategy.Update_cache_avm);
+          Printf.sprintf "%.0f" (cost Strategy.Update_cache_rvm);
+          Strategy.name best;
+        ])
+    profiles;
+  Util.Ascii_table.print table;
+
+  (* Validate the "order entry" recommendation against the engine. *)
+  print_endline "\nvalidating the write-heavy profile in the simulated engine (scaled 10x down):";
+  let profile = List.nth profiles 2 in
+  let params =
+    Params.with_update_probability
+      { (Workload.Driver.scale_params profile.params ~factor:10.0) with Params.q = 30.0 }
+      (Params.update_probability profile.params)
+  in
+  let results = Workload.Driver.run_all ~model:profile.model ~params () in
+  List.iter (fun r -> Format.printf "  %a@." Workload.Driver.pp_result r) results;
+  let best_measured =
+    List.fold_left
+      (fun acc (r : Workload.Driver.result) ->
+        match acc with
+        | Some (b : Workload.Driver.result) when b.measured_ms_per_query <= r.measured_ms_per_query ->
+          acc
+        | _ -> Some r)
+      None results
+  in
+  (match best_measured with
+  | Some r ->
+    Printf.printf
+      "\ncheapest in the engine: %s — at high update rates AR and CI sit within a few\n\
+       percent of each other (the paper's CI plateau), while both UC variants pay for\n\
+       maintenance they rarely serve.\n"
+      (Strategy.name r.strategy)
+  | None -> ());
+  print_endline
+    "\nPer Section 8: implement Always Recompute first; add Cache and Invalidate for small\n\
+     objects (it never degrades badly if invalidation is cheap); add Update Cache when\n\
+     large objects must stay fresh under moderate update rates."

@@ -1,0 +1,1 @@
+lib/avm/aggregate_view.ml: Array Cost Dbproc_query Dbproc_relation Dbproc_storage Executor Format Hashtbl Heap_file Io List Option Plan Planner Relation Tuple Value View_def

@@ -1,0 +1,1 @@
+lib/avm/aggregate_view.mli: Dbproc_query Dbproc_relation Format Tuple Value View_def

@@ -1,0 +1,1 @@
+lib/avm/materialized_view.ml: Cost Dbproc_query Dbproc_relation Dbproc_storage Executor Hashtbl Heap_file Io List Option Plan Planner Predicate Relation Tuple View_def

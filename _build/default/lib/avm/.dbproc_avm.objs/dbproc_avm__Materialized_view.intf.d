@@ -1,0 +1,1 @@
+lib/avm/materialized_view.mli: Dbproc_query Dbproc_relation Plan Tuple View_def

@@ -1,0 +1,235 @@
+open Dbproc_storage
+open Dbproc_relation
+open Dbproc_query
+
+type agg = Count | Sum of int | Min of int | Max of int
+
+let pp_agg ppf = function
+  | Count -> Format.pp_print_string ppf "count(*)"
+  | Sum a -> Format.fprintf ppf "sum(.%d)" a
+  | Min a -> Format.fprintf ppf "min(.%d)" a
+  | Max a -> Format.fprintf ppf "max(.%d)" a
+
+module Key_tbl = Hashtbl.Make (struct
+  type t = Value.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+  let hash = Hashtbl.hash
+end)
+
+module Value_tbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type group_state = {
+  mutable count : int;
+  sums : float array; (* slot per aggregate; unused slots stay 0 *)
+  multisets : int Value_tbl.t array; (* value multiset per Min/Max slot *)
+}
+
+type t = {
+  name : string;
+  def : View_def.t;
+  plan : Plan.t;
+  group_by : int list;
+  aggs : agg list;
+  store : Tuple.t Heap_file.t;
+  groups : group_state Key_tbl.t;
+  rids : Heap_file.rid Key_tbl.t;
+}
+
+let io t = Relation.io t.def.View_def.base.rel
+
+let numeric = function
+  | Value.Int i -> float_of_int i
+  | Value.Float f -> f
+  | Value.Str _ -> invalid_arg "Aggregate_view: SUM over a string attribute"
+
+let fresh_state aggs =
+  {
+    count = 0;
+    sums = Array.make (List.length aggs) 0.0;
+    multisets = Array.init (List.length aggs) (fun _ -> Value_tbl.create 8);
+  }
+
+let fold_tuple t state sign tuple =
+  state.count <- state.count + sign;
+  List.iteri
+    (fun i agg ->
+      match agg with
+      | Count -> ()
+      | Sum attr ->
+        state.sums.(i) <- state.sums.(i) +. (float_of_int sign *. numeric (Tuple.get tuple attr))
+      | Min attr | Max attr ->
+        let v = Tuple.get tuple attr in
+        let ms = state.multisets.(i) in
+        let c = Option.value (Value_tbl.find_opt ms v) ~default:0 in
+        let c' = c + sign in
+        if c' < 0 then
+          invalid_arg "Aggregate_view: delete of a value the group never held"
+        else if c' = 0 then Value_tbl.remove ms v
+        else Value_tbl.replace ms v c')
+    t.aggs
+
+let extremum ~is_min ms =
+  Value_tbl.fold
+    (fun v _ acc ->
+      match acc with
+      | None -> Some v
+      | Some best ->
+        let c = Value.compare v best in
+        if (is_min && c < 0) || ((not is_min) && c > 0) then Some v else acc)
+    ms None
+
+let emit t key state =
+  let agg_values =
+    List.mapi
+      (fun i agg ->
+        match agg with
+        | Count -> Value.Int state.count
+        | Sum _ -> Value.Float state.sums.(i)
+        | Min _ -> (
+          match extremum ~is_min:true state.multisets.(i) with
+          | Some v -> v
+          | None -> Value.Int 0 (* unreachable: empty groups are removed *))
+        | Max _ -> (
+          match extremum ~is_min:false state.multisets.(i) with
+          | Some v -> v
+          | None -> Value.Int 0))
+      t.aggs
+  in
+  Tuple.create (key @ agg_values)
+
+let key_of t tuple = List.map (Tuple.get tuple) t.group_by
+
+(* Fold view-level delta tuples into the group states, returning the set
+   of affected keys. *)
+let fold_delta t ~view_inserts ~view_deletes =
+  let affected = Key_tbl.create 8 in
+  let touch sign tuple =
+    let key = key_of t tuple in
+    let state =
+      match Key_tbl.find_opt t.groups key with
+      | Some s -> s
+      | None ->
+        let s = fresh_state t.aggs in
+        Key_tbl.replace t.groups key s;
+        s
+    in
+    fold_tuple t state sign tuple;
+    if not (Key_tbl.mem affected key) then Key_tbl.replace affected key ()
+  in
+  List.iter (touch (-1)) view_deletes;
+  List.iter (touch 1) view_inserts;
+  Key_tbl.fold (fun key () acc -> key :: acc) affected []
+
+let refresh_groups t keys =
+  let ops =
+    List.concat_map
+      (fun key ->
+        let state = Key_tbl.find_opt t.groups key in
+        let rid = Key_tbl.find_opt t.rids key in
+        match (state, rid) with
+        | Some s, _ when s.count = 0 -> (
+          Key_tbl.remove t.groups key;
+          match rid with
+          | Some r ->
+            Key_tbl.remove t.rids key;
+            [ Heap_file.Delete r ]
+          | None -> [])
+        | Some s, Some r -> [ Heap_file.Update (r, emit t key s) ]
+        | Some s, None -> [ Heap_file.Insert (emit t key s) ]
+        | None, _ -> [])
+      keys
+  in
+  let inserted_keys =
+    List.filter
+      (fun key ->
+        match Key_tbl.find_opt t.groups key with
+        | Some _ -> not (Key_tbl.mem t.rids key)
+        | None -> false)
+      keys
+  in
+  let new_rids = Heap_file.apply_batch t.store ops in
+  List.iter2 (fun key rid -> Key_tbl.replace t.rids key rid) inserted_keys new_rids
+
+let populate t tuples =
+  Heap_file.clear t.store;
+  Key_tbl.reset t.groups;
+  Key_tbl.reset t.rids;
+  List.iter
+    (fun tuple ->
+      let key = key_of t tuple in
+      let state =
+        match Key_tbl.find_opt t.groups key with
+        | Some s -> s
+        | None ->
+          let s = fresh_state t.aggs in
+          Key_tbl.replace t.groups key s;
+          s
+      in
+      fold_tuple t state 1 tuple)
+    tuples;
+  Key_tbl.iter
+    (fun key state ->
+      let rid = Heap_file.append t.store (emit t key state) in
+      Key_tbl.replace t.rids key rid)
+    t.groups
+
+let create ?name ~record_bytes ~group_by ~aggs (def : View_def.t) =
+  if aggs = [] then invalid_arg "Aggregate_view.create: no aggregates";
+  let plan = Planner.compile def in
+  let io = Relation.io def.base.rel in
+  let t =
+    {
+      name = Option.value name ~default:(def.View_def.name ^ ".agg");
+      def;
+      plan;
+      group_by;
+      aggs;
+      store = Heap_file.create ~io ~record_bytes ();
+      groups = Key_tbl.create 32;
+      rids = Key_tbl.create 32;
+    }
+  in
+  Cost.with_disabled (Io.cost io) (fun () -> populate t (Executor.run plan));
+  t
+
+let name t = t.name
+let def t = t.def
+let group_count t = Key_tbl.length t.groups
+let page_count t = Heap_file.page_count t.store
+let read t = Heap_file.read_all t.store
+
+let find_group t key =
+  match Key_tbl.find_opt t.rids key with
+  | Some rid -> Some (Heap_file.get t.store rid)
+  | None -> None
+
+let apply_base_delta t ~inserted ~deleted =
+  let cost = Io.cost (io t) in
+  Cost.delta_op cost ~count:(List.length inserted + List.length deleted);
+  let view_inserts = Executor.probe_chain ~probes:t.plan.Plan.probes ~outer:inserted in
+  let view_deletes = Executor.probe_chain ~probes:t.plan.Plan.probes ~outer:deleted in
+  let affected = fold_delta t ~view_inserts ~view_deletes in
+  refresh_groups t affected
+
+let matches_recompute t =
+  Cost.with_disabled
+    (Io.cost (io t))
+    (fun () ->
+      let fresh =
+        {
+          t with
+          store = Heap_file.create ~io:(io t) ~record_bytes:(Heap_file.record_bytes t.store) ();
+          groups = Key_tbl.create 32;
+          rids = Key_tbl.create 32;
+        }
+      in
+      populate fresh (Executor.run t.plan);
+      let sorted h = List.sort Tuple.compare (Heap_file.read_all h) in
+      let a = sorted t.store and b = sorted fresh.store in
+      List.length a = List.length b && List.for_all2 Tuple.equal a b)

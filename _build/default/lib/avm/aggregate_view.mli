@@ -1,0 +1,64 @@
+(** Differentially-maintained aggregate procedures.
+
+    The paper's introduction lists "aggregation and generalization" among
+    the features database procedures support; this module maintains
+    procedures of the form
+
+    {v select group_attrs, COUNT, SUM x, MIN y, MAX z
+   from <any view this library can maintain>
+   group by group_attrs v}
+
+    on top of the same differential machinery as
+    {!Materialized_view}: the underlying view's delta is computed once per
+    update and folded into a stored group table.
+
+    COUNT and SUM fold in O(1) per delta tuple.  MIN/MAX absorb inserts in
+    O(1); deleting the current extremum of a group re-derives it from the
+    group's retained value multiset (kept in memory and charged [C3] per
+    delta tuple, like the A_net/D_net sets).  Empty groups are removed.
+
+    Result tuples are [group values ++ one value per aggregate]; group
+    records live in a heap file so reads and refreshes charge pages like
+    any other stored procedure value. *)
+
+open Dbproc_relation
+open Dbproc_query
+
+type agg =
+  | Count
+  | Sum of int  (** attribute position in the underlying view's schema *)
+  | Min of int
+  | Max of int
+
+val pp_agg : Format.formatter -> agg -> unit
+
+type t
+
+val create :
+  ?name:string -> record_bytes:int -> group_by:int list -> aggs:agg list -> View_def.t -> t
+(** Compile the underlying view's plan, compute the initial groups
+    (setup, uncharged) and store them.  [group_by] and aggregate
+    attributes are positions in {!View_def.schema}.  Sum/Min/Max
+    attributes must be numeric for meaningful results.
+
+    @raise Invalid_argument if [aggs] is empty. *)
+
+val name : t -> string
+val def : t -> View_def.t
+val group_count : t -> int
+val page_count : t -> int
+
+val read : t -> Tuple.t list
+(** The group table, one page read per stored page. *)
+
+val find_group : t -> Value.t list -> Tuple.t option
+(** Lookup one group's current row (charges the page holding it). *)
+
+val apply_base_delta : t -> inserted:Tuple.t list -> deleted:Tuple.t list -> unit
+(** Like {!Materialized_view.apply_base_delta}: the delta tuples are
+    base-relation survivors; they are pushed through the view's probe
+    chain and folded into the groups, touching each affected group page
+    once. *)
+
+val matches_recompute : t -> bool
+(** Stored groups equal an uncharged from-scratch recompute. *)

@@ -1,0 +1,200 @@
+open Dbproc_storage
+open Dbproc_relation
+open Dbproc_query
+
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type policy = Static | Dynamic of float
+
+type t = {
+  name : string;
+  def : View_def.t;
+  plan : Plan.t;
+  store : Tuple.t Heap_file.t;
+  rids : Heap_file.rid list Tuple_tbl.t; (* multiset: one rid per stored copy *)
+  policy : policy;
+  mutable recomputes : int;
+}
+
+let io t = Relation.io t.def.View_def.base.rel
+
+let track_insert t tuple rid =
+  let existing = Option.value (Tuple_tbl.find_opt t.rids tuple) ~default:[] in
+  Tuple_tbl.replace t.rids tuple (rid :: existing)
+
+let untrack t tuple =
+  match Tuple_tbl.find_opt t.rids tuple with
+  | Some (rid :: rest) ->
+    if rest = [] then Tuple_tbl.remove t.rids tuple else Tuple_tbl.replace t.rids tuple rest;
+    Some rid
+  | Some [] | None -> None
+
+let populate t tuples =
+  Heap_file.clear t.store;
+  Tuple_tbl.reset t.rids;
+  List.iter
+    (fun tuple ->
+      let rid = Heap_file.append t.store tuple in
+      track_insert t tuple rid)
+    tuples
+
+let create ?name ?(policy = Static) ~record_bytes (def : View_def.t) =
+  let plan = Planner.compile def in
+  let io = Relation.io def.base.rel in
+  let t =
+    {
+      name = Option.value name ~default:def.name;
+      def;
+      plan;
+      store = Heap_file.create ~io ~record_bytes ();
+      rids = Tuple_tbl.create 64;
+      policy;
+      recomputes = 0;
+    }
+  in
+  Cost.with_disabled (Io.cost io) (fun () -> populate t (Executor.run plan));
+  t
+
+let policy t = t.policy
+let maintenance_recomputes t = t.recomputes
+
+let name t = t.name
+let def t = t.def
+let plan t = t.plan
+let cardinality t = Heap_file.record_count t.store
+let page_count t = Heap_file.page_count t.store
+let read t = Heap_file.read_all t.store
+
+let view_delta t tuples =
+  (* Delta tuples already passed the base restriction; push them through
+     the join probes to build the corresponding view tuples. *)
+  Executor.probe_chain ~probes:t.plan.Plan.probes ~outer:tuples
+
+let apply_view_level_delta t ~view_inserts ~view_deletes =
+  let delete_ops =
+    List.filter_map
+      (fun tuple ->
+        match untrack t tuple with
+        | Some rid -> Some (Heap_file.Delete rid)
+        | None -> None (* tuple absent: delta for a tuple the view never held *))
+      view_deletes
+  in
+  let insert_ops = List.map (fun tuple -> Heap_file.Insert tuple) view_inserts in
+  let new_rids = Heap_file.apply_batch t.store (delete_ops @ insert_ops) in
+  List.iter2 (fun tuple rid -> track_insert t tuple rid) view_inserts new_rids
+
+let recompute_refresh t =
+  let fresh = Executor.run t.plan in
+  Tuple_tbl.reset t.rids;
+  Heap_file.rewrite t.store fresh;
+  Cost.with_disabled
+    (Io.cost (io t))
+    (fun () ->
+      List.iter (fun (rid, tuple) -> track_insert t tuple rid) (Heap_file.contents t.store))
+
+(* The Dynamic policy recomputes when the delta outgrows the stored value:
+   maintaining then costs more page touches than rebuilding. *)
+let dynamic_recompute t ~delta_size =
+  match t.policy with
+  | Static -> false
+  | Dynamic ratio ->
+    float_of_int delta_size > ratio *. float_of_int (max 1 (Heap_file.record_count t.store))
+
+let apply_base_delta t ~inserted ~deleted =
+  let cost = Io.cost (io t) in
+  (* A_net / D_net bookkeeping: C3 per delta tuple. *)
+  let delta_size = List.length inserted + List.length deleted in
+  Cost.delta_op cost ~count:delta_size;
+  if dynamic_recompute t ~delta_size then begin
+    t.recomputes <- t.recomputes + 1;
+    recompute_refresh t
+  end
+  else
+    apply_view_level_delta t ~view_inserts:(view_delta t inserted)
+      ~view_deletes:(view_delta t deleted)
+
+let apply_source_delta t ~source_index ~inserted ~deleted =
+  let n_sources = List.length (View_def.sources t.def) in
+  if source_index < 0 || source_index >= n_sources then
+    invalid_arg "Materialized_view.apply_source_delta: bad source index";
+  if source_index = 0 then apply_base_delta t ~inserted ~deleted
+  else if dynamic_recompute t ~delta_size:(List.length inserted + List.length deleted)
+  then begin
+    t.recomputes <- t.recomputes + 1;
+    recompute_refresh t
+  end
+  else begin
+    let cost = Io.cost (io t) in
+    Cost.delta_op cost ~count:(List.length inserted + List.length deleted);
+    (* Delta on an inner source: evaluate the join prefix with the stored
+       plan (once for both delta sides), hash-join it to the deltas in
+       memory, push matches through the remaining probes. *)
+    let step = List.nth t.def.View_def.steps (source_index - 1) in
+    let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
+    let rec drop n = function _ :: rest when n > 0 -> drop (n - 1) rest | l -> l in
+    let prefix_plan =
+      { t.plan with Plan.probes = take (source_index - 1) t.plan.Plan.probes }
+    in
+    let prefix = Executor.run prefix_plan in
+    let join_side =
+      match step.View_def.op with
+      | Predicate.Eq ->
+        (* In-memory hash join: C1 per prefix tuple (build) + per delta
+           tuple (probe). *)
+        Cost.cpu_screen cost
+          ~count:(List.length prefix + List.length inserted + List.length deleted);
+        let by_key = Tuple_tbl.create 64 in
+        List.iter
+          (fun p ->
+            let key = Tuple.create [ Tuple.get p step.View_def.left_attr ] in
+            Tuple_tbl.replace by_key key
+              (p :: Option.value (Tuple_tbl.find_opt by_key key) ~default:[]))
+          prefix;
+        fun delta ->
+          let joined =
+            List.concat_map
+              (fun d ->
+                let key = Tuple.create [ Tuple.get d step.View_def.right_attr ] in
+                Option.value (Tuple_tbl.find_opt by_key key) ~default:[]
+                |> List.rev_map (fun p -> Tuple.concat p d))
+              delta
+          in
+          Executor.probe_chain ~probes:(drop source_index t.plan.Plan.probes) ~outer:joined
+      | _ ->
+        (* Non-equality step: nested loop over prefix x delta, one C1 per
+           pair tested. *)
+        fun delta ->
+          Cost.cpu_screen cost ~count:(List.length prefix * List.length delta);
+          let joined =
+            List.concat_map
+              (fun p ->
+                List.filter_map
+                  (fun d ->
+                    if
+                      Predicate.eval_op step.View_def.op
+                        (Tuple.get p step.View_def.left_attr)
+                        (Tuple.get d step.View_def.right_attr)
+                    then Some (Tuple.concat p d)
+                    else None)
+                  delta)
+              prefix
+          in
+          Executor.probe_chain ~probes:(drop source_index t.plan.Plan.probes) ~outer:joined
+    in
+    apply_view_level_delta t ~view_inserts:(join_side inserted)
+      ~view_deletes:(join_side deleted)
+  end
+
+let sorted_multiset tuples = List.sort Tuple.compare tuples
+
+let matches_recompute t =
+  let cost = Io.cost (io t) in
+  Cost.with_disabled cost (fun () ->
+      let stored = sorted_multiset (Heap_file.read_all t.store) in
+      let fresh = sorted_multiset (Executor.run t.plan) in
+      List.length stored = List.length fresh && List.for_all2 Tuple.equal stored fresh)

@@ -1,0 +1,1 @@
+lib/costmodel/figures.ml: Buffer Dbproc_util List Model Params Printf Regions Strategy

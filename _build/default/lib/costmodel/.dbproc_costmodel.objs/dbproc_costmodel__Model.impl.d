@@ -1,0 +1,1 @@
+lib/costmodel/model.ml: Dbproc_util Float List Params Strategy

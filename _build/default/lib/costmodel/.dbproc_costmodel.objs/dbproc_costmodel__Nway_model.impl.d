@@ -1,0 +1,1 @@
+lib/costmodel/nway_model.ml: Dbproc_util Float Model Params Strategy

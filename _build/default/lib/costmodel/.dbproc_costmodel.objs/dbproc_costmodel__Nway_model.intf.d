@@ -1,0 +1,1 @@
+lib/costmodel/nway_model.mli: Params Strategy

@@ -1,0 +1,1 @@
+lib/costmodel/regions.ml: List Model Params Strategy

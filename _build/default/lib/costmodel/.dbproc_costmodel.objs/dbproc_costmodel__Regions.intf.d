@@ -1,0 +1,1 @@
+lib/costmodel/regions.mli: Model Params Strategy

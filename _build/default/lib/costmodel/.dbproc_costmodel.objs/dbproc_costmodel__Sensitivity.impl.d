@@ -1,0 +1,1 @@
+lib/costmodel/sensitivity.ml: Float List Model Params Strategy

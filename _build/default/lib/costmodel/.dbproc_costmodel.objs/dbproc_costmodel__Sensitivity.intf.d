@@ -1,0 +1,1 @@
+lib/costmodel/sensitivity.mli: Model Params Strategy

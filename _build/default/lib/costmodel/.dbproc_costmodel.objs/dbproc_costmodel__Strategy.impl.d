@@ -1,0 +1,1 @@
+lib/costmodel/strategy.ml: Format String

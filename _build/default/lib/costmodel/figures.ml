@@ -1,0 +1,235 @@
+type output =
+  | Series of {
+      x_label : string;
+      y_label : string;
+      columns : string list;
+      rows : (float * float list) list;
+    }
+  | Region of { x_label : string; y_label : string; rendered : string; legend : string }
+  | Table of { header : string list; rows : string list list }
+
+type t = {
+  id : string;
+  title : string;
+  expectation : string;
+  params : Params.t;
+  model : Model.which;
+  output : unit -> output;
+}
+
+let p_sweep = List.init 20 (fun i -> float_of_int i *. 0.05)
+let sf_sweep = List.init 21 (fun i -> float_of_int i *. 0.05)
+
+let strategies = Strategy.all
+let strategy_columns = List.map Strategy.short_name strategies
+
+let cost_vs_p model params =
+  let rows =
+    List.map
+      (fun p ->
+        let params = Params.with_update_probability params p in
+        (p, List.map (Model.cost model params) strategies))
+      p_sweep
+  in
+  Series
+    { x_label = "P (update probability)"; y_label = "cost/query (ms)"; columns = strategy_columns; rows }
+
+let cost_vs_sf model params =
+  let rows =
+    List.map
+      (fun sf ->
+        let params = { params with Params.sf } in
+        ( sf,
+          [
+            Model.cost model params Strategy.Update_cache_avm;
+            Model.cost model params Strategy.Update_cache_rvm;
+          ] ))
+      sf_sweep
+  in
+  Series
+    { x_label = "SF (sharing factor)"; y_label = "cost/query (ms)"; columns = [ "AVM"; "RVM" ]; rows }
+
+let crossover_sf model params =
+  let grid = List.init 1001 (fun i -> float_of_int i /. 1000.0) in
+  List.find_opt
+    (fun sf ->
+      let params = { params with Params.sf } in
+      Model.cost model params Strategy.Update_cache_rvm
+      <= Model.cost model params Strategy.Update_cache_avm)
+    grid
+
+let f_range = (1e-5, 0.03)
+let p_range = (0.0, 0.95)
+
+let region_winners model params =
+  let rendered =
+    Dbproc_util.Ascii_chart.region_map ~x_label:"f (object size)" ~y_label:"P" ~x_range:f_range
+      ~y_range:p_range ~log_x:true
+      ~classify:(fun ~x ~y ->
+        Regions.winner_class_char (Regions.classify_at model params ~f:x ~p:y))
+      ()
+  in
+  Region
+    {
+      x_label = "f";
+      y_label = "P";
+      rendered;
+      legend = "R = always-recompute, C = cache-and-invalidate, U = update-cache (best variant)";
+    }
+
+let region_closeness model params ~factor =
+  let rendered =
+    Dbproc_util.Ascii_chart.region_map ~x_label:"f (object size)" ~y_label:"P" ~x_range:f_range
+      ~y_range:p_range ~log_x:true
+      ~classify:(fun ~x ~y ->
+        let params = Params.with_update_probability { params with Params.f = x } y in
+        if Regions.ci_within_factor model params ~factor then '#' else '.')
+      ()
+  in
+  Region
+    {
+      x_label = "f";
+      y_label = "P";
+      rendered;
+      legend = Printf.sprintf "# = cache-and-invalidate within %gx of best update-cache" factor;
+    }
+
+let d = Params.default
+
+let fig id ~title ~expectation ?(params = d) ?(model = Model.Model1) output =
+  { id; title; expectation; params; model; output = (fun () -> output ~model ~params) }
+
+let all =
+  [
+    {
+      id = "tab-params";
+      title = "Figure 2: cost-model parameters and defaults";
+      expectation = "Matches the parameter table of the paper.";
+      params = d;
+      model = Model.Model1;
+      output =
+        (fun () ->
+          Table
+            {
+              header = [ "parameter"; "value" ];
+              rows = List.map (fun (k, v) -> [ k; v ]) (Params.to_rows d);
+            });
+    };
+    {
+      id = "tab-access-methods";
+      title = "Access methods of the base relations";
+      expectation = "R1: B-tree primary on the selection attribute; R2, R3: hashed primary.";
+      params = d;
+      model = Model.Model1;
+      output =
+        (fun () ->
+          Table
+            {
+              header = [ "relation"; "access method" ];
+              rows =
+                [
+                  [ "R1"; "B-tree primary index on the C_f(R1) selection attribute" ];
+                  [ "R2"; "hashed primary index on attribute a" ];
+                  [ "R3"; "hashed primary index on attribute c" ];
+                ];
+            });
+    };
+    fig "fig4" ~title:"Query cost vs update probability, high invalidation cost (C_inval = 60 ms)"
+      ~expectation:
+        "CI is far above both UC variants for moderate P: per-update invalidation I/O dominates."
+      ~params:{ d with Params.c_inval = 60.0 }
+      (fun ~model ~params -> cost_vs_p model params);
+    fig "fig5" ~title:"Query cost vs update probability, low invalidation cost (C_inval = 0)"
+      ~expectation:
+        "CI and UC equal at P=0; CI noticeably above UC for 0<P<0.7 (false invalidations, \
+         full recompute on miss); CI plateaus slightly above AR for P>0.6; UC explodes as P->1."
+      (fun ~model ~params -> cost_vs_p model params);
+    fig "fig6" ~title:"Query cost vs update probability, large objects (f = 0.01)"
+      ~expectation:"UC clearly beats CI at low P: incremental update of a large object is cheap."
+      ~params:{ d with Params.f = 0.01 }
+      (fun ~model ~params -> cost_vs_p model params);
+    fig "fig7" ~title:"Query cost vs update probability, small objects (f = 0.0001)"
+      ~expectation:
+        "CI is competitive with UC everywhere; at P=0.1 CI ~5x and UC ~7x better than AR; \
+         CI does not degrade at high P."
+      ~params:{ d with Params.f = 0.0001 }
+      (fun ~model ~params -> cost_vs_p model params);
+    fig "fig8" ~title:"Query cost vs update probability, single-tuple objects (N1=100, N2=0, f=1/N)"
+      ~expectation:"CI essentially equals UC except UC degrades at large P."
+      ~params:{ d with Params.n1 = 100.0; n2 = 0.0; f = 1.0 /. d.Params.n }
+      (fun ~model ~params -> cost_vs_p model params);
+    fig "fig9" ~title:"Query cost vs update probability, high locality (Z = 0.05)"
+      ~expectation:"CI benefits from locality (hot objects are usually still valid); UC does not."
+      ~params:{ d with Params.z = 0.05 }
+      (fun ~model ~params -> cost_vs_p model params);
+    fig "fig10" ~title:"Query cost vs update probability, many objects (N1 = N2 = 1000)"
+      ~expectation:"UC cost rises much faster with P than in fig5; CI plateau moves left."
+      ~params:{ d with Params.n1 = 1000.0; n2 = 1000.0 }
+      (fun ~model ~params -> cost_vs_p model params);
+    fig "fig11" ~title:"Model 1: AVM vs RVM vs sharing factor"
+      ~expectation:
+        "RVM approaches AVM only as SF -> 1 (alpha-memory refresh cancels sharing gains for \
+         2-way joins)."
+      (fun ~model ~params -> cost_vs_sf model params);
+    fig "fig12" ~title:"Model 1: winner regions over (f, P)"
+      ~expectation:
+        "AR wins at high P; UC wins at low P; UC's winning P-range narrows as f grows; CI \
+         region negligible."
+      (fun ~model ~params -> region_winners model params);
+    fig "fig13" ~title:"Model 1: winner regions, high locality (Z = 0.05)"
+      ~expectation:"CI gains a region for small objects (f < ~0.002)."
+      ~params:{ d with Params.z = 0.05 }
+      (fun ~model ~params -> region_winners model params);
+    fig "fig14" ~title:"Model 1: region where CI is within 2x of UC"
+      ~expectation:"CI close to UC at high P everywhere, and at low P for small objects."
+      (fun ~model ~params -> region_closeness model params ~factor:2.0);
+    fig "fig15" ~title:"Model 1: CI within 2x of UC, no false invalidation (f2 = 1)"
+      ~expectation:"CI's close region grows for small objects."
+      ~params:{ d with Params.f2 = 1.0 }
+      (fun ~model ~params -> region_closeness model params ~factor:2.0);
+    fig "fig17" ~title:"Model 2: query cost vs update probability (defaults)"
+      ~expectation:"Same shape as fig5; RVM now below AVM at the default SF = 0.5."
+      ~model:Model.Model2
+      (fun ~model ~params -> cost_vs_p model params);
+    fig "fig18" ~title:"Model 2: AVM vs RVM vs sharing factor"
+      ~expectation:"Equal cost at SF ~ 0.47; RVM superior above."
+      ~model:Model.Model2
+      (fun ~model ~params -> cost_vs_sf model params);
+    fig "fig19" ~title:"Model 2: winner regions over (f, P)"
+      ~expectation:"Like fig12 but the best UC variant is RVM."
+      ~model:Model.Model2
+      (fun ~model ~params -> region_winners model params);
+  ]
+
+let find id = List.find_opt (fun f -> f.id = id) all
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "== %s: %s [%s]\n" t.id t.title (Model.which_name t.model));
+  Buffer.add_string buf (Printf.sprintf "paper: %s\n\n" t.expectation);
+  (match t.output () with
+  | Table { header; rows } ->
+    let table = Dbproc_util.Ascii_table.create ~aligns:[ Dbproc_util.Ascii_table.Left ] ~header () in
+    List.iter (Dbproc_util.Ascii_table.add_row table) rows;
+    Buffer.add_string buf (Dbproc_util.Ascii_table.render table)
+  | Series { x_label; y_label; columns; rows } ->
+    let table =
+      Dbproc_util.Ascii_table.create ~header:(x_label :: columns) ()
+    in
+    List.iter
+      (fun (x, ys) ->
+        Dbproc_util.Ascii_table.add_float_row ~decimals:2 table (Printf.sprintf "%.3f" x) ys)
+      rows;
+    Buffer.add_string buf (Dbproc_util.Ascii_table.render table);
+    Buffer.add_char buf '\n';
+    let series =
+      List.mapi (fun i name -> (name, List.map (fun (x, ys) -> (x, List.nth ys i)) rows)) columns
+    in
+    Buffer.add_string buf
+      (Dbproc_util.Ascii_chart.line_plot ~log_y:true ~x_label ~y_label ~series ())
+  | Region { rendered; legend; _ } ->
+    Buffer.add_string buf rendered;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf legend;
+    Buffer.add_char buf '\n');
+  Buffer.contents buf

@@ -1,0 +1,164 @@
+type which = Model1 | Model2
+
+let which_name = function Model1 -> "model 1" | Model2 -> "model 2"
+
+open Params
+
+let yao = Dbproc_util.Yao.paper
+
+(* --- Query (recompute) costs ------------------------------------------- *)
+
+let c_query_p1 (p : t) =
+  (p.c1 *. p.f *. p.n)
+  +. (p.c2 *. Float.ceil (p.f *. blocks p))
+  +. (p.c2 *. btree_height p)
+
+(* Pages of R2 touched joining the f·N selected R1 tuples (Y1). *)
+let y1 (p : t) = yao ~n:(p.f_r2 *. p.n) ~m:(p.f_r2 *. blocks p) ~k:(p.f *. p.n)
+
+(* Pages of R3 touched extending the join to R3 in model 2 (Y6). *)
+let y6 (p : t) = yao ~n:(p.f_r3 *. p.n) ~m:(p.f_r3 *. blocks p) ~k:(p.f *. p.n)
+
+let c_query_p2_m1 (p : t) = c_query_p1 p +. (p.c1 *. p.f *. p.n) +. (p.c2 *. y1 p)
+
+let c_query_p2 which (p : t) =
+  match which with
+  | Model1 -> c_query_p2_m1 p
+  | Model2 -> c_query_p2_m1 p +. (p.c2 *. y6 p) +. (p.c1 *. p.f *. p.n)
+
+let c_process_query which (p : t) =
+  ((p.n1 *. c_query_p1 p) +. (p.n2 *. c_query_p2 which p)) /. total_procs p
+
+(* --- Cache and Invalidate ---------------------------------------------- *)
+
+let c_read (p : t) = p.c2 *. proc_size_pages p
+let c_write_cache (p : t) = 2.0 *. p.c2 *. proc_size_pages p
+
+(* Probability that one update transaction invalidates a given procedure:
+   2l old/new tuple values, each breaking an i-lock with probability f. *)
+let p_inval (p : t) = 1.0 -. ((1.0 -. p.f) ** (2.0 *. p.l))
+
+let invalidation_probability (p : t) =
+  if p.k <= 0.0 then 0.0
+  else begin
+    let nobj = total_procs p in
+    let upq = updates_per_query p in
+    let invalid_after x = 1.0 -. ((1.0 -. p.f) ** (x *. 2.0 *. p.l)) in
+    let x_hot = nobj *. (p.z /. (1.0 -. p.z)) *. upq in
+    let y_cold = nobj *. ((1.0 -. p.z) /. p.z) *. upq in
+    let z1 = invalid_after x_hot in
+    let z2 = invalid_after y_cold in
+    ((1.0 -. p.z) *. z1) +. (p.z *. z2)
+  end
+
+let false_invalidation_probability (p : t) = 1.0 -. p.f2
+
+let t3 (p : t) = updates_per_query p *. total_procs p *. p_inval p *. p.c_inval
+
+let cache_inval_terms which (p : t) =
+  let ip = invalidation_probability p in
+  let t1 = c_process_query which p +. c_write_cache p in
+  let t2 = c_read p in
+  [
+    ("IP * T1 (miss: recompute + write back)", ip *. t1);
+    ("(1-IP) * T2 (hit: read cache)", (1.0 -. ip) *. t2);
+    ("T3 (invalidation recording)", t3 p);
+  ]
+
+(* --- Update Cache: shared Yao quantities -------------------------------- *)
+
+(* Pages of R2 read joining the 2fl surviving delta tuples (Y2). *)
+let y2 (p : t) = yao ~n:(p.f_r2 *. p.n) ~m:(p.f_r2 *. blocks p) ~k:(2.0 *. p.f *. p.l)
+
+(* Pages of a P1 procedure value touched by one update (Y3). *)
+let y3 (p : t) = yao ~n:(p.f *. p.n) ~m:(p.f *. blocks p) ~k:(2.0 *. p.f *. p.l)
+
+(* Pages of a P2 procedure value touched by one update (Y4). *)
+let y4 (p : t) =
+  let fs = f_star p in
+  yao ~n:(fs *. p.n) ~m:(fs *. blocks p) ~k:(2.0 *. fs *. p.l)
+
+(* Pages of the right α-memory (σ_f2 R2, f** = f2·f_R2) probed per update (Y5). *)
+let y5 (p : t) =
+  let fss = p.f2 *. p.f_r2 in
+  yao ~n:(fss *. p.n) ~m:(fss *. blocks p) ~k:(2.0 *. p.f *. p.l)
+
+(* Pages of R3 read extending delta joins in model 2 (Y7). *)
+let y7 (p : t) = yao ~n:(p.f_r3 *. p.n) ~m:(p.f_r3 *. blocks p) ~k:(2.0 *. p.f *. p.l)
+
+(* Pages of the (σ_f2 R2 ⋈ R3) β-memory (f*** = f2·f_R3) probed per update (Y8). *)
+let y8 (p : t) =
+  let fsss = p.f2 *. p.f_r3 in
+  yao ~n:(fsss *. p.n) ~m:(fsss *. blocks p) ~k:(2.0 *. p.f *. p.l)
+
+(* --- Update Cache, non-shared (AVM) ------------------------------------ *)
+
+let avm_update_terms which (p : t) =
+  let c_screen_p1 = p.n1 *. p.c1 *. p.f *. p.l in
+  let c_screen_p2 = p.n2 *. p.c1 *. p.f *. p.l in
+  let c_refresh_p1 = p.n1 *. p.c2 *. y3 p in
+  let c_refresh_p2 = p.n2 *. p.c2 *. y4 p in
+  let c_overhead = p.c3 *. 2.0 *. p.f *. p.l *. total_procs p in
+  let c_join =
+    match which with
+    | Model1 -> p.n2 *. p.c2 *. y2 p
+    | Model2 -> p.n2 *. p.c2 *. (y2 p +. y7 p)
+  in
+  [
+    ("screen P1", c_screen_p1);
+    ("screen P2", c_screen_p2);
+    ("refresh P1", c_refresh_p1);
+    ("refresh P2", c_refresh_p2);
+    ("A/D set overhead", c_overhead);
+    ("join delta", c_join);
+  ]
+
+(* --- Update Cache, shared (RVM) ----------------------------------------- *)
+
+let rvm_update_terms which (p : t) =
+  let c_screen_p1 = p.n1 *. p.c1 *. p.f *. p.l in
+  let c_screen_p2_rete = p.n2 *. (1.0 -. p.sf) *. p.c1 *. p.f *. p.l in
+  let c_refresh_p1 = p.n1 *. p.c2 *. y3 p in
+  let c_refresh_alpha = p.n2 *. (1.0 -. p.sf) *. 2.0 *. p.c2 *. y3 p in
+  let c_refresh_p2 = p.n2 *. p.c2 *. y4 p in
+  let c_join_mem =
+    match which with
+    | Model1 -> p.n2 *. p.c2 *. y5 p (* probe right α-memory *)
+    | Model2 -> p.n2 *. p.c2 *. y8 p (* probe right β-memory *)
+  in
+  [
+    ("screen P1", c_screen_p1);
+    ("screen P2 (unshared)", c_screen_p2_rete);
+    ("refresh P1", c_refresh_p1);
+    ("refresh left alpha (unshared)", c_refresh_alpha);
+    ("refresh P2", c_refresh_p2);
+    ("probe right memory", c_join_mem);
+  ]
+
+(* --- Totals -------------------------------------------------------------- *)
+
+let sum = List.fold_left (fun acc (_, v) -> acc +. v) 0.0
+
+let breakdown which (p : t) strategy =
+  match (strategy : Strategy.t) with
+  | Strategy.Always_recompute -> [ ("C_ProcessQuery", c_process_query which p) ]
+  | Strategy.Cache_invalidate -> cache_inval_terms which p
+  | Strategy.Update_cache_avm ->
+    ("C_read", c_read p)
+    :: List.map
+         (fun (name, v) -> ("(k/q) " ^ name, updates_per_query p *. v))
+         (avm_update_terms which p)
+  | Strategy.Update_cache_rvm ->
+    ("C_read", c_read p)
+    :: List.map
+         (fun (name, v) -> ("(k/q) " ^ name, updates_per_query p *. v))
+         (rvm_update_terms which p)
+
+let cost which p strategy = sum (breakdown which p strategy)
+
+let tot_recompute which p = cost which p Strategy.Always_recompute
+let tot_cache_inval which p = cost which p Strategy.Cache_invalidate
+let tot_update_cache_avm which p = cost which p Strategy.Update_cache_avm
+let tot_update_cache_rvm which p = cost which p Strategy.Update_cache_rvm
+let c_query_p2 = c_query_p2
+let c_process_query = c_process_query

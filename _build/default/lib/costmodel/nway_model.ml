@@ -1,0 +1,99 @@
+open Params
+
+let yao = Dbproc_util.Yao.paper
+
+(* Tuples flowing into probe stage i (2-based; stage i probes relation
+   C_i): the base selection passes f·N, the C2 stage filters by f2. *)
+let stage_inflow (p : t) i = if i = 2 then p.f *. p.n else p.f *. p.f2 *. p.n
+
+(* Expected cost to recompute one chain procedure of length m. *)
+let c_query_chain (p : t) m =
+  let base = Model.c_query_p1 p in
+  let rec stages i acc =
+    if i > m then acc
+    else begin
+      let inflow = stage_inflow p i in
+      let pages = yao ~n:(p.f_r2 *. p.n) ~m:(p.f_r2 *. blocks p) ~k:inflow in
+      stages (i + 1) (acc +. (p.c1 *. inflow) +. (p.c2 *. pages))
+    end
+  in
+  stages 2 base
+
+let chain_proc_size (p : t) m =
+  if m = 1 then Float.ceil (p.f *. blocks p)
+  else Float.ceil (f_star p *. blocks p)
+
+let mixed_proc_size (p : t) m =
+  ((p.n1 *. Float.ceil (p.f *. blocks p)) +. (p.n2 *. chain_proc_size p m)) /. total_procs p
+
+let c_process_query (p : t) m =
+  ((p.n1 *. Model.c_query_p1 p) +. (p.n2 *. c_query_chain p m)) /. total_procs p
+
+(* delta tuples flowing into maintenance stage i after an update of l
+   tuples on C1 (2l old/new values, f-surviving) *)
+let delta_inflow (p : t) i =
+  if i = 2 then 2.0 *. p.f *. p.l else 2.0 *. p.f *. p.f2 *. p.l
+
+let avm_update (p : t) m =
+  let screens = total_procs p *. p.c1 *. p.f *. p.l in
+  let y3 = yao ~n:(p.f *. p.n) ~m:(p.f *. blocks p) ~k:(2.0 *. p.f *. p.l) in
+  let refresh_p1 = p.n1 *. p.c2 *. y3 in
+  let fs = f_star p in
+  let y4 = yao ~n:(fs *. p.n) ~m:(fs *. blocks p) ~k:(2.0 *. fs *. p.l) in
+  let refresh_chain = p.n2 *. p.c2 *. y4 in
+  let overhead = p.c3 *. 2.0 *. p.f *. p.l *. total_procs p in
+  let rec joins i acc =
+    if i > m then acc
+    else begin
+      let pages = yao ~n:(p.f_r2 *. p.n) ~m:(p.f_r2 *. blocks p) ~k:(delta_inflow p i) in
+      joins (i + 1) (acc +. (p.n2 *. p.c2 *. pages))
+    end
+  in
+  screens +. refresh_p1 +. refresh_chain +. overhead +. joins 2 0.0
+
+let rvm_update (p : t) _m =
+  let screens_p1 = p.n1 *. p.c1 *. p.f *. p.l in
+  let screens_chain = p.n2 *. (1.0 -. p.sf) *. p.c1 *. p.f *. p.l in
+  let y3 = yao ~n:(p.f *. p.n) ~m:(p.f *. blocks p) ~k:(2.0 *. p.f *. p.l) in
+  let refresh_p1 = p.n1 *. p.c2 *. y3 in
+  let refresh_alpha = p.n2 *. (1.0 -. p.sf) *. 2.0 *. p.c2 *. y3 in
+  let fs = f_star p in
+  let y4 = yao ~n:(fs *. p.n) ~m:(fs *. blocks p) ~k:(2.0 *. fs *. p.l) in
+  let refresh_chain = p.n2 *. p.c2 *. y4 in
+  (* one probe into the precomputed spine: for m = 2 the right alpha
+     (f2·f_R2 tuples), for m >= 3 the beta spine (f2·f_R2 tuples too — one
+     expected match per chain hop keeps the spine's cardinality at its
+     sigma(C2) input) *)
+  let spine_fraction = p.f2 *. p.f_r2 in
+  let y_spine =
+    yao ~n:(spine_fraction *. p.n) ~m:(spine_fraction *. blocks p) ~k:(2.0 *. p.f *. p.l)
+  in
+  let join_spine = p.n2 *. p.c2 *. y_spine in
+  screens_p1 +. screens_chain +. refresh_p1 +. refresh_alpha +. refresh_chain +. join_spine
+
+let maintenance_per_update (p : t) ~chain_length strategy =
+  if chain_length < 1 then invalid_arg "Nway_model: chain_length must be >= 1";
+  match (strategy : Strategy.t) with
+  | Strategy.Always_recompute -> 0.0
+  | Strategy.Cache_invalidate ->
+    let p_inval = 1.0 -. ((1.0 -. p.f) ** (2.0 *. p.l)) in
+    total_procs p *. p_inval *. p.c_inval
+  | Strategy.Update_cache_avm -> avm_update p chain_length
+  | Strategy.Update_cache_rvm -> rvm_update p chain_length
+
+let cost (p : t) ~chain_length strategy =
+  if chain_length < 1 then invalid_arg "Nway_model: chain_length must be >= 1";
+  let m = chain_length in
+  match (strategy : Strategy.t) with
+  | Strategy.Always_recompute -> c_process_query p m
+  | Strategy.Cache_invalidate ->
+    let ip = Model.invalidation_probability p in
+    let ps = mixed_proc_size p m in
+    let t1 = c_process_query p m +. (2.0 *. p.c2 *. ps) in
+    let t2 = p.c2 *. ps in
+    let t3 = updates_per_query p *. total_procs p *. (1.0 -. ((1.0 -. p.f) ** (2.0 *. p.l))) *. p.c_inval in
+    (ip *. t1) +. ((1.0 -. ip) *. t2) +. t3
+  | Strategy.Update_cache_avm ->
+    (p.c2 *. mixed_proc_size p m) +. (updates_per_query p *. avm_update p m)
+  | Strategy.Update_cache_rvm ->
+    (p.c2 *. mixed_proc_size p m) +. (updates_per_query p *. rvm_update p m)

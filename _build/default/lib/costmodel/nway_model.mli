@@ -1,0 +1,27 @@
+(** The cost model generalized to join chains of any length.
+
+    The paper analyzes 2-way (model 1) and 3-way (model 2) procedures;
+    its Section 8 reasons qualitatively about longer chains ("joins of
+    three or more relations").  This module extends the formulas to a
+    chain of [m] relations matching {!Dbproc_workload.Nway}'s database:
+    C1 carries the f-selective B-tree restriction, C2 the f2 restriction,
+    C3..Cm are unrestricted hash-clustered lookups, one expected match per
+    probe, updates hit C1 only.
+
+    One deliberate divergence from the paper: its model-2 [Y6] probes R3
+    with [f·N] tuples, ignoring that [C_f2] already filtered the stream to
+    [f·f2·N]; this model uses the filtered count (what the engine's plan
+    actually does).  At [f2 = 1] the two readings coincide, and the
+    chain-2 and chain-3 specializations equal {!Model}'s totals (pinned by
+    tests). *)
+
+val cost : Params.t -> chain_length:int -> Strategy.t -> float
+(** Expected ms per procedure access for a population of [Params.n1] P1
+    procedures and [Params.n2] chain-[m] procedures.
+    @raise Invalid_argument if [chain_length < 1]. *)
+
+val maintenance_per_update : Params.t -> chain_length:int -> Strategy.t -> float
+(** The update-side component alone (0 for Always Recompute; the
+    amortized invalidation recording for Cache and Invalidate), per
+    update transaction — directly comparable to
+    {!Dbproc_workload.Nway.result.maintenance_ms_per_update}. *)

@@ -1,0 +1,99 @@
+type t = {
+  n : float;
+  s : float;
+  block_bytes : float;
+  d : float;
+  k : float;
+  l : float;
+  q : float;
+  f : float;
+  f2 : float;
+  f_r2 : float;
+  f_r3 : float;
+  c1 : float;
+  c2 : float;
+  c3 : float;
+  c_inval : float;
+  n1 : float;
+  n2 : float;
+  sf : float;
+  z : float;
+}
+
+let default =
+  {
+    n = 100_000.0;
+    s = 100.0;
+    block_bytes = 4_000.0;
+    d = 20.0;
+    k = 100.0;
+    l = 25.0;
+    q = 100.0;
+    f = 0.001;
+    f2 = 0.1;
+    f_r2 = 0.1;
+    f_r3 = 0.1;
+    c1 = 1.0;
+    c2 = 30.0;
+    c3 = 1.0;
+    c_inval = 0.0;
+    n1 = 100.0;
+    n2 = 100.0;
+    sf = 0.5;
+    z = 0.5;
+  }
+
+let blocks t = t.n *. t.s /. t.block_bytes
+let updates_per_query t = t.k /. t.q
+let update_probability t = t.k /. (t.k +. t.q)
+
+let with_update_probability t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Params.with_update_probability";
+  { t with k = t.q *. p /. (1.0 -. p) }
+
+let f_star t = t.f *. t.f2
+let total_procs t = t.n1 +. t.n2
+
+let proc_size_pages t =
+  let b = blocks t in
+  ((t.n1 *. Float.ceil (t.f *. b)) +. (t.n2 *. Float.ceil (f_star t *. b))) /. total_procs t
+
+let btree_height t =
+  let fanout = t.block_bytes /. t.d in
+  let entries = Float.max (t.f *. t.n) 2.0 in
+  Float.max 1.0 (Float.ceil (log entries /. log fanout))
+
+let yao _t ~n ~m ~k = Dbproc_util.Yao.paper ~n ~m ~k
+
+let to_rows t =
+  let fmt = Printf.sprintf "%g" in
+  [
+    ("N", fmt t.n);
+    ("S", fmt t.s);
+    ("B", fmt t.block_bytes);
+    ("d", fmt t.d);
+    ("b = N*S/B", fmt (blocks t));
+    ("k", fmt t.k);
+    ("l", fmt t.l);
+    ("q", fmt t.q);
+    ("u = k*l/q", fmt (updates_per_query t *. t.l));
+    ("P = k/(k+q)", fmt (update_probability t));
+    ("f", fmt t.f);
+    ("f2", fmt t.f2);
+    ("f_R2", fmt t.f_r2);
+    ("f_R3", fmt t.f_r3);
+    ("C1", fmt t.c1);
+    ("C2", fmt t.c2);
+    ("C3", fmt t.c3);
+    ("C_inval", fmt t.c_inval);
+    ("N1", fmt t.n1);
+    ("N2", fmt t.n2);
+    ("SF", fmt t.sf);
+    ("Z", fmt t.z);
+  ]
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+    (fun ppf (name, value) -> Format.fprintf ppf "%s=%s" name value)
+    ppf (to_rows t)

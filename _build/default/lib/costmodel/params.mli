@@ -1,0 +1,69 @@
+(** The paper's cost-model parameters (Figure 2) and derived quantities.
+
+    All costs are in milliseconds; sizes are real-valued because the model
+    works with expectations. *)
+
+type t = {
+  n : float;  (** N: tuples in R1 *)
+  s : float;  (** S: bytes per tuple *)
+  block_bytes : float;  (** B: bytes per block *)
+  d : float;  (** d: bytes per B+-tree index record *)
+  k : float;  (** k: update transactions *)
+  l : float;  (** l: tuples modified per update transaction *)
+  q : float;  (** q: procedure accesses *)
+  f : float;  (** selectivity of [C_f(R1)] *)
+  f2 : float;  (** selectivity of [C_f2(R2)] *)
+  f_r2 : float;  (** |R2| / N *)
+  f_r3 : float;  (** |R3| / N *)
+  c1 : float;  (** CPU ms to screen a record against a predicate *)
+  c2 : float;  (** ms per disk page read or write *)
+  c3 : float;  (** ms per tuple per transaction for A_net/D_net upkeep *)
+  c_inval : float;  (** ms to record one invalidation *)
+  n1 : float;  (** number of P1-type procedures *)
+  n2 : float;  (** number of P2-type procedures *)
+  sf : float;  (** sharing factor *)
+  z : float;  (** locality: fraction [z] of procedures gets [1-z] of refs *)
+}
+
+val default : t
+(** Figure 2 defaults: N = 100,000; S = 100; B = 4,000; d = 20; k = 100;
+    l = 25; q = 100; f = 0.001; f2 = 0.1; f_r2 = f_r3 = 0.1; C1 = 1;
+    C2 = 30; C3 = 1; C_inval = 0; N1 = N2 = 100; SF = 0.5; Z = 0.5
+    (uniform references — the paper's figures not about locality use no
+    skew). *)
+
+(** {2 Derived quantities} *)
+
+val blocks : t -> float
+(** b = N·S / B, the pages of R1 (2,500 with defaults). *)
+
+val updates_per_query : t -> float
+(** k / q. *)
+
+val update_probability : t -> float
+(** P = k / (k + q). *)
+
+val with_update_probability : t -> float -> t
+(** Set P by adjusting [k], holding [q] fixed.  Requires [0 <= p < 1]. *)
+
+val f_star : t -> float
+(** f* = f·f2: total restriction selectivity of a P2 procedure. *)
+
+val total_procs : t -> float
+(** N1 + N2. *)
+
+val proc_size_pages : t -> float
+(** Average stored-procedure size in pages:
+    (N1·⌈f·b⌉ + N2·⌈f*·b⌉) / (N1+N2). *)
+
+val btree_height : t -> float
+(** H1 = ⌈log_(B/d) (f·N)⌉ (at least 1), the paper's descent depth. *)
+
+val yao : t -> n:float -> m:float -> k:float -> float
+(** Appendix-A page-touch approximation with this parameter set (the
+    function itself does not depend on [t]; kept here so call sites read
+    like the paper's [y(n, m, k)]). *)
+
+val pp : Format.formatter -> t -> unit
+val to_rows : t -> (string * string) list
+(** Parameter table rows (Figure 2) for the bench harness. *)

@@ -1,0 +1,31 @@
+type winner_class = AR | CI | UC
+
+let winner_class_char = function AR -> 'R' | CI -> 'C' | UC -> 'U'
+
+let best which params =
+  let costs = List.map (fun s -> (s, Model.cost which params s)) Strategy.all in
+  fst
+    (List.fold_left
+       (fun (bs, bc) (s, c) -> if c < bc then (s, c) else (bs, bc))
+       (List.hd costs) (List.tl costs))
+
+let best_update_cache which params =
+  if
+    Model.cost which params Strategy.Update_cache_avm
+    <= Model.cost which params Strategy.Update_cache_rvm
+  then Strategy.Update_cache_avm
+  else Strategy.Update_cache_rvm
+
+let best_class which params =
+  let ar = Model.cost which params Strategy.Always_recompute in
+  let ci = Model.cost which params Strategy.Cache_invalidate in
+  let uc = Model.cost which params (best_update_cache which params) in
+  if ar <= ci && ar <= uc then AR else if ci <= ar && ci <= uc then CI else UC
+
+let ci_within_factor which params ~factor =
+  let ci = Model.cost which params Strategy.Cache_invalidate in
+  let uc = Model.cost which params (best_update_cache which params) in
+  ci <= factor *. uc
+
+let classify_at which params ~f ~p =
+  best_class which (Params.with_update_probability { params with f } p)

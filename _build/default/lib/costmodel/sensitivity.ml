@@ -1,0 +1,44 @@
+type axis = {
+  name : string;
+  get : Params.t -> float;
+  set : Params.t -> float -> Params.t;
+}
+
+let axes =
+  [
+    { name = "k"; get = (fun p -> p.Params.k); set = (fun p v -> { p with Params.k = v }) };
+    { name = "l"; get = (fun p -> p.Params.l); set = (fun p v -> { p with Params.l = v }) };
+    { name = "f"; get = (fun p -> p.Params.f); set = (fun p v -> { p with Params.f = v }) };
+    { name = "f2"; get = (fun p -> p.Params.f2); set = (fun p v -> { p with Params.f2 = v }) };
+    { name = "SF"; get = (fun p -> p.Params.sf); set = (fun p v -> { p with Params.sf = v }) };
+    { name = "Z"; get = (fun p -> p.Params.z); set = (fun p v -> { p with Params.z = v }) };
+    {
+      name = "C_inval";
+      get = (fun p -> p.Params.c_inval);
+      set = (fun p v -> { p with Params.c_inval = v });
+    };
+    { name = "N1"; get = (fun p -> p.Params.n1); set = (fun p v -> { p with Params.n1 = v }) };
+    { name = "N2"; get = (fun p -> p.Params.n2); set = (fun p v -> { p with Params.n2 = v }) };
+    { name = "N"; get = (fun p -> p.Params.n); set = (fun p v -> { p with Params.n = v }) };
+  ]
+
+let elasticity ?(rel_step = 0.05) which params strategy axis =
+  let x = axis.get params in
+  if x = 0.0 then 0.0
+  else begin
+    let h = rel_step *. Float.abs x in
+    let cost v = Model.cost which (axis.set params v) strategy in
+    let c0 = cost x in
+    if c0 = 0.0 then 0.0
+    else begin
+      let dcost = (cost (x +. h) -. cost (x -. h)) /. (2.0 *. h) in
+      dcost *. x /. c0
+    end
+  end
+
+let table ?rel_step which params =
+  List.map
+    (fun axis ->
+      ( axis.name,
+        List.map (fun s -> (s, elasticity ?rel_step which params s axis)) Strategy.all ))
+    axes

@@ -1,0 +1,33 @@
+(** Parameter sensitivity of the cost model.
+
+    The paper's analysis turns on which parameters move the strategy
+    costs: update probability, object size, sharing factor, locality, the
+    invalidation cost.  This module quantifies it — the elasticity of each
+    strategy's cost with respect to each parameter at a given operating
+    point:
+
+    {v elasticity = (dCost / Cost) / (dParam / Param) v}
+
+    computed by central finite differences with a relative step.  An
+    elasticity of 1 means cost scales linearly with the parameter; 0 means
+    the strategy is insensitive (e.g. AR vs. SF); large values flag the
+    danger zones the paper warns about (UC vs. k at high P). *)
+
+type axis = {
+  name : string;
+  get : Params.t -> float;
+  set : Params.t -> float -> Params.t;
+}
+
+val axes : axis list
+(** The swept parameters: k, l, f, f2, SF, Z, C_inval, N1, N2, N. *)
+
+val elasticity :
+  ?rel_step:float -> Model.which -> Params.t -> Strategy.t -> axis -> float
+(** Central-difference elasticity at the operating point ([rel_step]
+    defaults to 0.05).  Returns 0 when the parameter is 0 at the point
+    (elasticity undefined; the parameter has no proportional meaning). *)
+
+val table :
+  ?rel_step:float -> Model.which -> Params.t -> (string * (Strategy.t * float) list) list
+(** Elasticity of every strategy along every axis. *)

@@ -1,0 +1,25 @@
+type t = Always_recompute | Cache_invalidate | Update_cache_avm | Update_cache_rvm
+
+let all = [ Always_recompute; Cache_invalidate; Update_cache_avm; Update_cache_rvm ]
+
+let name = function
+  | Always_recompute -> "always-recompute"
+  | Cache_invalidate -> "cache-and-invalidate"
+  | Update_cache_avm -> "update-cache (AVM)"
+  | Update_cache_rvm -> "update-cache (RVM)"
+
+let short_name = function
+  | Always_recompute -> "AR"
+  | Cache_invalidate -> "CI"
+  | Update_cache_avm -> "AVM"
+  | Update_cache_rvm -> "RVM"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "ar" | "always-recompute" | "recompute" -> Some Always_recompute
+  | "ci" | "cache-and-invalidate" | "cache-invalidate" | "caching" -> Some Cache_invalidate
+  | "avm" | "update-cache-avm" -> Some Update_cache_avm
+  | "rvm" | "update-cache-rvm" -> Some Update_cache_rvm
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (name t)

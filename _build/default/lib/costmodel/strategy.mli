@@ -1,0 +1,15 @@
+(** The four query-processing strategies the paper compares. *)
+
+type t =
+  | Always_recompute
+  | Cache_invalidate
+  | Update_cache_avm  (** Update Cache via non-shared algebraic maintenance *)
+  | Update_cache_rvm  (** Update Cache via shared Rete maintenance *)
+
+val all : t list
+val name : t -> string
+val short_name : t -> string
+(** Two/three-letter tags: AR, CI, AVM, RVM. *)
+
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/index/btree.ml: Array Dbproc_storage Format Io List

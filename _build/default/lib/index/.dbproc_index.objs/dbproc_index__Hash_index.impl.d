@@ -1,0 +1,1 @@
+lib/index/hash_index.ml: Array Dbproc_storage Hashtbl Io List

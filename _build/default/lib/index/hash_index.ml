@@ -1,0 +1,111 @@
+open Dbproc_storage
+
+type ('k, 'v) page = { id : int; mutable entries : ('k * 'v) list }
+
+type ('k, 'v) t = {
+  io : Io.t;
+  file : int;
+  per_page : int;
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  buckets : ('k, 'v) page list array; (* chain: page list, first page first *)
+  mutable pages : int; (* total allocated pages, also next page id *)
+  mutable count : int;
+}
+
+let create ~io ~entry_bytes ~expected_entries ?(hash = Hashtbl.hash) ~equal () =
+  if entry_bytes <= 0 then invalid_arg "Hash_index.create";
+  let per_page = max 1 (Io.page_bytes io / entry_bytes) in
+  let target_per_bucket = max 1 (7 * per_page / 10) in
+  let buckets = max 1 ((max 1 expected_entries + target_per_bucket - 1) / target_per_bucket) in
+  {
+    io;
+    file = Io.fresh_file io;
+    per_page;
+    hash;
+    equal;
+    buckets = Array.make buckets [];
+    pages = 0;
+    count = 0;
+  }
+
+let entry_count t = t.count
+let bucket_count t = Array.length t.buckets
+let page_count t = t.pages
+
+let bucket_of t k = abs (t.hash k) mod Array.length t.buckets
+
+let fresh_page t entries =
+  let page = { id = t.pages; entries } in
+  t.pages <- t.pages + 1;
+  page
+
+let read_page t page = Io.read t.io ~file:t.file ~page:page.id
+let write_page t page = Io.write t.io ~file:t.file ~page:page.id
+
+let insert t k v =
+  let b = bucket_of t k in
+  let chain = t.buckets.(b) in
+  (* Read along the chain until a page with room is found. *)
+  let rec place = function
+    | [] ->
+      let fresh = fresh_page t [ (k, v) ] in
+      t.buckets.(b) <- chain @ [ fresh ];
+      write_page t fresh
+    | page :: rest ->
+      read_page t page;
+      if List.length page.entries < t.per_page then begin
+        page.entries <- (k, v) :: page.entries;
+        write_page t page
+      end
+      else place rest
+  in
+  place chain;
+  t.count <- t.count + 1
+
+let remove t k pred =
+  let b = bucket_of t k in
+  let rec go = function
+    | [] -> false
+    | page :: rest ->
+      read_page t page;
+      let removed = ref false in
+      let entries =
+        List.filter
+          (fun (k', v) ->
+            if (not !removed) && t.equal k k' && pred v then begin
+              removed := true;
+              false
+            end
+            else true)
+          page.entries
+      in
+      if !removed then begin
+        page.entries <- entries;
+        write_page t page;
+        t.count <- t.count - 1;
+        true
+      end
+      else go rest
+  in
+  go t.buckets.(b)
+
+let search t k =
+  let b = bucket_of t k in
+  List.concat_map
+    (fun page ->
+      read_page t page;
+      List.rev (List.filter_map (fun (k', v) -> if t.equal k k' then Some v else None) page.entries))
+    t.buckets.(b)
+
+let iter t ~f =
+  Array.iter
+    (fun chain ->
+      List.iter
+        (fun page ->
+          read_page t page;
+          List.iter (fun (k, v) -> f k v) (List.rev page.entries))
+        chain)
+    t.buckets
+
+let chain_length t k = List.length t.buckets.(bucket_of t k)

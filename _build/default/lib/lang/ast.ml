@@ -1,0 +1,107 @@
+type ty = T_int | T_float | T_string
+
+type literal = L_int of int | L_float of float | L_string of string
+
+type comparison = C_eq | C_ne | C_lt | C_le | C_gt | C_ge
+
+type operand = Attr of string * string | Lit of literal
+
+type qual = { left : string * string; op : comparison; right : operand }
+
+type retrieve = { targets : (string * string) list; quals : qual list }
+
+type command =
+  | Create of { rel : string; attrs : (string * ty) list }
+  | Index of { rel : string; kind : [ `Btree | `Hash ]; attr : string; primary : bool }
+  | Append of { rel : string; values : (string * literal) list }
+  | Delete of { rel : string; quals : qual list }
+  | Replace of { rel : string; values : (string * literal) list; quals : qual list }
+  | Retrieve of retrieve
+  | Explain of retrieve
+  | Define_proc of { name : string; body : retrieve }
+  | Exec of string
+  | Strategy of string
+  | Save of string
+  | Show of [ `Relations | `Procs | `Cost | `Network | `Script ]
+  | Reset_cost
+  | Help
+
+let pp_literal ppf = function
+  | L_int i -> Format.fprintf ppf "%d" i
+  | L_float f -> Format.fprintf ppf "%g" f
+  | L_string s -> Format.fprintf ppf "%S" s
+
+let comparison_symbol = function
+  | C_eq -> "="
+  | C_ne -> "!="
+  | C_lt -> "<"
+  | C_le -> "<="
+  | C_gt -> ">"
+  | C_ge -> ">="
+
+let pp_ty ppf = function
+  | T_int -> Format.pp_print_string ppf "int"
+  | T_float -> Format.pp_print_string ppf "float"
+  | T_string -> Format.pp_print_string ppf "string"
+
+let pp_operand ppf = function
+  | Attr (r, a) -> Format.fprintf ppf "%s.%s" r a
+  | Lit l -> pp_literal ppf l
+
+let pp_qual ppf q =
+  Format.fprintf ppf "%s.%s %s %a" (fst q.left) (snd q.left) (comparison_symbol q.op)
+    pp_operand q.right
+
+let pp_quals ppf = function
+  | [] -> ()
+  | quals ->
+    Format.fprintf ppf " where %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " and ")
+         pp_qual)
+      quals
+
+let pp_retrieve ppf r =
+  Format.fprintf ppf "retrieve (%s)%a"
+    (String.concat ", " (List.map (fun (rel, attr) -> rel ^ "." ^ attr) r.targets))
+    pp_quals r.quals
+
+let pp_command ppf = function
+  | Create { rel; attrs } ->
+    Format.fprintf ppf "create %s (%a)" rel
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (name, ty) -> Format.fprintf ppf "%s = %a" name pp_ty ty))
+      attrs
+  | Index { rel; kind; attr; primary } ->
+    Format.fprintf ppf "index %s %s on %s%s" rel
+      (match kind with `Btree -> "btree" | `Hash -> "hash")
+      attr
+      (if primary then " primary" else "")
+  | Append { rel; values } ->
+    Format.fprintf ppf "append to %s (%a)" rel
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (name, l) -> Format.fprintf ppf "%s = %a" name pp_literal l))
+      values
+  | Delete { rel; quals } -> Format.fprintf ppf "delete from %s%a" rel pp_quals quals
+  | Replace { rel; values; quals } ->
+    Format.fprintf ppf "replace %s (%a)%a" rel
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (name, l) -> Format.fprintf ppf "%s = %a" name pp_literal l))
+      values pp_quals quals
+  | Retrieve r -> pp_retrieve ppf r
+  | Explain r -> Format.fprintf ppf "explain %a" pp_retrieve r
+  | Define_proc { name; body } ->
+    Format.fprintf ppf "define proc %s as %a" name pp_retrieve body
+  | Exec name -> Format.fprintf ppf "exec %s" name
+  | Strategy s -> Format.fprintf ppf "strategy %s" s
+  | Save file -> Format.fprintf ppf "save %S" file
+  | Show `Relations -> Format.pp_print_string ppf "show relations"
+  | Show `Procs -> Format.pp_print_string ppf "show procs"
+  | Show `Cost -> Format.pp_print_string ppf "show cost"
+  | Show `Network -> Format.pp_print_string ppf "show network"
+  | Show `Script -> Format.pp_print_string ppf "show script"
+  | Reset_cost -> Format.pp_print_string ppf "reset cost"
+  | Help -> Format.pp_print_string ppf "help"

@@ -1,0 +1,585 @@
+open Dbproc_storage
+open Dbproc_relation
+open Dbproc_query
+open Dbproc_proc
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type t = {
+  cost : Cost.t;
+  io : Io.t;
+  catalog : Catalog.t;
+  tuple_bytes : int;
+  charges : Cost.charges;
+  mutable defs : (string * (View_def.t * int list option)) list;
+      (* definition order, reversed; the int list is a display projection *)
+  mutable manager : Manager.t;
+  mutable proc_ids : (string * Manager.proc_id) list;
+}
+
+let fresh_manager t kind = Manager.create kind ~io:t.io ~record_bytes:t.tuple_bytes ()
+
+let create ?(page_bytes = 4000) ?(tuple_bytes = 100) () =
+  let cost = Cost.create () in
+  let io = Io.direct cost ~page_bytes in
+  {
+    cost;
+    io;
+    catalog = Catalog.create ~io;
+    tuple_bytes;
+    charges = Cost.default_charges;
+    defs = [];
+    manager = Manager.create Manager.Always_recompute ~io ~record_bytes:tuple_bytes ();
+    proc_ids = [];
+  }
+
+let strategy_name t = Manager.kind_name (Manager.kind t.manager)
+let procedure_names t = List.rev_map fst t.defs
+
+(* ------------------------------------------------------------- binding *)
+
+let find_relation t name =
+  match Catalog.find_opt t.catalog name with
+  | Some rel -> rel
+  | None -> error "unknown relation %S" name
+
+let value_of_literal = function
+  | Ast.L_int i -> Value.Int i
+  | Ast.L_float f -> Value.Float f
+  | Ast.L_string s -> Value.Str s
+
+let ty_of_literal = function
+  | Ast.L_int _ -> Value.TInt
+  | Ast.L_float _ -> Value.TFloat
+  | Ast.L_string _ -> Value.TStr
+
+let value_ty_name = function
+  | Value.TInt -> "int"
+  | Value.TFloat -> "float"
+  | Value.TStr -> "string"
+
+let attr_pos rel attr =
+  match Schema.index_of_opt (Relation.schema rel) attr with
+  | Some pos -> pos
+  | None -> error "relation %s has no attribute %S" (Relation.name rel) attr
+
+let op_of_comparison = function
+  | Ast.C_eq -> Predicate.Eq
+  | Ast.C_ne -> Predicate.Ne
+  | Ast.C_lt -> Predicate.Lt
+  | Ast.C_le -> Predicate.Le
+  | Ast.C_gt -> Predicate.Gt
+  | Ast.C_ge -> Predicate.Ge
+
+(* A restriction qual bound against one relation's schema. *)
+let bind_restriction_term rel ((rname, attr) : string * string) op lit =
+  let pos = attr_pos rel attr in
+  let declared = (Schema.attr (Relation.schema rel) pos).Schema.ty in
+  let given = ty_of_literal lit in
+  if declared <> given then
+    error "%s.%s is %s but the literal is %s" rname attr (value_ty_name declared)
+      (value_ty_name given);
+  Predicate.term ~attr:pos ~op:(op_of_comparison op) ~value:(value_of_literal lit)
+
+(* Relation order: first mention in the target list, deduplicated. *)
+let target_relations (r : Ast.retrieve) =
+  List.fold_left
+    (fun acc (rel, _) -> if List.mem rel acc then acc else acc @ [ rel ])
+    [] r.targets
+
+let bind_retrieve_full t (r : Ast.retrieve) =
+  (match r.targets with
+  | [] -> error "retrieve needs at least one target"
+  | _ -> ());
+  let rel_names = target_relations r in
+  let rels = List.map (fun name -> (name, find_relation t name)) rel_names in
+  let member name = List.mem_assoc name rels in
+  (* Partition the qualification. *)
+  let restrictions, joins =
+    List.partition_map
+      (fun (q : Ast.qual) ->
+        let lrel, _ = q.left in
+        if not (member lrel) then error "relation %S is not in the target list" lrel;
+        match q.right with
+        | Ast.Lit lit -> Left (lrel, (q.left, q.op, lit))
+        | Ast.Attr (rrel, rattr) ->
+          if not (member rrel) then error "relation %S is not in the target list" rrel;
+          Right (q.left, q.op, (rrel, rattr)))
+      r.quals
+  in
+  let restriction_of name rel =
+    List.filter_map
+      (fun (owner, (left, op, lit)) ->
+        if owner = name then Some (bind_restriction_term rel left op lit) else None)
+      restrictions
+  in
+  match rels with
+  | [] -> assert false
+  | (base_name, base_rel) :: rest ->
+    let def =
+      View_def.select ~name:"query" ~rel:base_rel
+        ~restriction:(restriction_of base_name base_rel)
+    in
+    let used = Array.make (List.length joins) false in
+    let def, _ =
+      List.fold_left
+        (fun (def, in_chain) (name, rel) ->
+          (* find a join qual linking the accumulated chain to [name] *)
+          let found = ref None in
+          List.iteri
+            (fun i ((lrel, lattr), op, (rrel, rattr)) ->
+              if !found = None && not used.(i) then
+                if List.mem lrel in_chain && rrel = name then begin
+                  used.(i) <- true;
+                  found := Some (lrel ^ "." ^ lattr, op, rattr)
+                end
+                else if List.mem rrel in_chain && lrel = name then begin
+                  used.(i) <- true;
+                  found := Some (rrel ^ "." ^ rattr, op, lattr)
+                end)
+            joins;
+          match !found with
+          | None ->
+            error "no join condition connects %s to {%s}" name (String.concat ", " in_chain)
+          | Some (left, op, right) ->
+            (match attr_pos rel right with _ -> ());
+            let def =
+              View_def.join def ~rel ~restriction:(restriction_of name rel) ~left
+                ~op:(op_of_comparison op) ~right
+            in
+            (def, name :: in_chain))
+        (def, [ base_name ])
+        rest
+    in
+    List.iteri
+      (fun i ((lrel, lattr), _, (rrel, rattr)) ->
+        if not used.(i) then
+          error "join condition %s.%s ~ %s.%s does not fit the target order" lrel lattr rrel
+            rattr)
+      joins;
+    (* Display projection: None when every target is a whole-tuple [.all]
+       mention; otherwise positions into the view's qualified schema. *)
+    let schema = View_def.schema def in
+    let projection =
+      if List.for_all (fun (_, attr) -> attr = "all") r.targets then None
+      else begin
+        let offsets = View_def.source_offsets def in
+        Some
+          (List.concat_map
+             (fun (rel_name, attr) ->
+               if attr = "all" then begin
+                 let rec index_of i = function
+                   | [] -> error "relation %S vanished from the chain" rel_name
+                   | n :: _ when n = rel_name -> i
+                   | _ :: rest -> index_of (i + 1) rest
+                 in
+                 let src_i = index_of 0 rel_names in
+                 let off = List.nth offsets src_i in
+                 let arity =
+                   Schema.arity (Relation.schema (List.assoc rel_name rels))
+                 in
+                 List.init arity (fun k -> off + k)
+               end
+               else begin
+                 match Schema.index_of_opt schema (rel_name ^ "." ^ attr) with
+                 | Some pos -> [ pos ]
+                 | None -> error "relation %s has no attribute %S" rel_name attr
+               end)
+             r.targets)
+      end
+    in
+    (def, projection)
+
+let bind_retrieve t r = fst (bind_retrieve_full t r)
+
+let project projection tuple =
+  match projection with
+  | None -> tuple
+  | Some positions -> Tuple.create (List.map (Tuple.get tuple) positions)
+
+(* ------------------------------------------------------------ helpers *)
+
+let tuple_of_assignments t rel values =
+  ignore t;
+  let schema = Relation.schema rel in
+  let provided = List.map fst values in
+  List.iter
+    (fun name -> if not (Schema.mem schema name) then error "%s has no attribute %S" (Relation.name rel) name)
+    provided;
+  let fields =
+    List.map
+      (fun (a : Schema.attr) ->
+        match List.assoc_opt a.Schema.name values with
+        | None -> error "missing value for %s.%s" (Relation.name rel) a.Schema.name
+        | Some lit ->
+          if ty_of_literal lit <> a.Schema.ty then
+            error "%s.%s is %s" (Relation.name rel) a.Schema.name (value_ty_name a.Schema.ty);
+          value_of_literal lit)
+      (Schema.attrs schema)
+  in
+  if List.length provided <> Schema.arity schema then
+    error "expected %d attribute values for %s" (Schema.arity schema) (Relation.name rel);
+  Tuple.create fields
+
+let single_relation_restriction t rel quals =
+  List.map
+    (fun (q : Ast.qual) ->
+      let lrel, _ = q.left in
+      if lrel <> Relation.name rel then
+        error "qualification must reference only %s" (Relation.name rel);
+      match q.right with
+      | Ast.Lit lit -> bind_restriction_term rel q.left q.op lit
+      | Ast.Attr _ -> error "joins are not allowed here")
+    quals
+  |> fun terms ->
+  ignore t;
+  terms
+
+let matching_rids t rel restriction =
+  ignore t;
+  let acc = ref [] in
+  Relation.scan rel ~f:(fun rid tuple ->
+      if Predicate.eval restriction tuple then acc := (rid, tuple) :: !acc);
+  List.rev !acc
+
+let format_tuples tuples =
+  let buf = Buffer.create 256 in
+  let shown, hidden =
+    let rec split n = function
+      | [] -> ([], [])
+      | rest when n = 0 -> ([], rest)
+      | x :: rest ->
+        let s, h = split (n - 1) rest in
+        (x :: s, h)
+    in
+    split 20 tuples
+  in
+  List.iter (fun tuple -> Buffer.add_string buf (Format.asprintf "  %a\n" Tuple.pp tuple)) shown;
+  if hidden <> [] then
+    Buffer.add_string buf (Printf.sprintf "  ... %d more\n" (List.length hidden));
+  Buffer.add_string buf (Printf.sprintf "(%d tuples)" (List.length tuples));
+  Buffer.contents buf
+
+let register_procedure t name def =
+  let id = Manager.register t.manager def in
+  t.proc_ids <- (name, id) :: t.proc_ids
+
+(* ------------------------------------------------------- session script *)
+
+let literal_syntax = function
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | Value.Str s -> Printf.sprintf "%S" s
+
+let ty_syntax = function
+  | Value.TInt -> "int"
+  | Value.TFloat -> "float"
+  | Value.TStr -> "string"
+
+let op_syntax = function
+  | Predicate.Eq -> "="
+  | Predicate.Ne -> "!="
+  | Predicate.Lt -> "<"
+  | Predicate.Le -> "<="
+  | Predicate.Gt -> ">"
+  | Predicate.Ge -> ">="
+
+(* Reconstruct the retrieve statement of a stored definition. *)
+let retrieve_syntax (def : View_def.t) projection =
+  let schema = View_def.schema def in
+  let sources = View_def.sources def in
+  let offsets = View_def.source_offsets def in
+  let targets =
+    match projection with
+    | None ->
+      String.concat ", "
+        (List.map (fun (s : View_def.source) -> Relation.name s.rel ^ ".all") sources)
+    | Some positions ->
+      String.concat ", "
+        (List.map (fun pos -> (Schema.attr schema pos).Schema.name) positions)
+  in
+  let restriction_quals (src : View_def.source) =
+    let rel_name = Relation.name src.rel in
+    List.map
+      (fun (term : Predicate.term) ->
+        Printf.sprintf "%s.%s %s %s" rel_name
+          (Schema.attr (Relation.schema src.rel) term.Predicate.attr).Schema.name
+          (op_syntax term.Predicate.op)
+          (literal_syntax term.Predicate.value))
+      src.restriction
+  in
+  let join_quals =
+    List.map2
+      (fun (step : View_def.join_step) (src, _off) ->
+        let left_name = (Schema.attr schema step.View_def.left_attr).Schema.name in
+        let right_name =
+          Printf.sprintf "%s.%s"
+            (Relation.name (src : View_def.source).rel)
+            (Schema.attr (Relation.schema src.rel) step.View_def.right_attr).Schema.name
+        in
+        Printf.sprintf "%s %s %s" left_name (op_syntax step.View_def.op) right_name)
+      def.View_def.steps
+      (List.combine (List.tl sources) (List.tl offsets))
+  in
+  let quals = join_quals @ List.concat_map restriction_quals sources in
+  Printf.sprintf "retrieve (%s)%s" targets
+    (if quals = [] then "" else " where " ^ String.concat " and " quals)
+
+let session_script t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "-- session dump: replay with `procsim run <file>`\n";
+  List.iter
+    (fun rel_name ->
+      let rel = Catalog.find t.catalog rel_name in
+      let schema = Relation.schema rel in
+      Buffer.add_string buf
+        (Printf.sprintf "create %s (%s)\n" rel_name
+           (String.concat ", "
+              (List.map
+                 (fun (a : Schema.attr) ->
+                   Printf.sprintf "%s = %s" a.Schema.name (ty_syntax a.Schema.ty))
+                 (Schema.attrs schema))));
+      List.iter
+        (fun (attr, kind) ->
+          match kind with
+          | `Btree -> Buffer.add_string buf (Printf.sprintf "index %s btree on %s\n" rel_name attr)
+          | `Hash primary ->
+            Buffer.add_string buf
+              (Printf.sprintf "index %s hash on %s%s\n" rel_name attr
+                 (if primary then " primary" else "")))
+        (Relation.index_descriptions rel);
+      Cost.with_disabled t.cost (fun () ->
+          Relation.scan rel ~f:(fun _ tuple ->
+              Buffer.add_string buf
+                (Printf.sprintf "append to %s (%s)\n" rel_name
+                   (String.concat ", "
+                      (List.map2
+                         (fun (a : Schema.attr) v ->
+                           Printf.sprintf "%s = %s" a.Schema.name (literal_syntax v))
+                         (Schema.attrs schema) (Tuple.to_list tuple)))))))
+    (Catalog.names t.catalog);
+  let strategy_word =
+    match Manager.kind t.manager with
+    | Manager.Always_recompute -> "ar"
+    | Manager.Cache_invalidate -> "ci"
+    | Manager.Update_cache_avm -> "avm"
+    | Manager.Update_cache_rvm -> "rvm"
+  in
+  Buffer.add_string buf (Printf.sprintf "strategy %s\n" strategy_word);
+  List.iter
+    (fun (name, (def, projection)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "define proc %s as %s\n" name (retrieve_syntax def projection)))
+    (List.rev t.defs);
+  Buffer.contents buf
+
+let help_text =
+  String.concat "\n"
+    [
+      "commands:";
+      "  create REL (attr = type, ...)            -- types: int, float, string";
+      "  index REL btree on ATTR";
+      "  index REL hash on ATTR [primary]";
+      "  append to REL (attr = value, ...)";
+      "  delete from REL where REL.attr OP value";
+      "  replace REL (attr = value, ...) where REL.attr OP value";
+      "  retrieve (REL.all, ...) [where quals]";
+      "  explain retrieve (REL.all, ...) [where quals]";
+      "  define proc NAME as retrieve (...) where ...";
+      "  exec NAME";
+      "  strategy ar | ci | avm | rvm";
+      "  show relations | show procs | show cost | show network | show script";
+      "  save \"file.dbp\"                          -- dump a replayable session script";
+      "  reset cost";
+      "quals: REL.attr OP value | REL.attr = REL2.attr, joined with 'and'";
+      "ops: = != < <= > >=     comments: -- to end of line";
+    ]
+
+(* ------------------------------------------------------------ commands *)
+
+let exec_command t (cmd : Ast.command) =
+  match cmd with
+  | Ast.Create { rel; attrs } ->
+    if Catalog.find_opt t.catalog rel <> None then error "relation %S already exists" rel;
+    let schema =
+      Schema.create
+        (List.map
+           (fun (name, ty) ->
+             ( name,
+               match ty with
+               | Ast.T_int -> Value.TInt
+               | Ast.T_float -> Value.TFloat
+               | Ast.T_string -> Value.TStr ))
+           attrs)
+    in
+    ignore (Catalog.create_relation t.catalog ~name:rel ~schema ~tuple_bytes:t.tuple_bytes);
+    Printf.sprintf "created %s with %d attributes" rel (List.length attrs)
+  | Ast.Index { rel; kind; attr; primary } ->
+    let r = find_relation t rel in
+    (try
+       match kind with
+       | `Btree ->
+         if primary then error "btree primary organization is implied by load order";
+         Relation.add_btree_index r ~attr ~entry_bytes:20
+       | `Hash ->
+         Relation.add_hash_index ~primary r ~attr ~entry_bytes:20
+           ~expected_entries:(max 64 (Relation.cardinality r))
+     with Invalid_argument msg -> error "%s" msg);
+    Printf.sprintf "indexed %s.%s (%s%s)" rel attr
+      (match kind with `Btree -> "btree" | `Hash -> "hash")
+      (if primary then ", primary" else "")
+  | Ast.Append { rel; values } ->
+    let r = find_relation t rel in
+    let tuple = tuple_of_assignments t r values in
+    ignore (Relation.insert r tuple);
+    Manager.on_delta t.manager ~rel:r ~inserted:[ tuple ] ~deleted:[];
+    Printf.sprintf "appended 1 tuple to %s (%d total)" rel (Relation.cardinality r)
+  | Ast.Delete { rel; quals } ->
+    let r = find_relation t rel in
+    let restriction = single_relation_restriction t r quals in
+    let victims = matching_rids t r restriction in
+    List.iter (fun (rid, _) -> ignore (Relation.delete r rid)) victims;
+    Manager.on_delta t.manager ~rel:r ~inserted:[] ~deleted:(List.map snd victims);
+    Printf.sprintf "deleted %d tuples from %s" (List.length victims) rel
+  | Ast.Replace { rel; values; quals } ->
+    let r = find_relation t rel in
+    let restriction = single_relation_restriction t r quals in
+    let victims = matching_rids t r restriction in
+    let schema = Relation.schema r in
+    let changes =
+      List.map
+        (fun (rid, old_tuple) ->
+          let fields =
+            List.mapi
+              (fun i (a : Schema.attr) ->
+                match List.assoc_opt a.Schema.name values with
+                | Some lit ->
+                  if ty_of_literal lit <> a.Schema.ty then
+                    error "%s.%s is %s" rel a.Schema.name (value_ty_name a.Schema.ty);
+                  value_of_literal lit
+                | None -> Tuple.get old_tuple i)
+              (Schema.attrs schema)
+          in
+          (rid, Tuple.create fields))
+        victims
+    in
+    let old_new = Relation.update_batch r changes in
+    Manager.on_update t.manager ~rel:r ~changes:old_new;
+    Printf.sprintf "replaced %d tuples in %s" (List.length changes) rel
+  | Ast.Retrieve r ->
+    let def, projection = bind_retrieve_full t r in
+    let plan =
+      try Planner.compile def
+      with Planner.Unsupported_plan msg -> error "cannot plan this query: %s" msg
+    in
+    let before = Cost.snapshot t.cost in
+    let tuples = Executor.run plan in
+    let spent = Cost.diff_ms t.charges ~before ~after:(Cost.snapshot t.cost) in
+    Printf.sprintf "%s\n%.0f ms (simulated)"
+      (format_tuples (List.map (project projection) tuples))
+      spent
+  | Ast.Explain r ->
+    let def = bind_retrieve t r in
+    (try Format.asprintf "%a" Explain.pp_report (Explain.explain_run def)
+     with Planner.Unsupported_plan msg -> error "cannot plan this query: %s" msg)
+  | Ast.Define_proc { name; body } ->
+    if List.mem_assoc name t.proc_ids then error "procedure %S already defined" name;
+    let def, projection = bind_retrieve_full t body in
+    let def = { def with View_def.name } in
+    (try register_procedure t name def
+     with Planner.Unsupported_plan msg -> error "cannot plan this procedure: %s" msg);
+    t.defs <- (name, (def, projection)) :: t.defs;
+    Printf.sprintf "defined procedure %s under %s" name (strategy_name t)
+  | Ast.Exec name -> (
+    match List.assoc_opt name t.proc_ids with
+    | None -> error "unknown procedure %S" name
+    | Some id ->
+      let projection =
+        match List.assoc_opt name t.defs with Some (_, p) -> p | None -> None
+      in
+      let before = Cost.snapshot t.cost in
+      let tuples = Manager.access t.manager id in
+      let spent = Cost.diff_ms t.charges ~before ~after:(Cost.snapshot t.cost) in
+      Printf.sprintf "%s\n%.0f ms (simulated, %s)"
+        (format_tuples (List.map (project projection) tuples))
+        spent (strategy_name t))
+  | Ast.Strategy s ->
+    let kind =
+      match String.lowercase_ascii s with
+      | "ar" | "always-recompute" -> Manager.Always_recompute
+      | "ci" | "cache-invalidate" -> Manager.Cache_invalidate
+      | "avm" -> Manager.Update_cache_avm
+      | "rvm" -> Manager.Update_cache_rvm
+      | _ -> error "unknown strategy %S (ar, ci, avm, rvm)" s
+    in
+    t.manager <- fresh_manager t kind;
+    t.proc_ids <- [];
+    List.iter (fun (name, (def, _)) -> register_procedure t name def) (List.rev t.defs);
+    Printf.sprintf "strategy is now %s (%d procedures re-registered)" (strategy_name t)
+      (List.length t.defs)
+  | Ast.Show `Relations ->
+    if Catalog.names t.catalog = [] then "(no relations)"
+    else Format.asprintf "%a" Catalog.pp t.catalog
+  | Ast.Show `Procs ->
+    if t.defs = [] then "(no procedures)"
+    else
+      List.rev_map
+        (fun (name, (def, _)) ->
+          Format.asprintf "%s [%s, %d tuples]: %a" name (strategy_name t)
+            (match List.assoc_opt name t.proc_ids with
+            | Some id -> Manager.result_cardinality t.manager id
+            | None -> 0)
+            View_def.pp def)
+        t.defs
+      |> String.concat "\n"
+  | Ast.Show `Cost ->
+    Format.asprintf "%a = %.0f ms (C1=%g C2=%g C3=%g C_inval=%g)" Cost.pp t.cost
+      (Cost.total_ms t.charges t.cost)
+      t.charges.Cost.c1_screen_ms t.charges.Cost.c2_io_ms t.charges.Cost.c3_delta_ms
+      t.charges.Cost.c_inval_ms
+  | Ast.Show `Script -> session_script t
+  | Ast.Save file ->
+    let script = session_script t in
+    Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc script);
+    Printf.sprintf "saved session to %s (%d lines)" file
+      (List.length (String.split_on_char '\n' script))
+  | Ast.Show `Network -> (
+    match Manager.rete_dot t.manager with
+    | Some dot -> dot
+    | None ->
+      error "the current strategy (%s) keeps no Rete network; try 'strategy rvm'"
+        (strategy_name t))
+  | Ast.Reset_cost ->
+    Cost.reset t.cost;
+    "cost counters reset"
+  | Ast.Help -> help_text
+
+let exec_line t line =
+  match Parser.parse_command line with
+  | exception Parser.Parse_error msg -> Error msg
+  | exception Lexer.Lex_error msg -> Error msg
+  | cmd -> (
+    try Ok (exec_command t cmd) with
+    | Runtime_error msg -> Error msg
+    | Invalid_argument msg -> Error msg)
+
+let exec_script t script =
+  let lines = String.split_on_char '\n' script in
+  let buf = Buffer.create 256 in
+  let rec go lineno = function
+    | [] -> Ok (Buffer.contents buf)
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || (String.length trimmed >= 2 && String.sub trimmed 0 2 = "--") then
+        go (lineno + 1) rest
+      else begin
+        match exec_line t trimmed with
+        | Ok output ->
+          Buffer.add_string buf (Printf.sprintf "> %s\n%s\n" trimmed output);
+          go (lineno + 1) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+      end
+  in
+  go 1 lines

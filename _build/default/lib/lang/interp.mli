@@ -1,0 +1,39 @@
+(** Interpreter: executes parsed commands against a session holding a
+    simulated database, a procedure manager and cost counters.
+
+    Every data operation is charged through the session's
+    {!Dbproc_storage.Cost.t} with the paper's default unit costs, so
+    [show cost] reports the same simulated milliseconds the bench and the
+    cost model use.  [strategy <ar|ci|avm|rvm>] rebuilds the manager and
+    re-registers every defined procedure under the new strategy. *)
+
+exception Runtime_error of string
+(** Semantic errors: unknown relations or attributes, type mismatches,
+    join conditions that do not connect the targets, and so on. *)
+
+type t
+
+val create : ?page_bytes:int -> ?tuple_bytes:int -> unit -> t
+(** A fresh session.  [page_bytes] defaults to the paper's B = 4000,
+    [tuple_bytes] to S = 100. *)
+
+val strategy_name : t -> string
+val procedure_names : t -> string list
+
+val exec_command : t -> Ast.command -> string
+(** Execute one command, returning human-readable output.
+    @raise Runtime_error on semantic errors. *)
+
+val exec_line : t -> string -> (string, string) result
+(** Parse and execute one input line; lexer/parser/runtime errors come
+    back as [Error message]. *)
+
+val exec_script : t -> string -> (string, string) result
+(** Run a whole script (one command per line); output is concatenated.
+    Stops at the first error. *)
+
+val bind_retrieve : t -> Ast.retrieve -> Dbproc_query.View_def.t
+(** The binder, exposed for tests: resolve relation/attribute names,
+    split the qualification into per-relation restrictions and join
+    terms, and assemble a view definition whose join chain follows the
+    target order. *)

@@ -1,0 +1,244 @@
+open Lexer
+
+exception Parse_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* A tiny token-stream cursor. *)
+type cursor = { mutable toks : token list }
+
+let peek c = match c.toks with [] -> None | t :: _ -> Some t
+
+let advance c = match c.toks with [] -> () | _ :: rest -> c.toks <- rest
+
+let expect c tok what =
+  match c.toks with
+  | t :: rest when t = tok -> c.toks <- rest
+  | t :: _ -> error "expected %s, found %a" what pp_token t
+  | [] -> error "expected %s, found end of input" what
+
+let ident c what =
+  match c.toks with
+  | IDENT s :: rest ->
+    c.toks <- rest;
+    s
+  | t :: _ -> error "expected %s, found %a" what pp_token t
+  | [] -> error "expected %s, found end of input" what
+
+(* Keywords are case-insensitive identifiers. *)
+let keyword_is s kw = String.lowercase_ascii s = kw
+
+let expect_keyword c kw =
+  let s = ident c (Printf.sprintf "keyword %S" kw) in
+  if not (keyword_is s kw) then error "expected keyword %S, found %S" kw s
+
+let peek_keyword c kw =
+  match peek c with Some (IDENT s) -> keyword_is s kw | _ -> false
+
+let literal c =
+  match c.toks with
+  | INT i :: rest ->
+    c.toks <- rest;
+    Ast.L_int i
+  | FLOAT f :: rest ->
+    c.toks <- rest;
+    Ast.L_float f
+  | STRING s :: rest ->
+    c.toks <- rest;
+    Ast.L_string s
+  | t :: _ -> error "expected a literal, found %a" pp_token t
+  | [] -> error "expected a literal, found end of input"
+
+let comparison c =
+  match c.toks with
+  | EQ :: rest ->
+    c.toks <- rest;
+    Ast.C_eq
+  | NE :: rest ->
+    c.toks <- rest;
+    Ast.C_ne
+  | LT :: rest ->
+    c.toks <- rest;
+    Ast.C_lt
+  | LE :: rest ->
+    c.toks <- rest;
+    Ast.C_le
+  | GT :: rest ->
+    c.toks <- rest;
+    Ast.C_gt
+  | GE :: rest ->
+    c.toks <- rest;
+    Ast.C_ge
+  | t :: _ -> error "expected a comparison operator, found %a" pp_token t
+  | [] -> error "expected a comparison operator, found end of input"
+
+let dotted c =
+  let rel = ident c "relation name" in
+  expect c DOT "'.'";
+  let attr = ident c "attribute name" in
+  (rel, attr)
+
+let qual c =
+  let left = dotted c in
+  let op = comparison c in
+  let right =
+    match c.toks with
+    | IDENT _ :: DOT :: _ ->
+      let r, a = dotted c in
+      Ast.Attr (r, a)
+    | _ -> Ast.Lit (literal c)
+  in
+  { Ast.left; op; right }
+
+let quals_opt c =
+  if peek_keyword c "where" then begin
+    advance c;
+    let rec more acc =
+      let q = qual c in
+      if peek_keyword c "and" then begin
+        advance c;
+        more (q :: acc)
+      end
+      else List.rev (q :: acc)
+    in
+    more []
+  end
+  else []
+
+(* name = value pairs inside parentheses *)
+let assignments c =
+  expect c LPAREN "'('";
+  let rec more acc =
+    let name = ident c "attribute name" in
+    expect c EQ "'='";
+    let value = literal c in
+    match peek c with
+    | Some COMMA ->
+      advance c;
+      more ((name, value) :: acc)
+    | _ ->
+      expect c RPAREN "')'";
+      List.rev ((name, value) :: acc)
+  in
+  more []
+
+let retrieve c =
+  expect_keyword c "retrieve";
+  expect c LPAREN "'('";
+  let rec targets acc =
+    let rel, attr = dotted c in
+    let attr = if keyword_is attr "all" then "all" else attr in
+    match peek c with
+    | Some COMMA ->
+      advance c;
+      targets ((rel, attr) :: acc)
+    | _ ->
+      expect c RPAREN "')'";
+      List.rev ((rel, attr) :: acc)
+  in
+  let targets = targets [] in
+  let quals = quals_opt c in
+  { Ast.targets; quals }
+
+let ty_of_string = function
+  | "int" -> Ast.T_int
+  | "float" -> Ast.T_float
+  | "string" | "str" -> Ast.T_string
+  | s -> error "unknown type %S (int, float, string)" s
+
+let command c =
+  let kw = String.lowercase_ascii (ident c "a command") in
+  match kw with
+  | "create" ->
+    let rel = ident c "relation name" in
+    expect c LPAREN "'('";
+    let rec attrs acc =
+      let name = ident c "attribute name" in
+      expect c EQ "'='";
+      let ty = ty_of_string (String.lowercase_ascii (ident c "a type")) in
+      match peek c with
+      | Some COMMA ->
+        advance c;
+        attrs ((name, ty) :: acc)
+      | _ ->
+        expect c RPAREN "')'";
+        List.rev ((name, ty) :: acc)
+    in
+    Ast.Create { rel; attrs = attrs [] }
+  | "index" ->
+    let rel = ident c "relation name" in
+    let kind =
+      match String.lowercase_ascii (ident c "btree or hash") with
+      | "btree" -> `Btree
+      | "hash" -> `Hash
+      | s -> error "unknown index kind %S" s
+    in
+    expect_keyword c "on";
+    let attr = ident c "attribute name" in
+    let primary =
+      if peek_keyword c "primary" then begin
+        advance c;
+        true
+      end
+      else false
+    in
+    Ast.Index { rel; kind; attr; primary }
+  | "append" ->
+    expect_keyword c "to";
+    let rel = ident c "relation name" in
+    Ast.Append { rel; values = assignments c }
+  | "delete" ->
+    expect_keyword c "from";
+    let rel = ident c "relation name" in
+    Ast.Delete { rel; quals = quals_opt c }
+  | "replace" ->
+    let rel = ident c "relation name" in
+    let values = assignments c in
+    Ast.Replace { rel; values; quals = quals_opt c }
+  | "retrieve" ->
+    c.toks <- IDENT "retrieve" :: c.toks;
+    Ast.Retrieve (retrieve c)
+  | "explain" -> Ast.Explain (retrieve c)
+  | "define" ->
+    expect_keyword c "proc";
+    let name = ident c "procedure name" in
+    expect_keyword c "as";
+    Ast.Define_proc { name; body = retrieve c }
+  | "exec" -> Ast.Exec (ident c "procedure name")
+  | "strategy" -> Ast.Strategy (ident c "strategy name")
+  | "save" -> (
+    match literal c with
+    | Ast.L_string file -> Ast.Save file
+    | _ -> error "save expects a quoted file name")
+  | "show" -> (
+    match String.lowercase_ascii (ident c "relations, procs, cost, network or script") with
+    | "relations" -> Ast.Show `Relations
+    | "procs" | "procedures" -> Ast.Show `Procs
+    | "cost" -> Ast.Show `Cost
+    | "network" -> Ast.Show `Network
+    | "script" -> Ast.Show `Script
+    | s -> error "unknown show target %S" s)
+  | "reset" ->
+    expect_keyword c "cost";
+    Ast.Reset_cost
+  | "help" -> Ast.Help
+  | s -> error "unknown command %S" s
+
+let parse_command input =
+  let c = { toks = Lexer.tokenize input } in
+  let cmd = command c in
+  (match c.toks with
+  | [] -> ()
+  | t :: _ -> error "trailing input starting at %a" pp_token t);
+  cmd
+
+let parse_script input =
+  String.split_on_char '\n' input
+  |> List.mapi (fun lineno line -> (lineno + 1, String.trim line))
+  |> List.filter_map (fun (lineno, line) ->
+         if line = "" || (String.length line >= 2 && String.sub line 0 2 = "--") then None
+         else
+           try Some (parse_command line)
+           with
+           | Parse_error msg -> error "line %d: %s" lineno msg
+           | Lexer.Lex_error msg -> error "line %d: %s" lineno msg)

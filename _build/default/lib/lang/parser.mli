@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the command language (see {!Ast} for the
+    grammar). *)
+
+exception Parse_error of string
+
+val parse_command : string -> Ast.command
+(** Parse one command.
+    @raise Parse_error on syntax errors (including trailing garbage).
+    @raise Lexer.Lex_error on tokenization errors. *)
+
+val parse_script : string -> Ast.command list
+(** Parse a whole script: one command per line; blank lines and [--]
+    comment lines are skipped.  Error messages carry line numbers. *)

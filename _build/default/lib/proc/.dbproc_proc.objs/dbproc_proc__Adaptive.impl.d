@@ -1,0 +1,1 @@
+lib/proc/adaptive.ml: Cost Dbproc_avm Dbproc_query Dbproc_relation Dbproc_storage Executor Ilock Io List Plan Planner Printf Relation Result_cache Tuple View_def

@@ -1,0 +1,1 @@
+lib/proc/adaptive.mli: Dbproc_query Dbproc_relation Dbproc_storage Relation Tuple View_def

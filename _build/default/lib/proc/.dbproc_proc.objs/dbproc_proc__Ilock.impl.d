@@ -1,0 +1,1 @@
+lib/proc/ilock.ml: Btree Cost Dbproc_index Dbproc_query Dbproc_relation Dbproc_storage Dbproc_util Hashtbl List Predicate Tuple Value

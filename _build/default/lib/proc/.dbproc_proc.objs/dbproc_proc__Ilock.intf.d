@@ -1,0 +1,1 @@
+lib/proc/ilock.mli: Dbproc_relation Dbproc_storage Predicate Tuple

@@ -1,0 +1,1 @@
+lib/proc/inval_table.ml: Array Dbproc_storage Format Io List Option Printf Wal

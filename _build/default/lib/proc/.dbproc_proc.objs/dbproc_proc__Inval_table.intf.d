@@ -1,0 +1,1 @@
+lib/proc/inval_table.mli: Dbproc_storage Format

@@ -1,0 +1,1 @@
+lib/proc/lock_manager.ml: Btree Dbproc_index Dbproc_query Dbproc_relation Hashtbl List Value

@@ -1,0 +1,1 @@
+lib/proc/lock_manager.mli: Dbproc_index Dbproc_relation Predicate Value

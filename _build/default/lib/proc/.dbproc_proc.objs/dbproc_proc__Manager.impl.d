@@ -1,0 +1,1 @@
+lib/proc/manager.ml: Cost Dbproc_avm Dbproc_query Dbproc_relation Dbproc_rete Dbproc_storage Executor Ilock Io List Option Plan Planner Printf Relation Result_cache Tuple View_def

@@ -1,0 +1,1 @@
+lib/proc/manager.mli: Dbproc_query Dbproc_relation Dbproc_storage Relation Tuple View_def

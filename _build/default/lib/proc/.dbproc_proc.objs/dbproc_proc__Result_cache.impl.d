@@ -1,0 +1,1 @@
+lib/proc/result_cache.ml: Cost Dbproc_query Dbproc_relation Dbproc_storage Executor Heap_file Io List Option Plan Planner Relation Tuple View_def

@@ -1,0 +1,1 @@
+lib/proc/result_cache.mli: Dbproc_query Dbproc_relation Plan Tuple View_def

@@ -1,0 +1,175 @@
+open Dbproc_storage
+open Dbproc_relation
+open Dbproc_query
+
+type mode = Ar | Ci | Uc
+
+let mode_name = function Ar -> "always-recompute" | Ci -> "cache-invalidate" | Uc -> "update-cache"
+
+type config = {
+  window : int;
+  high_conflict : float;
+  low_conflict : float;
+  small_pages : int;
+}
+
+let default_config = { window = 20; high_conflict = 0.7; low_conflict = 0.4; small_pages = 1 }
+
+type state =
+  | S_ar of Plan.t
+  | S_ci of Result_cache.t
+  | S_uc of Dbproc_avm.Materialized_view.t
+
+type entry = {
+  def : View_def.t;
+  mutable state : state;
+  mutable accesses : int; (* within the current window *)
+  mutable conflicts : int;
+}
+
+type t = {
+  config : config;
+  io : Io.t;
+  record_bytes : int;
+  ilocks : Ilock.t;
+  mutable entries : (int * entry) list;
+  mutable next_id : int;
+  mutable switches : int;
+}
+
+let create ?(config = default_config) ~io ~record_bytes () =
+  if config.window <= 0 then invalid_arg "Adaptive.create: window must be positive";
+  {
+    config;
+    io;
+    record_bytes;
+    ilocks = Ilock.create ~cost:(Io.cost io) ();
+    entries = [];
+    next_id = 0;
+    switches = 0;
+  }
+
+let register t (def : View_def.t) =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  List.iteri
+    (fun tag (src : View_def.source) ->
+      Ilock.subscribe ~tag t.ilocks ~owner:id ~rel:(Relation.name src.rel)
+        ~restriction:src.restriction)
+    (View_def.sources def);
+  let entry =
+    {
+      def;
+      state = S_ci (Result_cache.create ~record_bytes:t.record_bytes def);
+      accesses = 0;
+      conflicts = 0;
+    }
+  in
+  t.entries <- (id, entry) :: t.entries;
+  id
+
+let procedure_count t = List.length t.entries
+
+let find t id =
+  match List.assoc_opt id t.entries with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Adaptive: unknown procedure %d" id)
+
+let mode_of t id =
+  match (find t id).state with S_ar _ -> Ar | S_ci _ -> Ci | S_uc _ -> Uc
+
+let current_mode entry = match entry.state with S_ar _ -> Ar | S_ci _ -> Ci | S_uc _ -> Uc
+
+(* Size of the stored value in pages (recomputed for AR, uncharged). *)
+let object_pages t entry =
+  match entry.state with
+  | S_ci cache -> Result_cache.page_count cache
+  | S_uc view -> Dbproc_avm.Materialized_view.page_count view
+  | S_ar _ ->
+    Cost.with_disabled (Io.cost t.io) (fun () ->
+        let tuples = Executor.run (Planner.compile entry.def) in
+        Io.pages_for_records t.io ~record_bytes:t.record_bytes ~count:(List.length tuples))
+
+let switch t entry target =
+  if current_mode entry <> target then begin
+    t.switches <- t.switches + 1;
+    (* Building UC or CI state costs a recomputation; the executor run in
+       create/Result_cache.create is uncharged setup, so charge it here
+       the way the paper would: one C_ProcessQuery plus the write-back. *)
+    entry.state <-
+      (match target with
+      | Ar -> S_ar (Planner.compile entry.def)
+      | Ci ->
+        let cache = Result_cache.create ~record_bytes:t.record_bytes entry.def in
+        Result_cache.invalidate cache;
+        ignore (Result_cache.access cache);
+        (* recompute + write-back, fully charged *)
+        S_ci cache
+      | Uc ->
+        let view =
+          Dbproc_avm.Materialized_view.create ~record_bytes:t.record_bytes entry.def
+        in
+        Dbproc_avm.Materialized_view.recompute_refresh view;
+        (* charged build *)
+        S_uc view)
+  end
+
+let decide t entry =
+  let total = entry.accesses + entry.conflicts in
+  if total >= t.config.window then begin
+    let p_hat = float_of_int entry.conflicts /. float_of_int total in
+    entry.accesses <- 0;
+    entry.conflicts <- 0;
+    let target =
+      if p_hat >= t.config.high_conflict then Ar
+      else if p_hat <= t.config.low_conflict && object_pages t entry > t.config.small_pages
+      then Uc
+      else Ci
+    in
+    switch t entry target
+  end
+
+let access t id =
+  let entry = find t id in
+  entry.accesses <- entry.accesses + 1;
+  let result =
+    match entry.state with
+    | S_ar plan -> Executor.run plan
+    | S_ci cache -> Result_cache.access cache
+    | S_uc view -> Dbproc_avm.Materialized_view.read view
+  in
+  decide t entry;
+  result
+
+let on_update t ~rel ~changes =
+  let olds = List.map fst changes and news = List.map snd changes in
+  Ilock.broken_by t.ilocks ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
+    ~charge_screens:false
+  |> List.iter (fun (b : Ilock.broken) ->
+         let entry = find t b.owner in
+         entry.conflicts <- entry.conflicts + 1;
+         (match entry.state with
+         | S_ar _ -> ()
+         | S_ci cache -> Result_cache.invalidate cache
+         | S_uc view ->
+           (* UC screening is charged, mirroring Manager's AVM path. *)
+           Cost.cpu_screen (Io.cost t.io) ~count:(List.length b.inserted + List.length b.deleted);
+           Dbproc_avm.Materialized_view.apply_source_delta view ~source_index:b.tag
+             ~inserted:b.inserted ~deleted:b.deleted);
+         decide t entry)
+
+let switches t = t.switches
+
+let matches_recompute t id =
+  let entry = find t id in
+  Cost.with_disabled (Io.cost t.io) (fun () ->
+      match entry.state with
+      | S_ar _ -> true
+      | S_ci cache ->
+        (not (Result_cache.is_valid cache))
+        ||
+        let fresh = Executor.run (Planner.compile entry.def) in
+        let sorted l = List.sort Tuple.compare l in
+        let a = sorted (Result_cache.access cache) and b = sorted fresh in
+        List.length a = List.length b && List.for_all2 Tuple.equal a b
+      | S_uc view -> Dbproc_avm.Materialized_view.matches_recompute view)

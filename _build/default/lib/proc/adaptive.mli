@@ -1,0 +1,58 @@
+(** Adaptive strategy selection per procedure — the paper's Section 8
+    decision problem ("how to decide whether or not to maintain a cached
+    copy of a given object") made executable.
+
+    Each procedure starts under Cache and Invalidate (the paper's
+    recommended safe second step) and keeps two counters per decision
+    window: accesses and conflicts (update transactions that broke its
+    i-locks).  At the end of a window the observed conflict ratio
+    [p̂ = conflicts / (conflicts + accesses)] and the stored object size
+    drive the paper's conclusions:
+
+    - [p̂ ≥ high] (default 0.7): Update Cache degrades sharply and CI only
+      wastes write-backs → switch to {b Always Recompute};
+    - [p̂ ≤ low] (default 0.4) and the object spans more than
+      [small_pages]: incremental refresh beats recomputation → switch to
+      {b Update Cache} (AVM);
+    - otherwise: {b Cache and Invalidate}.
+
+    Switching materializes or drops state at full charge (building a
+    materialized view costs one recomputation; demoting is free).  The
+    paper notes the cost of a wrong Update Cache decision is the largest —
+    hysteresis (the low/high gap) keeps the selector from flapping. *)
+
+open Dbproc_relation
+open Dbproc_query
+
+type mode = Ar | Ci | Uc
+
+val mode_name : mode -> string
+
+type config = {
+  window : int;  (** operations (accesses + conflicts) per decision *)
+  high_conflict : float;  (** p̂ at or above which AR is chosen *)
+  low_conflict : float;  (** p̂ at or below which UC becomes eligible *)
+  small_pages : int;  (** objects at most this many pages stay with CI *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> io:Dbproc_storage.Io.t -> record_bytes:int -> unit -> t
+
+val register : t -> View_def.t -> int
+val procedure_count : t -> int
+
+val mode_of : t -> int -> mode
+
+val access : t -> int -> Tuple.t list
+(** Serve an access under the procedure's current mode, with full cost
+    accounting; may trigger a mode decision at window boundaries. *)
+
+val on_update : t -> rel:Relation.t -> changes:(Tuple.t * Tuple.t) list -> unit
+
+val switches : t -> int
+(** Total mode switches performed so far. *)
+
+val matches_recompute : t -> int -> bool

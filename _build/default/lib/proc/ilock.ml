@@ -1,0 +1,124 @@
+open Dbproc_storage
+open Dbproc_relation
+open Dbproc_index
+
+module V_idx = Dbproc_util.Interval_index.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+type subscription = { owner : int; tag : int; restriction : Predicate.t }
+
+(* Locks held on one relation: single-attribute interval regions live in a
+   stabbing index per attribute (rule indexing — an updated value finds
+   the broken locks in O(log locks + matches)); multi-attribute
+   restrictions lock the whole relation. *)
+type rel_locks = {
+  mutable whole : subscription list;
+  by_attr : (int, subscription V_idx.t) Hashtbl.t;
+}
+
+type t = {
+  cost : Cost.t;
+  by_rel : (string, rel_locks) Hashtbl.t;
+}
+
+let create ~cost () = { cost; by_rel = Hashtbl.create 8 }
+
+let rel_locks t rel =
+  match Hashtbl.find_opt t.by_rel rel with
+  | Some locks -> locks
+  | None ->
+    let locks = { whole = []; by_attr = Hashtbl.create 4 } in
+    Hashtbl.replace t.by_rel rel locks;
+    locks
+
+let to_idx_bound_lo = function
+  | Btree.Unbounded -> V_idx.Neg_inf
+  | Btree.Inclusive v -> V_idx.Incl v
+  | Btree.Exclusive v -> V_idx.Excl v
+
+let to_idx_bound_hi = function
+  | Btree.Unbounded -> V_idx.Pos_inf
+  | Btree.Inclusive v -> V_idx.Incl v
+  | Btree.Exclusive v -> V_idx.Excl v
+
+let subscribe ?(tag = 0) t ~owner ~rel ~restriction =
+  let locks = rel_locks t rel in
+  let sub = { owner; tag; restriction } in
+  match Dbproc_query.Planner.interval_of_restriction restriction with
+  | None -> locks.whole <- sub :: locks.whole
+  | Some (attr, lo, hi) ->
+    let idx =
+      match Hashtbl.find_opt locks.by_attr attr with
+      | Some idx -> idx
+      | None ->
+        let idx = V_idx.create () in
+        Hashtbl.replace locks.by_attr attr idx;
+        idx
+    in
+    V_idx.add idx ~lo:(to_idx_bound_lo lo) ~hi:(to_idx_bound_hi hi) sub
+
+let unsubscribe t ~owner =
+  Hashtbl.iter
+    (fun _ locks ->
+      locks.whole <- List.filter (fun s -> s.owner <> owner) locks.whole;
+      Hashtbl.iter (fun _ idx -> ignore (V_idx.remove idx (fun s -> s.owner = owner))) locks.by_attr)
+    t.by_rel
+
+let owners t ~rel =
+  match Hashtbl.find_opt t.by_rel rel with
+  | None -> []
+  | Some locks ->
+    let acc = ref (List.map (fun s -> s.owner) locks.whole) in
+    Hashtbl.iter
+      (fun _ idx -> List.iter (fun s -> acc := s.owner :: !acc) (V_idx.values idx))
+      locks.by_attr;
+    List.sort_uniq compare !acc
+
+type broken = { owner : int; tag : int; inserted : Tuple.t list; deleted : Tuple.t list }
+
+let broken_by t ~rel ~inserted ~deleted ~charge_screens =
+  match Hashtbl.find_opt t.by_rel rel with
+  | None -> []
+  | Some locks ->
+    (* accumulate survivors per (owner, tag), preserving tuple order *)
+    let hits : (int * int, Tuple.t list ref * Tuple.t list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let bucket (sub : subscription) =
+      match Hashtbl.find_opt hits (sub.owner, sub.tag) with
+      | Some cell -> cell
+      | None ->
+        let cell = (ref [], ref []) in
+        Hashtbl.replace hits (sub.owner, sub.tag) cell;
+        cell
+    in
+    let candidates tuple =
+      Hashtbl.fold
+        (fun attr idx acc -> V_idx.stab idx (Tuple.get tuple attr) @ acc)
+        locks.by_attr locks.whole
+    in
+    let screen side tuples =
+      List.iter
+        (fun tuple ->
+          List.iter
+            (fun (sub : subscription) ->
+              if charge_screens then Cost.cpu_screen t.cost;
+              if Predicate.eval sub.restriction tuple then begin
+                let ins, del = bucket sub in
+                match side with
+                | `Ins -> ins := tuple :: !ins
+                | `Del -> del := tuple :: !del
+              end)
+            (candidates tuple))
+        tuples
+    in
+    screen `Ins inserted;
+    screen `Del deleted;
+    Hashtbl.fold
+      (fun (owner, tag) (ins, del) acc ->
+        { owner; tag; inserted = List.rev !ins; deleted = List.rev !del } :: acc)
+      hits []
+    |> List.sort (fun a b -> compare (a.owner, a.tag) (b.owner, b.tag))

@@ -1,0 +1,56 @@
+(** Invalidate locks (i-locks) — the paper's rule-indexing mechanism
+    [SSH86].
+
+    When a procedure's value is computed, persistent i-locks are set on
+    everything its query read, including the index intervals inspected.
+    An update whose write set conflicts with a procedure's i-lock region
+    "breaks" the lock, signalling that the cached value may have changed.
+
+    The manager stores, per (relation, owner), the interval the owner's
+    access path inspected (derived from its restriction) plus the full
+    restriction for residual screening.  {!broken_by} answers, for one
+    update transaction's delta, which owners had locks broken and by which
+    tuples.  Interval cover checks are free (the lock table is an indexed
+    in-memory structure); when [charge_screens] is set, each covered tuple
+    charges one [C1] — the differential-maintenance screening cost.  Cache
+    and Invalidate passes [false]: the paper charges invalidation only
+    through [C_inval]. *)
+
+open Dbproc_relation
+
+type t
+
+val create : cost:Dbproc_storage.Cost.t -> unit -> t
+
+val subscribe : ?tag:int -> t -> owner:int -> rel:string -> restriction:Predicate.t -> unit
+(** Record the i-lock region owner's query holds on [rel].  The inspected
+    interval is {!Dbproc_query.Planner.interval_of_restriction}; a
+    restriction with no single-attribute interval locks the whole
+    relation.  [tag] (default 0) is returned with breaks — owners use it
+    to distinguish locks held on behalf of different sources of one query
+    (e.g. the source index within a join chain). *)
+
+val unsubscribe : t -> owner:int -> unit
+(** Drop all of an owner's locks. *)
+
+val owners : t -> rel:string -> int list
+(** Owners holding locks on a relation (ascending). *)
+
+type broken = {
+  owner : int;
+  tag : int;  (** the tag the owner registered the broken lock under *)
+  inserted : Tuple.t list;  (** inserted delta tuples satisfying the owner's restriction *)
+  deleted : Tuple.t list;
+}
+
+val broken_by :
+  t ->
+  rel:string ->
+  inserted:Tuple.t list ->
+  deleted:Tuple.t list ->
+  charge_screens:bool ->
+  broken list
+(** Owners whose lock region on [rel] the delta touches, with the
+    restriction-satisfying tuples.  Owners whose region is touched by no
+    tuple are absent.  With [charge_screens], one [C1] per
+    (covered tuple, owner) pair. *)

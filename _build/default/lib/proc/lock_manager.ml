@@ -1,0 +1,131 @@
+open Dbproc_relation
+open Dbproc_index
+
+type region =
+  | Whole of string
+  | Interval of {
+      rel : string;
+      attr : int;
+      lo : Value.t Btree.bound;
+      hi : Value.t Btree.bound;
+    }
+
+let point ~rel ~attr v = Interval { rel; attr; lo = Btree.Inclusive v; hi = Btree.Inclusive v }
+
+let region_of_restriction ~rel restriction =
+  match Dbproc_query.Planner.interval_of_restriction restriction with
+  | Some (attr, lo, hi) -> Interval { rel; attr; lo; hi }
+  | None -> Whole rel
+
+let region_rel = function Whole rel -> rel | Interval { rel; _ } -> rel
+
+(* hi strictly below lo, i.e. the intervals cannot share a point *)
+let hi_before_lo hi lo =
+  match (hi, lo) with
+  | Btree.Unbounded, _ | _, Btree.Unbounded -> false
+  | (Btree.Inclusive a | Btree.Exclusive a), (Btree.Inclusive b | Btree.Exclusive b) -> (
+    match Value.compare a b with
+    | c when c < 0 -> true
+    | 0 -> ( match (hi, lo) with Btree.Inclusive _, Btree.Inclusive _ -> false | _ -> true)
+    | _ -> false)
+
+let regions_overlap a b =
+  region_rel a = region_rel b
+  &&
+  match (a, b) with
+  | Whole _, _ | _, Whole _ -> true
+  | Interval ia, Interval ib ->
+    (* different attributes of one relation: an index interval on one
+       attribute still covers (parts of) the same tuples — treat as
+       overlapping, which is the conservative and correct reading of an
+       index-interval lock guarding a stored object *)
+    ia.attr <> ib.attr
+    || not (hi_before_lo ia.hi ib.lo || hi_before_lo ib.hi ia.lo)
+
+type txn = int
+
+type held = { txn : txn; mode : [ `S | `X ]; region : region }
+
+type ilock = { owner : int; tag : int; iregion : region; mutable broken : bool }
+
+type broken = { owner : int; tag : int }
+
+type t = {
+  mutable next_txn : int;
+  mutable live : txn list;
+  mutable held : held list;
+  mutable ilocks : ilock list;
+  pending_broken : (txn, broken list ref) Hashtbl.t;
+}
+
+let create () =
+  { next_txn = 0; live = []; held = []; ilocks = []; pending_broken = Hashtbl.create 8 }
+
+let begin_txn t =
+  let txn = t.next_txn in
+  t.next_txn <- txn + 1;
+  t.live <- txn :: t.live;
+  Hashtbl.replace t.pending_broken txn (ref []);
+  txn
+
+let check_live t txn =
+  if not (List.mem txn t.live) then invalid_arg "Lock_manager: transaction not live"
+
+let compatible m1 m2 = match (m1, m2) with `S, `S -> true | _ -> false
+
+let acquire t txn ~mode region =
+  check_live t txn;
+  let conflicts =
+    t.held
+    |> List.filter (fun h ->
+           h.txn <> txn
+           && (not (compatible h.mode mode))
+           && regions_overlap h.region region)
+    |> List.map (fun h -> h.txn)
+    |> List.sort_uniq compare
+  in
+  if conflicts <> [] then `Would_block conflicts
+  else begin
+    t.held <- { txn; mode; region } :: t.held;
+    (if mode = `X then begin
+       let cell = Hashtbl.find t.pending_broken txn in
+       List.iter
+         (fun (il : ilock) ->
+           if (not il.broken) && regions_overlap il.iregion region then begin
+             il.broken <- true;
+             cell := { owner = il.owner; tag = il.tag } :: !cell
+           end)
+         t.ilocks
+     end);
+    `Granted
+  end
+
+let release t txn =
+  t.live <- List.filter (( <> ) txn) t.live;
+  t.held <- List.filter (fun h -> h.txn <> txn) t.held;
+  (* broken i-locks are dropped: their owners must recompute and
+     re-register, like an invalidated cache entry *)
+  t.ilocks <- List.filter (fun (il : ilock) -> not il.broken) t.ilocks
+
+let commit t txn =
+  check_live t txn;
+  let broken =
+    match Hashtbl.find_opt t.pending_broken txn with Some cell -> List.rev !cell | None -> []
+  in
+  Hashtbl.remove t.pending_broken txn;
+  release t txn;
+  List.sort_uniq compare broken
+
+let abort t txn =
+  check_live t txn;
+  Hashtbl.remove t.pending_broken txn;
+  release t txn
+
+let set_ilock t ~owner ?(tag = 0) region =
+  t.ilocks <- { owner; tag; iregion = region; broken = false } :: t.ilocks
+
+let drop_ilocks t ~owner =
+  t.ilocks <- List.filter (fun (il : ilock) -> il.owner <> owner) t.ilocks
+
+let ilock_count t = List.length t.ilocks
+let live_txn_count t = List.length t.live

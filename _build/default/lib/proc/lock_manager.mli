@@ -1,0 +1,81 @@
+(** A lock manager with invalidate locks — the full rule-indexing story
+    of [SSH86] that Section 2 sketches.
+
+    Three lock modes over {e regions} (a whole relation, or an interval of
+    one attribute's domain — what an index scan inspects):
+
+    - [S]: shared, transaction-duration.  Set on everything a query reads.
+    - [X]: exclusive, transaction-duration.  Set on everything an update
+      writes (point regions for the old and new attribute values).
+    - [I]: invalidate lock, {e persistent}.  Set on behalf of a procedure
+      when its value is computed; it survives transaction commit and is
+      broken — not blocked — by a conflicting [X].
+
+    Compatibility: S/S and S/I and I/I are compatible; X conflicts with
+    everything.  An X–S or X–X conflict between live transactions is
+    reported as [`Would_block] (the simulator is single-threaded, so
+    blocking is detection, not suspension).  An X–I conflict never blocks:
+    it marks the i-lock broken, and {!commit} reports the broken owners so
+    the caller can invalidate their cached values.
+
+    This module is deliberately independent of {!Ilock} (which answers the
+    finer-grained "which delta tuples broke which lock" question the
+    maintenance algorithms need); the test suite uses the two as mutual
+    oracles on random workloads. *)
+
+open Dbproc_relation
+
+type region =
+  | Whole of string  (** a whole relation *)
+  | Interval of {
+      rel : string;
+      attr : int;
+      lo : Value.t Dbproc_index.Btree.bound;
+      hi : Value.t Dbproc_index.Btree.bound;
+    }
+
+val point : rel:string -> attr:int -> Value.t -> region
+(** The single-value region an in-place write touches. *)
+
+val region_of_restriction : rel:string -> Predicate.t -> region
+(** The region a plan inspects evaluating the restriction: its
+    single-attribute interval, or the whole relation. *)
+
+val regions_overlap : region -> region -> bool
+
+type t
+
+type txn
+(** A transaction handle. *)
+
+val create : unit -> t
+
+val begin_txn : t -> txn
+
+val acquire : t -> txn -> mode:[ `S | `X ] -> region -> [ `Granted | `Would_block of txn list ]
+(** Acquire a transaction lock.  [`Would_block holders] reports the live
+    transactions holding conflicting locks (the lock is NOT granted).
+    Re-acquisition and S-then-X upgrade by the same transaction are
+    granted.  An [`X] grant additionally breaks every overlapping i-lock
+    (recorded, reported at {!commit}). *)
+
+type broken = { owner : int; tag : int }
+
+val commit : t -> txn -> broken list
+(** Release the transaction's S/X locks and return the i-locks its writes
+    broke (each owner/tag at most once).  Broken i-locks are dropped —
+    the owner must recompute and re-register, mirroring how a cached value
+    is re-validated. *)
+
+val abort : t -> txn -> unit
+(** Release the transaction's locks; i-locks it broke stay broken (the
+    write may have happened before the abort — invalidation must be
+    conservative). *)
+
+val set_ilock : t -> owner:int -> ?tag:int -> region -> unit
+(** Register a persistent i-lock. *)
+
+val drop_ilocks : t -> owner:int -> unit
+
+val ilock_count : t -> int
+val live_txn_count : t -> int

@@ -1,0 +1,171 @@
+open Dbproc_storage
+open Dbproc_relation
+open Dbproc_query
+
+type kind = Always_recompute | Cache_invalidate | Update_cache_avm | Update_cache_rvm
+
+let kind_name = function
+  | Always_recompute -> "always-recompute"
+  | Cache_invalidate -> "cache-invalidate"
+  | Update_cache_avm -> "update-cache-avm"
+  | Update_cache_rvm -> "update-cache-rvm"
+
+let all_kinds = [ Always_recompute; Cache_invalidate; Update_cache_avm; Update_cache_rvm ]
+
+type entry =
+  | Ar of Plan.t
+  | Ci of Result_cache.t
+  | Avm of Dbproc_avm.Materialized_view.t
+  | Rvm of Dbproc_rete.Network.mem_node
+
+type proc_id = int
+
+type rvm_shape = [ `Left_deep | `Right_deep | `Auto of (string * float) list ]
+
+type t = {
+  kind : kind;
+  io : Io.t;
+  record_bytes : int;
+  rvm_shape : rvm_shape;
+  ilocks : Ilock.t;
+  builder : Dbproc_rete.Builder.t option;
+  mutable entries : (proc_id * (View_def.t * entry)) list; (* reversed *)
+  mutable next_id : int;
+}
+
+let create kind ~io ~record_bytes ?(rvm_shape = `Right_deep) () =
+  {
+    kind;
+    io;
+    record_bytes;
+    rvm_shape;
+    ilocks = Ilock.create ~cost:(Io.cost io) ();
+    builder =
+      (match kind with
+      | Update_cache_rvm -> Some (Dbproc_rete.Builder.create ~io ~record_bytes ())
+      | _ -> None);
+    entries = [];
+    next_id = 0;
+  }
+
+let kind t = t.kind
+let procedure_count t = List.length t.entries
+
+let subscribe_sources t id (def : View_def.t) =
+  List.iteri
+    (fun source_index (src : View_def.source) ->
+      Ilock.subscribe ~tag:source_index t.ilocks ~owner:id ~rel:(Relation.name src.rel)
+        ~restriction:src.restriction)
+    (View_def.sources def)
+
+let register t (def : View_def.t) =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let entry =
+    match t.kind with
+    | Always_recompute -> Ar (Planner.compile def)
+    | Cache_invalidate ->
+      subscribe_sources t id def;
+      Ci (Result_cache.create ~record_bytes:t.record_bytes def)
+    | Update_cache_avm ->
+      subscribe_sources t id def;
+      Avm (Dbproc_avm.Materialized_view.create ~record_bytes:t.record_bytes def)
+    | Update_cache_rvm ->
+      let builder = Option.get t.builder in
+      let shape =
+        match t.rvm_shape with
+        | (`Left_deep | `Right_deep) as fixed -> fixed
+        | `Auto profile -> Dbproc_rete.Optimizer.choose_shape def ~profile
+      in
+      let built = Dbproc_rete.Builder.add_view builder ~shape def in
+      Rvm built.result
+  in
+  t.entries <- (id, (def, entry)) :: t.entries;
+  id
+
+let find t id =
+  match List.assoc_opt id t.entries with
+  | Some pair -> pair
+  | None -> invalid_arg (Printf.sprintf "Manager: unknown procedure %d" id)
+
+let def_of t id = fst (find t id)
+let proc_ids t = List.rev_map fst t.entries
+
+let access t id =
+  match snd (find t id) with
+  | Ar plan -> Executor.run plan
+  | Ci cache -> Result_cache.access cache
+  | Avm view -> Dbproc_avm.Materialized_view.read view
+  | Rvm node -> Dbproc_rete.Memory.read (Dbproc_rete.Network.memory node)
+
+let on_delta t ~rel ~inserted ~deleted =
+  let news = inserted and olds = deleted in
+  match t.kind with
+  | Always_recompute -> ()
+  | Cache_invalidate ->
+    Ilock.broken_by t.ilocks ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
+      ~charge_screens:false
+    |> List.iter (fun (b : Ilock.broken) ->
+           match snd (find t b.owner) with
+           | Ci cache -> Result_cache.invalidate cache
+           | _ -> assert false)
+  | Update_cache_avm ->
+    Ilock.broken_by t.ilocks ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
+      ~charge_screens:true
+    |> List.iter (fun (b : Ilock.broken) ->
+           match snd (find t b.owner) with
+           | Avm view ->
+             Dbproc_avm.Materialized_view.apply_source_delta view ~source_index:b.tag
+               ~inserted:b.inserted ~deleted:b.deleted
+           | _ -> assert false)
+  | Update_cache_rvm ->
+    let builder = Option.get t.builder in
+    Dbproc_rete.Network.apply_delta
+      (Dbproc_rete.Builder.network builder)
+      ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
+
+let on_update t ~rel ~changes =
+  on_delta t ~rel ~inserted:(List.map snd changes) ~deleted:(List.map fst changes)
+
+let uncharged_recompute t (def : View_def.t) =
+  ignore t;
+  let io = Relation.io def.base.rel in
+  Cost.with_disabled (Io.cost io) (fun () -> Executor.run (Planner.compile def))
+
+let result_cardinality t id =
+  let def, entry = find t id in
+  match entry with
+  | Ar _ -> List.length (uncharged_recompute t def)
+  | Ci cache -> Result_cache.cardinality cache
+  | Avm view -> Dbproc_avm.Materialized_view.cardinality view
+  | Rvm node -> Dbproc_rete.Memory.cardinality (Dbproc_rete.Network.memory node)
+
+let multiset_equal a b =
+  let a = List.sort Tuple.compare a and b = List.sort Tuple.compare b in
+  List.length a = List.length b && List.for_all2 Tuple.equal a b
+
+let matches_recompute t id =
+  let def, entry = find t id in
+  match entry with
+  | Ar _ -> true
+  | Ci cache ->
+    if not (Result_cache.is_valid cache) then true
+    else
+      Cost.with_disabled (Io.cost t.io) (fun () ->
+          multiset_equal (Result_cache.access cache) (uncharged_recompute t def))
+  | Avm view -> Dbproc_avm.Materialized_view.matches_recompute view
+  | Rvm node ->
+    multiset_equal
+      (Dbproc_rete.Memory.contents (Dbproc_rete.Network.memory node))
+      (uncharged_recompute t def)
+
+let shared_alpha_count t =
+  match t.builder with Some b -> Dbproc_rete.Builder.shared_alpha_count b | None -> 0
+
+let shared_beta_count t =
+  match t.builder with Some b -> Dbproc_rete.Builder.shared_beta_count b | None -> 0
+
+let rete_dot t =
+  match t.builder with
+  | Some b -> Some (Dbproc_rete.Network.to_dot (Dbproc_rete.Builder.network b))
+  | None -> None

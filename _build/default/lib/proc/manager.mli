@@ -1,0 +1,90 @@
+(** The database-procedure manager: one strategy, many procedures.
+
+    A manager owns a population of stored procedures and processes reads
+    and update notifications under one of the paper's four algorithms:
+
+    - {!Always_recompute} — run the precompiled plan on every access;
+    - {!Cache_invalidate} — serve from a {!Result_cache}, invalidated via
+      {!Ilock} rule indexing when updates conflict;
+    - {!Update_cache_avm} — maintain a
+      {!Dbproc_avm.Materialized_view} differentially (non-shared);
+    - {!Update_cache_rvm} — maintain results in a shared
+      {!Dbproc_rete} network.
+
+    The driver applies base-table updates itself (that cost is common to
+    all strategies) and then calls {!on_update} with the old/new tuple
+    pairs; {!access} returns a procedure's current value, charging
+    whatever the strategy requires. *)
+
+open Dbproc_relation
+open Dbproc_query
+
+type kind = Always_recompute | Cache_invalidate | Update_cache_avm | Update_cache_rvm
+
+val kind_name : kind -> string
+val all_kinds : kind list
+
+type t
+
+type proc_id = int
+
+type rvm_shape =
+  [ `Left_deep
+  | `Right_deep
+  | `Auto of (string * float) list
+    (** choose per view with {!Dbproc_rete.Optimizer.choose_shape} under
+        the given relation-update-frequency profile — the paper's
+        statically optimized Rete network *) ]
+
+val create :
+  kind ->
+  io:Dbproc_storage.Io.t ->
+  record_bytes:int ->
+  ?rvm_shape:rvm_shape ->
+  unit ->
+  t
+(** [record_bytes] is the width of stored result tuples (the paper's [S]).
+    [rvm_shape] picks the Rete join-tree shape (default [`Right_deep],
+    the paper's model-2 network). *)
+
+val kind : t -> kind
+val procedure_count : t -> int
+
+val register : t -> View_def.t -> proc_id
+(** Install a procedure: compiles its plan and initializes whatever state
+    the strategy keeps (cache contents, materialized view, Rete nodes).
+    Initialization is setup and charges nothing. *)
+
+val def_of : t -> proc_id -> View_def.t
+val proc_ids : t -> proc_id list
+
+val access : t -> proc_id -> Tuple.t list
+(** Read the procedure's value under the manager's strategy, with full
+    cost accounting. *)
+
+val on_delta : t -> rel:Relation.t -> inserted:Tuple.t list -> deleted:Tuple.t list -> unit
+(** Notify the manager that a transaction changed [rel]: [inserted] tuples
+    were appended and [deleted] tuples removed (an in-place modification
+    is its old tuple in [deleted] plus its new tuple in [inserted], per
+    the paper's treatment).  Call after applying the base-table change. *)
+
+val on_update : t -> rel:Relation.t -> changes:(Tuple.t * Tuple.t) list -> unit
+(** [on_delta] for an in-place update transaction ([(old, new)] pairs). *)
+
+val result_cardinality : t -> proc_id -> int
+(** Current number of tuples in the procedure's result (recomputed,
+    uncharged, for Always Recompute). *)
+
+val matches_recompute : t -> proc_id -> bool
+(** Whether the strategy's stored state for the procedure agrees with a
+    from-scratch recompute (uncharged; test invariant).  Always true for
+    Always Recompute and for an invalid Cache and Invalidate entry. *)
+
+val shared_alpha_count : t -> int
+(** RVM only: α-memories reused through sharing (0 otherwise). *)
+
+val shared_beta_count : t -> int
+
+val rete_dot : t -> string option
+(** The RVM network rendered as Graphviz dot; [None] for the other
+    strategies. *)

@@ -1,0 +1,61 @@
+open Dbproc_storage
+open Dbproc_relation
+open Dbproc_query
+
+type t = {
+  name : string;
+  def : View_def.t;
+  plan : Plan.t;
+  store : Tuple.t Heap_file.t;
+  mutable valid : bool;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let io t = Relation.io t.def.View_def.base.rel
+
+let create ?name ~record_bytes (def : View_def.t) =
+  let plan = Planner.compile def in
+  let io = Relation.io def.base.rel in
+  let store = Heap_file.create ~io ~record_bytes () in
+  let t =
+    {
+      name = Option.value name ~default:def.name;
+      def;
+      plan;
+      store;
+      valid = true;
+      accesses = 0;
+      misses = 0;
+    }
+  in
+  Cost.with_disabled (Io.cost io) (fun () ->
+      List.iter (fun tuple -> ignore (Heap_file.append store tuple)) (Executor.run plan));
+  t
+
+let name t = t.name
+let def t = t.def
+let plan t = t.plan
+let is_valid t = t.valid
+let cardinality t = Heap_file.record_count t.store
+let page_count t = Heap_file.page_count t.store
+
+let invalidate t =
+  if t.valid then begin
+    t.valid <- false;
+    Cost.invalidation (Io.cost (io t))
+  end
+
+let access t =
+  t.accesses <- t.accesses + 1;
+  if t.valid then Heap_file.read_all t.store
+  else begin
+    t.misses <- t.misses + 1;
+    let fresh = Executor.run t.plan in
+    Heap_file.rewrite t.store fresh;
+    t.valid <- true;
+    fresh
+  end
+
+let accesses t = t.accesses
+let misses t = t.misses

@@ -1,0 +1,39 @@
+(** Cached procedure results for the Cache and Invalidate strategy.
+
+    The cache stores the last computed value of the procedure's query plus
+    a validity flag.  Accessing a valid entry reads its pages (the paper's
+    [T2 = C2 * ProcSize]).  Accessing an invalid entry recomputes the value
+    with the stored plan and rewrites the cache, one read + one write per
+    page ([T1 = C_ProcessQuery + 2 C2 ProcSize]).  {!invalidate} charges
+    [C_inval] through {!Dbproc_storage.Cost.invalidation}. *)
+
+open Dbproc_relation
+open Dbproc_query
+
+type t
+
+val create : ?name:string -> record_bytes:int -> View_def.t -> t
+(** Compile the plan and populate the cache (setup, uncharged), initially
+    valid. *)
+
+val name : t -> string
+val def : t -> View_def.t
+val plan : t -> Plan.t
+val is_valid : t -> bool
+
+val cardinality : t -> int
+val page_count : t -> int
+
+val invalidate : t -> unit
+(** Mark invalid, charging one [C_inval].  Idempotent — invalidating an
+    already-invalid entry is free (the flag is already set). *)
+
+val access : t -> Tuple.t list
+(** Return the procedure's value, refreshing the cache first if it is
+    invalid. *)
+
+val accesses : t -> int
+(** Total accesses served. *)
+
+val misses : t -> int
+(** Accesses that found the cache invalid and recomputed. *)

@@ -1,0 +1,1 @@
+lib/query/executor.ml: Cost Dbproc_index Dbproc_relation Dbproc_storage Io List Plan Predicate Printf Relation Schema Tuple

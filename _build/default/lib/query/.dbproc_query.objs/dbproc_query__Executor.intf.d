@@ -1,0 +1,1 @@
+lib/query/executor.mli: Dbproc_relation Plan Tuple

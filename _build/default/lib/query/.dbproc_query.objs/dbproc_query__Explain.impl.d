@@ -1,0 +1,1 @@
+lib/query/explain.ml: Cost Dbproc_index Dbproc_relation Dbproc_storage Dbproc_util Executor Float Format Io List Plan Planner Predicate Printf Relation View_def

@@ -1,0 +1,1 @@
+lib/query/explain.mli: Dbproc_storage Format View_def

@@ -1,0 +1,1 @@
+lib/query/plan.ml: Dbproc_index Dbproc_relation Format List Predicate Relation Value

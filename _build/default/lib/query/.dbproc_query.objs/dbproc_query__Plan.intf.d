@@ -1,0 +1,1 @@
+lib/query/plan.mli: Dbproc_index Dbproc_relation Format Predicate Relation Value

@@ -1,0 +1,1 @@
+lib/query/planner.ml: Btree Dbproc_index Dbproc_relation List Plan Predicate Relation Schema Value View_def

@@ -1,0 +1,1 @@
+lib/query/planner.mli: Dbproc_index Dbproc_relation Plan View_def

@@ -1,0 +1,1 @@
+lib/query/view_def.ml: Dbproc_relation Format Hashtbl List Option Predicate Printf Relation Schema

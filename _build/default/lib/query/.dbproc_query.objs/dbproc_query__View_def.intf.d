@@ -1,0 +1,1 @@
+lib/query/view_def.mli: Dbproc_relation Format Predicate Relation Schema

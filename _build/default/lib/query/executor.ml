@@ -1,0 +1,85 @@
+open Dbproc_storage
+open Dbproc_relation
+
+let charge_screen io = Cost.cpu_screen (Io.cost io)
+
+let run_access (plan : Plan.t) =
+  let rel = plan.base_rel in
+  let io = Relation.io rel in
+  match plan.access with
+  | Plan.Full_scan { residual } ->
+    let out = ref [] in
+    Relation.scan rel ~f:(fun _rid tuple ->
+        charge_screen io;
+        if Predicate.eval residual tuple then out := tuple :: !out);
+    List.rev !out
+  | Plan.Hash_point { attr; key; residual } ->
+    Relation.fetch_by_key rel ~attr key
+    |> List.filter_map (fun (_rid, tuple) ->
+           charge_screen io;
+           if Predicate.eval residual tuple then Some tuple else None)
+  | Plan.Btree_range { attr; lo; hi; residual } -> (
+    match Relation.btree_on rel ~attr with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Executor: plan expects a btree on %s.%s" (Relation.name rel) attr)
+    | Some btree ->
+      let rids = ref [] in
+      Dbproc_index.Btree.range btree ~lo ~hi ~f:(fun _k rid -> rids := rid :: !rids);
+      let out = ref [] in
+      List.iter
+        (fun rid ->
+          let tuple = Relation.get rel rid in
+          charge_screen io;
+          if Predicate.eval residual tuple then out := tuple :: !out)
+        (List.rev !rids);
+      List.rev !out)
+
+let run_probe (probe : Plan.join_probe) outer_tuples =
+  let io = Relation.io probe.probe_rel in
+  if probe.use_index then
+    List.concat_map
+      (fun outer ->
+        charge_screen io;
+        let key = Tuple.get outer probe.outer_attr in
+        Relation.fetch_by_key probe.probe_rel ~attr:probe.probe_attr key
+        |> List.filter_map (fun (_rid, inner) ->
+               if Predicate.eval probe.residual inner then Some (Tuple.concat outer inner)
+               else None))
+      outer_tuples
+  else begin
+    (* Scan join: read the inner relation once (page dedup makes repeated
+       scans free within this query) and test every pair.  One C1 per
+       outer tuple per inner tuple — the quadratic CPU a real nested loop
+       pays. *)
+    let probe_pos = Schema.index_of (Relation.schema probe.probe_rel) probe.probe_attr in
+    List.concat_map
+      (fun outer ->
+        let key = Tuple.get outer probe.outer_attr in
+        let out = ref [] in
+        Relation.scan probe.probe_rel ~f:(fun _rid inner ->
+            charge_screen io;
+            if
+              Predicate.eval_op probe.op key (Tuple.get inner probe_pos)
+              && Predicate.eval probe.residual inner
+            then out := Tuple.concat outer inner :: !out);
+        List.rev !out)
+      outer_tuples
+  end
+
+let probe_chain ~probes ~outer =
+  match probes with
+  | [] -> outer
+  | first :: _ ->
+    let io = Relation.io first.Plan.probe_rel in
+    Io.with_touch_dedup io (fun () -> List.fold_left (fun acc p -> run_probe p acc) outer probes)
+
+let run_base (plan : Plan.t) =
+  let io = Relation.io plan.base_rel in
+  Io.with_touch_dedup io (fun () -> run_access plan)
+
+let run (plan : Plan.t) =
+  let io = Relation.io plan.base_rel in
+  Io.with_touch_dedup io (fun () ->
+      let base = run_access plan in
+      List.fold_left (fun acc p -> run_probe p acc) base plan.probes)

@@ -1,0 +1,146 @@
+open Dbproc_storage
+open Dbproc_relation
+
+type step = { description : string; est_pages : float; est_screens : float }
+
+type report = {
+  plan_text : string;
+  steps : step list;
+  est_ms : float;
+  measured_ms : float;
+  measured_reads : int;
+  measured_screens : int;
+  rows : int;
+}
+
+let charges = Cost.default_charges
+
+let yao = Dbproc_util.Yao.paper
+
+(* Qualifying cardinality of a source, measured without accounting. *)
+let measure_selection (src : View_def.source) =
+  Cost.with_disabled
+    (Io.cost (Relation.io src.rel))
+    (fun () ->
+      let n = ref 0 in
+      Relation.scan src.rel ~f:(fun _ tuple ->
+          if Predicate.eval src.restriction tuple then incr n);
+      !n)
+
+let pages_of rel count =
+  let io = Relation.io rel in
+  float_of_int
+    (Io.pages_for_records io ~record_bytes:(Relation.tuple_bytes rel) ~count:(max count 1))
+
+let estimate (def : View_def.t) =
+  let plan = Planner.compile def in
+  let plan_text = Format.asprintf "%a" Plan.pp plan in
+  let base_rel = def.View_def.base.rel in
+  let base_n = measure_selection def.View_def.base in
+  let base_step =
+    match plan.Plan.access with
+    | Plan.Btree_range _ ->
+      let height =
+        match Relation.btree_on base_rel ~attr:(match plan.Plan.access with
+          | Plan.Btree_range { attr; _ } -> attr
+          | _ -> assert false)
+        with
+        | Some btree -> float_of_int (Dbproc_index.Btree.height btree)
+        | None -> 1.0
+      in
+      {
+        description =
+          Printf.sprintf "btree range scan of %s (%d qualifying tuples)"
+            (Relation.name base_rel) base_n;
+        est_pages = height +. pages_of base_rel base_n;
+        est_screens = float_of_int base_n;
+      }
+    | Plan.Hash_point { attr; _ } ->
+      {
+        description =
+          Printf.sprintf "hash point lookup on %s.%s (%d qualifying tuples)"
+            (Relation.name base_rel) attr base_n;
+        est_pages = Float.max 1.0 (pages_of base_rel base_n);
+        est_screens = float_of_int base_n;
+      }
+    | Plan.Full_scan _ ->
+      {
+        description = Printf.sprintf "full scan of %s" (Relation.name base_rel);
+        est_pages = float_of_int (Relation.page_count base_rel);
+        est_screens = float_of_int (Relation.cardinality base_rel);
+      }
+  in
+  (* Each probe stage's outer cardinality, measured stage by stage. *)
+  let outer_counts =
+    (* measure cumulative join sizes with an uncharged execution *)
+    Cost.with_disabled
+      (Io.cost (Relation.io base_rel))
+      (fun () ->
+        let tuples = ref (Executor.run_base plan) in
+        List.map
+          (fun probe ->
+            let outer_n = List.length !tuples in
+            tuples := Executor.probe_chain ~probes:[ probe ] ~outer:!tuples;
+            (outer_n, List.length !tuples))
+          plan.Plan.probes)
+  in
+  let probe_steps =
+    List.map2
+      (fun (probe : Plan.join_probe) (outer_n, _result_n) ->
+        let rel = probe.Plan.probe_rel in
+        let n = float_of_int (Relation.cardinality rel) in
+        let m = float_of_int (max (Relation.page_count rel) 1) in
+        if probe.Plan.use_index then
+          {
+            description =
+              Printf.sprintf "index probe into %s (%d outer tuples)" (Relation.name rel)
+                outer_n;
+            est_pages = yao ~n ~m ~k:(float_of_int outer_n);
+            est_screens = float_of_int outer_n;
+          }
+        else
+          {
+            description =
+              Printf.sprintf "scan join against %s (%d outer tuples x %d inner)"
+                (Relation.name rel) outer_n (Relation.cardinality rel);
+            (* the inner pages charge once per query under dedup *)
+            est_pages = m;
+            est_screens = float_of_int outer_n *. n;
+          })
+      plan.Plan.probes outer_counts
+  in
+  let steps = base_step :: probe_steps in
+  let est_ms =
+    List.fold_left
+      (fun acc s ->
+        acc +. (charges.Cost.c2_io_ms *. s.est_pages) +. (charges.Cost.c1_screen_ms *. s.est_screens))
+      0.0 steps
+  in
+  (plan_text, steps, est_ms)
+
+let explain_run (def : View_def.t) =
+  let plan_text, steps, est_ms = estimate def in
+  let plan = Planner.compile def in
+  let cost = Io.cost (Relation.io def.View_def.base.rel) in
+  let before = Cost.snapshot cost in
+  let tuples = Executor.run plan in
+  let after = Cost.snapshot cost in
+  {
+    plan_text;
+    steps;
+    est_ms;
+    measured_ms = Cost.diff_ms charges ~before ~after;
+    measured_reads = after.Cost.s_page_reads - before.Cost.s_page_reads;
+    measured_screens = after.Cost.s_cpu_screens - before.Cost.s_cpu_screens;
+    rows = List.length tuples;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "plan: %s@\n" r.plan_text;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %-52s ~%.1f pages, ~%.0f screens@\n" s.description s.est_pages
+        s.est_screens)
+    r.steps;
+  Format.fprintf ppf "estimated: %.0f ms; measured: %.0f ms (%d reads, %d screens, %d rows)"
+    r.est_ms r.measured_ms r.measured_reads r.measured_screens r.rows

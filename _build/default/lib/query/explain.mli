@@ -1,0 +1,40 @@
+(** Plan explanation: estimated vs. measured cost for one query.
+
+    The estimator prices a compiled plan with the same machinery the
+    paper's formulas use — per-step page counts from the Appendix-A Yao
+    function over cardinalities measured from the current database — then
+    the query is actually executed and the charged operations compared.
+    Useful both as a user-facing EXPLAIN and as a continuous check that
+    the engine's charging matches the analytical model's shape. *)
+
+type step = {
+  description : string;
+  est_pages : float;  (** expected page touches (reads + writes) *)
+  est_screens : float;  (** expected C1 predicate screenings *)
+}
+
+type report = {
+  plan_text : string;
+  steps : step list;
+  est_ms : float;
+  measured_ms : float;
+  measured_reads : int;
+  measured_screens : int;
+  rows : int;
+}
+
+val estimate : View_def.t -> string * step list * float
+(** Compile and estimate only: (plan text, steps, total ms).  Cardinality
+    statistics are gathered from the current contents without cost
+    accounting (compile-time work).
+
+    @raise Planner.Unsupported_plan if the definition cannot be planned. *)
+
+val explain_run : View_def.t -> report
+(** {!estimate}, then execute the plan with normal cost accounting and
+    report the measured counters alongside. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val charges : Dbproc_storage.Cost.charges
+(** The unit costs used for pricing (the paper's defaults). *)

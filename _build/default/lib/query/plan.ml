@@ -1,0 +1,43 @@
+open Dbproc_relation
+
+type access_path =
+  | Btree_range of {
+      attr : string;
+      lo : Value.t Dbproc_index.Btree.bound;
+      hi : Value.t Dbproc_index.Btree.bound;
+      residual : Predicate.t;
+    }
+  | Hash_point of { attr : string; key : Value.t; residual : Predicate.t }
+  | Full_scan of { residual : Predicate.t }
+
+type join_probe = {
+  probe_rel : Relation.t;
+  probe_attr : string;
+  outer_attr : int;
+  op : Predicate.op;
+  residual : Predicate.t;
+  use_index : bool;
+}
+
+type t = { base_rel : Relation.t; access : access_path; probes : join_probe list }
+
+let pp_bound ppf = function
+  | Dbproc_index.Btree.Unbounded -> Format.pp_print_string ppf "_"
+  | Inclusive v -> Format.fprintf ppf "[%a" Value.pp v
+  | Exclusive v -> Format.fprintf ppf "(%a" Value.pp v
+
+let pp ppf t =
+  (match t.access with
+  | Btree_range b ->
+    Format.fprintf ppf "btree-range %s.%s %a..%a" (Relation.name t.base_rel) b.attr pp_bound
+      b.lo pp_bound b.hi
+  | Hash_point h ->
+    Format.fprintf ppf "hash-point %s.%s = %a" (Relation.name t.base_rel) h.attr Value.pp
+      h.key
+  | Full_scan _ -> Format.fprintf ppf "full-scan %s" (Relation.name t.base_rel));
+  List.iter
+    (fun p ->
+      Format.fprintf ppf " -> %s %s.%s (outer .%d %a)"
+        (if p.use_index then "probe" else "scan-join")
+        (Relation.name p.probe_rel) p.probe_attr p.outer_attr Predicate.pp_op p.op)
+    t.probes

@@ -1,0 +1,42 @@
+(** Physical query plans.
+
+    Plans are the precompiled execution strategies the paper stores with
+    each procedure: an access path for the base source and a chain of
+    index-probe joins.  The planner ({!Planner}) builds them from
+    {!View_def.t}; the executor ({!Executor}) runs them with cost
+    accounting. *)
+
+open Dbproc_relation
+
+type access_path =
+  | Btree_range of {
+      attr : string;  (** indexed attribute *)
+      lo : Value.t Dbproc_index.Btree.bound;
+      hi : Value.t Dbproc_index.Btree.bound;
+      residual : Predicate.t;  (** remaining terms screened per tuple *)
+    }
+  | Hash_point of {
+      attr : string;  (** hash-indexed attribute with an equality term *)
+      key : Value.t;
+      residual : Predicate.t;
+    }
+  | Full_scan of { residual : Predicate.t }
+
+type join_probe = {
+  probe_rel : Relation.t;
+  probe_attr : string;  (** attribute of [probe_rel] the join compares against *)
+  outer_attr : int;  (** position in the outer (accumulated) tuple *)
+  op : Predicate.op;
+  residual : Predicate.t;  (** [probe_rel]-local terms screened per probe result *)
+  use_index : bool;
+      (** [true]: probe an index on [probe_attr] per outer tuple (requires
+          an equality join over an indexed attribute — the paper's plans).
+          [false]: scan [probe_rel] and test the join term per pair; the
+          scan's pages are charged once per query (per-operation dedup),
+          so this behaves like a block nested-loop with the paper's
+          query-scoped memory. *)
+}
+
+type t = { base_rel : Relation.t; access : access_path; probes : join_probe list }
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+open Dbproc_relation
+open Dbproc_index
+
+exception Unsupported_plan of string
+(* Every view shape this library builds now compiles (non-equality or
+   unindexed joins degrade to scan joins); the exception remains in the
+   interface for callers that pattern-match on it. *)
+
+let tighten_lo current candidate compare_v =
+  match (current, candidate) with
+  | Btree.Unbounded, c -> c
+  | c, Btree.Unbounded -> c
+  | Inclusive a, Inclusive b -> if compare_v a b >= 0 then Inclusive a else Inclusive b
+  | Exclusive a, Exclusive b -> if compare_v a b >= 0 then Exclusive a else Exclusive b
+  | Inclusive a, Exclusive b | Exclusive b, Inclusive a ->
+    if compare_v b a >= 0 then Exclusive b else Inclusive a
+
+let tighten_hi current candidate compare_v =
+  match (current, candidate) with
+  | Btree.Unbounded, c -> c
+  | c, Btree.Unbounded -> c
+  | Inclusive a, Inclusive b -> if compare_v a b <= 0 then Inclusive a else Inclusive b
+  | Exclusive a, Exclusive b -> if compare_v a b <= 0 then Exclusive a else Exclusive b
+  | Inclusive a, Exclusive b | Exclusive b, Inclusive a ->
+    if compare_v b a <= 0 then Exclusive b else Inclusive a
+
+let bounds_of_restriction restriction ~attr =
+  List.fold_left
+    (fun (lo, hi) (term : Predicate.term) ->
+      if term.attr <> attr then (lo, hi)
+      else
+        match term.op with
+        | Predicate.Eq ->
+          ( tighten_lo lo (Inclusive term.value) Value.compare,
+            tighten_hi hi (Inclusive term.value) Value.compare )
+        | Predicate.Ge -> (tighten_lo lo (Inclusive term.value) Value.compare, hi)
+        | Predicate.Gt -> (tighten_lo lo (Exclusive term.value) Value.compare, hi)
+        | Predicate.Le -> (lo, tighten_hi hi (Inclusive term.value) Value.compare)
+        | Predicate.Lt -> (lo, tighten_hi hi (Exclusive term.value) Value.compare)
+        | Predicate.Ne -> (lo, hi))
+    (Btree.Unbounded, Btree.Unbounded)
+    restriction
+
+let interval_of_restriction (restriction : Predicate.t) =
+  match restriction with
+  | [] -> None
+  | terms -> (
+    let attrs = List.sort_uniq compare (List.map (fun (t : Predicate.term) -> t.attr) terms) in
+    match attrs with
+    | [ attr ] -> (
+      let lo, hi = bounds_of_restriction restriction ~attr in
+      match (lo, hi) with
+      | Btree.Unbounded, Btree.Unbounded -> None
+      | _ -> Some (attr, lo, hi))
+    | _ -> None)
+
+let choose_access (source : View_def.source) =
+  let rel = source.rel in
+  let schema = Relation.schema rel in
+  let restricted_index kind_wanted =
+    List.find_map
+      (fun (attr, kind) ->
+        if kind <> kind_wanted then None
+        else begin
+          let pos = Schema.index_of schema attr in
+          if List.exists (fun (t : Predicate.term) -> t.attr = pos) source.restriction then
+            Some (attr, pos)
+          else None
+        end)
+      (Relation.indexed_attrs rel)
+  in
+  match restricted_index `Btree with
+  | Some (attr, pos) -> (
+    let lo, hi = bounds_of_restriction source.restriction ~attr:pos in
+    match (lo, hi) with
+    | Btree.Unbounded, Btree.Unbounded -> Plan.Full_scan { residual = source.restriction }
+    | _ -> Plan.Btree_range { attr; lo; hi; residual = source.restriction })
+  | None -> (
+    (* a hash index answers only equality terms *)
+    let hash_point =
+      List.find_map
+        (fun (attr, kind) ->
+          if kind <> `Hash then None
+          else begin
+            let pos = Schema.index_of schema attr in
+            List.find_map
+              (fun (t : Predicate.term) ->
+                if t.attr = pos && t.op = Predicate.Eq then Some (attr, t.value) else None)
+              source.restriction
+          end)
+        (Relation.indexed_attrs rel)
+    in
+    match hash_point with
+    | Some (attr, key) -> Plan.Hash_point { attr; key; residual = source.restriction }
+    | None -> Plan.Full_scan { residual = source.restriction })
+
+let choose_probe (step : View_def.join_step) =
+  let rel = step.source.rel in
+  let attr_name = (Schema.attr (Relation.schema rel) step.right_attr).name in
+  let has_index =
+    List.exists (fun (attr, _) -> attr = attr_name) (Relation.indexed_attrs rel)
+  in
+  {
+    Plan.probe_rel = rel;
+    probe_attr = attr_name;
+    outer_attr = step.left_attr;
+    op = step.op;
+    residual = step.source.restriction;
+    (* the paper's plans probe an index per outer tuple; only equality
+       joins over indexed attributes can — anything else degrades to a
+       scan join *)
+    use_index = (step.op = Predicate.Eq && has_index);
+  }
+
+let compile (def : View_def.t) =
+  {
+    Plan.base_rel = def.base.rel;
+    access = choose_access def.base;
+    probes = List.map choose_probe def.steps;
+  }

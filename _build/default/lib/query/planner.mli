@@ -1,0 +1,39 @@
+(** Static plan compilation.
+
+    The paper's strategies all use precompiled plans ("statically
+    optimized"): the plan is built once when the procedure is defined and
+    reused on every access.  The planner picks, per the paper's setup:
+
+    - base access: a B-tree range scan when the restriction constrains a
+      B-tree-indexed attribute (R1's selection predicate), a hash point
+      lookup for an equality over a hash-indexed attribute, otherwise a
+      full scan;
+    - joins: an index probe on the step's right attribute when the step
+      is an equality over an indexed attribute (the paper's plans);
+      anything else degrades to a scan join (inner pages charged once per
+      query under the per-operation dedup). *)
+
+exception Unsupported_plan of string
+(** No longer raised by {!compile}; kept for callers that match on it. *)
+
+val compile : View_def.t -> Plan.t
+
+val bounds_of_restriction :
+  Dbproc_relation.Predicate.t ->
+  attr:int ->
+  Dbproc_relation.Value.t Dbproc_index.Btree.bound
+  * Dbproc_relation.Value.t Dbproc_index.Btree.bound
+(** Extract the tightest (lo, hi) bounds the conjunction imposes on one
+    attribute (exposed for tests). *)
+
+val interval_of_restriction :
+  Dbproc_relation.Predicate.t ->
+  (int
+  * Dbproc_relation.Value.t Dbproc_index.Btree.bound
+  * Dbproc_relation.Value.t Dbproc_index.Btree.bound)
+  option
+(** If the conjunction constrains exactly one attribute with at least one
+    range/equality term, the [(attr, lo, hi)] interval covering every
+    satisfying tuple — the region an index scan inspects, hence the region
+    i-locks cover and Rete t-const nodes discriminate on.  [None] for
+    multi-attribute or unconstrained restrictions. *)

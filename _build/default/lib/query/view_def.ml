@@ -1,0 +1,69 @@
+open Dbproc_relation
+
+type source = { rel : Relation.t; restriction : Predicate.t }
+
+type join_step = {
+  source : source;
+  left_attr : int;
+  op : Predicate.op;
+  right_attr : int;
+}
+
+type t = { name : string; base : source; steps : join_step list }
+
+let select ~name ~rel ~restriction = { name; base = { rel; restriction }; steps = [] }
+
+let sources t = t.base :: List.map (fun s -> s.source) t.steps
+let relations t = List.map (fun s -> s.rel) (sources t)
+
+let depends_on t rel =
+  List.exists (fun r -> Relation.name r = Relation.name rel) (relations t)
+
+(* Qualify each source schema with its relation name; repeated relation
+   names get a #n suffix so the concatenated schema stays well-formed. *)
+let qualified_schemas srcs =
+  let seen = Hashtbl.create 4 in
+  List.map
+    (fun src ->
+      let base_name = Relation.name src.rel in
+      let n = Option.value (Hashtbl.find_opt seen base_name) ~default:0 in
+      Hashtbl.replace seen base_name (n + 1);
+      let prefix = if n = 0 then base_name else Printf.sprintf "%s#%d" base_name n in
+      Schema.qualify ~prefix (Relation.schema src.rel))
+    srcs
+
+let schema t =
+  match qualified_schemas (sources t) with
+  | [] -> assert false
+  | first :: rest -> List.fold_left Schema.concat first rest
+
+let source_offsets t =
+  let srcs = sources t in
+  let _, offsets =
+    List.fold_left
+      (fun (off, acc) src -> (off + Schema.arity (Relation.schema src.rel), off :: acc))
+      (0, []) srcs
+  in
+  List.rev offsets
+
+let join t ~rel ~restriction ~left ~op ~right =
+  let left_attr = Schema.index_of (schema t) left in
+  let right_attr = Schema.index_of (Relation.schema rel) right in
+  let step = { source = { rel; restriction }; left_attr; op; right_attr } in
+  { t with steps = t.steps @ [ step ] }
+
+let pp ppf t =
+  Format.fprintf ppf "view %s: %s where %a" t.name
+    (Relation.name t.base.rel)
+    (Predicate.pp (Relation.schema t.base.rel))
+    t.base.restriction;
+  List.iter
+    (fun step ->
+      Format.fprintf ppf " join %s on .%d %a %s.%d where %a"
+        (Relation.name step.source.rel)
+        step.left_attr Predicate.pp_op step.op
+        (Relation.name step.source.rel)
+        step.right_attr
+        (Predicate.pp (Relation.schema step.source.rel))
+        step.source.restriction)
+    t.steps

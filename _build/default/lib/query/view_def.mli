@@ -1,0 +1,52 @@
+(** Logical definitions of database-procedure queries.
+
+    A definition is a restricted source relation followed by a chain of
+    equi-join steps, each joining an attribute of the accumulated result to
+    an attribute of a new restricted source — exactly the query family the
+    paper analyzes (P1 is a bare source; model-1 P2 adds one step; model-2
+    P2 adds two).  Arbitrary left-deep chains are supported. *)
+
+open Dbproc_relation
+
+type source = { rel : Relation.t; restriction : Predicate.t }
+(** A base relation filtered by a conjunction of t-const terms (indices
+    into the relation's own schema). *)
+
+type join_step = {
+  source : source;
+  left_attr : int;  (** position in the {e accumulated} result schema *)
+  op : Predicate.op;
+  right_attr : int;  (** position in [source]'s schema *)
+}
+
+type t = { name : string; base : source; steps : join_step list }
+
+val select : name:string -> rel:Relation.t -> restriction:Predicate.t -> t
+(** A P1-style single-relation selection. *)
+
+val join :
+  t -> rel:Relation.t -> restriction:Predicate.t -> left:string -> op:Predicate.op ->
+  right:string -> t
+(** [join def ~rel ~left ~op ~right] appends a join step.  [left] is an
+    attribute name in [def]'s (qualified) result schema, [right] one in
+    [rel]'s schema.
+    @raise Not_found if either attribute is missing. *)
+
+val schema : t -> Schema.t
+(** Result schema: the concatenation of each source's schema qualified
+    with its relation name ("R1.a", "R2.b", ...).  Joining the same
+    relation twice qualifies later occurrences with a [#n] suffix. *)
+
+val sources : t -> source list
+(** Base source first, then each step's source. *)
+
+val relations : t -> Relation.t list
+
+val depends_on : t -> Relation.t -> bool
+(** Whether the view reads the given relation (by name). *)
+
+val source_offsets : t -> int list
+(** Starting position of each source's attributes within {!schema}, in
+    {!sources} order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/relation/catalog.ml: Dbproc_storage Format Hashtbl List Printf Relation

@@ -1,0 +1,1 @@
+lib/relation/catalog.mli: Dbproc_storage Format Relation Schema

@@ -1,0 +1,1 @@
+lib/relation/predicate.ml: Format List Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Btree Cost Dbproc_index Dbproc_storage Format Hash_index Heap_file Io List Printf Schema Tuple Value

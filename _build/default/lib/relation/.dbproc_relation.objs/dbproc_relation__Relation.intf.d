@@ -1,0 +1,1 @@
+lib/relation/relation.mli: Dbproc_index Dbproc_storage Format Schema Tuple Value

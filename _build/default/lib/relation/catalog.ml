@@ -1,0 +1,27 @@
+type t = { io : Dbproc_storage.Io.t; relations : (string, Relation.t) Hashtbl.t }
+
+let create ~io = { io; relations = Hashtbl.create 8 }
+let io t = t.io
+
+let add t rel =
+  let name = Relation.name rel in
+  if Hashtbl.mem t.relations name then
+    invalid_arg (Printf.sprintf "Catalog: duplicate relation %S" name);
+  Hashtbl.replace t.relations name rel
+
+let create_relation t ~name ~schema ~tuple_bytes =
+  let rel = Relation.create ~io:t.io ~name ~schema ~tuple_bytes in
+  add t rel;
+  rel
+
+let find t name =
+  match Hashtbl.find_opt t.relations name with Some r -> r | None -> raise Not_found
+
+let find_opt t name = Hashtbl.find_opt t.relations name
+let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.relations [] |> List.sort compare
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:Format.pp_print_newline
+    (fun ppf name -> Relation.pp ppf (find t name))
+    ppf (names t)

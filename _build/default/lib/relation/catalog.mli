@@ -1,0 +1,20 @@
+(** A named collection of relations sharing one I/O layer. *)
+
+type t
+
+val create : io:Dbproc_storage.Io.t -> t
+val io : t -> Dbproc_storage.Io.t
+
+val add : t -> Relation.t -> unit
+(** @raise Invalid_argument on a duplicate name. *)
+
+val create_relation :
+  t -> name:string -> schema:Schema.t -> tuple_bytes:int -> Relation.t
+(** Create and register in one step. *)
+
+val find : t -> string -> Relation.t
+(** @raise Not_found *)
+
+val find_opt : t -> string -> Relation.t option
+val names : t -> string list
+val pp : Format.formatter -> t -> unit

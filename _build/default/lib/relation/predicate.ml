@@ -1,0 +1,65 @@
+type op = Lt | Le | Eq | Ne | Ge | Gt
+
+let eval_op op a b =
+  let c = Value.compare a b in
+  match op with
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Ge -> c >= 0
+  | Gt -> c > 0
+
+let negate_op = function Lt -> Ge | Le -> Gt | Eq -> Ne | Ne -> Eq | Ge -> Lt | Gt -> Le
+
+let pp_op ppf op =
+  Format.pp_print_string ppf
+    (match op with Lt -> "<" | Le -> "<=" | Eq -> "=" | Ne -> "!=" | Ge -> ">=" | Gt -> ">")
+
+type term = { attr : int; op : op; value : Value.t }
+
+let term ~attr ~op ~value = { attr; op; value }
+let eval_term t tuple = eval_op t.op (Tuple.get tuple t.attr) t.value
+
+type t = term list
+
+let always_true = []
+let eval terms tuple = List.for_all (fun t -> eval_term t tuple) terms
+
+let sort_terms terms =
+  List.sort
+    (fun a b ->
+      match compare a.attr b.attr with
+      | 0 -> (
+        match compare a.op b.op with 0 -> Value.compare a.value b.value | c -> c)
+      | c -> c)
+    terms
+
+let equal a b =
+  let a = sort_terms a and b = sort_terms b in
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y -> x.attr = y.attr && x.op = y.op && Value.equal x.value y.value)
+       a b
+
+type join_term = { left_attr : int; op : op; right_attr : int }
+
+let join_term ~left_attr ~op ~right_attr = { left_attr; op; right_attr }
+
+let eval_join jt ~left ~right =
+  eval_op jt.op (Tuple.get left jt.left_attr) (Tuple.get right jt.right_attr)
+
+let pp schema ppf terms =
+  match terms with
+  | [] -> Format.pp_print_string ppf "true"
+  | _ ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " and ")
+      (fun ppf t ->
+        Format.fprintf ppf "%s %a %a" (Schema.attr schema t.attr).name pp_op t.op Value.pp
+          t.value)
+      ppf terms
+
+let pp_join ~left ~right ppf jt =
+  Format.fprintf ppf "left.%s %a right.%s" (Schema.attr left jt.left_attr).name pp_op jt.op
+    (Schema.attr right jt.right_attr).name

@@ -1,0 +1,201 @@
+open Dbproc_storage
+open Dbproc_index
+
+type index =
+  | Btree_idx of (Value.t, Heap_file.rid) Btree.t
+  | Hash_idx of { index : (Value.t, Heap_file.rid) Hash_index.t; primary : bool }
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  heap : Tuple.t Heap_file.t;
+  tuple_bytes : int;
+  mutable indexes : (int * index) list; (* attr position -> index *)
+  mutable index_specs : (int * [ `Btree of int | `Hash of int * int * bool ]) list;
+      (* enough to rebuild on load *)
+}
+
+let create ~io ~name ~schema ~tuple_bytes =
+  {
+    name;
+    schema;
+    heap = Heap_file.create ~io ~record_bytes:tuple_bytes ();
+    tuple_bytes;
+    indexes = [];
+    index_specs = [];
+  }
+
+let name t = t.name
+let schema t = t.schema
+let io t = Heap_file.io t.heap
+let tuple_bytes t = t.tuple_bytes
+let cardinality t = Heap_file.record_count t.heap
+let page_count t = Heap_file.page_count t.heap
+
+let attr_pos t attr =
+  match Schema.index_of_opt t.schema attr with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Relation %s: no attribute %S" t.name attr)
+
+let index_insert idx key rid =
+  match idx with
+  | Btree_idx b -> Btree.insert b key rid
+  | Hash_idx h -> Hash_index.insert h.index key rid
+
+let index_remove idx key rid =
+  match idx with
+  | Btree_idx b -> ignore (Btree.remove b key (Heap_file.rid_equal rid))
+  | Hash_idx h -> ignore (Hash_index.remove h.index key (Heap_file.rid_equal rid))
+
+let populate_index t pos idx =
+  let cost = Io.cost (io t) in
+  Cost.with_disabled cost (fun () ->
+      Heap_file.scan t.heap ~f:(fun rid tuple -> index_insert idx (Tuple.get tuple pos) rid))
+
+let add_btree_index t ~attr ~entry_bytes =
+  let pos = attr_pos t attr in
+  if List.mem_assoc pos t.indexes then
+    invalid_arg (Printf.sprintf "Relation %s: %S already indexed" t.name attr);
+  let idx = Btree_idx (Btree.create ~io:(io t) ~entry_bytes ~compare:Value.compare ()) in
+  populate_index t pos idx;
+  t.indexes <- (pos, idx) :: t.indexes;
+  t.index_specs <- (pos, `Btree entry_bytes) :: t.index_specs
+
+let add_hash_index ?(primary = false) t ~attr ~entry_bytes ~expected_entries =
+  let pos = attr_pos t attr in
+  if List.mem_assoc pos t.indexes then
+    invalid_arg (Printf.sprintf "Relation %s: %S already indexed" t.name attr);
+  let entry_bytes = if primary then t.tuple_bytes else entry_bytes in
+  let idx =
+    Hash_idx
+      {
+        index = Hash_index.create ~io:(io t) ~entry_bytes ~expected_entries ~equal:Value.equal ();
+        primary;
+      }
+  in
+  populate_index t pos idx;
+  t.indexes <- (pos, idx) :: t.indexes;
+  t.index_specs <- (pos, `Hash (entry_bytes, expected_entries, primary)) :: t.index_specs
+
+let btree_on t ~attr =
+  match List.assoc_opt (attr_pos t attr) t.indexes with
+  | Some (Btree_idx b) -> Some b
+  | _ -> None
+
+let hash_on t ~attr =
+  match List.assoc_opt (attr_pos t attr) t.indexes with
+  | Some (Hash_idx h) -> Some h.index
+  | _ -> None
+
+let indexed_attrs t =
+  List.map
+    (fun (pos, idx) ->
+      ( (Schema.attr t.schema pos).name,
+        match idx with Btree_idx _ -> `Btree | Hash_idx _ -> `Hash ))
+    t.indexes
+
+let index_descriptions t =
+  List.map
+    (fun (pos, idx) ->
+      ( (Schema.attr t.schema pos).name,
+        match idx with Btree_idx _ -> `Btree | Hash_idx h -> `Hash h.primary ))
+    t.indexes
+
+let get t rid = Heap_file.get t.heap rid
+let scan t ~f = Heap_file.scan t.heap ~f
+let read_all t = Heap_file.read_all t.heap
+
+let fetch_by_key t ~attr key =
+  let pos = attr_pos t attr in
+  match List.assoc_opt pos t.indexes with
+  | Some (Hash_idx { index; primary = true }) ->
+    (* Hash-clustered: the bucket pages charged by the search are the data
+       pages; fetching the tuple values adds no further I/O. *)
+    let rids = Hash_index.search index key in
+    Cost.with_disabled (Io.cost (io t)) (fun () ->
+        List.map (fun rid -> (rid, Heap_file.get t.heap rid)) rids)
+  | Some (Hash_idx { index; primary = false }) ->
+    let rids = Hash_index.search index key in
+    List.map (fun rid -> (rid, Heap_file.get t.heap rid)) rids
+  | Some (Btree_idx b) ->
+    let rids = Btree.search b key in
+    List.map (fun rid -> (rid, Heap_file.get t.heap rid)) rids
+  | None -> invalid_arg (Printf.sprintf "Relation %s: no index on %S" t.name attr)
+
+let check_tuple t tuple =
+  if not (Tuple.matches_schema t.schema tuple) then
+    invalid_arg
+      (Format.asprintf "Relation %s: tuple %a does not match schema %a" t.name Tuple.pp tuple
+         Schema.pp t.schema)
+
+let insert t tuple =
+  check_tuple t tuple;
+  let rid = Heap_file.append t.heap tuple in
+  List.iter (fun (pos, idx) -> index_insert idx (Tuple.get tuple pos) rid) t.indexes;
+  rid
+
+let delete t rid =
+  let tuple = Heap_file.get t.heap rid in
+  Heap_file.delete t.heap rid;
+  List.iter (fun (pos, idx) -> index_remove idx (Tuple.get tuple pos) rid) t.indexes;
+  tuple
+
+let reindex_changed t rid old_tuple new_tuple =
+  List.iter
+    (fun (pos, idx) ->
+      let old_key = Tuple.get old_tuple pos and new_key = Tuple.get new_tuple pos in
+      if not (Value.equal old_key new_key) then begin
+        index_remove idx old_key rid;
+        index_insert idx new_key rid
+      end)
+    t.indexes
+
+let update t rid new_tuple =
+  check_tuple t new_tuple;
+  let old_tuple = Heap_file.get t.heap rid in
+  Heap_file.set t.heap rid new_tuple;
+  reindex_changed t rid old_tuple new_tuple;
+  old_tuple
+
+let update_batch t changes =
+  List.iter (fun (_, tuple) -> check_tuple t tuple) changes;
+  let cost = Io.cost (io t) in
+  let olds =
+    Cost.with_disabled cost (fun () ->
+        List.map (fun (rid, _) -> (rid, Heap_file.get t.heap rid)) changes)
+  in
+  let ops = List.map (fun (rid, tuple) -> Heap_file.Update (rid, tuple)) changes in
+  ignore (Heap_file.apply_batch t.heap ops);
+  List.map2
+    (fun (rid, old_tuple) (_, new_tuple) ->
+      reindex_changed t rid old_tuple new_tuple;
+      (old_tuple, new_tuple))
+    olds changes
+
+let load t tuples =
+  List.iter (check_tuple t) tuples;
+  let cost = Io.cost (io t) in
+  Cost.with_disabled cost (fun () ->
+      Heap_file.clear t.heap;
+      let specs = t.index_specs in
+      t.indexes <- [];
+      t.index_specs <- [];
+      List.iter (fun tuple -> ignore (insert t tuple)) tuples;
+      List.iter
+        (fun (pos, spec) ->
+          let attr = (Schema.attr t.schema pos).name in
+          match spec with
+          | `Btree entry_bytes -> add_btree_index t ~attr ~entry_bytes
+          | `Hash (entry_bytes, expected_entries, primary) ->
+            add_hash_index ~primary t ~attr ~entry_bytes ~expected_entries)
+        (List.rev specs))
+
+let pp ppf t =
+  Format.fprintf ppf "%s%a [%d tuples, %d pages, indexes: %a]" t.name Schema.pp t.schema
+    (cardinality t) (page_count t)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (attr, kind) ->
+         Format.fprintf ppf "%s(%s)" attr
+           (match kind with `Btree -> "btree" | `Hash -> "hash")))
+    (indexed_attrs t)

@@ -1,0 +1,80 @@
+(** Stored relations: a heap file of tuples plus declared access methods.
+
+    Mutations keep every declared index consistent and charge their page
+    touches; base-table updates are common to all procedure-processing
+    strategies, so the driver brackets them identically for each.
+
+    An update that modifies [l] tuples "in place" (the paper's update
+    transactions) should use {!update_batch}, which touches each affected
+    heap page once. *)
+
+type t
+
+val create :
+  io:Dbproc_storage.Io.t -> name:string -> schema:Schema.t -> tuple_bytes:int -> t
+(** [tuple_bytes] is the paper's [S]. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val io : t -> Dbproc_storage.Io.t
+val tuple_bytes : t -> int
+
+val cardinality : t -> int
+val page_count : t -> int
+
+(** {2 Access methods} *)
+
+val add_btree_index : t -> attr:string -> entry_bytes:int -> unit
+(** Declare a B+-tree index on an attribute and build it from the current
+    contents.  [entry_bytes] is the paper's [d]. *)
+
+val add_hash_index :
+  ?primary:bool -> t -> attr:string -> entry_bytes:int -> expected_entries:int -> unit
+(** [primary:true] declares the relation hash-{e clustered} on the
+    attribute (the paper's "hashed primary index"): bucket pages hold the
+    tuples themselves, so {!fetch_by_key} charges only the bucket-chain
+    reads and nothing for the tuple fetch.  [entry_bytes] is ignored for a
+    primary index (the tuple width is used).  Default [false]. *)
+
+val btree_on : t -> attr:string -> (Value.t, Dbproc_storage.Heap_file.rid) Dbproc_index.Btree.t option
+val hash_on : t -> attr:string -> (Value.t, Dbproc_storage.Heap_file.rid) Dbproc_index.Hash_index.t option
+
+val indexed_attrs : t -> (string * [ `Btree | `Hash ]) list
+
+val index_descriptions : t -> (string * [ `Btree | `Hash of bool ]) list
+(** Like {!indexed_attrs} with the hash-primary flag — enough to recreate
+    the access methods (session scripting). *)
+
+(** {2 Data access} *)
+
+val get : t -> Dbproc_storage.Heap_file.rid -> Tuple.t
+val scan : t -> f:(Dbproc_storage.Heap_file.rid -> Tuple.t -> unit) -> unit
+val read_all : t -> Tuple.t list
+
+val fetch_by_key :
+  t -> attr:string -> Value.t -> (Dbproc_storage.Heap_file.rid * Tuple.t) list
+(** Probe an index on [attr] (hash preferred, else B-tree) and fetch the
+    matching heap tuples, charging index and heap reads.
+    @raise Invalid_argument if no index exists on [attr]. *)
+
+(** {2 Mutation} *)
+
+val insert : t -> Tuple.t -> Dbproc_storage.Heap_file.rid
+(** @raise Invalid_argument if the tuple does not match the schema. *)
+
+val delete : t -> Dbproc_storage.Heap_file.rid -> Tuple.t
+(** Returns the deleted tuple. *)
+
+val update : t -> Dbproc_storage.Heap_file.rid -> Tuple.t -> Tuple.t
+(** In-place modification; returns the old tuple.  Index entries whose key
+    changed are moved. *)
+
+val update_batch :
+  t -> (Dbproc_storage.Heap_file.rid * Tuple.t) list -> (Tuple.t * Tuple.t) list
+(** Modify many tuples, charging each touched heap page once.  Returns
+    [(old, new)] pairs in input order. *)
+
+val load : t -> Tuple.t list -> unit
+(** Bulk-load without cost accounting (setup); rebuilds indexes. *)
+
+val pp : Format.formatter -> t -> unit

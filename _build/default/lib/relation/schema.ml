@@ -1,0 +1,55 @@
+type attr = { name : string; ty : Value.ty }
+
+type t = attr array
+
+let check_distinct attrs =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun a ->
+      if Hashtbl.mem seen a.name then
+        invalid_arg (Printf.sprintf "Schema: duplicate attribute %S" a.name);
+      Hashtbl.replace seen a.name ())
+    attrs
+
+let create = function
+  | [] -> invalid_arg "Schema.create: empty"
+  | specs ->
+    let attrs = Array.of_list (List.map (fun (name, ty) -> { name; ty }) specs) in
+    check_distinct attrs;
+    attrs
+
+let arity = Array.length
+let attrs t = Array.to_list t
+
+let attr t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Schema.attr: index out of range";
+  t.(i)
+
+let index_of_opt t name =
+  let rec go i =
+    if i >= Array.length t then None else if t.(i).name = name then Some i else go (i + 1)
+  in
+  go 0
+
+let index_of t name =
+  match index_of_opt t name with Some i -> i | None -> raise Not_found
+
+let mem t name = index_of_opt t name <> None
+
+let qualify ~prefix t = Array.map (fun a -> { a with name = prefix ^ "." ^ a.name }) t
+
+let concat a b =
+  let joined = Array.append a b in
+  check_distinct joined;
+  joined
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> x.name = y.name && x.ty = y.ty) a b
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf a -> Format.fprintf ppf "%s:%a" a.name Value.pp_ty a.ty))
+    (attrs t)

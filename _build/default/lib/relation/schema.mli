@@ -1,0 +1,31 @@
+(** Relation schemas: named, typed attribute lists. *)
+
+type attr = { name : string; ty : Value.ty }
+
+type t
+
+val create : (string * Value.ty) list -> t
+(** @raise Invalid_argument on duplicate attribute names or an empty
+    list. *)
+
+val arity : t -> int
+val attrs : t -> attr list
+val attr : t -> int -> attr
+
+val index_of_opt : t -> string -> int option
+val index_of : t -> string -> int
+(** @raise Not_found if the attribute does not exist. *)
+
+val mem : t -> string -> bool
+
+val qualify : prefix:string -> t -> t
+(** [qualify ~prefix s] renames every attribute to ["prefix.name"] — used
+    when concatenating join-result schemas whose inputs share attribute
+    names. *)
+
+val concat : t -> t -> t
+(** Append attribute lists.  @raise Invalid_argument on a name clash;
+    {!qualify} the inputs first if they overlap. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(** Tuples: flat arrays of values matching a schema positionally. *)
+
+type t
+
+val create : Value.t list -> t
+val of_array : Value.t array -> t
+(** The array is copied. *)
+
+val arity : t -> int
+val get : t -> int -> Value.t
+
+val field : Schema.t -> string -> t -> Value.t
+(** Positional lookup by attribute name.  @raise Not_found if absent. *)
+
+val concat : t -> t -> t
+(** Join concatenation. *)
+
+val matches_schema : Schema.t -> t -> bool
+(** Arity and per-position types agree. *)
+
+val to_list : t -> Value.t list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type t = Int of int | Float of float | Str of string
+
+type ty = TInt | TFloat | TStr
+
+let type_of = function Int _ -> TInt | Float _ -> TFloat | Str _ -> TStr
+
+let rank = function Int _ -> 0 | Float _ -> 1 | Str _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+let pp ppf = function
+  | Int i -> Format.fprintf ppf "%d" i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+
+let to_string v = Format.asprintf "%a" pp v
+
+let pp_ty ppf = function
+  | TInt -> Format.pp_print_string ppf "int"
+  | TFloat -> Format.pp_print_string ppf "float"
+  | TStr -> Format.pp_print_string ppf "str"

@@ -1,0 +1,19 @@
+(** Attribute values.  The simulator stores OCaml values; byte widths are
+    declared at the schema level (the paper's [S] and [d] parameters), so
+    the value type only needs ordering and equality. *)
+
+type t = Int of int | Float of float | Str of string
+
+type ty = TInt | TFloat | TStr
+
+val type_of : t -> ty
+
+val compare : t -> t -> int
+(** Total order.  Comparing values of different types orders by type
+    (Int < Float < Str); predicates in well-typed queries never do this. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val pp_ty : Format.formatter -> ty -> unit

@@ -1,0 +1,1 @@
+lib/rete/builder.ml: Array Cost Dbproc_query Dbproc_relation Dbproc_storage Io List Memory Network Planner Predicate Printf Relation Schema String Tuple View_def

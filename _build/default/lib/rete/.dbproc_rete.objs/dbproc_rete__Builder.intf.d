@@ -1,0 +1,1 @@
+lib/rete/builder.mli: Dbproc_index Dbproc_query Dbproc_relation Dbproc_storage Network View_def

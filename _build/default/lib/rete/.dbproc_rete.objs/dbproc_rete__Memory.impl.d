@@ -1,0 +1,1 @@
+lib/rete/memory.ml: Cost Dbproc_relation Dbproc_storage Hashtbl Heap_file Io List Option Printf Tuple Value

@@ -1,0 +1,1 @@
+lib/rete/memory.mli: Dbproc_relation Dbproc_storage Tuple Value

@@ -1,0 +1,1 @@
+lib/rete/network.ml: Btree Buffer Cost Dbproc_index Dbproc_relation Dbproc_storage Dbproc_util Format Hashtbl Io List Memory Predicate Printf String Tuple Value

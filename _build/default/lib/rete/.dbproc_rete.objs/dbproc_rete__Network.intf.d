@@ -1,0 +1,1 @@
+lib/rete/network.mli: Dbproc_index Dbproc_relation Dbproc_storage Memory Predicate Tuple Value

@@ -1,0 +1,1 @@
+lib/rete/optimizer.ml: Cost Dbproc_query Dbproc_relation Dbproc_storage Dbproc_util Float Io List Option Predicate Relation Schema Tuple View_def

@@ -1,0 +1,1 @@
+lib/rete/optimizer.mli: Dbproc_query View_def

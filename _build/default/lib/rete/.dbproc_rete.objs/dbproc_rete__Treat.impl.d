@@ -1,0 +1,1 @@
+lib/rete/treat.ml: Array Cost Dbproc_index Dbproc_query Dbproc_relation Dbproc_storage Executor Hashtbl Io List Memory Planner Predicate Printf Relation Schema Tuple Value View_def

@@ -1,0 +1,1 @@
+lib/rete/treat.mli: Dbproc_query Dbproc_relation Dbproc_storage View_def

@@ -1,0 +1,189 @@
+open Dbproc_storage
+open Dbproc_relation
+open Dbproc_query
+
+type select_key = string * Predicate.t
+
+type beta_key = select_key * select_key * Predicate.join_term
+
+type t = {
+  net : Network.t;
+  mutable alphas : (select_key * Network.mem_node) list;
+  mutable betas : (beta_key * Network.mem_node) list;
+  mutable shared_alpha : int;
+  mutable shared_beta : int;
+}
+
+let create ~io ~record_bytes () =
+  { net = Network.create ~io ~record_bytes (); alphas = []; betas = []; shared_alpha = 0; shared_beta = 0 }
+
+let network t = t.net
+
+let select_key (source : View_def.source) : select_key =
+  (Relation.name source.rel, source.restriction)
+
+let key_equal (r1, p1) (r2, p2) = String.equal r1 r2 && Predicate.equal p1 p2
+
+let interval_of_restriction = Planner.interval_of_restriction
+
+(* Current qualifying tuples of a source, with no cost accounting. *)
+let initial_selection (source : View_def.source) =
+  let rel = source.rel in
+  Cost.with_disabled
+    (Io.cost (Relation.io rel))
+    (fun () ->
+      let acc = ref [] in
+      Relation.scan rel ~f:(fun _rid tuple ->
+          if Predicate.eval source.restriction tuple then acc := tuple :: !acc);
+      List.rev !acc)
+
+let logical_join left_tuples right_tuples (jt : Predicate.join_term) =
+  List.concat_map
+    (fun l ->
+      List.filter_map
+        (fun r -> if Predicate.eval_join jt ~left:l ~right:r then Some (Tuple.concat l r) else None)
+        right_tuples)
+    left_tuples
+
+let add_select t (source : View_def.source) ~name =
+  let key = select_key source in
+  match List.find_opt (fun (k, _) -> key_equal k key) t.alphas with
+  | Some (_, node) ->
+    t.shared_alpha <- t.shared_alpha + 1;
+    (node, true)
+  | None ->
+    let node =
+      Network.add_tconst t.net ~rel:(Relation.name source.rel) ~pred:source.restriction
+        ~interval:(interval_of_restriction source.restriction)
+        ~name
+    in
+    Memory.load (Network.memory node) (initial_selection source);
+    t.alphas <- (key, node) :: t.alphas;
+    (node, false)
+
+let add_joined t ~left ~right ~on ~name =
+  let out = Network.add_join t.net ~left ~right ~on ~name in
+  Memory.load (Network.memory out)
+    (logical_join
+       (Memory.contents (Network.memory left))
+       (Memory.contents (Network.memory right))
+       on);
+  out
+
+(* A β-memory over two shareable selections, reused across views. *)
+let add_shared_beta t ~(left_src : View_def.source) ~(right_src : View_def.source) ~on ~name =
+  let key = (select_key left_src, select_key right_src, on) in
+  let matches ((l, r, jt) : beta_key) = key_equal l (select_key left_src) && key_equal r (select_key right_src) && jt = on in
+  match List.find_opt (fun (k, _) -> matches k) t.betas with
+  | Some (_, node) ->
+    t.shared_beta <- t.shared_beta + 1;
+    (node, true)
+  | None ->
+    let left, _ = add_select t left_src ~name:(name ^ ".left") in
+    let right, _ = add_select t right_src ~name:(name ^ ".right") in
+    let node = add_joined t ~left ~right ~on ~name in
+    t.betas <- (key, node) :: t.betas;
+    (node, false)
+
+type built = { result : Network.mem_node; shared_alpha : bool; shared_beta : bool }
+
+let left_deep t (def : View_def.t) =
+  let base, shared_alpha = add_select t def.base ~name:(def.name ^ ".alpha0") in
+  let result, _ =
+    List.fold_left
+      (fun (acc, i) (step : View_def.join_step) ->
+        let right, _ =
+          add_select t step.source ~name:(Printf.sprintf "%s.alpha%d" def.name (i + 1))
+        in
+        let on =
+          Predicate.join_term ~left_attr:step.left_attr ~op:step.op ~right_attr:step.right_attr
+        in
+        (add_joined t ~left:acc ~right ~on ~name:(Printf.sprintf "%s.beta%d" def.name i), i + 1))
+      (base, 0) def.steps
+  in
+  { result; shared_alpha; shared_beta = false }
+
+(* A chain is right-deep-able when every step past the first joins on an
+   attribute of the immediately preceding source: then the suffix
+   s_i ⋈ s_{i+1} ⋈ ... can be precomputed bottom-up as nested β-memories
+   and the base probes the spine with a single join. *)
+let right_deep_chain (def : View_def.t) =
+  let offsets = View_def.source_offsets def in
+  let source_arity (src : View_def.source) = Schema.arity (Relation.schema src.rel) in
+  let sources = View_def.sources def in
+  let rec check i = function
+    | [] -> true
+    | (step : View_def.join_step) :: rest ->
+      (* step i (1-based) joins accumulated schema to source i; for a
+         right-deep spine its left attr must fall in source i-1 *)
+      let prev_off = List.nth offsets (i - 1) in
+      let prev_arity = source_arity (List.nth sources (i - 1)) in
+      step.left_attr >= prev_off
+      && step.left_attr < prev_off + prev_arity
+      && check (i + 1) rest
+  in
+  match def.steps with
+  | [] | [ _ ] -> false
+  | _ :: rest -> check 2 rest (* the first step's left attr is checked at the top join *)
+
+let right_deep t (def : View_def.t) =
+  let offsets = View_def.source_offsets def in
+  (* Build the spine bottom-up: innermost pair first.  Step indices are
+     1-based over def.steps; source i = step i's source. *)
+  let steps = Array.of_list def.steps in
+  let n = Array.length steps in
+  (* rebase step i's left attr onto source i-1's local schema *)
+  let local_left i =
+    let step = steps.(i) in
+    step.View_def.left_attr - List.nth offsets i
+    (* offsets are per source; step i joins source i+1 in source terms *)
+  in
+  (* innermost join: sources of steps n-2 and n-1 *)
+  let innermost_on =
+    Predicate.join_term
+      ~left_attr:(local_left (n - 1))
+      ~op:steps.(n - 1).View_def.op
+      ~right_attr:steps.(n - 1).View_def.right_attr
+  in
+  let spine, shared_beta =
+    add_shared_beta t
+      ~left_src:steps.(n - 2).View_def.source
+      ~right_src:steps.(n - 1).View_def.source
+      ~on:innermost_on
+      ~name:(Printf.sprintf "%s.spine%d" def.name (n - 1))
+  in
+  (* extend the spine upward: source of step i joins (spine of i+1..) *)
+  let rec extend i spine shared_any =
+    if i < 1 then (spine, shared_any)
+    else begin
+      let on =
+        Predicate.join_term ~left_attr:(local_left i) ~op:steps.(i).View_def.op
+          ~right_attr:steps.(i).View_def.right_attr
+      in
+      let left, _ =
+        add_select t steps.(i - 1).View_def.source
+          ~name:(Printf.sprintf "%s.alpha%d" def.name i)
+      in
+      let joined = add_joined t ~left ~right:spine ~on ~name:(Printf.sprintf "%s.spine%d" def.name i) in
+      extend (i - 1) joined shared_any
+    end
+  in
+  let spine, _ = extend (n - 2) spine shared_beta in
+  let base, shared_alpha = add_select t def.base ~name:(def.name ^ ".alpha0") in
+  let top_on =
+    Predicate.join_term ~left_attr:steps.(0).View_def.left_attr ~op:steps.(0).View_def.op
+      ~right_attr:steps.(0).View_def.right_attr
+  in
+  let result = add_joined t ~left:base ~right:spine ~on:top_on ~name:(def.name ^ ".result") in
+  { result; shared_alpha; shared_beta }
+
+let add_view t ?(shape = `Right_deep) (def : View_def.t) =
+  match (shape, def.steps) with
+  | _, [] ->
+    let result, shared_alpha = add_select t def.base ~name:(def.name ^ ".alpha") in
+    { result; shared_alpha; shared_beta = false }
+  | `Right_deep, _ when right_deep_chain def -> right_deep t def
+  | _, _ -> left_deep t def
+
+let shared_alpha_count (t : t) = t.shared_alpha
+let shared_beta_count (t : t) = t.shared_beta

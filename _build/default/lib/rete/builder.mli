@@ -1,0 +1,48 @@
+(** Building Rete networks from view definitions, with shared
+    subexpressions.
+
+    The builder keeps one network for a whole procedure population and a
+    registry of existing α-memories keyed by (relation, restriction): a new
+    view whose source selection matches an existing one reuses that node
+    — the paper's sharing of the [C_f(R1)] subexpression between P1 and P2
+    procedures (the dashed boxes of Figures 3 and 16).  Two-level
+    subexpressions (the model-2 [σ(R2) ⋈ R3] β-memory) are likewise shared
+    when two views use identical sources and join condition.
+
+    Join-tree shape: with [`Right_deep] (the default, matching the paper's
+    model-2 network) a 2-step view [R1 ⋈ (R2 ⋈ R3)] builds the inner join
+    as a precomputed β-memory, so an R1 delta needs only one probe.
+    [`Left_deep] builds [(R1 ⋈ R2) ⋈ R3] — useful as an ablation.  Views
+    whose second join condition references the base relation cannot be
+    right-deep and silently fall back to left-deep. *)
+
+open Dbproc_query
+
+type t
+
+val create : io:Dbproc_storage.Io.t -> record_bytes:int -> unit -> t
+val network : t -> Network.t
+
+type built = {
+  result : Network.mem_node;  (** the view's result memory *)
+  shared_alpha : bool;  (** base selection reused an existing α-memory *)
+  shared_beta : bool;  (** inner join reused an existing β-memory *)
+}
+
+val add_view : t -> ?shape:[ `Left_deep | `Right_deep ] -> View_def.t -> built
+(** Wire a view into the network.  Memory contents are initialized from
+    the current base relations without cost accounting. *)
+
+val shared_alpha_count : t -> int
+(** Total α-memory reuses so far. *)
+
+val shared_beta_count : t -> int
+
+val interval_of_restriction :
+  Dbproc_relation.Predicate.t ->
+  (int
+  * Dbproc_relation.Value.t Dbproc_index.Btree.bound
+  * Dbproc_relation.Value.t Dbproc_index.Btree.bound)
+  option
+(** The single-attribute interval enabling indexed discrimination, if the
+    restriction constrains exactly one attribute (exposed for tests). *)

@@ -1,0 +1,178 @@
+open Dbproc_storage
+open Dbproc_relation
+
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+module Value_tbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = {
+  name : string;
+  store : Tuple.t Heap_file.t;
+  counts : int Tuple_tbl.t; (* logical multiset *)
+  rids : Heap_file.rid list Tuple_tbl.t; (* stored copies *)
+  probe_indexes : (int, Tuple.t list ref Value_tbl.t) Hashtbl.t;
+  mutable pending : [ `Insert of Tuple.t | `Delete of Tuple.t ] list; (* reversed *)
+}
+
+let create ~io ~record_bytes ~name () =
+  {
+    name;
+    store = Heap_file.create ~io ~record_bytes ();
+    counts = Tuple_tbl.create 64;
+    rids = Tuple_tbl.create 64;
+    probe_indexes = Hashtbl.create 4;
+    pending = [];
+  }
+
+let name t = t.name
+let cardinality t = Tuple_tbl.fold (fun _ c acc -> acc + c) t.counts 0
+let page_count t = Heap_file.page_count t.store
+let read t = Heap_file.read_all t.store
+
+let contents t =
+  Tuple_tbl.fold (fun tuple c acc -> List.init c (fun _ -> tuple) @ acc) t.counts []
+
+let index_add t tuple =
+  Hashtbl.iter
+    (fun attr idx ->
+      let key = Tuple.get tuple attr in
+      match Value_tbl.find_opt idx key with
+      | Some cell -> cell := tuple :: !cell
+      | None -> Value_tbl.replace idx key (ref [ tuple ]))
+    t.probe_indexes
+
+let index_remove t tuple =
+  Hashtbl.iter
+    (fun attr idx ->
+      let key = Tuple.get tuple attr in
+      match Value_tbl.find_opt idx key with
+      | Some cell ->
+        let removed = ref false in
+        cell :=
+          List.filter
+            (fun u ->
+              if (not !removed) && Tuple.equal u tuple then begin
+                removed := true;
+                false
+              end
+              else true)
+            !cell;
+        if !cell = [] then Value_tbl.remove idx key
+      | None -> ())
+    t.probe_indexes
+
+let ensure_probe_index t ~attr =
+  if not (Hashtbl.mem t.probe_indexes attr) then begin
+    let idx = Value_tbl.create 64 in
+    Tuple_tbl.iter
+      (fun tuple c ->
+        for _ = 1 to c do
+          match Value_tbl.find_opt idx (Tuple.get tuple attr) with
+          | Some cell -> cell := tuple :: !cell
+          | None -> Value_tbl.replace idx (Tuple.get tuple attr) (ref [ tuple ])
+        done)
+      t.counts;
+    Hashtbl.replace t.probe_indexes attr idx
+  end
+
+let charge_stored_pages t tuples =
+  (* One read per page holding a matched stored copy; pages are deduped by
+     the enclosing transaction scope (Io.with_touch_dedup). *)
+  let copies = Tuple_tbl.create 8 in
+  List.iter
+    (fun tuple ->
+      let taken = Option.value (Tuple_tbl.find_opt copies tuple) ~default:0 in
+      (match Tuple_tbl.find_opt t.rids tuple with
+      | Some rids when List.length rids > taken ->
+        let rid = List.nth rids taken in
+        Io.read (Heap_file.io t.store) ~file:(Heap_file.file_id t.store) ~page:rid.Heap_file.page
+      | _ -> () (* pending tuple, still in memory *));
+      Tuple_tbl.replace copies tuple (taken + 1))
+    tuples
+
+let probe t ~attr key =
+  match Hashtbl.find_opt t.probe_indexes attr with
+  | None -> invalid_arg (Printf.sprintf "Rete memory %s: no probe index on attr %d" t.name attr)
+  | Some idx ->
+    let matches = match Value_tbl.find_opt idx key with Some cell -> !cell | None -> [] in
+    charge_stored_pages t matches;
+    matches
+
+let scan_match t ~f = List.filter f (read t)
+
+let insert_logical t tuple =
+  let c = Option.value (Tuple_tbl.find_opt t.counts tuple) ~default:0 in
+  Tuple_tbl.replace t.counts tuple (c + 1);
+  index_add t tuple;
+  t.pending <- `Insert tuple :: t.pending
+
+let delete_logical t tuple =
+  match Tuple_tbl.find_opt t.counts tuple with
+  | None | Some 0 -> false
+  | Some c ->
+    if c = 1 then Tuple_tbl.remove t.counts tuple else Tuple_tbl.replace t.counts tuple (c - 1);
+    index_remove t tuple;
+    t.pending <- `Delete tuple :: t.pending;
+    true
+
+let track_insert t tuple rid =
+  let existing = Option.value (Tuple_tbl.find_opt t.rids tuple) ~default:[] in
+  Tuple_tbl.replace t.rids tuple (rid :: existing)
+
+let untrack t tuple =
+  match Tuple_tbl.find_opt t.rids tuple with
+  | Some (rid :: rest) ->
+    if rest = [] then Tuple_tbl.remove t.rids tuple else Tuple_tbl.replace t.rids tuple rest;
+    Some rid
+  | Some [] | None -> None
+
+let flush t =
+  match List.rev t.pending with
+  | [] -> ()
+  | ops ->
+    t.pending <- [];
+    let inserts = ref [] in
+    let batch =
+      List.filter_map
+        (function
+          | `Insert tuple ->
+            inserts := tuple :: !inserts;
+            Some (Heap_file.Insert tuple)
+          | `Delete tuple -> (
+            match untrack t tuple with
+            | Some rid -> Some (Heap_file.Delete rid)
+            | None -> None))
+        ops
+    in
+    let new_rids = Heap_file.apply_batch t.store batch in
+    List.iter2 (fun tuple rid -> track_insert t tuple rid) (List.rev !inserts) new_rids
+
+let pending_count t = List.length t.pending
+
+let load t tuples =
+  Cost.with_disabled
+    (Io.cost (Heap_file.io t.store))
+    (fun () ->
+      Heap_file.clear t.store;
+      Tuple_tbl.reset t.counts;
+      Tuple_tbl.reset t.rids;
+      Hashtbl.iter (fun _ idx -> Value_tbl.reset idx) t.probe_indexes;
+      t.pending <- [];
+      List.iter
+        (fun tuple ->
+          let c = Option.value (Tuple_tbl.find_opt t.counts tuple) ~default:0 in
+          Tuple_tbl.replace t.counts tuple (c + 1);
+          index_add t tuple;
+          let rid = Heap_file.append t.store tuple in
+          track_insert t tuple rid)
+        tuples)

@@ -1,0 +1,60 @@
+(** Rete memory nodes (α and β).
+
+    A memory holds a multiset of tuples — the current value of the view
+    whose qualification is represented by its ancestor nodes.  Contents
+    live in two places:
+
+    - a {e logical} multiset plus per-attribute probe indexes, updated
+      immediately as tokens arrive (hash-organized memory, no I/O charge:
+      probes charge for the {e data pages} of matching tuples instead);
+    - a paged {e stored} copy, kept in a heap file.  Token effects are
+      buffered and {!flush}ed once per transaction, charging each distinct
+      touched page one read and one write — the paper's per-update memory
+      refresh cost ([Y3]-shaped).
+
+    Probing the memory (the opposite-input search of an and node) charges
+    one page read per distinct page holding a matching tuple, deduplicated
+    within the enclosing transaction scope. *)
+
+open Dbproc_relation
+
+type t
+
+val create : io:Dbproc_storage.Io.t -> record_bytes:int -> name:string -> unit -> t
+val name : t -> string
+
+val cardinality : t -> int
+val page_count : t -> int
+
+val read : t -> Tuple.t list
+(** Stored contents in page order, one page read per stored page (the
+    paper's [C_read] when the memory is a procedure result). *)
+
+val contents : t -> Tuple.t list
+(** Logical contents (multiset, arbitrary order), no cost. *)
+
+val load : t -> Tuple.t list -> unit
+(** Setup: replace contents, no cost accounting. *)
+
+val ensure_probe_index : t -> attr:int -> unit
+(** Declare that joins probe this memory on attribute position [attr]. *)
+
+val probe : t -> attr:int -> Value.t -> Tuple.t list
+(** Matching tuples via the probe index, charging data-page reads for
+    copies that are on stored pages (pending, not-yet-flushed tuples are
+    in memory and free). *)
+
+val scan_match : t -> f:(Tuple.t -> bool) -> Tuple.t list
+(** Fallback for non-equality joins: read every stored page and filter. *)
+
+val insert_logical : t -> Tuple.t -> unit
+(** Apply a [+] token: logical insert now, stored insert at {!flush}. *)
+
+val delete_logical : t -> Tuple.t -> bool
+(** Apply a [−] token; [false] (and no effect) if the tuple is absent. *)
+
+val flush : t -> unit
+(** Apply buffered stored-copy changes as one batch: each distinct touched
+    page charges one read and one write.  No-op when nothing is pending. *)
+
+val pending_count : t -> int

@@ -1,0 +1,188 @@
+open Dbproc_storage
+open Dbproc_relation
+open Dbproc_query
+
+type update_profile = (string * float) list
+
+type estimate = {
+  shape : [ `Left_deep | `Right_deep ];
+  cost_per_update_ms : float;
+  per_relation : (string * float) list;
+}
+
+(* Unit costs: the paper's defaults.  The estimator is a planning device;
+   using the same constants the engine charges keeps it honest. *)
+let c1 = 1.0
+let c2 = 30.0
+
+(* -------------------------------------------------- measured contents *)
+
+let selection_tuples (src : View_def.source) =
+  Cost.with_disabled
+    (Io.cost (Relation.io src.rel))
+    (fun () ->
+      let acc = ref [] in
+      Relation.scan src.rel ~f:(fun _ tuple ->
+          if Predicate.eval src.restriction tuple then acc := tuple :: !acc);
+      !acc)
+
+let logical_join left right (jt : Predicate.join_term) =
+  List.concat_map
+    (fun l ->
+      List.filter_map
+        (fun r ->
+          if Predicate.eval_join jt ~left:l ~right:r then Some (Tuple.concat l r) else None)
+        right)
+    left
+
+(* ------------------------------------------------------ abstract trees *)
+
+(* A shape-agnostic description of the would-be network: leaf α-memories
+   tagged with their source relation, join nodes with measured output
+   cardinality. *)
+type tree =
+  | Leaf of { rel : string; selectivity : float; cardinality : float }
+  | Join of { left : tree; right : tree; cardinality : float }
+
+let cardinality = function
+  | Leaf { cardinality; _ } | Join { cardinality; _ } -> cardinality
+
+let pages ~record_bytes ~page_bytes n =
+  Float.max (n *. float_of_int record_bytes /. float_of_int page_bytes) 1e-9
+
+let yao = Dbproc_util.Yao.paper
+
+(* Refreshing a memory of [n] tuples with [t] token effects: the engine
+   reads and writes each distinct touched page. *)
+let refresh_cost ~record_bytes ~page_bytes n t =
+  if t <= 0.0 then 0.0
+  else begin
+    let m = pages ~record_bytes ~page_bytes n in
+    2.0 *. c2 *. yao ~n:(Float.max n 1.0) ~m ~k:(Float.min t (Float.max n 1.0))
+  end
+
+(* Probing a memory of [n] tuples [t] times. *)
+let probe_cost ~record_bytes ~page_bytes n t =
+  if t <= 0.0 || n <= 0.0 then 0.0
+  else begin
+    let m = pages ~record_bytes ~page_bytes n in
+    c2 *. yao ~n ~m ~k:t
+  end
+
+(* Token flow for one update transaction of [l] tuples against [rel]:
+   returns (cost, tokens emitted upward). *)
+let rec flow ~record_bytes ~page_bytes ~l ~rel tree =
+  match tree with
+  | Leaf leaf ->
+    if leaf.rel <> rel then (0.0, 0.0)
+    else begin
+      let tokens = 2.0 *. float_of_int l *. leaf.selectivity in
+      let cost =
+        (c1 *. tokens) +. refresh_cost ~record_bytes ~page_bytes leaf.cardinality tokens
+      in
+      (cost, tokens)
+    end
+  | Join { left; right; cardinality = out_n } ->
+    let cost_l, tok_l = flow ~record_bytes ~page_bytes ~l ~rel left in
+    let cost_r, tok_r = flow ~record_bytes ~page_bytes ~l ~rel right in
+    let matches_per from_n = if from_n <= 0.0 then 0.0 else out_n /. from_n in
+    let emitted =
+      (tok_l *. matches_per (cardinality left)) +. (tok_r *. matches_per (cardinality right))
+    in
+    let cost =
+      cost_l +. cost_r
+      +. probe_cost ~record_bytes ~page_bytes (cardinality right) tok_l
+      +. probe_cost ~record_bytes ~page_bytes (cardinality left) tok_r
+      +. refresh_cost ~record_bytes ~page_bytes out_n emitted
+    in
+    (cost, emitted)
+
+(* ---------------------------------------------------- building trees *)
+
+let leaf_of_source (src : View_def.source) tuples =
+  let total = float_of_int (max 1 (Relation.cardinality src.rel)) in
+  let n = float_of_int (List.length tuples) in
+  Leaf { rel = Relation.name src.rel; selectivity = n /. total; cardinality = n }
+
+let right_deep_applicable (def : View_def.t) =
+  match def.steps with
+  | [ _; s2 ] -> s2.left_attr >= Schema.arity (Relation.schema def.base.rel)
+  | _ -> false
+
+(* Build the measured tree for a shape.  Only chains of <= 2 steps get a
+   distinct right-deep form (mirroring Builder.add_view). *)
+let build_tree (def : View_def.t) shape =
+  let srcs = View_def.sources def in
+  let tuple_sets = List.map selection_tuples srcs in
+  let leaves = List.map2 leaf_of_source srcs tuple_sets in
+  match (shape, def.steps, leaves, tuple_sets) with
+  | `Right_deep, [ s1; s2 ], [ leaf0; leaf1; leaf2 ], [ t0; t1; t2 ]
+    when right_deep_applicable def ->
+    let base_arity = Schema.arity (Relation.schema def.base.rel) in
+    let inner_on =
+      Predicate.join_term ~left_attr:(s2.left_attr - base_arity) ~op:s2.op
+        ~right_attr:s2.right_attr
+    in
+    let inner_tuples = logical_join t1 t2 inner_on in
+    let inner =
+      Join { left = leaf1; right = leaf2; cardinality = float_of_int (List.length inner_tuples) }
+    in
+    let top_on =
+      Predicate.join_term ~left_attr:s1.left_attr ~op:s1.op ~right_attr:s1.right_attr
+    in
+    let result = logical_join t0 inner_tuples top_on in
+    Join { left = leaf0; right = inner; cardinality = float_of_int (List.length result) }
+  | _, steps, leaf0 :: rest_leaves, t0 :: rest_tuples ->
+    (* left-deep fold *)
+    let tree, _, _ =
+      List.fold_left2
+        (fun (acc_tree, acc_tuples, _) ((step : View_def.join_step), leaf) tuples ->
+          let on =
+            Predicate.join_term ~left_attr:step.left_attr ~op:step.op
+              ~right_attr:step.right_attr
+          in
+          let joined = logical_join acc_tuples tuples on in
+          ( Join
+              { left = acc_tree; right = leaf; cardinality = float_of_int (List.length joined) },
+            joined,
+            () ))
+        (leaf0, t0, ())
+        (List.combine steps rest_leaves)
+        rest_tuples
+    in
+    tree
+  | _ -> assert false
+
+let estimate ?(page_bytes = 4000) ?(record_bytes = 100) ?(tuples_per_update = 25) def ~profile
+    ~shape =
+  let tree = build_tree def shape in
+  let per_relation =
+    List.map
+      (fun (src : View_def.source) ->
+        let rel = Relation.name src.rel in
+        let cost, _ = flow ~record_bytes ~page_bytes ~l:tuples_per_update ~rel tree in
+        (rel, cost))
+      (View_def.sources def)
+  in
+  let total_weight = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 profile in
+  let weighted =
+    if total_weight <= 0.0 then 0.0
+    else
+      List.fold_left
+        (fun acc (rel, w) ->
+          acc +. (w /. total_weight *. Option.value (List.assoc_opt rel per_relation) ~default:0.0))
+        0.0 profile
+  in
+  { shape; cost_per_update_ms = weighted; per_relation }
+
+let choose_shape ?page_bytes ?record_bytes ?tuples_per_update def ~profile =
+  if not (right_deep_applicable def) then `Left_deep
+  else begin
+    let left =
+      estimate ?page_bytes ?record_bytes ?tuples_per_update def ~profile ~shape:`Left_deep
+    in
+    let right =
+      estimate ?page_bytes ?record_bytes ?tuples_per_update def ~profile ~shape:`Right_deep
+    in
+    if right.cost_per_update_ms <= left.cost_per_update_ms then `Right_deep else `Left_deep
+  end

@@ -1,0 +1,58 @@
+(** Static optimization of the Rete join-tree shape.
+
+    Section 8 of the paper: "Static optimization methods will use
+    statistics on relative update frequency when designing an optimal plan
+    for maintaining procedures (e.g. an optimized Rete network)."  This
+    module is that optimizer for the library's view shapes.
+
+    For a 3-way chain [σ(R1) ⋈ σ(R2) ⋈ R3] two network shapes exist:
+
+    - {b right-deep} — [σR1 ⋈ (σR2 ⋈ R3)]: the inner join is a
+      precomputed β-memory, so an R1 delta needs a single probe (the
+      paper's model-2 network, optimal when R1 takes all the updates);
+    - {b left-deep} — [(σR1 ⋈ σR2) ⋈ R3]: the intermediate β is the small
+      [σR1 ⋈ σR2] result, so an R2 delta refreshes far less state
+      (optimal when R2 churns).
+
+    {!choose_shape} estimates the expected page I/O per update transaction
+    for each shape — memory sizes measured from the current database,
+    page-touch counts from the Appendix-A Yao function — weights them by
+    the declared per-relation update frequencies, and picks the cheaper
+    shape.  {!estimate} exposes the numbers for inspection and tests. *)
+
+open Dbproc_query
+
+type update_profile = (string * float) list
+(** Relation name → relative update frequency (need not be normalized;
+    relations absent from the list are treated as never updated). *)
+
+type estimate = {
+  shape : [ `Left_deep | `Right_deep ];
+  cost_per_update_ms : float;  (** weighted expected maintenance I/O + CPU *)
+  per_relation : (string * float) list;  (** unweighted cost of one update txn on each relation *)
+}
+
+val estimate :
+  ?page_bytes:int ->
+  ?record_bytes:int ->
+  ?tuples_per_update:int ->
+  View_def.t ->
+  profile:update_profile ->
+  shape:[ `Left_deep | `Right_deep ] ->
+  estimate
+(** Expected maintenance cost of one update transaction under the given
+    shape, using the paper's default unit costs.  [tuples_per_update]
+    defaults to the paper's l = 25.  Memory cardinalities are measured
+    from the current relation contents (uncharged — this is compile-time
+    planning). *)
+
+val choose_shape :
+  ?page_bytes:int ->
+  ?record_bytes:int ->
+  ?tuples_per_update:int ->
+  View_def.t ->
+  profile:update_profile ->
+  [ `Left_deep | `Right_deep ]
+(** The cheaper shape under the profile.  Views that cannot be built
+    right-deep (fewer than two join steps, or a second join keyed on the
+    base relation) return [`Left_deep]. *)

@@ -1,0 +1,247 @@
+open Dbproc_storage
+open Dbproc_relation
+open Dbproc_query
+
+exception Unsupported of string
+
+type source_node = {
+  rel_name : string;
+  restriction : Predicate.t;
+  interval :
+    (int * Value.t Dbproc_index.Btree.bound * Value.t Dbproc_index.Btree.bound) option;
+  mem : Memory.t;
+}
+
+type view = {
+  id : int;
+  def : View_def.t;
+  sources : source_node array;
+  local_left : int array; (* per step i (1-based): left attr local to source i-1 *)
+  right_attr : int array; (* per step i: attr within source i *)
+  offsets : int array; (* start of each source's segment in the flat schema *)
+  result : Memory.t;
+}
+
+type t = {
+  io : Io.t;
+  record_bytes : int;
+  mutable registry : ((string * Predicate.t) * source_node) list;
+  mutable views : view list;
+  by_rel : (string, (view * int) list ref) Hashtbl.t;
+  mutable shared : int;
+}
+
+let create ~io ~record_bytes () =
+  { io; record_bytes; registry = []; views = []; by_rel = Hashtbl.create 8; shared = 0 }
+
+let selection_tuples (src : View_def.source) =
+  Cost.with_disabled
+    (Io.cost (Relation.io src.rel))
+    (fun () ->
+      let acc = ref [] in
+      Relation.scan src.rel ~f:(fun _ tuple ->
+          if Predicate.eval src.restriction tuple then acc := tuple :: !acc);
+      List.rev !acc)
+
+let alpha_for t (src : View_def.source) ~name =
+  let key = (Relation.name src.rel, src.restriction) in
+  match
+    List.find_opt (fun ((r, p), _) -> r = fst key && Predicate.equal p (snd key)) t.registry
+  with
+  | Some (_, node) ->
+    t.shared <- t.shared + 1;
+    node
+  | None ->
+    let mem = Memory.create ~io:t.io ~record_bytes:t.record_bytes ~name () in
+    Memory.load mem (selection_tuples src);
+    let node =
+      {
+        rel_name = Relation.name src.rel;
+        restriction = src.restriction;
+        interval = Planner.interval_of_restriction src.restriction;
+        mem;
+      }
+    in
+    t.registry <- (key, node) :: t.registry;
+    node
+
+let add_view t (def : View_def.t) =
+  let sources_list = View_def.sources def in
+  let offsets = Array.of_list (View_def.source_offsets def) in
+  let steps = Array.of_list def.View_def.steps in
+  (* validate the right-deep property and precompute local attrs *)
+  let local_left = Array.make (Array.length steps + 1) 0 in
+  let right_attr = Array.make (Array.length steps + 1) 0 in
+  Array.iteri
+    (fun idx (step : View_def.join_step) ->
+      let i = idx + 1 in
+      if step.op <> Predicate.Eq then raise (Unsupported "TREAT requires equality joins");
+      let prev_src = List.nth sources_list (i - 1) in
+      let prev_arity = Schema.arity (Relation.schema prev_src.rel) in
+      if step.left_attr < offsets.(i - 1) || step.left_attr >= offsets.(i - 1) + prev_arity
+      then raise (Unsupported "TREAT requires chains keyed on the preceding source");
+      local_left.(i) <- step.left_attr - offsets.(i - 1);
+      right_attr.(i) <- step.right_attr)
+    steps;
+  let id = List.length t.views in
+  let sources =
+    Array.of_list
+      (List.mapi
+         (fun i src -> alpha_for t src ~name:(Printf.sprintf "%s.alpha%d" def.View_def.name i))
+         sources_list)
+  in
+  let result =
+    Memory.create ~io:t.io ~record_bytes:t.record_bytes
+      ~name:(def.View_def.name ^ ".result") ()
+  in
+  (* probe indexes: extending left probes source i-1 on local_left.(i);
+     extending right probes source i on right_attr.(i) *)
+  for i = 1 to Array.length steps do
+    Memory.ensure_probe_index sources.(i - 1).mem ~attr:local_left.(i);
+    Memory.ensure_probe_index sources.(i).mem ~attr:right_attr.(i)
+  done;
+  let view = { id; def; sources; local_left; right_attr; offsets; result } in
+  (* initial result: uncharged recompute *)
+  Cost.with_disabled (Io.cost t.io) (fun () ->
+      Memory.load result (Executor.run (Planner.compile def)));
+  t.views <- view :: t.views;
+  Array.iteri
+    (fun s node ->
+      let cell =
+        match Hashtbl.find_opt t.by_rel node.rel_name with
+        | Some cell -> cell
+        | None ->
+          let cell = ref [] in
+          Hashtbl.replace t.by_rel node.rel_name cell;
+          cell
+      in
+      cell := (view, s) :: !cell)
+    sources;
+  id
+
+let find_view t id =
+  match List.find_opt (fun v -> v.id = id) t.views with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Treat: unknown view %d" id)
+
+let read t id = Memory.read (find_view t id).result
+let cardinality t id = Memory.cardinality (find_view t id).result
+
+let covered interval tuple =
+  match interval with
+  | None -> true
+  | Some (attr, lo, hi) ->
+    let v = Tuple.get tuple attr in
+    let above =
+      match lo with
+      | Dbproc_index.Btree.Unbounded -> true
+      | Inclusive b -> Value.compare v b >= 0
+      | Exclusive b -> Value.compare v b > 0
+    in
+    let below =
+      match hi with
+      | Dbproc_index.Btree.Unbounded -> true
+      | Inclusive b -> Value.compare v b <= 0
+      | Exclusive b -> Value.compare v b < 0
+    in
+    above && below
+
+(* From a token at source [s] of [view], compute the result-delta tuples
+   by probing the other alpha memories: leftward to source 0, then
+   rightward to the last source. *)
+let expand view s tuple =
+  let n_steps = Array.length view.local_left - 1 in
+  let lefts = ref [ tuple ] in
+  for i = s downto 1 do
+    (* composites currently cover sources i..s; probe source i-1 *)
+    lefts :=
+      List.concat_map
+        (fun composite ->
+          let key = Tuple.get composite view.right_attr.(i) in
+          Memory.probe view.sources.(i - 1).mem ~attr:view.local_left.(i) key
+          |> List.rev_map (fun left_tuple -> Tuple.concat left_tuple composite))
+        !lefts
+  done;
+  let out = ref !lefts in
+  for i = s + 1 to n_steps do
+    (* composites cover sources 0..i-1; key position is the step's global
+       left attr in the flat schema *)
+    let key_pos = view.offsets.(i - 1) + view.local_left.(i) in
+    out :=
+      List.concat_map
+        (fun composite ->
+          let key = Tuple.get composite key_pos in
+          Memory.probe view.sources.(i).mem ~attr:view.right_attr.(i) key
+          |> List.rev_map (fun right_tuple -> Tuple.concat composite right_tuple))
+        !out
+  done;
+  !out
+
+let apply_delta t ~rel ~inserted ~deleted =
+  Io.with_touch_dedup t.io (fun () ->
+      (match Hashtbl.find_opt t.by_rel rel with
+      | None -> ()
+      | Some cell ->
+        let feed sign tuples =
+          List.iter
+            (fun tuple ->
+              (* Phase 1: screen and apply the token once per DISTINCT
+                 alpha node — several views may share one memory. *)
+              let applied_nodes = ref [] in
+              List.iter
+                (fun (view, s) ->
+                  let node = view.sources.(s) in
+                  if
+                    (not (List.exists (fun (n, _) -> n.mem == node.mem) !applied_nodes))
+                    && covered node.interval tuple
+                  then begin
+                    Cost.cpu_screen (Io.cost t.io);
+                    if Predicate.eval node.restriction tuple then begin
+                      let applied =
+                        match sign with
+                        | `Minus -> Memory.delete_logical node.mem tuple
+                        | `Plus ->
+                          Memory.insert_logical node.mem tuple;
+                          true
+                      in
+                      applied_nodes := (node, applied) :: !applied_nodes
+                    end
+                  end)
+                !cell;
+              (* Phase 2: expand the token through every view whose
+                 source node accepted it.  For a minus token the alpha
+                 was updated first, so expansion joins against the
+                 post-removal contents — correct for multiset deltas,
+                 mirroring Network. *)
+              List.iter
+                (fun (view, s) ->
+                  let node = view.sources.(s) in
+                  match
+                    List.find_opt (fun (n, _) -> n.mem == node.mem) !applied_nodes
+                  with
+                  | Some (_, true) ->
+                    let composites = expand view s tuple in
+                    List.iter
+                      (fun c ->
+                        match sign with
+                        | `Plus -> Memory.insert_logical view.result c
+                        | `Minus -> ignore (Memory.delete_logical view.result c))
+                      composites
+                  | _ -> ())
+                !cell)
+            tuples
+        in
+        feed `Minus deleted;
+        feed `Plus inserted);
+      List.iter (fun (_, node) -> Memory.flush node.mem) t.registry;
+      List.iter (fun v -> Memory.flush v.result) t.views)
+
+let matches_recompute t id =
+  let view = find_view t id in
+  Cost.with_disabled (Io.cost t.io) (fun () ->
+      let sorted l = List.sort Tuple.compare l in
+      let stored = sorted (Memory.contents view.result) in
+      let fresh = sorted (Executor.run (Planner.compile view.def)) in
+      List.length stored = List.length fresh && List.for_all2 Tuple.equal stored fresh)
+
+let shared_alpha_count t = t.shared

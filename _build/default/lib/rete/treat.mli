@@ -1,0 +1,53 @@
+(** TREAT-style view maintenance: α-memories only, no β-memories.
+
+    TREAT (Miranker, 1987 — the contemporaneous alternative to Forgy's
+    Rete) keeps the selected inputs (α-memories) materialized but
+    recomputes join results from them on every token, storing only the
+    final result ("conflict set" in production-system terms; the
+    procedure value here).  Compared with the paper's two algorithms:
+
+    - vs {b RVM}: no β-memories to refresh — cheaper when inner relations
+      churn (the ext-update-mix pathology) — but every token re-joins
+      through all the other α-memories;
+    - vs {b AVM}: joins probe the {e selected} α-memories (f2-reduced)
+      instead of the full base relations, and α screening is shared.
+
+    Supported chains are those with the right-deep property (each join
+    step keyed on the immediately preceding source) — the paper's P1/P2
+    shapes at any length.  α-memories are shared across views with the
+    same (relation, restriction), like {!Builder}.
+
+    Charges per transaction mirror the engine's other maintainers: C1 per
+    covered token screening (indexed discrimination), one page read per
+    distinct probed memory page, one read + one write per distinct
+    refreshed page (α and result memories), all deduplicated per
+    transaction. *)
+
+open Dbproc_query
+
+type t
+(** A TREAT engine holding the shared α-memories of a view population. *)
+
+val create : io:Dbproc_storage.Io.t -> record_bytes:int -> unit -> t
+
+exception Unsupported of string
+
+val add_view : t -> View_def.t -> int
+(** Install a view, returning its id.  Initial contents are computed
+    without cost accounting.
+    @raise Unsupported if a join step is not keyed on the immediately
+    preceding source, or is not an equality. *)
+
+val read : t -> int -> Dbproc_relation.Tuple.t list
+(** The view's stored result, one page read per page. *)
+
+val cardinality : t -> int -> int
+
+val apply_delta :
+  t -> rel:string -> inserted:Dbproc_relation.Tuple.t list ->
+  deleted:Dbproc_relation.Tuple.t list -> unit
+(** Process one update transaction. *)
+
+val matches_recompute : t -> int -> bool
+
+val shared_alpha_count : t -> int

@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Array Format Hashtbl Io List

@@ -1,0 +1,1 @@
+lib/storage/io.ml: Cost Fun Hashtbl

@@ -1,0 +1,94 @@
+type charges = {
+  c1_screen_ms : float;
+  c2_io_ms : float;
+  c3_delta_ms : float;
+  c_inval_ms : float;
+}
+
+let default_charges =
+  { c1_screen_ms = 1.0; c2_io_ms = 30.0; c3_delta_ms = 1.0; c_inval_ms = 0.0 }
+
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable cpu_screens : int;
+  mutable delta_ops : int;
+  mutable invalidations : int;
+  mutable disabled_depth : int;
+}
+
+let create () =
+  {
+    page_reads = 0;
+    page_writes = 0;
+    cpu_screens = 0;
+    delta_ops = 0;
+    invalidations = 0;
+    disabled_depth = 0;
+  }
+
+let reset t =
+  t.page_reads <- 0;
+  t.page_writes <- 0;
+  t.cpu_screens <- 0;
+  t.delta_ops <- 0;
+  t.invalidations <- 0
+
+let disable t = t.disabled_depth <- t.disabled_depth + 1
+let enable t = t.disabled_depth <- max 0 (t.disabled_depth - 1)
+
+let with_disabled t f =
+  disable t;
+  Fun.protect ~finally:(fun () -> enable t) f
+
+let active t = t.disabled_depth = 0
+
+let page_read ?(count = 1) t = if active t then t.page_reads <- t.page_reads + count
+let page_write ?(count = 1) t = if active t then t.page_writes <- t.page_writes + count
+let cpu_screen ?(count = 1) t = if active t then t.cpu_screens <- t.cpu_screens + count
+let delta_op ?(count = 1) t = if active t then t.delta_ops <- t.delta_ops + count
+
+let invalidation ?(count = 1) t =
+  if active t then t.invalidations <- t.invalidations + count
+
+let page_reads t = t.page_reads
+let page_writes t = t.page_writes
+let cpu_screens t = t.cpu_screens
+let delta_ops t = t.delta_ops
+let invalidations t = t.invalidations
+
+let total_ms charges t =
+  (charges.c1_screen_ms *. float_of_int t.cpu_screens)
+  +. (charges.c2_io_ms *. float_of_int (t.page_reads + t.page_writes))
+  +. (charges.c3_delta_ms *. float_of_int t.delta_ops)
+  +. (charges.c_inval_ms *. float_of_int t.invalidations)
+
+type snapshot = {
+  s_page_reads : int;
+  s_page_writes : int;
+  s_cpu_screens : int;
+  s_delta_ops : int;
+  s_invalidations : int;
+}
+
+let snapshot t =
+  {
+    s_page_reads = t.page_reads;
+    s_page_writes = t.page_writes;
+    s_cpu_screens = t.cpu_screens;
+    s_delta_ops = t.delta_ops;
+    s_invalidations = t.invalidations;
+  }
+
+let diff_ms charges ~before ~after =
+  (charges.c1_screen_ms *. float_of_int (after.s_cpu_screens - before.s_cpu_screens))
+  +. charges.c2_io_ms
+     *. float_of_int
+          (after.s_page_reads - before.s_page_reads
+          + (after.s_page_writes - before.s_page_writes))
+  +. (charges.c3_delta_ms *. float_of_int (after.s_delta_ops - before.s_delta_ops))
+  +. (charges.c_inval_ms *. float_of_int (after.s_invalidations - before.s_invalidations))
+
+let pp ppf t =
+  Format.fprintf ppf "reads=%d writes=%d screens=%d delta=%d inval=%d" t.page_reads
+    t.page_writes t.cpu_screens t.delta_ops t.invalidations

@@ -1,0 +1,72 @@
+(** Cost accounting for the simulated engine.
+
+    The paper charges every operation in milliseconds using three unit
+    costs: [C1] (CPU to screen one record against a predicate), [C2] (one
+    disk page read or write) and [C3] (per-tuple maintenance of the
+    A_net/D_net delta sets), plus [C_inval] per cache invalidation.  The
+    engine never looks at a wall clock — it increments these counters, and
+    {!total_ms} prices them, so measured results are directly comparable to
+    the analytical formulas. *)
+
+type charges = {
+  c1_screen_ms : float;  (** CPU cost to screen a record against a predicate *)
+  c2_io_ms : float;  (** cost of one disk page read or write *)
+  c3_delta_ms : float;  (** per-tuple cost to maintain A_net/D_net sets *)
+  c_inval_ms : float;  (** cost to record one cache invalidation *)
+}
+
+val default_charges : charges
+(** The paper's Figure 2 defaults: C1 = 1 ms, C2 = 30 ms, C3 = 1 ms,
+    C_inval = 0 ms. *)
+
+type t
+(** A mutable bundle of operation counters. *)
+
+val create : unit -> t
+val reset : t -> unit
+
+val disable : t -> unit
+(** Stop counting (used during bulk load / setup).  Nestable. *)
+
+val enable : t -> unit
+
+val with_disabled : t -> (unit -> 'a) -> 'a
+(** Run a thunk without accounting, restoring the previous state even on
+    exceptions. *)
+
+(** {2 Charging} *)
+
+val page_read : ?count:int -> t -> unit
+val page_write : ?count:int -> t -> unit
+val cpu_screen : ?count:int -> t -> unit
+val delta_op : ?count:int -> t -> unit
+val invalidation : ?count:int -> t -> unit
+
+(** {2 Reading} *)
+
+val page_reads : t -> int
+val page_writes : t -> int
+val cpu_screens : t -> int
+val delta_ops : t -> int
+val invalidations : t -> int
+
+val total_ms : charges -> t -> float
+(** Price the counters:
+    [c1 * screens + c2 * (reads + writes) + c3 * delta_ops
+     + c_inval * invalidations]. *)
+
+type snapshot = {
+  s_page_reads : int;
+  s_page_writes : int;
+  s_cpu_screens : int;
+  s_delta_ops : int;
+  s_invalidations : int;
+}
+
+val snapshot : t -> snapshot
+
+val diff_ms : charges -> before:snapshot -> after:snapshot -> float
+(** Priced difference between two snapshots — the cost of the work done
+    between them. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,159 @@
+(* Doubly-linked LRU over an (file, page) hash table. *)
+module Lru = struct
+  type key = int * int
+
+  type node = {
+    key : key;
+    mutable prev : node option;
+    mutable next : node option;
+  }
+
+  type t = {
+    capacity : int;
+    table : (key, node) Hashtbl.t;
+    mutable head : node option; (* most recent *)
+    mutable tail : node option; (* least recent *)
+  }
+
+  let create capacity =
+    if capacity <= 0 then invalid_arg "Io.Lru.create";
+    { capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+
+  let unlink t node =
+    (match node.prev with
+    | Some p -> p.next <- node.next
+    | None -> t.head <- node.next);
+    (match node.next with
+    | Some n -> n.prev <- node.prev
+    | None -> t.tail <- node.prev);
+    node.prev <- None;
+    node.next <- None
+
+  let push_front t node =
+    node.next <- t.head;
+    node.prev <- None;
+    (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+    t.head <- Some node
+
+  let touch t key =
+    match Hashtbl.find_opt t.table key with
+    | Some node ->
+      unlink t node;
+      push_front t node;
+      true
+    | None ->
+      let node = { key; prev = None; next = None } in
+      if Hashtbl.length t.table >= t.capacity then begin
+        match t.tail with
+        | Some victim ->
+          unlink t victim;
+          Hashtbl.remove t.table victim.key
+        | None -> ()
+      end;
+      Hashtbl.replace t.table key node;
+      push_front t node;
+      false
+
+  let clear t =
+    Hashtbl.reset t.table;
+    t.head <- None;
+    t.tail <- None
+end
+
+type t = {
+  cost : Cost.t;
+  page_bytes : int;
+  lru : Lru.t option;
+  mutable next_file : int;
+  mutable hits : int;
+  mutable misses : int;
+  dedup : (int * int * bool, unit) Hashtbl.t; (* (file, page, is_write) *)
+  mutable dedup_depth : int;
+}
+
+let direct cost ~page_bytes =
+  if page_bytes <= 0 then invalid_arg "Io.direct";
+  {
+    cost;
+    page_bytes;
+    lru = None;
+    next_file = 0;
+    hits = 0;
+    misses = 0;
+    dedup = Hashtbl.create 64;
+    dedup_depth = 0;
+  }
+
+let buffered cost ~page_bytes ~capacity =
+  if page_bytes <= 0 then invalid_arg "Io.buffered";
+  {
+    cost;
+    page_bytes;
+    lru = Some (Lru.create capacity);
+    next_file = 0;
+    hits = 0;
+    misses = 0;
+    dedup = Hashtbl.create 64;
+    dedup_depth = 0;
+  }
+
+let with_touch_dedup t f =
+  t.dedup_depth <- t.dedup_depth + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      t.dedup_depth <- t.dedup_depth - 1;
+      if t.dedup_depth = 0 then Hashtbl.reset t.dedup)
+    f
+
+(* True if the touch should be charged (first touch of the page in the
+   current dedup scope, or no scope active). *)
+let should_charge t ~file ~page ~is_write =
+  if t.dedup_depth = 0 then true
+  else begin
+    let key = (file, page, is_write) in
+    if Hashtbl.mem t.dedup key then false
+    else begin
+      Hashtbl.replace t.dedup key ();
+      true
+    end
+  end
+
+let cost t = t.cost
+let page_bytes t = t.page_bytes
+
+let fresh_file t =
+  let id = t.next_file in
+  t.next_file <- id + 1;
+  id
+
+let read t ~file ~page =
+  if should_charge t ~file ~page ~is_write:false then
+    match t.lru with
+    | None -> Cost.page_read t.cost
+    | Some lru ->
+      if Lru.touch lru (file, page) then t.hits <- t.hits + 1
+      else begin
+        t.misses <- t.misses + 1;
+        Cost.page_read t.cost
+      end
+
+let write t ~file ~page =
+  if should_charge t ~file ~page ~is_write:true then begin
+    (match t.lru with Some lru -> ignore (Lru.touch lru (file, page)) | None -> ());
+    Cost.page_write t.cost
+  end
+
+let records_per_page t ~record_bytes =
+  if record_bytes <= 0 then invalid_arg "Io.records_per_page";
+  max 1 (t.page_bytes / record_bytes)
+
+let pages_for_records t ~record_bytes ~count =
+  if count <= 0 then 0
+  else begin
+    let per_page = records_per_page t ~record_bytes in
+    (count + per_page - 1) / per_page
+  end
+
+let buffer_hits t = t.hits
+let buffer_misses t = t.misses
+let flush t = match t.lru with Some lru -> Lru.clear lru | None -> ()

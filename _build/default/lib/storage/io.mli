@@ -1,0 +1,55 @@
+(** Page I/O layer of the simulated disk.
+
+    Every storage structure (heap files, B-tree nodes, hash buckets, cached
+    procedure results, Rete memories) routes its page touches through an
+    {!t}.  Two implementations are provided:
+
+    - {!direct} charges {!Cost.page_read}/{!Cost.page_write} on every touch
+      — this matches the paper's cost model, which assumes no buffering;
+    - {!buffered} interposes an LRU buffer pool so repeated touches of a
+      hot page are free — the "what if there were a buffer pool" ablation
+      of DESIGN.md.
+
+    Page identity is [(file, page)] where files are allocated by
+    {!fresh_file}; the layer stores no bytes, only accounting state. *)
+
+type t
+
+val direct : Cost.t -> page_bytes:int -> t
+(** Unbuffered I/O: each read/write charges one [C2]. *)
+
+val buffered : Cost.t -> page_bytes:int -> capacity:int -> t
+(** Write-through LRU buffer of [capacity] pages.  Reads charge only on a
+    miss; writes always charge (write-through) and install the page. *)
+
+val cost : t -> Cost.t
+val page_bytes : t -> int
+
+val fresh_file : t -> int
+(** Allocate a new file identifier. *)
+
+val read : t -> file:int -> page:int -> unit
+val write : t -> file:int -> page:int -> unit
+
+val records_per_page : t -> record_bytes:int -> int
+(** [max 1 (page_bytes / record_bytes)]. *)
+
+val pages_for_records : t -> record_bytes:int -> count:int -> int
+(** Number of pages needed to hold [count] records of [record_bytes]
+    each; 0 records need 0 pages. *)
+
+val with_touch_dedup : t -> (unit -> 'a) -> 'a
+(** [with_touch_dedup t f] runs [f] charging each distinct page at most one
+    read and one write.  This models the paper's per-operation assumption:
+    during one query or one maintenance step, a page already touched stays
+    in memory (the Yao function counts {e distinct} pages).  Nestable; the
+    dedup set lives until the outermost call returns.  Nothing is retained
+    across operations. *)
+
+(** {2 Buffer statistics} (always 0 for {!direct}) *)
+
+val buffer_hits : t -> int
+val buffer_misses : t -> int
+
+val flush : t -> unit
+(** Drop all buffered pages (no cost: write-through keeps disk current). *)

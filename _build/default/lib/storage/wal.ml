@@ -1,0 +1,72 @@
+type lsn = int
+
+type 'a t = {
+  io : Io.t;
+  file : int;
+  per_page : int;
+  mutable records : (lsn * 'a) list; (* retained, reversed *)
+  mutable next : lsn;
+  mutable oldest : lsn;
+  mutable tail_fill : int; (* records in the unwritten tail page *)
+  mutable pages_written : int;
+}
+
+let create ~io ~record_bytes () =
+  if record_bytes <= 0 then invalid_arg "Wal.create";
+  {
+    io;
+    file = Io.fresh_file io;
+    per_page = Io.records_per_page io ~record_bytes;
+    records = [];
+    next = 0;
+    oldest = 0;
+    tail_fill = 0;
+    pages_written = 0;
+  }
+
+let append t record =
+  let lsn = t.next in
+  t.next <- lsn + 1;
+  t.records <- (lsn, record) :: t.records;
+  t.tail_fill <- t.tail_fill + 1;
+  if t.tail_fill >= t.per_page then begin
+    Io.write t.io ~file:t.file ~page:t.pages_written;
+    t.pages_written <- t.pages_written + 1;
+    t.tail_fill <- 0
+  end;
+  lsn
+
+let force t =
+  if t.tail_fill > 0 then begin
+    Io.write t.io ~file:t.file ~page:t.pages_written;
+    t.pages_written <- t.pages_written + 1;
+    t.tail_fill <- 0
+  end
+
+let next_lsn t = t.next
+let record_count t = List.length t.records
+let durable_lsn t = t.next - t.tail_fill
+
+let page_count t = t.pages_written + (if t.tail_fill > 0 then 1 else 0)
+
+let oldest_lsn t = t.oldest
+
+let records_from t lsn =
+  if lsn < t.oldest then
+    invalid_arg
+      (Printf.sprintf "Wal.records_from: lsn %d predates truncation point %d" lsn t.oldest);
+  let wanted =
+    List.filter (fun (l, _) -> l >= lsn) (List.rev t.records)
+  in
+  (* One read per page covering the requested suffix. *)
+  let pages = (List.length wanted + t.per_page - 1) / t.per_page in
+  for page = 0 to pages - 1 do
+    Io.read t.io ~file:t.file ~page
+  done;
+  wanted
+
+let truncate_before t lsn =
+  if lsn > t.oldest then begin
+    t.records <- List.filter (fun (l, _) -> l >= lsn) t.records;
+    t.oldest <- lsn
+  end

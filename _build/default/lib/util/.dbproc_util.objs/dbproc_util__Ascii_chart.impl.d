@@ -1,0 +1,1 @@
+lib/util/ascii_chart.ml: Array Buffer Char Float Hashtbl List Printf String

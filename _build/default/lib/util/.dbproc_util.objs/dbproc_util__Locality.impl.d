@@ -1,0 +1,1 @@
+lib/util/locality.ml: Float Prng

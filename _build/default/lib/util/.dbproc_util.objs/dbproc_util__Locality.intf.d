@@ -1,0 +1,1 @@
+lib/util/locality.mli: Prng

@@ -1,0 +1,109 @@
+let unique_marks names =
+  let used = Hashtbl.create 8 in
+  List.map
+    (fun name ->
+      let base = if name = "" then '?' else Char.uppercase_ascii name.[0] in
+      let rec pick c offset =
+        if Hashtbl.mem used c then
+          let next =
+            if offset < String.length name then Char.uppercase_ascii name.[offset]
+            else Char.chr (Char.code 'a' + (Hashtbl.length used mod 26))
+          in
+          pick next (offset + 1)
+        else c
+      in
+      let mark = pick base 1 in
+      Hashtbl.replace used mark ();
+      mark)
+    names
+
+let bounds points =
+  List.fold_left
+    (fun (xmin, xmax, ymin, ymax) (x, y) ->
+      (Float.min xmin x, Float.max xmax x, Float.min ymin y, Float.max ymax y))
+    (Float.infinity, Float.neg_infinity, Float.infinity, Float.neg_infinity)
+    points
+
+let line_plot ?(width = 72) ?(height = 20) ?(log_y = false) ~x_label ~y_label ~series () =
+  let transform (x, y) = if log_y then if y > 0.0 then Some (x, log10 y) else None else Some (x, y) in
+  let all_points =
+    List.concat_map (fun (_, pts) -> List.filter_map transform pts) series
+  in
+  if all_points = [] then "(no data)"
+  else begin
+    let xmin, xmax, ymin, ymax = bounds all_points in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+    let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    let marks = unique_marks (List.map fst series) in
+    List.iter2
+      (fun (_, pts) mark ->
+        List.iter
+          (fun pt ->
+            match transform pt with
+            | None -> ()
+            | Some (x, y) ->
+              let col =
+                int_of_float (Float.round ((x -. xmin) /. xspan *. float_of_int (width - 1)))
+              in
+              let row =
+                height - 1
+                - int_of_float (Float.round ((y -. ymin) /. yspan *. float_of_int (height - 1)))
+              in
+              let col = max 0 (min (width - 1) col) in
+              let row = max 0 (min (height - 1) row) in
+              grid.(row).(col) <- mark)
+          pts)
+      series marks;
+    let buf = Buffer.create ((width + 16) * (height + 4)) in
+    let y_of_row row =
+      let y = ymin +. (yspan *. float_of_int (height - 1 - row) /. float_of_int (height - 1)) in
+      if log_y then 10.0 ** y else y
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s\n" y_label (if log_y then " (log scale)" else ""));
+    Array.iteri
+      (fun row line ->
+        Buffer.add_string buf (Printf.sprintf "%10.2f |" (y_of_row row));
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %-12g%*s%g   (%s)\n" "" xmin (width - 14) "" xmax x_label);
+    List.iter2
+      (fun (name, _) mark -> Buffer.add_string buf (Printf.sprintf "  %c = %s\n" mark name))
+      series marks;
+    Buffer.contents buf
+  end
+
+let region_map ?(width = 60) ?(height = 20) ~x_label ~y_label ~x_range ~y_range ?(log_x = false)
+    ~classify () =
+  let x_lo, x_hi = x_range in
+  let y_lo, y_hi = y_range in
+  let x_at col =
+    let frac = float_of_int col /. float_of_int (width - 1) in
+    if log_x then begin
+      let llo = log10 x_lo and lhi = log10 x_hi in
+      10.0 ** (llo +. (frac *. (lhi -. llo)))
+    end
+    else x_lo +. (frac *. (x_hi -. x_lo))
+  in
+  let y_at row =
+    let frac = float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+    y_lo +. (frac *. (y_hi -. y_lo))
+  in
+  let buf = Buffer.create ((width + 16) * (height + 4)) in
+  Buffer.add_string buf (Printf.sprintf "%s\n" y_label);
+  for row = 0 to height - 1 do
+    Buffer.add_string buf (Printf.sprintf "%10.3f |" (y_at row));
+    for col = 0 to width - 1 do
+      Buffer.add_char buf (classify ~x:(x_at col) ~y:(y_at row))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "%10s  %-12g%*s%g   (%s%s)\n" "" x_lo (width - 14) "" x_hi x_label
+       (if log_x then ", log scale" else ""));
+  Buffer.contents buf

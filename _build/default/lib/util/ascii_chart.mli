@@ -1,0 +1,33 @@
+(** Crude ASCII charts: line plots of several series over a shared x-axis,
+    and region ("who wins where") maps.  Used by the bench harness so that
+    the reproduced figures can be eyeballed against the paper's plots. *)
+
+val line_plot :
+  ?width:int ->
+  ?height:int ->
+  ?log_y:bool ->
+  x_label:string ->
+  y_label:string ->
+  series:(string * (float * float) list) list ->
+  unit ->
+  string
+(** [line_plot ~series ()] renders each series with its own mark character
+    (first letter of its name, uniquified).  Points outside the computed
+    bounds are clamped.  [log_y] plots log10 of y (non-positive values are
+    dropped).  Default size 72x20 characters. *)
+
+val region_map :
+  ?width:int ->
+  ?height:int ->
+  x_label:string ->
+  y_label:string ->
+  x_range:float * float ->
+  y_range:float * float ->
+  ?log_x:bool ->
+  classify:(x:float -> y:float -> char) ->
+  unit ->
+  string
+(** [region_map ~classify ()] samples the (x, y) grid and prints the
+    character [classify] returns for each cell — the paper's figures 12-15
+    and 19 are maps of this kind.  [log_x] samples x log-uniformly (the
+    paper's object-size axis is logarithmic). *)

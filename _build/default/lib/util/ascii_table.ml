@@ -1,0 +1,67 @@
+type align = Left | Right
+
+type t = {
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let normalize_aligns aligns width =
+  let rec take n = function
+    | _ when n = 0 -> []
+    | [] -> Right :: take (n - 1) []
+    | a :: rest -> a :: take (n - 1) rest
+  in
+  take width aligns
+
+let create ?(aligns = []) ~header () =
+  { header; aligns = normalize_aligns aligns (List.length header); rows = [] }
+
+let add_row t cells =
+  let width = List.length t.header in
+  let n = List.length cells in
+  if n > width then invalid_arg "Ascii_table.add_row: too many cells";
+  let padded = cells @ List.init (width - n) (fun _ -> "") in
+  t.rows <- padded :: t.rows
+
+let format_float decimals x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" decimals x
+
+let add_float_row ?(decimals = 2) t label xs =
+  add_row t (label :: List.map (format_float decimals) xs)
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      t.header
+  in
+  let render_line cells =
+    List.map2 (fun (w, a) c -> pad a w c) (List.combine widths t.aligns) cells
+    |> String.concat "  "
+  in
+  let sep = List.map (fun w -> String.make w '-') widths |> String.concat "  " in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_line t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  List.iter
+    (fun row ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (render_line row))
+    rows;
+  Buffer.contents buf
+
+let print t = print_endline (render t)

@@ -1,0 +1,24 @@
+(** Aligned plain-text tables for bench and experiment output. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?aligns:align list -> header:string list -> unit -> t
+(** [create ~header ()] starts a table.  [aligns] defaults to [Right] for
+    every column; it is padded/truncated to the header width. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows
+    raise [Invalid_argument]. *)
+
+val add_float_row : ?decimals:int -> t -> string -> float list -> unit
+(** [add_float_row t label xs] adds a row whose first cell is [label] and
+    remaining cells are [xs] formatted with [decimals] (default 2) places.
+    NaN renders as ["-"]. *)
+
+val render : t -> string
+(** The table as a string, including a header separator line. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,190 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Key : ORDERED) = struct
+  type bound = Neg_inf | Pos_inf | Incl of Key.t | Excl of Key.t
+
+  type 'a interval = { lo : bound; hi : bound; value : 'a }
+
+  type 'a node = {
+    center : Key.t;
+    here : 'a interval list; (* overlap the center value *)
+    by_lo : 'a interval array; (* here, ascending lo *)
+    by_hi : 'a interval array; (* here, descending hi *)
+    left : 'a node option;
+    right : 'a node option;
+  }
+
+  type 'a t = {
+    mutable intervals : 'a interval list;
+    mutable root : 'a node option;
+    mutable always : 'a list; (* (Neg_inf, Pos_inf) intervals: cover everything *)
+    mutable dirty : bool;
+  }
+
+  let create () = { intervals = []; root = None; always = []; dirty = true }
+
+  (* point vs bound tests *)
+  let above_lo lo q =
+    match lo with
+    | Neg_inf -> true
+    | Pos_inf -> false
+    | Incl b -> Key.compare q b >= 0
+    | Excl b -> Key.compare q b > 0
+
+  let below_hi hi q =
+    match hi with
+    | Pos_inf -> true
+    | Neg_inf -> false
+    | Incl b -> Key.compare q b <= 0
+    | Excl b -> Key.compare q b < 0
+
+  let covers ~lo ~hi q = above_lo lo q && below_hi hi q
+
+  let is_empty_interval lo hi =
+    match (lo, hi) with
+    | (Incl a | Excl a), (Incl b | Excl b) -> (
+      match Key.compare a b with
+      | c when c > 0 -> true
+      | 0 -> ( match (lo, hi) with Incl _, Incl _ -> false | _ -> true)
+      | _ -> false)
+    | _ -> false
+
+  let add t ~lo ~hi value =
+    (match lo with
+    | Pos_inf -> invalid_arg "Interval_index.add: lo cannot be Pos_inf"
+    | Neg_inf | Incl _ | Excl _ -> ());
+    (match hi with
+    | Neg_inf -> invalid_arg "Interval_index.add: hi cannot be Neg_inf"
+    | Pos_inf | Incl _ | Excl _ -> ());
+    t.intervals <- { lo; hi; value } :: t.intervals;
+    t.dirty <- true
+
+  let remove t pred =
+    let keep, dropped = List.partition (fun iv -> not (pred iv.value)) t.intervals in
+    t.intervals <- keep;
+    t.dirty <- true;
+    List.length dropped
+
+  let size t = List.length t.intervals
+  let values t = List.map (fun iv -> iv.value) t.intervals
+
+  (* ordering of lo bounds (Neg_inf smallest; Incl v before Excl v) *)
+  let compare_lo a b =
+    match (a, b) with
+    | Neg_inf, Neg_inf -> 0
+    | Neg_inf, _ -> -1
+    | _, Neg_inf -> 1
+    | Pos_inf, Pos_inf -> 0
+    | Pos_inf, _ -> 1
+    | _, Pos_inf -> -1
+    | (Incl x | Excl x), (Incl y | Excl y) -> (
+      match Key.compare x y with
+      | 0 -> (
+        match (a, b) with Incl _, Excl _ -> -1 | Excl _, Incl _ -> 1 | _ -> 0)
+      | c -> c)
+
+  (* ordering of hi bounds (Pos_inf largest; Excl v before Incl v) *)
+  let compare_hi a b =
+    match (a, b) with
+    | Pos_inf, Pos_inf -> 0
+    | Pos_inf, _ -> 1
+    | _, Pos_inf -> -1
+    | Neg_inf, Neg_inf -> 0
+    | Neg_inf, _ -> -1
+    | _, Neg_inf -> 1
+    | (Incl x | Excl x), (Incl y | Excl y) -> (
+      match Key.compare x y with
+      | 0 -> (
+        match (a, b) with Excl _, Incl _ -> -1 | Incl _, Excl _ -> 1 | _ -> 0)
+      | c -> c)
+
+  (* Value-based separation: exclusivity is ignored here (handled by the
+     cover tests at query time); it only affects which node stores the
+     interval, never correctness.  Strict value comparisons guarantee the
+     recursion's endpoint sets shrink. *)
+  let hi_value = function Incl v | Excl v -> Some v | Neg_inf | Pos_inf -> None
+  let lo_value = function Incl v | Excl v -> Some v | Neg_inf | Pos_inf -> None
+
+  let strictly_left iv center =
+    match hi_value iv.hi with Some v -> Key.compare v center < 0 | None -> false
+
+  let strictly_right iv center =
+    match lo_value iv.lo with Some v -> Key.compare v center > 0 | None -> false
+
+  let rec build intervals =
+    match intervals with
+    | [] -> None
+    | _ ->
+      let endpoints =
+        List.concat_map
+          (fun iv ->
+            (match lo_value iv.lo with Some v -> [ v ] | None -> [])
+            @ (match hi_value iv.hi with Some v -> [ v ] | None -> []))
+          intervals
+      in
+      let sorted = List.sort Key.compare endpoints in
+      (* every interval here has at least one finite endpoint (the
+         all-unbounded ones were extracted into [always]) *)
+      let center = List.nth sorted (List.length sorted / 2) in
+      let lefts = List.filter (fun iv -> strictly_left iv center) intervals in
+      let rights = List.filter (fun iv -> strictly_right iv center) intervals in
+      let here =
+        List.filter
+          (fun iv -> (not (strictly_left iv center)) && not (strictly_right iv center))
+          intervals
+      in
+      let by_lo = Array.of_list here in
+      Array.sort (fun a b -> compare_lo a.lo b.lo) by_lo;
+      let by_hi = Array.of_list here in
+      Array.sort (fun a b -> compare_hi b.hi a.hi) by_hi;
+      Some { center; here; by_lo; by_hi; left = build lefts; right = build rights }
+
+  let rebuild t =
+    if t.dirty then begin
+      let unbounded, bounded =
+        List.partition
+          (fun iv -> iv.lo = Neg_inf && iv.hi = Pos_inf)
+          (List.filter (fun iv -> not (is_empty_interval iv.lo iv.hi)) t.intervals)
+      in
+      t.always <- List.map (fun iv -> iv.value) unbounded;
+      t.root <- build bounded;
+      t.dirty <- false
+    end
+
+  let stab t q =
+    rebuild t;
+    let acc = ref t.always in
+    let rec go = function
+      | None -> ()
+      | Some node ->
+        let c = Key.compare q node.center in
+        if c < 0 then begin
+          (* here-items have hi_value >= center > q, so below_hi holds;
+             scan ascending los until one no longer reaches q *)
+          (try
+             Array.iter
+               (fun iv -> if above_lo iv.lo q then acc := iv.value :: !acc else raise Exit)
+               node.by_lo
+           with Exit -> ());
+          go node.left
+        end
+        else if c > 0 then begin
+          (try
+             Array.iter
+               (fun iv -> if below_hi iv.hi q then acc := iv.value :: !acc else raise Exit)
+               node.by_hi
+           with Exit -> ());
+          go node.right
+        end
+        else
+          List.iter
+            (fun iv -> if covers ~lo:iv.lo ~hi:iv.hi q then acc := iv.value :: !acc)
+            node.here
+    in
+    go t.root;
+    !acc
+end

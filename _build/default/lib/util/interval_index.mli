@@ -1,0 +1,49 @@
+(** A stabbing index over intervals: given many (possibly unbounded,
+    possibly open-ended) intervals, find all that cover a query point.
+
+    This is the data structure behind rule indexing: i-lock regions and
+    Rete t-const conditions are intervals over an attribute's domain, and
+    every updated tuple value must be checked against all of them.  A
+    linear scan is O(locks); the centered interval tree here answers a
+    stab query in O(log n + matches).
+
+    The index is mutable; mutations mark it dirty and the tree is rebuilt
+    lazily on the next query (subscriptions change rarely, queries are
+    per-tuple). *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Key : ORDERED) : sig
+  type bound = Neg_inf | Pos_inf | Incl of Key.t | Excl of Key.t
+
+  type 'a t
+  (** An index mapping intervals to values of type ['a]. *)
+
+  val create : unit -> 'a t
+
+  val add : 'a t -> lo:bound -> hi:bound -> 'a -> unit
+  (** Register an interval.  [lo] must be [Neg_inf]/[Incl]/[Excl], [hi]
+      [Pos_inf]/[Incl]/[Excl]; an empty interval (e.g. [Incl 5, Excl 5])
+      is accepted and simply never matches. *)
+
+  val remove : 'a t -> ('a -> bool) -> int
+  (** Remove every interval whose value satisfies the predicate; returns
+      how many were removed. *)
+
+  val stab : 'a t -> Key.t -> 'a list
+  (** All values whose interval covers the point, in no particular
+      order. *)
+
+  val size : 'a t -> int
+
+  val values : 'a t -> 'a list
+  (** All registered values (including those of empty intervals), in no
+      particular order. *)
+
+  val covers : lo:bound -> hi:bound -> Key.t -> bool
+  (** Direct cover test for one interval (no index). *)
+end

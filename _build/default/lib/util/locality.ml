@@ -1,0 +1,42 @@
+type t = {
+  z : float option; (* None = uniform *)
+  n : int;
+  hot_count : int;
+}
+
+let create ~z ~n =
+  if not (z > 0.0 && z < 1.0) then invalid_arg "Locality.create: z must be in (0,1)";
+  if n < 1 then invalid_arg "Locality.create: n must be >= 1";
+  let hot_count = max 1 (int_of_float (Float.round (z *. float_of_int n))) in
+  { z = Some z; n; hot_count = min hot_count n }
+
+let uniform ~n =
+  if n < 1 then invalid_arg "Locality.uniform: n must be >= 1";
+  { z = None; n; hot_count = n }
+
+let n t = t.n
+let hot_count t = t.hot_count
+
+let sample t prng =
+  match t.z with
+  | None -> Prng.int prng t.n
+  | Some z ->
+    if Prng.float prng < 1.0 -. z then Prng.int prng t.hot_count
+    else if t.n = t.hot_count then Prng.int prng t.n
+    else t.hot_count + Prng.int prng (t.n - t.hot_count)
+
+let access_probability t i =
+  if i < 0 || i >= t.n then invalid_arg "Locality.access_probability";
+  match t.z with
+  | None -> 1.0 /. float_of_int t.n
+  | Some z ->
+    if i < t.hot_count then (1.0 -. z) /. float_of_int t.hot_count
+    else z /. float_of_int (t.n - t.hot_count)
+
+let expected_updates_between_accesses t ~hot ~updates_per_query =
+  let nf = float_of_int t.n in
+  match t.z with
+  | None -> nf *. updates_per_query
+  | Some z ->
+    let ratio = if hot then z /. (1.0 -. z) else (1.0 -. z) /. z in
+    nf *. ratio *. updates_per_query

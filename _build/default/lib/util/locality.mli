@@ -1,0 +1,36 @@
+(** The paper's hot/cold locality-of-reference model.
+
+    A fraction [z] of all objects (the {e hot set}) receives a fraction
+    [1 - z] of all references; the remaining objects share the rest.  With
+    [z = 0.2] this is the classic 80/20 rule; the paper's "high locality"
+    setting is [z = 0.05]. *)
+
+type t
+(** A locality model over [n] objects. *)
+
+val create : z:float -> n:int -> t
+(** [create ~z ~n] builds the model.  Requires [0 < z < 1] (use
+    {!uniform} for no skew) and [n >= 1].  Objects [0 .. hot_count - 1]
+    are the hot set, so callers that need a random hot/cold assignment
+    should shuffle their own object identifiers. *)
+
+val uniform : n:int -> t
+(** Uniform references: every object equally likely. *)
+
+val n : t -> int
+val hot_count : t -> int
+(** Size of the hot set, [max 1 (round (z * n))]. *)
+
+val sample : t -> Prng.t -> int
+(** [sample t prng] draws an object index according to the model. *)
+
+val access_probability : t -> int -> float
+(** [access_probability t i] is the per-reference probability of object
+    [i] under the model. *)
+
+val expected_updates_between_accesses : t -> hot:bool -> updates_per_query:float -> float
+(** The paper's X (hot) and Y (cold) quantities: the expected number of
+    update transactions between two accesses to one given object of the
+    hot or cold class, when there are [updates_per_query] updates per
+    procedure access.  X = n (z / (1-z)) k/q; Y = n ((1-z) / z) k/q.
+    For a {!uniform} model both classes give [n *. updates_per_query]. *)

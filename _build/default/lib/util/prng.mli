@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic component of the simulator draws from an explicit
+    {!t} so that workloads, data generation and experiments are exactly
+    reproducible from a seed.  SplitMix64 passes BigCrush and supports
+    cheap splitting, which we use to give independent streams to
+    independent subsystems. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** [float t] is uniform in [[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)].  [bound] must be positive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] is a uniformly chosen element.  [arr] must be non-empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample_without_replacement : t -> n:int -> k:int -> int list
+(** [sample_without_replacement t ~n ~k] draws [k] distinct indices from
+    [[0, n)], in no particular order.  Requires [0 <= k <= n]. *)

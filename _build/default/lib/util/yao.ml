@@ -1,0 +1,37 @@
+let upper_bound_m = 2.0
+
+(* log C(n, k), computed as a sum of logs: O(k) but k is at most a record
+   count, and the exact form is only used in tests and ablation benches. *)
+let log_choose n k =
+  if k < 0 || k > n then invalid_arg "Yao.log_choose"
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 0.0 in
+    for i = 1 to k do
+      acc := !acc +. log (float_of_int (n - k + i)) -. log (float_of_int i)
+    done;
+    !acc
+  end
+
+let exact ~n ~m ~k =
+  if m <= 0 || n < m || k < 0 || k > n then invalid_arg "Yao.exact";
+  if k = 0 then 0.0
+  else begin
+    let per_block = n / m in
+    let remaining = n - per_block in
+    if k > remaining then float_of_int m
+    else
+      let log_ratio = log_choose remaining k -. log_choose n k in
+      float_of_int m *. (1.0 -. exp log_ratio)
+  end
+
+let cardenas ~m ~k =
+  if m <= 0.0 then invalid_arg "Yao.cardenas";
+  m *. (1.0 -. ((1.0 -. (1.0 /. m)) ** k))
+
+let paper ~n ~m ~k =
+  ignore n;
+  if k <= 1.0 then max 0.0 k
+  else if m < 1.0 then 1.0
+  else if m < upper_bound_m then Float.min k m
+  else cardenas ~m ~k

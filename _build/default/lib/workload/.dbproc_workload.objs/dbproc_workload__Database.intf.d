@@ -1,0 +1,1 @@
+lib/workload/database.mli: Catalog Dbproc_costmodel Dbproc_query Dbproc_relation Dbproc_storage Dbproc_util Model Params Relation Tuple View_def

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Cost Database Dbproc_costmodel Dbproc_proc Dbproc_relation Dbproc_storage Dbproc_util Float Format List Locality Model Params Prng Relation Strategy

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Dbproc_costmodel Dbproc_proc Format Model Params Strategy

@@ -1,0 +1,1 @@
+lib/workload/nway.mli: Dbproc_costmodel Params Strategy

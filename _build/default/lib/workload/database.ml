@@ -1,0 +1,171 @@
+open Dbproc_util
+open Dbproc_storage
+open Dbproc_relation
+open Dbproc_query
+open Dbproc_costmodel
+
+type t = {
+  params : Params.t;
+  io : Io.t;
+  cost : Cost.t;
+  catalog : Catalog.t;
+  r1 : Relation.t;
+  r2 : Relation.t;
+  r3 : Relation.t;
+  p1_defs : View_def.t list;
+  p2_defs : View_def.t list;
+  mutable r1_rids : Heap_file.rid array; (* stable rids for update sampling *)
+  mutable r2_rids : Heap_file.rid array;
+}
+
+let iround x = int_of_float (Float.round x)
+
+let interval_restriction schema ~attr ~start ~width =
+  let pos = Schema.index_of schema attr in
+  [
+    Predicate.term ~attr:pos ~op:Predicate.Ge ~value:(Value.Int start);
+    Predicate.term ~attr:pos ~op:Predicate.Lt ~value:(Value.Int (start + width));
+  ]
+
+let build ?(seed = 42) ?buffer_pages ~model (params : Params.t) =
+  let prng = Prng.create seed in
+  let cost = Cost.create () in
+  let page_bytes = iround params.block_bytes in
+  let io =
+    match buffer_pages with
+    | Some capacity -> Io.buffered cost ~page_bytes ~capacity
+    | None -> Io.direct cost ~page_bytes
+  in
+  let catalog = Catalog.create ~io in
+  let tuple_bytes = iround params.s in
+  let n = iround params.n in
+  let n_r2 = max 1 (iround (params.f_r2 *. params.n)) in
+  let n_r3 = max 1 (iround (params.f_r3 *. params.n)) in
+  (* R1: loaded in [sel] order so f-intervals are clustered. *)
+  let r1_schema =
+    Schema.create [ ("id", Value.TInt); ("a", Value.TInt); ("sel", Value.TInt); ("pad", Value.TInt) ]
+  in
+  let r1 = Catalog.create_relation catalog ~name:"R1" ~schema:r1_schema ~tuple_bytes in
+  let r1_tuples =
+    List.init n (fun sel ->
+        Tuple.create
+          [ Value.Int sel; Value.Int (Prng.int prng n_r2); Value.Int sel; Value.Int 0 ])
+  in
+  Relation.load r1 r1_tuples;
+  Relation.add_btree_index r1 ~attr:"sel" ~entry_bytes:(iround params.d);
+  (* R2: hash-clustered on the unique join key b. *)
+  let r2_schema =
+    Schema.create
+      [ ("b", Value.TInt); ("c", Value.TInt); ("sel2", Value.TInt); ("pad", Value.TInt) ]
+  in
+  let r2 = Catalog.create_relation catalog ~name:"R2" ~schema:r2_schema ~tuple_bytes in
+  let r2_tuples =
+    List.init n_r2 (fun b ->
+        Tuple.create [ Value.Int b; Value.Int (Prng.int prng n_r3); Value.Int b; Value.Int 0 ])
+  in
+  Relation.load r2 r2_tuples;
+  Relation.add_hash_index ~primary:true r2 ~attr:"b" ~entry_bytes:tuple_bytes
+    ~expected_entries:n_r2;
+  (* R3: hash-clustered on the unique join key dkey. *)
+  let r3_schema =
+    Schema.create [ ("dkey", Value.TInt); ("e", Value.TInt); ("pad", Value.TInt) ]
+  in
+  let r3 = Catalog.create_relation catalog ~name:"R3" ~schema:r3_schema ~tuple_bytes in
+  let r3_tuples =
+    List.init n_r3 (fun dkey -> Tuple.create [ Value.Int dkey; Value.Int dkey; Value.Int 0 ])
+  in
+  Relation.load r3 r3_tuples;
+  Relation.add_hash_index ~primary:true r3 ~attr:"dkey" ~entry_bytes:tuple_bytes
+    ~expected_entries:n_r3;
+  (* Procedure populations. *)
+  let f_width = max 1 (iround (params.f *. params.n)) in
+  let f2_width = max 1 (iround (params.f2 *. float_of_int n_r2)) in
+  let random_start prng total width = Prng.int prng (max 1 (total - width + 1)) in
+  let p1_starts =
+    List.init (iround params.n1) (fun _ -> random_start prng n f_width)
+  in
+  let p1_defs =
+    List.mapi
+      (fun i start ->
+        View_def.select ~name:(Printf.sprintf "P1_%d" i) ~rel:r1
+          ~restriction:(interval_restriction r1_schema ~attr:"sel" ~start ~width:f_width))
+      p1_starts
+  in
+  let p1_starts_arr = Array.of_list p1_starts in
+  let n2 = iround params.n2 in
+  let shared_count = iround (params.sf *. float_of_int n2) in
+  let p2_defs =
+    List.init n2 (fun i ->
+        let base_start =
+          if i < shared_count && Array.length p1_starts_arr > 0 then
+            (* Shared subexpression: reuse a P1 restriction verbatim. *)
+            p1_starts_arr.(i mod Array.length p1_starts_arr)
+          else random_start prng n f_width
+        in
+        let def =
+          View_def.select ~name:(Printf.sprintf "P2_%d" i) ~rel:r1
+            ~restriction:
+              (interval_restriction r1_schema ~attr:"sel" ~start:base_start ~width:f_width)
+        in
+        let r2_start = random_start prng n_r2 f2_width in
+        let def =
+          View_def.join def ~rel:r2
+            ~restriction:
+              (interval_restriction r2_schema ~attr:"sel2" ~start:r2_start ~width:f2_width)
+            ~left:"R1.a" ~op:Predicate.Eq ~right:"b"
+        in
+        match model with
+        | Model.Model1 -> def
+        | Model.Model2 ->
+          View_def.join def ~rel:r3 ~restriction:Predicate.always_true ~left:"R2.c"
+            ~op:Predicate.Eq ~right:"dkey")
+  in
+  let rids_of rel =
+    Cost.with_disabled cost (fun () ->
+        let acc = ref [] in
+        Relation.scan rel ~f:(fun rid _ -> acc := rid :: !acc);
+        Array.of_list (List.rev !acc))
+  in
+  {
+    params;
+    io;
+    cost;
+    catalog;
+    r1;
+    r2;
+    r3;
+    p1_defs;
+    p2_defs;
+    r1_rids = rids_of r1;
+    r2_rids = rids_of r2;
+  }
+
+let all_defs t = t.p1_defs @ t.p2_defs
+
+(* Rewrite the given attribute of l random tuples with fresh uniform
+   values from [0, domain). *)
+let random_rewrite t prng ~rel ~rids ~attr ~domain =
+  let n = Array.length rids in
+  let l = max 1 (iround t.params.l) in
+  let pos = Schema.index_of (Relation.schema rel) attr in
+  let picks = Prng.sample_without_replacement prng ~n ~k:(min l n) in
+  Cost.with_disabled t.cost (fun () ->
+      List.map
+        (fun idx ->
+          let rid = rids.(idx) in
+          let old_tuple = Relation.get rel rid in
+          let values =
+            List.mapi
+              (fun i v -> if i = pos then Value.Int (Prng.int prng domain) else v)
+              (Tuple.to_list old_tuple)
+          in
+          (rid, Tuple.create values))
+        picks)
+
+let random_update t prng =
+  random_rewrite t prng ~rel:t.r1 ~rids:t.r1_rids ~attr:"sel"
+    ~domain:(Array.length t.r1_rids)
+
+let random_update_r2 t prng =
+  random_rewrite t prng ~rel:t.r2 ~rids:t.r2_rids ~attr:"sel2"
+    ~domain:(Array.length t.r2_rids)

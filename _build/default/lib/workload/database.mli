@@ -1,0 +1,68 @@
+(** Construction of the paper's synthetic database and procedure
+    populations.
+
+    The paper never names its data; it is fully characterized by the cost
+    parameters.  We realize it as:
+
+    - [R1(id, a, sel, pad)] — N tuples.  [sel] is unique in [0, N) and R1
+      is loaded in [sel] order with a B-tree index on it, so a selection
+      [C_f] = an interval of width f·N on [sel] is clustered, exactly the
+      paper's "B-tree primary index on the selection attribute".  [a] is
+      uniform over R2's key domain, so each R1 tuple equi-joins one R2
+      tuple.
+    - [R2(b, c, sel2, pad)] — f_R2·N tuples, hash-clustered on the unique
+      key [b].  [sel2] is unique in [0, |R2|) so [C_f2] is an interval of
+      selectivity f2; [c] is uniform over R3's key domain.
+    - [R3(dkey, e, pad)] — f_R3·N tuples, hash-clustered on unique [dkey].
+
+    A P2 procedure's expected size is then f·N·f2 = f*·N, matching the
+    model.
+
+    Procedures: [n1] P1 selections with random f-intervals and [n2] P2
+    joins.  A fraction [SF] of the P2 procedures reuses the restriction of
+    some P1 procedure verbatim (the shared-subexpression opportunity);
+    the rest get fresh random intervals. *)
+
+open Dbproc_relation
+open Dbproc_query
+open Dbproc_costmodel
+
+type t = {
+  params : Params.t;
+  io : Dbproc_storage.Io.t;
+  cost : Dbproc_storage.Cost.t;
+  catalog : Catalog.t;
+  r1 : Relation.t;
+  r2 : Relation.t;
+  r3 : Relation.t;
+  p1_defs : View_def.t list;
+  p2_defs : View_def.t list;
+  mutable r1_rids : Dbproc_storage.Heap_file.rid array;
+      (** stable rids of R1, for update sampling *)
+  mutable r2_rids : Dbproc_storage.Heap_file.rid array;
+}
+
+val build : ?seed:int -> ?buffer_pages:int -> model:Model.which -> Params.t -> t
+(** Deterministic from [seed] (default 42).  [buffer_pages], if given,
+    interposes an LRU buffer pool (ablation; the paper's model has none).
+    Parameters are read at their real-valued face: [Params.n] tuples in
+    R1 and so on — scale the parameter record down before calling for
+    fast simulations. *)
+
+val all_defs : t -> View_def.t list
+(** P1 procedures first, then P2 — the procedure population. *)
+
+val random_update :
+  t -> Dbproc_util.Prng.t -> (Dbproc_storage.Heap_file.rid * Tuple.t) list
+(** One update transaction: l distinct R1 tuples each given a fresh
+    uniform [sel] value — each old/new value falls in a given procedure's
+    f-interval with probability ≈ f, the paper's lock-breaking model.
+    Returns the (rid, new-tuple) pairs, not yet applied. *)
+
+val random_update_r2 :
+  t -> Dbproc_util.Prng.t -> (Dbproc_storage.Heap_file.rid * Tuple.t) list
+(** Like {!random_update} but against R2: l distinct R2 tuples get fresh
+    uniform [sel2] values, breaking the [C_f2] locks of P2 procedures.
+    The paper never updates R2 ("the relative frequency of updates to
+    different relations … was not analyzed"); this drives the ext-update-mix
+    extension. *)

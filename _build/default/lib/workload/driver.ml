@@ -1,0 +1,151 @@
+open Dbproc_util
+open Dbproc_storage
+open Dbproc_relation
+open Dbproc_costmodel
+
+type result = {
+  strategy : Strategy.t;
+  queries : int;
+  updates : int;
+  measured_ms_per_query : float;
+  analytic_ms_per_query : float;
+  page_reads : int;
+  page_writes : int;
+  cpu_screens : int;
+  delta_ops : int;
+  invalidations : int;
+  consistent : bool;
+  per_op : ([ `Query | `Update ] * float) list;
+}
+
+let iround x = int_of_float (Float.round x)
+
+let manager_kind = function
+  | Strategy.Always_recompute -> Dbproc_proc.Manager.Always_recompute
+  | Strategy.Cache_invalidate -> Dbproc_proc.Manager.Cache_invalidate
+  | Strategy.Update_cache_avm -> Dbproc_proc.Manager.Update_cache_avm
+  | Strategy.Update_cache_rvm -> Dbproc_proc.Manager.Update_cache_rvm
+
+type op = Query of int | Update
+
+(* The sequence is derived from the seed alone, so every strategy replays
+   the same interleaving of accesses and updates. *)
+let op_sequence prng ~q ~k ~locality =
+  let ops = Array.init (q + k) (fun i -> if i < q then `Q else `U) in
+  Prng.shuffle prng ops;
+  Array.to_list ops
+  |> List.map (function `Q -> Query (Locality.sample locality prng) | `U -> Update)
+
+let charges_of (params : Params.t) =
+  {
+    Cost.c1_screen_ms = params.c1;
+    c2_io_ms = params.c2;
+    c3_delta_ms = params.c3;
+    c_inval_ms = params.c_inval;
+  }
+
+let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
+    ?(r2_update_fraction = 0.0) ~model ~params strategy =
+  let db = Database.build ~seed ~model params in
+  let record_bytes = iround params.Params.s in
+  let manager =
+    Dbproc_proc.Manager.create (manager_kind strategy) ~io:db.Database.io ~record_bytes
+      ?rvm_shape ()
+  in
+  let proc_ids =
+    List.map (fun def -> Dbproc_proc.Manager.register manager def) (Database.all_defs db)
+  in
+  let proc_arr = Array.of_list proc_ids in
+  let q = iround params.Params.q and k = iround params.Params.k in
+  let workload_prng = Prng.create (seed + 1) in
+  let locality =
+    let n = max 1 (Array.length proc_arr) in
+    if params.Params.z > 0.0 && params.Params.z < 0.5 then Locality.create ~z:params.Params.z ~n
+    else Locality.uniform ~n
+  in
+  let ops = op_sequence workload_prng ~q ~k ~locality in
+  Cost.reset db.Database.cost;
+  let charges = charges_of params in
+  let queries = ref 0 and updates = ref 0 in
+  let per_op = ref [] in
+  List.iter
+    (fun op ->
+      let before = Cost.snapshot db.Database.cost in
+      let kind =
+        match op with
+        | Query idx ->
+          if Array.length proc_arr > 0 then begin
+            incr queries;
+            ignore
+              (Dbproc_proc.Manager.access manager proc_arr.(idx mod Array.length proc_arr))
+          end;
+          `Query
+        | Update ->
+          incr updates;
+          let target_r2 =
+            r2_update_fraction > 0.0 && Prng.float workload_prng < r2_update_fraction
+          in
+          let rel, changes =
+            if target_r2 then (db.Database.r2, Database.random_update_r2 db workload_prng)
+            else (db.Database.r1, Database.random_update db workload_prng)
+          in
+          (* The base-table update itself costs the same under every
+             strategy; the paper's per-access costs exclude it. *)
+          let old_new =
+            Cost.with_disabled db.Database.cost (fun () -> Relation.update_batch rel changes)
+          in
+          Dbproc_proc.Manager.on_update manager ~rel ~changes:old_new;
+          `Update
+      in
+      per_op :=
+        (kind, Cost.diff_ms charges ~before ~after:(Cost.snapshot db.Database.cost))
+        :: !per_op)
+    ops;
+  let total_ms = Cost.total_ms charges db.Database.cost in
+  let consistent =
+    (not check_consistency)
+    || List.for_all (fun id -> Dbproc_proc.Manager.matches_recompute manager id) proc_ids
+  in
+  {
+    strategy;
+    queries = !queries;
+    updates = !updates;
+    measured_ms_per_query = (if !queries = 0 then 0.0 else total_ms /. float_of_int !queries);
+    analytic_ms_per_query = Model.cost model params strategy;
+    page_reads = Cost.page_reads db.Database.cost;
+    page_writes = Cost.page_writes db.Database.cost;
+    cpu_screens = Cost.cpu_screens db.Database.cost;
+    delta_ops = Cost.delta_ops db.Database.cost;
+    invalidations = Cost.invalidations db.Database.cost;
+    consistent;
+    per_op = List.rev !per_op;
+  }
+
+let run_all ?seed ?check_consistency ?r2_update_fraction ~model ~params () =
+  List.map
+    (fun s -> run_strategy ?seed ?check_consistency ?r2_update_fraction ~model ~params s)
+    Strategy.all
+
+let scale_params (params : Params.t) ~factor =
+  if factor <= 0.0 then invalid_arg "Driver.scale_params";
+  {
+    params with
+    Params.n = params.Params.n /. factor;
+    n1 = Float.max 1.0 (Float.round (params.Params.n1 /. factor));
+    n2 = Float.round (params.Params.n2 /. factor);
+    q = Float.max 1.0 (Float.round (params.Params.q /. factor));
+    k = Float.max 0.0 (Float.round (params.Params.k /. factor));
+  }
+
+let default_sim_params =
+  let p = scale_params Params.default ~factor:10.0 in
+  { p with Params.q = 40.0; k = 40.0 }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-22s q=%d u=%d measured=%.1f ms/query analytic=%.1f ms/query (reads=%d writes=%d \
+     screens=%d delta=%d inval=%d)%s"
+    (Strategy.name r.strategy) r.queries r.updates r.measured_ms_per_query
+    r.analytic_ms_per_query r.page_reads r.page_writes r.cpu_screens r.delta_ops
+    r.invalidations
+    (if r.consistent then "" else " INCONSISTENT")

@@ -1,0 +1,76 @@
+(** Workload execution: run the paper's access/update mix against the real
+    engine under each strategy and measure cost per procedure access.
+
+    A run executes a deterministic interleaving of [q] procedure accesses
+    (procedure chosen by the Z-locality model) and [k] update transactions
+    (l random in-place R1 modifications each).  Base-table update I/O is
+    excluded — it is identical under every strategy and the paper's
+    per-access costs exclude it too; what is measured is strategy work:
+    access cost, invalidation recording, differential maintenance, Rete
+    propagation.
+
+    Each strategy replays the {e same} operation sequence against a fresh
+    database built from the same seed, so measured numbers are directly
+    comparable to each other and to the analytic model evaluated at the
+    same parameters. *)
+
+open Dbproc_costmodel
+
+type result = {
+  strategy : Strategy.t;
+  queries : int;
+  updates : int;
+  measured_ms_per_query : float;  (** total charged ms / queries *)
+  analytic_ms_per_query : float;  (** {!Model.cost} at the run's parameters *)
+  page_reads : int;
+  page_writes : int;
+  cpu_screens : int;
+  delta_ops : int;
+  invalidations : int;
+  consistent : bool;  (** every procedure's stored state matched a recompute at the end *)
+  per_op : ([ `Query | `Update ] * float) list;
+      (** simulated ms of each operation in sequence order — queries carry
+          their access cost, updates their maintenance cost.  The paper
+          reports only means; this exposes the distribution (Cache and
+          Invalidate is bimodal: cheap hits, recompute-priced misses). *)
+}
+
+val run_strategy :
+  ?seed:int ->
+  ?check_consistency:bool ->
+  ?rvm_shape:Dbproc_proc.Manager.rvm_shape ->
+  ?r2_update_fraction:float ->
+  model:Model.which ->
+  params:Params.t ->
+  Strategy.t ->
+  result
+(** Build the database, install every procedure under the strategy,
+    execute the op sequence, price the counters with the run's C1/C2/C3/
+    C_inval.  [check_consistency] (default true) verifies stored state
+    against recomputation when the run ends.  [r2_update_fraction]
+    (default 0, the paper's workload) makes that fraction of update
+    transactions modify R2 instead of R1 — the ext-update-mix
+    extension. *)
+
+val run_all :
+  ?seed:int ->
+  ?check_consistency:bool ->
+  ?r2_update_fraction:float ->
+  model:Model.which ->
+  params:Params.t ->
+  unit ->
+  result list
+(** All four strategies on the same sequence. *)
+
+val scale_params : Params.t -> factor:float -> Params.t
+(** Shrink the database and procedure population by [factor] (divides N,
+    N1, N2, q, k; keeps selectivities, page geometry and unit costs) so a
+    simulation finishes quickly while remaining comparable to the analytic
+    model {e at the scaled parameters}. *)
+
+val default_sim_params : Params.t
+(** {!scale_params} applied to the paper defaults with factor 10, q
+    raised for averaging: the standard configuration of the sim-* bench
+    targets. *)
+
+val pp_result : Format.formatter -> result -> unit

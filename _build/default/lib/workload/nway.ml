@@ -1,0 +1,180 @@
+open Dbproc_util
+open Dbproc_storage
+open Dbproc_relation
+open Dbproc_query
+open Dbproc_costmodel
+
+type result = {
+  chain_length : int;
+  strategy : Strategy.t;
+  ms_per_query : float;
+  maintenance_ms_per_update : float;
+  consistent : bool;
+}
+
+let iround x = int_of_float (Float.round x)
+
+let manager_kind = function
+  | Strategy.Always_recompute -> Dbproc_proc.Manager.Always_recompute
+  | Strategy.Cache_invalidate -> Dbproc_proc.Manager.Cache_invalidate
+  | Strategy.Update_cache_avm -> Dbproc_proc.Manager.Update_cache_avm
+  | Strategy.Update_cache_rvm -> Dbproc_proc.Manager.Update_cache_rvm
+
+(* Build C1 .. Cm: C1 has the B-tree selection attribute; each Ci carries
+   a pointer attribute [next] drawn uniformly over C_{i+1}'s key domain,
+   so every chain step is a one-to-one-expected equi-join on a
+   hash-clustered key, like the paper's R1 -> R2 -> R3. *)
+let build_chain ~seed ~chain_length (params : Params.t) =
+  let prng = Prng.create seed in
+  let cost = Cost.create () in
+  let page_bytes = iround params.block_bytes in
+  let io = Io.direct cost ~page_bytes in
+  let tuple_bytes = iround params.s in
+  let n1 = iround params.n in
+  let n_inner = max 1 (iround (params.f_r2 *. params.n)) in
+  let c1_schema =
+    Schema.create [ ("id", Value.TInt); ("next", Value.TInt); ("sel", Value.TInt) ]
+  in
+  let c1 = Relation.create ~io ~name:"C1" ~schema:c1_schema ~tuple_bytes in
+  Relation.load c1
+    (List.init n1 (fun sel ->
+         Tuple.create [ Value.Int sel; Value.Int (Prng.int prng n_inner); Value.Int sel ]));
+  Relation.add_btree_index c1 ~attr:"sel" ~entry_bytes:(iround params.d);
+  let inner_schema =
+    Schema.create [ ("key", Value.TInt); ("next", Value.TInt); ("sel2", Value.TInt) ]
+  in
+  let inners =
+    List.init (chain_length - 1) (fun i ->
+        let rel =
+          Relation.create ~io ~name:(Printf.sprintf "C%d" (i + 2)) ~schema:inner_schema
+            ~tuple_bytes
+        in
+        Relation.load rel
+          (List.init n_inner (fun key ->
+               Tuple.create
+                 [ Value.Int key; Value.Int (Prng.int prng n_inner); Value.Int key ]));
+        Relation.add_hash_index ~primary:true rel ~attr:"key" ~entry_bytes:tuple_bytes
+          ~expected_entries:n_inner;
+        rel)
+  in
+  (* Procedures: random f-interval on C1.sel, an f2-interval on C2.sel2
+     (the paper's C_f2), nothing on the rest. *)
+  let f_width = max 1 (iround (params.f *. params.n)) in
+  let f2_width = max 1 (iround (params.f2 *. float_of_int n_inner)) in
+  let defs =
+    List.init (iround params.n2) (fun p ->
+        let start = Prng.int prng (max 1 (n1 - f_width + 1)) in
+        let def =
+          View_def.select ~name:(Printf.sprintf "P%d" p) ~rel:c1
+            ~restriction:
+              [
+                Predicate.term ~attr:2 ~op:Predicate.Ge ~value:(Value.Int start);
+                Predicate.term ~attr:2 ~op:Predicate.Lt ~value:(Value.Int (start + f_width));
+              ]
+        in
+        let def, _ =
+          List.fold_left
+            (fun (def, i) rel ->
+              let restriction =
+                if i = 0 then begin
+                  let s2 = Prng.int prng (max 1 (n_inner - f2_width + 1)) in
+                  [
+                    Predicate.term ~attr:2 ~op:Predicate.Ge ~value:(Value.Int s2);
+                    Predicate.term ~attr:2 ~op:Predicate.Lt ~value:(Value.Int (s2 + f2_width));
+                  ]
+                end
+                else Predicate.always_true
+              in
+              let left =
+                if i = 0 then "C1.next" else Printf.sprintf "C%d.next" (i + 1)
+              in
+              (View_def.join def ~rel ~restriction ~left ~op:Predicate.Eq ~right:"key", i + 1))
+            (def, 0) inners
+        in
+        def)
+  in
+  (cost, io, c1, defs)
+
+let run ?(seed = 42) ?(rvm_shape = `Right_deep) ~chain_length ~params strategy =
+  if chain_length < 2 then invalid_arg "Nway.run: chain_length must be >= 2";
+  let cost, io, c1, defs = build_chain ~seed ~chain_length params in
+  let manager =
+    Dbproc_proc.Manager.create (manager_kind strategy) ~io
+      ~record_bytes:(iround params.Params.s)
+      ~rvm_shape:(rvm_shape :> Dbproc_proc.Manager.rvm_shape)
+      ()
+  in
+  let ids = List.map (Dbproc_proc.Manager.register manager) defs in
+  let proc_arr = Array.of_list ids in
+  let q = iround params.Params.q and k = iround params.Params.k in
+  let prng = Prng.create (seed + 1) in
+  let ops = Array.init (q + k) (fun i -> if i < q then `Q else `U) in
+  Prng.shuffle prng ops;
+  (* stable rids of C1 for update sampling *)
+  let rids =
+    Cost.with_disabled cost (fun () ->
+        let acc = ref [] in
+        Relation.scan c1 ~f:(fun rid _ -> acc := rid :: !acc);
+        Array.of_list !acc)
+  in
+  Cost.reset cost;
+  let charges =
+    {
+      Cost.c1_screen_ms = params.Params.c1;
+      c2_io_ms = params.Params.c2;
+      c3_delta_ms = params.Params.c3;
+      c_inval_ms = params.Params.c_inval;
+    }
+  in
+  let maintenance = ref 0.0 and queries = ref 0 in
+  Array.iter
+    (fun op ->
+      match op with
+      | `Q ->
+        incr queries;
+        ignore (Dbproc_proc.Manager.access manager proc_arr.(Prng.int prng (Array.length proc_arr)))
+      | `U ->
+        let l = max 1 (iround params.Params.l) in
+        let picks = Prng.sample_without_replacement prng ~n:(Array.length rids) ~k:l in
+        let changes =
+          Cost.with_disabled cost (fun () ->
+              List.map
+                (fun idx ->
+                  let rid = rids.(idx) in
+                  let old_t = Relation.get c1 rid in
+                  ( rid,
+                    Tuple.create
+                      [
+                        Tuple.get old_t 0;
+                        Tuple.get old_t 1;
+                        Value.Int (Prng.int prng (iround params.Params.n));
+                      ] ))
+                picks)
+        in
+        let old_new =
+          Cost.with_disabled cost (fun () -> Relation.update_batch c1 changes)
+        in
+        let before = Cost.snapshot cost in
+        Dbproc_proc.Manager.on_update manager ~rel:c1 ~changes:old_new;
+        maintenance := !maintenance +. Cost.diff_ms charges ~before ~after:(Cost.snapshot cost))
+    ops;
+  let total = Cost.total_ms charges cost in
+  let consistent =
+    List.for_all (fun id -> Dbproc_proc.Manager.matches_recompute manager id) ids
+  in
+  {
+    chain_length;
+    strategy;
+    ms_per_query = (if !queries = 0 then 0.0 else total /. float_of_int !queries);
+    maintenance_ms_per_update = (if k = 0 then 0.0 else !maintenance /. float_of_int k);
+    consistent;
+  }
+
+let sweep ?(seed = 42) ~max_length ~params () =
+  List.concat_map
+    (fun chain_length ->
+      [
+        run ~seed ~chain_length ~params Strategy.Update_cache_avm;
+        run ~seed ~rvm_shape:`Right_deep ~chain_length ~params Strategy.Update_cache_rvm;
+      ])
+    (List.init (max_length - 1) (fun i -> i + 2))

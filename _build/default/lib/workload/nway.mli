@@ -1,0 +1,41 @@
+(** Chains beyond 3 relations — extrapolating the paper's model-1/model-2
+    contrast.
+
+    Section 8: "If procedures contain joins of three or more relations …
+    RVM can perform better [than AVM] … precomputed subexpressions
+    containing joins of two or more relations … limit the total number of
+    joins that RVM must perform."  Model 2 shows the effect at one
+    3-way point; this module measures it as the chain grows: procedures
+    are [σ_f(C1) ⋈ C2 ⋈ … ⋈ Cm], updates hit C1, and each strategy's
+    maintenance cost per update transaction is measured in the engine.
+
+    Expectation: AVM must re-join delta tuples through all [m−1]
+    relations, so its per-update cost grows with [m]; right-deep RVM
+    probes one precomputed spine β-memory, so its cost stays flat. *)
+
+open Dbproc_costmodel
+
+type result = {
+  chain_length : int;  (** relations in the procedure's join chain *)
+  strategy : Strategy.t;
+  ms_per_query : float;  (** measured, access + maintenance averaged over accesses *)
+  maintenance_ms_per_update : float;  (** the update-side component alone *)
+  consistent : bool;
+}
+
+val run :
+  ?seed:int ->
+  ?rvm_shape:[ `Left_deep | `Right_deep ] ->
+  chain_length:int ->
+  params:Params.t ->
+  Strategy.t ->
+  result
+(** Build a fresh chain database at the given length (C1 sized
+    [params.n], the others [params.f_r2 × n], selectivities per the
+    paper), install [params.n2] chain procedures, run the paper's
+    update/access mix against them. *)
+
+val sweep :
+  ?seed:int -> max_length:int -> params:Params.t -> unit -> result list
+(** {!run} for AVM and RVM (right-deep) at every chain length from 2 to
+    [max_length]. *)

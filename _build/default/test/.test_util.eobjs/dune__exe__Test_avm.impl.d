@@ -1,0 +1,1 @@
+test/test_avm.ml: Aggregate_view Alcotest Cost Dbproc Gen Io List Materialized_view Predicate QCheck QCheck_alcotest Relation Schema Tuple Value View_def

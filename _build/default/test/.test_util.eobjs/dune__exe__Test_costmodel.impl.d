@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Dbproc Figures Float List Model Nway_model Params Printf QCheck QCheck_alcotest Regions Sensitivity Strategy String

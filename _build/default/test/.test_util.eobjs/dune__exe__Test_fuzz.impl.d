@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Adaptive Alcotest Array Cost Dbproc Executor Io List Manager Planner Predicate Printf QCheck QCheck_alcotest Relation Schema String Tuple Util Value View_def

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Btree Cost Dbproc Hash_index Hashtbl Int Io List QCheck QCheck_alcotest

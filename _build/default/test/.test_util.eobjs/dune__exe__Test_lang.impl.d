@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Dbproc Filename Format In_channel Interp Lexer List Parser Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_proc.ml: Adaptive Alcotest Cost Dbproc Gen Ilock Inval_table Io List Lock_manager Manager Predicate Printf QCheck QCheck_alcotest Query Relation Result_cache Schema Tuple Value View_def

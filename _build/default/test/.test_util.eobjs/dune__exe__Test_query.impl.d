@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Btree Cost Dbproc Executor Explain Format Io List Plan Planner Predicate QCheck QCheck_alcotest Relation Schema String Tuple Value View_def

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Catalog Cost Dbproc Io List Predicate Relation Schema Tuple Value

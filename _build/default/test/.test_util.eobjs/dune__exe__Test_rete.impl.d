@@ -1,0 +1,1 @@
+test/test_rete.ml: Alcotest Builder Cost Dbproc Gen Io List Memory Network Optimizer Predicate QCheck QCheck_alcotest Relation Schema String Treat Tuple Value View_def

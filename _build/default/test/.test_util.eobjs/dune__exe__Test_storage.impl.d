@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Cost Dbproc Hashtbl Heap_file Io List Option QCheck QCheck_alcotest Wal

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_chart Ascii_table Dbproc Float Fun Int Interval_index List Locality Prng QCheck QCheck_alcotest Stats String Yao

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Database Dbproc Driver Float List Model Params Predicate Printf QCheck QCheck_alcotest Query Relation Storage Strategy Tuple Util Value Workload

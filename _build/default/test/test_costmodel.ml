@@ -1,0 +1,449 @@
+(* Tests for Dbproc.Costmodel against hand-computed values from the paper's
+   formulas at the Figure-2 defaults, plus the paper's reported anchors:
+   the model-2 AVM/RVM crossover at SF ~ 0.47, the fig7 speedup factors,
+   and the qualitative shapes of the cost-vs-P curves. *)
+
+open Dbproc.Costmodel
+
+let d = Params.default
+
+let check_float ?(eps = 1e-6) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+(* --------------------------------------------------------------- Params *)
+
+let test_defaults () =
+  check_float "N" 100_000.0 d.Params.n;
+  check_float "blocks b = N*S/B" 2_500.0 (Params.blocks d);
+  check_float "P" 0.5 (Params.update_probability d);
+  check_float "k/q" 1.0 (Params.updates_per_query d);
+  check_float "f*" 0.0001 (Params.f_star d);
+  check_float "total procs" 200.0 (Params.total_procs d)
+
+let test_proc_size () =
+  (* ceil(f b) = ceil(2.5) = 3; ceil(f* b) = ceil(0.25) = 1; avg = 2 *)
+  check_float "ProcSize" 2.0 (Params.proc_size_pages d)
+
+let test_btree_height () =
+  (* fanout B/d = 200, fN = 100 -> ceil(log_200 100) = 1 *)
+  check_float "H1" 1.0 (Params.btree_height d)
+
+let test_with_update_probability () =
+  let p = Params.with_update_probability d 0.8 in
+  check_float "P set" 0.8 (Params.update_probability p);
+  check_float "q unchanged" d.Params.q p.Params.q;
+  Alcotest.(check bool) "invalid p" true
+    (try
+       ignore (Params.with_update_probability d 1.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_param_rows () =
+  Alcotest.(check bool) "rows include N" true
+    (List.exists (fun (k, v) -> k = "N" && v = "100000") (Params.to_rows d))
+
+(* ----------------------------------------------- Hand-computed formulas *)
+
+let test_c_query_p1 () =
+  (* C1 f N + C2 ceil(f b) + C2 H1 = 100 + 90 + 30 = 220 *)
+  check_float "C_queryP1" 220.0 (Model.c_query_p1 d)
+
+let test_c_query_p2_model1 () =
+  (* + C1 f N + C2 Y1; Y1 = cardenas(m=250, k=100) *)
+  let y1 = Dbproc.Util.Yao.cardenas ~m:250.0 ~k:100.0 in
+  check_float ~eps:1e-3 "C_queryP2 m1" (220.0 +. 100.0 +. (30.0 *. y1))
+    (Model.c_query_p2 Model.Model1 d)
+
+let test_c_query_p2_model2 () =
+  (* model2 adds C2 Y6 + C1 f N; Y6 = Y1 by symmetry of f_R2 = f_R3 *)
+  let y1 = Dbproc.Util.Yao.cardenas ~m:250.0 ~k:100.0 in
+  check_float ~eps:1e-3 "C_queryP2 m2"
+    (Model.c_query_p2 Model.Model1 d +. (30.0 *. y1) +. 100.0)
+    (Model.c_query_p2 Model.Model2 d)
+
+let test_process_query_mix () =
+  (* N1 = N2: plain average of the two query costs *)
+  check_float ~eps:1e-6 "C_ProcessQuery"
+    ((Model.c_query_p1 d +. Model.c_query_p2 Model.Model1 d) /. 2.0)
+    (Model.c_process_query Model.Model1 d)
+
+let test_ar_cost_is_process_query () =
+  check_float ~eps:1e-9 "AR = C_ProcessQuery"
+    (Model.c_process_query Model.Model1 d)
+    (Model.cost Model.Model1 d Strategy.Always_recompute)
+
+let test_avm_hand_computed () =
+  (* Per-update terms at defaults (all Yao ks are <= 1 so y = k):
+     screens 2*2.5; refresh P1 100*30*0.05 = 150; refresh P2 100*30*0.005=15;
+     overhead 10; join 100*30*0.05 = 150; C_read = 60.
+     Total = 60 + (k/q=1) * 332.5 = 392.5... with y2 = 0.05: join = 150.
+     screens = 2.5 + 2.5 = 5. Sum per-update = 5+150+15+10+150 = 330. *)
+  check_float ~eps:1e-6 "AVM m1" 390.0 (Model.cost Model.Model1 d Strategy.Update_cache_avm)
+
+let test_rvm_hand_computed () =
+  (* screenP1 2.5 + screenP2 (1-.5)*2.5 = 1.25 + refreshP1 150 +
+     refresh-alpha .5*2*150 = 150 + refreshP2 15 + join-alpha 150
+     = 468.75; + C_read 60 = 528.75 *)
+  check_float ~eps:1e-6 "RVM m1" 528.75 (Model.cost Model.Model1 d Strategy.Update_cache_rvm)
+
+let test_breakdown_sums_to_cost () =
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun model ->
+          let total = Model.cost model d strategy in
+          let parts =
+            List.fold_left (fun acc (_, v) -> acc +. v) 0.0 (Model.breakdown model d strategy)
+          in
+          check_float ~eps:1e-9 (Strategy.name strategy) total parts)
+        [ Model.Model1; Model.Model2 ])
+    Strategy.all
+
+(* ------------------------------------------------ Invalidation model *)
+
+let test_ip_zero_when_no_updates () =
+  let p = Params.with_update_probability d 0.0 in
+  check_float "IP = 0 at P=0" 0.0 (Model.invalidation_probability p)
+
+let test_ip_monotone_in_p () =
+  let ips =
+    List.map
+      (fun p -> Model.invalidation_probability (Params.with_update_probability d p))
+      [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-12 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (monotone ips);
+  List.iter (fun ip -> Alcotest.(check bool) "in [0,1]" true (ip >= 0.0 && ip <= 1.0)) ips
+
+let test_ip_decreases_with_locality () =
+  (* Stronger locality -> hot objects re-read sooner -> lower IP. *)
+  let base = Model.invalidation_probability (Params.with_update_probability d 0.1) in
+  let local =
+    Model.invalidation_probability
+      (Params.with_update_probability { d with Params.z = 0.05 } 0.1)
+  in
+  Alcotest.(check bool) "locality reduces IP" true (local < base)
+
+let test_false_invalidation () =
+  check_float "1 - f2" 0.9 (Model.false_invalidation_probability d);
+  check_float "zero when f2 = 1" 0.0
+    (Model.false_invalidation_probability { d with Params.f2 = 1.0 })
+
+(* ------------------------------------------------ Paper anchor points *)
+
+let test_equal_at_p_zero () =
+  (* CI and both UC variants all cost C_read when there are no updates. *)
+  let p0 = Params.with_update_probability d 0.0 in
+  let ci = Model.cost Model.Model1 p0 Strategy.Cache_invalidate in
+  let avm = Model.cost Model.Model1 p0 Strategy.Update_cache_avm in
+  let rvm = Model.cost Model.Model1 p0 Strategy.Update_cache_rvm in
+  check_float ~eps:1e-9 "CI = AVM" avm ci;
+  check_float ~eps:1e-9 "AVM = RVM" rvm avm;
+  check_float ~eps:1e-9 "= C2 * ProcSize" 60.0 ci
+
+let test_ci_plateau_slightly_above_ar () =
+  (* At high P, CI = AR + write-back of the recomputed value. *)
+  let p9 = Params.with_update_probability d 0.93 in
+  let ar = Model.cost Model.Model1 p9 Strategy.Always_recompute in
+  let ci = Model.cost Model.Model1 p9 Strategy.Cache_invalidate in
+  Alcotest.(check bool) "CI above AR" true (ci > ar);
+  Alcotest.(check bool) "but only slightly (within write-back margin)" true
+    (ci -. ar <= 2.0 *. 30.0 *. Params.proc_size_pages p9 +. 1.0)
+
+let test_uc_explodes_at_high_p () =
+  let p9 = Params.with_update_probability d 0.95 in
+  let ar = Model.cost Model.Model1 p9 Strategy.Always_recompute in
+  let avm = Model.cost Model.Model1 p9 Strategy.Update_cache_avm in
+  Alcotest.(check bool) "UC above AR at P=0.95" true (avm > ar)
+
+let test_fig7_speedups () =
+  (* f = 0.0001, P = 0.1: paper reports CI ~5x and UC ~7x better than AR.
+     Our formulas give ~3.9x and ~6.6x; accept the right ballpark. *)
+  let p = Params.with_update_probability { d with Params.f = 0.0001 } 0.1 in
+  let ar = Model.cost Model.Model1 p Strategy.Always_recompute in
+  let ci = Model.cost Model.Model1 p Strategy.Cache_invalidate in
+  let avm = Model.cost Model.Model1 p Strategy.Update_cache_avm in
+  Alcotest.(check bool) "CI speedup in [3, 7]" true (ar /. ci >= 3.0 && ar /. ci <= 7.0);
+  Alcotest.(check bool) "UC speedup in [5, 9]" true (ar /. avm >= 5.0 && ar /. avm <= 9.0)
+
+let test_fig6_uc_beats_ci_for_large_objects () =
+  let p = Params.with_update_probability { d with Params.f = 0.01 } 0.2 in
+  let ci = Model.cost Model.Model1 p Strategy.Cache_invalidate in
+  let avm = Model.cost Model.Model1 p Strategy.Update_cache_avm in
+  Alcotest.(check bool) "UC < CI for large objects at low P" true (avm < ci)
+
+let test_fig4_ci_sensitive_to_c_inval () =
+  (* T3 grows with k/q, so the sensitivity is most visible at high P:
+     at P = 0.8 the 60 ms invalidation cost more than doubles CI. *)
+  let p_cheap = Params.with_update_probability d 0.8 in
+  let p_dear = Params.with_update_probability { d with Params.c_inval = 60.0 } 0.8 in
+  let cheap = Model.cost Model.Model1 p_cheap Strategy.Cache_invalidate in
+  let dear = Model.cost Model.Model1 p_dear Strategy.Cache_invalidate in
+  Alcotest.(check bool) "C_inval = 60 ms at least doubles CI at P=0.8" true
+    (dear > 2.0 *. cheap)
+
+let test_model1_crossover_near_one () =
+  match Figures.crossover_sf Model.Model1 d with
+  | Some sf -> Alcotest.(check bool) "RVM catches AVM only near SF=1" true (sf > 0.9)
+  | None -> Alcotest.fail "expected a crossover"
+
+let test_model2_crossover_near_half () =
+  match Figures.crossover_sf Model.Model2 d with
+  | Some sf ->
+    if Float.abs (sf -. 0.47) > 0.03 then Alcotest.failf "crossover %.3f, paper says ~0.47" sf
+  | None -> Alcotest.fail "expected a crossover"
+
+let test_rvm_insensitive_to_sf_in_avm () =
+  let c0 = Model.cost Model.Model1 { d with Params.sf = 0.0 } Strategy.Update_cache_avm in
+  let c1 = Model.cost Model.Model1 { d with Params.sf = 1.0 } Strategy.Update_cache_avm in
+  check_float ~eps:1e-9 "AVM ignores SF" c0 c1
+
+let test_rvm_improves_with_sf () =
+  let c0 = Model.cost Model.Model2 { d with Params.sf = 0.0 } Strategy.Update_cache_rvm in
+  let c1 = Model.cost Model.Model2 { d with Params.sf = 1.0 } Strategy.Update_cache_rvm in
+  Alcotest.(check bool) "RVM cheaper at SF=1" true (c1 < c0)
+
+(* -------------------------------------------------------------- Regions *)
+
+let test_regions_ar_wins_high_p () =
+  let p = Params.with_update_probability d 0.95 in
+  Alcotest.(check bool) "AR wins at P=0.95" true (Regions.best_class Model.Model1 p = Regions.AR)
+
+let test_regions_uc_wins_low_p () =
+  let p = Params.with_update_probability d 0.1 in
+  Alcotest.(check bool) "UC wins at P=0.1" true (Regions.best_class Model.Model1 p = Regions.UC)
+
+let test_regions_best_update_cache_model2 () =
+  (* At default SF=0.5 > crossover, model 2's best UC variant is RVM. *)
+  Alcotest.(check bool) "RVM best in model 2" true
+    (Regions.best_update_cache Model.Model2 d = Strategy.Update_cache_rvm);
+  Alcotest.(check bool) "AVM best in model 1" true
+    (Regions.best_update_cache Model.Model1 d = Strategy.Update_cache_avm)
+
+let test_regions_ci_within_factor () =
+  let p = Params.with_update_probability { d with Params.f = 0.0001 } 0.1 in
+  Alcotest.(check bool) "CI within 2x of UC for small objects" true
+    (Regions.ci_within_factor Model.Model1 p ~factor:2.0)
+
+let test_classify_at () =
+  Alcotest.(check bool) "classify_at overrides f and p" true
+    (Regions.classify_at Model.Model1 d ~f:0.001 ~p:0.95 = Regions.AR)
+
+(* -------------------------------------------------------------- Figures *)
+
+let test_figures_all_render () =
+  List.iter
+    (fun fig ->
+      let out = Figures.render fig in
+      if String.length out < 50 then Alcotest.failf "%s rendered too little" fig.Figures.id)
+    Figures.all
+
+let test_figures_catalog () =
+  Alcotest.(check bool) "at least 17 experiments" true (List.length Figures.all >= 17);
+  Alcotest.(check bool) "find fig5" true (Figures.find "fig5" <> None);
+  Alcotest.(check bool) "find missing" true (Figures.find "fig99" = None)
+
+let test_figures_series_shape () =
+  match Figures.find "fig5" with
+  | Some fig -> (
+    match fig.Figures.output () with
+    | Figures.Series { columns; rows; _ } ->
+      Alcotest.(check int) "4 strategies" 4 (List.length columns);
+      Alcotest.(check int) "20 P points" 20 (List.length rows);
+      List.iter (fun (_, ys) -> Alcotest.(check int) "4 values" 4 (List.length ys)) rows
+    | _ -> Alcotest.fail "fig5 should be a series")
+  | None -> Alcotest.fail "fig5 missing"
+
+let test_figures_region_shape () =
+  match Figures.find "fig12" with
+  | Some fig -> (
+    match fig.Figures.output () with
+    | Figures.Region { rendered; _ } ->
+      Alcotest.(check bool) "mentions winners" true (String.length rendered > 200)
+    | _ -> Alcotest.fail "fig12 should be a region map")
+  | None -> Alcotest.fail "fig12 missing"
+
+(* ----------------------------------------------------------- Nway_model *)
+
+let test_nway_model_specializes_to_model1 () =
+  (* At chain length 2 the generalized formulas are exactly model 1. *)
+  List.iter
+    (fun strategy ->
+      check_float ~eps:1e-6
+        (Strategy.name strategy ^ " chain2 = model1")
+        (Model.cost Model.Model1 d strategy)
+        (Nway_model.cost d ~chain_length:2 strategy))
+    Strategy.all
+
+let test_nway_model_specializes_to_model2_at_f2_one () =
+  (* The paper's model-2 Y6/Y7 ignore the f2 filter; at f2 = 1 the two
+     readings coincide for every strategy. *)
+  let p = { d with Params.f2 = 1.0 } in
+  List.iter
+    (fun strategy ->
+      check_float ~eps:1e-6
+        (Strategy.name strategy ^ " chain3 = model2 at f2=1")
+        (Model.cost Model.Model2 p strategy)
+        (Nway_model.cost p ~chain_length:3 strategy))
+    Strategy.all
+
+let test_nway_model_growth () =
+  let p = { d with Params.f2 = 1.0 } in
+  let avm m = Nway_model.maintenance_per_update p ~chain_length:m Strategy.Update_cache_avm in
+  let rvm m = Nway_model.maintenance_per_update p ~chain_length:m Strategy.Update_cache_rvm in
+  Alcotest.(check bool) "AVM grows with chain length" true (avm 6 > avm 3 && avm 3 > avm 2);
+  check_float ~eps:1e-9 "RVM flat in chain length" (rvm 2) (rvm 6);
+  (* crossover exists *)
+  Alcotest.(check bool) "RVM eventually cheaper" true (rvm 6 < avm 6)
+
+let test_nway_model_invalid () =
+  Alcotest.(check bool) "chain 0 rejected" true
+    (try
+       ignore (Nway_model.cost d ~chain_length:0 Strategy.Always_recompute);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------------------------------------------------- Sensitivity *)
+
+let find_axis name = List.find (fun a -> a.Sensitivity.name = name) Sensitivity.axes
+
+let test_sensitivity_uc_tracks_updates () =
+  let e =
+    Sensitivity.elasticity Model.Model1 d Strategy.Update_cache_avm (find_axis "k")
+  in
+  Alcotest.(check bool) (Printf.sprintf "AVM/k elasticity %.2f > 0.5" e) true (e > 0.5)
+
+let test_sensitivity_ar_ignores_sharing () =
+  let e =
+    Sensitivity.elasticity Model.Model1 d Strategy.Always_recompute (find_axis "SF")
+  in
+  Alcotest.(check (float 1e-9)) "AR/SF = 0" 0.0 e
+
+let test_sensitivity_rvm_sf_negative () =
+  let e =
+    Sensitivity.elasticity Model.Model1 d Strategy.Update_cache_rvm (find_axis "SF")
+  in
+  Alcotest.(check bool) "more sharing, cheaper RVM" true (e < 0.0)
+
+let test_sensitivity_zero_parameter () =
+  (* C_inval = 0 at the default point: elasticity defined as 0 *)
+  let e =
+    Sensitivity.elasticity Model.Model1 d Strategy.Cache_invalidate (find_axis "C_inval")
+  in
+  Alcotest.(check (float 1e-9)) "zero point" 0.0 e
+
+let test_sensitivity_table_shape () =
+  let table = Sensitivity.table Model.Model1 d in
+  Alcotest.(check int) "10 axes" 10 (List.length table);
+  List.iter
+    (fun (_, cells) ->
+      Alcotest.(check int) "4 strategies" 4 (List.length cells);
+      List.iter (fun (_, e) -> Alcotest.(check bool) "finite" true (Float.is_finite e)) cells)
+    table
+
+let cost_positive_property =
+  QCheck.Test.make ~name:"costs are positive and finite over the sweep space" ~count:200
+    QCheck.(triple (float_range 0.0 0.95) (float_range 1e-5 0.05) (float_range 0.0 1.0))
+    (fun (p, f, sf) ->
+      let params = Params.with_update_probability { d with Params.f = f; sf } p in
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun model ->
+              let c = Model.cost model params s in
+              Float.is_finite c && c >= 0.0)
+            [ Model.Model1; Model.Model2 ])
+        Strategy.all)
+
+let model2_dominates_model1_property =
+  (* A 3-way join can only cost more to recompute than its 2-way prefix. *)
+  QCheck.Test.make ~name:"model2 recompute >= model1 recompute" ~count:100
+    QCheck.(pair (float_range 0.0 0.9) (float_range 1e-5 0.02))
+    (fun (p, f) ->
+      let params = Params.with_update_probability { d with Params.f = f } p in
+      Model.cost Model.Model2 params Strategy.Always_recompute
+      >= Model.cost Model.Model1 params Strategy.Always_recompute -. 1e-9)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "costmodel"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "defaults" `Quick test_defaults;
+          Alcotest.test_case "proc size" `Quick test_proc_size;
+          Alcotest.test_case "btree height" `Quick test_btree_height;
+          Alcotest.test_case "with_update_probability" `Quick test_with_update_probability;
+          Alcotest.test_case "parameter rows" `Quick test_param_rows;
+        ] );
+      ( "formulas",
+        [
+          Alcotest.test_case "C_queryP1 = 220ms" `Quick test_c_query_p1;
+          Alcotest.test_case "C_queryP2 model 1" `Quick test_c_query_p2_model1;
+          Alcotest.test_case "C_queryP2 model 2" `Quick test_c_query_p2_model2;
+          Alcotest.test_case "C_ProcessQuery mix" `Quick test_process_query_mix;
+          Alcotest.test_case "AR = C_ProcessQuery" `Quick test_ar_cost_is_process_query;
+          Alcotest.test_case "AVM hand-computed" `Quick test_avm_hand_computed;
+          Alcotest.test_case "RVM hand-computed" `Quick test_rvm_hand_computed;
+          Alcotest.test_case "breakdown sums to cost" `Quick test_breakdown_sums_to_cost;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "IP = 0 at P = 0" `Quick test_ip_zero_when_no_updates;
+          Alcotest.test_case "IP monotone in P" `Quick test_ip_monotone_in_p;
+          Alcotest.test_case "locality reduces IP" `Quick test_ip_decreases_with_locality;
+          Alcotest.test_case "false invalidation" `Quick test_false_invalidation;
+        ] );
+      ( "paper_anchors",
+        [
+          Alcotest.test_case "CI=UC=C_read at P=0" `Quick test_equal_at_p_zero;
+          Alcotest.test_case "CI plateau slightly above AR" `Quick
+            test_ci_plateau_slightly_above_ar;
+          Alcotest.test_case "UC explodes at high P" `Quick test_uc_explodes_at_high_p;
+          Alcotest.test_case "fig7 speedup factors" `Quick test_fig7_speedups;
+          Alcotest.test_case "fig6 UC beats CI for large objects" `Quick
+            test_fig6_uc_beats_ci_for_large_objects;
+          Alcotest.test_case "fig4 C_inval sensitivity" `Quick test_fig4_ci_sensitive_to_c_inval;
+          Alcotest.test_case "model1 crossover near 1" `Quick test_model1_crossover_near_one;
+          Alcotest.test_case "model2 crossover ~0.47" `Quick test_model2_crossover_near_half;
+          Alcotest.test_case "AVM ignores SF" `Quick test_rvm_insensitive_to_sf_in_avm;
+          Alcotest.test_case "RVM improves with SF" `Quick test_rvm_improves_with_sf;
+        ] );
+      ( "regions",
+        [
+          Alcotest.test_case "AR wins high P" `Quick test_regions_ar_wins_high_p;
+          Alcotest.test_case "UC wins low P" `Quick test_regions_uc_wins_low_p;
+          Alcotest.test_case "best UC variant by model" `Quick
+            test_regions_best_update_cache_model2;
+          Alcotest.test_case "CI within factor" `Quick test_regions_ci_within_factor;
+          Alcotest.test_case "classify_at" `Quick test_classify_at;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "catalog" `Quick test_figures_catalog;
+          Alcotest.test_case "series shape" `Quick test_figures_series_shape;
+          Alcotest.test_case "region shape" `Quick test_figures_region_shape;
+          Alcotest.test_case "all render" `Slow test_figures_all_render;
+        ] );
+      ( "nway_model",
+        [
+          Alcotest.test_case "chain 2 = model 1" `Quick test_nway_model_specializes_to_model1;
+          Alcotest.test_case "chain 3 = model 2 (f2=1)" `Quick
+            test_nway_model_specializes_to_model2_at_f2_one;
+          Alcotest.test_case "AVM grows, RVM flat" `Quick test_nway_model_growth;
+          Alcotest.test_case "invalid chain length" `Quick test_nway_model_invalid;
+        ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "UC tracks update rate" `Quick test_sensitivity_uc_tracks_updates;
+          Alcotest.test_case "AR ignores SF" `Quick test_sensitivity_ar_ignores_sharing;
+          Alcotest.test_case "RVM SF negative" `Quick test_sensitivity_rvm_sf_negative;
+          Alcotest.test_case "zero-valued parameter" `Quick test_sensitivity_zero_parameter;
+          Alcotest.test_case "table shape" `Quick test_sensitivity_table_shape;
+        ] );
+      ( "properties",
+        [ qc cost_positive_property; qc model2_dominates_model1_property ] );
+    ]

@@ -1,0 +1,303 @@
+(* Tests for Dbproc.Index: B+-tree ordering/splitting/invariants and the
+   static hash index, including their I/O charging. *)
+
+open Dbproc.Storage
+open Dbproc.Index
+
+let make_btree ?(page_bytes = 200) ?(entry_bytes = 20) () =
+  let c = Cost.create () in
+  (* capacity 10 entries per node: splits happen quickly *)
+  let io = Io.direct c ~page_bytes in
+  (c, Btree.create ~io ~entry_bytes ~compare:Int.compare ())
+
+(* ---------------------------------------------------------------- Btree *)
+
+let test_btree_empty () =
+  let _, t = make_btree () in
+  Alcotest.(check int) "empty count" 0 (Btree.entry_count t);
+  Alcotest.(check int) "height 1" 1 (Btree.height t);
+  Alcotest.(check (list int)) "search misses" [] (Btree.search t 5);
+  Btree.check_invariants t
+
+let test_btree_insert_search () =
+  let _, t = make_btree () in
+  List.iter (fun k -> Btree.insert t k (k * 10)) [ 5; 3; 8; 1; 9 ];
+  Alcotest.(check (list int)) "find 3" [ 30 ] (Btree.search t 3);
+  Alcotest.(check (list int)) "find 9" [ 90 ] (Btree.search t 9);
+  Alcotest.(check (list int)) "miss" [] (Btree.search t 7);
+  Btree.check_invariants t
+
+let test_btree_split_grows_height () =
+  let _, t = make_btree () in
+  Alcotest.(check int) "capacity" 10 (Btree.capacity t);
+  for k = 1 to 11 do
+    Btree.insert t k k
+  done;
+  Alcotest.(check bool) "height grew" true (Btree.height t >= 2);
+  Btree.check_invariants t;
+  for k = 1 to 11 do
+    Alcotest.(check (list int)) "still findable" [ k ] (Btree.search t k)
+  done
+
+let test_btree_many_inserts () =
+  let _, t = make_btree () in
+  let keys = List.init 1000 (fun i -> (i * 7919) mod 1000) in
+  List.iter (fun k -> Btree.insert t k k) keys;
+  Btree.check_invariants t;
+  Alcotest.(check int) "count" 1000 (Btree.entry_count t);
+  Alcotest.(check bool) "height >= 3" true (Btree.height t >= 3)
+
+let test_btree_duplicates () =
+  let _, t = make_btree () in
+  Btree.insert t 4 100;
+  Btree.insert t 4 200;
+  Btree.insert t 4 300;
+  Alcotest.(check (list int)) "all copies, insertion order" [ 100; 200; 300 ] (Btree.search t 4);
+  Btree.check_invariants t
+
+let test_btree_duplicates_across_splits () =
+  let _, t = make_btree () in
+  (* 50 copies of the same key forces splits between duplicates. *)
+  for i = 1 to 50 do
+    Btree.insert t 7 i
+  done;
+  Btree.insert t 3 0;
+  Btree.insert t 9 0;
+  Btree.check_invariants t;
+  Alcotest.(check int) "all 50 found" 50 (List.length (Btree.search t 7))
+
+let test_btree_remove () =
+  let _, t = make_btree () in
+  List.iter (fun k -> Btree.insert t k k) [ 1; 2; 3 ];
+  Alcotest.(check bool) "removed" true (Btree.remove t 2 (fun _ -> true));
+  Alcotest.(check (list int)) "gone" [] (Btree.search t 2);
+  Alcotest.(check bool) "remove again fails" false (Btree.remove t 2 (fun _ -> true));
+  Alcotest.(check int) "count" 2 (Btree.entry_count t);
+  Btree.check_invariants t
+
+let test_btree_remove_specific_value () =
+  let _, t = make_btree () in
+  Btree.insert t 5 1;
+  Btree.insert t 5 2;
+  Alcotest.(check bool) "remove v=2" true (Btree.remove t 5 (( = ) 2));
+  Alcotest.(check (list int)) "v=1 remains" [ 1 ] (Btree.search t 5)
+
+let test_btree_range () =
+  let _, t = make_btree () in
+  List.iter (fun k -> Btree.insert t k k) [ 1; 3; 5; 7; 9; 11 ];
+  let collect lo hi =
+    let acc = ref [] in
+    Btree.range t ~lo ~hi ~f:(fun k _ -> acc := k :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "inclusive range" [ 3; 5; 7 ]
+    (collect (Btree.Inclusive 3) (Btree.Inclusive 7));
+  Alcotest.(check (list int)) "exclusive bounds" [ 5 ]
+    (collect (Btree.Exclusive 3) (Btree.Exclusive 7));
+  Alcotest.(check (list int)) "unbounded" [ 1; 3; 5; 7; 9; 11 ]
+    (collect Btree.Unbounded Btree.Unbounded);
+  Alcotest.(check (list int)) "half open" [ 9; 11 ] (collect (Btree.Inclusive 8) Btree.Unbounded)
+
+let test_btree_range_order_large () =
+  let _, t = make_btree () in
+  let keys = List.init 500 (fun i -> (i * 131) mod 500) in
+  List.iter (fun k -> Btree.insert t k k) keys;
+  let acc = ref [] in
+  Btree.iter t ~f:(fun k _ -> acc := k :: !acc);
+  let got = List.rev !acc in
+  Alcotest.(check (list int)) "sorted iteration" (List.sort compare keys) got
+
+let test_btree_search_charges_descent () =
+  let c, t = make_btree () in
+  Cost.with_disabled c (fun () ->
+      for k = 1 to 500 do
+        Btree.insert t k k
+      done);
+  Cost.reset c;
+  ignore (Btree.search t 250);
+  (* A search must read at least [height] node pages and not absurdly more. *)
+  let h = Btree.height t in
+  let reads = Cost.page_reads c in
+  if reads < h || reads > h + 2 then Alcotest.failf "search reads %d, height %d" reads h
+
+let test_btree_insert_charges_writes () =
+  let c, t = make_btree () in
+  Cost.reset c;
+  Btree.insert t 1 1;
+  Alcotest.(check bool) "wrote the leaf" true (Cost.page_writes c >= 1)
+
+let test_btree_range_after_removals () =
+  let _, t = make_btree () in
+  for k = 0 to 99 do
+    Btree.insert t k k
+  done;
+  for k = 0 to 99 do
+    if k mod 2 = 0 then ignore (Btree.remove t k (fun _ -> true))
+  done;
+  Btree.check_invariants t;
+  let acc = ref [] in
+  Btree.range t ~lo:(Btree.Inclusive 10) ~hi:(Btree.Exclusive 20) ~f:(fun k _ ->
+      acc := k :: !acc);
+  Alcotest.(check (list int)) "only odds remain" [ 11; 13; 15; 17; 19 ] (List.rev !acc)
+
+let test_btree_empty_range () =
+  let _, t = make_btree () in
+  List.iter (fun k -> Btree.insert t k k) [ 1; 5; 9 ];
+  let acc = ref 0 in
+  Btree.range t ~lo:(Btree.Inclusive 6) ~hi:(Btree.Exclusive 9) ~f:(fun _ _ -> incr acc);
+  Alcotest.(check int) "gap range empty" 0 !acc;
+  Btree.range t ~lo:(Btree.Inclusive 100) ~hi:Btree.Unbounded ~f:(fun _ _ -> incr acc);
+  Alcotest.(check int) "past-end range empty" 0 !acc
+
+let btree_vs_model =
+  (* Random insert/remove script against a sorted-list reference model. *)
+  let gen = QCheck.(list (pair bool (int_bound 50))) in
+  QCheck.Test.make ~name:"btree matches reference multiset" ~count:200 gen (fun script ->
+      let _, t = make_btree () in
+      let model = ref [] in
+      List.iter
+        (fun (is_insert, k) ->
+          if is_insert then begin
+            Btree.insert t k k;
+            model := k :: !model
+          end
+          else begin
+            let removed = Btree.remove t k (fun _ -> true) in
+            let in_model = List.mem k !model in
+            if removed <> in_model then failwith "remove disagreed with model";
+            if in_model then begin
+              let dropped = ref false in
+              model :=
+                List.filter
+                  (fun x ->
+                    if x = k && not !dropped then begin
+                      dropped := true;
+                      false
+                    end
+                    else true)
+                  !model
+            end
+          end)
+        script;
+      Btree.check_invariants t;
+      let got = ref [] in
+      Btree.iter t ~f:(fun k _ -> got := k :: !got);
+      List.rev !got = List.sort compare !model)
+
+(* ----------------------------------------------------------- Hash_index *)
+
+let make_hash ?(expected = 100) () =
+  let c = Cost.create () in
+  let io = Io.direct c ~page_bytes:400 in
+  (c, Hash_index.create ~io ~entry_bytes:20 ~expected_entries:expected ~equal:Int.equal ())
+
+let test_hash_insert_search () =
+  let _, h = make_hash () in
+  Hash_index.insert h 1 "a";
+  Hash_index.insert h 2 "b";
+  Hash_index.insert h 1 "c";
+  Alcotest.(check (list string)) "duplicates in order" [ "a"; "c" ] (Hash_index.search h 1);
+  Alcotest.(check (list string)) "single" [ "b" ] (Hash_index.search h 2);
+  Alcotest.(check (list string)) "miss" [] (Hash_index.search h 3);
+  Alcotest.(check int) "count" 3 (Hash_index.entry_count h)
+
+let test_hash_remove () =
+  let _, h = make_hash () in
+  Hash_index.insert h 1 "a";
+  Hash_index.insert h 1 "b";
+  Alcotest.(check bool) "removed" true (Hash_index.remove h 1 (( = ) "a"));
+  Alcotest.(check (list string)) "b remains" [ "b" ] (Hash_index.search h 1);
+  Alcotest.(check bool) "absent" false (Hash_index.remove h 2 (fun _ -> true))
+
+let test_hash_sizing () =
+  let _, h = make_hash ~expected:1000 () in
+  (* 20 entries per page at 70% target = 14 per bucket -> ~72 buckets *)
+  Alcotest.(check bool) "bucket count reasonable" true
+    (Hash_index.bucket_count h >= 50 && Hash_index.bucket_count h <= 100)
+
+let test_hash_chain_growth () =
+  let _, h = make_hash ~expected:1 () in
+  (* One bucket: every insert chains into it. 20 entries/page. *)
+  Alcotest.(check int) "single bucket" 1 (Hash_index.bucket_count h);
+  for i = 1 to 45 do
+    Hash_index.insert h i (string_of_int i)
+  done;
+  Alcotest.(check int) "3 chain pages" 3 (Hash_index.chain_length h 1);
+  Alcotest.(check int) "page count" 3 (Hash_index.page_count h)
+
+let test_hash_search_charges_chain () =
+  let c, h = make_hash ~expected:1 () in
+  Cost.with_disabled c (fun () ->
+      for i = 1 to 45 do
+        Hash_index.insert h i (string_of_int i)
+      done);
+  Cost.reset c;
+  ignore (Hash_index.search h 7);
+  Alcotest.(check int) "reads all 3 chain pages" 3 (Cost.page_reads c)
+
+let test_hash_iter () =
+  let _, h = make_hash () in
+  for i = 1 to 30 do
+    Hash_index.insert h i i
+  done;
+  let seen = ref [] in
+  Hash_index.iter h ~f:(fun _ v -> seen := v :: !seen);
+  Alcotest.(check (list int)) "all visited"
+    (List.init 30 (fun i -> i + 1))
+    (List.sort compare !seen)
+
+let hash_vs_model =
+  QCheck.Test.make ~name:"hash index matches reference multiset" ~count:200
+    QCheck.(list (pair bool (int_bound 20)))
+    (fun script ->
+      let _, h = make_hash ~expected:10 () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (is_insert, k) ->
+          if is_insert then begin
+            Hash_index.insert h k k;
+            Hashtbl.add model k k
+          end
+          else begin
+            let removed = Hash_index.remove h k (fun _ -> true) in
+            let in_model = Hashtbl.mem model k in
+            if removed <> in_model then failwith "remove disagreed";
+            if in_model then Hashtbl.remove model k
+          end)
+        script;
+      Hashtbl.fold (fun k _ ok -> ok && List.mem k (Hash_index.search h k)) model true
+      && Hash_index.entry_count h = Hashtbl.length model)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "index"
+    [
+      ( "btree",
+        [
+          Alcotest.test_case "empty" `Quick test_btree_empty;
+          Alcotest.test_case "insert/search" `Quick test_btree_insert_search;
+          Alcotest.test_case "split grows height" `Quick test_btree_split_grows_height;
+          Alcotest.test_case "1000 inserts" `Quick test_btree_many_inserts;
+          Alcotest.test_case "duplicates" `Quick test_btree_duplicates;
+          Alcotest.test_case "duplicates across splits" `Quick test_btree_duplicates_across_splits;
+          Alcotest.test_case "remove" `Quick test_btree_remove;
+          Alcotest.test_case "remove specific value" `Quick test_btree_remove_specific_value;
+          Alcotest.test_case "range bounds" `Quick test_btree_range;
+          Alcotest.test_case "sorted iteration" `Quick test_btree_range_order_large;
+          Alcotest.test_case "search charges descent" `Quick test_btree_search_charges_descent;
+          Alcotest.test_case "insert charges writes" `Quick test_btree_insert_charges_writes;
+          Alcotest.test_case "range after removals" `Quick test_btree_range_after_removals;
+          Alcotest.test_case "empty ranges" `Quick test_btree_empty_range;
+          qc btree_vs_model;
+        ] );
+      ( "hash",
+        [
+          Alcotest.test_case "insert/search" `Quick test_hash_insert_search;
+          Alcotest.test_case "remove" `Quick test_hash_remove;
+          Alcotest.test_case "sizing" `Quick test_hash_sizing;
+          Alcotest.test_case "chain growth" `Quick test_hash_chain_growth;
+          Alcotest.test_case "search charges chain" `Quick test_hash_search_charges_chain;
+          Alcotest.test_case "iter" `Quick test_hash_iter;
+          qc hash_vs_model;
+        ] );
+    ]

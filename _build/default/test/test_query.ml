@@ -1,0 +1,405 @@
+(* Tests for Dbproc.Query: view definitions, planner, executor correctness
+   against naive evaluation, and cost charging. *)
+
+open Dbproc
+open Dbproc.Storage
+open Dbproc.Query
+open Dbproc.Index
+
+(* Shared fixture: R(k, v) with a btree on k; S(b, w) hash-primary on b. *)
+type fixture = { cost : Cost.t; r : Relation.t; s : Relation.t }
+
+let r_schema = Schema.create [ ("k", Value.TInt); ("v", Value.TInt) ]
+let s_schema = Schema.create [ ("b", Value.TInt); ("w", Value.TInt) ]
+
+let make_fixture ?(r_rows = 40) ?(s_rows = 10) () =
+  let cost = Cost.create () in
+  let io = Io.direct cost ~page_bytes:400 in
+  let r = Relation.create ~io ~name:"R" ~schema:r_schema ~tuple_bytes:100 in
+  Relation.load r
+    (List.init r_rows (fun i -> Tuple.create [ Value.Int i; Value.Int (i mod s_rows) ]));
+  Relation.add_btree_index r ~attr:"k" ~entry_bytes:20;
+  let s = Relation.create ~io ~name:"S" ~schema:s_schema ~tuple_bytes:100 in
+  Relation.load s (List.init s_rows (fun b -> Tuple.create [ Value.Int b; Value.Int (b * 100) ]));
+  Relation.add_hash_index ~primary:true s ~attr:"b" ~entry_bytes:100 ~expected_entries:s_rows;
+  { cost; r; s }
+
+let interval schema attr lo hi =
+  let pos = Schema.index_of schema attr in
+  [
+    Predicate.term ~attr:pos ~op:Predicate.Ge ~value:(Value.Int lo);
+    Predicate.term ~attr:pos ~op:Predicate.Lt ~value:(Value.Int hi);
+  ]
+
+let select_view fx lo hi =
+  View_def.select ~name:"V" ~rel:fx.r ~restriction:(interval r_schema "k" lo hi)
+
+let join_view fx lo hi =
+  View_def.join (select_view fx lo hi) ~rel:fx.s ~restriction:Predicate.always_true
+    ~left:"R.v" ~op:Predicate.Eq ~right:"b"
+
+(* ------------------------------------------------------------- View_def *)
+
+let test_view_def_schema () =
+  let fx = make_fixture () in
+  let def = join_view fx 0 5 in
+  let schema = View_def.schema def in
+  Alcotest.(check int) "arity" 4 (Schema.arity schema);
+  Alcotest.(check int) "qualified R.k" 0 (Schema.index_of schema "R.k");
+  Alcotest.(check int) "qualified S.w" 3 (Schema.index_of schema "S.w")
+
+let test_view_def_self_join_schema () =
+  let fx = make_fixture () in
+  let def =
+    View_def.join (select_view fx 0 5) ~rel:fx.r ~restriction:Predicate.always_true
+      ~left:"R.v" ~op:Predicate.Eq ~right:"k"
+  in
+  let schema = View_def.schema def in
+  Alcotest.(check int) "self-join disambiguated" 2 (Schema.index_of schema "R#1.k")
+
+let test_view_def_sources_offsets () =
+  let fx = make_fixture () in
+  let def = join_view fx 0 5 in
+  Alcotest.(check int) "two sources" 2 (List.length (View_def.sources def));
+  Alcotest.(check (list int)) "offsets" [ 0; 2 ] (View_def.source_offsets def);
+  Alcotest.(check bool) "depends on R" true (View_def.depends_on def fx.r);
+  Alcotest.(check bool) "depends on S" true (View_def.depends_on def fx.s)
+
+(* -------------------------------------------------------------- Planner *)
+
+let test_planner_bounds () =
+  let restriction = interval r_schema "k" 3 9 in
+  let lo, hi = Planner.bounds_of_restriction restriction ~attr:0 in
+  Alcotest.(check bool) "lo" true (lo = Btree.Inclusive (Value.Int 3));
+  Alcotest.(check bool) "hi" true (hi = Btree.Exclusive (Value.Int 9))
+
+let test_planner_bounds_eq () =
+  let restriction = [ Predicate.term ~attr:0 ~op:Predicate.Eq ~value:(Value.Int 5) ] in
+  let lo, hi = Planner.bounds_of_restriction restriction ~attr:0 in
+  Alcotest.(check bool) "eq gives closed point" true
+    (lo = Btree.Inclusive (Value.Int 5) && hi = Btree.Inclusive (Value.Int 5))
+
+let test_planner_bounds_tightening () =
+  let restriction =
+    [
+      Predicate.term ~attr:0 ~op:Predicate.Ge ~value:(Value.Int 2);
+      Predicate.term ~attr:0 ~op:Predicate.Gt ~value:(Value.Int 4);
+      Predicate.term ~attr:0 ~op:Predicate.Le ~value:(Value.Int 9);
+      Predicate.term ~attr:0 ~op:Predicate.Lt ~value:(Value.Int 8);
+    ]
+  in
+  let lo, hi = Planner.bounds_of_restriction restriction ~attr:0 in
+  Alcotest.(check bool) "tightest lo" true (lo = Btree.Exclusive (Value.Int 4));
+  Alcotest.(check bool) "tightest hi" true (hi = Btree.Exclusive (Value.Int 8))
+
+let test_planner_interval_of_restriction () =
+  Alcotest.(check bool) "empty" true (Planner.interval_of_restriction [] = None);
+  let multi =
+    [
+      Predicate.term ~attr:0 ~op:Predicate.Ge ~value:(Value.Int 1);
+      Predicate.term ~attr:1 ~op:Predicate.Lt ~value:(Value.Int 5);
+    ]
+  in
+  Alcotest.(check bool) "multi-attr" true (Planner.interval_of_restriction multi = None);
+  let single = interval r_schema "k" 1 5 in
+  (match Planner.interval_of_restriction single with
+  | Some (0, Btree.Inclusive (Value.Int 1), Btree.Exclusive (Value.Int 5)) -> ()
+  | _ -> Alcotest.fail "expected interval on attr 0");
+  let ne_only = [ Predicate.term ~attr:0 ~op:Predicate.Ne ~value:(Value.Int 3) ] in
+  Alcotest.(check bool) "ne alone has no bounds" true
+    (Planner.interval_of_restriction ne_only = None)
+
+let test_planner_chooses_btree () =
+  let fx = make_fixture () in
+  let plan = Planner.compile (select_view fx 0 5) in
+  match plan.Plan.access with
+  | Plan.Btree_range { attr = "k"; _ } -> ()
+  | _ -> Alcotest.fail "expected btree range scan"
+
+let test_planner_full_scan_fallback () =
+  let fx = make_fixture () in
+  (* restriction on v, which has no index *)
+  let pos = Schema.index_of r_schema "v" in
+  let def =
+    View_def.select ~name:"V" ~rel:fx.r
+      ~restriction:[ Predicate.term ~attr:pos ~op:Predicate.Eq ~value:(Value.Int 1) ]
+  in
+  match (Planner.compile def).Plan.access with
+  | Plan.Full_scan _ -> ()
+  | _ -> Alcotest.fail "expected full scan"
+
+let test_planner_hash_point () =
+  let fx = make_fixture () in
+  (* S has a primary hash on b and no btree: an equality restriction on b
+     should produce a hash point lookup. *)
+  let pos = Schema.index_of s_schema "b" in
+  let def =
+    View_def.select ~name:"V" ~rel:fx.s
+      ~restriction:[ Predicate.term ~attr:pos ~op:Predicate.Eq ~value:(Value.Int 3) ]
+  in
+  (match (Planner.compile def).Plan.access with
+  | Plan.Hash_point { attr = "b"; key = Value.Int 3; _ } -> ()
+  | _ -> Alcotest.fail "expected hash point lookup");
+  let got = Executor.run (Planner.compile def) in
+  Alcotest.(check int) "one tuple" 1 (List.length got);
+  (* a range restriction on b cannot use the hash index *)
+  let range_def =
+    View_def.select ~name:"V" ~rel:fx.s
+      ~restriction:[ Predicate.term ~attr:pos ~op:Predicate.Lt ~value:(Value.Int 3) ]
+  in
+  match (Planner.compile range_def).Plan.access with
+  | Plan.Full_scan _ -> ()
+  | _ -> Alcotest.fail "range over hash must fall back to full scan"
+
+let test_hash_point_charges () =
+  let fx = make_fixture () in
+  let pos = Schema.index_of s_schema "b" in
+  let def =
+    View_def.select ~name:"V" ~rel:fx.s
+      ~restriction:[ Predicate.term ~attr:pos ~op:Predicate.Eq ~value:(Value.Int 3) ]
+  in
+  let plan = Planner.compile def in
+  Cost.reset fx.cost;
+  ignore (Executor.run plan);
+  (* one bucket page + one screen *)
+  Alcotest.(check int) "one page" 1 (Cost.page_reads fx.cost);
+  Alcotest.(check int) "one screen" 1 (Cost.cpu_screens fx.cost)
+
+let test_planner_join_probe () =
+  let fx = make_fixture () in
+  let plan = Planner.compile (join_view fx 0 5) in
+  match plan.Plan.probes with
+  | [ probe ] ->
+    Alcotest.(check string) "probe attr" "b" probe.Plan.probe_attr;
+    Alcotest.(check int) "outer attr is R.v" 1 probe.Plan.outer_attr
+  | _ -> Alcotest.fail "expected one probe"
+
+(* ------------------------------------------------------------- Executor *)
+
+(* Naive reference evaluation, no indexes, no costs. *)
+let naive_eval fx (def : View_def.t) =
+  Cost.with_disabled fx.cost (fun () ->
+      let base =
+        List.filter
+          (Predicate.eval def.View_def.base.restriction)
+          (Relation.read_all def.View_def.base.rel)
+      in
+      List.fold_left
+        (fun acc (step : View_def.join_step) ->
+          let inner =
+            List.filter
+              (Predicate.eval step.source.restriction)
+              (Relation.read_all step.source.rel)
+          in
+          List.concat_map
+            (fun l ->
+              List.filter_map
+                (fun r ->
+                  if
+                    Predicate.eval_op step.op (Tuple.get l step.left_attr)
+                      (Tuple.get r step.right_attr)
+                  then Some (Tuple.concat l r)
+                  else None)
+                inner)
+            acc)
+        base def.View_def.steps)
+
+let sorted = List.sort Tuple.compare
+
+let test_planner_scan_join_fallback () =
+  let fx = make_fixture () in
+  (* a non-equality join cannot probe an index: scan-join fallback *)
+  let lt_def =
+    View_def.join (select_view fx 0 5) ~rel:fx.s ~restriction:Predicate.always_true
+      ~left:"R.v" ~op:Predicate.Lt ~right:"b"
+  in
+  (match (Planner.compile lt_def).Plan.probes with
+  | [ p ] -> Alcotest.(check bool) "lt join scans" false p.Plan.use_index
+  | _ -> Alcotest.fail "expected one probe");
+  Alcotest.(check bool) "scan-join matches naive" true
+    (List.for_all2 Tuple.equal
+       (sorted (Executor.run (Planner.compile lt_def)))
+       (sorted (naive_eval fx lt_def)));
+  (* an equality join on an unindexed attribute also scans *)
+  let unindexed_def =
+    View_def.join (select_view fx 0 5) ~rel:fx.s ~restriction:Predicate.always_true
+      ~left:"R.v" ~op:Predicate.Eq ~right:"w"
+  in
+  (match (Planner.compile unindexed_def).Plan.probes with
+  | [ p ] -> Alcotest.(check bool) "unindexed join scans" false p.Plan.use_index
+  | _ -> Alcotest.fail "expected one probe");
+  Alcotest.(check bool) "unindexed scan-join matches naive" true
+    (List.for_all2 Tuple.equal
+       (sorted (Executor.run (Planner.compile unindexed_def)))
+       (sorted (naive_eval fx unindexed_def)))
+
+let test_scan_join_charges_inner_once () =
+  let fx = make_fixture () in
+  let def =
+    View_def.join (select_view fx 0 8) ~rel:fx.s ~restriction:Predicate.always_true
+      ~left:"R.v" ~op:Predicate.Lt ~right:"b"
+  in
+  let plan = Planner.compile def in
+  Cost.reset fx.cost;
+  ignore (Executor.run plan);
+  (* 8 outer tuples x 10 inner tuples = 80 join screens + 8 base screens;
+     the inner relation's 3 pages charge once despite 8 scans *)
+  Alcotest.(check int) "screens" 88 (Cost.cpu_screens fx.cost);
+  Alcotest.(check bool) "inner pages deduped" true (Cost.page_reads fx.cost <= 8)
+
+
+let test_executor_select () =
+  let fx = make_fixture () in
+  let def = select_view fx 10 15 in
+  let got = Executor.run (Planner.compile def) in
+  Alcotest.(check int) "5 tuples" 5 (List.length got);
+  Alcotest.(check bool) "matches naive" true
+    (List.for_all2 Tuple.equal (sorted got) (sorted (naive_eval fx def)))
+
+let test_executor_join () =
+  let fx = make_fixture () in
+  let def = join_view fx 0 20 in
+  let got = Executor.run (Planner.compile def) in
+  Alcotest.(check int) "20 joined tuples" 20 (List.length got);
+  Alcotest.(check bool) "matches naive" true
+    (List.for_all2 Tuple.equal (sorted got) (sorted (naive_eval fx def)))
+
+let test_executor_join_with_inner_restriction () =
+  let fx = make_fixture () in
+  let def =
+    View_def.join (select_view fx 0 20) ~rel:fx.s
+      ~restriction:(interval s_schema "b" 0 5)
+      ~left:"R.v" ~op:Predicate.Eq ~right:"b"
+  in
+  let got = Executor.run (Planner.compile def) in
+  Alcotest.(check int) "half survive" 10 (List.length got);
+  Alcotest.(check bool) "matches naive" true
+    (List.for_all2 Tuple.equal (sorted got) (sorted (naive_eval fx def)))
+
+let test_executor_empty_result () =
+  let fx = make_fixture () in
+  let def = select_view fx 1000 1001 in
+  Alcotest.(check int) "empty" 0 (List.length (Executor.run (Planner.compile def)))
+
+let test_executor_charges_screens () =
+  let fx = make_fixture () in
+  let def = select_view fx 0 10 in
+  let plan = Planner.compile def in
+  Cost.reset fx.cost;
+  ignore (Executor.run plan);
+  (* 10 base tuples fetched -> 10 C1 screens *)
+  Alcotest.(check int) "screens" 10 (Cost.cpu_screens fx.cost)
+
+let test_executor_join_charges_probe_screens () =
+  let fx = make_fixture () in
+  let plan = Planner.compile (join_view fx 0 10) in
+  Cost.reset fx.cost;
+  ignore (Executor.run plan);
+  (* 10 base screens + 10 probe screens *)
+  Alcotest.(check int) "screens" 20 (Cost.cpu_screens fx.cost)
+
+let test_executor_page_dedup () =
+  let fx = make_fixture () in
+  (* An interval of 8 rows spans 2 heap pages (4 rows/page, loaded in key
+     order); repeated touches of one page charge once. *)
+  let plan = Planner.compile (select_view fx 0 8) in
+  Cost.reset fx.cost;
+  ignore (Executor.run plan);
+  let heap_reads = Cost.page_reads fx.cost in
+  (* btree descent (small tree: ~1-2 nodes) + 2 heap pages *)
+  Alcotest.(check bool) "reads bounded" true (heap_reads <= 6)
+
+let test_executor_probe_chain () =
+  let fx = make_fixture () in
+  let plan = Planner.compile (join_view fx 0 4) in
+  let outer = Cost.with_disabled fx.cost (fun () -> Executor.run_base plan) in
+  let joined = Executor.probe_chain ~probes:plan.Plan.probes ~outer in
+  Alcotest.(check int) "4 joined" 4 (List.length joined);
+  List.iter (fun t -> Alcotest.(check int) "arity 4" 4 (Tuple.arity t)) joined
+
+(* -------------------------------------------------------------- Explain *)
+
+let test_explain_estimates_match_measured_select () =
+  let fx = make_fixture () in
+  let def = select_view fx 0 12 in
+  let report = Explain.explain_run def in
+  Alcotest.(check int) "rows" 12 report.Explain.rows;
+  (* selection estimates should be near-exact: same Yao inputs *)
+  let ratio = report.Explain.est_ms /. report.Explain.measured_ms in
+  if ratio < 0.7 || ratio > 1.4 then
+    Alcotest.failf "est %.1f vs measured %.1f" report.Explain.est_ms
+      report.Explain.measured_ms
+
+let test_explain_join_steps () =
+  let fx = make_fixture () in
+  let def = join_view fx 0 10 in
+  let report = Explain.explain_run def in
+  Alcotest.(check int) "two steps" 2 (List.length report.Explain.steps);
+  Alcotest.(check int) "rows" 10 report.Explain.rows;
+  let ratio = report.Explain.est_ms /. report.Explain.measured_ms in
+  if ratio < 0.5 || ratio > 2.0 then
+    Alcotest.failf "join est %.1f vs measured %.1f" report.Explain.est_ms
+      report.Explain.measured_ms
+
+let test_explain_renders () =
+  let fx = make_fixture () in
+  let report = Explain.explain_run (join_view fx 0 5) in
+  let text = Format.asprintf "%a" Explain.pp_report report in
+  Alcotest.(check bool) "mentions plan" true (String.length text > 40)
+
+let executor_matches_naive_property =
+  QCheck.Test.make ~name:"executor matches naive evaluation" ~count:60
+    QCheck.(pair (int_bound 39) (int_bound 20))
+    (fun (lo, width) ->
+      let fx = make_fixture () in
+      let def = join_view fx lo (lo + width) in
+      let got = sorted (Executor.run (Planner.compile def)) in
+      let expected = sorted (naive_eval fx def) in
+      List.length got = List.length expected && List.for_all2 Tuple.equal got expected)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "query"
+    [
+      ( "view_def",
+        [
+          Alcotest.test_case "schema qualification" `Quick test_view_def_schema;
+          Alcotest.test_case "self-join schema" `Quick test_view_def_self_join_schema;
+          Alcotest.test_case "sources/offsets" `Quick test_view_def_sources_offsets;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "bounds extraction" `Quick test_planner_bounds;
+          Alcotest.test_case "bounds from eq" `Quick test_planner_bounds_eq;
+          Alcotest.test_case "bounds tightening" `Quick test_planner_bounds_tightening;
+          Alcotest.test_case "interval of restriction" `Quick test_planner_interval_of_restriction;
+          Alcotest.test_case "chooses btree" `Quick test_planner_chooses_btree;
+          Alcotest.test_case "full scan fallback" `Quick test_planner_full_scan_fallback;
+          Alcotest.test_case "hash point lookup" `Quick test_planner_hash_point;
+          Alcotest.test_case "hash point charges" `Quick test_hash_point_charges;
+          Alcotest.test_case "join probe" `Quick test_planner_join_probe;
+          Alcotest.test_case "scan-join fallback" `Quick test_planner_scan_join_fallback;
+          Alcotest.test_case "scan-join dedups inner" `Quick test_scan_join_charges_inner_once;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "select" `Quick test_executor_select;
+          Alcotest.test_case "join" `Quick test_executor_join;
+          Alcotest.test_case "join with inner restriction" `Quick
+            test_executor_join_with_inner_restriction;
+          Alcotest.test_case "empty result" `Quick test_executor_empty_result;
+          Alcotest.test_case "charges screens" `Quick test_executor_charges_screens;
+          Alcotest.test_case "join charges probe screens" `Quick
+            test_executor_join_charges_probe_screens;
+          Alcotest.test_case "page dedup" `Quick test_executor_page_dedup;
+          Alcotest.test_case "probe chain" `Quick test_executor_probe_chain;
+          qc executor_matches_naive_property;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "select est ~ measured" `Quick
+            test_explain_estimates_match_measured_select;
+          Alcotest.test_case "join steps" `Quick test_explain_join_steps;
+          Alcotest.test_case "renders" `Quick test_explain_renders;
+        ] );
+    ]

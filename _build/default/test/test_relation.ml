@@ -1,0 +1,317 @@
+(* Tests for Dbproc.Relation_: values, schemas, tuples, predicates,
+   relations with access methods, catalog. *)
+
+open Dbproc
+open Dbproc.Storage
+
+(* ---------------------------------------------------------------- Value *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "int order" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  Alcotest.(check bool) "str order" true
+    (Value.compare (Value.Str "a") (Value.Str "b") < 0);
+  Alcotest.(check bool) "equal" true (Value.equal (Value.Float 1.5) (Value.Float 1.5));
+  Alcotest.(check bool) "cross-type ordered by type" true
+    (Value.compare (Value.Int 999) (Value.Str "a") < 0)
+
+let test_value_type_of () =
+  Alcotest.(check bool) "int" true (Value.type_of (Value.Int 1) = Value.TInt);
+  Alcotest.(check bool) "float" true (Value.type_of (Value.Float 1.0) = Value.TFloat);
+  Alcotest.(check bool) "str" true (Value.type_of (Value.Str "s") = Value.TStr)
+
+let test_value_to_string () =
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.Int 42));
+  Alcotest.(check string) "str quoted" "\"hi\"" (Value.to_string (Value.Str "hi"))
+
+(* --------------------------------------------------------------- Schema *)
+
+let emp_schema =
+  Schema.create
+    [
+      ("name", Value.TStr);
+      ("age", Value.TInt);
+      ("dept", Value.TStr);
+      ("salary", Value.TInt);
+      ("job", Value.TStr);
+    ]
+
+let test_schema_basics () =
+  Alcotest.(check int) "arity" 5 (Schema.arity emp_schema);
+  Alcotest.(check int) "index_of" 2 (Schema.index_of emp_schema "dept");
+  Alcotest.(check bool) "mem" true (Schema.mem emp_schema "job");
+  Alcotest.(check bool) "not mem" false (Schema.mem emp_schema "floor");
+  Alcotest.(check string) "attr name" "salary" (Schema.attr emp_schema 3).Schema.name
+
+let test_schema_duplicate_rejected () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Schema: duplicate attribute \"x\"")
+    (fun () -> ignore (Schema.create [ ("x", Value.TInt); ("x", Value.TStr) ]))
+
+let test_schema_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Schema.create: empty") (fun () ->
+      ignore (Schema.create []))
+
+let test_schema_qualify_concat () =
+  let dept = Schema.create [ ("dname", Value.TStr); ("floor", Value.TInt) ] in
+  let joined = Schema.concat (Schema.qualify ~prefix:"EMP" emp_schema) (Schema.qualify ~prefix:"DEPT" dept) in
+  Alcotest.(check int) "arity" 7 (Schema.arity joined);
+  Alcotest.(check int) "qualified lookup" 5 (Schema.index_of joined "DEPT.dname")
+
+let test_schema_concat_clash () =
+  Alcotest.check_raises "clash" (Invalid_argument "Schema: duplicate attribute \"name\"")
+    (fun () -> ignore (Schema.concat emp_schema emp_schema))
+
+(* ---------------------------------------------------------------- Tuple *)
+
+let emp name age dept salary job =
+  Tuple.create
+    [ Value.Str name; Value.Int age; Value.Str dept; Value.Int salary; Value.Str job ]
+
+let test_tuple_basics () =
+  let t = emp "Susan" 28 "Accounting" 30_000 "Programmer" in
+  Alcotest.(check int) "arity" 5 (Tuple.arity t);
+  Alcotest.(check bool) "get" true (Value.equal (Tuple.get t 1) (Value.Int 28));
+  Alcotest.(check bool) "field" true
+    (Value.equal (Tuple.field emp_schema "job" t) (Value.Str "Programmer"));
+  Alcotest.(check bool) "matches schema" true (Tuple.matches_schema emp_schema t)
+
+let test_tuple_schema_mismatch () =
+  let bad = Tuple.create [ Value.Int 1 ] in
+  Alcotest.(check bool) "wrong arity" false (Tuple.matches_schema emp_schema bad);
+  let wrong_type =
+    Tuple.create
+      [ Value.Int 1; Value.Int 28; Value.Str "d"; Value.Int 3; Value.Str "j" ]
+  in
+  Alcotest.(check bool) "wrong type" false (Tuple.matches_schema emp_schema wrong_type)
+
+let test_tuple_concat_compare () =
+  let a = Tuple.create [ Value.Int 1 ] and b = Tuple.create [ Value.Int 2 ] in
+  let ab = Tuple.concat a b in
+  Alcotest.(check int) "concat arity" 2 (Tuple.arity ab);
+  Alcotest.(check bool) "compare prefix" true (Tuple.compare a ab < 0);
+  Alcotest.(check bool) "equal" true (Tuple.equal ab (Tuple.create [ Value.Int 1; Value.Int 2 ]))
+
+(* ------------------------------------------------------------ Predicate *)
+
+let test_predicate_ops () =
+  let two = Value.Int 2 and three = Value.Int 3 in
+  Alcotest.(check bool) "lt" true (Predicate.eval_op Predicate.Lt two three);
+  Alcotest.(check bool) "le eq" true (Predicate.eval_op Predicate.Le two two);
+  Alcotest.(check bool) "eq" false (Predicate.eval_op Predicate.Eq two three);
+  Alcotest.(check bool) "ne" true (Predicate.eval_op Predicate.Ne two three);
+  Alcotest.(check bool) "ge" false (Predicate.eval_op Predicate.Ge two three);
+  Alcotest.(check bool) "gt" true (Predicate.eval_op Predicate.Gt three two)
+
+let test_predicate_negate () =
+  List.iter
+    (fun op ->
+      let a = Value.Int 1 and b = Value.Int 2 in
+      Alcotest.(check bool) "negation flips" (not (Predicate.eval_op op a b))
+        (Predicate.eval_op (Predicate.negate_op op) a b))
+    [ Predicate.Lt; Le; Eq; Ne; Ge; Gt ]
+
+let test_predicate_eval () =
+  let t = emp "Susan" 28 "Accounting" 30_000 "Programmer" in
+  let is_prog =
+    [ Predicate.term ~attr:4 ~op:Predicate.Eq ~value:(Value.Str "Programmer") ]
+  in
+  Alcotest.(check bool) "matches" true (Predicate.eval is_prog t);
+  let young_clerk =
+    [
+      Predicate.term ~attr:1 ~op:Predicate.Lt ~value:(Value.Int 30);
+      Predicate.term ~attr:4 ~op:Predicate.Eq ~value:(Value.Str "Clerk");
+    ]
+  in
+  Alcotest.(check bool) "conjunction fails" false (Predicate.eval young_clerk t);
+  Alcotest.(check bool) "empty = true" true (Predicate.eval Predicate.always_true t)
+
+let test_predicate_equal_modulo_order () =
+  let p1 =
+    [
+      Predicate.term ~attr:0 ~op:Predicate.Ge ~value:(Value.Int 1);
+      Predicate.term ~attr:1 ~op:Predicate.Lt ~value:(Value.Int 5);
+    ]
+  in
+  let p2 = List.rev p1 in
+  Alcotest.(check bool) "order irrelevant" true (Predicate.equal p1 p2);
+  let p3 = [ Predicate.term ~attr:0 ~op:Predicate.Ge ~value:(Value.Int 2) ] in
+  Alcotest.(check bool) "different" false (Predicate.equal p1 p3)
+
+let test_predicate_join () =
+  let jt = Predicate.join_term ~left_attr:1 ~op:Predicate.Eq ~right_attr:0 in
+  let l = Tuple.create [ Value.Str "x"; Value.Int 7 ] in
+  let r = Tuple.create [ Value.Int 7; Value.Str "y" ] in
+  Alcotest.(check bool) "join match" true (Predicate.eval_join jt ~left:l ~right:r);
+  let r' = Tuple.create [ Value.Int 8; Value.Str "y" ] in
+  Alcotest.(check bool) "join mismatch" false (Predicate.eval_join jt ~left:l ~right:r')
+
+(* ------------------------------------------------------------- Relation *)
+
+let small_schema = Schema.create [ ("k", Value.TInt); ("v", Value.TInt) ]
+
+let make_rel ?(name = "T") () =
+  let cost = Cost.create () in
+  let io = Io.direct cost ~page_bytes:400 in
+  (cost, Relation.create ~io ~name ~schema:small_schema ~tuple_bytes:100)
+
+let kv k v = Tuple.create [ Value.Int k; Value.Int v ]
+
+let test_relation_insert_get () =
+  let _, r = make_rel () in
+  let rid = Relation.insert r (kv 1 10) in
+  Alcotest.(check bool) "get" true (Tuple.equal (kv 1 10) (Relation.get r rid));
+  Alcotest.(check int) "card" 1 (Relation.cardinality r)
+
+let test_relation_schema_check () =
+  let _, r = make_rel () in
+  Alcotest.(check bool) "bad tuple rejected" true
+    (try
+       ignore (Relation.insert r (Tuple.create [ Value.Str "x" ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_relation_btree_maintenance () =
+  let _, r = make_rel () in
+  Relation.add_btree_index r ~attr:"k" ~entry_bytes:20;
+  let rid = Relation.insert r (kv 5 50) in
+  ignore (Relation.insert r (kv 6 60));
+  Alcotest.(check int) "fetch via index" 1 (List.length (Relation.fetch_by_key r ~attr:"k" (Value.Int 5)));
+  (* update the key: index entry must move *)
+  ignore (Relation.update r rid (kv 7 50));
+  Alcotest.(check int) "old key gone" 0 (List.length (Relation.fetch_by_key r ~attr:"k" (Value.Int 5)));
+  Alcotest.(check int) "new key found" 1 (List.length (Relation.fetch_by_key r ~attr:"k" (Value.Int 7)));
+  (* delete: index entry removed *)
+  ignore (Relation.delete r rid);
+  Alcotest.(check int) "deleted" 0 (List.length (Relation.fetch_by_key r ~attr:"k" (Value.Int 7)))
+
+let test_relation_hash_primary () =
+  let cost, r = make_rel () in
+  Cost.with_disabled cost (fun () ->
+      for i = 1 to 50 do
+        ignore (Relation.insert r (kv i (i * 10)))
+      done);
+  Relation.add_hash_index ~primary:true r ~attr:"k" ~entry_bytes:20 ~expected_entries:50;
+  Cost.reset cost;
+  let hits = Relation.fetch_by_key r ~attr:"k" (Value.Int 25) in
+  Alcotest.(check int) "found" 1 (List.length hits);
+  (* primary hash: only bucket-chain reads charged, no separate heap read *)
+  Alcotest.(check int) "one page read" 1 (Cost.page_reads cost)
+
+let test_relation_duplicate_index_rejected () =
+  let _, r = make_rel () in
+  Relation.add_btree_index r ~attr:"k" ~entry_bytes:20;
+  Alcotest.(check bool) "second index on same attr rejected" true
+    (try
+       Relation.add_hash_index r ~attr:"k" ~entry_bytes:20 ~expected_entries:10;
+       false
+     with Invalid_argument _ -> true)
+
+let test_relation_update_batch () =
+  let cost, r = make_rel () in
+  Cost.with_disabled cost (fun () ->
+      for i = 0 to 3 do
+        ignore (Relation.insert r (kv i i))
+      done);
+  let rids =
+    let acc = ref [] in
+    Cost.with_disabled cost (fun () -> Relation.scan r ~f:(fun rid _ -> acc := rid :: !acc));
+    List.rev !acc
+  in
+  Cost.reset cost;
+  let changes = List.map (fun rid -> (rid, kv 100 100)) rids in
+  let old_new = Relation.update_batch r changes in
+  Alcotest.(check int) "4 pairs" 4 (List.length old_new);
+  (* All 4 tuples on one page (4 per page at 100B/400B): 1 read + 1 write *)
+  Alcotest.(check int) "heap page read once" 1 (Cost.page_reads cost);
+  Alcotest.(check int) "heap page written once" 1 (Cost.page_writes cost);
+  List.iter
+    (fun (old_t, new_t) ->
+      Alcotest.(check bool) "new stored" true (Tuple.equal new_t (kv 100 100));
+      Alcotest.(check bool) "old returned" true (not (Tuple.equal old_t new_t)))
+    old_new
+
+let test_relation_load_rebuilds_indexes () =
+  let _, r = make_rel () in
+  Relation.add_btree_index r ~attr:"k" ~entry_bytes:20;
+  ignore (Relation.insert r (kv 1 1));
+  Relation.load r [ kv 7 70; kv 8 80 ];
+  Alcotest.(check int) "card" 2 (Relation.cardinality r);
+  Alcotest.(check int) "old data gone from index" 0
+    (List.length (Relation.fetch_by_key r ~attr:"k" (Value.Int 1)));
+  Alcotest.(check int) "new data indexed" 1
+    (List.length (Relation.fetch_by_key r ~attr:"k" (Value.Int 8)))
+
+let test_relation_index_descriptions () =
+  let _, r = make_rel () in
+  Relation.add_btree_index r ~attr:"k" ~entry_bytes:20;
+  Relation.add_hash_index ~primary:true r ~attr:"v" ~entry_bytes:20 ~expected_entries:10;
+  let descs = List.sort compare (Relation.index_descriptions r) in
+  Alcotest.(check bool) "btree listed" true (List.mem ("k", `Btree) descs);
+  Alcotest.(check bool) "primary hash listed" true (List.mem ("v", `Hash true) descs)
+
+let test_relation_read_all () =
+  let _, r = make_rel () in
+  ignore (Relation.insert r (kv 1 1));
+  ignore (Relation.insert r (kv 2 2));
+  Alcotest.(check int) "read_all" 2 (List.length (Relation.read_all r))
+
+(* -------------------------------------------------------------- Catalog *)
+
+let test_catalog () =
+  let io = Io.direct (Cost.create ()) ~page_bytes:400 in
+  let cat = Catalog.create ~io in
+  let r = Catalog.create_relation cat ~name:"A" ~schema:small_schema ~tuple_bytes:100 in
+  Alcotest.(check bool) "find" true (Relation.name (Catalog.find cat "A") = "A");
+  Alcotest.(check bool) "find_opt none" true (Catalog.find_opt cat "B" = None);
+  Alcotest.(check (list string)) "names" [ "A" ] (Catalog.names cat);
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       Catalog.add cat r;
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "relation"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "type_of" `Quick test_value_type_of;
+          Alcotest.test_case "to_string" `Quick test_value_to_string;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basics" `Quick test_schema_basics;
+          Alcotest.test_case "duplicate rejected" `Quick test_schema_duplicate_rejected;
+          Alcotest.test_case "empty rejected" `Quick test_schema_empty_rejected;
+          Alcotest.test_case "qualify/concat" `Quick test_schema_qualify_concat;
+          Alcotest.test_case "concat clash" `Quick test_schema_concat_clash;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "basics" `Quick test_tuple_basics;
+          Alcotest.test_case "schema mismatch" `Quick test_tuple_schema_mismatch;
+          Alcotest.test_case "concat/compare" `Quick test_tuple_concat_compare;
+        ] );
+      ( "predicate",
+        [
+          Alcotest.test_case "operators" `Quick test_predicate_ops;
+          Alcotest.test_case "negation" `Quick test_predicate_negate;
+          Alcotest.test_case "conjunction eval" `Quick test_predicate_eval;
+          Alcotest.test_case "equality modulo order" `Quick test_predicate_equal_modulo_order;
+          Alcotest.test_case "join terms" `Quick test_predicate_join;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "insert/get" `Quick test_relation_insert_get;
+          Alcotest.test_case "schema check" `Quick test_relation_schema_check;
+          Alcotest.test_case "btree maintenance" `Quick test_relation_btree_maintenance;
+          Alcotest.test_case "hash primary charging" `Quick test_relation_hash_primary;
+          Alcotest.test_case "duplicate index rejected" `Quick
+            test_relation_duplicate_index_rejected;
+          Alcotest.test_case "update_batch" `Quick test_relation_update_batch;
+          Alcotest.test_case "load rebuilds indexes" `Quick test_relation_load_rebuilds_indexes;
+          Alcotest.test_case "index descriptions" `Quick test_relation_index_descriptions;
+          Alcotest.test_case "read_all" `Quick test_relation_read_all;
+        ] );
+      ("catalog", [ Alcotest.test_case "register/find" `Quick test_catalog ]);
+    ]

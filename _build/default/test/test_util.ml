@@ -1,0 +1,453 @@
+(* Tests for Dbproc.Util: Yao function, PRNG, locality, statistics and the
+   ASCII renderers. *)
+
+open Dbproc.Util
+
+let check_float ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+(* ---------------------------------------------------------------- Yao *)
+
+let test_yao_exact_small () =
+  (* 4 records on 2 blocks, access 1: each block holds 2 records; a single
+     access touches exactly one block. *)
+  check_float "k=1" 1.0 (Yao.exact ~n:4 ~m:2 ~k:1);
+  (* Accessing every record touches every block. *)
+  check_float "k=n" 2.0 (Yao.exact ~n:4 ~m:2 ~k:4);
+  check_float "k=0" 0.0 (Yao.exact ~n:4 ~m:2 ~k:0)
+
+let test_yao_exact_three_of_four () =
+  (* n=4, m=2, k=3: C(2,3) = 0 ways to avoid a block entirely, so both
+     blocks are always touched. *)
+  check_float "k=3 forces both blocks" 2.0 (Yao.exact ~n:4 ~m:2 ~k:3)
+
+let test_yao_exact_two_of_four () =
+  (* n=4, m=2, k=2: P(block untouched) = C(2,2)/C(4,2) = 1/6 per block;
+     expected = 2 * (1 - 1/6) = 5/3. *)
+  check_float ~eps:1e-9 "k=2" (5.0 /. 3.0) (Yao.exact ~n:4 ~m:2 ~k:2)
+
+let test_yao_exact_invalid () =
+  Alcotest.check_raises "m=0" (Invalid_argument "Yao.exact") (fun () ->
+      ignore (Yao.exact ~n:4 ~m:0 ~k:1));
+  Alcotest.check_raises "k>n" (Invalid_argument "Yao.exact") (fun () ->
+      ignore (Yao.exact ~n:4 ~m:2 ~k:5))
+
+let test_cardenas_close_to_exact () =
+  (* With a large blocking factor Cardenas' approximation should be within
+     a fraction of a page of the exact value. *)
+  List.iter
+    (fun k ->
+      let exact = Yao.exact ~n:10_000 ~m:250 ~k in
+      let approx = Yao.cardenas ~m:250.0 ~k:(float_of_int k) in
+      if Float.abs (exact -. approx) > 1.0 then
+        Alcotest.failf "cardenas k=%d: exact %.3f vs approx %.3f" k exact approx)
+    [ 1; 10; 100; 1000; 9999 ]
+
+let test_paper_piecewise () =
+  (* k <= 1 returns k itself (fractional expected records). *)
+  check_float "k=0.05" 0.05 (Yao.paper ~n:100.0 ~m:2.5 ~k:0.05);
+  check_float "k=1" 1.0 (Yao.paper ~n:100.0 ~m:2.5 ~k:1.0);
+  check_float "k negative clamps to 0" 0.0 (Yao.paper ~n:100.0 ~m:2.5 ~k:(-0.5));
+  (* m < 1: any multi-record object on a fraction of a page costs 1 page. *)
+  check_float "m<1" 1.0 (Yao.paper ~n:10.0 ~m:0.25 ~k:5.0);
+  (* 1 <= m < 2: min k m. *)
+  check_float "m=1.5 k=5" 1.5 (Yao.paper ~n:10.0 ~m:1.5 ~k:5.0);
+  check_float "m=1.5 k=1.2" 1.2 (Yao.paper ~n:10.0 ~m:1.5 ~k:1.2);
+  (* m >= 2: Cardenas. *)
+  check_float ~eps:1e-9 "m=250 k=100"
+    (Yao.cardenas ~m:250.0 ~k:100.0)
+    (Yao.paper ~n:10_000.0 ~m:250.0 ~k:100.0)
+
+let test_paper_monotone_in_k =
+  QCheck.Test.make ~name:"paper yao monotone in k" ~count:200
+    QCheck.(pair (float_range 2.0 500.0) (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
+    (fun (m, (k1, k2)) ->
+      let lo = Float.min k1 k2 and hi = Float.max k1 k2 in
+      Yao.paper ~n:(m *. 40.0) ~m ~k:lo <= Yao.paper ~n:(m *. 40.0) ~m ~k:hi +. 1e-9)
+
+let test_paper_bounded_by_m_and_k =
+  QCheck.Test.make ~name:"paper yao bounded by min(m, k) .. for k>=1" ~count:200
+    QCheck.(pair (float_range 2.0 500.0) (float_range 1.0 1000.0))
+    (fun (m, k) ->
+      let y = Yao.paper ~n:(m *. 40.0) ~m ~k in
+      y <= m +. 1e-9 && y <= k +. 1e-9 && y >= 0.0)
+
+(* ---------------------------------------------------------------- Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_different_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check int) "streams diverge" 0 !same
+
+let test_prng_float_range () =
+  let t = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Prng.float t in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_prng_int_range () =
+  let t = Prng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Prng.int t 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "int out of range: %d" x
+  done
+
+let test_prng_int_invalid () =
+  let t = Prng.create 5 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int") (fun () ->
+      ignore (Prng.int t 0))
+
+let test_prng_int_covers_all_values () =
+  let t = Prng.create 6 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 2000 do
+    seen.(Prng.int t 10) <- true
+  done;
+  Alcotest.(check bool) "all residues seen" true (Array.for_all Fun.id seen)
+
+let test_prng_split_independent () =
+  let parent = Prng.create 8 in
+  let child = Prng.split parent in
+  let equal = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.next_int64 parent = Prng.next_int64 child then incr equal
+  done;
+  Alcotest.(check int) "split stream differs" 0 !equal
+
+let test_prng_shuffle_permutation () =
+  let t = Prng.create 9 in
+  let arr = Array.init 100 Fun.id in
+  Prng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let t = Prng.create 10 in
+  let sample = Prng.sample_without_replacement t ~n:50 ~k:20 in
+  Alcotest.(check int) "size" 20 (List.length sample);
+  Alcotest.(check int) "distinct" 20 (List.length (List.sort_uniq compare sample));
+  List.iter (fun i -> if i < 0 || i >= 50 then Alcotest.failf "out of range %d" i) sample
+
+let test_sample_full_range () =
+  let t = Prng.create 11 in
+  let sample = Prng.sample_without_replacement t ~n:10 ~k:10 in
+  Alcotest.(check (list int)) "k=n gives everything" (List.init 10 Fun.id)
+    (List.sort compare sample)
+
+let test_sample_invalid () =
+  let t = Prng.create 12 in
+  Alcotest.check_raises "k>n" (Invalid_argument "Prng.sample_without_replacement") (fun () ->
+      ignore (Prng.sample_without_replacement t ~n:3 ~k:4))
+
+(* ------------------------------------------------------------ Locality *)
+
+let test_locality_uniform () =
+  let loc = Locality.uniform ~n:10 in
+  Alcotest.(check int) "hot = n" 10 (Locality.hot_count loc);
+  check_float "prob" 0.1 (Locality.access_probability loc 3)
+
+let test_locality_hot_cold () =
+  let loc = Locality.create ~z:0.2 ~n:100 in
+  Alcotest.(check int) "hot count" 20 (Locality.hot_count loc);
+  (* hot object: (1-z)/hot = 0.8/20; cold: z/(n-hot) = 0.2/80 *)
+  check_float "hot prob" 0.04 (Locality.access_probability loc 0);
+  check_float "cold prob" 0.0025 (Locality.access_probability loc 99)
+
+let test_locality_probabilities_sum_to_one () =
+  let loc = Locality.create ~z:0.05 ~n:40 in
+  let total = ref 0.0 in
+  for i = 0 to 39 do
+    total := !total +. Locality.access_probability loc i
+  done;
+  check_float ~eps:1e-9 "sums to 1" 1.0 !total
+
+let test_locality_sampling_skew () =
+  let loc = Locality.create ~z:0.2 ~n:100 in
+  let prng = Prng.create 13 in
+  let hot_hits = ref 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    if Locality.sample loc prng < Locality.hot_count loc then incr hot_hits
+  done;
+  let frac = float_of_int !hot_hits /. float_of_int trials in
+  if Float.abs (frac -. 0.8) > 0.02 then
+    Alcotest.failf "hot fraction %.3f, expected ~0.8" frac
+
+let test_locality_x_y () =
+  (* Paper: X = n z/(1-z) k/q, Y = n (1-z)/z k/q. *)
+  let loc = Locality.create ~z:0.2 ~n:200 in
+  check_float ~eps:1e-9 "X" (200.0 *. 0.25 *. 1.0)
+    (Locality.expected_updates_between_accesses loc ~hot:true ~updates_per_query:1.0);
+  check_float ~eps:1e-9 "Y" (200.0 *. 4.0 *. 1.0)
+    (Locality.expected_updates_between_accesses loc ~hot:false ~updates_per_query:1.0)
+
+let test_locality_invalid () =
+  Alcotest.check_raises "z out of range"
+    (Invalid_argument "Locality.create: z must be in (0,1)") (fun () ->
+      ignore (Locality.create ~z:1.5 ~n:10))
+
+(* --------------------------------------------------------------- Stats *)
+
+let test_stats_mean_variance () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float ~eps:1e-9 "variance" (2.0 /. 3.0) (Stats.variance [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check bool) "mean [] is nan" true (Float.is_nan (Stats.mean []))
+
+let test_stats_percentile () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  check_float "p0" 10.0 (Stats.percentile 0.0 xs);
+  check_float "p100" 40.0 (Stats.percentile 1.0 xs);
+  check_float "p50 interpolates" 25.0 (Stats.percentile 0.5 xs)
+
+let test_stats_geometric_mean () =
+  check_float ~eps:1e-9 "gmean" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ])
+
+let test_stats_relative_error () =
+  check_float "rel err" 0.5 (Stats.relative_error ~expected:2.0 ~actual:3.0);
+  check_float "both zero" 0.0 (Stats.relative_error ~expected:0.0 ~actual:0.0)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check int) "count" 5 s.Stats.count;
+  check_float "mean" 3.0 s.Stats.mean;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 5.0 s.Stats.max;
+  check_float "p50" 3.0 s.Stats.p50
+
+(* --------------------------------------------------------- Ascii table *)
+
+let test_table_render () =
+  let t = Ascii_table.create ~header:[ "name"; "value" ] () in
+  Ascii_table.add_row t [ "x"; "1" ];
+  Ascii_table.add_row t [ "longer"; "22" ];
+  let out = Ascii_table.render t in
+  Alcotest.(check bool) "has header" true (String.length out > 0);
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  (* all lines equal width *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true (List.for_all (( = ) (List.hd widths)) widths)
+
+let test_table_padding_short_row () =
+  let t = Ascii_table.create ~header:[ "a"; "b"; "c" ] () in
+  Ascii_table.add_row t [ "x" ];
+  let out = Ascii_table.render t in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_table_too_many_cells () =
+  let t = Ascii_table.create ~header:[ "a" ] () in
+  Alcotest.check_raises "too many" (Invalid_argument "Ascii_table.add_row: too many cells")
+    (fun () -> Ascii_table.add_row t [ "x"; "y" ])
+
+let test_table_float_row () =
+  let t = Ascii_table.create ~header:[ "x"; "y" ] () in
+  Ascii_table.add_float_row ~decimals:1 t "row" [ Float.nan ];
+  let out = Ascii_table.render t in
+  Alcotest.(check bool) "nan renders as dash" true
+    (String.split_on_char '\n' out |> List.exists (fun l -> String.length l > 0 && l.[String.length l - 1] = '-'))
+
+(* --------------------------------------------------------- Ascii chart *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_line_plot_renders () =
+  let series = [ ("alpha", [ (0.0, 1.0); (1.0, 10.0) ]); ("beta", [ (0.0, 5.0); (1.0, 2.0) ]) ] in
+  let out = Ascii_chart.line_plot ~x_label:"x" ~y_label:"y" ~series () in
+  Alcotest.(check bool) "mentions legend" true
+    (String.length out > 0 && contains out "alpha" && contains out "beta")
+
+let test_line_plot_log_drops_nonpositive () =
+  let out =
+    Ascii_chart.line_plot ~log_y:true ~x_label:"x" ~y_label:"y"
+      ~series:[ ("s", [ (0.0, 0.0); (1.0, 100.0) ]) ]
+      ()
+  in
+  Alcotest.(check bool) "renders without crash" true (String.length out > 0)
+
+let test_line_plot_empty () =
+  Alcotest.(check string) "no data" "(no data)"
+    (Ascii_chart.line_plot ~x_label:"x" ~y_label:"y" ~series:[ ("s", []) ] ())
+
+let test_region_map () =
+  let out =
+    Ascii_chart.region_map ~x_label:"f" ~y_label:"P" ~x_range:(0.001, 0.1) ~y_range:(0.0, 1.0)
+      ~log_x:true
+      ~classify:(fun ~x ~y -> if y > 0.5 then 'A' else if x > 0.01 then 'B' else 'C')
+      ()
+  in
+  Alcotest.(check bool) "contains all classes" true
+    (contains out "A" && contains out "B" && contains out "C")
+
+(* -------------------------------------------------- Interval_index *)
+
+module Int_intervals = Interval_index.Make (Int)
+
+let test_interval_basic () =
+  let idx = Int_intervals.create () in
+  Int_intervals.add idx ~lo:(Int_intervals.Incl 1) ~hi:(Int_intervals.Excl 5) "a";
+  Int_intervals.add idx ~lo:(Int_intervals.Incl 3) ~hi:(Int_intervals.Incl 8) "b";
+  Int_intervals.add idx ~lo:Int_intervals.Neg_inf ~hi:(Int_intervals.Incl 0) "c";
+  Alcotest.(check (list string)) "stab 4" [ "a"; "b" ]
+    (List.sort compare (Int_intervals.stab idx 4));
+  Alcotest.(check (list string)) "stab 5 (a excl)" [ "b" ] (Int_intervals.stab idx 5);
+  Alcotest.(check (list string)) "stab -3" [ "c" ] (Int_intervals.stab idx (-3));
+  Alcotest.(check (list string)) "stab 100" [] (Int_intervals.stab idx 100)
+
+let test_interval_unbounded_both () =
+  let idx = Int_intervals.create () in
+  Int_intervals.add idx ~lo:Int_intervals.Neg_inf ~hi:Int_intervals.Pos_inf "all";
+  Int_intervals.add idx ~lo:(Int_intervals.Incl 0) ~hi:(Int_intervals.Incl 1) "x";
+  Alcotest.(check (list string)) "covers everything" [ "all" ] (Int_intervals.stab idx 99);
+  Alcotest.(check (list string)) "both" [ "all"; "x" ]
+    (List.sort compare (Int_intervals.stab idx 0))
+
+let test_interval_empty_never_matches () =
+  let idx = Int_intervals.create () in
+  Int_intervals.add idx ~lo:(Int_intervals.Incl 5) ~hi:(Int_intervals.Excl 5) "empty";
+  Int_intervals.add idx ~lo:(Int_intervals.Excl 5) ~hi:(Int_intervals.Incl 5) "empty2";
+  Int_intervals.add idx ~lo:(Int_intervals.Incl 7) ~hi:(Int_intervals.Incl 3) "inverted";
+  Alcotest.(check (list string)) "no matches" [] (Int_intervals.stab idx 5)
+
+let test_interval_remove () =
+  let idx = Int_intervals.create () in
+  Int_intervals.add idx ~lo:(Int_intervals.Incl 0) ~hi:(Int_intervals.Incl 9) "a";
+  Int_intervals.add idx ~lo:(Int_intervals.Incl 0) ~hi:(Int_intervals.Incl 9) "b";
+  Alcotest.(check int) "removed one" 1 (Int_intervals.remove idx (( = ) "a"));
+  Alcotest.(check (list string)) "b remains" [ "b" ] (Int_intervals.stab idx 4);
+  Alcotest.(check int) "size" 1 (Int_intervals.size idx)
+
+let test_interval_invalid_bounds () =
+  let idx = Int_intervals.create () in
+  Alcotest.(check bool) "lo = Pos_inf rejected" true
+    (try
+       Int_intervals.add idx ~lo:Int_intervals.Pos_inf ~hi:Int_intervals.Pos_inf "x";
+       false
+     with Invalid_argument _ -> true)
+
+let interval_index_matches_naive =
+  let bound_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          return `Inf;
+          map (fun v -> `Incl (v - 25)) (int_bound 50);
+          map (fun v -> `Excl (v - 25)) (int_bound 50);
+        ])
+  in
+  let gen = QCheck.Gen.(pair (list_size (int_range 0 40) (pair bound_gen bound_gen)) (list_size (int_range 1 30) (int_bound 60))) in
+  QCheck.Test.make ~name:"interval index stab matches naive filter" ~count:300
+    (QCheck.make gen)
+    (fun (specs, queries) ->
+      let idx = Int_intervals.create () in
+      let naive = ref [] in
+      List.iteri
+        (fun i (lo_s, hi_s) ->
+          let lo =
+            match lo_s with
+            | `Inf -> Int_intervals.Neg_inf
+            | `Incl v -> Int_intervals.Incl v
+            | `Excl v -> Int_intervals.Excl v
+          in
+          let hi =
+            match hi_s with
+            | `Inf -> Int_intervals.Pos_inf
+            | `Incl v -> Int_intervals.Incl v
+            | `Excl v -> Int_intervals.Excl v
+          in
+          Int_intervals.add idx ~lo ~hi i;
+          naive := (lo, hi, i) :: !naive)
+        specs;
+      List.for_all
+        (fun q0 ->
+          let q = q0 - 30 in
+          let got = List.sort compare (Int_intervals.stab idx q) in
+          let expected =
+            List.filter_map
+              (fun (lo, hi, i) -> if Int_intervals.covers ~lo ~hi q then Some i else None)
+              !naive
+            |> List.sort compare
+          in
+          got = expected)
+        queries)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "yao",
+        [
+          Alcotest.test_case "exact small" `Quick test_yao_exact_small;
+          Alcotest.test_case "exact 3 of 4" `Quick test_yao_exact_three_of_four;
+          Alcotest.test_case "exact 2 of 4" `Quick test_yao_exact_two_of_four;
+          Alcotest.test_case "exact invalid args" `Quick test_yao_exact_invalid;
+          Alcotest.test_case "cardenas ~ exact" `Quick test_cardenas_close_to_exact;
+          Alcotest.test_case "paper piecewise rules" `Quick test_paper_piecewise;
+          qc test_paper_monotone_in_k;
+          qc test_paper_bounded_by_m_and_k;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_different_seeds;
+          Alcotest.test_case "float in [0,1)" `Quick test_prng_float_range;
+          Alcotest.test_case "int in range" `Quick test_prng_int_range;
+          Alcotest.test_case "int invalid bound" `Quick test_prng_int_invalid;
+          Alcotest.test_case "int covers values" `Quick test_prng_int_covers_all_values;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle is permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
+          Alcotest.test_case "sample k=n" `Quick test_sample_full_range;
+          Alcotest.test_case "sample invalid" `Quick test_sample_invalid;
+        ] );
+      ( "locality",
+        [
+          Alcotest.test_case "uniform" `Quick test_locality_uniform;
+          Alcotest.test_case "hot/cold split" `Quick test_locality_hot_cold;
+          Alcotest.test_case "probabilities sum to 1" `Quick test_locality_probabilities_sum_to_one;
+          Alcotest.test_case "sampling skew" `Quick test_locality_sampling_skew;
+          Alcotest.test_case "X and Y formulas" `Quick test_locality_x_y;
+          Alcotest.test_case "invalid z" `Quick test_locality_invalid;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_stats_mean_variance;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
+          Alcotest.test_case "relative error" `Quick test_stats_relative_error;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+      ( "ascii",
+        [
+          Alcotest.test_case "table render" `Quick test_table_render;
+          Alcotest.test_case "table pads short rows" `Quick test_table_padding_short_row;
+          Alcotest.test_case "table rejects long rows" `Quick test_table_too_many_cells;
+          Alcotest.test_case "table float rows" `Quick test_table_float_row;
+          Alcotest.test_case "line plot" `Quick test_line_plot_renders;
+          Alcotest.test_case "line plot log y" `Quick test_line_plot_log_drops_nonpositive;
+          Alcotest.test_case "line plot empty" `Quick test_line_plot_empty;
+          Alcotest.test_case "region map" `Quick test_region_map;
+        ] );
+      ( "interval_index",
+        [
+          Alcotest.test_case "basic stab" `Quick test_interval_basic;
+          Alcotest.test_case "unbounded intervals" `Quick test_interval_unbounded_both;
+          Alcotest.test_case "empty intervals" `Quick test_interval_empty_never_matches;
+          Alcotest.test_case "remove" `Quick test_interval_remove;
+          Alcotest.test_case "invalid bounds" `Quick test_interval_invalid_bounds;
+          qc interval_index_matches_naive;
+        ] );
+    ]

@@ -1,0 +1,386 @@
+(* Tests for Dbproc.Workload: synthetic database generation (cardinalities,
+   selectivities, access methods, sharing), update generation, and the
+   measurement driver (determinism, consistency, analytic agreement). *)
+
+open Dbproc
+open Dbproc.Costmodel
+open Dbproc.Workload
+
+(* A small parameter set that keeps tests fast but non-trivial. *)
+let small =
+  {
+    Params.default with
+    Params.n = 2_000.0;
+    n1 = 8.0;
+    n2 = 8.0;
+    q = 20.0;
+    k = 20.0;
+    l = 10.0;
+    f = 0.005 (* 10-tuple P1 procedures *);
+  }
+
+let test_db_cardinalities () =
+  let db = Database.build ~model:Model.Model1 small in
+  Alcotest.(check int) "R1 size" 2000 (Relation.cardinality db.Database.r1);
+  Alcotest.(check int) "R2 size" 200 (Relation.cardinality db.Database.r2);
+  Alcotest.(check int) "R3 size" 200 (Relation.cardinality db.Database.r3);
+  Alcotest.(check int) "P1 count" 8 (List.length db.Database.p1_defs);
+  Alcotest.(check int) "P2 count" 8 (List.length db.Database.p2_defs)
+
+let test_db_access_methods () =
+  let db = Database.build ~model:Model.Model1 small in
+  Alcotest.(check bool) "R1 btree on sel" true
+    (List.mem ("sel", `Btree) (Relation.indexed_attrs db.Database.r1));
+  Alcotest.(check bool) "R2 hash on b" true
+    (List.mem ("b", `Hash) (Relation.indexed_attrs db.Database.r2));
+  Alcotest.(check bool) "R3 hash on dkey" true
+    (List.mem ("dkey", `Hash) (Relation.indexed_attrs db.Database.r3))
+
+let test_db_p1_selectivity () =
+  let db = Database.build ~model:Model.Model1 small in
+  (* each P1 selects f*N = 10 tuples *)
+  List.iter
+    (fun def ->
+      let n = List.length (Query.Executor.run (Query.Planner.compile def)) in
+      Alcotest.(check int) (def.Query.View_def.name ^ " size") 10 n)
+    db.Database.p1_defs
+
+let test_db_p2_expected_size () =
+  let db = Database.build ~model:Model.Model1 small in
+  (* P2 expected size = f*f2*N = 1; allow 0..6 per procedure but require a
+     sane average. *)
+  let sizes =
+    List.map
+      (fun def -> List.length (Query.Executor.run (Query.Planner.compile def)))
+      db.Database.p2_defs
+  in
+  let avg = float_of_int (List.fold_left ( + ) 0 sizes) /. float_of_int (List.length sizes) in
+  Alcotest.(check bool) (Printf.sprintf "avg P2 size %.2f in [0.2, 3]" avg) true
+    (avg >= 0.2 && avg <= 3.0)
+
+let test_db_model2_defs_are_three_way () =
+  let db = Database.build ~model:Model.Model2 small in
+  List.iter
+    (fun def ->
+      Alcotest.(check int) "two join steps" 2 (List.length def.Query.View_def.steps))
+    db.Database.p2_defs
+
+let test_db_sharing_factor () =
+  let params = { small with Params.sf = 1.0 } in
+  let db = Database.build ~model:Model.Model1 params in
+  (* With SF=1 every P2 base restriction equals some P1 restriction. *)
+  let p1_restrictions =
+    List.map (fun d -> d.Query.View_def.base.restriction) db.Database.p1_defs
+  in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "restriction shared" true
+        (List.exists (Predicate.equal d.Query.View_def.base.restriction) p1_restrictions))
+    db.Database.p2_defs;
+  let db0 = Database.build ~model:Model.Model1 { small with Params.sf = 0.0 } in
+  (* With SF=0 sharing is possible only by coincidence; count should be low. *)
+  let p1r = List.map (fun d -> d.Query.View_def.base.restriction) db0.Database.p1_defs in
+  let shared =
+    List.length
+      (List.filter
+         (fun d -> List.exists (Predicate.equal d.Query.View_def.base.restriction) p1r)
+         db0.Database.p2_defs)
+  in
+  Alcotest.(check bool) "few coincidental shares" true (shared <= 2)
+
+let test_db_deterministic () =
+  let db1 = Database.build ~seed:5 ~model:Model.Model1 small in
+  let db2 = Database.build ~seed:5 ~model:Model.Model1 small in
+  let contents db = List.map Tuple.to_list (Relation.read_all db.Database.r1) in
+  Alcotest.(check bool) "same data" true (contents db1 = contents db2);
+  let db3 = Database.build ~seed:6 ~model:Model.Model1 small in
+  Alcotest.(check bool) "different seed differs" true (contents db1 <> contents db3)
+
+let test_random_update_shape () =
+  let db = Database.build ~model:Model.Model1 small in
+  let prng = Util.Prng.create 3 in
+  let changes = Database.random_update db prng in
+  Alcotest.(check int) "l tuples" 10 (List.length changes);
+  (* rids distinct *)
+  let rids = List.map fst changes in
+  Alcotest.(check int) "distinct rids" 10 (List.length (List.sort_uniq compare rids));
+  (* only sel changed *)
+  List.iter
+    (fun ((rid : Storage.Heap_file.rid), new_t) ->
+      let old_t =
+        Storage.Cost.with_disabled db.Database.cost (fun () -> Relation.get db.Database.r1 rid)
+      in
+      Alcotest.(check bool) "id preserved" true
+        (Value.equal (Tuple.get old_t 0) (Tuple.get new_t 0));
+      Alcotest.(check bool) "join key preserved" true
+        (Value.equal (Tuple.get old_t 1) (Tuple.get new_t 1)))
+    changes
+
+let test_driver_deterministic () =
+  let r1 = Driver.run_strategy ~seed:9 ~model:Model.Model1 ~params:small Strategy.Update_cache_avm in
+  let r2 = Driver.run_strategy ~seed:9 ~model:Model.Model1 ~params:small Strategy.Update_cache_avm in
+  Alcotest.(check (float 1e-9)) "same measured cost" r1.Driver.measured_ms_per_query
+    r2.Driver.measured_ms_per_query
+
+let test_driver_counts () =
+  let r = Driver.run_strategy ~model:Model.Model1 ~params:small Strategy.Always_recompute in
+  Alcotest.(check int) "queries" 20 r.Driver.queries;
+  Alcotest.(check int) "updates" 20 r.Driver.updates;
+  Alcotest.(check bool) "consistent" true r.Driver.consistent
+
+let test_driver_all_strategies_consistent () =
+  List.iter
+    (fun (r : Driver.result) ->
+      Alcotest.(check bool) (Strategy.name r.strategy ^ " consistent") true r.Driver.consistent)
+    (Driver.run_all ~model:Model.Model1 ~params:small ())
+
+let test_driver_measured_tracks_analytic () =
+  (* The engine should land within a factor of ~2.5 of the analytic model
+     for every strategy at the default simulation scale. *)
+  List.iter
+    (fun (r : Driver.result) ->
+      let ratio = r.Driver.measured_ms_per_query /. r.Driver.analytic_ms_per_query in
+      if ratio < 0.4 || ratio > 2.5 then
+        Alcotest.failf "%s: measured %.1f vs analytic %.1f (ratio %.2f)"
+          (Strategy.name r.Driver.strategy)
+          r.Driver.measured_ms_per_query r.Driver.analytic_ms_per_query ratio)
+    (Driver.run_all ~check_consistency:false ~model:Model.Model1
+       ~params:Driver.default_sim_params ())
+
+let test_driver_ordering_matches_paper_at_midrange () =
+  (* At P=0.5 with default sim scale: UC < CI < AR holds both analytically
+     and in the measured engine. *)
+  let results =
+    Driver.run_all ~check_consistency:false ~model:Model.Model1
+      ~params:Driver.default_sim_params ()
+  in
+  let get s =
+    (List.find (fun (r : Driver.result) -> r.Driver.strategy = s) results)
+      .Driver.measured_ms_per_query
+  in
+  Alcotest.(check bool) "AVM < CI" true
+    (get Strategy.Update_cache_avm < get Strategy.Cache_invalidate);
+  Alcotest.(check bool) "CI < AR" true
+    (get Strategy.Cache_invalidate < get Strategy.Always_recompute)
+
+let test_driver_no_updates_equals_cread () =
+  (* With k=0, CI/UC cost exactly C2 * pages of the stored results. *)
+  let params = { small with Params.k = 0.0 } in
+  let r = Driver.run_strategy ~model:Model.Model1 ~params Strategy.Update_cache_avm in
+  Alcotest.(check int) "no writes" 0 r.Driver.page_writes;
+  Alcotest.(check int) "no screens" 0 r.Driver.cpu_screens;
+  Alcotest.(check bool) "cost is pure reads" true (r.Driver.measured_ms_per_query > 0.0)
+
+let test_scale_params () =
+  let scaled = Driver.scale_params Params.default ~factor:10.0 in
+  Alcotest.(check (float 1e-9)) "n scaled" 10_000.0 scaled.Params.n;
+  Alcotest.(check (float 1e-9)) "n1 scaled" 10.0 scaled.Params.n1;
+  Alcotest.(check (float 1e-9)) "f unchanged" Params.default.Params.f scaled.Params.f
+
+let test_buffered_ablation_cheaper () =
+  (* With a big LRU buffer pool, measured cost can only go down. *)
+  let params = Driver.default_sim_params in
+  let direct = Database.build ~seed:3 ~model:Model.Model1 params in
+  let buffered = Database.build ~seed:3 ~buffer_pages:100_000 ~model:Model.Model1 params in
+  let probe db =
+    Storage.Cost.reset db.Database.cost;
+    List.iter
+      (fun def -> ignore (Query.Executor.run (Query.Planner.compile def)))
+      (Database.all_defs db);
+    (* repeat: buffered run should hit *)
+    List.iter
+      (fun def -> ignore (Query.Executor.run (Query.Planner.compile def)))
+      (Database.all_defs db);
+    Storage.Cost.page_reads db.Database.cost
+  in
+  let direct_reads = probe direct in
+  let buffered_reads = probe buffered in
+  Alcotest.(check bool)
+    (Printf.sprintf "buffered %d < direct %d" buffered_reads direct_reads)
+    true
+    (buffered_reads < direct_reads)
+
+let test_driver_r2_update_mix_consistent () =
+  (* ext-update-mix: R2 updates must keep every strategy consistent. *)
+  List.iter
+    (fun mix ->
+      List.iter
+        (fun (r : Driver.result) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s at mix %.2f" (Strategy.name r.Driver.strategy) mix)
+            true r.Driver.consistent)
+        (Driver.run_all ~r2_update_fraction:mix ~model:Model.Model2 ~params:small ()))
+    [ 0.5; 1.0 ]
+
+let test_driver_r2_updates_hurt_update_cache () =
+  (* With all updates on R2, UC pays heavy maintenance while AR/CI barely
+     move — the Section-8 observation the paper leaves unanalyzed. *)
+  let params = Driver.default_sim_params in
+  let avm_r1 =
+    Driver.run_strategy ~check_consistency:false ~model:Model.Model2 ~params
+      Strategy.Update_cache_avm
+  in
+  let avm_r2 =
+    Driver.run_strategy ~check_consistency:false ~r2_update_fraction:1.0 ~model:Model.Model2
+      ~params Strategy.Update_cache_avm
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "AVM %.0f (R2) > 3x %.0f (R1)" avm_r2.Driver.measured_ms_per_query
+       avm_r1.Driver.measured_ms_per_query)
+    true
+    (avm_r2.Driver.measured_ms_per_query > 3.0 *. avm_r1.Driver.measured_ms_per_query)
+
+let test_per_op_trace () =
+  let params = Params.with_update_probability Driver.default_sim_params 0.5 in
+  let r = Driver.run_strategy ~model:Model.Model1 ~params Strategy.Cache_invalidate in
+  Alcotest.(check int) "one entry per op" (r.Driver.queries + r.Driver.updates)
+    (List.length r.Driver.per_op);
+  let query_ms =
+    List.filter_map (fun (k, ms) -> if k = `Query then Some ms else None) r.Driver.per_op
+  in
+  Alcotest.(check int) "query entries" r.Driver.queries (List.length query_ms);
+  (* the trace sums back to the totals *)
+  let total = List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 r.Driver.per_op in
+  Alcotest.(check bool) "sums to total" true
+    (Float.abs (total -. (r.Driver.measured_ms_per_query *. float_of_int r.Driver.queries))
+    < 1e-6);
+  (* CI at P=0.5 is bimodal: some accesses are cheap cache hits, some pay
+     a full recompute *)
+  let cheap = List.exists (fun ms -> ms < 100.0) query_ms in
+  let dear = List.exists (fun ms -> ms > 150.0) query_ms in
+  Alcotest.(check bool) "CI bimodal" true (cheap && dear);
+  (* UC reads are uniform *)
+  let avm = Driver.run_strategy ~model:Model.Model1 ~params Strategy.Update_cache_avm in
+  let avm_queries =
+    List.filter_map (fun (k, ms) -> if k = `Query then Some ms else None) avm.Driver.per_op
+  in
+  let s = Dbproc.Util.Stats.summarize avm_queries in
+  Alcotest.(check bool) "AVM reads uniform" true
+    (s.Dbproc.Util.Stats.max -. s.Dbproc.Util.Stats.min < 61.0)
+
+let test_nway_consistency () =
+  let params =
+    { small with Params.n = 1_000.0; n2 = 4.0; q = 10.0; k = 10.0; f = 0.01; f2 = 1.0 }
+  in
+  List.iter
+    (fun chain_length ->
+      List.iter
+        (fun strategy ->
+          let r = Workload.Nway.run ~chain_length ~params strategy in
+          Alcotest.(check bool)
+            (Printf.sprintf "m=%d %s consistent" chain_length (Strategy.name strategy))
+            true r.Workload.Nway.consistent)
+        Strategy.all)
+    [ 2; 4 ]
+
+let test_nway_avm_grows_rvm_flat () =
+  let params =
+    {
+      Driver.default_sim_params with
+      Params.f = 0.005;
+      f2 = 1.0;
+      k = 60.0;
+      q = 30.0;
+      n2 = 8.0;
+    }
+  in
+  let maint strategy m =
+    (Workload.Nway.run ~chain_length:m ~params strategy).Workload.Nway.maintenance_ms_per_update
+  in
+  let avm2 = maint Strategy.Update_cache_avm 2 in
+  let avm5 = maint Strategy.Update_cache_avm 5 in
+  let rvm2 = maint Strategy.Update_cache_rvm 2 in
+  let rvm5 = maint Strategy.Update_cache_rvm 5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "AVM grows (%.0f -> %.0f)" avm2 avm5)
+    true
+    (avm5 > 1.5 *. avm2);
+  Alcotest.(check bool)
+    (Printf.sprintf "RVM flat-ish (%.0f -> %.0f)" rvm2 rvm5)
+    true
+    (rvm5 < 1.5 *. rvm2);
+  Alcotest.(check bool)
+    (Printf.sprintf "RVM beats AVM at m=5 (%.0f vs %.0f)" rvm5 avm5)
+    true (rvm5 < avm5)
+
+let measured_tracks_analytic_property =
+  (* Random operating points: the engine must stay within a bounded ratio
+     of the analytic model for every strategy, and the strategy ORDER must
+     agree wherever the model separates strategies clearly (> 1.6x). *)
+  QCheck.Test.make ~name:"engine tracks the analytic model at random operating points"
+    ~count:10
+    QCheck.(
+      triple (int_bound 1000) (float_range 0.1 0.6)
+        (oneofl [ 0.002; 0.005; 0.01 ] (* scaled object sizes: fN in {20, 50, 100} *)))
+    (fun (seed, p, f) ->
+      let params =
+        Params.with_update_probability
+          { Driver.default_sim_params with Params.f; q = 60.0 }
+          p
+      in
+      let results =
+        Driver.run_all ~seed ~check_consistency:false ~model:Model.Model1 ~params ()
+      in
+      List.for_all
+        (fun (r : Driver.result) ->
+          let ratio = r.Driver.measured_ms_per_query /. r.Driver.analytic_ms_per_query in
+          ratio > 0.25 && ratio < 3.5)
+        results
+      &&
+      (* order agreement where the model separates strategies decisively;
+         a generous margin absorbs finite-run noise *)
+      let pairs = List.concat_map (fun a -> List.map (fun b -> (a, b)) results) results in
+      List.for_all
+        (fun ((a : Driver.result), (b : Driver.result)) ->
+          if a.Driver.analytic_ms_per_query > 3.0 *. b.Driver.analytic_ms_per_query then
+            a.Driver.measured_ms_per_query > b.Driver.measured_ms_per_query
+          else true)
+        pairs)
+
+let driver_consistency_property =
+  QCheck.Test.make ~name:"driver consistent across seeds and P" ~count:8
+    QCheck.(pair (int_bound 1000) (int_bound 3))
+    (fun (seed, pi) ->
+      let p = [ 0.0; 0.3; 0.6; 0.8 ] |> fun l -> List.nth l pi in
+      let params = Params.with_update_probability small p in
+      List.for_all
+        (fun (r : Driver.result) -> r.Driver.consistent)
+        (Driver.run_all ~seed ~model:Model.Model1 ~params ()))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "workload"
+    [
+      ( "database",
+        [
+          Alcotest.test_case "cardinalities" `Quick test_db_cardinalities;
+          Alcotest.test_case "access methods" `Quick test_db_access_methods;
+          Alcotest.test_case "P1 selectivity" `Quick test_db_p1_selectivity;
+          Alcotest.test_case "P2 expected size" `Quick test_db_p2_expected_size;
+          Alcotest.test_case "model 2 defs 3-way" `Quick test_db_model2_defs_are_three_way;
+          Alcotest.test_case "sharing factor" `Quick test_db_sharing_factor;
+          Alcotest.test_case "deterministic" `Quick test_db_deterministic;
+          Alcotest.test_case "random update shape" `Quick test_random_update_shape;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "deterministic" `Quick test_driver_deterministic;
+          Alcotest.test_case "op counts" `Quick test_driver_counts;
+          Alcotest.test_case "all strategies consistent" `Quick
+            test_driver_all_strategies_consistent;
+          Alcotest.test_case "measured tracks analytic" `Slow test_driver_measured_tracks_analytic;
+          Alcotest.test_case "midrange ordering" `Slow test_driver_ordering_matches_paper_at_midrange;
+          Alcotest.test_case "no updates = pure reads" `Quick test_driver_no_updates_equals_cread;
+          Alcotest.test_case "scale params" `Quick test_scale_params;
+          Alcotest.test_case "buffer pool ablation" `Quick test_buffered_ablation_cheaper;
+          Alcotest.test_case "R2 update mix consistent" `Slow
+            test_driver_r2_update_mix_consistent;
+          Alcotest.test_case "R2 updates hurt update cache" `Slow
+            test_driver_r2_updates_hurt_update_cache;
+          Alcotest.test_case "per-op trace" `Quick test_per_op_trace;
+          Alcotest.test_case "n-way chain consistency" `Slow test_nway_consistency;
+          Alcotest.test_case "n-way: AVM grows, RVM flat" `Slow test_nway_avm_grows_rvm_flat;
+          qc driver_consistency_property;
+          qc measured_tracks_analytic_property;
+        ] );
+    ]
