@@ -7,12 +7,28 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- fig5 fig18   -- selected experiments
      dune exec bench/main.exe -- --no-bechamel
-     dune exec bench/main.exe -- --quota 1.0  -- seconds per bechamel test *)
+     dune exec bench/main.exe -- --quota 1.0  -- seconds per bechamel test
+     dune exec bench/main.exe -- --seed 7     -- workload PRNG seed (default 42)
+     dune exec bench/main.exe -- --json FILE  -- machine-readable snapshot per experiment *)
 
 open Dbproc
 open Dbproc.Costmodel
 
 let sim_p_sweep = [ 0.0; 0.2; 0.5; 0.8 ]
+
+(* --seed / --json state, set once by the arg parser before any experiment
+   runs. *)
+let the_seed = ref 42
+let json_out : string option ref = ref None
+let experiments : (string * Obs.Export.json) list ref = ref []
+
+(* Capture the observability registries right as an experiment finishes —
+   before the bechamel section runs, whose quota-driven iteration counts
+   would make the snapshot nondeterministic. *)
+let record id f =
+  f ();
+  if !json_out <> None && not (List.mem_assoc id !experiments) then
+    experiments := (id, Obs.Export.snapshot ()) :: !experiments
 
 (* ------------------------------------------------- Simulation sections *)
 
@@ -44,7 +60,7 @@ let print_sim_comparison ?(label = "") ?(params = Workload.Driver.default_sim_pa
   List.iter
     (fun p ->
       let params = Params.with_update_probability params p in
-      let results = Workload.Driver.run_all ~model ~params () in
+      let results = Workload.Driver.run_all ~seed:!the_seed ~model ~params () in
       let cells =
         List.concat_map
           (fun (r : Workload.Driver.result) ->
@@ -117,8 +133,8 @@ let print_ablation_rete_shape () =
   print_endline "== ablation: Rete join-tree shape, model 2 (right-deep = paper's network)";
   let params = Workload.Driver.default_sim_params in
   let run shape =
-    Workload.Driver.run_strategy ~rvm_shape:shape ~model:Model.Model2 ~params
-      Strategy.Update_cache_rvm
+    Workload.Driver.run_strategy ~seed:!the_seed ~rvm_shape:shape ~model:Model.Model2
+      ~params Strategy.Update_cache_rvm
   in
   let right = run `Right_deep and left = run `Left_deep in
   let table =
@@ -138,6 +154,36 @@ let print_ablation_rete_shape () =
     ];
   Util.Ascii_table.print table;
   print_newline ()
+
+let print_ablation_obs_overhead () =
+  print_endline "== ablation: observability overhead (registry enabled vs disabled)";
+  print_endline
+    "counters are int-array bumps behind one flag test; the two wall-clock times\n\
+     should agree within noise (~1%).\n";
+  let params = Workload.Driver.default_sim_params in
+  let timed () =
+    let t0 = Sys.time () in
+    for _ = 1 to 10 do
+      ignore
+        (Workload.Driver.run_strategy ~seed:!the_seed ~check_consistency:false
+           ~model:Model.Model1 ~params Strategy.Update_cache_avm)
+    done;
+    Sys.time () -. t0
+  in
+  ignore (timed ());
+  (* warm-up, then interleave the arms and keep each arm's best time —
+     min-of-N suppresses scheduler and GC noise far below the per-run
+     variance *)
+  let on = ref Float.infinity and off = ref Float.infinity in
+  for _ = 1 to 4 do
+    Obs.Metrics.set_enabled true;
+    on := Float.min !on (timed ());
+    Obs.Metrics.set_enabled false;
+    off := Float.min !off (timed ())
+  done;
+  Obs.Metrics.set_enabled true;
+  Printf.printf "enabled: %.3f s   disabled: %.3f s   delta: %+.1f%%\n\n" !on !off
+    (if !off > 0.0 then 100.0 *. (!on -. !off) /. !off else 0.0)
 
 let print_network_figures () =
   (* Figures 3 and 16 of the paper are network diagrams; emit the same
@@ -193,12 +239,13 @@ let print_ext_update_mix () =
   List.iter
     (fun mix ->
       let results =
-        Workload.Driver.run_all ~r2_update_fraction:mix ~model:Model.Model2 ~params ()
+        Workload.Driver.run_all ~seed:!the_seed ~r2_update_fraction:mix ~model:Model.Model2
+          ~params ()
       in
       (* The statically optimized network: shape chosen per the update
          profile (Section 8's "statistics on relative update frequency"). *)
       let opt =
-        Workload.Driver.run_strategy
+        Workload.Driver.run_strategy ~seed:!the_seed
           ~rvm_shape:(`Auto [ ("R1", 1.0 -. mix); ("R2", mix) ])
           ~r2_update_fraction:mix ~model:Model.Model2 ~params Strategy.Update_cache_rvm
       in
@@ -362,14 +409,14 @@ let print_ext_treat () =
   List.iter
     (fun mix ->
       let avm =
-        Workload.Driver.run_strategy ~r2_update_fraction:mix ~model:Model.Model2 ~params
-          Strategy.Update_cache_avm
+        Workload.Driver.run_strategy ~seed:!the_seed ~r2_update_fraction:mix
+          ~model:Model.Model2 ~params Strategy.Update_cache_avm
       in
       let rvm =
-        Workload.Driver.run_strategy ~r2_update_fraction:mix ~model:Model.Model2 ~params
-          Strategy.Update_cache_rvm
+        Workload.Driver.run_strategy ~seed:!the_seed ~r2_update_fraction:mix
+          ~model:Model.Model2 ~params Strategy.Update_cache_rvm
       in
-      let treat_ms, treat_ok = run_treat ~model:Model.Model2 ~params ~mix ~seed:42 in
+      let treat_ms, treat_ok = run_treat ~model:Model.Model2 ~params ~mix ~seed:!the_seed in
       Util.Ascii_table.add_row table
         [
           Printf.sprintf "%.2f" mix;
@@ -416,7 +463,8 @@ let print_ext_latency () =
           Printf.sprintf "%.0f" s.Util.Stats.max;
           (if update_ms = [] then "-" else Printf.sprintf "%.0f" (Util.Stats.mean update_ms));
         ])
-    (Workload.Driver.run_all ~check_consistency:false ~model:Model.Model1 ~params ());
+    (Workload.Driver.run_all ~seed:!the_seed ~check_consistency:false ~model:Model.Model1
+       ~params ());
   Util.Ascii_table.print table;
   print_newline ()
 
@@ -454,7 +502,7 @@ let print_ext_nway () =
       n2 = 10.0;
     }
   in
-  let results = Workload.Nway.sweep ~max_length:6 ~params () in
+  let results = Workload.Nway.sweep ~seed:!the_seed ~max_length:6 ~params () in
   let table =
     Util.Ascii_table.create
       ~header:
@@ -530,7 +578,8 @@ let print_ext_adaptive () =
     (fun p ->
       let params = Params.with_update_probability params p in
       let fixed =
-        Workload.Driver.run_all ~check_consistency:false ~model:Model.Model1 ~params ()
+        Workload.Driver.run_all ~seed:!the_seed ~check_consistency:false ~model:Model.Model1
+          ~params ()
       in
       let best =
         List.fold_left
@@ -540,7 +589,9 @@ let print_ext_adaptive () =
             | _ -> Some (Strategy.short_name r.strategy, r.measured_ms_per_query))
           None fixed
       in
-      let adaptive_ms, switches, ok = run_adaptive ~model:Model.Model1 ~params ~seed:42 in
+      let adaptive_ms, switches, ok =
+        run_adaptive ~model:Model.Model1 ~params ~seed:!the_seed
+      in
       let best_name, best_ms = Option.get best in
       Util.Ascii_table.add_row table
         [
@@ -714,6 +765,19 @@ let () =
     | "--no-sim" :: rest -> parse quota bechamel false csv ids rest
     | "--quota" :: v :: rest -> parse (float_of_string v) bechamel sim csv ids rest
     | "--csv" :: dir :: rest -> parse quota bechamel sim (Some dir) ids rest
+    | "--seed" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some s -> the_seed := s
+      | None ->
+        Printf.eprintf "bench: --seed expects an integer, got %S\n" v;
+        exit 2);
+      parse quota bechamel sim csv ids rest
+    | "--json" :: path :: rest ->
+      json_out := Some path;
+      parse quota bechamel sim csv ids rest
+    | [ (("--seed" | "--json") as flag) ] ->
+      Printf.eprintf "bench: %s requires a value\n" flag;
+      exit 2
     | id :: rest -> parse quota bechamel sim csv (id :: ids) rest
   in
   let quota, bechamel, sim, csv, ids = parse 0.3 true true None [] args in
@@ -732,40 +796,64 @@ let () =
   in
   List.iter
     (fun fig ->
-      print_string (Figures.render fig);
-      print_newline ();
-      print_newline ())
+      record fig.Figures.id (fun () ->
+          print_string (Figures.render fig);
+          print_newline ();
+          print_newline ()))
     selected;
   if ids = [] || List.mem "fig18" ids then print_crossovers ();
   if List.mem "fig3-network" ids || List.mem "fig16-network" ids then print_network_figures ();
   if sim then begin
     let base = Workload.Driver.default_sim_params in
-    if ids = [] || List.mem "sim-model1" ids then print_sim_comparison ~model:Model.Model1 ();
-    if ids = [] || List.mem "sim-model2" ids then print_sim_comparison ~model:Model.Model2 ();
+    if ids = [] || List.mem "sim-model1" ids then
+      record "sim-model1" (fun () -> print_sim_comparison ~model:Model.Model1 ());
+    if ids = [] || List.mem "sim-model2" ids then
+      record "sim-model2" (fun () -> print_sim_comparison ~model:Model.Model2 ());
     if ids = [] || List.mem "sim-fig4" ids then
-      print_sim_comparison ~label:"fig4" ~params:{ base with Params.c_inval = 60.0 }
-        ~model:Model.Model1 ();
+      record "sim-fig4" (fun () ->
+          print_sim_comparison ~label:"fig4" ~params:{ base with Params.c_inval = 60.0 }
+            ~model:Model.Model1 ());
     if ids = [] || List.mem "sim-fig6" ids then
-      print_sim_comparison ~label:"fig6" ~params:{ base with Params.f = 0.01 }
-        ~model:Model.Model1 ();
+      record "sim-fig6" (fun () ->
+          print_sim_comparison ~label:"fig6" ~params:{ base with Params.f = 0.01 }
+            ~model:Model.Model1 ());
     if ids = [] || List.mem "sim-fig7" ids then
-      print_sim_comparison ~label:"fig7" ~params:{ base with Params.f = 0.0005 }
-        ~model:Model.Model1 ();
+      record "sim-fig7" (fun () ->
+          print_sim_comparison ~label:"fig7" ~params:{ base with Params.f = 0.0005 }
+            ~model:Model.Model1 ());
     if ids = [] || List.mem "sim-fig9" ids then
-      print_sim_comparison ~label:"fig9" ~params:{ base with Params.z = 0.05 }
-        ~model:Model.Model1 ();
+      record "sim-fig9" (fun () ->
+          print_sim_comparison ~label:"fig9" ~params:{ base with Params.z = 0.05 }
+            ~model:Model.Model1 ());
     if ids = [] then begin
       print_ablation_buffer ();
       print_ablation_yao ();
       print_ablation_rete_shape ()
     end;
-    if ids = [] || List.mem "ext-update-mix" ids then print_ext_update_mix ();
-    if ids = [] || List.mem "ext-wal" ids then print_ext_wal ();
-    if ids = [] || List.mem "ext-aggregates" ids then print_ext_aggregates ();
-    if ids = [] || List.mem "ext-adaptive" ids then print_ext_adaptive ();
-    if ids = [] || List.mem "ext-nway" ids then print_ext_nway ();
-    if ids = [] || List.mem "ext-sensitivity" ids then print_ext_sensitivity ();
-    if ids = [] || List.mem "ext-latency" ids then print_ext_latency ();
-    if ids = [] || List.mem "ext-treat" ids then print_ext_treat ()
+    if ids = [] || List.mem "ablation-obs" ids then print_ablation_obs_overhead ();
+    if ids = [] || List.mem "ext-update-mix" ids then
+      record "ext-update-mix" print_ext_update_mix;
+    if ids = [] || List.mem "ext-wal" ids then record "ext-wal" print_ext_wal;
+    if ids = [] || List.mem "ext-aggregates" ids then
+      record "ext-aggregates" print_ext_aggregates;
+    if ids = [] || List.mem "ext-adaptive" ids then record "ext-adaptive" print_ext_adaptive;
+    if ids = [] || List.mem "ext-nway" ids then record "ext-nway" print_ext_nway;
+    if ids = [] || List.mem "ext-sensitivity" ids then
+      record "ext-sensitivity" print_ext_sensitivity;
+    if ids = [] || List.mem "ext-latency" ids then record "ext-latency" print_ext_latency;
+    if ids = [] || List.mem "ext-treat" ids then record "ext-treat" print_ext_treat
   end;
+  (match !json_out with
+  | Some path ->
+    let doc =
+      Obs.Export.Obj
+        [
+          ("schema_version", Obs.Export.Int 1);
+          ("seed", Obs.Export.Int !the_seed);
+          ("experiments", Obs.Export.Obj (List.rev !experiments));
+        ]
+    in
+    Obs.Export.write_file path (Obs.Export.to_string doc);
+    Printf.printf "wrote %s\n" path
+  | None -> ());
   if bechamel then run_bechamel ~quota ids

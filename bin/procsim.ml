@@ -223,6 +223,131 @@ let anchors_cmd =
     (Cmd.info "anchors" ~doc:"Print the paper's headline quantitative anchors.")
     Term.(const run $ const ())
 
+(* ---------------------------------------------------------------- stats *)
+
+let stats_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.") in
+  let scale =
+    Arg.(
+      value & opt float 10.0
+      & info [ "scale" ] ~docv:"X" ~doc:"Scale-down factor applied to N, N1, N2, q, k.")
+  in
+  let spans =
+    Arg.(
+      value & opt int 12
+      & info [ "spans" ] ~docv:"N" ~doc:"Number of trailing root spans to render.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the observability snapshot as JSON.")
+  in
+  let run model params strategy seed scale spans json =
+    let strategy = Option.value strategy ~default:Strategy.Update_cache_rvm in
+    let params = Workload.Driver.scale_params params ~factor:scale in
+    Obs.Trace.set_enabled true;
+    Fun.protect ~finally:(fun () -> Obs.Trace.set_enabled false) @@ fun () ->
+    let r = Workload.Driver.run_strategy ~seed ~model ~params strategy in
+    Format.printf "%a@.@." Workload.Driver.pp_result r;
+    let counters =
+      Util.Ascii_table.create ~aligns:[ Util.Ascii_table.Left ] ~header:[ "counter"; "value" ] ()
+    in
+    let zeros = ref 0 in
+    List.iter
+      (fun (k, v) ->
+        if v = 0 then incr zeros
+        else Util.Ascii_table.add_row counters [ k; string_of_int v ])
+      (Obs.Metrics.counters ());
+    List.iter
+      (fun (k, v) -> Util.Ascii_table.add_row counters [ k ^ " (gauge)"; string_of_int v ])
+      (Obs.Metrics.gauges ());
+    Util.Ascii_table.print counters;
+    if !zeros > 0 then Printf.printf "(%d zero counters omitted)\n" !zeros;
+    print_newline ();
+    let hists =
+      Util.Ascii_table.create ~aligns:[ Util.Ascii_table.Left ]
+        ~header:[ "histogram"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ] ()
+    in
+    List.iter
+      (fun (name, h) ->
+        if Obs.Histogram.count h > 0 then
+          Util.Ascii_table.add_row hists
+            [
+              name;
+              string_of_int (Obs.Histogram.count h);
+              Printf.sprintf "%.1f" (Obs.Histogram.mean h);
+              Printf.sprintf "%.0f" (Obs.Histogram.quantile h 0.5);
+              Printf.sprintf "%.0f" (Obs.Histogram.quantile h 0.9);
+              Printf.sprintf "%.0f" (Obs.Histogram.quantile h 0.99);
+              Printf.sprintf "%.0f" (Obs.Histogram.max_value h);
+            ])
+      (Obs.Histogram.all_named ());
+    Util.Ascii_table.print hists;
+    print_newline ();
+    Printf.printf "last %d root spans (simulated ms):\n" spans;
+    print_string (Obs.Trace.render ~limit:spans ());
+    match json with
+    | None -> ()
+    | Some path ->
+      Obs.Export.write_file path
+        (Obs.Export.to_string
+           (Obs.Export.snapshot
+              ~extra:
+                [
+                  ("strategy", Obs.Export.String (Strategy.short_name strategy));
+                  ("seed", Obs.Export.Int seed);
+                ]
+              ()));
+      Printf.printf "\nwrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the workload under one strategy (default rvm) with tracing on, then print the \
+          engine's counters, gauges, latency histograms and a span tree of the most recent \
+          procedure accesses and update propagations.")
+    Term.(const run $ model_term $ params_term $ strategy_term $ seed $ scale $ spans $ json)
+
+(* ----------------------------------------------------------- json-check *)
+
+let json_check_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"JSON file produced by bench --json or stats --json.")
+  in
+  let run file =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Obs.Export.parse text with
+    | Error msg -> `Error (false, Printf.sprintf "%s: invalid JSON: %s" file msg)
+    | Ok doc ->
+      let summary =
+        (* bench documents carry schema_version/experiments; a bare stats
+           snapshot carries counters directly.  Accept both. *)
+        match (Obs.Export.member "experiments" doc, Obs.Export.member "counters" doc) with
+        | Some (Obs.Export.Obj []), _ -> Error "\"experiments\" is empty"
+        | Some (Obs.Export.Obj fields), _ ->
+          Ok
+            (Printf.sprintf "%d experiments (%s)" (List.length fields)
+               (String.concat ", " (List.map fst fields)))
+        | Some _, _ -> Error "\"experiments\" is not an object"
+        | None, Some (Obs.Export.Obj fields) ->
+          Ok (Printf.sprintf "snapshot with %d counters" (List.length fields))
+        | None, _ -> Error "neither \"experiments\" nor \"counters\" present"
+      in
+      (match summary with
+      | Ok s ->
+        Printf.printf "%s: ok — %s\n" file s;
+        `Ok ()
+      | Error why -> `Error (false, Printf.sprintf "%s: %s" file why))
+  in
+  Cmd.v
+    (Cmd.info "json-check"
+       ~doc:"Parse and validate an observability JSON file; exits nonzero if malformed.")
+    Term.(ret (const run $ file))
+
 (* ---------------------------------------------------------- shell / run *)
 
 let shell_cmd =
@@ -287,6 +412,8 @@ let () =
             advise_cmd;
             params_cmd;
             sensitivity_cmd;
+            stats_cmd;
+            json_check_cmd;
             anchors_cmd;
             shell_cmd;
             run_cmd;

@@ -89,6 +89,8 @@ let apply_view_level_delta t ~view_inserts ~view_deletes =
   List.iter2 (fun tuple rid -> track_insert t tuple rid) view_inserts new_rids
 
 let recompute_refresh t =
+  if Io.counting (io t) then
+    Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.View_refreshes;
   let fresh = Executor.run t.plan in
   Tuple_tbl.reset t.rids;
   Heap_file.rewrite t.store fresh;

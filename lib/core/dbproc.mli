@@ -21,19 +21,21 @@
     - {!Util} — Yao function, PRNG, locality model, statistics, rendering.
     - {!Storage} — cost accounting, simulated disk I/O, heap files.
     - {!Index} — page-based B+-tree and static hash index.
-    - {!Relation} — values, schemas, tuples, predicates, relations, catalog.
+    - {!Relation_} — values, schemas, tuples, predicates, relations,
+      catalog (also included at the top level).
     - {!Query} — view definitions, plans, executor, planner.
     - {!Avm} — algebraic (non-shared) differential view maintenance.
     - {!Rete} — the Rete network (shared view maintenance).
     - {!Proc} — database procedures: i-locks, result caches, the strategy
       manager.
+    - {!Lang} — the tiny definition/query language and its interpreter.
     - {!Costmodel} — the paper's closed-form model, every figure.
     - {!Workload} — synthetic database, update/access workloads, the
       measurement driver.
     - {!Obs} — engine-wide observability: counters, latency histograms,
       span tracing, JSON/CSV export. *)
 
-module Util = struct
+module Util : sig
   module Yao = Dbproc_util.Yao
   module Prng = Dbproc_util.Prng
   module Interval_index = Dbproc_util.Interval_index
@@ -43,19 +45,19 @@ module Util = struct
   module Ascii_chart = Dbproc_util.Ascii_chart
 end
 
-module Storage = struct
+module Storage : sig
   module Cost = Dbproc_storage.Cost
   module Io = Dbproc_storage.Io
   module Heap_file = Dbproc_storage.Heap_file
   module Wal = Dbproc_storage.Wal
 end
 
-module Index = struct
+module Index : sig
   module Btree = Dbproc_index.Btree
   module Hash_index = Dbproc_index.Hash_index
 end
 
-module Relation_ = struct
+module Relation_ : sig
   module Value = Dbproc_relation.Value
   module Schema = Dbproc_relation.Schema
   module Tuple = Dbproc_relation.Tuple
@@ -64,9 +66,14 @@ module Relation_ = struct
   module Catalog = Dbproc_relation.Catalog
 end
 
-include Relation_
+module Value = Dbproc_relation.Value
+module Schema = Dbproc_relation.Schema
+module Tuple = Dbproc_relation.Tuple
+module Predicate = Dbproc_relation.Predicate
+module Relation = Dbproc_relation.Relation
+module Catalog = Dbproc_relation.Catalog
 
-module Query = struct
+module Query : sig
   module View_def = Dbproc_query.View_def
   module Plan = Dbproc_query.Plan
   module Executor = Dbproc_query.Executor
@@ -74,12 +81,12 @@ module Query = struct
   module Explain = Dbproc_query.Explain
 end
 
-module Avm = struct
+module Avm : sig
   module Materialized_view = Dbproc_avm.Materialized_view
   module Aggregate_view = Dbproc_avm.Aggregate_view
 end
 
-module Rete = struct
+module Rete : sig
   module Memory = Dbproc_rete.Memory
   module Network = Dbproc_rete.Network
   module Builder = Dbproc_rete.Builder
@@ -87,7 +94,7 @@ module Rete = struct
   module Treat = Dbproc_rete.Treat
 end
 
-module Proc = struct
+module Proc : sig
   module Ilock = Dbproc_proc.Ilock
   module Result_cache = Dbproc_proc.Result_cache
   module Inval_table = Dbproc_proc.Inval_table
@@ -96,14 +103,14 @@ module Proc = struct
   module Adaptive = Dbproc_proc.Adaptive
 end
 
-module Lang = struct
+module Lang : sig
   module Ast = Dbproc_lang.Ast
   module Lexer = Dbproc_lang.Lexer
   module Parser = Dbproc_lang.Parser
   module Interp = Dbproc_lang.Interp
 end
 
-module Costmodel = struct
+module Costmodel : sig
   module Params = Dbproc_costmodel.Params
   module Strategy = Dbproc_costmodel.Strategy
   module Model = Dbproc_costmodel.Model
@@ -113,13 +120,13 @@ module Costmodel = struct
   module Nway_model = Dbproc_costmodel.Nway_model
 end
 
-module Workload = struct
+module Workload : sig
   module Database = Dbproc_workload.Database
   module Driver = Dbproc_workload.Driver
   module Nway = Dbproc_workload.Nway
 end
 
-module Obs = struct
+module Obs : sig
   module Metrics = Dbproc_obs.Metrics
   module Histogram = Dbproc_obs.Histogram
   module Trace = Dbproc_obs.Trace

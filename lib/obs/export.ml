@@ -1,0 +1,298 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+(* ------------------------------------------------------------- printing *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let float_literal f =
+  (* JSON has no nan/inf literals *)
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else begin
+    let s = Printf.sprintf "%.12g" f in
+    (* make sure the literal reads back as a float, not an int *)
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+  end
+
+let rec write buf indent j =
+  let pad n = String.make n ' ' in
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_literal f)
+  | String s -> Buffer.add_string buf (escape_string s)
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        write buf (indent + 2) item)
+      items;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf ": ";
+        write buf (indent + 2) v)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 1024 in
+  write buf 0 j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* -------------------------------------------------------------- parsing *)
+
+exception Parse_error of string
+
+let parse_exn text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub text !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else begin
+        let c = text.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' ->
+          (if !pos >= n then fail "unterminated escape"
+           else begin
+             let e = text.[!pos] in
+             advance ();
+             match e with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'u' ->
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let hex = String.sub text !pos 4 in
+               pos := !pos + 4;
+               let code =
+                 try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+               in
+               (* keep it simple: code points below 128 verbatim, the rest
+                  as '?' — snapshots are ASCII *)
+               Buffer.add_char buf (if code < 128 then Char.chr code else '?')
+             | _ -> fail "unknown escape"
+           end);
+          loop ()
+        | c -> Buffer.add_char buf c; loop ()
+      end
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let s = String.sub text start (!pos - start) in
+    if s = "" then fail "expected number";
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt s with Some f -> Float f | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        List (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse text =
+  match parse_exn text with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------ accessors *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+(* ------------------------------------------------------------ snapshots *)
+
+let histogram_json h =
+  let stat f = if Histogram.count h = 0 then Int 0 else Float (f h) in
+  Obj
+    [
+      ("count", Int (Histogram.count h));
+      ("sum", stat Histogram.sum);
+      ("min", stat Histogram.min_value);
+      ("max", stat Histogram.max_value);
+      ("mean", stat Histogram.mean);
+      ("p50", stat (fun h -> Histogram.quantile h 0.5));
+      ("p90", stat (fun h -> Histogram.quantile h 0.9));
+      ("p99", stat (fun h -> Histogram.quantile h 0.99));
+    ]
+
+let counters_json () = Obj (List.map (fun (k, v) -> (k, Int v)) (Metrics.counters ()))
+let gauges_json () = Obj (List.map (fun (k, v) -> (k, Int v)) (Metrics.gauges ()))
+
+let histograms_json () =
+  Obj
+    (List.map
+       (fun (name, h) -> (name, histogram_json h))
+       (List.sort (fun (a, _) (b, _) -> compare a b) (Histogram.all_named ())))
+
+let snapshot ?(extra = []) () =
+  Obj
+    (extra
+    @ [
+        ("counters", counters_json ());
+        ("gauges", gauges_json ());
+        ("histograms", histograms_json ());
+      ])
+
+(* ------------------------------------------------------------------ CSV *)
+
+let counters_csv () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "counter,value\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s,%d\n" k v))
+    (Metrics.counters () @ Metrics.gauges ());
+  Buffer.contents buf
+
+let histograms_csv () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "histogram,count,sum,min,max,mean,p50,p90,p99\n";
+  List.iter
+    (fun (name, h) ->
+      if Histogram.count h > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%s,%d,%g,%g,%g,%g,%g,%g,%g\n" name (Histogram.count h)
+             (Histogram.sum h) (Histogram.min_value h) (Histogram.max_value h)
+             (Histogram.mean h)
+             (Histogram.quantile h 0.5)
+             (Histogram.quantile h 0.9)
+             (Histogram.quantile h 0.99)))
+    (List.sort (fun (a, _) (b, _) -> compare a b) (Histogram.all_named ()));
+  Buffer.contents buf
+
+let write_file path contents = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents)

@@ -1,0 +1,114 @@
+(* Fixed log2-bucket histograms.  Bucket [i] (for 1 <= i <= 54) holds
+   values in [2^(i-11), 2^(i-10)): boundaries run from 2^-10 up to 2^43,
+   covering sub-microsecond charges through multi-year totals when the
+   unit is a millisecond.  Bucket 0 catches v <= 0 or v < 2^-10; bucket 55
+   catches overflow.  Quantiles are nearest-rank over buckets, reported as
+   the bucket's lower boundary clamped to the observed [min, max] — exact
+   whenever samples sit on bucket boundaries. *)
+
+let n_buckets = 56
+let underflow = 0
+let overflow = n_buckets - 1
+
+type t = {
+  name : string;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : int array;
+}
+
+let create ?(name = "") () =
+  {
+    name;
+    count = 0;
+    sum = 0.0;
+    min_v = Float.infinity;
+    max_v = Float.neg_infinity;
+    buckets = Array.make n_buckets 0;
+  }
+
+let name t = t.name
+
+let bucket_index v =
+  if v <= 0.0 || Float.is_nan v then underflow
+  else begin
+    (* frexp v = (m, e) with v = m * 2^e and m in [0.5, 1), so
+       v in [2^(e-1), 2^e); the bucket with lower bound 2^(e-1) is e+10. *)
+    let _, e = Float.frexp v in
+    let i = e + 10 in
+    if i < 1 then underflow else if i > overflow - 1 then overflow else i
+  end
+
+let bucket_lower_bound i =
+  if i = underflow then 0.0 else Float.ldexp 1.0 (i - 11)
+
+let bucket_upper_bound i =
+  if i >= overflow then Float.infinity else Float.ldexp 1.0 (i - 10)
+
+let observe t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  let i = bucket_index v in
+  t.buckets.(i) <- t.buckets.(i) + 1
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then Float.nan else t.min_v
+let max_value t = if t.count = 0 then Float.nan else t.max_v
+let mean t = if t.count = 0 then Float.nan else t.sum /. float_of_int t.count
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile";
+  if t.count = 0 then Float.nan
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.count))) in
+    let rec walk i cum =
+      if i >= n_buckets then t.max_v
+      else begin
+        let cum = cum + t.buckets.(i) in
+        if cum >= rank then Float.min t.max_v (Float.max t.min_v (bucket_lower_bound i))
+        else walk (i + 1) cum
+      end
+    in
+    walk 0 0
+  end
+
+let buckets t =
+  let out = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then
+      out := (bucket_lower_bound i, bucket_upper_bound i, t.buckets.(i)) :: !out
+  done;
+  !out
+
+let reset t =
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.min_v <- Float.infinity;
+  t.max_v <- Float.neg_infinity;
+  Array.fill t.buckets 0 n_buckets 0
+
+(* ------------------------------------------------------- named registry *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref [] (* reversed creation order *)
+
+let named name =
+  match Hashtbl.find_opt registry name with
+  | Some h -> h
+  | None ->
+    let h = create ~name () in
+    Hashtbl.replace registry name h;
+    order := name :: !order;
+    h
+
+let all_named () =
+  List.rev_map (fun name -> (name, Hashtbl.find registry name)) !order
+
+let reset_all () =
+  Hashtbl.reset registry;
+  order := []

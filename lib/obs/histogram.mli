@@ -1,0 +1,56 @@
+(** Fixed-bucket log-scale histograms with quantiles.
+
+    Buckets are powers of two: bucket [i] (1 <= i <= 54) holds values in
+    [[2^(i-11), 2^(i-10))], with an underflow bucket for [v <= 0] (or below
+    [2^-10]) and an overflow bucket above [2^43].  [observe] is
+    allocation-free apart from [Float.frexp]'s result.
+
+    Quantiles are nearest-rank over the buckets and return the containing
+    bucket's lower boundary clamped to the observed [min]/[max] — exact when
+    the samples sit on bucket boundaries (powers of two), otherwise a lower
+    bound within one bucket (a factor of two) of the true quantile. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+(** A standalone histogram, not in the named registry. *)
+
+val name : t -> string
+val observe : t -> float -> unit
+val count : t -> int
+
+val sum : t -> float
+(** Exact sum of every observed value (not bucket-approximated). *)
+
+val min_value : t -> float
+(** NaN while empty, as are {!max_value}, {!mean} and {!quantile}. *)
+
+val max_value : t -> float
+val mean : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1]; [quantile t 0.5] is the median. *)
+
+val buckets : t -> (float * float * int) list
+(** Non-empty buckets as [(lower, upper, count)], ascending. *)
+
+val reset : t -> unit
+
+(** {2 Named registry}
+
+    Global get-or-create registry used by the engine's instrumentation
+    (e.g. the workload driver's per-strategy latency histograms) and
+    snapshotted by {!Export}. *)
+
+val named : string -> t
+val all_named : unit -> (string * t) list
+(** In creation order. *)
+
+val reset_all : unit -> unit
+(** Drop every named histogram. *)
+
+(**/**)
+
+val bucket_index : float -> int
+val bucket_lower_bound : int -> float
+val bucket_upper_bound : int -> float

@@ -1,0 +1,151 @@
+type counter =
+  | Pages_read
+  | Pages_written
+  | Predicate_screens
+  | Delta_set_ops
+  | Invalidations
+  | Tuples_scanned
+  | Plans_executed
+  | Buffer_hits
+  | Buffer_misses
+  | Heap_appends
+  | Wal_records_appended
+  | Wal_pages_forced
+  | Btree_searches
+  | Btree_inserts
+  | Btree_range_scans
+  | Hash_probes
+  | Hash_inserts
+  | Ilock_probes
+  | Ilock_subscriptions
+  | Cache_hits
+  | Cache_misses
+  | Rete_tokens
+  | Rete_join_activations
+  | View_refreshes
+  | Proc_accesses
+  | Proc_registrations
+  | Adaptive_switches
+
+let n_counters = 27
+
+(* The variant is the key into one flat int array: no hashing, no
+   allocation, no closures on the charging path. *)
+let index = function
+  | Pages_read -> 0
+  | Pages_written -> 1
+  | Predicate_screens -> 2
+  | Delta_set_ops -> 3
+  | Invalidations -> 4
+  | Tuples_scanned -> 5
+  | Plans_executed -> 6
+  | Buffer_hits -> 7
+  | Buffer_misses -> 8
+  | Heap_appends -> 9
+  | Wal_records_appended -> 10
+  | Wal_pages_forced -> 11
+  | Btree_searches -> 12
+  | Btree_inserts -> 13
+  | Btree_range_scans -> 14
+  | Hash_probes -> 15
+  | Hash_inserts -> 16
+  | Ilock_probes -> 17
+  | Ilock_subscriptions -> 18
+  | Cache_hits -> 19
+  | Cache_misses -> 20
+  | Rete_tokens -> 21
+  | Rete_join_activations -> 22
+  | View_refreshes -> 23
+  | Proc_accesses -> 24
+  | Proc_registrations -> 25
+  | Adaptive_switches -> 26
+
+let counter_name = function
+  | Pages_read -> "pages_read"
+  | Pages_written -> "pages_written"
+  | Predicate_screens -> "predicate_screens"
+  | Delta_set_ops -> "delta_set_ops"
+  | Invalidations -> "invalidations"
+  | Tuples_scanned -> "tuples_scanned"
+  | Plans_executed -> "plans_executed"
+  | Buffer_hits -> "buffer_hits"
+  | Buffer_misses -> "buffer_misses"
+  | Heap_appends -> "heap_appends"
+  | Wal_records_appended -> "wal_records_appended"
+  | Wal_pages_forced -> "wal_pages_forced"
+  | Btree_searches -> "btree_searches"
+  | Btree_inserts -> "btree_inserts"
+  | Btree_range_scans -> "btree_range_scans"
+  | Hash_probes -> "hash_probes"
+  | Hash_inserts -> "hash_inserts"
+  | Ilock_probes -> "ilock_probes"
+  | Ilock_subscriptions -> "ilock_subscriptions"
+  | Cache_hits -> "cache_hits"
+  | Cache_misses -> "cache_misses"
+  | Rete_tokens -> "rete_tokens"
+  | Rete_join_activations -> "rete_join_activations"
+  | View_refreshes -> "view_refreshes"
+  | Proc_accesses -> "proc_accesses"
+  | Proc_registrations -> "proc_registrations"
+  | Adaptive_switches -> "adaptive_switches"
+
+let all_counters =
+  [
+    Pages_read; Pages_written; Predicate_screens; Delta_set_ops; Invalidations;
+    Tuples_scanned; Plans_executed; Buffer_hits; Buffer_misses; Heap_appends;
+    Wal_records_appended; Wal_pages_forced; Btree_searches; Btree_inserts;
+    Btree_range_scans; Hash_probes; Hash_inserts; Ilock_probes;
+    Ilock_subscriptions; Cache_hits; Cache_misses; Rete_tokens;
+    Rete_join_activations; View_refreshes; Proc_accesses; Proc_registrations;
+    Adaptive_switches;
+  ]
+
+type gauge = Procedures_registered | Rete_memories | Buffer_pool_pages
+
+let n_gauges = 3
+
+let gauge_index = function
+  | Procedures_registered -> 0
+  | Rete_memories -> 1
+  | Buffer_pool_pages -> 2
+
+let gauge_name = function
+  | Procedures_registered -> "procedures_registered"
+  | Rete_memories -> "rete_memories"
+  | Buffer_pool_pages -> "buffer_pool_pages"
+
+let all_gauges = [ Procedures_registered; Rete_memories; Buffer_pool_pages ]
+
+let counter_cells = Array.make n_counters 0
+let gauge_cells = Array.make n_gauges 0
+let enabled_flag = ref true
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let incr ?(n = 1) c =
+  if !enabled_flag then begin
+    let i = index c in
+    Array.unsafe_set counter_cells i (Array.unsafe_get counter_cells i + n)
+  end
+
+let get c = counter_cells.(index c)
+
+let set_gauge g v = if !enabled_flag then gauge_cells.(gauge_index g) <- v
+
+let add_gauge ?(n = 1) g =
+  if !enabled_flag then begin
+    let i = gauge_index g in
+    gauge_cells.(i) <- gauge_cells.(i) + n
+  end
+
+let get_gauge g = gauge_cells.(gauge_index g)
+
+let counters () = List.map (fun c -> (counter_name c, get c)) all_counters
+let gauges () = List.map (fun g -> (gauge_name g, get_gauge g)) all_gauges
+
+let reset () = Array.fill counter_cells 0 n_counters 0
+
+let reset_all () =
+  reset ();
+  Array.fill gauge_cells 0 n_gauges 0

@@ -1,0 +1,81 @@
+(** Engine-wide monotonic counters and gauges.
+
+    One global, resettable registry.  Counters live in a flat [int array]
+    keyed by a constant-constructor variant, so charging one costs a bounds
+    check and an integer add — cheap enough to leave on during the sim-*
+    measurements (the bench's obs-overhead ablation verifies this).  The
+    registry deliberately mirrors {!Dbproc_storage.Cost}: every cost charge
+    on an active accounting bundle also bumps the matching counter here, so
+    priced work and observed work can be cross-checked
+    ([pages_read + pages_written = io_charge / C2]).
+
+    Counters that mirror priced charges ([Pages_read] … [Invalidations])
+    and the per-layer counters gated on {!Dbproc_storage.Io.counting} are
+    only incremented while cost accounting is active, so bulk loads and
+    consistency checks do not pollute a measured run. *)
+
+type counter =
+  | Pages_read  (** disk pages read (C2 each) *)
+  | Pages_written  (** disk pages written (C2 each) *)
+  | Predicate_screens  (** records screened against a predicate (C1 each) *)
+  | Delta_set_ops  (** A_net/D_net delta-set tuple operations (C3 each) *)
+  | Invalidations  (** cache invalidations recorded (C_inval each) *)
+  | Tuples_scanned  (** tuples pulled from storage by executor scans *)
+  | Plans_executed  (** full plan executions (recompute or refresh) *)
+  | Buffer_hits  (** LRU buffer-pool hits (buffered Io only) *)
+  | Buffer_misses  (** LRU buffer-pool misses *)
+  | Heap_appends  (** records appended to heap files *)
+  | Wal_records_appended  (** log records appended to a WAL *)
+  | Wal_pages_forced  (** WAL tail pages forced to disk *)
+  | Btree_searches  (** B+-tree point lookups *)
+  | Btree_inserts  (** B+-tree insertions *)
+  | Btree_range_scans  (** B+-tree range scans started *)
+  | Hash_probes  (** hash-index point probes *)
+  | Hash_inserts  (** hash-index insertions *)
+  | Ilock_probes  (** i-lock candidate subscriptions screened *)
+  | Ilock_subscriptions  (** i-lock subscriptions installed *)
+  | Cache_hits  (** result-cache reads served from the stored value *)
+  | Cache_misses  (** result-cache reads that had to recompute *)
+  | Rete_tokens  (** tokens delivered to Rete memory nodes *)
+  | Rete_join_activations  (** Rete join-node activations *)
+  | View_refreshes  (** materialized views rebuilt by full recompute *)
+  | Proc_accesses  (** procedure accesses through a manager *)
+  | Proc_registrations  (** procedures registered with a manager *)
+  | Adaptive_switches  (** adaptive strategy switches *)
+
+val all_counters : counter list
+val counter_name : counter -> string
+
+type gauge =
+  | Procedures_registered  (** procedures currently registered *)
+  | Rete_memories  (** Rete memory nodes created *)
+  | Buffer_pool_pages  (** capacity of the last buffer pool created *)
+
+val all_gauges : gauge list
+val gauge_name : gauge -> string
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Turn the whole registry on or off.  When off, {!incr}, {!set_gauge} and
+    {!add_gauge} are no-ops — the disabled arm of the bench's overhead
+    ablation. *)
+
+val incr : ?n:int -> counter -> unit
+val get : counter -> int
+val set_gauge : gauge -> int -> unit
+val add_gauge : ?n:int -> gauge -> unit
+val get_gauge : gauge -> int
+
+val counters : unit -> (string * int) list
+(** All counters, in declaration order. *)
+
+val gauges : unit -> (string * int) list
+
+val reset : unit -> unit
+(** Zero every counter (gauges keep their values).  {!Dbproc_workload}'s
+    driver calls this at the start of every measured run, alongside
+    [Cost.reset], so the two stay in lock-step. *)
+
+val reset_all : unit -> unit
+(** Zero counters and gauges. *)

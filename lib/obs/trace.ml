@@ -1,0 +1,109 @@
+exception Unbalanced of string
+
+type span = {
+  name : string;
+  start_ms : float;
+  mutable stop_ms : float;
+  mutable children : span list; (* reversed while open, in-order once closed *)
+}
+
+let clock = ref (fun () -> 0.0)
+let set_clock f = clock := f
+let now_ms () = !clock ()
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+
+let capacity = ref 64
+let stack : span list ref = ref []
+let roots : span Queue.t = Queue.create ()
+
+let reset () =
+  stack := [];
+  Queue.clear roots
+
+let set_enabled b =
+  if b <> !enabled_flag then begin
+    (* Toggling mid-span would orphan the open stack; drop it. *)
+    stack := [];
+    enabled_flag := b
+  end
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity";
+  capacity := n;
+  while Queue.length roots > n do
+    ignore (Queue.pop roots)
+  done
+
+let open_depth () = List.length !stack
+
+let begin_span name =
+  if !enabled_flag then
+    stack := { name; start_ms = now_ms (); stop_ms = Float.nan; children = [] } :: !stack
+
+let end_span () =
+  if !enabled_flag then
+    match !stack with
+    | [] -> raise (Unbalanced "Trace.end_span: no span is open")
+    | span :: rest ->
+      span.stop_ms <- now_ms ();
+      span.children <- List.rev span.children;
+      stack := rest;
+      (match rest with
+      | parent :: _ -> parent.children <- span :: parent.children
+      | [] ->
+        Queue.push span roots;
+        if Queue.length roots > !capacity then ignore (Queue.pop roots))
+
+let with_span name f =
+  if not !enabled_flag then f ()
+  else begin
+    begin_span name;
+    match f () with
+    | v ->
+      end_span ();
+      v
+    | exception e ->
+      end_span ();
+      raise e
+  end
+
+(* Lazy-name variant so hot callers do not pay for sprintf while tracing
+   is off. *)
+let with_span_f namef f = if not !enabled_flag then f () else with_span (namef ()) f
+
+let root_spans () = List.of_seq (Queue.to_seq roots)
+
+let duration_ms s = s.stop_ms -. s.start_ms
+
+let render ?(limit = 20) () =
+  let taken =
+    let all = root_spans () in
+    let n = List.length all in
+    if n <= limit then all
+    else
+      (* keep the most recent [limit] roots *)
+      List.filteri (fun i _ -> i >= n - limit) all
+  in
+  if taken = [] then "(no spans recorded)\n"
+  else begin
+    let table =
+      Dbproc_util.Ascii_table.create
+        ~aligns:[ Dbproc_util.Ascii_table.Left ]
+        ~header:[ "span"; "start ms"; "end ms"; "ms" ]
+        ()
+    in
+    let rec add depth s =
+      Dbproc_util.Ascii_table.add_row table
+        [
+          String.make (2 * depth) ' ' ^ s.name;
+          Printf.sprintf "%.1f" s.start_ms;
+          Printf.sprintf "%.1f" s.stop_ms;
+          Printf.sprintf "%.1f" (duration_ms s);
+        ];
+      List.iter (add (depth + 1)) s.children
+    in
+    List.iter (add 0) taken;
+    Dbproc_util.Ascii_table.render table
+  end

@@ -1,0 +1,55 @@
+(** Lightweight span tracing over the simulated clock.
+
+    A span is a named interval with nested children.  Timestamps come from
+    a caller-installed clock — the workload driver installs
+    [fun () -> Cost.total_ms charges cost], so span durations are priced
+    simulated milliseconds, directly comparable to the paper's formulas.
+
+    Tracing is off by default and every entry point is a no-op while
+    disabled, so instrumented hot paths (procedure accesses, Rete
+    propagation) cost one flag test when not being observed.  Completed
+    root spans land in a bounded ring buffer; {!render} draws the most
+    recent ones as an ASCII tree. *)
+
+exception Unbalanced of string
+(** Raised by {!end_span} when no span is open. *)
+
+type span = {
+  name : string;
+  start_ms : float;
+  mutable stop_ms : float;
+  mutable children : span list;
+}
+
+val set_clock : (unit -> float) -> unit
+val now_ms : unit -> float
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Toggling discards any spans still open (they can no longer balance). *)
+
+val set_capacity : int -> unit
+(** Ring-buffer size for completed root spans (default 64). *)
+
+val reset : unit -> unit
+(** Drop all completed and open spans. *)
+
+val begin_span : string -> unit
+val end_span : unit -> unit
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Balanced even on exceptions. *)
+
+val with_span_f : (unit -> string) -> (unit -> 'a) -> 'a
+(** Like {!with_span} but the name is computed only if tracing is on. *)
+
+val open_depth : unit -> int
+val root_spans : unit -> span list
+(** Completed root spans, oldest first, at most the ring capacity. *)
+
+val duration_ms : span -> float
+
+val render : ?limit:int -> unit -> string
+(** The most recent [limit] (default 20) root spans as an indented ASCII
+    tree with start/end/duration columns. *)

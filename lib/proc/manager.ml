@@ -1,6 +1,8 @@
 open Dbproc_storage
 open Dbproc_relation
 open Dbproc_query
+module Metrics = Dbproc_obs.Metrics
+module Trace = Dbproc_obs.Trace
 
 type kind = Always_recompute | Cache_invalidate | Update_cache_avm | Update_cache_rvm
 
@@ -81,6 +83,8 @@ let register t (def : View_def.t) =
       Rvm built.result
   in
   t.entries <- (id, (def, entry)) :: t.entries;
+  Metrics.incr Metrics.Proc_registrations;
+  Metrics.add_gauge Metrics.Procedures_registered;
   id
 
 let find t id =
@@ -92,37 +96,63 @@ let def_of t id = fst (find t id)
 let proc_ids t = List.rev_map fst t.entries
 
 let access t id =
-  match snd (find t id) with
-  | Ar plan -> Executor.run plan
-  | Ci cache -> Result_cache.access cache
-  | Avm view -> Dbproc_avm.Materialized_view.read view
-  | Rvm node -> Dbproc_rete.Memory.read (Dbproc_rete.Network.memory node)
+  Metrics.incr Metrics.Proc_accesses;
+  Trace.with_span_f
+    (fun () -> Printf.sprintf "access p%d [%s]" id (kind_name t.kind))
+    (fun () ->
+      match snd (find t id) with
+      | Ar plan -> Trace.with_span "execute" (fun () -> Executor.run plan)
+      | Ci cache -> Result_cache.access cache
+      | Avm view ->
+        Trace.with_span "execute (read cache)" (fun () ->
+            Dbproc_avm.Materialized_view.read view)
+      | Rvm node ->
+        Trace.with_span "execute (read cache)" (fun () ->
+            Dbproc_rete.Memory.read (Dbproc_rete.Network.memory node)))
 
 let on_delta t ~rel ~inserted ~deleted =
   let news = inserted and olds = deleted in
   match t.kind with
   | Always_recompute -> ()
   | Cache_invalidate ->
-    Ilock.broken_by t.ilocks ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
-      ~charge_screens:false
-    |> List.iter (fun (b : Ilock.broken) ->
-           match snd (find t b.owner) with
-           | Ci cache -> Result_cache.invalidate cache
-           | _ -> assert false)
+    Trace.with_span_f
+      (fun () -> Printf.sprintf "update %s [ci]" (Relation.name rel))
+      (fun () ->
+        Trace.with_span "screen" (fun () ->
+            Ilock.broken_by t.ilocks ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
+              ~charge_screens:false)
+        |> List.iter (fun (b : Ilock.broken) ->
+               match snd (find t b.owner) with
+               | Ci cache ->
+                 Trace.with_span_f
+                   (fun () -> Printf.sprintf "invalidate p%d" b.owner)
+                   (fun () -> Result_cache.invalidate cache)
+               | _ -> assert false))
   | Update_cache_avm ->
-    Ilock.broken_by t.ilocks ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
-      ~charge_screens:true
-    |> List.iter (fun (b : Ilock.broken) ->
-           match snd (find t b.owner) with
-           | Avm view ->
-             Dbproc_avm.Materialized_view.apply_source_delta view ~source_index:b.tag
-               ~inserted:b.inserted ~deleted:b.deleted
-           | _ -> assert false)
+    Trace.with_span_f
+      (fun () -> Printf.sprintf "update %s [avm]" (Relation.name rel))
+      (fun () ->
+        Trace.with_span "screen" (fun () ->
+            Ilock.broken_by t.ilocks ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
+              ~charge_screens:true)
+        |> List.iter (fun (b : Ilock.broken) ->
+               match snd (find t b.owner) with
+               | Avm view ->
+                 Trace.with_span_f
+                   (fun () -> Printf.sprintf "maintain p%d" b.owner)
+                   (fun () ->
+                     Dbproc_avm.Materialized_view.apply_source_delta view
+                       ~source_index:b.tag ~inserted:b.inserted ~deleted:b.deleted)
+               | _ -> assert false))
   | Update_cache_rvm ->
     let builder = Option.get t.builder in
-    Dbproc_rete.Network.apply_delta
-      (Dbproc_rete.Builder.network builder)
-      ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
+    Trace.with_span_f
+      (fun () -> Printf.sprintf "update %s [rvm]" (Relation.name rel))
+      (fun () ->
+        Trace.with_span "maintain" (fun () ->
+            Dbproc_rete.Network.apply_delta
+              (Dbproc_rete.Builder.network builder)
+              ~rel:(Relation.name rel) ~inserted:news ~deleted:olds))
 
 let on_update t ~rel ~changes =
   on_delta t ~rel ~inserted:(List.map snd changes) ~deleted:(List.map fst changes)

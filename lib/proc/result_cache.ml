@@ -48,13 +48,19 @@ let invalidate t =
 
 let access t =
   t.accesses <- t.accesses + 1;
-  if t.valid then Heap_file.read_all t.store
+  if t.valid then begin
+    Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Cache_hits;
+    Dbproc_obs.Trace.with_span "execute (read cache)" (fun () ->
+        Heap_file.read_all t.store)
+  end
   else begin
     t.misses <- t.misses + 1;
-    let fresh = Executor.run t.plan in
-    Heap_file.rewrite t.store fresh;
-    t.valid <- true;
-    fresh
+    Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Cache_misses;
+    Dbproc_obs.Trace.with_span "recompute" (fun () ->
+        let fresh = Executor.run t.plan in
+        Heap_file.rewrite t.store fresh;
+        t.valid <- true;
+        fresh)
   end
 
 let accesses t = t.accesses

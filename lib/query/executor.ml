@@ -3,6 +3,9 @@ open Dbproc_relation
 
 let charge_screen io = Cost.cpu_screen (Io.cost io)
 
+let note_scanned io =
+  if Io.counting io then Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Tuples_scanned
+
 let run_access (plan : Plan.t) =
   let rel = plan.base_rel in
   let io = Relation.io rel in
@@ -10,6 +13,7 @@ let run_access (plan : Plan.t) =
   | Plan.Full_scan { residual } ->
     let out = ref [] in
     Relation.scan rel ~f:(fun _rid tuple ->
+        note_scanned io;
         charge_screen io;
         if Predicate.eval residual tuple then out := tuple :: !out);
     List.rev !out
@@ -30,6 +34,7 @@ let run_access (plan : Plan.t) =
       List.iter
         (fun rid ->
           let tuple = Relation.get rel rid in
+          note_scanned io;
           charge_screen io;
           if Predicate.eval residual tuple then out := tuple :: !out)
         (List.rev !rids);
@@ -58,6 +63,7 @@ let run_probe (probe : Plan.join_probe) outer_tuples =
         let key = Tuple.get outer probe.outer_attr in
         let out = ref [] in
         Relation.scan probe.probe_rel ~f:(fun _rid inner ->
+            note_scanned io;
             charge_screen io;
             if
               Predicate.eval_op probe.op key (Tuple.get inner probe_pos)
@@ -80,6 +86,7 @@ let run_base (plan : Plan.t) =
 
 let run (plan : Plan.t) =
   let io = Relation.io plan.base_rel in
+  if Io.counting io then Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Plans_executed;
   Io.with_touch_dedup io (fun () ->
       let base = run_access plan in
       List.fold_left (fun acc p -> run_probe p acc) base plan.probes)

@@ -35,6 +35,7 @@ let create ~io ~record_bytes ~name () =
   }
 
 let name t = t.name
+let io t = Heap_file.io t.store
 let cardinality t = Tuple_tbl.fold (fun _ c acc -> acc + c) t.counts 0
 let page_count t = Heap_file.page_count t.store
 let read t = Heap_file.read_all t.store

@@ -22,6 +22,7 @@ type t
 
 val create : io:Dbproc_storage.Io.t -> record_bytes:int -> name:string -> unit -> t
 val name : t -> string
+val io : t -> Dbproc_storage.Io.t
 
 val cardinality : t -> int
 val page_count : t -> int

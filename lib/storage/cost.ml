@@ -43,13 +43,42 @@ let with_disabled t f =
 
 let active t = t.disabled_depth = 0
 
-let page_read ?(count = 1) t = if active t then t.page_reads <- t.page_reads + count
-let page_write ?(count = 1) t = if active t then t.page_writes <- t.page_writes + count
-let cpu_screen ?(count = 1) t = if active t then t.cpu_screens <- t.cpu_screens + count
-let delta_op ?(count = 1) t = if active t then t.delta_ops <- t.delta_ops + count
+(* Each charge mirrors into the global Obs counters under the same
+   [active] gate, so observability totals agree exactly with the cost
+   model's (bulk loads and consistency checks run cost-disabled and stay
+   invisible to both). *)
+
+module Metrics = Dbproc_obs.Metrics
+
+let page_read ?(count = 1) t =
+  if active t then begin
+    t.page_reads <- t.page_reads + count;
+    Metrics.incr ~n:count Metrics.Pages_read
+  end
+
+let page_write ?(count = 1) t =
+  if active t then begin
+    t.page_writes <- t.page_writes + count;
+    Metrics.incr ~n:count Metrics.Pages_written
+  end
+
+let cpu_screen ?(count = 1) t =
+  if active t then begin
+    t.cpu_screens <- t.cpu_screens + count;
+    Metrics.incr ~n:count Metrics.Predicate_screens
+  end
+
+let delta_op ?(count = 1) t =
+  if active t then begin
+    t.delta_ops <- t.delta_ops + count;
+    Metrics.incr ~n:count Metrics.Delta_set_ops
+  end
 
 let invalidation ?(count = 1) t =
-  if active t then t.invalidations <- t.invalidations + count
+  if active t then begin
+    t.invalidations <- t.invalidations + count;
+    Metrics.incr ~n:count Metrics.Invalidations
+  end
 
 let page_reads t = t.page_reads
 let page_writes t = t.page_writes

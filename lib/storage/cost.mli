@@ -34,6 +34,11 @@ val with_disabled : t -> (unit -> 'a) -> 'a
 (** Run a thunk without accounting, restoring the previous state even on
     exceptions. *)
 
+val active : t -> bool
+(** True when counting (not inside {!disable}/{!with_disabled}).
+    Instrumentation gates on this so its counters agree with the cost
+    model's. *)
+
 (** {2 Charging} *)
 
 val page_read : ?count:int -> t -> unit

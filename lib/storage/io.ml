@@ -86,6 +86,7 @@ let direct cost ~page_bytes =
 
 let buffered cost ~page_bytes ~capacity =
   if page_bytes <= 0 then invalid_arg "Io.buffered";
+  Dbproc_obs.Metrics.set_gauge Dbproc_obs.Metrics.Buffer_pool_pages capacity;
   {
     cost;
     page_bytes;
@@ -120,6 +121,7 @@ let should_charge t ~file ~page ~is_write =
 
 let cost t = t.cost
 let page_bytes t = t.page_bytes
+let counting t = Cost.active t.cost
 
 let fresh_file t =
   let id = t.next_file in
@@ -131,9 +133,15 @@ let read t ~file ~page =
     match t.lru with
     | None -> Cost.page_read t.cost
     | Some lru ->
-      if Lru.touch lru (file, page) then t.hits <- t.hits + 1
+      if Lru.touch lru (file, page) then begin
+        t.hits <- t.hits + 1;
+        if Cost.active t.cost then
+          Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Buffer_hits
+      end
       else begin
         t.misses <- t.misses + 1;
+        if Cost.active t.cost then
+          Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Buffer_misses;
         Cost.page_read t.cost
       end
 

@@ -25,6 +25,12 @@ val buffered : Cost.t -> page_bytes:int -> capacity:int -> t
 val cost : t -> Cost.t
 val page_bytes : t -> int
 
+val counting : t -> bool
+(** True when the underlying {!Cost.t} is active (not inside
+    {!Cost.with_disabled}).  Instrumentation that mirrors I/O-driven work
+    into [Obs.Metrics] gates on this so bulk loads and consistency checks
+    stay invisible to both accountings. *)
+
 val fresh_file : t -> int
 (** Allocate a new file identifier. *)
 

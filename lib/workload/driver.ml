@@ -64,8 +64,16 @@ let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
     else Locality.uniform ~n
   in
   let ops = op_sequence workload_prng ~q ~k ~locality in
+  (* Counters reset in lock-step with the cost model, so after the run
+     Obs totals equal the cost charges (build/registration work charged
+     so far is wiped from both). *)
   Cost.reset db.Database.cost;
+  Dbproc_obs.Metrics.reset ();
   let charges = charges_of params in
+  Dbproc_obs.Trace.set_clock (fun () -> Cost.total_ms charges db.Database.cost);
+  let tag = Strategy.short_name strategy in
+  let query_latency = Dbproc_obs.Histogram.named ("query_latency_ms/" ^ tag) in
+  let update_latency = Dbproc_obs.Histogram.named ("update_latency_ms/" ^ tag) in
   let queries = ref 0 and updates = ref 0 in
   let per_op = ref [] in
   List.iter
@@ -97,9 +105,13 @@ let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
           Dbproc_proc.Manager.on_update manager ~rel ~changes:old_new;
           `Update
       in
-      per_op :=
-        (kind, Cost.diff_ms charges ~before ~after:(Cost.snapshot db.Database.cost))
-        :: !per_op)
+      let elapsed =
+        Cost.diff_ms charges ~before ~after:(Cost.snapshot db.Database.cost)
+      in
+      Dbproc_obs.Histogram.observe
+        (match kind with `Query -> query_latency | `Update -> update_latency)
+        elapsed;
+      per_op := (kind, elapsed) :: !per_op)
     ops;
   let total_ms = Cost.total_ms charges db.Database.cost in
   let consistent =

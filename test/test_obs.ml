@@ -1,0 +1,317 @@
+(* Tests for Dbproc.Obs: the counter/gauge registry, log-bucket latency
+   histograms, span tracing over an injected clock, and the JSON
+   emitter/parser used by bench --json and procsim json-check. *)
+
+open Dbproc.Obs
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------- metrics *)
+
+let test_counter_incr_get () =
+  Metrics.reset_all ();
+  Alcotest.(check int) "starts at 0" 0 (Metrics.get Metrics.Pages_read);
+  Metrics.incr Metrics.Pages_read;
+  Metrics.incr ~n:5 Metrics.Pages_read;
+  Alcotest.(check int) "1 + 5" 6 (Metrics.get Metrics.Pages_read);
+  Alcotest.(check int) "others untouched" 0 (Metrics.get Metrics.Pages_written)
+
+let test_counter_reset_spares_gauges () =
+  Metrics.reset_all ();
+  Metrics.incr ~n:3 Metrics.Cache_hits;
+  Metrics.set_gauge Metrics.Rete_memories 7;
+  Metrics.add_gauge ~n:2 Metrics.Rete_memories;
+  Metrics.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.get Metrics.Cache_hits);
+  Alcotest.(check int) "gauge survives reset" 9 (Metrics.get_gauge Metrics.Rete_memories);
+  Metrics.reset_all ();
+  Alcotest.(check int) "reset_all zeroes gauges" 0 (Metrics.get_gauge Metrics.Rete_memories)
+
+let test_counter_disabled_is_noop () =
+  Metrics.reset_all ();
+  Alcotest.(check bool) "enabled by default" true (Metrics.enabled ());
+  Metrics.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled true)
+    (fun () ->
+      Metrics.incr ~n:10 Metrics.Pages_read;
+      Metrics.add_gauge Metrics.Rete_memories;
+      Alcotest.(check int) "incr ignored" 0 (Metrics.get Metrics.Pages_read);
+      Alcotest.(check int) "gauge ignored" 0 (Metrics.get_gauge Metrics.Rete_memories));
+  Metrics.incr Metrics.Pages_read;
+  Alcotest.(check int) "counts again" 1 (Metrics.get Metrics.Pages_read)
+
+let test_counter_listing () =
+  Metrics.reset_all ();
+  let rows = Metrics.counters () in
+  Alcotest.(check int) "one row per counter" (List.length Metrics.all_counters)
+    (List.length rows);
+  let names = List.map fst rows in
+  Alcotest.(check int) "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check bool) "declaration order" true
+    (names = List.map Metrics.counter_name Metrics.all_counters);
+  Alcotest.(check int) "one row per gauge" (List.length Metrics.all_gauges)
+    (List.length (Metrics.gauges ()))
+
+(* ----------------------------------------------------------- histogram *)
+
+let test_histogram_bucket_boundaries () =
+  (* Bucket i holds [2^(i-11), 2^(i-10)); 1.0 lands in bucket 11. *)
+  Alcotest.(check int) "1.0" 11 (Histogram.bucket_index 1.0);
+  Alcotest.(check int) "2.0 starts next bucket" 12 (Histogram.bucket_index 2.0);
+  Alcotest.(check int) "just below 2.0" 11 (Histogram.bucket_index (Float.pred 2.0));
+  Alcotest.(check int) "0 underflows" 0 (Histogram.bucket_index 0.0);
+  Alcotest.(check int) "negative underflows" 0 (Histogram.bucket_index (-3.0));
+  Alcotest.(check int) "nan underflows" 0 (Histogram.bucket_index Float.nan);
+  Alcotest.(check int) "huge overflows" 55 (Histogram.bucket_index 1e300);
+  for i = 1 to 54 do
+    let lo = Histogram.bucket_lower_bound i in
+    Alcotest.(check int) (Printf.sprintf "lower bound of %d" i) i (Histogram.bucket_index lo);
+    Alcotest.(check int)
+      (Printf.sprintf "below upper bound of %d" i)
+      i
+      (Histogram.bucket_index (Float.pred (Histogram.bucket_upper_bound i)))
+  done
+
+let test_histogram_stats () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Histogram.count h);
+  Alcotest.(check bool) "empty mean is nan" true (Float.is_nan (Histogram.mean h));
+  List.iter (Histogram.observe h) [ 1.0; 2.0; 4.0; 8.0 ];
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum exact" 15.0 (Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Histogram.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 8.0 (Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 3.75 (Histogram.mean h);
+  Histogram.reset h;
+  Alcotest.(check int) "reset" 0 (Histogram.count h)
+
+let test_histogram_quantiles () =
+  (* Samples on bucket boundaries make nearest-rank quantiles exact. *)
+  let h = Histogram.create () in
+  for _ = 1 to 50 do
+    Histogram.observe h 1.0
+  done;
+  for _ = 1 to 50 do
+    Histogram.observe h 8.0
+  done;
+  Alcotest.(check (float 1e-9)) "p50" 1.0 (Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p90" 8.0 (Histogram.quantile h 0.9);
+  Alcotest.(check (float 1e-9)) "p99" 8.0 (Histogram.quantile h 0.99);
+  Alcotest.(check (float 1e-9)) "p0 is min" 1.0 (Histogram.quantile h 0.0);
+  (* A lone mid-bucket sample: every quantile clamps to it. *)
+  let one = Histogram.create () in
+  Histogram.observe one 3.0;
+  Alcotest.(check (float 1e-9)) "clamped to the only sample" 3.0 (Histogram.quantile one 0.5)
+
+let test_histogram_registry () =
+  Histogram.reset_all ();
+  let a = Histogram.named "a" in
+  let b = Histogram.named "b" in
+  Alcotest.(check bool) "get-or-create" true (Histogram.named "a" == a);
+  Histogram.observe a 1.0;
+  Histogram.observe b 2.0;
+  Alcotest.(check (list string)) "creation order" [ "a"; "b" ]
+    (List.map fst (Histogram.all_named ()));
+  Histogram.reset_all ();
+  Alcotest.(check int) "registry dropped" 0 (List.length (Histogram.all_named ()))
+
+let histogram_accounting_property =
+  QCheck.Test.make ~name:"histogram sum/count/min/max match the fed samples" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_range 0.0 1e6))
+    (fun samples ->
+      let h = Histogram.create () in
+      List.iter (Histogram.observe h) samples;
+      let n = List.length samples in
+      let sum = List.fold_left ( +. ) 0.0 samples in
+      let bucketed =
+        List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Histogram.buckets h)
+      in
+      Histogram.count h = n
+      && bucketed = n
+      && Float.abs (Histogram.sum h -. sum) <= 1e-9 *. Float.max 1.0 (Float.abs sum)
+      && Histogram.min_value h = List.fold_left Float.min Float.infinity samples
+      && Histogram.max_value h = List.fold_left Float.max Float.neg_infinity samples)
+
+(* --------------------------------------------------------------- trace *)
+
+let with_manual_trace f =
+  let t = ref 0.0 in
+  Trace.set_clock (fun () -> !t);
+  Trace.reset ();
+  Trace.set_capacity 64;
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () -> f t)
+
+let test_trace_nesting () =
+  with_manual_trace (fun t ->
+      Trace.begin_span "outer";
+      t := 1.0;
+      Trace.begin_span "inner";
+      Alcotest.(check int) "two open" 2 (Trace.open_depth ());
+      t := 3.0;
+      Trace.end_span ();
+      t := 5.0;
+      Trace.end_span ();
+      Alcotest.(check int) "balanced" 0 (Trace.open_depth ());
+      match Trace.root_spans () with
+      | [ root ] ->
+        Alcotest.(check string) "root name" "outer" root.Trace.name;
+        Alcotest.(check (float 1e-9)) "root duration" 5.0 (Trace.duration_ms root);
+        (match root.Trace.children with
+        | [ child ] ->
+          Alcotest.(check string) "child name" "inner" child.Trace.name;
+          Alcotest.(check (float 1e-9)) "child duration" 2.0 (Trace.duration_ms child)
+        | l -> Alcotest.failf "expected 1 child, got %d" (List.length l))
+      | l -> Alcotest.failf "expected 1 root, got %d" (List.length l))
+
+let test_trace_unbalanced_end_raises () =
+  with_manual_trace (fun _ ->
+      Alcotest.check_raises "end with nothing open"
+        (Trace.Unbalanced "Trace.end_span: no span is open") (fun () -> Trace.end_span ()))
+
+let test_trace_with_span_survives_exceptions () =
+  with_manual_trace (fun _ ->
+      (try Trace.with_span "boom" (fun () -> failwith "boom") with Failure _ -> ());
+      Alcotest.(check int) "stack rebalanced" 0 (Trace.open_depth ());
+      Alcotest.(check int) "span still recorded" 1 (List.length (Trace.root_spans ())))
+
+let test_trace_disabled_is_noop () =
+  with_manual_trace (fun _ -> ());
+  (* with_manual_trace left tracing disabled *)
+  Trace.begin_span "ignored";
+  Trace.end_span ();
+  (* no Unbalanced: everything is a no-op while disabled *)
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.root_spans ()))
+
+let test_trace_ring_capacity () =
+  with_manual_trace (fun _ ->
+      Trace.set_capacity 4;
+      for i = 1 to 10 do
+        Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+      done;
+      let names = List.map (fun s -> s.Trace.name) (Trace.root_spans ()) in
+      Alcotest.(check (list string)) "last four survive" [ "s7"; "s8"; "s9"; "s10" ] names)
+
+let test_trace_render () =
+  with_manual_trace (fun t ->
+      Trace.with_span "access" (fun () ->
+          t := 2.0;
+          Trace.with_span "execute" (fun () -> t := 30.0));
+      let out = Trace.render () in
+      Alcotest.(check bool) "root present" true (contains out "access");
+      Alcotest.(check bool) "child indented" true (contains out "  execute");
+      Alcotest.(check bool) "duration column" true (contains out "28.0"));
+  Alcotest.(check bool) "empty render" true
+    (contains (Trace.render ()) "no spans recorded")
+
+(* -------------------------------------------------------------- export *)
+
+let json_testable =
+  Alcotest.testable (fun ppf j -> Format.pp_print_string ppf (Export.to_string j)) ( = )
+
+let test_export_round_trip () =
+  let doc =
+    Export.Obj
+      [
+        ("null", Export.Null);
+        ("flag", Export.Bool true);
+        ("n", Export.Int (-42));
+        ("x", Export.Float 1.5);
+        ("whole", Export.Float 2.0);
+        ("s", Export.String "a\"b\\c\nd\te");
+        ("l", Export.List [ Export.Int 1; Export.List []; Export.Obj [] ]);
+      ]
+  in
+  match Export.parse (Export.to_string doc) with
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+  | Ok parsed -> Alcotest.check json_testable "round trip" doc parsed
+
+let test_export_parse_errors_and_specials () =
+  (match Export.parse "{\"a\": 1," with
+  | Ok _ -> Alcotest.fail "accepted truncated object"
+  | Error _ -> ());
+  (match Export.parse "1 trailing" with
+  | Ok _ -> Alcotest.fail "accepted trailing garbage"
+  | Error _ -> ());
+  Alcotest.check json_testable "null literal" Export.Null
+    (Result.get_ok (Export.parse "null"));
+  (* NaN is not representable in JSON; the printer degrades it to null. *)
+  Alcotest.(check bool) "nan prints as null" true
+    (contains (Export.to_string (Export.Float Float.nan)) "null")
+
+let test_export_snapshot_shape () =
+  Metrics.reset_all ();
+  Histogram.reset_all ();
+  Metrics.incr ~n:4 Metrics.Pages_read;
+  Histogram.observe (Histogram.named "lat") 8.0;
+  let snap = Export.snapshot ~extra:[ ("seed", Export.Int 7) ] () in
+  (match Export.parse (Export.to_string snap) with
+  | Error msg -> Alcotest.failf "snapshot did not re-parse: %s" msg
+  | Ok parsed -> Alcotest.check json_testable "snapshot round trips" snap parsed);
+  Alcotest.(check (option json_testable)) "extra first" (Some (Export.Int 7))
+    (Export.member "seed" snap);
+  (match Export.member "counters" snap with
+  | Some counters ->
+    Alcotest.(check (option json_testable)) "pages_read" (Some (Export.Int 4))
+      (Export.member "pages_read" counters)
+  | None -> Alcotest.fail "no counters field");
+  (match Export.member "histograms" snap with
+  | Some hists ->
+    let lat = Option.get (Export.member "lat" hists) in
+    Alcotest.(check (option json_testable)) "count" (Some (Export.Int 1))
+      (Export.member "count" lat);
+    Alcotest.(check (option json_testable)) "p50" (Some (Export.Float 8.0))
+      (Export.member "p50" lat)
+  | None -> Alcotest.fail "no histograms field");
+  Alcotest.(check bool) "counters csv has header" true
+    (contains (Export.counters_csv ()) "counter,value");
+  Alcotest.(check bool) "histogram csv has the row" true
+    (contains (Export.histograms_csv ()) "lat");
+  Histogram.reset_all ();
+  Metrics.reset_all ()
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "incr/get" `Quick test_counter_incr_get;
+          Alcotest.test_case "reset spares gauges" `Quick test_counter_reset_spares_gauges;
+          Alcotest.test_case "disabled is a no-op" `Quick test_counter_disabled_is_noop;
+          Alcotest.test_case "listing" `Quick test_counter_listing;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_histogram_bucket_boundaries;
+          Alcotest.test_case "stats" `Quick test_histogram_stats;
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "named registry" `Quick test_histogram_registry;
+          qc histogram_accounting_property;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "unbalanced end raises" `Quick test_trace_unbalanced_end_raises;
+          Alcotest.test_case "exception safety" `Quick test_trace_with_span_survives_exceptions;
+          Alcotest.test_case "disabled is a no-op" `Quick test_trace_disabled_is_noop;
+          Alcotest.test_case "ring capacity" `Quick test_trace_ring_capacity;
+          Alcotest.test_case "render" `Quick test_trace_render;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "round trip" `Quick test_export_round_trip;
+          Alcotest.test_case "parse errors and specials" `Quick
+            test_export_parse_errors_and_specials;
+          Alcotest.test_case "snapshot shape" `Quick test_export_snapshot_shape;
+        ] );
+    ]

@@ -258,6 +258,48 @@ let test_per_op_trace () =
   Alcotest.(check bool) "AVM reads uniform" true
     (s.Dbproc.Util.Stats.max -. s.Dbproc.Util.Stats.min < 61.0)
 
+let test_obs_counters_mirror_cost () =
+  (* The Obs counter registry is reset alongside Cost at the start of every
+     measured run and every mirror is gated on active accounting, so after
+     a run the counters must equal the cost model's verbatim — pages_read
+     is exactly the I/O charge divided by C2. *)
+  let r = Driver.run_strategy ~model:Model.Model1 ~params:small Strategy.Update_cache_avm in
+  let get c = Obs.Metrics.get c in
+  Alcotest.(check int) "pages_read" r.Driver.page_reads (get Obs.Metrics.Pages_read);
+  Alcotest.(check int) "pages_written" r.Driver.page_writes (get Obs.Metrics.Pages_written);
+  Alcotest.(check int) "screens" r.Driver.cpu_screens (get Obs.Metrics.Predicate_screens);
+  Alcotest.(check int) "delta ops" r.Driver.delta_ops (get Obs.Metrics.Delta_set_ops);
+  Alcotest.(check int) "invalidations" r.Driver.invalidations (get Obs.Metrics.Invalidations);
+  (* the same equality stated the paper's way: counter = io charge / C2 *)
+  let db = Database.build ~model:Model.Model1 small in
+  Storage.Cost.reset db.Database.cost;
+  Obs.Metrics.reset ();
+  List.iter
+    (fun def -> ignore (Query.Executor.run (Query.Planner.compile def)))
+    (Database.all_defs db);
+  let io_only =
+    { Storage.Cost.default_charges with c1_screen_ms = 0.0; c3_delta_ms = 0.0; c_inval_ms = 0.0 }
+  in
+  let io_charge = Storage.Cost.total_ms io_only db.Database.cost in
+  Alcotest.(check int) "pages counted = io charge / C2"
+    (int_of_float (io_charge /. io_only.Storage.Cost.c2_io_ms))
+    (Obs.Metrics.get Obs.Metrics.Pages_read + Obs.Metrics.get Obs.Metrics.Pages_written)
+
+let test_driver_latency_histograms () =
+  (* Each run feeds the per-strategy latency histograms; their counts are
+     the op counts and their sums re-price the whole run. *)
+  Dbproc.Obs.Histogram.reset_all ();
+  let r = Driver.run_strategy ~model:Model.Model1 ~params:small Strategy.Cache_invalidate in
+  let tag = Strategy.short_name Strategy.Cache_invalidate in
+  let q = Obs.Histogram.named ("query_latency_ms/" ^ tag) in
+  let u = Obs.Histogram.named ("update_latency_ms/" ^ tag) in
+  Alcotest.(check int) "query count" r.Driver.queries (Obs.Histogram.count q);
+  Alcotest.(check int) "update count" r.Driver.updates (Obs.Histogram.count u);
+  Alcotest.(check (float 1e-6)) "sums re-price the run"
+    (r.Driver.measured_ms_per_query *. float_of_int r.Driver.queries)
+    (Obs.Histogram.sum q +. Obs.Histogram.sum u);
+  Dbproc.Obs.Histogram.reset_all ()
+
 let test_nway_consistency () =
   let params =
     { small with Params.n = 1_000.0; n2 = 4.0; q = 10.0; k = 10.0; f = 0.01; f2 = 1.0 }
@@ -378,6 +420,8 @@ let () =
           Alcotest.test_case "R2 updates hurt update cache" `Slow
             test_driver_r2_updates_hurt_update_cache;
           Alcotest.test_case "per-op trace" `Quick test_per_op_trace;
+          Alcotest.test_case "obs counters mirror cost" `Quick test_obs_counters_mirror_cost;
+          Alcotest.test_case "latency histograms" `Quick test_driver_latency_histograms;
           Alcotest.test_case "n-way chain consistency" `Slow test_nway_consistency;
           Alcotest.test_case "n-way: AVM grows, RVM flat" `Slow test_nway_avm_grows_rvm_flat;
           qc driver_consistency_property;
