@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- --no-bechamel
      dune exec bench/main.exe -- --quota 1.0  -- seconds per bechamel test
      dune exec bench/main.exe -- --seed 7     -- workload PRNG seed (default 42)
+     dune exec bench/main.exe -- --jobs 4     -- domains for the sim sweeps (default 1)
      dune exec bench/main.exe -- --json FILE  -- machine-readable snapshot per experiment *)
 
 open Dbproc
@@ -16,21 +17,36 @@ open Dbproc.Costmodel
 
 let sim_p_sweep = [ 0.0; 0.2; 0.5; 0.8 ]
 
-(* --seed / --json state, set once by the arg parser before any experiment
-   runs. *)
+(* --seed / --jobs / --json state, set once by the arg parser before any
+   experiment runs. *)
 let the_seed = ref 42
+let the_jobs = ref 1
 let json_out : string option ref = ref None
 let experiments : (string * Obs.Export.json) list ref = ref []
 
-(* Capture the observability registries right as an experiment finishes —
-   before the bechamel section runs, whose quota-driven iteration counts
-   would make the snapshot nondeterministic. *)
-let record id f =
-  f ();
+(* Each experiment runs against its own engine context(s) and hands back
+   the context its snapshot should come from — nothing is read from any
+   shared registry, so concurrent experiments cannot cross-pollute an
+   export.  The snapshot is taken right as the experiment finishes,
+   before the bechamel section runs (whose quota-driven iteration counts
+   would make it nondeterministic). *)
+let record id (f : unit -> Obs.Ctx.t) =
+  let ctx = f () in
   if !json_out <> None && not (List.mem_assoc id !experiments) then
-    experiments := (id, Obs.Export.snapshot ()) :: !experiments
+    experiments := (id, Obs.Export.snapshot ctx) :: !experiments
 
 (* ------------------------------------------------- Simulation sections *)
+
+let rec chunks n = function
+  | [] -> []
+  | l ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let row, rest = take n [] l in
+    row :: chunks n rest
 
 let print_sim_comparison ?(label = "") ?(params = Workload.Driver.default_sim_params) ~model ()
     =
@@ -57,10 +73,22 @@ let print_sim_comparison ?(label = "") ?(params = Workload.Driver.default_sim_pa
         ]
       ()
   in
-  List.iter
-    (fun p ->
-      let params = Params.with_update_probability params p in
-      let results = Workload.Driver.run_all ~seed:!the_seed ~model ~params () in
+  (* Every (P, strategy) point is independent — fan them all out at once
+     and regroup per P afterwards.  The jobs=1 path goes through the same
+     code, so the table and the merged snapshot are byte-identical at any
+     job count. *)
+  let tasks =
+    List.concat_map (fun p -> List.map (fun s -> (p, s)) Strategy.all) sim_p_sweep
+  in
+  let results =
+    Workload.Parallel.map ~jobs:!the_jobs
+      (fun (p, s) ->
+        let params = Params.with_update_probability params p in
+        Workload.Driver.run_strategy ~seed:!the_seed ~model ~params s)
+      tasks
+  in
+  List.iter2
+    (fun p row ->
       let cells =
         List.concat_map
           (fun (r : Workload.Driver.result) ->
@@ -68,16 +96,18 @@ let print_sim_comparison ?(label = "") ?(params = Workload.Driver.default_sim_pa
               Printf.sprintf "%.0f" r.measured_ms_per_query;
               Printf.sprintf "%.0f" r.analytic_ms_per_query;
             ])
-          results
+          row
       in
       let consistent =
-        List.for_all (fun (r : Workload.Driver.result) -> r.consistent) results
+        List.for_all (fun (r : Workload.Driver.result) -> r.consistent) row
       in
       Util.Ascii_table.add_row table
         ((Printf.sprintf "%.2f" p :: cells) @ [ (if consistent then "yes" else "NO") ]))
-    sim_p_sweep;
+    sim_p_sweep
+    (chunks (List.length Strategy.all) results);
   Util.Ascii_table.print table;
-  print_newline ()
+  print_newline ();
+  Workload.Parallel.merge_obs results
 
 let print_ablation_buffer () =
   print_endline "== ablation: buffer pool (paper assumes none; LRU buffer added)";
@@ -161,11 +191,14 @@ let print_ablation_obs_overhead () =
     "counters are int-array bumps behind one flag test; the two wall-clock times\n\
      should agree within noise (~1%).\n";
   let params = Workload.Driver.default_sim_params in
+  (* One shared context whose registry the toggle acts on; every timed
+     run charges it. *)
+  let ctx = Obs.Ctx.create () in
   let timed () =
     let t0 = Sys.time () in
     for _ = 1 to 10 do
       ignore
-        (Workload.Driver.run_strategy ~seed:!the_seed ~check_consistency:false
+        (Workload.Driver.run_strategy ~seed:!the_seed ~check_consistency:false ~ctx
            ~model:Model.Model1 ~params Strategy.Update_cache_avm)
     done;
     Sys.time () -. t0
@@ -176,12 +209,11 @@ let print_ablation_obs_overhead () =
      variance *)
   let on = ref Float.infinity and off = ref Float.infinity in
   for _ = 1 to 4 do
-    Obs.Metrics.set_enabled true;
+    Obs.Metrics.set_enabled (Obs.Ctx.metrics ctx) true;
     on := Float.min !on (timed ());
-    Obs.Metrics.set_enabled false;
+    Obs.Metrics.set_enabled (Obs.Ctx.metrics ctx) false;
     off := Float.min !off (timed ())
   done;
-  Obs.Metrics.set_enabled true;
   Printf.printf "enabled: %.3f s   disabled: %.3f s   delta: %+.1f%%\n\n" !on !off
     (if !off > 0.0 then 100.0 *. (!on -. !off) /. !off else 0.0)
 
@@ -236,6 +268,7 @@ let print_ext_update_mix () =
       ~header:[ "R2 fraction"; "AR"; "CI"; "AVM"; "RVM"; "RVM-opt"; "ok" ]
       ()
   in
+  let all_runs = ref [] in
   List.iter
     (fun mix ->
       let results =
@@ -249,6 +282,7 @@ let print_ext_update_mix () =
           ~rvm_shape:(`Auto [ ("R1", 1.0 -. mix); ("R2", mix) ])
           ~r2_update_fraction:mix ~model:Model.Model2 ~params Strategy.Update_cache_rvm
       in
+      all_runs := (opt :: List.rev results) @ !all_runs;
       let cells =
         List.map
           (fun (r : Workload.Driver.result) -> Printf.sprintf "%.0f" r.measured_ms_per_query)
@@ -263,7 +297,8 @@ let print_ext_update_mix () =
         ((Printf.sprintf "%.2f" mix :: cells) @ [ (if ok then "yes" else "NO") ]))
     [ 0.0; 0.25; 0.5; 1.0 ];
   Util.Ascii_table.print table;
-  print_newline ()
+  print_newline ();
+  Workload.Parallel.merge_obs (List.rev !all_runs)
 
 let print_ext_wal () =
   print_endline "== ext-wal: cost per invalidation under the Section-3 recording schemes";
@@ -272,6 +307,7 @@ let print_ext_wal () =
      price it; the effective C_inval is what fig4 vs fig5 parameterizes.\n";
   let procs = 200 in
   let transitions = 2_000 in
+  let ctx = Obs.Ctx.create () in
   let table =
     Util.Ascii_table.create
       ~header:[ "scheme"; "effective C_inval (ms)"; "recovery I/Os"; "recovered ok" ]
@@ -279,7 +315,7 @@ let print_ext_wal () =
   in
   List.iter
     (fun scheme ->
-      let cost = Storage.Cost.create () in
+      let cost = Storage.Cost.create ~ctx () in
       let io = Storage.Io.direct cost ~page_bytes:4000 in
       let tbl = Proc.Inval_table.create ~io ~scheme ~procs in
       let prng = Util.Prng.create 17 in
@@ -314,7 +350,8 @@ let print_ext_wal () =
       Proc.Inval_table.Wal_logged { checkpoint_every = 50 };
     ];
   Util.Ascii_table.print table;
-  print_newline ()
+  print_newline ();
+  ctx
 
 let print_ext_aggregates () =
   print_endline "== ext-aggregates: differentially maintained aggregate procedures";
@@ -322,7 +359,8 @@ let print_ext_aggregates () =
     "extension: intro feature (5).  A COUNT/SUM/MAX rollup over a P1-style selection is\n\
      maintained per update and compared with recomputation.\n";
   let params = Workload.Driver.default_sim_params in
-  let db = Workload.Database.build ~seed:23 ~model:Model.Model1 params in
+  let ctx = Obs.Ctx.create () in
+  let db = Workload.Database.build ~seed:23 ~ctx ~model:Model.Model1 params in
   let def = List.hd db.Workload.Database.p1_defs in
   let schema = Query.View_def.schema def in
   let agg =
@@ -355,11 +393,12 @@ let print_ext_aggregates () =
   Printf.printf "20 update transactions: maintain rollup %.0f ms total; recompute the\n" !maint;
   Printf.printf "underlying selection each time instead: %.0f ms; groups kept: %d; stored\n"
     !recompute (Avm.Aggregate_view.group_count agg);
-  Printf.printf "state matches recompute: %b\n\n" (Avm.Aggregate_view.matches_recompute agg)
+  Printf.printf "state matches recompute: %b\n\n" (Avm.Aggregate_view.matches_recompute agg);
+  ctx
 
 (* Drive a TREAT engine through the driver's workload shape. *)
-let run_treat ~model ~params ~mix ~seed =
-  let db = Workload.Database.build ~seed ~model params in
+let run_treat ~ctx ~model ~params ~mix ~seed =
+  let db = Workload.Database.build ~seed ~ctx ~model params in
   let treat =
     Rete.Treat.create ~io:db.Workload.Database.io ~record_bytes:100 ()
   in
@@ -403,6 +442,7 @@ let print_ext_treat () =
      the production-system literature set against Rete.  No beta upkeep means R2 churn\n\
      hurts less than RVM; probing selected alphas beats AVM's base-relation probes.\n";
   let params = Workload.Driver.default_sim_params in
+  let ctx = Obs.Ctx.create () in
   let table =
     Util.Ascii_table.create ~header:[ "R2 fraction"; "AVM"; "TREAT"; "RVM"; "ok" ] ()
   in
@@ -416,7 +456,11 @@ let print_ext_treat () =
         Workload.Driver.run_strategy ~seed:!the_seed ~r2_update_fraction:mix
           ~model:Model.Model2 ~params Strategy.Update_cache_rvm
       in
-      let treat_ms, treat_ok = run_treat ~model:Model.Model2 ~params ~mix ~seed:!the_seed in
+      Obs.Ctx.merge_into ~into:ctx avm.Workload.Driver.obs;
+      Obs.Ctx.merge_into ~into:ctx rvm.Workload.Driver.obs;
+      let treat_ms, treat_ok =
+        run_treat ~ctx ~model:Model.Model2 ~params ~mix ~seed:!the_seed
+      in
       Util.Ascii_table.add_row table
         [
           Printf.sprintf "%.2f" mix;
@@ -427,7 +471,8 @@ let print_ext_treat () =
         ])
     [ 0.0; 0.5; 1.0 ];
   Util.Ascii_table.print table;
-  print_newline ()
+  print_newline ();
+  ctx
 
 let print_ext_latency () =
   print_endline "== ext-latency: access-cost distribution per strategy (P = 0.3, model 1)";
@@ -444,6 +489,10 @@ let print_ext_latency () =
     Util.Ascii_table.create
       ~header:[ "strategy"; "mean"; "p50"; "p95"; "max"; "update-side mean" ]
       ()
+  in
+  let results =
+    Workload.Driver.run_all ~seed:!the_seed ~check_consistency:false ~model:Model.Model1
+      ~params ()
   in
   List.iter
     (fun (r : Workload.Driver.result) ->
@@ -463,10 +512,10 @@ let print_ext_latency () =
           Printf.sprintf "%.0f" s.Util.Stats.max;
           (if update_ms = [] then "-" else Printf.sprintf "%.0f" (Util.Stats.mean update_ms));
         ])
-    (Workload.Driver.run_all ~seed:!the_seed ~check_consistency:false ~model:Model.Model1
-       ~params ());
+    results;
   Util.Ascii_table.print table;
-  print_newline ()
+  print_newline ();
+  Workload.Parallel.merge_obs results
 
 let print_ext_sensitivity () =
   print_endline "== ext-sensitivity: cost elasticity per parameter (model 1, defaults)";
@@ -483,7 +532,9 @@ let print_ext_sensitivity () =
         (name :: List.map (fun (_, e) -> Printf.sprintf "%+.2f" e) cells))
     (Sensitivity.table Model.Model1 Params.default);
   Util.Ascii_table.print table;
-  print_newline ()
+  print_newline ();
+  (* analytic only: nothing charged, snapshot an empty context *)
+  Obs.Ctx.create ()
 
 let print_ext_nway () =
   print_endline "== ext-nway: AVM vs RVM as the join chain grows";
@@ -502,7 +553,8 @@ let print_ext_nway () =
       n2 = 10.0;
     }
   in
-  let results = Workload.Nway.sweep ~seed:!the_seed ~max_length:6 ~params () in
+  let ctx = Obs.Ctx.create () in
+  let results = Workload.Nway.sweep ~seed:!the_seed ~ctx ~max_length:6 ~params () in
   let table =
     Util.Ascii_table.create
       ~header:
@@ -526,11 +578,12 @@ let print_ext_nway () =
   in
   pair results;
   Util.Ascii_table.print table;
-  print_newline ()
+  print_newline ();
+  ctx
 
-let run_adaptive ~model ~params ~seed =
+let run_adaptive ~ctx ~model ~params ~seed =
   (* Mirror the driver's op sequence against the Adaptive selector. *)
-  let db = Workload.Database.build ~seed ~model params in
+  let db = Workload.Database.build ~seed ~ctx ~model params in
   let a =
     Proc.Adaptive.create
       ~config:{ Proc.Adaptive.default_config with Proc.Adaptive.window = 10 }
@@ -569,6 +622,7 @@ let print_ext_adaptive () =
     "extension: every procedure starts under CI and switches by observed conflict rate\n\
      and object size.  Adaptive should roughly track the cheapest fixed strategy.\n";
   let params = Workload.Driver.default_sim_params in
+  let ctx = Obs.Ctx.create () in
   let table =
     Util.Ascii_table.create
       ~header:[ "P"; "best fixed (measured)"; "adaptive"; "switches"; "ok" ]
@@ -581,6 +635,10 @@ let print_ext_adaptive () =
         Workload.Driver.run_all ~seed:!the_seed ~check_consistency:false ~model:Model.Model1
           ~params ()
       in
+      List.iter
+        (fun (r : Workload.Driver.result) ->
+          Obs.Ctx.merge_into ~into:ctx r.Workload.Driver.obs)
+        fixed;
       let best =
         List.fold_left
           (fun acc (r : Workload.Driver.result) ->
@@ -590,7 +648,7 @@ let print_ext_adaptive () =
           None fixed
       in
       let adaptive_ms, switches, ok =
-        run_adaptive ~model:Model.Model1 ~params ~seed:!the_seed
+        run_adaptive ~ctx ~model:Model.Model1 ~params ~seed:!the_seed
       in
       let best_name, best_ms = Option.get best in
       Util.Ascii_table.add_row table
@@ -603,7 +661,8 @@ let print_ext_adaptive () =
         ])
     [ 0.0; 0.2; 0.5; 0.8 ];
   Util.Ascii_table.print table;
-  print_newline ()
+  print_newline ();
+  ctx
 
 (* ------------------------------------------------------------ Bechamel *)
 
@@ -772,10 +831,17 @@ let () =
         Printf.eprintf "bench: --seed expects an integer, got %S\n" v;
         exit 2);
       parse quota bechamel sim csv ids rest
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some j when j >= 1 -> the_jobs := j
+      | _ ->
+        Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" v;
+        exit 2);
+      parse quota bechamel sim csv ids rest
     | "--json" :: path :: rest ->
       json_out := Some path;
       parse quota bechamel sim csv ids rest
-    | [ (("--seed" | "--json") as flag) ] ->
+    | [ (("--seed" | "--jobs" | "--json") as flag) ] ->
       Printf.eprintf "bench: %s requires a value\n" flag;
       exit 2
     | id :: rest -> parse quota bechamel sim csv (id :: ids) rest
@@ -799,7 +865,9 @@ let () =
       record fig.Figures.id (fun () ->
           print_string (Figures.render fig);
           print_newline ();
-          print_newline ()))
+          print_newline ();
+          (* analytic figures charge no engine context *)
+          Obs.Ctx.create ()))
     selected;
   if ids = [] || List.mem "fig18" ids then print_crossovers ();
   if List.mem "fig3-network" ids || List.mem "fig16-network" ids then print_network_figures ();

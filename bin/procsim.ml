@@ -91,12 +91,21 @@ let sim_cmd =
       value & opt float 10.0
       & info [ "scale" ] ~docv:"X" ~doc:"Scale-down factor applied to N, N1, N2, q, k.")
   in
-  let run model params seed scale =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Run the four strategies on up to $(docv) domains (results are identical).")
+  in
+  let run model params seed scale jobs =
+    if jobs < 1 then (
+      Printf.eprintf "procsim: --jobs must be >= 1\n";
+      exit 2);
     let params = Workload.Driver.scale_params params ~factor:scale in
-    Printf.printf "simulating %s at N=%g, N1=%g, N2=%g, q=%g, k=%g (seed %d)\n\n"
+    Printf.printf "simulating %s at N=%g, N1=%g, N2=%g, q=%g, k=%g (seed %d, jobs %d)\n\n"
       (Model.which_name model) params.Params.n params.Params.n1 params.Params.n2
-      params.Params.q params.Params.k seed;
-    let results = Workload.Driver.run_all ~seed ~model ~params () in
+      params.Params.q params.Params.k seed jobs;
+    let results = Workload.Parallel.run_all ~seed ~jobs ~model ~params () in
     List.iter (fun r -> Format.printf "%a@." Workload.Driver.pp_result r) results
   in
   Cmd.v
@@ -104,7 +113,7 @@ let sim_cmd =
        ~doc:
          "Run the update/access workload against the real engine under all four strategies \
           and report measured vs analytic ms/query.")
-    Term.(const run $ model_term $ params_term $ seed $ scale)
+    Term.(const run $ model_term $ params_term $ seed $ scale $ jobs)
 
 (* ----------------------------------------------------------------- cost *)
 
@@ -246,10 +255,13 @@ let stats_cmd =
   let run model params strategy seed scale spans json =
     let strategy = Option.value strategy ~default:Strategy.Update_cache_rvm in
     let params = Workload.Driver.scale_params params ~factor:scale in
-    Obs.Trace.set_enabled true;
-    Fun.protect ~finally:(fun () -> Obs.Trace.set_enabled false) @@ fun () ->
-    let r = Workload.Driver.run_strategy ~seed ~model ~params strategy in
+    (* The run gets a private engine context with tracing pre-enabled; all
+       reporting below reads that context, never any global state. *)
+    let ctx = Obs.Ctx.create () in
+    Obs.Trace.set_enabled (Obs.Ctx.trace ctx) true;
+    let r = Workload.Driver.run_strategy ~seed ~ctx ~model ~params strategy in
     Format.printf "%a@.@." Workload.Driver.pp_result r;
+    let metrics = Obs.Ctx.metrics ctx in
     let counters =
       Util.Ascii_table.create ~aligns:[ Util.Ascii_table.Left ] ~header:[ "counter"; "value" ] ()
     in
@@ -258,10 +270,10 @@ let stats_cmd =
       (fun (k, v) ->
         if v = 0 then incr zeros
         else Util.Ascii_table.add_row counters [ k; string_of_int v ])
-      (Obs.Metrics.counters ());
+      (Obs.Metrics.counters metrics);
     List.iter
       (fun (k, v) -> Util.Ascii_table.add_row counters [ k ^ " (gauge)"; string_of_int v ])
-      (Obs.Metrics.gauges ());
+      (Obs.Metrics.gauges metrics);
     Util.Ascii_table.print counters;
     if !zeros > 0 then Printf.printf "(%d zero counters omitted)\n" !zeros;
     print_newline ();
@@ -282,11 +294,11 @@ let stats_cmd =
               Printf.sprintf "%.0f" (Obs.Histogram.quantile h 0.99);
               Printf.sprintf "%.0f" (Obs.Histogram.max_value h);
             ])
-      (Obs.Histogram.all_named ());
+      (Obs.Histogram.all_named (Obs.Ctx.histograms ctx));
     Util.Ascii_table.print hists;
     print_newline ();
     Printf.printf "last %d root spans (simulated ms):\n" spans;
-    print_string (Obs.Trace.render ~limit:spans ());
+    print_string (Obs.Trace.render ~limit:spans (Obs.Ctx.trace ctx));
     match json with
     | None -> ()
     | Some path ->
@@ -298,7 +310,7 @@ let stats_cmd =
                   ("strategy", Obs.Export.String (Strategy.short_name strategy));
                   ("seed", Obs.Export.Int seed);
                 ]
-              ()));
+              ctx));
       Printf.printf "\nwrote %s\n" path
   in
   Cmd.v

@@ -90,7 +90,7 @@ let apply_view_level_delta t ~view_inserts ~view_deletes =
 
 let recompute_refresh t =
   if Io.counting (io t) then
-    Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.View_refreshes;
+    Dbproc_obs.Metrics.incr (Io.metrics (io t)) Dbproc_obs.Metrics.View_refreshes;
   let fresh = Executor.run t.plan in
   Tuple_tbl.reset t.rids;
   Heap_file.rewrite t.store fresh;

@@ -117,11 +117,13 @@ module Workload = struct
   module Database = Dbproc_workload.Database
   module Driver = Dbproc_workload.Driver
   module Nway = Dbproc_workload.Nway
+  module Parallel = Dbproc_workload.Parallel
 end
 
 module Obs = struct
   module Metrics = Dbproc_obs.Metrics
   module Histogram = Dbproc_obs.Histogram
   module Trace = Dbproc_obs.Trace
+  module Ctx = Dbproc_obs.Ctx
   module Export = Dbproc_obs.Export
 end

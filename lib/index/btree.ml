@@ -159,7 +159,7 @@ let rec insert_at id ckey v t =
       end)
 
 let insert t key v =
-  if Io.counting t.io then Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Btree_inserts;
+  if Io.counting t.io then Dbproc_obs.Metrics.incr (Io.metrics t.io) Dbproc_obs.Metrics.Btree_inserts;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   (match insert_at t.root (key, seq) v t with
@@ -180,7 +180,7 @@ let rec leaf_for t id key =
     leaf_for t (List.nth inner.children idx) key
 
 let search t key =
-  if Io.counting t.io then Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Btree_searches;
+  if Io.counting t.io then Dbproc_obs.Metrics.incr (Io.metrics t.io) Dbproc_obs.Metrics.Btree_searches;
   (* acc collects matches most-recent-first; entries are visited in key
      (hence insertion) order, so one final reversal restores it. *)
   let rec walk id acc =
@@ -238,7 +238,7 @@ let remove t key pred =
 type 'k bound = Unbounded | Inclusive of 'k | Exclusive of 'k
 
 let range t ~lo ~hi ~f =
-  if Io.counting t.io then Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Btree_range_scans;
+  if Io.counting t.io then Dbproc_obs.Metrics.incr (Io.metrics t.io) Dbproc_obs.Metrics.Btree_range_scans;
   let above_lo k =
     match lo with
     | Unbounded -> true

@@ -44,7 +44,7 @@ let read_page t page = Io.read t.io ~file:t.file ~page:page.id
 let write_page t page = Io.write t.io ~file:t.file ~page:page.id
 
 let insert t k v =
-  if Io.counting t.io then Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Hash_inserts;
+  if Io.counting t.io then Dbproc_obs.Metrics.incr (Io.metrics t.io) Dbproc_obs.Metrics.Hash_inserts;
   let b = bucket_of t k in
   let chain = t.buckets.(b) in
   (* Read along the chain until a page with room is found. *)
@@ -92,7 +92,7 @@ let remove t k pred =
   go t.buckets.(b)
 
 let search t k =
-  if Io.counting t.io then Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Hash_probes;
+  if Io.counting t.io then Dbproc_obs.Metrics.incr (Io.metrics t.io) Dbproc_obs.Metrics.Hash_probes;
   let b = bucket_of t k in
   List.concat_map
     (fun page ->

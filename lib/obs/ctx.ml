@@ -1,0 +1,34 @@
+type t = {
+  metrics : Metrics.t;
+  histograms : Histogram.registry;
+  trace : Trace.t;
+}
+
+let create ?trace_capacity () =
+  {
+    metrics = Metrics.create ();
+    histograms = Histogram.create_registry ();
+    trace = Trace.create ?capacity:trace_capacity ();
+  }
+
+let metrics t = t.metrics
+let histograms t = t.histograms
+let trace t = t.trace
+
+(* The compatibility context: what `Cost.create ()` charges when no
+   explicit context is supplied.  It is an ordinary context — just one
+   instance that happens to be shared by default — so code that builds its
+   own contexts never touches it. *)
+let default = create ()
+
+let reset t =
+  Metrics.reset_all t.metrics;
+  Histogram.reset_all t.histograms;
+  Trace.reset t.trace
+
+let merge_into ~into src =
+  Metrics.merge_into ~into:into.metrics src.metrics;
+  Histogram.merge_registry_into ~into:into.histograms src.histograms
+(* Traces are deliberately not merged: spans are timestamped on the source
+   context's clock and interleaving them across contexts would be
+   meaningless.  Merged snapshots carry counters and histograms only. *)

@@ -1,0 +1,41 @@
+(** The engine observability context: one {!Metrics.t} registry, one
+    {!Histogram.registry} and one {!Trace.t} tracer bundled as a
+    first-class value.
+
+    Every accounting bundle ({!Dbproc_storage.Cost.t}, and hence every
+    {!Dbproc_storage.Io.t} and everything built on one) carries a context;
+    all instrumentation charges that context's registries.  There is no
+    process-global registry — two contexts in one process accumulate
+    completely independently, which is what lets engine instances run in
+    parallel domains ({!Dbproc_workload.Parallel}).
+
+    {!default} is the compatibility context used when [Cost.create] is
+    given no explicit [?ctx]: small scripts, the REPL examples and
+    [procsim stats] keep working without threading a context by hand.  A
+    context (including the default) is not domain-safe; each domain must
+    own the contexts it charges. *)
+
+type t
+
+val create : ?trace_capacity:int -> unit -> t
+(** A fresh context: zeroed metrics, empty histogram registry, disabled
+    tracer (ring capacity [trace_capacity], default 64). *)
+
+val metrics : t -> Metrics.t
+val histograms : t -> Histogram.registry
+val trace : t -> Trace.t
+
+val default : t
+(** The shared compatibility context, charged by any [Cost.create ()]
+    call that does not pass [?ctx]. *)
+
+val reset : t -> unit
+(** Zero metrics (counters and gauges), drop all named histograms and all
+    trace spans. *)
+
+val merge_into : into:t -> t -> unit
+(** Fold [src]'s metrics and histograms into [into] (cell-wise addition;
+    same-named histograms merge, missing ones are created).  Traces are
+    not merged — spans are only meaningful against their own context's
+    clock.  Merging is commutative and associative, so combining
+    per-domain contexts yields the same snapshot in any order. *)

@@ -251,35 +251,35 @@ let histogram_json h =
       ("p99", stat (fun h -> Histogram.quantile h 0.99));
     ]
 
-let counters_json () = Obj (List.map (fun (k, v) -> (k, Int v)) (Metrics.counters ()))
-let gauges_json () = Obj (List.map (fun (k, v) -> (k, Int v)) (Metrics.gauges ()))
+let counters_json m = Obj (List.map (fun (k, v) -> (k, Int v)) (Metrics.counters m))
+let gauges_json m = Obj (List.map (fun (k, v) -> (k, Int v)) (Metrics.gauges m))
 
-let histograms_json () =
+let histograms_json reg =
   Obj
     (List.map
        (fun (name, h) -> (name, histogram_json h))
-       (List.sort (fun (a, _) (b, _) -> compare a b) (Histogram.all_named ())))
+       (List.sort (fun (a, _) (b, _) -> compare a b) (Histogram.all_named reg)))
 
-let snapshot ?(extra = []) () =
+let snapshot ?(extra = []) ctx =
   Obj
     (extra
     @ [
-        ("counters", counters_json ());
-        ("gauges", gauges_json ());
-        ("histograms", histograms_json ());
+        ("counters", counters_json (Ctx.metrics ctx));
+        ("gauges", gauges_json (Ctx.metrics ctx));
+        ("histograms", histograms_json (Ctx.histograms ctx));
       ])
 
 (* ------------------------------------------------------------------ CSV *)
 
-let counters_csv () =
+let counters_csv m =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "counter,value\n";
   List.iter
     (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s,%d\n" k v))
-    (Metrics.counters () @ Metrics.gauges ());
+    (Metrics.counters m @ Metrics.gauges m);
   Buffer.contents buf
 
-let histograms_csv () =
+let histograms_csv reg =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "histogram,count,sum,min,max,mean,p50,p90,p99\n";
   List.iter
@@ -292,7 +292,7 @@ let histograms_csv () =
              (Histogram.quantile h 0.5)
              (Histogram.quantile h 0.9)
              (Histogram.quantile h 0.99)))
-    (List.sort (fun (a, _) (b, _) -> compare a b) (Histogram.all_named ()));
+    (List.sort (fun (a, _) (b, _) -> compare a b) (Histogram.all_named reg));
   Buffer.contents buf
 
 let write_file path contents = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents)

@@ -27,18 +27,19 @@ val member : string -> json -> json option
 
 (** {2 Registry snapshots} *)
 
-val snapshot : ?extra:(string * json) list -> unit -> json
-(** Current state of {!Metrics} (counters + gauges) and every named
-    {!Histogram} as
+val snapshot : ?extra:(string * json) list -> Ctx.t -> json
+(** Current state of one context's {!Metrics} (counters + gauges) and
+    every named {!Histogram} as
     [{..extra, "counters": {..}, "gauges": {..},
       "histograms": {name: {count,sum,min,max,mean,p50,p90,p99}}}].
-    [extra] fields come first. *)
+    [extra] fields come first; histograms are sorted by name, so a merged
+    context snapshots identically regardless of merge order. *)
 
 val histogram_json : Histogram.t -> json
 
 (** {2 CSV} *)
 
-val counters_csv : unit -> string
-val histograms_csv : unit -> string
+val counters_csv : Metrics.t -> string
+val histograms_csv : Histogram.registry -> string
 
 val write_file : string -> string -> unit

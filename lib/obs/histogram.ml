@@ -92,23 +92,48 @@ let reset t =
   t.max_v <- Float.neg_infinity;
   Array.fill t.buckets 0 n_buckets 0
 
+let merge_into ~into src =
+  if src.count > 0 then begin
+    into.count <- into.count + src.count;
+    into.sum <- into.sum +. src.sum;
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v;
+    for i = 0 to n_buckets - 1 do
+      into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)
+    done
+  end
+
 (* ------------------------------------------------------- named registry *)
 
-let registry : (string, t) Hashtbl.t = Hashtbl.create 16
-let order : string list ref = ref [] (* reversed creation order *)
+(* One get-or-create registry per engine context.  Creation order is kept
+   (reversed in [order]) so [all_named] is deterministic; Export sorts by
+   name anyway, but the ordered list keeps `procsim stats` stable. *)
+type registry = {
+  table : (string, t) Hashtbl.t;
+  mutable order : string list; (* reversed creation order *)
+}
 
-let named name =
-  match Hashtbl.find_opt registry name with
+let create_registry () = { table = Hashtbl.create 16; order = [] }
+
+let named reg name =
+  match Hashtbl.find_opt reg.table name with
   | Some h -> h
   | None ->
     let h = create ~name () in
-    Hashtbl.replace registry name h;
-    order := name :: !order;
+    Hashtbl.replace reg.table name h;
+    reg.order <- name :: reg.order;
     h
 
-let all_named () =
-  List.rev_map (fun name -> (name, Hashtbl.find registry name)) !order
+let all_named reg =
+  List.rev_map (fun name -> (name, Hashtbl.find reg.table name)) reg.order
 
-let reset_all () =
-  Hashtbl.reset registry;
-  order := []
+let reset_all reg =
+  Hashtbl.reset reg.table;
+  reg.order <- []
+
+let merge_registry_into ~into src =
+  (* Walk [src] in creation order so histograms new to [into] are created
+     in a deterministic order. *)
+  List.iter
+    (fun (name, h) -> merge_into ~into:(named into name) h)
+    (all_named src)

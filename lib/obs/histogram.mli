@@ -36,18 +36,34 @@ val buckets : t -> (float * float * int) list
 
 val reset : t -> unit
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src]'s samples into [into]: counts, sums
+    and buckets add; min/max widen.  Addition is order-independent, so
+    merging per-domain histograms yields the same result regardless of
+    completion order. *)
+
 (** {2 Named registry}
 
-    Global get-or-create registry used by the engine's instrumentation
-    (e.g. the workload driver's per-strategy latency histograms) and
-    snapshotted by {!Export}. *)
+    Get-or-create registry, one per engine context ({!Ctx.t}), used by the
+    engine's instrumentation (e.g. the workload driver's per-strategy
+    latency histograms) and snapshotted by {!Export}. *)
 
-val named : string -> t
-val all_named : unit -> (string * t) list
+type registry
+
+val create_registry : unit -> registry
+(** A fresh, empty registry. *)
+
+val named : registry -> string -> t
+val all_named : registry -> (string * t) list
 (** In creation order. *)
 
-val reset_all : unit -> unit
+val reset_all : registry -> unit
 (** Drop every named histogram. *)
+
+val merge_registry_into : into:registry -> registry -> unit
+(** Merge every histogram of the source registry into the same-named
+    histogram of [into] (created if absent, in the source's creation
+    order). *)
 
 (**/**)
 

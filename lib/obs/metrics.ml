@@ -116,36 +116,56 @@ let gauge_name = function
 
 let all_gauges = [ Procedures_registered; Rete_memories; Buffer_pool_pages ]
 
-let counter_cells = Array.make n_counters 0
-let gauge_cells = Array.make n_gauges 0
-let enabled_flag = ref true
+(* A registry instance: one flat int array per kind plus the enable flag.
+   Instances are cheap (two small arrays) and independent, so every engine
+   context carries its own and two contexts never share a cell. *)
+type t = {
+  counter_cells : int array;
+  gauge_cells : int array;
+  mutable enabled_flag : bool;
+}
 
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+let create () =
+  {
+    counter_cells = Array.make n_counters 0;
+    gauge_cells = Array.make n_gauges 0;
+    enabled_flag = true;
+  }
 
-let incr ?(n = 1) c =
-  if !enabled_flag then begin
+let enabled t = t.enabled_flag
+let set_enabled t b = t.enabled_flag <- b
+
+let incr ?(n = 1) t c =
+  if t.enabled_flag then begin
     let i = index c in
-    Array.unsafe_set counter_cells i (Array.unsafe_get counter_cells i + n)
+    Array.unsafe_set t.counter_cells i (Array.unsafe_get t.counter_cells i + n)
   end
 
-let get c = counter_cells.(index c)
+let get t c = t.counter_cells.(index c)
 
-let set_gauge g v = if !enabled_flag then gauge_cells.(gauge_index g) <- v
+let set_gauge t g v = if t.enabled_flag then t.gauge_cells.(gauge_index g) <- v
 
-let add_gauge ?(n = 1) g =
-  if !enabled_flag then begin
+let add_gauge ?(n = 1) t g =
+  if t.enabled_flag then begin
     let i = gauge_index g in
-    gauge_cells.(i) <- gauge_cells.(i) + n
+    t.gauge_cells.(i) <- t.gauge_cells.(i) + n
   end
 
-let get_gauge g = gauge_cells.(gauge_index g)
+let get_gauge t g = t.gauge_cells.(gauge_index g)
 
-let counters () = List.map (fun c -> (counter_name c, get c)) all_counters
-let gauges () = List.map (fun g -> (gauge_name g, get_gauge g)) all_gauges
+let counters t = List.map (fun c -> (counter_name c, get t c)) all_counters
+let gauges t = List.map (fun g -> (gauge_name g, get_gauge t g)) all_gauges
 
-let reset () = Array.fill counter_cells 0 n_counters 0
+let reset t = Array.fill t.counter_cells 0 n_counters 0
 
-let reset_all () =
-  reset ();
-  Array.fill gauge_cells 0 n_gauges 0
+let reset_all t =
+  reset t;
+  Array.fill t.gauge_cells 0 n_gauges 0
+
+let merge_into ~into src =
+  for i = 0 to n_counters - 1 do
+    into.counter_cells.(i) <- into.counter_cells.(i) + src.counter_cells.(i)
+  done;
+  for i = 0 to n_gauges - 1 do
+    into.gauge_cells.(i) <- into.gauge_cells.(i) + src.gauge_cells.(i)
+  done

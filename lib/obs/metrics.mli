@@ -1,13 +1,17 @@
-(** Engine-wide monotonic counters and gauges.
+(** Engine counters and gauges, one registry instance per engine context.
 
-    One global, resettable registry.  Counters live in a flat [int array]
+    A registry is a first-class {!t}: counters live in a flat [int array]
     keyed by a constant-constructor variant, so charging one costs a bounds
     check and an integer add — cheap enough to leave on during the sim-*
-    measurements (the bench's obs-overhead ablation verifies this).  The
+    measurements (the bench's obs-overhead ablation verifies this).  Each
     registry deliberately mirrors {!Dbproc_storage.Cost}: every cost charge
-    on an active accounting bundle also bumps the matching counter here, so
-    priced work and observed work can be cross-checked
-    ([pages_read + pages_written = io_charge / C2]).
+    on an active accounting bundle also bumps the matching counter in the
+    bundle's registry, so priced work and observed work can be cross-checked
+    per context ([pages_read + pages_written = io_charge / C2]).
+
+    There is no process-global registry; the compatibility default lives in
+    {!Ctx.default}.  Two registries in one process accumulate independently,
+    which is what lets engine instances run in parallel domains.
 
     Counters that mirror priced charges ([Pages_read] … [Invalidations])
     and the per-layer counters gated on {!Dbproc_storage.Io.counting} are
@@ -54,28 +58,40 @@ type gauge =
 val all_gauges : gauge list
 val gauge_name : gauge -> string
 
-val enabled : unit -> bool
+type t
+(** One registry instance.  Not domain-safe: a registry must be charged
+    from the domain that owns its engine context. *)
 
-val set_enabled : bool -> unit
-(** Turn the whole registry on or off.  When off, {!incr}, {!set_gauge} and
+val create : unit -> t
+(** A fresh registry, all cells zero, enabled. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Turn one registry on or off.  When off, {!incr}, {!set_gauge} and
     {!add_gauge} are no-ops — the disabled arm of the bench's overhead
     ablation. *)
 
-val incr : ?n:int -> counter -> unit
-val get : counter -> int
-val set_gauge : gauge -> int -> unit
-val add_gauge : ?n:int -> gauge -> unit
-val get_gauge : gauge -> int
+val incr : ?n:int -> t -> counter -> unit
+val get : t -> counter -> int
+val set_gauge : t -> gauge -> int -> unit
+val add_gauge : ?n:int -> t -> gauge -> unit
+val get_gauge : t -> gauge -> int
 
-val counters : unit -> (string * int) list
+val counters : t -> (string * int) list
 (** All counters, in declaration order. *)
 
-val gauges : unit -> (string * int) list
+val gauges : t -> (string * int) list
 
-val reset : unit -> unit
+val reset : t -> unit
 (** Zero every counter (gauges keep their values).  {!Dbproc_workload}'s
     driver calls this at the start of every measured run, alongside
     [Cost.reset], so the two stay in lock-step. *)
 
-val reset_all : unit -> unit
+val reset_all : t -> unit
 (** Zero counters and gauges. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] adds [src]'s counters and gauges cell-wise into
+    [into].  Used to combine per-run contexts into one experiment snapshot
+    deterministically (addition is order-independent). *)

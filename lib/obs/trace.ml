@@ -7,79 +7,96 @@ type span = {
   mutable children : span list; (* reversed while open, in-order once closed *)
 }
 
-let clock = ref (fun () -> 0.0)
-let set_clock f = clock := f
-let now_ms () = !clock ()
+(* One tracer instance per engine context: the clock, enable flag, open
+   stack and completed-root ring all live in the record, so two contexts
+   trace independently (and can install different simulated clocks). *)
+type t = {
+  mutable clock : unit -> float;
+  mutable enabled_flag : bool;
+  mutable capacity : int;
+  mutable stack : span list;
+  roots : span Queue.t;
+}
 
-let enabled_flag = ref false
-let enabled () = !enabled_flag
+let create ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Trace.create";
+  {
+    clock = (fun () -> 0.0);
+    enabled_flag = false;
+    capacity;
+    stack = [];
+    roots = Queue.create ();
+  }
 
-let capacity = ref 64
-let stack : span list ref = ref []
-let roots : span Queue.t = Queue.create ()
+let set_clock t f = t.clock <- f
+let now_ms t = t.clock ()
+let enabled t = t.enabled_flag
 
-let reset () =
-  stack := [];
-  Queue.clear roots
+let reset t =
+  t.stack <- [];
+  Queue.clear t.roots
 
-let set_enabled b =
-  if b <> !enabled_flag then begin
+let set_enabled t b =
+  if b <> t.enabled_flag then begin
     (* Toggling mid-span would orphan the open stack; drop it. *)
-    stack := [];
-    enabled_flag := b
+    t.stack <- [];
+    t.enabled_flag <- b
   end
 
-let set_capacity n =
+let set_capacity t n =
   if n <= 0 then invalid_arg "Trace.set_capacity";
-  capacity := n;
-  while Queue.length roots > n do
-    ignore (Queue.pop roots)
+  t.capacity <- n;
+  while Queue.length t.roots > n do
+    ignore (Queue.pop t.roots)
   done
 
-let open_depth () = List.length !stack
+let open_depth t = List.length t.stack
 
-let begin_span name =
-  if !enabled_flag then
-    stack := { name; start_ms = now_ms (); stop_ms = Float.nan; children = [] } :: !stack
+let begin_span t name =
+  if t.enabled_flag then
+    t.stack <-
+      { name; start_ms = now_ms t; stop_ms = Float.nan; children = [] }
+      :: t.stack
 
-let end_span () =
-  if !enabled_flag then
-    match !stack with
+let end_span t =
+  if t.enabled_flag then
+    match t.stack with
     | [] -> raise (Unbalanced "Trace.end_span: no span is open")
     | span :: rest ->
-      span.stop_ms <- now_ms ();
+      span.stop_ms <- now_ms t;
       span.children <- List.rev span.children;
-      stack := rest;
+      t.stack <- rest;
       (match rest with
       | parent :: _ -> parent.children <- span :: parent.children
       | [] ->
-        Queue.push span roots;
-        if Queue.length roots > !capacity then ignore (Queue.pop roots))
+        Queue.push span t.roots;
+        if Queue.length t.roots > t.capacity then ignore (Queue.pop t.roots))
 
-let with_span name f =
-  if not !enabled_flag then f ()
+let with_span t name f =
+  if not t.enabled_flag then f ()
   else begin
-    begin_span name;
+    begin_span t name;
     match f () with
     | v ->
-      end_span ();
+      end_span t;
       v
     | exception e ->
-      end_span ();
+      end_span t;
       raise e
   end
 
 (* Lazy-name variant so hot callers do not pay for sprintf while tracing
    is off. *)
-let with_span_f namef f = if not !enabled_flag then f () else with_span (namef ()) f
+let with_span_f t namef f =
+  if not t.enabled_flag then f () else with_span t (namef ()) f
 
-let root_spans () = List.of_seq (Queue.to_seq roots)
+let root_spans t = List.of_seq (Queue.to_seq t.roots)
 
 let duration_ms s = s.stop_ms -. s.start_ms
 
-let render ?(limit = 20) () =
+let render ?(limit = 20) t =
   let taken =
-    let all = root_spans () in
+    let all = root_spans t in
     let n = List.length all in
     if n <= limit then all
     else

@@ -93,7 +93,7 @@ let object_pages t entry =
 let switch t entry target =
   if current_mode entry <> target then begin
     t.switches <- t.switches + 1;
-    Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Adaptive_switches;
+    Dbproc_obs.Metrics.incr (Io.metrics t.io) Dbproc_obs.Metrics.Adaptive_switches;
     (* Building UC or CI state costs a recomputation; the executor run in
        create/Result_cache.create is uncharged setup, so charge it here
        the way the paper would: one C_ProcessQuery plus the write-back. *)

@@ -45,7 +45,7 @@ let to_idx_bound_hi = function
   | Btree.Exclusive v -> V_idx.Excl v
 
 let subscribe ?(tag = 0) t ~owner ~rel ~restriction =
-  Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Ilock_subscriptions;
+  Dbproc_obs.Metrics.incr (Cost.metrics t.cost) Dbproc_obs.Metrics.Ilock_subscriptions;
   let locks = rel_locks t rel in
   let sub = { owner; tag; restriction } in
   match Dbproc_query.Planner.interval_of_restriction restriction with
@@ -107,7 +107,7 @@ let broken_by t ~rel ~inserted ~deleted ~charge_screens =
           List.iter
             (fun (sub : subscription) ->
               if Cost.active t.cost then
-                Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Ilock_probes;
+                Dbproc_obs.Metrics.incr (Cost.metrics t.cost) Dbproc_obs.Metrics.Ilock_probes;
               if charge_screens then Cost.cpu_screen t.cost;
               if Predicate.eval sub.restriction tuple then begin
                 let ins, del = bucket sub in

@@ -4,6 +4,11 @@ open Dbproc_query
 module Metrics = Dbproc_obs.Metrics
 module Trace = Dbproc_obs.Trace
 
+(* All instrumentation charges the manager's own engine context, reached
+   through its I/O layer. *)
+let obs_metrics io = Io.metrics io
+let obs_trace io = Io.trace io
+
 type kind = Always_recompute | Cache_invalidate | Update_cache_avm | Update_cache_rvm
 
 let kind_name = function
@@ -83,8 +88,8 @@ let register t (def : View_def.t) =
       Rvm built.result
   in
   t.entries <- (id, (def, entry)) :: t.entries;
-  Metrics.incr Metrics.Proc_registrations;
-  Metrics.add_gauge Metrics.Procedures_registered;
+  Metrics.incr (obs_metrics t.io) Metrics.Proc_registrations;
+  Metrics.add_gauge (obs_metrics t.io) Metrics.Procedures_registered;
   id
 
 let find t id =
@@ -96,49 +101,51 @@ let def_of t id = fst (find t id)
 let proc_ids t = List.rev_map fst t.entries
 
 let access t id =
-  Metrics.incr Metrics.Proc_accesses;
-  Trace.with_span_f
+  let tr = obs_trace t.io in
+  Metrics.incr (obs_metrics t.io) Metrics.Proc_accesses;
+  Trace.with_span_f tr
     (fun () -> Printf.sprintf "access p%d [%s]" id (kind_name t.kind))
     (fun () ->
       match snd (find t id) with
-      | Ar plan -> Trace.with_span "execute" (fun () -> Executor.run plan)
+      | Ar plan -> Trace.with_span tr "execute" (fun () -> Executor.run plan)
       | Ci cache -> Result_cache.access cache
       | Avm view ->
-        Trace.with_span "execute (read cache)" (fun () ->
+        Trace.with_span tr "execute (read cache)" (fun () ->
             Dbproc_avm.Materialized_view.read view)
       | Rvm node ->
-        Trace.with_span "execute (read cache)" (fun () ->
+        Trace.with_span tr "execute (read cache)" (fun () ->
             Dbproc_rete.Memory.read (Dbproc_rete.Network.memory node)))
 
 let on_delta t ~rel ~inserted ~deleted =
   let news = inserted and olds = deleted in
+  let tr = obs_trace t.io in
   match t.kind with
   | Always_recompute -> ()
   | Cache_invalidate ->
-    Trace.with_span_f
+    Trace.with_span_f tr
       (fun () -> Printf.sprintf "update %s [ci]" (Relation.name rel))
       (fun () ->
-        Trace.with_span "screen" (fun () ->
+        Trace.with_span tr "screen" (fun () ->
             Ilock.broken_by t.ilocks ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
               ~charge_screens:false)
         |> List.iter (fun (b : Ilock.broken) ->
                match snd (find t b.owner) with
                | Ci cache ->
-                 Trace.with_span_f
+                 Trace.with_span_f tr
                    (fun () -> Printf.sprintf "invalidate p%d" b.owner)
                    (fun () -> Result_cache.invalidate cache)
                | _ -> assert false))
   | Update_cache_avm ->
-    Trace.with_span_f
+    Trace.with_span_f tr
       (fun () -> Printf.sprintf "update %s [avm]" (Relation.name rel))
       (fun () ->
-        Trace.with_span "screen" (fun () ->
+        Trace.with_span tr "screen" (fun () ->
             Ilock.broken_by t.ilocks ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
               ~charge_screens:true)
         |> List.iter (fun (b : Ilock.broken) ->
                match snd (find t b.owner) with
                | Avm view ->
-                 Trace.with_span_f
+                 Trace.with_span_f tr
                    (fun () -> Printf.sprintf "maintain p%d" b.owner)
                    (fun () ->
                      Dbproc_avm.Materialized_view.apply_source_delta view
@@ -146,10 +153,10 @@ let on_delta t ~rel ~inserted ~deleted =
                | _ -> assert false))
   | Update_cache_rvm ->
     let builder = Option.get t.builder in
-    Trace.with_span_f
+    Trace.with_span_f tr
       (fun () -> Printf.sprintf "update %s [rvm]" (Relation.name rel))
       (fun () ->
-        Trace.with_span "maintain" (fun () ->
+        Trace.with_span tr "maintain" (fun () ->
             Dbproc_rete.Network.apply_delta
               (Dbproc_rete.Builder.network builder)
               ~rel:(Relation.name rel) ~inserted:news ~deleted:olds))

@@ -49,14 +49,14 @@ let invalidate t =
 let access t =
   t.accesses <- t.accesses + 1;
   if t.valid then begin
-    Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Cache_hits;
-    Dbproc_obs.Trace.with_span "execute (read cache)" (fun () ->
-        Heap_file.read_all t.store)
+    Dbproc_obs.Metrics.incr (Io.metrics (io t)) Dbproc_obs.Metrics.Cache_hits;
+    Dbproc_obs.Trace.with_span (Io.trace (io t)) "execute (read cache)"
+      (fun () -> Heap_file.read_all t.store)
   end
   else begin
     t.misses <- t.misses + 1;
-    Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Cache_misses;
-    Dbproc_obs.Trace.with_span "recompute" (fun () ->
+    Dbproc_obs.Metrics.incr (Io.metrics (io t)) Dbproc_obs.Metrics.Cache_misses;
+    Dbproc_obs.Trace.with_span (Io.trace (io t)) "recompute" (fun () ->
         let fresh = Executor.run t.plan in
         Heap_file.rewrite t.store fresh;
         t.valid <- true;

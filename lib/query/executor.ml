@@ -4,7 +4,7 @@ open Dbproc_relation
 let charge_screen io = Cost.cpu_screen (Io.cost io)
 
 let note_scanned io =
-  if Io.counting io then Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Tuples_scanned
+  if Io.counting io then Dbproc_obs.Metrics.incr (Io.metrics io) Dbproc_obs.Metrics.Tuples_scanned
 
 let run_access (plan : Plan.t) =
   let rel = plan.base_rel in
@@ -86,7 +86,7 @@ let run_base (plan : Plan.t) =
 
 let run (plan : Plan.t) =
   let io = Relation.io plan.base_rel in
-  if Io.counting io then Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Plans_executed;
+  if Io.counting io then Dbproc_obs.Metrics.incr (Io.metrics io) Dbproc_obs.Metrics.Plans_executed;
   Io.with_touch_dedup io (fun () ->
       let base = run_access plan in
       List.fold_left (fun acc p -> run_probe p acc) base plan.probes)

@@ -70,7 +70,7 @@ let join_count t = t.n_joins
 let fresh_mem t name =
   let mem = Memory.create ~io:t.io ~record_bytes:t.record_bytes ~name () in
   t.all_memories <- mem :: t.all_memories;
-  Dbproc_obs.Metrics.add_gauge Dbproc_obs.Metrics.Rete_memories;
+  Dbproc_obs.Metrics.add_gauge (Io.metrics t.io) Dbproc_obs.Metrics.Rete_memories;
   { mem; successors = [] }
 
 let to_idx_lo = function
@@ -144,7 +144,7 @@ let covered interval tuple =
 
 let rec deliver (m : mem_node) (tok : token) =
   if Io.counting (Memory.io m.mem) then
-    Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Rete_tokens;
+    Dbproc_obs.Metrics.incr (Io.metrics (Memory.io m.mem)) Dbproc_obs.Metrics.Rete_tokens;
   let applied =
     match tok.sign with
     | Plus ->
@@ -157,7 +157,7 @@ let rec deliver (m : mem_node) (tok : token) =
 and activate_join j side tok =
   let opposite = match side with L -> j.right.mem | R -> j.left.mem in
   if Io.counting (Memory.io opposite) then
-    Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Rete_join_activations;
+    Dbproc_obs.Metrics.incr (Io.metrics (Memory.io opposite)) Dbproc_obs.Metrics.Rete_join_activations;
   let matches =
     match j.jt.Predicate.op with
     | Predicate.Eq ->
@@ -283,6 +283,6 @@ let apply_delta t ~rel ~inserted ~deleted =
         (* The minus feed retracts tuples the update made stale — the
            network's invalidation phase; the plus feed propagates the new
            ones. *)
-        Dbproc_obs.Trace.with_span "invalidate (-delta)" (fun () -> feed Minus deleted);
-        Dbproc_obs.Trace.with_span "propagate (+delta)" (fun () -> feed Plus inserted));
-      Dbproc_obs.Trace.with_span "flush" (fun () -> List.iter Memory.flush (memories t)))
+        Dbproc_obs.Trace.with_span (Io.trace t.io) "invalidate (-delta)" (fun () -> feed Minus deleted);
+        Dbproc_obs.Trace.with_span (Io.trace t.io) "propagate (+delta)" (fun () -> feed Plus inserted));
+      Dbproc_obs.Trace.with_span (Io.trace t.io) "flush" (fun () -> List.iter Memory.flush (memories t)))

@@ -15,9 +15,10 @@ type t = {
   mutable delta_ops : int;
   mutable invalidations : int;
   mutable disabled_depth : int;
+  obs : Dbproc_obs.Ctx.t;
 }
 
-let create () =
+let create ?(ctx = Dbproc_obs.Ctx.default) () =
   {
     page_reads = 0;
     page_writes = 0;
@@ -25,7 +26,11 @@ let create () =
     delta_ops = 0;
     invalidations = 0;
     disabled_depth = 0;
+    obs = ctx;
   }
+
+let ctx t = t.obs
+let metrics t = Dbproc_obs.Ctx.metrics t.obs
 
 let reset t =
   t.page_reads <- 0;
@@ -43,41 +48,41 @@ let with_disabled t f =
 
 let active t = t.disabled_depth = 0
 
-(* Each charge mirrors into the global Obs counters under the same
-   [active] gate, so observability totals agree exactly with the cost
-   model's (bulk loads and consistency checks run cost-disabled and stay
-   invisible to both). *)
+(* Each charge mirrors into the bundle's own context registry under the
+   same [active] gate, so observability totals agree exactly with the cost
+   model's per context (bulk loads and consistency checks run
+   cost-disabled and stay invisible to both). *)
 
 module Metrics = Dbproc_obs.Metrics
 
 let page_read ?(count = 1) t =
   if active t then begin
     t.page_reads <- t.page_reads + count;
-    Metrics.incr ~n:count Metrics.Pages_read
+    Metrics.incr ~n:count (metrics t) Metrics.Pages_read
   end
 
 let page_write ?(count = 1) t =
   if active t then begin
     t.page_writes <- t.page_writes + count;
-    Metrics.incr ~n:count Metrics.Pages_written
+    Metrics.incr ~n:count (metrics t) Metrics.Pages_written
   end
 
 let cpu_screen ?(count = 1) t =
   if active t then begin
     t.cpu_screens <- t.cpu_screens + count;
-    Metrics.incr ~n:count Metrics.Predicate_screens
+    Metrics.incr ~n:count (metrics t) Metrics.Predicate_screens
   end
 
 let delta_op ?(count = 1) t =
   if active t then begin
     t.delta_ops <- t.delta_ops + count;
-    Metrics.incr ~n:count Metrics.Delta_set_ops
+    Metrics.incr ~n:count (metrics t) Metrics.Delta_set_ops
   end
 
 let invalidation ?(count = 1) t =
   if active t then begin
     t.invalidations <- t.invalidations + count;
-    Metrics.incr ~n:count Metrics.Invalidations
+    Metrics.incr ~n:count (metrics t) Metrics.Invalidations
   end
 
 let page_reads t = t.page_reads

@@ -20,10 +20,23 @@ val default_charges : charges
     C_inval = 0 ms. *)
 
 type t
-(** A mutable bundle of operation counters. *)
+(** A mutable bundle of operation counters, carrying the engine
+    observability context it charges. *)
 
-val create : unit -> t
+val create : ?ctx:Dbproc_obs.Ctx.t -> unit -> t
+(** [create ()] charges {!Dbproc_obs.Ctx.default}; pass [~ctx] to bind
+    the bundle to its own engine context (every charge then mirrors into
+    that context's counters). *)
+
 val reset : t -> unit
+(** Zero the cost counters.  The context's observability counters are not
+    touched — reset those through {!Dbproc_obs.Ctx.reset}. *)
+
+val ctx : t -> Dbproc_obs.Ctx.t
+(** The observability context this bundle charges. *)
+
+val metrics : t -> Dbproc_obs.Metrics.t
+(** Shorthand for [Dbproc_obs.Ctx.metrics (ctx t)]. *)
 
 val disable : t -> unit
 (** Stop counting (used during bulk load / setup).  Nestable. *)

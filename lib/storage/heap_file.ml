@@ -118,7 +118,7 @@ let append t v =
   let rid = allocate_slot t in
   touch_rw t rid.page;
   store t rid v;
-  if Io.counting t.io then Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Heap_appends;
+  if Io.counting t.io then Dbproc_obs.Metrics.incr (Io.metrics t.io) Dbproc_obs.Metrics.Heap_appends;
   rid
 
 let get t rid =

@@ -86,7 +86,8 @@ let direct cost ~page_bytes =
 
 let buffered cost ~page_bytes ~capacity =
   if page_bytes <= 0 then invalid_arg "Io.buffered";
-  Dbproc_obs.Metrics.set_gauge Dbproc_obs.Metrics.Buffer_pool_pages capacity;
+  Dbproc_obs.Metrics.set_gauge (Cost.metrics cost)
+    Dbproc_obs.Metrics.Buffer_pool_pages capacity;
   {
     cost;
     page_bytes;
@@ -120,6 +121,9 @@ let should_charge t ~file ~page ~is_write =
   end
 
 let cost t = t.cost
+let ctx t = Cost.ctx t.cost
+let metrics t = Cost.metrics t.cost
+let trace t = Dbproc_obs.Ctx.trace (Cost.ctx t.cost)
 let page_bytes t = t.page_bytes
 let counting t = Cost.active t.cost
 
@@ -136,12 +140,14 @@ let read t ~file ~page =
       if Lru.touch lru (file, page) then begin
         t.hits <- t.hits + 1;
         if Cost.active t.cost then
-          Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Buffer_hits
+          Dbproc_obs.Metrics.incr (Cost.metrics t.cost)
+            Dbproc_obs.Metrics.Buffer_hits
       end
       else begin
         t.misses <- t.misses + 1;
         if Cost.active t.cost then
-          Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Buffer_misses;
+          Dbproc_obs.Metrics.incr (Cost.metrics t.cost)
+            Dbproc_obs.Metrics.Buffer_misses;
         Cost.page_read t.cost
       end
 

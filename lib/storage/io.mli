@@ -23,6 +23,17 @@ val buffered : Cost.t -> page_bytes:int -> capacity:int -> t
     miss; writes always charge (write-through) and install the page. *)
 
 val cost : t -> Cost.t
+
+val ctx : t -> Dbproc_obs.Ctx.t
+(** The observability context of the underlying {!Cost.t} — the registry
+    every structure built on this I/O layer charges. *)
+
+val metrics : t -> Dbproc_obs.Metrics.t
+(** Shorthand for [Dbproc_obs.Ctx.metrics (ctx t)]. *)
+
+val trace : t -> Dbproc_obs.Trace.t
+(** Shorthand for [Dbproc_obs.Ctx.trace (ctx t)]. *)
+
 val page_bytes : t -> int
 
 val counting : t -> bool

@@ -30,11 +30,11 @@ let append t record =
   t.records <- (lsn, record) :: t.records;
   t.tail_fill <- t.tail_fill + 1;
   if Io.counting t.io then
-    Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Wal_records_appended;
+    Dbproc_obs.Metrics.incr (Io.metrics t.io) Dbproc_obs.Metrics.Wal_records_appended;
   if t.tail_fill >= t.per_page then begin
     Io.write t.io ~file:t.file ~page:t.pages_written;
     if Io.counting t.io then
-      Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Wal_pages_forced;
+      Dbproc_obs.Metrics.incr (Io.metrics t.io) Dbproc_obs.Metrics.Wal_pages_forced;
     t.pages_written <- t.pages_written + 1;
     t.tail_fill <- 0
   end;
@@ -44,7 +44,7 @@ let force t =
   if t.tail_fill > 0 then begin
     Io.write t.io ~file:t.file ~page:t.pages_written;
     if Io.counting t.io then
-      Dbproc_obs.Metrics.incr Dbproc_obs.Metrics.Wal_pages_forced;
+      Dbproc_obs.Metrics.incr (Io.metrics t.io) Dbproc_obs.Metrics.Wal_pages_forced;
     t.pages_written <- t.pages_written + 1;
     t.tail_fill <- 0
   end

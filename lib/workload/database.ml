@@ -27,9 +27,9 @@ let interval_restriction schema ~attr ~start ~width =
     Predicate.term ~attr:pos ~op:Predicate.Lt ~value:(Value.Int (start + width));
   ]
 
-let build ?(seed = 42) ?buffer_pages ~model (params : Params.t) =
+let build ?(seed = 42) ?buffer_pages ?ctx ~model (params : Params.t) =
   let prng = Prng.create seed in
-  let cost = Cost.create () in
+  let cost = Cost.create ?ctx () in
   let page_bytes = iround params.block_bytes in
   let io =
     match buffer_pages with

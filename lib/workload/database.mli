@@ -42,9 +42,17 @@ type t = {
   mutable r2_rids : Dbproc_storage.Heap_file.rid array;
 }
 
-val build : ?seed:int -> ?buffer_pages:int -> model:Model.which -> Params.t -> t
+val build :
+  ?seed:int ->
+  ?buffer_pages:int ->
+  ?ctx:Dbproc_obs.Ctx.t ->
+  model:Model.which ->
+  Params.t ->
+  t
 (** Deterministic from [seed] (default 42).  [buffer_pages], if given,
     interposes an LRU buffer pool (ablation; the paper's model has none).
+    [ctx] is the engine observability context every charge lands in
+    (default {!Dbproc_obs.Ctx.default}).
     Parameters are read at their real-valued face: [Params.n] tuples in
     R1 and so on — scale the parameter record down before calling for
     fast simulations. *)

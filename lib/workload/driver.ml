@@ -16,6 +16,16 @@ type result = {
   invalidations : int;
   consistent : bool;
   per_op : ([ `Query | `Update ] * float) list;
+  obs : Dbproc_obs.Ctx.t;
+}
+
+(* Mutable record the run owns while executing the op sequence; [per_op]
+   is accumulated reversed and flipped once at the end, so the result's
+   [per_op] is in sequence order (the order [op_sequence] produced). *)
+type run_record = {
+  mutable rr_queries : int;
+  mutable rr_updates : int;
+  mutable rr_per_op_rev : ([ `Query | `Update ] * float) list;
 }
 
 let iround x = int_of_float (Float.round x)
@@ -45,8 +55,12 @@ let charges_of (params : Params.t) =
   }
 
 let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
-    ?(r2_update_fraction = 0.0) ~model ~params strategy =
-  let db = Database.build ~seed ~model params in
+    ?(r2_update_fraction = 0.0) ?ctx ~model ~params strategy =
+  (* Each run gets its own engine context unless the caller supplies one:
+     no state is shared with any other run, which is what makes parallel
+     execution safe and bit-identical to sequential. *)
+  let obs = match ctx with Some c -> c | None -> Dbproc_obs.Ctx.create () in
+  let db = Database.build ~seed ~ctx:obs ~model params in
   let record_bytes = iround params.Params.s in
   let manager =
     Dbproc_proc.Manager.create (manager_kind strategy) ~io:db.Database.io ~record_bytes
@@ -68,14 +82,15 @@ let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
      Obs totals equal the cost charges (build/registration work charged
      so far is wiped from both). *)
   Cost.reset db.Database.cost;
-  Dbproc_obs.Metrics.reset ();
+  Dbproc_obs.Metrics.reset (Dbproc_obs.Ctx.metrics obs);
   let charges = charges_of params in
-  Dbproc_obs.Trace.set_clock (fun () -> Cost.total_ms charges db.Database.cost);
+  Dbproc_obs.Trace.set_clock (Dbproc_obs.Ctx.trace obs) (fun () ->
+      Cost.total_ms charges db.Database.cost);
   let tag = Strategy.short_name strategy in
-  let query_latency = Dbproc_obs.Histogram.named ("query_latency_ms/" ^ tag) in
-  let update_latency = Dbproc_obs.Histogram.named ("update_latency_ms/" ^ tag) in
-  let queries = ref 0 and updates = ref 0 in
-  let per_op = ref [] in
+  let hist name = Dbproc_obs.Histogram.named (Dbproc_obs.Ctx.histograms obs) name in
+  let query_latency = hist ("query_latency_ms/" ^ tag) in
+  let update_latency = hist ("update_latency_ms/" ^ tag) in
+  let rr = { rr_queries = 0; rr_updates = 0; rr_per_op_rev = [] } in
   List.iter
     (fun op ->
       let before = Cost.snapshot db.Database.cost in
@@ -83,13 +98,13 @@ let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
         match op with
         | Query idx ->
           if Array.length proc_arr > 0 then begin
-            incr queries;
+            rr.rr_queries <- rr.rr_queries + 1;
             ignore
               (Dbproc_proc.Manager.access manager proc_arr.(idx mod Array.length proc_arr))
           end;
           `Query
         | Update ->
-          incr updates;
+          rr.rr_updates <- rr.rr_updates + 1;
           let target_r2 =
             r2_update_fraction > 0.0 && Prng.float workload_prng < r2_update_fraction
           in
@@ -111,7 +126,7 @@ let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
       Dbproc_obs.Histogram.observe
         (match kind with `Query -> query_latency | `Update -> update_latency)
         elapsed;
-      per_op := (kind, elapsed) :: !per_op)
+      rr.rr_per_op_rev <- (kind, elapsed) :: rr.rr_per_op_rev)
     ops;
   let total_ms = Cost.total_ms charges db.Database.cost in
   let consistent =
@@ -120,9 +135,10 @@ let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
   in
   {
     strategy;
-    queries = !queries;
-    updates = !updates;
-    measured_ms_per_query = (if !queries = 0 then 0.0 else total_ms /. float_of_int !queries);
+    queries = rr.rr_queries;
+    updates = rr.rr_updates;
+    measured_ms_per_query =
+      (if rr.rr_queries = 0 then 0.0 else total_ms /. float_of_int rr.rr_queries);
     analytic_ms_per_query = Model.cost model params strategy;
     page_reads = Cost.page_reads db.Database.cost;
     page_writes = Cost.page_writes db.Database.cost;
@@ -130,7 +146,8 @@ let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
     delta_ops = Cost.delta_ops db.Database.cost;
     invalidations = Cost.invalidations db.Database.cost;
     consistent;
-    per_op = List.rev !per_op;
+    per_op = List.rev rr.rr_per_op_rev;
+    obs;
   }
 
 let run_all ?seed ?check_consistency ?r2_update_fraction ~model ~params () =

@@ -29,10 +29,18 @@ type result = {
   invalidations : int;
   consistent : bool;  (** every procedure's stored state matched a recompute at the end *)
   per_op : ([ `Query | `Update ] * float) list;
-      (** simulated ms of each operation in sequence order — queries carry
-          their access cost, updates their maintenance cost.  The paper
-          reports only means; this exposes the distribution (Cache and
-          Invalidate is bimodal: cheap hits, recompute-priced misses). *)
+      (** simulated ms of each operation, in sequence order — position [i]
+          is the [i]-th operation the run executed; queries carry their
+          access cost, updates their maintenance cost.  The paper reports
+          only means; this exposes the distribution (Cache and Invalidate
+          is bimodal: cheap hits, recompute-priced misses). *)
+  obs : Dbproc_obs.Ctx.t;
+      (** the engine context the run charged — counters, latency
+          histograms ([query_latency_ms/<tag>], [update_latency_ms/<tag>])
+          and spans, all exclusively this run's unless [?ctx] was
+          shared.  Note: contexts contain closures (the trace clock), so
+          structural equality on [result] values raises — compare field
+          projections instead. *)
 }
 
 val run_strategy :
@@ -40,6 +48,7 @@ val run_strategy :
   ?check_consistency:bool ->
   ?rvm_shape:Dbproc_proc.Manager.rvm_shape ->
   ?r2_update_fraction:float ->
+  ?ctx:Dbproc_obs.Ctx.t ->
   model:Model.which ->
   params:Params.t ->
   Strategy.t ->
@@ -49,8 +58,10 @@ val run_strategy :
     C_inval.  [check_consistency] (default true) verifies stored state
     against recomputation when the run ends.  [r2_update_fraction]
     (default 0, the paper's workload) makes that fraction of update
-    transactions modify R2 instead of R1 — the ext-update-mix
-    extension. *)
+    transactions modify R2 instead of R1 — the ext-update-mix extension.
+    [ctx] is the engine context to charge; by default each run creates a
+    fresh private one (exposed as [result.obs]), so runs share no mutable
+    state whatsoever and may execute on different domains. *)
 
 val run_all :
   ?seed:int ->

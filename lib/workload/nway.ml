@@ -24,9 +24,9 @@ let manager_kind = function
    a pointer attribute [next] drawn uniformly over C_{i+1}'s key domain,
    so every chain step is a one-to-one-expected equi-join on a
    hash-clustered key, like the paper's R1 -> R2 -> R3. *)
-let build_chain ~seed ~chain_length (params : Params.t) =
+let build_chain ?ctx ~seed ~chain_length (params : Params.t) =
   let prng = Prng.create seed in
-  let cost = Cost.create () in
+  let cost = Cost.create ?ctx () in
   let page_bytes = iround params.block_bytes in
   let io = Io.direct cost ~page_bytes in
   let tuple_bytes = iround params.s in
@@ -95,9 +95,9 @@ let build_chain ~seed ~chain_length (params : Params.t) =
   in
   (cost, io, c1, defs)
 
-let run ?(seed = 42) ?(rvm_shape = `Right_deep) ~chain_length ~params strategy =
+let run ?(seed = 42) ?(rvm_shape = `Right_deep) ?ctx ~chain_length ~params strategy =
   if chain_length < 2 then invalid_arg "Nway.run: chain_length must be >= 2";
-  let cost, io, c1, defs = build_chain ~seed ~chain_length params in
+  let cost, io, c1, defs = build_chain ?ctx ~seed ~chain_length params in
   let manager =
     Dbproc_proc.Manager.create (manager_kind strategy) ~io
       ~record_bytes:(iround params.Params.s)
@@ -170,11 +170,11 @@ let run ?(seed = 42) ?(rvm_shape = `Right_deep) ~chain_length ~params strategy =
     consistent;
   }
 
-let sweep ?(seed = 42) ~max_length ~params () =
+let sweep ?(seed = 42) ?ctx ~max_length ~params () =
   List.concat_map
     (fun chain_length ->
       [
-        run ~seed ~chain_length ~params Strategy.Update_cache_avm;
-        run ~seed ~rvm_shape:`Right_deep ~chain_length ~params Strategy.Update_cache_rvm;
+        run ~seed ?ctx ~chain_length ~params Strategy.Update_cache_avm;
+        run ~seed ?ctx ~rvm_shape:`Right_deep ~chain_length ~params Strategy.Update_cache_rvm;
       ])
     (List.init (max_length - 1) (fun i -> i + 2))

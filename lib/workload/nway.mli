@@ -26,6 +26,7 @@ type result = {
 val run :
   ?seed:int ->
   ?rvm_shape:[ `Left_deep | `Right_deep ] ->
+  ?ctx:Dbproc_obs.Ctx.t ->
   chain_length:int ->
   params:Params.t ->
   Strategy.t ->
@@ -36,6 +37,11 @@ val run :
     update/access mix against them. *)
 
 val sweep :
-  ?seed:int -> max_length:int -> params:Params.t -> unit -> result list
+  ?seed:int ->
+  ?ctx:Dbproc_obs.Ctx.t ->
+  max_length:int ->
+  params:Params.t ->
+  unit ->
+  result list
 (** {!run} for AVM and RVM (right-deep) at every chain length from 2 to
     [max_length]. *)

@@ -1,0 +1,64 @@
+open Dbproc_util
+open Dbproc_costmodel
+
+let available_cores () = Domain.recommended_domain_count ()
+let clamp_jobs n = max 1 (min n (available_cores ()))
+
+(* Derive a per-task seed by hashing (seed, index) through SplitMix64:
+   deterministic, order-independent, and decorrelated even for adjacent
+   indices.  The derived generator's first raw output is folded back to a
+   non-negative int so it can seed Prng.create / Driver.run_strategy. *)
+let split_seed ~seed ~index =
+  let g = Prng.create seed in
+  let h = Prng.create (Int64.to_int (Prng.next_int64 g) + index) in
+  Int64.to_int (Prng.next_int64 h) land max_int
+
+let map_sequential f xs = Array.map f xs
+
+(* Order-preserving parallel map: tasks are claimed off a shared atomic
+   index, results land in their input slot, so the output order never
+   depends on domain scheduling.  An explicit [jobs] above the physical
+   core count is honored (it only oversubscribes), so the multi-domain
+   path is exercised even on a single-core host. *)
+let map_array ?(jobs = 1) f xs =
+  let n = Array.length xs in
+  if jobs <= 1 || n <= 1 then map_sequential f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f xs.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Parallel.map: missing result")
+      results
+  end
+
+let map ?jobs f xs = Array.to_list (map_array ?jobs f (Array.of_list xs))
+
+let run_all ?seed ?check_consistency ?r2_update_fraction ?(jobs = 1) ~model
+    ~params () =
+  map ~jobs
+    (fun s ->
+      Driver.run_strategy ?seed ?check_consistency ?r2_update_fraction ~model
+        ~params s)
+    Strategy.all
+
+let merge_obs results =
+  let into = Dbproc_obs.Ctx.create () in
+  List.iter
+    (fun (r : Driver.result) -> Dbproc_obs.Ctx.merge_into ~into r.Driver.obs)
+    results;
+  into

@@ -1,0 +1,57 @@
+(** Domain-parallel experiment execution.
+
+    The paper's figures are sweeps of independent points; after the
+    engine-context refactor every {!Driver.run_strategy} call is fully
+    self-contained (own database, own PRNG stream, own
+    {!Dbproc_obs.Ctx.t}), so points can run on separate OCaml 5 domains
+    with no shared mutable state.  Everything here is deterministic: a
+    parallel run produces bit-identical results to the sequential one —
+    the engine never reads a wall clock, each task's seed depends only on
+    [(seed, index)], and results are returned in input order regardless of
+    scheduling.
+
+    Costs are simulated, so the speedup is real CPU-time parallelism of
+    the simulation itself, roughly min(jobs, cores)× for sweeps of similar
+    points. *)
+
+open Dbproc_costmodel
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val clamp_jobs : int -> int
+(** [max 1 (min n (available_cores ()))] — what binaries apply to a user
+    [--jobs] request.  The library itself honors any explicit job count
+    (oversubscription is harmless and keeps the multi-domain path
+    testable on small machines). *)
+
+val split_seed : seed:int -> index:int -> int
+(** Per-task seed, a SplitMix64 hash of [(seed, index)]: deterministic,
+    independent of task execution order, decorrelated across indices. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element on up to [jobs] domains
+    (including the calling one) and returns results in input order.
+    [jobs <= 1] (the default) runs inline with no domains.  Tasks are
+    claimed from a shared counter, so uneven task costs load-balance.
+    [f] must not touch state shared across tasks — give each task its own
+    engine context. *)
+
+val run_all :
+  ?seed:int ->
+  ?check_consistency:bool ->
+  ?r2_update_fraction:float ->
+  ?jobs:int ->
+  model:Model.which ->
+  params:Params.t ->
+  unit ->
+  Driver.result list
+(** {!Driver.run_all} with the four strategies fanned across domains:
+    same arguments, same result list (bit-identical — each strategy run
+    derives everything from the seed), [jobs] of them in flight at once. *)
+
+val merge_obs : Driver.result list -> Dbproc_obs.Ctx.t
+(** Fold every result's context into one fresh context (counters and
+    histograms add; traces are not merged).  Deterministic for any result
+    order thanks to commutative merging — but callers should still merge
+    in sequence order so histogram creation order is stable. *)

@@ -1,6 +1,7 @@
-(* Tests for Dbproc.Obs: the counter/gauge registry, log-bucket latency
-   histograms, span tracing over an injected clock, and the JSON
-   emitter/parser used by bench --json and procsim json-check. *)
+(* Tests for Dbproc.Obs: per-context counter/gauge registries, log-bucket
+   latency histograms, span tracing over an injected clock, the engine
+   context bundle, and the JSON emitter/parser used by bench --json and
+   procsim json-check. *)
 
 open Dbproc.Obs
 
@@ -12,41 +13,39 @@ let contains haystack needle =
 (* ------------------------------------------------------------- metrics *)
 
 let test_counter_incr_get () =
-  Metrics.reset_all ();
-  Alcotest.(check int) "starts at 0" 0 (Metrics.get Metrics.Pages_read);
-  Metrics.incr Metrics.Pages_read;
-  Metrics.incr ~n:5 Metrics.Pages_read;
-  Alcotest.(check int) "1 + 5" 6 (Metrics.get Metrics.Pages_read);
-  Alcotest.(check int) "others untouched" 0 (Metrics.get Metrics.Pages_written)
+  let m = Metrics.create () in
+  Alcotest.(check int) "starts at 0" 0 (Metrics.get m Metrics.Pages_read);
+  Metrics.incr m Metrics.Pages_read;
+  Metrics.incr ~n:5 m Metrics.Pages_read;
+  Alcotest.(check int) "1 + 5" 6 (Metrics.get m Metrics.Pages_read);
+  Alcotest.(check int) "others untouched" 0 (Metrics.get m Metrics.Pages_written)
 
 let test_counter_reset_spares_gauges () =
-  Metrics.reset_all ();
-  Metrics.incr ~n:3 Metrics.Cache_hits;
-  Metrics.set_gauge Metrics.Rete_memories 7;
-  Metrics.add_gauge ~n:2 Metrics.Rete_memories;
-  Metrics.reset ();
-  Alcotest.(check int) "counter zeroed" 0 (Metrics.get Metrics.Cache_hits);
-  Alcotest.(check int) "gauge survives reset" 9 (Metrics.get_gauge Metrics.Rete_memories);
-  Metrics.reset_all ();
-  Alcotest.(check int) "reset_all zeroes gauges" 0 (Metrics.get_gauge Metrics.Rete_memories)
+  let m = Metrics.create () in
+  Metrics.incr ~n:3 m Metrics.Cache_hits;
+  Metrics.set_gauge m Metrics.Rete_memories 7;
+  Metrics.add_gauge ~n:2 m Metrics.Rete_memories;
+  Metrics.reset m;
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.get m Metrics.Cache_hits);
+  Alcotest.(check int) "gauge survives reset" 9 (Metrics.get_gauge m Metrics.Rete_memories);
+  Metrics.reset_all m;
+  Alcotest.(check int) "reset_all zeroes gauges" 0 (Metrics.get_gauge m Metrics.Rete_memories)
 
 let test_counter_disabled_is_noop () =
-  Metrics.reset_all ();
-  Alcotest.(check bool) "enabled by default" true (Metrics.enabled ());
-  Metrics.set_enabled false;
-  Fun.protect
-    ~finally:(fun () -> Metrics.set_enabled true)
-    (fun () ->
-      Metrics.incr ~n:10 Metrics.Pages_read;
-      Metrics.add_gauge Metrics.Rete_memories;
-      Alcotest.(check int) "incr ignored" 0 (Metrics.get Metrics.Pages_read);
-      Alcotest.(check int) "gauge ignored" 0 (Metrics.get_gauge Metrics.Rete_memories));
-  Metrics.incr Metrics.Pages_read;
-  Alcotest.(check int) "counts again" 1 (Metrics.get Metrics.Pages_read)
+  let m = Metrics.create () in
+  Alcotest.(check bool) "enabled by default" true (Metrics.enabled m);
+  Metrics.set_enabled m false;
+  Metrics.incr ~n:10 m Metrics.Pages_read;
+  Metrics.add_gauge m Metrics.Rete_memories;
+  Alcotest.(check int) "incr ignored" 0 (Metrics.get m Metrics.Pages_read);
+  Alcotest.(check int) "gauge ignored" 0 (Metrics.get_gauge m Metrics.Rete_memories);
+  Metrics.set_enabled m true;
+  Metrics.incr m Metrics.Pages_read;
+  Alcotest.(check int) "counts again" 1 (Metrics.get m Metrics.Pages_read)
 
 let test_counter_listing () =
-  Metrics.reset_all ();
-  let rows = Metrics.counters () in
+  let m = Metrics.create () in
+  let rows = Metrics.counters m in
   Alcotest.(check int) "one row per counter" (List.length Metrics.all_counters)
     (List.length rows);
   let names = List.map fst rows in
@@ -55,7 +54,35 @@ let test_counter_listing () =
   Alcotest.(check bool) "declaration order" true
     (names = List.map Metrics.counter_name Metrics.all_counters);
   Alcotest.(check int) "one row per gauge" (List.length Metrics.all_gauges)
-    (List.length (Metrics.gauges ()))
+    (List.length (Metrics.gauges m))
+
+let test_registries_independent () =
+  (* The acceptance bar for the context refactor: two registries in one
+     process accumulate with zero crosstalk. *)
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr ~n:4 a Metrics.Pages_read;
+  Metrics.incr ~n:9 b Metrics.Pages_read;
+  Metrics.set_gauge a Metrics.Rete_memories 3;
+  Alcotest.(check int) "a sees its own" 4 (Metrics.get a Metrics.Pages_read);
+  Alcotest.(check int) "b sees its own" 9 (Metrics.get b Metrics.Pages_read);
+  Alcotest.(check int) "b gauge untouched" 0 (Metrics.get_gauge b Metrics.Rete_memories);
+  Metrics.reset_all a;
+  Alcotest.(check int) "resetting a spares b" 9 (Metrics.get b Metrics.Pages_read);
+  Metrics.set_enabled a false;
+  Metrics.incr b Metrics.Cache_hits;
+  Alcotest.(check int) "disabling a spares b" 1 (Metrics.get b Metrics.Cache_hits)
+
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr ~n:2 a Metrics.Pages_read;
+  Metrics.incr ~n:5 b Metrics.Pages_read;
+  Metrics.incr ~n:1 b Metrics.Cache_misses;
+  Metrics.add_gauge ~n:3 b Metrics.Rete_memories;
+  Metrics.merge_into ~into:a b;
+  Alcotest.(check int) "counters add" 7 (Metrics.get a Metrics.Pages_read);
+  Alcotest.(check int) "absent-in-into adds" 1 (Metrics.get a Metrics.Cache_misses);
+  Alcotest.(check int) "gauges add" 3 (Metrics.get_gauge a Metrics.Rete_memories);
+  Alcotest.(check int) "src untouched" 5 (Metrics.get b Metrics.Pages_read)
 
 (* ----------------------------------------------------------- histogram *)
 
@@ -108,17 +135,49 @@ let test_histogram_quantiles () =
   Histogram.observe one 3.0;
   Alcotest.(check (float 1e-9)) "clamped to the only sample" 3.0 (Histogram.quantile one 0.5)
 
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.observe a) [ 1.0; 2.0 ];
+  List.iter (Histogram.observe b) [ 8.0; 16.0 ];
+  Histogram.merge_into ~into:a b;
+  Alcotest.(check int) "counts add" 4 (Histogram.count a);
+  Alcotest.(check (float 1e-9)) "sums add" 27.0 (Histogram.sum a);
+  Alcotest.(check (float 1e-9)) "min widens" 1.0 (Histogram.min_value a);
+  Alcotest.(check (float 1e-9)) "max widens" 16.0 (Histogram.max_value a);
+  let empty = Histogram.create () in
+  Histogram.merge_into ~into:a empty;
+  Alcotest.(check int) "empty src is a no-op" 4 (Histogram.count a);
+  Alcotest.(check (float 1e-9)) "min survives empty merge" 1.0 (Histogram.min_value a)
+
 let test_histogram_registry () =
-  Histogram.reset_all ();
-  let a = Histogram.named "a" in
-  let b = Histogram.named "b" in
-  Alcotest.(check bool) "get-or-create" true (Histogram.named "a" == a);
+  let reg = Histogram.create_registry () in
+  let a = Histogram.named reg "a" in
+  let b = Histogram.named reg "b" in
+  Alcotest.(check bool) "get-or-create" true (Histogram.named reg "a" == a);
   Histogram.observe a 1.0;
   Histogram.observe b 2.0;
   Alcotest.(check (list string)) "creation order" [ "a"; "b" ]
-    (List.map fst (Histogram.all_named ()));
-  Histogram.reset_all ();
-  Alcotest.(check int) "registry dropped" 0 (List.length (Histogram.all_named ()))
+    (List.map fst (Histogram.all_named reg));
+  (* A second registry is invisible to the first. *)
+  let other = Histogram.create_registry () in
+  ignore (Histogram.named other "c");
+  Alcotest.(check int) "registries independent" 2 (List.length (Histogram.all_named reg));
+  Histogram.reset_all reg;
+  Alcotest.(check int) "registry dropped" 0 (List.length (Histogram.all_named reg));
+  Alcotest.(check int) "other registry survives" 1 (List.length (Histogram.all_named other))
+
+let test_registry_merge () =
+  let src = Histogram.create_registry () and dst = Histogram.create_registry () in
+  Histogram.observe (Histogram.named dst "shared") 1.0;
+  Histogram.observe (Histogram.named src "shared") 2.0;
+  Histogram.observe (Histogram.named src "only_src") 4.0;
+  Histogram.merge_registry_into ~into:dst src;
+  Alcotest.(check (list string)) "union in order" [ "shared"; "only_src" ]
+    (List.map fst (Histogram.all_named dst));
+  Alcotest.(check int) "same-named merged" 2
+    (Histogram.count (Histogram.named dst "shared"));
+  Alcotest.(check int) "missing created" 1
+    (Histogram.count (Histogram.named dst "only_src"))
 
 let histogram_accounting_property =
   QCheck.Test.make ~name:"histogram sum/count/min/max match the fed samples" ~count:100
@@ -140,29 +199,24 @@ let histogram_accounting_property =
 (* --------------------------------------------------------------- trace *)
 
 let with_manual_trace f =
+  let tr = Trace.create () in
   let t = ref 0.0 in
-  Trace.set_clock (fun () -> !t);
-  Trace.reset ();
-  Trace.set_capacity 64;
-  Trace.set_enabled true;
-  Fun.protect
-    ~finally:(fun () ->
-      Trace.set_enabled false;
-      Trace.reset ())
-    (fun () -> f t)
+  Trace.set_clock tr (fun () -> !t);
+  Trace.set_enabled tr true;
+  f tr t
 
 let test_trace_nesting () =
-  with_manual_trace (fun t ->
-      Trace.begin_span "outer";
+  with_manual_trace (fun tr t ->
+      Trace.begin_span tr "outer";
       t := 1.0;
-      Trace.begin_span "inner";
-      Alcotest.(check int) "two open" 2 (Trace.open_depth ());
+      Trace.begin_span tr "inner";
+      Alcotest.(check int) "two open" 2 (Trace.open_depth tr);
       t := 3.0;
-      Trace.end_span ();
+      Trace.end_span tr;
       t := 5.0;
-      Trace.end_span ();
-      Alcotest.(check int) "balanced" 0 (Trace.open_depth ());
-      match Trace.root_spans () with
+      Trace.end_span tr;
+      Alcotest.(check int) "balanced" 0 (Trace.open_depth tr);
+      match Trace.root_spans tr with
       | [ root ] ->
         Alcotest.(check string) "root name" "outer" root.Trace.name;
         Alcotest.(check (float 1e-9)) "root duration" 5.0 (Trace.duration_ms root);
@@ -174,44 +228,74 @@ let test_trace_nesting () =
       | l -> Alcotest.failf "expected 1 root, got %d" (List.length l))
 
 let test_trace_unbalanced_end_raises () =
-  with_manual_trace (fun _ ->
+  with_manual_trace (fun tr _ ->
       Alcotest.check_raises "end with nothing open"
-        (Trace.Unbalanced "Trace.end_span: no span is open") (fun () -> Trace.end_span ()))
+        (Trace.Unbalanced "Trace.end_span: no span is open") (fun () -> Trace.end_span tr))
 
 let test_trace_with_span_survives_exceptions () =
-  with_manual_trace (fun _ ->
-      (try Trace.with_span "boom" (fun () -> failwith "boom") with Failure _ -> ());
-      Alcotest.(check int) "stack rebalanced" 0 (Trace.open_depth ());
-      Alcotest.(check int) "span still recorded" 1 (List.length (Trace.root_spans ())))
+  with_manual_trace (fun tr _ ->
+      (try Trace.with_span tr "boom" (fun () -> failwith "boom") with Failure _ -> ());
+      Alcotest.(check int) "stack rebalanced" 0 (Trace.open_depth tr);
+      Alcotest.(check int) "span still recorded" 1 (List.length (Trace.root_spans tr)))
 
 let test_trace_disabled_is_noop () =
-  with_manual_trace (fun _ -> ());
-  (* with_manual_trace left tracing disabled *)
-  Trace.begin_span "ignored";
-  Trace.end_span ();
+  let tr = Trace.create () in
+  (* fresh tracers start disabled *)
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled tr);
+  Trace.begin_span tr "ignored";
+  Trace.end_span tr;
   (* no Unbalanced: everything is a no-op while disabled *)
-  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.root_spans ()))
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.root_spans tr))
 
 let test_trace_ring_capacity () =
-  with_manual_trace (fun _ ->
-      Trace.set_capacity 4;
+  with_manual_trace (fun tr _ ->
+      Trace.set_capacity tr 4;
       for i = 1 to 10 do
-        Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+        Trace.with_span tr (Printf.sprintf "s%d" i) (fun () -> ())
       done;
-      let names = List.map (fun s -> s.Trace.name) (Trace.root_spans ()) in
+      let names = List.map (fun s -> s.Trace.name) (Trace.root_spans tr) in
       Alcotest.(check (list string)) "last four survive" [ "s7"; "s8"; "s9"; "s10" ] names)
 
 let test_trace_render () =
-  with_manual_trace (fun t ->
-      Trace.with_span "access" (fun () ->
+  with_manual_trace (fun tr t ->
+      Trace.with_span tr "access" (fun () ->
           t := 2.0;
-          Trace.with_span "execute" (fun () -> t := 30.0));
-      let out = Trace.render () in
+          Trace.with_span tr "execute" (fun () -> t := 30.0));
+      let out = Trace.render tr in
       Alcotest.(check bool) "root present" true (contains out "access");
       Alcotest.(check bool) "child indented" true (contains out "  execute");
       Alcotest.(check bool) "duration column" true (contains out "28.0"));
   Alcotest.(check bool) "empty render" true
-    (contains (Trace.render ()) "no spans recorded")
+    (contains (Trace.render (Trace.create ())) "no spans recorded")
+
+(* ----------------------------------------------------------------- ctx *)
+
+let test_ctx_independence () =
+  (* Two engine contexts side by side: all three registries are private. *)
+  let a = Ctx.create () and b = Ctx.create () in
+  Metrics.incr ~n:2 (Ctx.metrics a) Metrics.Pages_read;
+  Metrics.incr ~n:7 (Ctx.metrics b) Metrics.Pages_read;
+  Histogram.observe (Histogram.named (Ctx.histograms a) "lat") 1.0;
+  Trace.set_enabled (Ctx.trace a) true;
+  Trace.with_span (Ctx.trace a) "only-in-a" (fun () -> ());
+  Alcotest.(check int) "a counters" 2 (Metrics.get (Ctx.metrics a) Metrics.Pages_read);
+  Alcotest.(check int) "b counters" 7 (Metrics.get (Ctx.metrics b) Metrics.Pages_read);
+  Alcotest.(check int) "b has no histograms" 0
+    (List.length (Histogram.all_named (Ctx.histograms b)));
+  Alcotest.(check int) "b has no spans" 0 (List.length (Trace.root_spans (Ctx.trace b)));
+  Ctx.reset a;
+  Alcotest.(check int) "reset a spares b" 7 (Metrics.get (Ctx.metrics b) Metrics.Pages_read)
+
+let test_ctx_merge () =
+  let a = Ctx.create () and b = Ctx.create () in
+  Metrics.incr ~n:3 (Ctx.metrics a) Metrics.Cache_hits;
+  Metrics.incr ~n:4 (Ctx.metrics b) Metrics.Cache_hits;
+  Histogram.observe (Histogram.named (Ctx.histograms b) "lat") 2.0;
+  Ctx.merge_into ~into:a b;
+  Alcotest.(check int) "counters add" 7 (Metrics.get (Ctx.metrics a) Metrics.Cache_hits);
+  Alcotest.(check int) "histogram carried over" 1
+    (Histogram.count (Histogram.named (Ctx.histograms a) "lat"));
+  Alcotest.(check int) "src untouched" 4 (Metrics.get (Ctx.metrics b) Metrics.Cache_hits)
 
 (* -------------------------------------------------------------- export *)
 
@@ -249,11 +333,10 @@ let test_export_parse_errors_and_specials () =
     (contains (Export.to_string (Export.Float Float.nan)) "null")
 
 let test_export_snapshot_shape () =
-  Metrics.reset_all ();
-  Histogram.reset_all ();
-  Metrics.incr ~n:4 Metrics.Pages_read;
-  Histogram.observe (Histogram.named "lat") 8.0;
-  let snap = Export.snapshot ~extra:[ ("seed", Export.Int 7) ] () in
+  let ctx = Ctx.create () in
+  Metrics.incr ~n:4 (Ctx.metrics ctx) Metrics.Pages_read;
+  Histogram.observe (Histogram.named (Ctx.histograms ctx) "lat") 8.0;
+  let snap = Export.snapshot ~extra:[ ("seed", Export.Int 7) ] ctx in
   (match Export.parse (Export.to_string snap) with
   | Error msg -> Alcotest.failf "snapshot did not re-parse: %s" msg
   | Ok parsed -> Alcotest.check json_testable "snapshot round trips" snap parsed);
@@ -273,11 +356,9 @@ let test_export_snapshot_shape () =
       (Export.member "p50" lat)
   | None -> Alcotest.fail "no histograms field");
   Alcotest.(check bool) "counters csv has header" true
-    (contains (Export.counters_csv ()) "counter,value");
+    (contains (Export.counters_csv (Ctx.metrics ctx)) "counter,value");
   Alcotest.(check bool) "histogram csv has the row" true
-    (contains (Export.histograms_csv ()) "lat");
-  Histogram.reset_all ();
-  Metrics.reset_all ()
+    (contains (Export.histograms_csv (Ctx.histograms ctx)) "lat")
 
 let () =
   let qc = QCheck_alcotest.to_alcotest in
@@ -289,13 +370,17 @@ let () =
           Alcotest.test_case "reset spares gauges" `Quick test_counter_reset_spares_gauges;
           Alcotest.test_case "disabled is a no-op" `Quick test_counter_disabled_is_noop;
           Alcotest.test_case "listing" `Quick test_counter_listing;
+          Alcotest.test_case "registries independent" `Quick test_registries_independent;
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
         ] );
       ( "histogram",
         [
           Alcotest.test_case "bucket boundaries" `Quick test_histogram_bucket_boundaries;
           Alcotest.test_case "stats" `Quick test_histogram_stats;
           Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "named registry" `Quick test_histogram_registry;
+          Alcotest.test_case "registry merge" `Quick test_registry_merge;
           qc histogram_accounting_property;
         ] );
       ( "trace",
@@ -306,6 +391,11 @@ let () =
           Alcotest.test_case "disabled is a no-op" `Quick test_trace_disabled_is_noop;
           Alcotest.test_case "ring capacity" `Quick test_trace_ring_capacity;
           Alcotest.test_case "render" `Quick test_trace_render;
+        ] );
+      ( "ctx",
+        [
+          Alcotest.test_case "contexts independent" `Quick test_ctx_independence;
+          Alcotest.test_case "merge" `Quick test_ctx_merge;
         ] );
       ( "export",
         [

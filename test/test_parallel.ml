@@ -1,0 +1,156 @@
+(* Tests for Dbproc.Workload.Parallel: the domain-parallel experiment
+   runner must be a drop-in for the sequential driver — same results, in
+   the same order, for any job count — and its helpers (seed splitting,
+   order-preserving map, context merging) must be deterministic. *)
+
+open Dbproc
+open Dbproc.Costmodel
+open Dbproc.Workload
+
+let small =
+  {
+    Params.default with
+    Params.n = 2_000.0;
+    n1 = 8.0;
+    n2 = 8.0;
+    q = 20.0;
+    k = 20.0;
+    l = 10.0;
+    f = 0.005;
+  }
+
+(* Driver results carry an engine context whose tracer holds a clock
+   closure, so structural equality on whole results raises; compare every
+   non-context field instead. *)
+let check_result_eq label (a : Driver.result) (b : Driver.result) =
+  Alcotest.(check string) (label ^ ": strategy") (Strategy.name a.Driver.strategy)
+    (Strategy.name b.Driver.strategy);
+  Alcotest.(check int) (label ^ ": queries") a.Driver.queries b.Driver.queries;
+  Alcotest.(check int) (label ^ ": updates") a.Driver.updates b.Driver.updates;
+  Alcotest.(check (float 0.0)) (label ^ ": measured") a.Driver.measured_ms_per_query
+    b.Driver.measured_ms_per_query;
+  Alcotest.(check (float 0.0)) (label ^ ": analytic") a.Driver.analytic_ms_per_query
+    b.Driver.analytic_ms_per_query;
+  Alcotest.(check int) (label ^ ": page reads") a.Driver.page_reads b.Driver.page_reads;
+  Alcotest.(check int) (label ^ ": page writes") a.Driver.page_writes b.Driver.page_writes;
+  Alcotest.(check int) (label ^ ": screens") a.Driver.cpu_screens b.Driver.cpu_screens;
+  Alcotest.(check int) (label ^ ": delta ops") a.Driver.delta_ops b.Driver.delta_ops;
+  Alcotest.(check int) (label ^ ": invalidations") a.Driver.invalidations
+    b.Driver.invalidations;
+  Alcotest.(check bool) (label ^ ": consistent") a.Driver.consistent b.Driver.consistent;
+  Alcotest.(check int) (label ^ ": per_op length") (List.length a.Driver.per_op)
+    (List.length b.Driver.per_op);
+  List.iter2
+    (fun (ka, va) (kb, vb) ->
+      Alcotest.(check bool) (label ^ ": per_op kind") true (ka = kb);
+      Alcotest.(check (float 0.0)) (label ^ ": per_op ms") va vb)
+    a.Driver.per_op b.Driver.per_op
+
+let test_run_all_matches_sequential () =
+  (* The acceptance bar: parallel run_all is bit-identical to the
+     sequential driver for every job count, including oversubscribed
+     ones. *)
+  let sequential = Driver.run_all ~seed:42 ~model:Model.Model1 ~params:small () in
+  List.iter
+    (fun jobs ->
+      let parallel =
+        Parallel.run_all ~seed:42 ~jobs ~model:Model.Model1 ~params:small ()
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d: one result per strategy" jobs)
+        (List.length sequential) (List.length parallel);
+      List.iter2 (check_result_eq (Printf.sprintf "jobs=%d" jobs)) sequential parallel)
+    [ 1; 2; 4 ]
+
+let test_map_preserves_order () =
+  let xs = List.init 100 (fun i -> i) in
+  let expect = List.map (fun i -> i * i) xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expect
+        (Parallel.map ~jobs (fun i -> i * i) xs))
+    [ 1; 2; 4; 16 ];
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~jobs:4 (fun i -> i) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ] (Parallel.map ~jobs:4 (fun i -> i * i) [ 3 ])
+
+let test_map_runs_every_task_once () =
+  (* Each task bumps its own cell; no cell may be skipped or doubled. *)
+  let n = 64 in
+  let cells = Array.make n 0 in
+  ignore
+    (Parallel.map ~jobs:4
+       (fun i ->
+         cells.(i) <- cells.(i) + 1;
+         i)
+       (List.init n (fun i -> i)));
+  Alcotest.(check bool) "every task ran exactly once" true
+    (Array.for_all (fun c -> c = 1) cells)
+
+let test_split_seed_deterministic () =
+  let s1 = Parallel.split_seed ~seed:42 ~index:0 in
+  let s1' = Parallel.split_seed ~seed:42 ~index:0 in
+  Alcotest.(check int) "same (seed, index) -> same seed" s1 s1';
+  Alcotest.(check bool) "non-negative" true (s1 >= 0);
+  let derived = List.init 16 (fun i -> Parallel.split_seed ~seed:42 ~index:i) in
+  Alcotest.(check int) "distinct across indices" 16
+    (List.length (List.sort_uniq compare derived));
+  Alcotest.(check bool) "different base seed differs" true
+    (Parallel.split_seed ~seed:43 ~index:0 <> s1)
+
+let test_merge_obs_totals () =
+  (* Merging the per-run contexts must add counters exactly: the combined
+     pages_read equals the sum of the per-result page_reads (each run's
+     counters mirror its cost charges). *)
+  let results = Parallel.run_all ~seed:7 ~jobs:2 ~model:Model.Model1 ~params:small () in
+  let merged = Parallel.merge_obs results in
+  let total field = List.fold_left (fun acc r -> acc + field r) 0 results in
+  let got c = Obs.Metrics.get (Obs.Ctx.metrics merged) c in
+  Alcotest.(check int) "pages_read adds"
+    (total (fun r -> r.Driver.page_reads))
+    (got Obs.Metrics.Pages_read);
+  Alcotest.(check int) "invalidations add"
+    (total (fun r -> r.Driver.invalidations))
+    (got Obs.Metrics.Invalidations);
+  (* all four per-strategy query histograms land in the merged registry *)
+  let names = List.map fst (Obs.Histogram.all_named (Obs.Ctx.histograms merged)) in
+  List.iter
+    (fun s ->
+      let name = "query_latency_ms/" ^ Strategy.short_name s in
+      Alcotest.(check bool) (name ^ " present") true (List.mem name names))
+    Strategy.all;
+  (* and the sources are untouched by the merge *)
+  List.iter
+    (fun (r : Driver.result) ->
+      Alcotest.(check int) "source context intact" r.Driver.page_reads
+        (Obs.Metrics.get (Obs.Ctx.metrics r.Driver.obs) Obs.Metrics.Pages_read))
+    results
+
+let test_clamp_jobs () =
+  Alcotest.(check int) "floor at 1" 1 (Parallel.clamp_jobs 0);
+  Alcotest.(check int) "floor at 1 for negatives" 1 (Parallel.clamp_jobs (-3));
+  let cores = Parallel.available_cores () in
+  Alcotest.(check int) "ceiling at cores" cores (Parallel.clamp_jobs (cores + 100));
+  Alcotest.(check int) "identity inside range" 1 (Parallel.clamp_jobs 1)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "run_all = sequential for jobs 1/2/4" `Quick
+            test_run_all_matches_sequential;
+        ] );
+      ( "map",
+        [
+          Alcotest.test_case "order preserved" `Quick test_map_preserves_order;
+          Alcotest.test_case "each task exactly once" `Quick test_map_runs_every_task_once;
+        ] );
+      ( "seeds",
+        [ Alcotest.test_case "split_seed deterministic" `Quick test_split_seed_deterministic ] );
+      ( "merge",
+        [ Alcotest.test_case "merge_obs adds counters" `Quick test_merge_obs_totals ] );
+      ( "jobs",
+        [ Alcotest.test_case "clamp_jobs" `Quick test_clamp_jobs ] );
+    ]

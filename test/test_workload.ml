@@ -259,21 +259,22 @@ let test_per_op_trace () =
     (s.Dbproc.Util.Stats.max -. s.Dbproc.Util.Stats.min < 61.0)
 
 let test_obs_counters_mirror_cost () =
-  (* The Obs counter registry is reset alongside Cost at the start of every
+  (* The run's context is reset alongside Cost at the start of every
      measured run and every mirror is gated on active accounting, so after
      a run the counters must equal the cost model's verbatim — pages_read
      is exactly the I/O charge divided by C2. *)
   let r = Driver.run_strategy ~model:Model.Model1 ~params:small Strategy.Update_cache_avm in
-  let get c = Obs.Metrics.get c in
+  let get c = Obs.Metrics.get (Obs.Ctx.metrics r.Driver.obs) c in
   Alcotest.(check int) "pages_read" r.Driver.page_reads (get Obs.Metrics.Pages_read);
   Alcotest.(check int) "pages_written" r.Driver.page_writes (get Obs.Metrics.Pages_written);
   Alcotest.(check int) "screens" r.Driver.cpu_screens (get Obs.Metrics.Predicate_screens);
   Alcotest.(check int) "delta ops" r.Driver.delta_ops (get Obs.Metrics.Delta_set_ops);
   Alcotest.(check int) "invalidations" r.Driver.invalidations (get Obs.Metrics.Invalidations);
   (* the same equality stated the paper's way: counter = io charge / C2 *)
-  let db = Database.build ~model:Model.Model1 small in
+  let ctx = Obs.Ctx.create () in
+  let db = Database.build ~ctx ~model:Model.Model1 small in
   Storage.Cost.reset db.Database.cost;
-  Obs.Metrics.reset ();
+  Obs.Metrics.reset (Obs.Ctx.metrics ctx);
   List.iter
     (fun def -> ignore (Query.Executor.run (Query.Planner.compile def)))
     (Database.all_defs db);
@@ -283,22 +284,23 @@ let test_obs_counters_mirror_cost () =
   let io_charge = Storage.Cost.total_ms io_only db.Database.cost in
   Alcotest.(check int) "pages counted = io charge / C2"
     (int_of_float (io_charge /. io_only.Storage.Cost.c2_io_ms))
-    (Obs.Metrics.get Obs.Metrics.Pages_read + Obs.Metrics.get Obs.Metrics.Pages_written)
+    (Obs.Metrics.get (Obs.Ctx.metrics ctx) Obs.Metrics.Pages_read
+    + Obs.Metrics.get (Obs.Ctx.metrics ctx) Obs.Metrics.Pages_written)
 
 let test_driver_latency_histograms () =
-  (* Each run feeds the per-strategy latency histograms; their counts are
-     the op counts and their sums re-price the whole run. *)
-  Dbproc.Obs.Histogram.reset_all ();
+  (* Each run feeds its own context's per-strategy latency histograms;
+     their counts are the op counts and their sums re-price the whole
+     run. *)
   let r = Driver.run_strategy ~model:Model.Model1 ~params:small Strategy.Cache_invalidate in
+  let reg = Obs.Ctx.histograms r.Driver.obs in
   let tag = Strategy.short_name Strategy.Cache_invalidate in
-  let q = Obs.Histogram.named ("query_latency_ms/" ^ tag) in
-  let u = Obs.Histogram.named ("update_latency_ms/" ^ tag) in
+  let q = Obs.Histogram.named reg ("query_latency_ms/" ^ tag) in
+  let u = Obs.Histogram.named reg ("update_latency_ms/" ^ tag) in
   Alcotest.(check int) "query count" r.Driver.queries (Obs.Histogram.count q);
   Alcotest.(check int) "update count" r.Driver.updates (Obs.Histogram.count u);
   Alcotest.(check (float 1e-6)) "sums re-price the run"
     (r.Driver.measured_ms_per_query *. float_of_int r.Driver.queries)
-    (Obs.Histogram.sum q +. Obs.Histogram.sum u);
-  Dbproc.Obs.Histogram.reset_all ()
+    (Obs.Histogram.sum q +. Obs.Histogram.sum u)
 
 let test_nway_consistency () =
   let params =
