@@ -353,6 +353,71 @@ let print_ext_wal () =
   print_newline ();
   ctx
 
+let print_ext_faults () =
+  print_endline "== ext-faults: fault-injection ablation (model 1)";
+  print_endline
+    "extension: three arms per strategy through the crash harness.  'off' runs with no\n\
+     injector installed; 'disabled' installs one with zero fault probability and must\n\
+     charge exactly the same (the fault layer is free when idle); 'faulted' injects\n\
+     transient failures plus three crash points and must still reproduce the oracle's\n\
+     result digest, paying for retries and recovery in simulated time.\n";
+  let params = Workload.Driver.default_sim_params in
+  let table =
+    Util.Ascii_table.create
+      ~header:
+        [ "strategy"; "off ms"; "disabled ms"; "drift"; "faulted ms"; "crashes"; "faults"; "ok" ]
+      ()
+  in
+  let merged = Obs.Ctx.create () in
+  let all_ok = ref true in
+  List.iter
+    (fun strategy ->
+      let run ?fault_config ?(crash_points = []) () : Workload.Driver.crash_result =
+        Workload.Driver.run_with_crashes ~seed:!the_seed ?fault_config ~crash_points
+          ~model:Model.Model1 ~params strategy
+      in
+      let off = run () in
+      let disabled = run ~fault_config:Fault.Injector.no_faults () in
+      let touches = disabled.cr_stats.cs_touches in
+      let faulted =
+        run ~fault_config:Fault.Injector.default_config
+          ~crash_points:[ touches / 4; touches / 2; 3 * touches / 4 ]
+          ()
+      in
+      List.iter
+        (fun (r : Workload.Driver.crash_result) -> Obs.Ctx.merge_into ~into:merged r.cr_obs)
+        [ off; disabled; faulted ];
+      let drift_free =
+        disabled.cr_total_ms = off.cr_total_ms
+        && disabled.cr_page_reads = off.cr_page_reads
+        && disabled.cr_page_writes = off.cr_page_writes
+      in
+      let oracle_digest = Workload.Driver.result_digest off in
+      let digest_ok =
+        Workload.Driver.result_digest disabled = oracle_digest
+        && Workload.Driver.result_digest faulted = oracle_digest
+        && faulted.cr_consistent
+      in
+      if not (drift_free && digest_ok) then all_ok := false;
+      Util.Ascii_table.add_row table
+        [
+          Strategy.name strategy;
+          Printf.sprintf "%.0f" off.cr_total_ms;
+          Printf.sprintf "%.0f" disabled.cr_total_ms;
+          (if drift_free then "none" else "DRIFT");
+          Printf.sprintf "%.0f" faulted.cr_total_ms;
+          string_of_int faulted.cr_stats.cs_crashes;
+          string_of_int faulted.cr_stats.cs_faults_injected;
+          (if digest_ok then "yes" else "NO");
+        ])
+    Strategy.all;
+  Util.Ascii_table.print table;
+  print_newline ();
+  Printf.printf "verdict: %s\n\n"
+    (if !all_ok then "disabled arm drift-free, faulted arms match the oracle"
+     else "ABLATION FAILED — see table");
+  merged
+
 let print_ext_aggregates () =
   print_endline "== ext-aggregates: differentially maintained aggregate procedures";
   print_endline
@@ -902,6 +967,7 @@ let () =
     if ids = [] || List.mem "ext-update-mix" ids then
       record "ext-update-mix" print_ext_update_mix;
     if ids = [] || List.mem "ext-wal" ids then record "ext-wal" print_ext_wal;
+    if ids = [] || List.mem "ext-faults" ids then record "ext-faults" print_ext_faults;
     if ids = [] || List.mem "ext-aggregates" ids then
       record "ext-aggregates" print_ext_aggregates;
     if ids = [] || List.mem "ext-adaptive" ids then record "ext-adaptive" print_ext_adaptive;

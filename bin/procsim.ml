@@ -97,7 +97,86 @@ let sim_cmd =
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:"Run the four strategies on up to $(docv) domains (results are identical).")
   in
-  let run model params seed scale jobs =
+  let faults =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "faults" ] ~docv:"SEED"
+          ~doc:
+            "Enable fault injection: transient I/O failures plus crash points derived from \
+             $(docv).  Results must still match a fault-free run.")
+  in
+  let results_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "results-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the per-strategy access-result digests to $(docv).  The file depends \
+             only on observable results — a faulted-then-recovered run produces a \
+             byte-identical file to the oracle's (CI compares them with cmp).")
+  in
+  (* Faulted runs go through Driver.run_with_crashes, strategy by strategy.
+     Crash points are spread deterministically from the fault seed: a probe
+     run with a disabled injector measures each strategy's touch count and
+     the schedule is drawn as fractions of it. *)
+  let run_crash_mode model params seed fault_seed results_json =
+    let results =
+      List.map
+        (fun strategy ->
+          let fault_config, crash_points =
+            match fault_seed with
+            | None -> (None, [])
+            | Some fs ->
+              let probe =
+                Workload.Driver.run_with_crashes ~seed
+                  ~fault_config:Fault.Injector.no_faults ~fault_seed:fs ~model ~params
+                  strategy
+              in
+              let touches = probe.Workload.Driver.cr_stats.Workload.Driver.cs_touches in
+              let prng = Util.Prng.create fs in
+              let points =
+                List.init 3 (fun _ -> 1 + Util.Prng.int prng (max 1 touches))
+              in
+              (Some Fault.Injector.default_config, points)
+          in
+          let r =
+            Workload.Driver.run_with_crashes ~seed ?fault_config ~crash_points
+              ?fault_seed ~model ~params strategy
+          in
+          Format.printf "%a@." Workload.Driver.pp_crash_result r;
+          r)
+        Strategy.all
+    in
+    match results_json with
+    | None -> ()
+    | Some file ->
+      let open Obs.Export in
+      let doc =
+        Obj
+          [
+            ("schema_version", Int 1);
+            ("kind", String "access-results");
+            ("model", String (Model.which_name model));
+            ("seed", Int seed);
+            ( "strategies",
+              Obj
+                (List.map
+                   (fun r ->
+                     ( Strategy.short_name r.Workload.Driver.cr_strategy,
+                       Obj
+                         [
+                           ("queries", Int r.Workload.Driver.cr_queries);
+                           ("updates", Int r.Workload.Driver.cr_updates);
+                           ("digest", String (Workload.Driver.result_digest r));
+                         ] ))
+                   results) );
+          ]
+      in
+      write_file file (to_string doc);
+      Printf.printf "wrote %s\n" file
+  in
+  let run model params seed scale jobs faults results_json =
     if jobs < 1 then (
       Printf.eprintf "procsim: --jobs must be >= 1\n";
       exit 2);
@@ -105,15 +184,22 @@ let sim_cmd =
     Printf.printf "simulating %s at N=%g, N1=%g, N2=%g, q=%g, k=%g (seed %d, jobs %d)\n\n"
       (Model.which_name model) params.Params.n params.Params.n1 params.Params.n2
       params.Params.q params.Params.k seed jobs;
-    let results = Workload.Parallel.run_all ~seed ~jobs ~model ~params () in
-    List.iter (fun r -> Format.printf "%a@." Workload.Driver.pp_result r) results
+    if faults <> None || results_json <> None then
+      run_crash_mode model params seed faults results_json
+    else begin
+      let results = Workload.Parallel.run_all ~seed ~jobs ~model ~params () in
+      List.iter (fun r -> Format.printf "%a@." Workload.Driver.pp_result r) results
+    end
   in
   Cmd.v
     (Cmd.info "sim"
        ~doc:
          "Run the update/access workload against the real engine under all four strategies \
-          and report measured vs analytic ms/query.")
-    Term.(const run $ model_term $ params_term $ seed $ scale $ jobs)
+          and report measured vs analytic ms/query.  With $(b,--faults) the run goes \
+          through the fault-injection layer (crashes + transient failures + recovery); \
+          with $(b,--results-json) the observable results are exported for oracle \
+          comparison.")
+    Term.(const run $ model_term $ params_term $ seed $ scale $ jobs $ faults $ results_json)
 
 (* ----------------------------------------------------------------- cost *)
 

@@ -87,6 +87,10 @@ module Rete = struct
   module Treat = Dbproc_rete.Treat
 end
 
+module Fault = struct
+  module Injector = Dbproc_fault.Injector
+end
+
 module Proc = struct
   module Ilock = Dbproc_proc.Ilock
   module Result_cache = Dbproc_proc.Result_cache

@@ -94,6 +94,10 @@ module Rete : sig
   module Treat = Dbproc_rete.Treat
 end
 
+module Fault : sig
+  module Injector = Dbproc_fault.Injector
+end
+
 module Proc : sig
   module Ilock = Dbproc_proc.Ilock
   module Result_cache = Dbproc_proc.Result_cache

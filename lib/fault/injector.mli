@@ -1,0 +1,72 @@
+(** Deterministic, seed-driven fault injection over the simulated disk.
+
+    An injector installs itself as the {!Dbproc_storage.Io.set_touch_hook}
+    of an I/O layer and then sees every {e charged} page touch — and only
+    those: touches deduplicated by [with_touch_dedup], served by the buffer
+    pool, or issued under [Cost.with_disabled] never reach it.  Per touch it
+    can inject two kinds of fault:
+
+    - {b transient failures}: with [read_fail_prob]/[write_fail_prob] the
+      touch fails at the device and is re-issued until it succeeds.  Every
+      re-issue is charged one [C2] on the paper's simulated clock — that
+      charge {e is} the retry's simulated time — and an exponential-backoff
+      sample (capped, base doubling per attempt) is recorded in the
+      ["fault.backoff_ms"] histogram.  Counters: ["fault.injected"] per
+      failure, ["fault.retries"] per re-issue.
+    - {b crashes}: a schedule of absolute touch counts; when the running
+      touch counter reaches the next point, {!Crash} is raised {e before}
+      the touch is charged (a torn write: the page never made it).  Each
+      point fires once.  Counter: ["fault.crashes"].
+
+    Both draws come from a private SplitMix64 stream, so a given
+    [(seed, config, schedule)] triple replays exactly, independent of the
+    workload's own randomness. *)
+
+type config = {
+  read_fail_prob : float;  (** per-read failure probability, in [[0, 1)] *)
+  write_fail_prob : float;  (** per-write failure probability, in [[0, 1)] *)
+  backoff_base_ms : float;  (** backoff after the first failure *)
+  backoff_cap_ms : float;  (** backoff ceiling *)
+}
+
+val no_faults : config
+(** Zero failure probabilities: the injector still counts touches and obeys
+    its crash schedule, but injects no transient faults.  Installing it
+    must cause zero cost drift — the bench's [ablation-faults] checks. *)
+
+val default_config : config
+(** 2% read and write failure probability, 1 ms base backoff, 1024 ms cap. *)
+
+exception Crash of { touch : int }
+(** Raised at a scheduled crash point, before the touch is charged.
+    [touch] is the value of the touch counter when it fired. *)
+
+type t
+
+val create : ?config:config -> seed:int -> unit -> t
+(** Fresh injector with its own PRNG stream.  [config] defaults to
+    {!default_config}.
+    @raise Invalid_argument if a probability is outside [[0, 1)]. *)
+
+val install : t -> Dbproc_storage.Io.t -> unit
+(** Hook the injector into an I/O layer (replacing any previous hook). *)
+
+val uninstall : Dbproc_storage.Io.t -> unit
+(** Remove whatever hook is installed. *)
+
+val schedule_crashes : t -> int list -> unit
+(** Replace the crash schedule.  Points are absolute charged-touch counts;
+    duplicates and points at or below the current counter are dropped. *)
+
+val touches : t -> int
+(** Charged touches seen so far (including re-issued retries). *)
+
+val injected : t -> int
+(** Transient failures injected. *)
+
+val retries : t -> int
+(** Re-issues attempted (equals {!injected} unless a crash point cut a
+    retry loop short). *)
+
+val crashes : t -> int
+(** Crash points fired. *)

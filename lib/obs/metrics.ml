@@ -26,8 +26,14 @@ type counter =
   | Proc_accesses
   | Proc_registrations
   | Adaptive_switches
+  | Faults_injected
+  | Fault_retries
+  | Fault_crashes
+  | Recovery_replay_pages
+  | Recovery_rebuilt_views
+  | Recovery_conservative_invals
 
-let n_counters = 27
+let n_counters = 33
 
 (* The variant is the key into one flat int array: no hashing, no
    allocation, no closures on the charging path. *)
@@ -59,6 +65,12 @@ let index = function
   | Proc_accesses -> 24
   | Proc_registrations -> 25
   | Adaptive_switches -> 26
+  | Faults_injected -> 27
+  | Fault_retries -> 28
+  | Fault_crashes -> 29
+  | Recovery_replay_pages -> 30
+  | Recovery_rebuilt_views -> 31
+  | Recovery_conservative_invals -> 32
 
 let counter_name = function
   | Pages_read -> "pages_read"
@@ -88,6 +100,12 @@ let counter_name = function
   | Proc_accesses -> "proc_accesses"
   | Proc_registrations -> "proc_registrations"
   | Adaptive_switches -> "adaptive_switches"
+  | Faults_injected -> "fault.injected"
+  | Fault_retries -> "fault.retries"
+  | Fault_crashes -> "fault.crashes"
+  | Recovery_replay_pages -> "recovery.replay_pages"
+  | Recovery_rebuilt_views -> "recovery.rebuilt_views"
+  | Recovery_conservative_invals -> "recovery.conservative_invalidations"
 
 let all_counters =
   [
@@ -97,7 +115,9 @@ let all_counters =
     Btree_range_scans; Hash_probes; Hash_inserts; Ilock_probes;
     Ilock_subscriptions; Cache_hits; Cache_misses; Rete_tokens;
     Rete_join_activations; View_refreshes; Proc_accesses; Proc_registrations;
-    Adaptive_switches;
+    Adaptive_switches; Faults_injected; Fault_retries; Fault_crashes;
+    Recovery_replay_pages; Recovery_rebuilt_views;
+    Recovery_conservative_invals;
   ]
 
 type gauge = Procedures_registered | Rete_memories | Buffer_pool_pages

@@ -46,6 +46,13 @@ type counter =
   | Proc_accesses  (** procedure accesses through a manager *)
   | Proc_registrations  (** procedures registered with a manager *)
   | Adaptive_switches  (** adaptive strategy switches *)
+  | Faults_injected  (** injected transient I/O failures (fault layer) *)
+  | Fault_retries  (** I/Os re-issued after an injected failure *)
+  | Fault_crashes  (** scheduled crash points fired *)
+  | Recovery_replay_pages  (** log pages re-read while replaying a WAL tail *)
+  | Recovery_rebuilt_views  (** views rebuilt from scratch during recovery *)
+  | Recovery_conservative_invals
+      (** caches invalidated on restart because validity could not be proven *)
 
 val all_counters : counter list
 val counter_name : counter -> string

@@ -16,9 +16,9 @@ type transition = { proc : int; now_valid : bool }
 type t = {
   io : Io.t;
   scheme : scheme;
-  procs : int;
-  valid : bool array; (* volatile truth *)
-  durable : bool array; (* what the durable medium holds (flags / nvram) *)
+  mutable procs : int;
+  mutable valid : bool array; (* volatile truth *)
+  mutable durable : bool array; (* what the durable medium holds (flags / nvram) *)
   flag_file : int; (* Page_flag: one flag page per procedure *)
   wal : transition Wal.t option;
   ckpt_file : int;
@@ -33,7 +33,7 @@ type t = {
 let table_pages t = max 1 (Io.pages_for_records t.io ~record_bytes:1 ~count:t.procs)
 
 let create ~io ~scheme ~procs =
-  if procs <= 0 then invalid_arg "Inval_table.create";
+  if procs < 0 then invalid_arg "Inval_table.create";
   {
     io;
     scheme;
@@ -54,6 +54,19 @@ let create ~io ~scheme ~procs =
 
 let scheme t = t.scheme
 let proc_count t = t.procs
+
+(* Growing the table is pure metadata: new procedures start valid on every
+   medium (a fresh cache is written before its first validity transition),
+   so no I/O is charged. *)
+let grow_array arr n = Array.init n (fun i -> if i < Array.length arr then arr.(i) else true)
+
+let ensure_capacity t n =
+  if n > t.procs then begin
+    t.valid <- grow_array t.valid n;
+    t.durable <- grow_array t.durable n;
+    t.ckpt_snapshot <- grow_array t.ckpt_snapshot n;
+    t.procs <- n
+  end
 
 let check_proc t proc =
   if proc < 0 || proc >= t.procs then invalid_arg "Inval_table: procedure out of range"
@@ -102,6 +115,9 @@ let set_valid t proc =
 
 let end_of_transaction t =
   match t.wal with Some wal -> Wal.force wal | None -> ()
+
+let crash_volatile t =
+  match t.wal with Some wal -> Wal.crash wal | None -> 0
 
 let crash_and_recover t =
   let recovered =

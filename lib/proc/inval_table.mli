@@ -29,10 +29,16 @@ val scheme_name : scheme -> string
 type t
 
 val create : io:Dbproc_storage.Io.t -> scheme:scheme -> procs:int -> t
-(** All [procs] procedures start valid. *)
+(** All [procs] procedures start valid.  [procs] may be 0; grow the table
+    with {!ensure_capacity} as procedures register. *)
 
 val scheme : t -> scheme
 val proc_count : t -> int
+
+val ensure_capacity : t -> int -> unit
+(** [ensure_capacity t n] grows the table to cover procedure ids below
+    [n]; new entries start valid on every medium.  Pure metadata, no I/O
+    charged.  No-op when the table is already large enough. *)
 
 val is_valid : t -> int -> bool
 
@@ -47,6 +53,14 @@ val set_valid : t -> int -> unit
 val end_of_transaction : t -> unit
 (** Commit boundary: the WAL scheme forces its tail page here (a
     transaction's invalidations must be durable before it commits). *)
+
+val crash_volatile : t -> int
+(** Tear the volatile tail off the WAL (see {!Dbproc_storage.Wal.crash}),
+    returning how many logged transitions were lost; 0 for the page-flag
+    and NVRAM schemes, whose records are durable the moment they are made.
+    Call this before {!crash_and_recover} when simulating a real crash —
+    without it the recovered table is rebuilt as if the tail had been
+    forced. *)
 
 val crash_and_recover : t -> t
 (** Simulate a crash: throw away all volatile state and rebuild the table

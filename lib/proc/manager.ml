@@ -35,21 +35,27 @@ type t = {
   record_bytes : int;
   rvm_shape : rvm_shape;
   ilocks : Ilock.t;
-  builder : Dbproc_rete.Builder.t option;
+  mutable builder : Dbproc_rete.Builder.t option;
+  mutable inval : Inval_table.t option; (* durable validity, CI + ?recovery *)
   mutable entries : (proc_id * (View_def.t * entry)) list; (* reversed *)
   mutable next_id : int;
 }
 
-let create kind ~io ~record_bytes ?(rvm_shape = `Right_deep) () =
+let create kind ~io ~record_bytes ?rvm_shape:(shape = `Right_deep) ?recovery () =
   {
     kind;
     io;
     record_bytes;
-    rvm_shape;
+    rvm_shape = shape;
     ilocks = Ilock.create ~cost:(Io.cost io) ();
     builder =
       (match kind with
       | Update_cache_rvm -> Some (Dbproc_rete.Builder.create ~io ~record_bytes ())
+      | _ -> None);
+    inval =
+      (match (kind, recovery) with
+      | Cache_invalidate, Some scheme ->
+        Some (Inval_table.create ~io ~scheme ~procs:0)
       | _ -> None);
     entries = [];
     next_id = 0;
@@ -65,6 +71,11 @@ let subscribe_sources t id (def : View_def.t) =
         ~restriction:src.restriction)
     (View_def.sources def)
 
+let shape_for t (def : View_def.t) =
+  match t.rvm_shape with
+  | (`Left_deep | `Right_deep) as fixed -> fixed
+  | `Auto profile -> Dbproc_rete.Optimizer.choose_shape def ~profile
+
 let register t (def : View_def.t) =
   let id = t.next_id in
   t.next_id <- id + 1;
@@ -73,18 +84,16 @@ let register t (def : View_def.t) =
     | Always_recompute -> Ar (Planner.compile def)
     | Cache_invalidate ->
       subscribe_sources t id def;
+      (match t.inval with
+      | Some tbl -> Inval_table.ensure_capacity tbl (id + 1)
+      | None -> ());
       Ci (Result_cache.create ~record_bytes:t.record_bytes def)
     | Update_cache_avm ->
       subscribe_sources t id def;
       Avm (Dbproc_avm.Materialized_view.create ~record_bytes:t.record_bytes def)
     | Update_cache_rvm ->
       let builder = Option.get t.builder in
-      let shape =
-        match t.rvm_shape with
-        | (`Left_deep | `Right_deep) as fixed -> fixed
-        | `Auto profile -> Dbproc_rete.Optimizer.choose_shape def ~profile
-      in
-      let built = Dbproc_rete.Builder.add_view builder ~shape def in
+      let built = Dbproc_rete.Builder.add_view builder ~shape:(shape_for t def) def in
       Rvm built.result
   in
   t.entries <- (id, (def, entry)) :: t.entries;
@@ -108,7 +117,17 @@ let access t id =
     (fun () ->
       match snd (find t id) with
       | Ar plan -> Trace.with_span tr "execute" (fun () -> Executor.run plan)
-      | Ci cache -> Result_cache.access cache
+      | Ci cache ->
+        let was_valid = Result_cache.is_valid cache in
+        let r = Result_cache.access cache in
+        (* The revalidation transition is logged only after the recomputed
+           contents have been fully rewritten to the cache's pages: a crash
+           between the rewrite and the log record leaves the durable table
+           saying "invalid", which is safe (recovery recomputes again). *)
+        (match t.inval with
+        | Some tbl when not was_valid -> Inval_table.set_valid tbl id
+        | _ -> ());
+        r
       | Avm view ->
         Trace.with_span tr "execute (read cache)" (fun () ->
             Dbproc_avm.Materialized_view.read view)
@@ -133,7 +152,12 @@ let on_delta t ~rel ~inserted ~deleted =
                | Ci cache ->
                  Trace.with_span_f tr
                    (fun () -> Printf.sprintf "invalidate p%d" b.owner)
-                   (fun () -> Result_cache.invalidate cache)
+                   (fun () ->
+                     let was_valid = Result_cache.is_valid cache in
+                     Result_cache.invalidate cache;
+                     match t.inval with
+                     | Some tbl when was_valid -> Inval_table.set_invalid tbl b.owner
+                     | _ -> ())
                | _ -> assert false))
   | Update_cache_avm ->
     Trace.with_span_f tr
@@ -195,6 +219,128 @@ let matches_recompute t id =
     multiset_equal
       (Dbproc_rete.Memory.contents (Dbproc_rete.Network.memory node))
       (uncharged_recompute t def)
+
+let end_of_transaction t =
+  match t.inval with Some tbl -> Inval_table.end_of_transaction tbl | None -> ()
+
+let inval_table t = t.inval
+
+type recovery_stats = {
+  replay_pages : int;
+  rebuilt_views : int;
+  lost_log_records : int;
+  conservative_invalidations : int;
+}
+
+(* Crash-and-restart simulation.  What survives: every written page (heap
+   files, cache stores, the inval table's checkpoint and forced log pages)
+   and the catalog (defs, plans, i-lock subscriptions — re-derived from the
+   catalog at restart, free).  What does not: the buffer pool, the WAL's
+   volatile tail, and any in-memory validity that the durable table cannot
+   prove.  AVM and RVM keep no durable validity record at all, so their
+   views are conservatively rebuilt from the base relations. *)
+let recover t =
+  let metrics = obs_metrics t.io in
+  let cost = Io.cost t.io in
+  Io.flush t.io;
+  Trace.with_span_f (obs_trace t.io)
+    (fun () -> Printf.sprintf "recover [%s]" (kind_name t.kind))
+    (fun () ->
+      match t.kind with
+      | Always_recompute ->
+        (* no derived state beyond the plans: nothing to recover *)
+        {
+          replay_pages = 0;
+          rebuilt_views = 0;
+          lost_log_records = 0;
+          conservative_invalidations = 0;
+        }
+      | Cache_invalidate ->
+        let conservative = ref 0 in
+        let reset_validity prove =
+          List.iter
+            (fun (id, (_, entry)) ->
+              match entry with
+              | Ci cache ->
+                let v = prove id in
+                if Result_cache.is_valid cache && not v then incr conservative;
+                Result_cache.set_validity cache v
+              | _ -> assert false)
+            t.entries
+        in
+        let replay, lost =
+          match t.inval with
+          | Some tbl ->
+            let lost = Inval_table.crash_volatile tbl in
+            let before = Cost.snapshot cost in
+            let tbl' = Inval_table.crash_and_recover tbl in
+            let after = Cost.snapshot cost in
+            t.inval <- Some tbl';
+            reset_validity (Inval_table.is_valid tbl');
+            (after.Cost.s_page_reads - before.Cost.s_page_reads, lost)
+          | None ->
+            (* no durable validity record: nothing can be proven *)
+            reset_validity (fun _ -> false);
+            (0, 0)
+        in
+        if replay > 0 then Metrics.incr ~n:replay metrics Metrics.Recovery_replay_pages;
+        if !conservative > 0 then
+          Metrics.incr ~n:!conservative metrics Metrics.Recovery_conservative_invals;
+        {
+          replay_pages = replay;
+          rebuilt_views = 0;
+          lost_log_records = lost;
+          conservative_invalidations = !conservative;
+        }
+      | Update_cache_avm ->
+        let n = ref 0 in
+        List.iter
+          (fun (_, (_, entry)) ->
+            match entry with
+            | Avm view ->
+              Dbproc_avm.Materialized_view.recompute_refresh view;
+              incr n
+            | _ -> assert false)
+          t.entries;
+        if !n > 0 then Metrics.incr ~n:!n metrics Metrics.Recovery_rebuilt_views;
+        {
+          replay_pages = 0;
+          rebuilt_views = !n;
+          lost_log_records = 0;
+          conservative_invalidations = 0;
+        }
+      | Update_cache_rvm ->
+        (* Rebuild the whole network from the base relations, preserving
+           registration order so sharing (and therefore node identity) is
+           reproduced.  The recompute of each view is charged through the
+           executor; storing the rebuilt memories costs one write per
+           memory page. *)
+        let builder = Dbproc_rete.Builder.create ~io:t.io ~record_bytes:t.record_bytes () in
+        let rebuilt =
+          List.map
+            (fun (id, (def, _)) ->
+              ignore (Executor.run (Planner.compile def));
+              let built = Dbproc_rete.Builder.add_view builder ~shape:(shape_for t def) def in
+              (id, (def, Rvm built.result)))
+            (List.rev t.entries)
+        in
+        t.builder <- Some builder;
+        t.entries <- List.rev rebuilt;
+        let pages =
+          List.fold_left
+            (fun acc m -> acc + Dbproc_rete.Memory.page_count m)
+            0
+            (Dbproc_rete.Network.memories (Dbproc_rete.Builder.network builder))
+        in
+        if pages > 0 then Cost.page_write ~count:pages cost;
+        let n = List.length rebuilt in
+        if n > 0 then Metrics.incr ~n metrics Metrics.Recovery_rebuilt_views;
+        {
+          replay_pages = 0;
+          rebuilt_views = n;
+          lost_log_records = 0;
+          conservative_invalidations = 0;
+        })
 
 let shared_alpha_count t =
   match t.builder with Some b -> Dbproc_rete.Builder.shared_alpha_count b | None -> 0

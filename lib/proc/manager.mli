@@ -41,11 +41,16 @@ val create :
   io:Dbproc_storage.Io.t ->
   record_bytes:int ->
   ?rvm_shape:rvm_shape ->
+  ?recovery:Inval_table.scheme ->
   unit ->
   t
 (** [record_bytes] is the width of stored result tuples (the paper's [S]).
     [rvm_shape] picks the Rete join-tree shape (default [`Right_deep],
-    the paper's model-2 network). *)
+    the paper's model-2 network).  [recovery] (Cache and Invalidate only)
+    makes cache validity durable through an {!Inval_table} with the given
+    scheme: every validity transition is recorded (charged per the scheme)
+    and {!recover} can then prove validity after a crash instead of
+    conservatively invalidating everything. *)
 
 val kind : t -> kind
 val procedure_count : t -> int
@@ -79,6 +84,45 @@ val matches_recompute : t -> proc_id -> bool
 (** Whether the strategy's stored state for the procedure agrees with a
     from-scratch recompute (uncharged; test invariant).  Always true for
     Always Recompute and for an invalid Cache and Invalidate entry. *)
+
+val end_of_transaction : t -> unit
+(** Commit boundary: force the invalidation WAL's tail page (see
+    {!Inval_table.end_of_transaction}).  The driver calls this after each
+    update transaction's {!on_update}; a transaction whose invalidations
+    are not yet durable has not committed.  No-op without [?recovery]. *)
+
+val inval_table : t -> Inval_table.t option
+(** The durable validity table, when [?recovery] was given. *)
+
+type recovery_stats = {
+  replay_pages : int;  (** pages re-read replaying the WAL suffix *)
+  rebuilt_views : int;  (** AVM/RVM views rebuilt from base relations *)
+  lost_log_records : int;  (** validity transitions torn off the WAL tail *)
+  conservative_invalidations : int;
+      (** caches marked invalid because durable state could not prove
+          validity *)
+}
+
+val recover : t -> recovery_stats
+(** Simulate a crash and restart.  Volatile state dies: the buffer pool is
+    flushed, the invalidation WAL loses its un-forced tail, and derived
+    state that has no durable validity proof is discarded.  Then the
+    strategy's recovery protocol runs, fully charged:
+
+    - {!Always_recompute} keeps no derived state — nothing to do;
+    - {!Cache_invalidate} rebuilds the validity table from its durable
+      medium (checkpoint + log replay for the WAL scheme) and resets every
+      cache's flag to what the table proves — or, without [?recovery],
+      conservatively invalidates every cache;
+    - {!Update_cache_avm} recomputes every materialized view;
+    - {!Update_cache_rvm} rebuilds the Rete network from the base
+      relations in registration order (so sharing is reproduced), charging
+      one recompute per view plus the writes that re-store its memories.
+
+    Because injected faults stay live during recovery, callers must be
+    prepared for a {!Dbproc_fault}-style crash exception from inside
+    [recover] and simply call it again (crash points fire at most once, so
+    the retry terminates). *)
 
 val shared_alpha_count : t -> int
 (** RVM only: α-memories reused through sharing (0 otherwise). *)

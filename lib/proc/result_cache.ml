@@ -65,3 +65,4 @@ let access t =
 
 let accesses t = t.accesses
 let misses t = t.misses
+let set_validity t v = t.valid <- v

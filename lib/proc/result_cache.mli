@@ -37,3 +37,9 @@ val accesses : t -> int
 
 val misses : t -> int
 (** Accesses that found the cache invalid and recomputed. *)
+
+val set_validity : t -> bool -> unit
+(** Overwrite the validity flag without charging anything.  Recovery only:
+    after a crash the manager resets each cache to the validity the
+    durable {!Inval_table} proves (or [false] when it cannot prove
+    anything).  Not for normal operation — use {!invalidate}. *)

@@ -60,6 +60,8 @@ module Lru = struct
     t.tail <- None
 end
 
+type touch = { op : [ `Read | `Write ]; file : int; page : int }
+
 type t = {
   cost : Cost.t;
   page_bytes : int;
@@ -69,6 +71,7 @@ type t = {
   mutable misses : int;
   dedup : (int * int * bool, unit) Hashtbl.t; (* (file, page, is_write) *)
   mutable dedup_depth : int;
+  mutable touch_hook : (touch -> unit) option;
 }
 
 let direct cost ~page_bytes =
@@ -82,6 +85,7 @@ let direct cost ~page_bytes =
     misses = 0;
     dedup = Hashtbl.create 64;
     dedup_depth = 0;
+    touch_hook = None;
   }
 
 let buffered cost ~page_bytes ~capacity =
@@ -97,7 +101,20 @@ let buffered cost ~page_bytes ~capacity =
     misses = 0;
     dedup = Hashtbl.create 64;
     dedup_depth = 0;
+    touch_hook = None;
   }
+
+let set_touch_hook t hook = t.touch_hook <- hook
+
+(* Fire the fault hook for one device touch that is about to be charged.
+   Only touches that are both charged (not deduplicated) and priced
+   (accounting active) count: work done under [Cost.with_disabled] — bulk
+   loads, consistency checks, recovery bookkeeping — cannot fault, so the
+   paper-model counters stay exactly charge/unit-cost (PR 1 invariant). *)
+let fire_hook t ~op ~file ~page =
+  match t.touch_hook with
+  | None -> ()
+  | Some hook -> if Cost.active t.cost then hook { op; file; page }
 
 let with_touch_dedup t f =
   t.dedup_depth <- t.dedup_depth + 1;
@@ -135,7 +152,9 @@ let fresh_file t =
 let read t ~file ~page =
   if should_charge t ~file ~page ~is_write:false then
     match t.lru with
-    | None -> Cost.page_read t.cost
+    | None ->
+      fire_hook t ~op:`Read ~file ~page;
+      Cost.page_read t.cost
     | Some lru ->
       if Lru.touch lru (file, page) then begin
         t.hits <- t.hits + 1;
@@ -148,12 +167,14 @@ let read t ~file ~page =
         if Cost.active t.cost then
           Dbproc_obs.Metrics.incr (Cost.metrics t.cost)
             Dbproc_obs.Metrics.Buffer_misses;
+        fire_hook t ~op:`Read ~file ~page;
         Cost.page_read t.cost
       end
 
 let write t ~file ~page =
   if should_charge t ~file ~page ~is_write:true then begin
     (match t.lru with Some lru -> ignore (Lru.touch lru (file, page)) | None -> ());
+    fire_hook t ~op:`Write ~file ~page;
     Cost.page_write t.cost
   end
 

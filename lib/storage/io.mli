@@ -15,6 +15,9 @@
 
 type t
 
+type touch = { op : [ `Read | `Write ]; file : int; page : int }
+(** One charged device touch, as seen by the fault hook. *)
+
 val direct : Cost.t -> page_bytes:int -> t
 (** Unbuffered I/O: each read/write charges one [C2]. *)
 
@@ -70,3 +73,14 @@ val buffer_misses : t -> int
 
 val flush : t -> unit
 (** Drop all buffered pages (no cost: write-through keeps disk current). *)
+
+val set_touch_hook : t -> (touch -> unit) option -> unit
+(** Install (or clear) the fault-injection hook.  The hook runs immediately
+    before each page touch is charged, and only for touches that would
+    actually be charged: deduplicated re-touches, buffer-pool hits and any
+    I/O issued under {!Cost.with_disabled} never reach it.  This is what
+    keeps the paper-model invariant (obs counter = charge / unit cost)
+    intact under injection — the hook can add its own priced retries, but
+    it cannot observe or perturb unpriced work.  The hook may raise (the
+    fault layer's crash points do); the raise happens {e before} the charge,
+    so an interrupted touch costs nothing — a torn write. *)

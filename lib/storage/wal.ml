@@ -71,6 +71,18 @@ let records_from t lsn =
   done;
   wanted
 
+let crash t =
+  let durable = durable_lsn t in
+  let lost = t.tail_fill in
+  if lost > 0 then begin
+    t.records <- List.filter (fun (l, _) -> l < durable) t.records;
+    (* [next] is not rewound: the lost lsns are never reissued, so replay
+       code can rely on lsns being unique across a crash.  The log simply
+       has a gap where the torn tail page was. *)
+    t.tail_fill <- 0
+  end;
+  lost
+
 let truncate_before t lsn =
   if lsn > t.oldest then begin
     t.records <- List.filter (fun (l, _) -> l >= lsn) t.records;

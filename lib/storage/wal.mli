@@ -54,3 +54,10 @@ val durable_lsn : 'a t -> lsn
 (** Records with lsn below this survived the last page write or {!force};
     records at or above it are still in the volatile tail page and are
     lost by a crash. *)
+
+val crash : 'a t -> int
+(** Simulate a crash: drop the volatile tail (every record at or above
+    {!durable_lsn} — the torn tail page), returning how many records were
+    lost.  [next_lsn] is {e not} rewound — the lost lsns leave a gap and
+    are never reused — and no I/O is charged (a crash costs nothing; the
+    recovery replay pays). *)

@@ -55,12 +55,12 @@ let charges_of (params : Params.t) =
   }
 
 let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
-    ?(r2_update_fraction = 0.0) ?ctx ~model ~params strategy =
+    ?(r2_update_fraction = 0.0) ?ctx ?buffer_pages ~model ~params strategy =
   (* Each run gets its own engine context unless the caller supplies one:
      no state is shared with any other run, which is what makes parallel
      execution safe and bit-identical to sequential. *)
   let obs = match ctx with Some c -> c | None -> Dbproc_obs.Ctx.create () in
-  let db = Database.build ~seed ~ctx:obs ~model params in
+  let db = Database.build ~seed ~ctx:obs ?buffer_pages ~model params in
   let record_bytes = iround params.Params.s in
   let manager =
     Dbproc_proc.Manager.create (manager_kind strategy) ~io:db.Database.io ~record_bytes
@@ -149,6 +149,210 @@ let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
     per_op = List.rev rr.rr_per_op_rev;
     obs;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Crash/restart simulation                                            *)
+
+module Injector = Dbproc_fault.Injector
+
+type crash_stats = {
+  cs_crashes : int;
+  cs_faults_injected : int;
+  cs_fault_retries : int;
+  cs_touches : int;
+  cs_replay_pages : int;
+  cs_rebuilt_views : int;
+  cs_lost_log_records : int;
+  cs_conservative_invalidations : int;
+}
+
+type crash_result = {
+  cr_strategy : Strategy.t;
+  cr_queries : int;
+  cr_updates : int;
+  cr_total_ms : float;
+  cr_page_reads : int;
+  cr_page_writes : int;
+  cr_access_results : Tuple.t list list;
+  cr_stats : crash_stats;
+  cr_consistent : bool;
+  cr_obs : Dbproc_obs.Ctx.t;
+}
+
+let result_digest r =
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i tuples ->
+      Buffer.add_string buf (string_of_int i);
+      List.iter
+        (fun t ->
+          Buffer.add_char buf '|';
+          Buffer.add_string buf (Format.asprintf "%a" Tuple.pp t))
+        tuples;
+      Buffer.add_char buf '\n')
+    r.cr_access_results;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let run_with_crashes ?(seed = 42) ?buffer_pages ?fault_config ?fault_seed
+    ?(crash_points = []) ?(checkpoint_every = 64) ?(check_consistency = true)
+    ?rvm_shape ?(r2_update_fraction = 0.0) ~model ~params strategy =
+  let obs = Dbproc_obs.Ctx.create () in
+  let db = Database.build ~seed ~ctx:obs ?buffer_pages ~model params in
+  let record_bytes = iround params.Params.s in
+  let manager =
+    (* Crash runs always give Cache and Invalidate a durable validity
+       table (the paper's WAL scheme): without one, recovery can prove
+       nothing and must conservatively invalidate every cache. *)
+    Dbproc_proc.Manager.create (manager_kind strategy) ~io:db.Database.io ~record_bytes
+      ?rvm_shape
+      ~recovery:(Dbproc_proc.Inval_table.Wal_logged { checkpoint_every })
+      ()
+  in
+  let proc_ids =
+    List.map (fun def -> Dbproc_proc.Manager.register manager def) (Database.all_defs db)
+  in
+  let proc_arr = Array.of_list proc_ids in
+  let q = iround params.Params.q and k = iround params.Params.k in
+  let workload_prng = Prng.create (seed + 1) in
+  let locality =
+    let n = max 1 (Array.length proc_arr) in
+    if params.Params.z > 0.0 && params.Params.z < 0.5 then Locality.create ~z:params.Params.z ~n
+    else Locality.uniform ~n
+  in
+  let ops = op_sequence workload_prng ~q ~k ~locality in
+  Cost.reset db.Database.cost;
+  Dbproc_obs.Metrics.reset (Dbproc_obs.Ctx.metrics obs);
+  let charges = charges_of params in
+  Dbproc_obs.Trace.set_clock (Dbproc_obs.Ctx.trace obs) (fun () ->
+      Cost.total_ms charges db.Database.cost);
+  (* The injector (when any) is installed only for the measured phase, so
+     crash points are counted in measured-phase touches.  Its PRNG stream
+     is independent of the workload's: a fault-free and a faulted run draw
+     identical op sequences and update targets. *)
+  let injector =
+    if fault_config = None && crash_points = [] then None
+    else begin
+      let config = Option.value fault_config ~default:Injector.no_faults in
+      let inj =
+        Injector.create ~config
+          ~seed:(Option.value fault_seed ~default:(seed + 9973))
+          ()
+      in
+      Injector.schedule_crashes inj crash_points;
+      Injector.install inj db.Database.io;
+      Some inj
+    end
+  in
+  let queries = ref 0 and updates = ref 0 in
+  let results_rev = ref [] in
+  let replay = ref 0 and rebuilt = ref 0 and lost = ref 0 and conservative = ref 0 in
+  let note (st : Dbproc_proc.Manager.recovery_stats) =
+    replay := !replay + st.Dbproc_proc.Manager.replay_pages;
+    rebuilt := !rebuilt + st.Dbproc_proc.Manager.rebuilt_views;
+    lost := !lost + st.Dbproc_proc.Manager.lost_log_records;
+    conservative := !conservative + st.Dbproc_proc.Manager.conservative_invalidations
+  in
+  (* Recovery itself runs with faults live, so it too can crash; each
+     crash point fires at most once, so the retry loop terminates. *)
+  let rec recover () =
+    match Dbproc_proc.Manager.recover manager with
+    | st -> note st
+    | exception Injector.Crash _ -> recover ()
+  in
+  let rec with_recovery f =
+    try f ()
+    with Injector.Crash _ ->
+      recover ();
+      with_recovery f
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Query idx ->
+        if Array.length proc_arr > 0 then begin
+          incr queries;
+          let r =
+            with_recovery (fun () ->
+                Dbproc_proc.Manager.access manager
+                  proc_arr.(idx mod Array.length proc_arr))
+          in
+          (* Results are captured as sorted multisets: the strategies are
+             multiset-equivalent but may store tuples in different physical
+             orders (and recovery may rewrite a cache in plan order). *)
+          results_rev := List.sort Tuple.compare r :: !results_rev
+        end
+      | Update ->
+        incr updates;
+        (* Both draws happen exactly once, before anything can crash, so a
+           replayed transaction re-applies the identical change set. *)
+        let target_r2 =
+          r2_update_fraction > 0.0 && Prng.float workload_prng < r2_update_fraction
+        in
+        let rel, changes =
+          if target_r2 then (db.Database.r2, Database.random_update_r2 db workload_prng)
+          else (db.Database.r1, Database.random_update db workload_prng)
+        in
+        with_recovery (fun () ->
+            let old_new =
+              Cost.with_disabled db.Database.cost (fun () ->
+                  Relation.update_batch rel changes)
+            in
+            try
+              Dbproc_proc.Manager.on_update manager ~rel ~changes:old_new;
+              Dbproc_proc.Manager.end_of_transaction manager
+            with Injector.Crash _ as e ->
+              (* The transaction did not commit: the host DBMS's recovery
+                 undoes its base-table writes before procedure state is
+                 rebuilt, and the driver then replays it from scratch. *)
+              let undo =
+                List.map2 (fun (rid, _) (old_t, _) -> (rid, old_t)) changes old_new
+              in
+              ignore
+                (Cost.with_disabled db.Database.cost (fun () ->
+                     Relation.update_batch rel undo));
+              raise e))
+    ops;
+  (match injector with Some _ -> Injector.uninstall db.Database.io | None -> ());
+  let total_ms = Cost.total_ms charges db.Database.cost in
+  let consistent =
+    (not check_consistency)
+    || List.for_all (fun id -> Dbproc_proc.Manager.matches_recompute manager id) proc_ids
+  in
+  let stats =
+    {
+      cs_crashes = (match injector with Some i -> Injector.crashes i | None -> 0);
+      cs_faults_injected = (match injector with Some i -> Injector.injected i | None -> 0);
+      cs_fault_retries = (match injector with Some i -> Injector.retries i | None -> 0);
+      cs_touches = (match injector with Some i -> Injector.touches i | None -> 0);
+      cs_replay_pages = !replay;
+      cs_rebuilt_views = !rebuilt;
+      cs_lost_log_records = !lost;
+      cs_conservative_invalidations = !conservative;
+    }
+  in
+  {
+    cr_strategy = strategy;
+    cr_queries = !queries;
+    cr_updates = !updates;
+    cr_total_ms = total_ms;
+    cr_page_reads = Cost.page_reads db.Database.cost;
+    cr_page_writes = Cost.page_writes db.Database.cost;
+    cr_access_results = List.rev !results_rev;
+    cr_stats = stats;
+    cr_consistent = consistent;
+    cr_obs = obs;
+  }
+
+let pp_crash_result ppf r =
+  Format.fprintf ppf
+    "%-22s q=%d u=%d total=%.1f ms crashes=%d faults=%d retries=%d replay=%d rebuilt=%d \
+     lost=%d conservative=%d digest=%s%s"
+    (Strategy.name r.cr_strategy) r.cr_queries r.cr_updates r.cr_total_ms
+    r.cr_stats.cs_crashes r.cr_stats.cs_faults_injected r.cr_stats.cs_fault_retries
+    r.cr_stats.cs_replay_pages r.cr_stats.cs_rebuilt_views r.cr_stats.cs_lost_log_records
+    r.cr_stats.cs_conservative_invalidations
+    (String.sub (result_digest r) 0 8)
+    (if r.cr_consistent then "" else " INCONSISTENT")
 
 let run_all ?seed ?check_consistency ?r2_update_fraction ~model ~params () =
   List.map

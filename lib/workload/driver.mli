@@ -49,6 +49,7 @@ val run_strategy :
   ?rvm_shape:Dbproc_proc.Manager.rvm_shape ->
   ?r2_update_fraction:float ->
   ?ctx:Dbproc_obs.Ctx.t ->
+  ?buffer_pages:int ->
   model:Model.which ->
   params:Params.t ->
   Strategy.t ->
@@ -61,7 +62,82 @@ val run_strategy :
     transactions modify R2 instead of R1 — the ext-update-mix extension.
     [ctx] is the engine context to charge; by default each run creates a
     fresh private one (exposed as [result.obs]), so runs share no mutable
-    state whatsoever and may execute on different domains. *)
+    state whatsoever and may execute on different domains.  [buffer_pages]
+    runs the same workload over a buffered I/O layer instead of the
+    paper's direct one — results must be identical, only costs change. *)
+
+(** {2 Crash/restart simulation}
+
+    [run_with_crashes] executes the same deterministic workload as
+    {!run_strategy}, but through a {!Dbproc_fault.Injector}: transient I/O
+    failures are retried (charged in simulated time), and scheduled crash
+    points abort the in-flight operation, undo its base-table transaction,
+    run the strategy's recovery protocol ({!Dbproc_proc.Manager.recover}),
+    and replay the operation.  The run records every procedure access's
+    result (as a sorted multiset), so a faulted run can be compared
+    byte-for-byte against a fault-free oracle run of the same seed — the
+    differential harness in [test/test_recovery.ml]. *)
+
+type crash_stats = {
+  cs_crashes : int;  (** crash points fired *)
+  cs_faults_injected : int;  (** transient failures injected *)
+  cs_fault_retries : int;  (** I/Os re-issued *)
+  cs_touches : int;  (** charged touches the injector saw *)
+  cs_replay_pages : int;  (** WAL pages re-read during recovery *)
+  cs_rebuilt_views : int;  (** views rebuilt during recovery *)
+  cs_lost_log_records : int;  (** log records torn off volatile tails *)
+  cs_conservative_invalidations : int;
+      (** caches invalidated because validity could not be proven *)
+}
+
+type crash_result = {
+  cr_strategy : Strategy.t;
+  cr_queries : int;
+  cr_updates : int;
+  cr_total_ms : float;  (** total priced ms, including faults and recovery *)
+  cr_page_reads : int;
+  cr_page_writes : int;
+  cr_access_results : Dbproc_relation.Tuple.t list list;
+      (** the result of every procedure access, in sequence order, each
+          sorted by {!Dbproc_relation.Tuple.compare} — the run's
+          observable behavior, independent of physical storage order *)
+  cr_stats : crash_stats;
+  cr_consistent : bool;
+  cr_obs : Dbproc_obs.Ctx.t;
+}
+
+val run_with_crashes :
+  ?seed:int ->
+  ?buffer_pages:int ->
+  ?fault_config:Dbproc_fault.Injector.config ->
+  ?fault_seed:int ->
+  ?crash_points:int list ->
+  ?checkpoint_every:int ->
+  ?check_consistency:bool ->
+  ?rvm_shape:Dbproc_proc.Manager.rvm_shape ->
+  ?r2_update_fraction:float ->
+  model:Model.which ->
+  params:Params.t ->
+  Strategy.t ->
+  crash_result
+(** Like {!run_strategy} with the fault layer in the loop.  No injector is
+    installed at all when [fault_config] is omitted and [crash_points] is
+    empty — such an oracle run must charge exactly what the same run with
+    an installed-but-disabled injector charges (the bench's
+    [ablation-faults] asserts zero drift).  [fault_seed] (default derived
+    from [seed]) feeds the injector's private PRNG; [crash_points] are
+    absolute charged-touch counts within the measured phase;
+    [checkpoint_every] is the Cache and Invalidate validity WAL's
+    checkpoint interval in transitions.  The op sequence and every update's
+    change set are drawn exactly as in a fault-free run, and a crashed
+    transaction is undone and replayed with the identical change set, so
+    [cr_access_results] of any crashed run equals the oracle's. *)
+
+val result_digest : crash_result -> string
+(** MD5 hex digest of [cr_access_results] (with sequence positions) — the
+    value CI compares between faulted and oracle runs. *)
+
+val pp_crash_result : Format.formatter -> crash_result -> unit
 
 val run_all :
   ?seed:int ->

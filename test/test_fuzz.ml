@@ -298,6 +298,62 @@ let fuzz_adaptive =
           List.length got = List.length expected && List.for_all2 Tuple.equal got expected)
         spec.script)
 
+(* ------------------------------------------- crash-LSN fuzzing *)
+
+(* Randomized companion to test_recovery's deterministic sweep: a random
+   workload seed, a random strategy and 1-3 random crash points (drawn as
+   fractions of the run's total charged touches, so every region of the
+   workload is reachable), checked against the fault-free oracle of the
+   same seed. *)
+
+let crash_params =
+  {
+    Costmodel.Params.default with
+    Costmodel.Params.n = 800.0;
+    n1 = 3.0;
+    n2 = 3.0;
+    q = 8.0;
+    k = 8.0;
+    l = 5.0;
+    f = 0.005;
+  }
+
+let crash_spec_gen =
+  let open QCheck.Gen in
+  let* seed = int_bound 10_000 in
+  let* strategy_idx = int_bound 3 in
+  let* fracs = list_size (int_range 1 3) (float_range 0.01 0.99) in
+  return (seed, strategy_idx, fracs)
+
+let crash_spec_print (seed, strategy_idx, fracs) =
+  Printf.sprintf "{seed=%d; strategy=%s; fracs=[%s]}" seed
+    (Costmodel.Strategy.name (List.nth Costmodel.Strategy.all strategy_idx))
+    (String.concat "; " (List.map (Printf.sprintf "%.3f") fracs))
+
+let fuzz_crash_recovery =
+  QCheck.Test.make ~count:12 ~name:"random crash points recover to the oracle"
+    (QCheck.make ~print:crash_spec_print crash_spec_gen)
+    (fun (seed, strategy_idx, fracs) ->
+      let strategy = List.nth Costmodel.Strategy.all strategy_idx in
+      let run ?fault_config ?crash_points () =
+        Workload.Driver.run_with_crashes ~seed ?fault_config ?crash_points
+          ~model:Costmodel.Model.Model1 ~params:crash_params strategy
+      in
+      let probe = run ~fault_config:Fault.Injector.no_faults () in
+      let touches = probe.Workload.Driver.cr_stats.Workload.Driver.cs_touches in
+      let points =
+        List.sort_uniq compare
+          (List.map (fun f -> max 1 (int_of_float (f *. float_of_int touches))) fracs)
+      in
+      let crashed = run ~crash_points:points () in
+      crashed.Workload.Driver.cr_stats.Workload.Driver.cs_crashes = List.length points
+      && Workload.Driver.result_digest crashed = Workload.Driver.result_digest probe
+      && crashed.Workload.Driver.cr_consistent)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
-  Alcotest.run "fuzz" [ ("fuzz", [ qc fuzz_all_strategies; qc fuzz_adaptive ]) ]
+  Alcotest.run "fuzz"
+    [
+      ("fuzz", [ qc fuzz_all_strategies; qc fuzz_adaptive ]);
+      ("crash", [ qc fuzz_crash_recovery ]);
+    ]

@@ -422,6 +422,68 @@ let test_wal_truncate () =
   Alcotest.(check (list int)) "suffix still readable" [ 6; 7; 8; 9 ]
     (List.map fst (Wal.records_from w 6))
 
+let test_wal_force_empty () =
+  let c, w = make_wal () in
+  Wal.force w;
+  Alcotest.(check int) "force on empty log charges nothing" 0 (Cost.page_writes c);
+  Alcotest.(check int) "still no pages" 0 (Wal.page_count w);
+  Alcotest.(check int) "durable stays 0" 0 (Wal.durable_lsn w)
+
+let test_wal_exact_page_fill () =
+  let c, w = make_wal () in
+  (* 10 records per page: the 10th append writes the page itself *)
+  for i = 0 to 9 do
+    ignore (Wal.append w i)
+  done;
+  Alcotest.(check int) "one write at exact fill" 1 (Cost.page_writes c);
+  Alcotest.(check int) "everything durable" 10 (Wal.durable_lsn w);
+  Alcotest.(check int) "one page, no tail" 1 (Wal.page_count w);
+  Wal.force w;
+  Alcotest.(check int) "force after exact fill is free" 1 (Cost.page_writes c)
+
+let test_wal_page_count_invariant () =
+  (* page_count = ceil(records / per_page) at every prefix, forced or not *)
+  let _, w = make_wal () in
+  for i = 1 to 35 do
+    ignore (Wal.append w i);
+    Alcotest.(check int)
+      (Printf.sprintf "page_count after %d appends" i)
+      ((i + 9) / 10) (Wal.page_count w)
+  done;
+  Wal.force w;
+  Alcotest.(check int) "force does not change page_count" 4 (Wal.page_count w)
+
+let test_wal_replay_after_truncation () =
+  let _, w = make_wal () in
+  for i = 0 to 14 do
+    ignore (Wal.append w i)
+  done;
+  Wal.truncate_before w 12;
+  for i = 15 to 17 do
+    ignore (Wal.append w i)
+  done;
+  Alcotest.(check (list int)) "replay from oldest after truncate+append"
+    [ 12; 13; 14; 15; 16; 17 ]
+    (List.map fst (Wal.records_from w (Wal.oldest_lsn w)))
+
+let test_wal_crash_tears_tail () =
+  let c, w = make_wal () in
+  for i = 0 to 13 do
+    ignore (Wal.append w i)
+  done;
+  Cost.reset c;
+  Alcotest.(check int) "4 volatile records lost" 4 (Wal.crash w);
+  Alcotest.(check int) "no reads charged" 0 (Cost.page_reads c);
+  Alcotest.(check int) "no writes charged" 0 (Cost.page_writes c);
+  Alcotest.(check int) "durable page intact" 1 (Wal.page_count w);
+  Alcotest.(check (list int)) "only durable records replay"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.map fst (Wal.records_from w 0));
+  Alcotest.(check int) "crash is idempotent" 0 (Wal.crash w);
+  (* the log keeps working: lsns continue past the gap *)
+  Alcotest.(check int) "next lsn unchanged" 14 (Wal.next_lsn w);
+  Alcotest.(check int) "append continues" 14 (Wal.append w 14)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "storage"
@@ -479,5 +541,12 @@ let () =
           Alcotest.test_case "multi-page read" `Quick test_wal_multi_page_read;
           Alcotest.test_case "truncate" `Quick test_wal_truncate;
           Alcotest.test_case "heap rewrite to empty" `Quick test_heap_rewrite_to_empty;
+          Alcotest.test_case "force on empty tail" `Quick test_wal_force_empty;
+          Alcotest.test_case "append exactly fills a page" `Quick test_wal_exact_page_fill;
+          Alcotest.test_case "page_count invariant" `Quick test_wal_page_count_invariant;
+          Alcotest.test_case "replay after truncation" `Quick
+            test_wal_replay_after_truncation;
+          Alcotest.test_case "crash tears the volatile tail" `Quick
+            test_wal_crash_tears_tail;
         ] );
     ]
