@@ -796,6 +796,19 @@ let bechamel_tests () =
              incr counter;
              ignore
                (Util.Yao.paper ~n:10_000.0 ~m:250.0 ~k:(float_of_int (!counter mod 1000)))));
+      (* wire-protocol encode + strict decode of one request frame *)
+      Test.make ~name:"micro-net-protocol"
+        (let dec = Net.Protocol.Decoder.create () in
+         Staged.stage (fun () ->
+             incr counter;
+             let frame =
+               Net.Protocol.request_to_string ~id:!counter
+                 (Net.Protocol.Exec_line "retrieve (EMP.all) where EMP.age < 32")
+             in
+             Net.Protocol.Decoder.feed_string dec frame;
+             match Net.Protocol.Decoder.next_request dec with
+             | Net.Protocol.Msg _ -> ()
+             | Net.Protocol.Awaiting | Net.Protocol.Corrupt _ -> assert false));
     ]
   in
   let sim_tests =

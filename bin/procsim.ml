@@ -448,27 +448,86 @@ let json_check_cmd =
 
 (* ---------------------------------------------------------- shell / run *)
 
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "%S: expected HOST:PORT" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port_s with
+    | Some port when port > 0 && port < 65536 && host <> "" -> Ok (host, port)
+    | _ -> Error (Printf.sprintf "%S: expected HOST:PORT" s))
+
 let shell_cmd =
-  let run () =
-    let session = Lang.Interp.create () in
-    print_endline "dbproc shell — QUEL-flavored commands; 'help' lists them; ctrl-d exits.";
-    let rec loop () =
-      Printf.printf "dbproc[%s]> %!" (Lang.Interp.strategy_name session);
-      match In_channel.input_line stdin with
-      | None -> print_newline ()
-      | Some line when String.trim line = "" -> loop ()
-      | Some line when String.trim line = "quit" || String.trim line = "exit" -> ()
-      | Some line ->
-        (match Lang.Interp.exec_line session line with
-        | Ok output -> print_endline output
-        | Error msg -> Printf.printf "error: %s\n" msg);
-        loop ()
-    in
-    loop ()
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Talk to a $(b,procsim serve) instance over the wire protocol instead of an \
+                in-process engine.")
+  in
+  let run_remote host port =
+    match Net.Client.connect ~host ~port () with
+    | exception e ->
+      `Error (false, Printf.sprintf "cannot connect to %s:%d (%s)" host port (Printexc.to_string e))
+    | client ->
+      Printf.printf "dbproc shell — connected to %s:%d; 'help' lists commands; ctrl-d exits.\n" host
+        port;
+      let rec loop () =
+        Printf.printf "dbproc[%s:%d]> %!" host port;
+        match In_channel.input_line stdin with
+        | None -> print_newline ()
+        | Some line when String.trim line = "" -> loop ()
+        | Some line when String.trim line = "quit" || String.trim line = "exit" -> ()
+        | Some line ->
+          (match Net.Client.call client (Net.Protocol.Exec_line line) with
+          | Net.Protocol.Output output -> print_endline output
+          | Net.Protocol.Failed msg -> Printf.printf "error: %s\n" msg
+          | Net.Protocol.Rejected msg -> Printf.printf "rejected: %s\n" msg
+          | Net.Protocol.Pong -> ());
+          loop ()
+      in
+      let result =
+        match loop () with
+        | () -> `Ok ()
+        | exception Net.Client.Closed -> `Error (false, "server closed the connection")
+        | exception Net.Client.Protocol_error msg ->
+          `Error (false, Printf.sprintf "protocol error: %s" msg)
+      in
+      Net.Client.close client;
+      result
+  in
+  let run connect =
+    match connect with
+    | Some target -> (
+      match parse_host_port target with
+      | Error msg -> `Error (true, msg)
+      | Ok (host, port) -> run_remote host port)
+    | None ->
+      let session = Lang.Interp.create () in
+      print_endline "dbproc shell — QUEL-flavored commands; 'help' lists them; ctrl-d exits.";
+      let rec loop () =
+        Printf.printf "dbproc[%s]> %!" (Lang.Interp.strategy_name session);
+        match In_channel.input_line stdin with
+        | None -> print_newline ()
+        | Some line when String.trim line = "" -> loop ()
+        | Some line when String.trim line = "quit" || String.trim line = "exit" -> ()
+        | Some line ->
+          (match Lang.Interp.exec_line session line with
+          | Ok output -> print_endline output
+          | Error msg -> Printf.printf "error: %s\n" msg);
+          loop ()
+      in
+      loop ();
+      `Ok ()
   in
   Cmd.v
-    (Cmd.info "shell" ~doc:"Interactive QUEL-flavored shell over the simulated engine.")
-    Term.(const run $ const ())
+    (Cmd.info "shell"
+       ~doc:
+         "Interactive QUEL-flavored shell over the simulated engine, in-process or (with \
+          $(b,--connect)) against a running server.")
+    Term.(ret (const run $ connect))
 
 let run_cmd =
   let file =
@@ -481,11 +540,184 @@ let run_cmd =
     | Ok output ->
       print_string output;
       `Ok ()
-    | Error msg -> `Error (false, msg)
+    | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a script of shell commands (one per line).")
     Term.(ret (const run $ file))
+
+(* ------------------------------------------------------ serve / loadgen *)
+
+let serve_cmd =
+  let host =
+    Arg.(
+      value
+      & opt string Net.Server.default_config.host
+      & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt int Net.Server.default_config.port
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Port to bind (0 picks an ephemeral port).")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt int Net.Server.default_config.shards
+      & info [ "shards" ] ~docv:"K" ~doc:"Session shards (engine domains).")
+  in
+  let max_conns =
+    Arg.(
+      value
+      & opt int Net.Server.default_config.max_conns
+      & info [ "max-conns" ] ~docv:"N" ~doc:"Connection limit; excess accepts are rejected.")
+  in
+  let max_inflight =
+    Arg.(
+      value
+      & opt int Net.Server.default_config.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Global in-flight request limit; excess requests are rejected.")
+  in
+  let idle_timeout =
+    Arg.(
+      value
+      & opt float Net.Server.default_config.idle_timeout
+      & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc:"Close idle connections after this long (<= 0 disables).")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Net.Server.default_config.max_frame
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Largest accepted frame payload.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Enable span tracing on every shard context.")
+  in
+  let run host port shards max_conns max_inflight idle_timeout max_frame trace =
+    if shards < 1 then `Error (true, "--shards must be >= 1")
+    else if max_conns < 1 then `Error (true, "--max-conns must be >= 1")
+    else if max_inflight < 1 then `Error (true, "--max-inflight must be >= 1")
+    else begin
+      let config =
+        {
+          Net.Server.default_config with
+          host;
+          port;
+          shards;
+          max_conns;
+          max_inflight;
+          idle_timeout;
+          max_frame;
+          trace;
+        }
+      in
+      match Net.Server.create ~config () with
+      | exception Unix.Unix_error (err, _, _) ->
+        `Error
+          (false, Printf.sprintf "cannot bind %s:%d: %s" host port (Unix.error_message err))
+      | server ->
+        let stop _ = Net.Server.shutdown server in
+        (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+         with Invalid_argument _ -> ());
+        (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+         with Invalid_argument _ -> ());
+        Printf.printf "procsim serve: listening on %s:%d (%d shard%s)\n%!" host
+          (Net.Server.port server) shards
+          (if shards = 1 then "" else "s");
+        Net.Server.run server;
+        print_endline "procsim serve: drained, bye.";
+        `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the engine over the framed wire protocol: a non-blocking event loop in front of \
+          K session-shard domains, each running its own interpreter.  SIGINT/SIGTERM or a \
+          protocol shutdown request drains gracefully.")
+    Term.(
+      ret
+        (const run $ host $ port $ shards $ max_conns $ max_inflight $ idle_timeout $ max_frame
+       $ trace))
+
+let loadgen_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server address.")
+  in
+  let port =
+    Arg.(value & opt int 7411 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let conns =
+    Arg.(
+      value & opt int 8 & info [ "c"; "connections" ] ~docv:"C" ~doc:"Concurrent connections.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 1000 & info [ "n"; "requests" ] ~docv:"N" ~doc:"Total requests to send.")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 8
+      & info [ "pipeline" ] ~docv:"DEPTH" ~doc:"Outstanding requests per connection.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for the request mix.") in
+  let mode =
+    let mode_conv =
+      Arg.enum
+        [ ("mixed", Net.Loadgen.Mixed); ("ping", Net.Loadgen.Ping_only); ("exec", Net.Loadgen.Exec_only) ]
+    in
+    Arg.(
+      value & opt mode_conv Net.Loadgen.Mixed
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Request mix: $(b,mixed), $(b,ping) or $(b,exec).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit nonzero unless the run reconciles: zero drops, bad frames and failures, and \
+             server counters matching what was sent.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Send a protocol shutdown request to the server after the run.")
+  in
+  let run host port conns requests pipeline seed mode strict shutdown =
+    if conns < 1 then `Error (true, "--connections must be >= 1")
+    else if requests < 1 then `Error (true, "--requests must be >= 1")
+    else if pipeline < 1 then `Error (true, "--pipeline must be >= 1")
+    else begin
+      match Net.Loadgen.run ~host ~port ~pipeline ~seed ~mode ~conns ~requests () with
+      | Error msg -> `Error (false, msg)
+      | Ok report ->
+        Format.printf "%a@." Net.Loadgen.pp_report report;
+        let reconciled = Net.Loadgen.reconciled report in
+        Printf.printf "reconciled: %s\n" (if reconciled then "yes" else "NO");
+        if shutdown then begin
+          match Net.Client.connect ~host ~port () with
+          | exception _ -> prerr_endline "loadgen: shutdown request failed (cannot connect)"
+          | client ->
+            (try ignore (Net.Client.call client Net.Protocol.Shutdown)
+             with Net.Client.Closed | Net.Client.Protocol_error _ -> ());
+            Net.Client.close client
+        end;
+        if strict && not reconciled then
+          `Error (false, "loadgen: run did not reconcile (see report above)")
+        else `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running $(b,procsim serve) with C pipelined connections and N requests; \
+          report throughput, wall-clock latency percentiles and a client-vs-server counter \
+          reconciliation.")
+    Term.(
+      ret
+        (const run $ host $ port $ conns $ requests $ pipeline $ seed $ mode $ strict $ shutdown))
 
 (* --------------------------------------------------------------- params *)
 
@@ -515,4 +747,6 @@ let () =
             anchors_cmd;
             shell_cmd;
             run_cmd;
+            serve_cmd;
+            loadgen_cmd;
           ]))

@@ -31,7 +31,9 @@
     - {!Workload} — synthetic database, update/access workloads, the
       measurement driver.
     - {!Obs} — engine-wide observability: counters, latency histograms,
-      span tracing, JSON/CSV export. *)
+      span tracing, JSON/CSV export.
+    - {!Net} — framed wire protocol, [select]-based server with session
+      shards, blocking client, pipelined load generator. *)
 
 module Util = struct
   module Yao = Dbproc_util.Yao
@@ -130,4 +132,11 @@ module Obs = struct
   module Trace = Dbproc_obs.Trace
   module Ctx = Dbproc_obs.Ctx
   module Export = Dbproc_obs.Export
+end
+
+module Net = struct
+  module Protocol = Dbproc_net.Protocol
+  module Server = Dbproc_net.Server
+  module Client = Dbproc_net.Client
+  module Loadgen = Dbproc_net.Loadgen
 end

@@ -33,7 +33,9 @@
     - {!Workload} — synthetic database, update/access workloads, the
       measurement driver.
     - {!Obs} — engine-wide observability: counters, latency histograms,
-      span tracing, JSON/CSV export. *)
+      span tracing, JSON/CSV export.
+    - {!Net} — framed wire protocol, [select]-based server with session
+      shards, blocking client, pipelined load generator. *)
 
 module Util : sig
   module Yao = Dbproc_util.Yao
@@ -137,4 +139,11 @@ module Obs : sig
   module Trace = Dbproc_obs.Trace
   module Ctx = Dbproc_obs.Ctx
   module Export = Dbproc_obs.Export
+end
+
+module Net : sig
+  module Protocol = Dbproc_net.Protocol
+  module Server = Dbproc_net.Server
+  module Client = Dbproc_net.Client
+  module Loadgen = Dbproc_net.Loadgen
 end

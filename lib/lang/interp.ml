@@ -21,8 +21,13 @@ type t = {
 
 let fresh_manager t kind = Manager.create kind ~io:t.io ~record_bytes:t.tuple_bytes ()
 
-let create ?(page_bytes = 4000) ?(tuple_bytes = 100) () =
-  let cost = Cost.create () in
+let create ?ctx ?(page_bytes = 4000) ?(tuple_bytes = 100) () =
+  let cost = Cost.create ?ctx () in
+  (* Price the session's tracer off the simulated clock, like the workload
+     driver does, so a span around any command reports simulated ms. *)
+  Dbproc_obs.Trace.set_clock
+    (Dbproc_obs.Ctx.trace (Cost.ctx cost))
+    (fun () -> Cost.total_ms Cost.default_charges cost);
   let io = Io.direct cost ~page_bytes in
   {
     cost;
@@ -37,6 +42,8 @@ let create ?(page_bytes = 4000) ?(tuple_bytes = 100) () =
 
 let strategy_name t = Manager.kind_name (Manager.kind t.manager)
 let procedure_names t = List.rev_map fst t.defs
+let obs t = Cost.ctx t.cost
+let simulated_ms t = Cost.total_ms t.charges t.cost
 
 (* ------------------------------------------------------------- binding *)
 

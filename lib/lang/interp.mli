@@ -13,12 +13,23 @@ exception Runtime_error of string
 
 type t
 
-val create : ?page_bytes:int -> ?tuple_bytes:int -> unit -> t
+val create : ?ctx:Dbproc_obs.Ctx.t -> ?page_bytes:int -> ?tuple_bytes:int -> unit -> t
 (** A fresh session.  [page_bytes] defaults to the paper's B = 4000,
-    [tuple_bytes] to S = 100. *)
+    [tuple_bytes] to S = 100.  [ctx] binds the session's cost accounting
+    to its own engine observability context (default: the shared
+    {!Dbproc_obs.Ctx.default}) — server shards pass one context per shard
+    so sessions in different domains never share a counter cell.  The
+    session's tracer is clocked off its own simulated milliseconds. *)
 
 val strategy_name : t -> string
 val procedure_names : t -> string list
+
+val obs : t -> Dbproc_obs.Ctx.t
+(** The observability context the session charges. *)
+
+val simulated_ms : t -> float
+(** Total priced simulated milliseconds charged so far, under the
+    default unit costs — the session's clock. *)
 
 val exec_command : t -> Ast.command -> string
 (** Execute one command, returning human-readable output.

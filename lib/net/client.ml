@@ -1,0 +1,84 @@
+exception Closed
+exception Protocol_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Protocol.Decoder.t;
+  rbuf : Bytes.t;
+  out : Buffer.t;
+  mutable next_id : int;
+}
+
+let connect ?max_frame ~host ~port () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let addr =
+    match
+      Unix.getaddrinfo host (string_of_int port)
+        [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+    with
+    | { Unix.ai_addr; _ } :: _ -> ai_addr
+    | [] | (exception _) -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd addr;
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  {
+    fd;
+    dec = Protocol.Decoder.create ?max_frame ();
+    rbuf = Bytes.create 65536;
+    out = Buffer.create 256;
+    next_id = 1;
+  }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise Closed
+  in
+  go 0
+
+let send t req =
+  let id = t.next_id land 0xFFFF_FFFF in
+  t.next_id <- t.next_id + 1;
+  Buffer.clear t.out;
+  Protocol.write_request t.out ~id req;
+  write_all t.fd (Buffer.contents t.out);
+  id
+
+let recv t =
+  let rec go () =
+    match Protocol.Decoder.next_response t.dec with
+    | Protocol.Msg (id, resp) -> (id, resp)
+    | Protocol.Corrupt msg -> raise (Protocol_error msg)
+    | Protocol.Awaiting -> (
+      match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+      | 0 ->
+        if Protocol.Decoder.buffered t.dec > 0 then
+          raise (Protocol_error "connection closed mid-frame")
+        else raise Closed
+      | n ->
+        Protocol.Decoder.feed t.dec t.rbuf ~off:0 ~len:n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> raise Closed)
+  in
+  go ()
+
+let call t req =
+  let id = send t req in
+  let rec go () =
+    let rid, resp = recv t in
+    if rid = id then resp else go ()
+  in
+  go ()

@@ -1,0 +1,34 @@
+(** A small blocking client for {!Protocol}.
+
+    One connection, blocking I/O, explicit pipelining: {!send} queues a
+    request and returns its id, {!recv} blocks for the next response in
+    wire order, {!call} is the synchronous pair.  Used by
+    [procsim shell --connect], the load generator's control channel and
+    the loopback tests. *)
+
+exception Closed
+(** The server closed the connection. *)
+
+exception Protocol_error of string
+(** The byte stream from the server was malformed. *)
+
+type t
+
+val connect : ?max_frame:int -> host:string -> port:int -> unit -> t
+(** TCP connect (blocking).  Raises [Unix.Unix_error] on failure. *)
+
+val close : t -> unit
+
+val send : t -> Protocol.request -> int
+(** Write one request (blocking until buffered by the kernel) and return
+    the id assigned to it.  Ids increment from 1 per connection. *)
+
+val recv : t -> int * Protocol.response
+(** Block for the next response frame, in the order the server wrote
+    them.  @raise Closed on EOF, [Protocol_error] on a malformed frame
+    (a truncated frame at EOF raises [Protocol_error]). *)
+
+val call : t -> Protocol.request -> Protocol.response
+(** [send] then [recv] until the matching id arrives (responses to other
+    outstanding pipelined requests are discarded — use {!recv} directly
+    when pipelining). *)

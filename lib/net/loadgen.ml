@@ -1,0 +1,313 @@
+open Dbproc_obs
+
+type mode = Ping_only | Exec_only | Mixed
+
+type server_counts = {
+  srv_accepted : int;
+  srv_rejected : int;
+  srv_requests : int;
+  srv_served : int;
+  srv_frames_bad : int;
+  srv_bytes_in : int;
+  srv_bytes_out : int;
+}
+
+type report = {
+  conns : int;
+  requests : int;
+  sent : int;
+  ok : int;
+  failed : int;
+  rejected : int;
+  dropped : int;
+  bad_frames : int;
+  wall_s : float;
+  rps : float;
+  mean_ms : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  server : server_counts option;
+}
+
+(* Shell lines valid against a fresh (empty) session, so the generator
+   needs no schema setup on any shard. *)
+let exec_lines = [| "show cost"; "show relations"; "show procs" |]
+
+type cstate = {
+  fd : Unix.file_descr;
+  dec : Protocol.Decoder.t;
+  out : Buffer.t;
+  mutable out_pos : int;
+  mutable quota : int;  (** requests this connection still has to send *)
+  mutable next_id : int;
+  inflight : (int, float) Hashtbl.t;  (** id -> send wall time *)
+  mutable alive : bool;
+}
+
+let pending_out c = Buffer.length c.out - c.out_pos
+
+let resolve host port =
+  match
+    Unix.getaddrinfo host (string_of_int port)
+      [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+  with
+  | { Unix.ai_addr; _ } :: _ -> ai_addr
+  | [] | (exception _) -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let fetch_server_counts ~host ~port =
+  match Client.connect ~host ~port () with
+  | exception _ -> None
+  | client ->
+    let result =
+      match Client.call client Protocol.Stats with
+      | Protocol.Output body -> (
+        match Export.parse body with
+        | Error _ -> None
+        | Ok doc -> (
+          match Export.member "counters" doc with
+          | Some (Export.Obj fields) ->
+            let geti name =
+              match List.assoc_opt name fields with
+              | Some (Export.Int n) -> n
+              | _ -> 0
+            in
+            Some
+              {
+                srv_accepted = geti "net.accepted";
+                srv_rejected = geti "net.rejected";
+                srv_requests = geti "net.requests";
+                srv_served = geti "net.requests_served";
+                srv_frames_bad = geti "net.frames_bad";
+                srv_bytes_in = geti "net.bytes_in";
+                srv_bytes_out = geti "net.bytes_out";
+              }
+          | _ -> None))
+      | _ -> None
+      | exception _ -> None
+    in
+    Client.close client;
+    result
+
+let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
+    ?(mode = Mixed) ?(fetch_stats = true) ~conns ~requests () =
+  if conns < 1 then Error "loadgen: need at least one connection"
+  else if requests < 0 then Error "loadgen: negative request count"
+  else if pipeline < 1 then Error "loadgen: pipeline depth must be >= 1"
+  else begin
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let addr = resolve host port in
+    let prng = Dbproc_util.Prng.create seed in
+    let hist = Histogram.create ~name:"net.client.latency_ms" () in
+    let sent = ref 0 and ok = ref 0 and failed = ref 0 in
+    let rejected = ref 0 and dropped = ref 0 and bad_frames = ref 0 in
+    let next_request () =
+      match mode with
+      | Ping_only -> Protocol.Ping
+      | Exec_only -> Protocol.Exec_line (Dbproc_util.Prng.pick prng exec_lines)
+      | Mixed ->
+        if Dbproc_util.Prng.bool prng then Protocol.Ping
+        else Protocol.Exec_line (Dbproc_util.Prng.pick prng exec_lines)
+    in
+    (* Connect every socket up front (blocking), then switch to
+       non-blocking for the drive loop.  Quotas spread N over C. *)
+    let quotas =
+      List.init conns (fun i -> (requests / conns) + if i < requests mod conns then 1 else 0)
+      |> List.filter (fun q -> q > 0)
+    in
+    match
+      List.map
+        (fun quota ->
+          let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (try
+             Unix.connect fd addr;
+             Unix.setsockopt fd Unix.TCP_NODELAY true;
+             Unix.set_nonblock fd
+           with e ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             raise e);
+          {
+            fd;
+            dec = Protocol.Decoder.create ();
+            out = Buffer.create 1024;
+            out_pos = 0;
+            quota;
+            next_id = 1;
+            inflight = Hashtbl.create 16;
+            alive = true;
+          })
+        quotas
+    with
+    | exception e ->
+      Error
+        (Printf.sprintf "loadgen: cannot connect to %s:%d (%s)" host port
+           (Printexc.to_string e))
+    | states ->
+      let rbuf = Bytes.create 65536 in
+      let t_start = Unix.gettimeofday () in
+      let drop_conn c =
+        if c.alive then begin
+          c.alive <- false;
+          dropped := !dropped + Hashtbl.length c.inflight;
+          Hashtbl.reset c.inflight;
+          try Unix.close c.fd with Unix.Unix_error _ -> ()
+        end
+      in
+      let finish_conn c =
+        (* all answered and nothing left to send: clean close *)
+        if c.alive && c.quota = 0 && Hashtbl.length c.inflight = 0 then begin
+          c.alive <- false;
+          try Unix.close c.fd with Unix.Unix_error _ -> ()
+        end
+      in
+      let enqueue c =
+        while c.quota > 0 && Hashtbl.length c.inflight < pipeline do
+          let req = next_request () in
+          let id = c.next_id in
+          c.next_id <- c.next_id + 1;
+          Protocol.write_request c.out ~id req;
+          Hashtbl.replace c.inflight id (Unix.gettimeofday ());
+          c.quota <- c.quota - 1;
+          incr sent
+        done
+      in
+      let on_response c id (resp : Protocol.response) =
+        (match Hashtbl.find_opt c.inflight id with
+        | Some t0 ->
+          Hashtbl.remove c.inflight id;
+          Histogram.observe hist ((Unix.gettimeofday () -. t0) *. 1000.0)
+        | None -> () (* unsolicited, e.g. an id-0 server notice *));
+        match resp with
+        | Protocol.Pong | Protocol.Output _ -> incr ok
+        | Protocol.Failed _ -> incr failed
+        | Protocol.Rejected _ -> incr rejected
+      in
+      let read_conn c =
+        match Unix.read c.fd rbuf 0 (Bytes.length rbuf) with
+        | 0 ->
+          if Protocol.Decoder.buffered c.dec > 0 then incr bad_frames;
+          drop_conn c
+        | n ->
+          Protocol.Decoder.feed c.dec rbuf ~off:0 ~len:n;
+          let rec decode () =
+            match Protocol.Decoder.next_response c.dec with
+            | Protocol.Awaiting -> ()
+            | Protocol.Corrupt _ ->
+              incr bad_frames;
+              drop_conn c
+            | Protocol.Msg (id, resp) ->
+              on_response c id resp;
+              decode ()
+          in
+          decode ();
+          if c.alive then begin
+            enqueue c;
+            finish_conn c
+          end
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          -> ()
+        | exception Unix.Unix_error _ -> drop_conn c
+      in
+      let write_conn c =
+        let avail = pending_out c in
+        if avail > 0 then begin
+          let chunk = min avail 65536 in
+          let s = Buffer.sub c.out c.out_pos chunk in
+          match Unix.write_substring c.fd s 0 chunk with
+          | n ->
+            c.out_pos <- c.out_pos + n;
+            if c.out_pos = Buffer.length c.out then begin
+              Buffer.clear c.out;
+              c.out_pos <- 0
+            end
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            -> ()
+          | exception Unix.Unix_error _ -> drop_conn c
+        end
+      in
+      List.iter enqueue states;
+      List.iter finish_conn states;
+      (* Drive until every connection is done (or lost).  The deadline is
+         a safety net against a stuck server — it converts into drops, not
+         a hang. *)
+      let deadline = t_start +. 120.0 in
+      let rec loop () =
+        let active = List.filter (fun c -> c.alive) states in
+        if active <> [] then begin
+          if Unix.gettimeofday () > deadline then List.iter drop_conn active
+          else begin
+            let reads = List.map (fun c -> c.fd) active in
+            let writes =
+              List.filter_map
+                (fun c -> if pending_out c > 0 then Some c.fd else None)
+                active
+            in
+            let readable, writable, _ =
+              match Unix.select reads writes [] 1.0 with
+              | r -> r
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+            in
+            List.iter
+              (fun c -> if c.alive && List.mem c.fd writable then write_conn c)
+              active;
+            List.iter
+              (fun c -> if c.alive && List.mem c.fd readable then read_conn c)
+              active;
+            loop ()
+          end
+        end
+      in
+      loop ();
+      let wall_s = Unix.gettimeofday () -. t_start in
+      let answered = !ok + !failed + !rejected in
+      let server =
+        if fetch_stats then fetch_server_counts ~host ~port else None
+      in
+      let q p = if Histogram.count hist = 0 then Float.nan else Histogram.quantile hist p in
+      Ok
+        {
+          conns;
+          requests;
+          sent = !sent;
+          ok = !ok;
+          failed = !failed;
+          rejected = !rejected;
+          dropped = !dropped;
+          bad_frames = !bad_frames;
+          wall_s;
+          rps = (if wall_s > 0.0 then float_of_int answered /. wall_s else Float.nan);
+          mean_ms = (if Histogram.count hist = 0 then Float.nan else Histogram.mean hist);
+          p50_ms = q 0.5;
+          p90_ms = q 0.9;
+          p99_ms = q 0.99;
+          max_ms = (if Histogram.count hist = 0 then Float.nan else Histogram.max_value hist);
+          server;
+        }
+  end
+
+let reconciled r =
+  r.bad_frames = 0 && r.dropped = 0 && r.failed = 0
+  && r.sent = r.requests
+  && r.ok + r.rejected = r.sent
+  &&
+  match r.server with
+  | None -> true
+  | Some s -> s.srv_frames_bad = 0 && s.srv_served = r.ok && s.srv_served + s.srv_rejected >= r.sent
+
+let pp_report ppf r =
+  let f x = if Float.is_nan x then "-" else Printf.sprintf "%.2f" x in
+  Format.fprintf ppf
+    "@[<v>loadgen: %d connections, %d requests (pipelined)@,\
+     sent %d  ok %d  failed %d  rejected %d  dropped %d  bad frames %d@,\
+     wall %.3f s  throughput %.0f req/s@,\
+     latency ms: mean %s  p50 %s  p90 %s  p99 %s  max %s@]" r.conns r.requests
+    r.sent r.ok r.failed r.rejected r.dropped r.bad_frames r.wall_s r.rps
+    (f r.mean_ms) (f r.p50_ms) (f r.p90_ms) (f r.p99_ms) (f r.max_ms);
+  match r.server with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf
+      "@,@[<v>server: accepted %d  rejected %d  requests %d  served %d  bad frames %d@,\
+       bytes in %d  out %d@]" s.srv_accepted s.srv_rejected s.srv_requests
+      s.srv_served s.srv_frames_bad s.srv_bytes_in s.srv_bytes_out

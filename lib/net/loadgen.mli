@@ -1,0 +1,78 @@
+(** The load generator: C concurrent pipelined connections, N requests,
+    wall-clock latency percentiles, and a client-vs-server counter
+    reconciliation.
+
+    All connections are driven from one [Unix.select] loop with
+    non-blocking sockets, so the generator itself never serializes the
+    load.  The request mix is drawn deterministically from a seeded
+    {!Dbproc_util.Prng}: pings interleaved with engine-executing shell
+    lines that are valid against a fresh session ([show cost],
+    [show relations], ...).
+
+    Latency is wall-clock (the one place in the repo where a real clock
+    is read for measurement): each request is stamped when it is queued
+    and again when its response is decoded, and the deltas feed an
+    {!Dbproc_obs.Histogram} from which p50/p90/p99 are reported.
+
+    After the run, with [fetch_stats] (the default), a control connection
+    issues {!Protocol.Stats} and the server's [net.*] counters are folded
+    into the report so {!reconciled} can assert that nothing was lost:
+    zero client-side protocol errors and drops, zero server-side bad
+    frames, and [net.requests_served] equal to the number of requests
+    this run sent (the generator must be the server's only traffic). *)
+
+type mode =
+  | Ping_only  (** protocol-only load, no engine work *)
+  | Exec_only  (** every request executes a shell line on its shard *)
+  | Mixed  (** seeded coin-flip between the two (default) *)
+
+type server_counts = {
+  srv_accepted : int;
+  srv_rejected : int;
+  srv_requests : int;
+  srv_served : int;
+  srv_frames_bad : int;
+  srv_bytes_in : int;
+  srv_bytes_out : int;
+}
+
+type report = {
+  conns : int;
+  requests : int;  (** requested N *)
+  sent : int;  (** actually written *)
+  ok : int;  (** [Pong] / [Output] responses *)
+  failed : int;  (** [Failed] responses *)
+  rejected : int;  (** [Rejected] responses (admission control) *)
+  dropped : int;  (** sent but never answered (connection lost) *)
+  bad_frames : int;  (** malformed response frames seen client-side *)
+  wall_s : float;
+  rps : float;  (** answered requests per wall-clock second *)
+  mean_ms : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  server : server_counts option;  (** from the post-run [Stats] call *)
+}
+
+val run :
+  ?host:string ->
+  ?port:int ->
+  ?pipeline:int ->
+  ?seed:int ->
+  ?mode:mode ->
+  ?fetch_stats:bool ->
+  conns:int ->
+  requests:int ->
+  unit ->
+  (report, string) result
+(** Drive [requests] requests over [conns] connections with up to
+    [pipeline] (default 8) outstanding per connection.  [Error] only for
+    setup failures (cannot connect); per-request failures are reported in
+    the record. *)
+
+val reconciled : report -> bool
+(** No client-side errors or drops, and — when server counts were
+    fetched — [srv_served = sent] and [srv_frames_bad = 0]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,162 @@
+type request =
+  | Ping
+  | Exec_line of string
+  | Exec_script of string
+  | Stats
+  | Shutdown
+
+type response = Pong | Output of string | Failed of string | Rejected of string
+
+let max_frame_default = 1 lsl 20
+let frame_overhead = 9
+
+(* Tag ranges are disjoint (requests 0x01-0x05, responses 0x10-0x13) so a
+   stream decoded on the wrong side fails cleanly instead of misparsing. *)
+let request_tag = function
+  | Ping -> 0x01
+  | Exec_line _ -> 0x02
+  | Exec_script _ -> 0x03
+  | Stats -> 0x04
+  | Shutdown -> 0x05
+
+let response_tag = function
+  | Pong -> 0x10
+  | Output _ -> 0x11
+  | Failed _ -> 0x12
+  | Rejected _ -> 0x13
+
+let request_body = function
+  | Ping | Stats | Shutdown -> ""
+  | Exec_line s | Exec_script s -> s
+
+let response_body = function
+  | Pong -> ""
+  | Output s | Failed s | Rejected s -> s
+
+let write_frame buf ~id ~tag ~body =
+  Buffer.add_int32_be buf (Int32.of_int (String.length body + 5));
+  Buffer.add_int32_be buf (Int32.of_int (id land 0xFFFF_FFFF));
+  Buffer.add_uint8 buf tag;
+  Buffer.add_string buf body
+
+let write_request buf ~id req =
+  write_frame buf ~id ~tag:(request_tag req) ~body:(request_body req)
+
+let write_response buf ~id resp =
+  write_frame buf ~id ~tag:(response_tag resp) ~body:(response_body resp)
+
+let request_to_string ~id req =
+  let b = Buffer.create (String.length (request_body req) + frame_overhead) in
+  write_request b ~id req;
+  Buffer.contents b
+
+let response_to_string ~id resp =
+  let b = Buffer.create (String.length (response_body resp) + frame_overhead) in
+  write_response b ~id resp;
+  Buffer.contents b
+
+type 'a next = Msg of int * 'a | Awaiting | Corrupt of string
+
+module Decoder = struct
+  (* A growable byte window: [data.[start .. start+len)] holds the unread
+     bytes.  Feeding compacts or grows as needed; consuming advances
+     [start].  Poisoning is permanent — framing cannot resynchronize. *)
+  type t = {
+    mutable data : Bytes.t;
+    mutable start : int;
+    mutable len : int;
+    max_frame : int;
+    mutable poison : string option;
+  }
+
+  let create ?(max_frame = max_frame_default) () =
+    { data = Bytes.create 4096; start = 0; len = 0; max_frame; poison = None }
+
+  let feed t src ~off ~len =
+    if len < 0 || off < 0 || off + len > Bytes.length src then
+      invalid_arg "Protocol.Decoder.feed";
+    let cap = Bytes.length t.data in
+    if t.start + t.len + len > cap then begin
+      let needed = t.len + len in
+      if needed <= cap then begin
+        (* compact in place *)
+        Bytes.blit t.data t.start t.data 0 t.len;
+        t.start <- 0
+      end
+      else begin
+        let cap' = max needed (cap * 2) in
+        let data' = Bytes.create cap' in
+        Bytes.blit t.data t.start data' 0 t.len;
+        t.data <- data';
+        t.start <- 0
+      end
+    end;
+    Bytes.blit src off t.data (t.start + t.len) len;
+    t.len <- t.len + len
+
+  let feed_string t s =
+    feed t (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+  let corrupt t = t.poison
+  let buffered t = t.len
+
+  let u32_at t off =
+    Int32.to_int (Bytes.get_int32_be t.data (t.start + off)) land 0xFFFF_FFFF
+
+  let poison t msg =
+    t.poison <- Some msg;
+    Corrupt msg
+
+  (* Pull the next raw frame: (id, tag, body). *)
+  let next_frame t =
+    match t.poison with
+    | Some msg -> Corrupt msg
+    | None ->
+      if t.len < 4 then Awaiting
+      else begin
+        let flen = u32_at t 0 in
+        if flen < 5 then
+          poison t (Printf.sprintf "short frame (%d-byte payload, need >= 5)" flen)
+        else if flen > t.max_frame then
+          poison t (Printf.sprintf "oversized frame (%d > max %d)" flen t.max_frame)
+        else if t.len < 4 + flen then Awaiting
+        else begin
+          let id = u32_at t 4 in
+          let tag = Char.code (Bytes.get t.data (t.start + 8)) in
+          let body = Bytes.sub_string t.data (t.start + 9) (flen - 5) in
+          t.start <- t.start + 4 + flen;
+          t.len <- t.len - (4 + flen);
+          if t.len = 0 then t.start <- 0;
+          Msg (id, (tag, body))
+        end
+      end
+
+  let no_body t ~what ~body k =
+    if String.length body = 0 then k
+    else poison t (Printf.sprintf "unexpected %d-byte body on %s" (String.length body) what)
+
+  let next_request t =
+    match next_frame t with
+    | Awaiting -> Awaiting
+    | Corrupt msg -> Corrupt msg
+    | Msg (id, (tag, body)) -> (
+      match tag with
+      | 0x01 -> no_body t ~what:"ping" ~body (Msg (id, Ping))
+      | 0x02 -> Msg (id, Exec_line body)
+      | 0x03 -> Msg (id, Exec_script body)
+      | 0x04 -> no_body t ~what:"stats" ~body (Msg (id, Stats))
+      | 0x05 -> no_body t ~what:"shutdown" ~body (Msg (id, Shutdown))
+      | _ -> poison t (Printf.sprintf "unknown request tag 0x%02x" tag))
+
+  let next_response t =
+    match next_frame t with
+    | Awaiting -> Awaiting
+    | Corrupt msg -> Corrupt msg
+    | Msg (id, (tag, body)) -> (
+      match tag with
+      | 0x10 -> no_body t ~what:"pong" ~body (Msg (id, Pong))
+      | 0x11 -> Msg (id, Output body)
+      | 0x12 -> Msg (id, Failed body)
+      | 0x13 -> Msg (id, Rejected body)
+      | _ -> poison t (Printf.sprintf "unknown response tag 0x%02x" tag))
+end

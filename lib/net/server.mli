@@ -1,0 +1,77 @@
+(** A non-blocking [Unix.select] event-loop server exposing the
+    procedure engine over {!Protocol}.
+
+    One event-loop thread owns every socket and the server's own
+    observability context (the [net.*] counters); engine work runs on
+    [shards] session shards — each shard is one OCaml domain owning one
+    {!Dbproc_lang.Interp} session bound to its own
+    {!Dbproc_obs.Ctx.t}.  Connections are assigned to a shard when
+    accepted (round-robin on the accept index) and every request from
+    that connection executes on that shard, in arrival order, so each
+    shard's session evolves deterministically: the same frames over one
+    connection produce the same outputs as feeding the same lines to a
+    local interpreter.
+
+    Flow control:
+    - at most [max_conns] connections; beyond that an accept is answered
+      with a {!Protocol.Rejected} frame (id 0) and closed;
+    - at most [max_inflight] requests executing or queued on shards;
+      beyond that requests get {!Protocol.Rejected} instead of queueing;
+    - a connection with [conn_inflight] unanswered requests, or more than
+      [max_buffered_out] bytes of pending responses, stops being read
+      until it drains (pipelining backpressure);
+    - connections idle longer than [idle_timeout] seconds (no bytes, no
+      in-flight work) are closed;
+    - malformed frames poison the connection: one final
+      {!Protocol.Failed} frame (id 0) is sent and the connection is
+      closed, counted under [net.frames_bad].
+
+    Shutdown ({!shutdown}, SIGINT/SIGTERM in [procsim serve], or a
+    {!Protocol.Shutdown} request) drains gracefully: the listener closes,
+    new requests are rejected, in-flight work finishes and flushes, then
+    shards are joined.  Connections that cannot be flushed within
+    [drain_grace] seconds are force-closed. *)
+
+type config = {
+  host : string;
+  port : int;  (** [0] picks an ephemeral port — read it back with {!port} *)
+  shards : int;
+  max_conns : int;
+  max_inflight : int;
+  conn_inflight : int;
+  max_buffered_out : int;
+  idle_timeout : float;  (** seconds; [<= 0.] disables *)
+  drain_grace : float;  (** seconds to flush on shutdown *)
+  max_frame : int;
+  trace : bool;  (** enable span tracing on every shard context *)
+}
+
+val default_config : config
+(** 127.0.0.1:7411, 2 shards, 64 connections, 256 in flight (32 per
+    connection), 1 MiB write buffer and frame cap, 30 s idle timeout,
+    5 s drain grace, tracing off. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Bind and listen (does not accept yet).  Raises [Unix.Unix_error] if
+    the address is unavailable. *)
+
+val config : t -> config
+
+val port : t -> int
+(** The bound port (useful with [port = 0]). *)
+
+val ctx : t -> Dbproc_obs.Ctx.t
+(** The event loop's context holding the [net.*] counters.  Owned by the
+    loop while {!run} is executing — read it before [run] or after [run]
+    returns, or through a {!Protocol.Stats} request while serving. *)
+
+val run : t -> unit
+(** Serve until {!shutdown} is called or a {!Protocol.Shutdown} request
+    arrives, then drain and return.  Spawns the shard domains; they are
+    joined before returning. *)
+
+val shutdown : t -> unit
+(** Request a graceful drain.  Callable from any thread, domain or signal
+    handler. *)

@@ -32,8 +32,15 @@ type counter =
   | Recovery_replay_pages
   | Recovery_rebuilt_views
   | Recovery_conservative_invals
+  | Net_accepted
+  | Net_rejected
+  | Net_bytes_in
+  | Net_bytes_out
+  | Net_frames_bad
+  | Net_requests
+  | Net_requests_served
 
-let n_counters = 33
+let n_counters = 40
 
 (* The variant is the key into one flat int array: no hashing, no
    allocation, no closures on the charging path. *)
@@ -71,6 +78,13 @@ let index = function
   | Recovery_replay_pages -> 30
   | Recovery_rebuilt_views -> 31
   | Recovery_conservative_invals -> 32
+  | Net_accepted -> 33
+  | Net_rejected -> 34
+  | Net_bytes_in -> 35
+  | Net_bytes_out -> 36
+  | Net_frames_bad -> 37
+  | Net_requests -> 38
+  | Net_requests_served -> 39
 
 let counter_name = function
   | Pages_read -> "pages_read"
@@ -106,6 +120,13 @@ let counter_name = function
   | Recovery_replay_pages -> "recovery.replay_pages"
   | Recovery_rebuilt_views -> "recovery.rebuilt_views"
   | Recovery_conservative_invals -> "recovery.conservative_invalidations"
+  | Net_accepted -> "net.accepted"
+  | Net_rejected -> "net.rejected"
+  | Net_bytes_in -> "net.bytes_in"
+  | Net_bytes_out -> "net.bytes_out"
+  | Net_frames_bad -> "net.frames_bad"
+  | Net_requests -> "net.requests"
+  | Net_requests_served -> "net.requests_served"
 
 let all_counters =
   [
@@ -117,7 +138,8 @@ let all_counters =
     Rete_join_activations; View_refreshes; Proc_accesses; Proc_registrations;
     Adaptive_switches; Faults_injected; Fault_retries; Fault_crashes;
     Recovery_replay_pages; Recovery_rebuilt_views;
-    Recovery_conservative_invals;
+    Recovery_conservative_invals; Net_accepted; Net_rejected; Net_bytes_in;
+    Net_bytes_out; Net_frames_bad; Net_requests; Net_requests_served;
   ]
 
 type gauge = Procedures_registered | Rete_memories | Buffer_pool_pages

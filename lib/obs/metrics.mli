@@ -53,6 +53,14 @@ type counter =
   | Recovery_rebuilt_views  (** views rebuilt from scratch during recovery *)
   | Recovery_conservative_invals
       (** caches invalidated on restart because validity could not be proven *)
+  | Net_accepted  (** connections accepted by the serving event loop *)
+  | Net_rejected  (** connections or requests refused by admission control *)
+  | Net_bytes_in  (** bytes read off client sockets *)
+  | Net_bytes_out  (** bytes written to client sockets *)
+  | Net_frames_bad  (** malformed / truncated / oversized wire frames *)
+  | Net_requests  (** well-formed requests decoded (including admin) *)
+  | Net_requests_served
+      (** shard-executed requests answered (ping / exec line / exec script) *)
 
 val all_counters : counter list
 val counter_name : counter -> string

@@ -4,6 +4,44 @@ open Dbproc_costmodel
 let available_cores () = Domain.recommended_domain_count ()
 let clamp_jobs n = max 1 (min n (available_cores ()))
 
+(* A blocking multi-producer multi-consumer FIFO: the queue machinery for
+   long-lived domain workers.  [map_array] below claims tasks off an atomic
+   counter because its task set is fixed up front; a server shard instead
+   consumes an unbounded stream, which is exactly this. *)
+module Chan = struct
+  type 'a t = { q : 'a Queue.t; m : Mutex.t; nonempty : Condition.t }
+
+  let create () =
+    { q = Queue.create (); m = Mutex.create (); nonempty = Condition.create () }
+
+  let push t x =
+    Mutex.lock t.m;
+    Queue.push x t.q;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.m
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q do
+      Condition.wait t.nonempty t.m
+    done;
+    let x = Queue.pop t.q in
+    Mutex.unlock t.m;
+    x
+
+  let try_pop t =
+    Mutex.lock t.m;
+    let x = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Mutex.unlock t.m;
+    x
+
+  let length t =
+    Mutex.lock t.m;
+    let n = Queue.length t.q in
+    Mutex.unlock t.m;
+    n
+end
+
 (* Derive a per-task seed by hashing (seed, index) through SplitMix64:
    deterministic, order-independent, and decorrelated even for adjacent
    indices.  The derived generator's first raw output is folded back to a

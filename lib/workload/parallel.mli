@@ -25,6 +25,29 @@ val clamp_jobs : int -> int
     (oversubscription is harmless and keeps the multi-domain path
     testable on small machines). *)
 
+(** A blocking multi-producer multi-consumer FIFO channel (mutex +
+    condition over [Queue.t]) — the queue machinery for long-lived domain
+    workers.  {!map} claims a fixed task array off an atomic counter;
+    stream-shaped consumers (e.g. {!Dbproc_net.Server}'s session shards)
+    block on one of these instead.  FIFO order is per-channel; with one
+    producer and one consumer delivery order equals push order. *)
+module Chan : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val push : 'a t -> 'a -> unit
+  (** Never blocks (the channel is unbounded). *)
+
+  val pop : 'a t -> 'a
+  (** Blocks until an element is available. *)
+
+  val try_pop : 'a t -> 'a option
+  (** Non-blocking pop. *)
+
+  val length : 'a t -> int
+end
+
 val split_seed : seed:int -> index:int -> int
 (** Per-task seed, a SplitMix64 hash of [(seed, index)]: deterministic,
     independent of task execution order, decorrelated across indices. *)

@@ -331,7 +331,15 @@ let test_interp_save_file () =
 let test_interp_script_error_line () =
   let s = setup_emp_dept () in
   let msg = err (Interp.exec_script s "show relations\nexec nope\n") in
-  Alcotest.(check bool) "line 2 reported" true (contains msg "line 2")
+  Alcotest.(check bool) "line 2: prefix" true
+    (String.length msg > 8 && String.sub msg 0 8 = "line 2: ");
+  (* blank and comment lines still count toward the physical line number *)
+  let s2 = setup_emp_dept () in
+  let msg2 =
+    err (Interp.exec_script s2 "-- header comment\n\nshow relations\nexec nope\n")
+  in
+  Alcotest.(check bool) "line 4: prefix after blanks/comments" true
+    (String.length msg2 > 8 && String.sub msg2 0 8 = "line 4: ")
 
 (* ------------------------------------------- printer/parser roundtrip *)
 
