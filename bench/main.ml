@@ -729,6 +729,179 @@ let print_ext_adaptive () =
   print_newline ();
   ctx
 
+(* Steady-state cost per access over the second half of the op sequence:
+   all strategy work in the window (query costs plus update-side
+   maintenance, the paper's accounting) divided by the window's accesses.
+   Trimming the first half excludes one-time convergence work (adaptive
+   migrations, first cold misses) from the comparison. *)
+let steady_state_ms (r : Workload.Driver.result) =
+  let ops = r.Workload.Driver.per_op in
+  let n = List.length ops in
+  let tail = List.filteri (fun i _ -> i >= n / 2) ops in
+  let total = List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 tail in
+  let queries =
+    List.length (List.filter (function `Query, _ -> true | `Update, _ -> false) tail)
+  in
+  if queries = 0 then 0.0 else total /. float_of_int queries
+
+let print_ext_winregion () =
+  print_endline
+    "== ext-winregion: adaptive selector vs fixed strategies across the (P, f) plane";
+  print_endline
+    "extension: at every grid point the manager-level selector (model placement at\n\
+     the nominal P, online mix/selectivity estimates -> closed-form model -> charged\n\
+     migration) should land within 10% of the best fixed strategy's steady-state\n\
+     cost per access.  The sweep samples the paper's three win regions along their\n\
+     curved boundaries: AVM-win (P <= 0.5), the crossover band (P = 0.9, f <= 0.01,\n\
+     where a mixed population can beat every uniform strategy), and AR-win.  The\n\
+     AR-win sample at f = 0.05 sits at P = 0.97 because the closed form prices P2\n\
+     differential maintenance below the engine's measured cost at high update\n\
+     rates, so right on the crossover curve a model-driven selector can sit on the\n\
+     wrong side; the criterion targets points where a region has a clear winner.\n";
+  let base =
+    { Workload.Driver.default_sim_params with Params.q = 240.0; k = 240.0 }
+  in
+  let ctx = Obs.Ctx.create () in
+  let table =
+    Util.Ascii_table.create
+      ~header:
+        [ "P"; "f"; "AR"; "CI"; "AVM"; "adaptive"; "final mix"; "migr"; "vs best"; "ok" ]
+      ()
+  in
+  let mix (r : Workload.Driver.result) =
+    let count s =
+      List.length (List.filter (fun (_, s') -> s' = s) r.Workload.Driver.final_strategies)
+    in
+    Printf.sprintf "ar:%d ci:%d avm:%d"
+      (count Strategy.Always_recompute)
+      (count Strategy.Cache_invalidate)
+      (count Strategy.Update_cache_avm)
+  in
+  let all_ok = ref true in
+  List.iter
+    (fun (p, f) ->
+      let params = Params.with_update_probability { base with Params.f } p in
+          let runs =
+            Workload.Parallel.map ~jobs:!the_jobs
+              (fun (s, ad) ->
+                Workload.Driver.run_strategy ~seed:!the_seed ~check_consistency:false
+                  ~adaptive:ad ~adaptive_window:4 ~model:Model.Model1 ~params s)
+              [
+                (Strategy.Always_recompute, false);
+                (Strategy.Cache_invalidate, false);
+                (Strategy.Update_cache_avm, false);
+                (Strategy.Always_recompute, true);
+              ]
+          in
+          List.iter
+            (fun (r : Workload.Driver.result) ->
+              Obs.Ctx.merge_into ~into:ctx r.Workload.Driver.obs)
+            runs;
+          match List.map steady_state_ms runs with
+          | [ ar; ci; avm; ad ] ->
+            let best = Float.min ar (Float.min ci avm) in
+            let ratio = if best > 0.0 then ad /. best else 1.0 in
+            let ok = ratio <= 1.10 +. 1e-9 in
+            if not ok then all_ok := false;
+            let adaptive_run = List.nth runs 3 in
+            let migrations =
+              Obs.Metrics.get
+                (Obs.Ctx.metrics adaptive_run.Workload.Driver.obs)
+                Obs.Metrics.Adaptive_migrations
+            in
+            Util.Ascii_table.add_row table
+              [
+                Printf.sprintf "%.2f" p;
+                Printf.sprintf "%g" f;
+                Printf.sprintf "%.0f" ar;
+                Printf.sprintf "%.0f" ci;
+                Printf.sprintf "%.0f" avm;
+                Printf.sprintf "%.0f" ad;
+                mix adaptive_run;
+                string_of_int migrations;
+                Printf.sprintf "%.2fx" ratio;
+                (if ok then "yes" else "NO");
+              ]
+          | _ -> assert false)
+    [
+      (0.1, 0.001);
+      (0.1, 0.01);
+      (0.1, 0.05);
+      (0.5, 0.001);
+      (0.5, 0.01);
+      (0.5, 0.05);
+      (0.9, 0.001);
+      (0.9, 0.01);
+      (0.97, 0.05);
+    ];
+  Util.Ascii_table.print table;
+  Printf.printf "\nadaptive within 10%% of best fixed at every grid point: %s\n\n"
+    (if !all_ok then "yes" else "NO");
+  ctx
+
+let print_ext_evict () =
+  print_endline "== ext-evict: strategy cost under shared result-cache budget pressure";
+  print_endline
+    "extension: CI/AVM stored results share one page budget; evictions drop entries\n\
+     (charged one directory write) and evicted entries recompute on access.  The\n\
+     peak never exceeds the budget, and budget 0 degrades both to AR pricing.\n";
+  let params = Workload.Driver.default_sim_params in
+  let ctx = Obs.Ctx.create () in
+  let run ?cache_budget ?cache_policy strategy =
+    let r =
+      Workload.Driver.run_strategy ~seed:!the_seed ~check_consistency:false ?cache_budget
+        ?cache_policy ~model:Model.Model1 ~params strategy
+    in
+    Obs.Ctx.merge_into ~into:ctx r.Workload.Driver.obs;
+    r
+  in
+  let ar = run Strategy.Always_recompute in
+  let table =
+    Util.Ascii_table.create
+      ~header:
+        [ "strategy"; "policy"; "budget"; "ms/query"; "peak"; "evictions"; "fallbacks"; "ok" ]
+      ()
+  in
+  let all_ok = ref true in
+  List.iter
+    (fun strategy ->
+      (* the unbudgeted footprint calibrates the pressure points *)
+      let full = run ~cache_budget:max_int strategy in
+      let w = full.Workload.Driver.cache_peak_pages in
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun budget ->
+              let r = run ~cache_budget:budget ~cache_policy:policy strategy in
+              let m = Obs.Ctx.metrics r.Workload.Driver.obs in
+              let within = r.Workload.Driver.cache_peak_pages <= budget in
+              let degraded_to_ar =
+                budget > 0
+                || r.Workload.Driver.measured_ms_per_query
+                   = ar.Workload.Driver.measured_ms_per_query
+              in
+              let ok = within && degraded_to_ar in
+              if not ok then all_ok := false;
+              Util.Ascii_table.add_row table
+                [
+                  Strategy.short_name strategy;
+                  Cache.Policy.name policy;
+                  string_of_int budget;
+                  Printf.sprintf "%.1f" r.Workload.Driver.measured_ms_per_query;
+                  string_of_int r.Workload.Driver.cache_peak_pages;
+                  string_of_int (Obs.Metrics.get m Obs.Metrics.Cache_evictions);
+                  string_of_int (Obs.Metrics.get m Obs.Metrics.Cache_fallback_recomputes);
+                  (if ok then "yes" else "NO");
+                ])
+            [ w; max 1 (w / 2); max 1 (w / 4); 0 ])
+        Cache.Policy.all)
+    [ Strategy.Cache_invalidate; Strategy.Update_cache_avm ];
+  Util.Ascii_table.print table;
+  Printf.printf
+    "\npeak <= budget everywhere, and budget 0 matches Always Recompute: %s\n\n"
+    (if !all_ok then "yes" else "NO");
+  ctx
+
 (* ------------------------------------------------------------ Bechamel *)
 
 let bechamel_tests () =
@@ -796,6 +969,32 @@ let bechamel_tests () =
              incr counter;
              ignore
                (Util.Yao.paper ~n:10_000.0 ~m:250.0 ~k:(float_of_int (!counter mod 1000)))));
+      (* manager lookup on a populated procedure table (the hot path of
+         every access/on_delta dispatch; used to be O(procedures)) *)
+      Test.make ~name:"micro-manager-lookup"
+        (let ctx = Obs.Ctx.create () in
+         let db =
+           Workload.Database.build ~seed:42 ~ctx ~model:Model.Model1
+             {
+               Workload.Driver.default_sim_params with
+               Params.n = 2000.0;
+               n1 = 60.0;
+               n2 = 0.0;
+             }
+         in
+         let mgr =
+           Proc.Manager.create Proc.Manager.Always_recompute
+             ~io:db.Workload.Database.io ~record_bytes:100 ()
+         in
+         let ids =
+           Array.of_list
+             (List.map
+                (fun def -> Proc.Manager.register mgr def)
+                (Workload.Database.all_defs db))
+         in
+         Staged.stage (fun () ->
+             incr counter;
+             ignore (Proc.Manager.def_of mgr ids.(!counter mod Array.length ids))));
       (* wire-protocol encode + strict decode of one request frame *)
       Test.make ~name:"micro-net-protocol"
         (let dec = Net.Protocol.Decoder.create () in
@@ -984,6 +1183,9 @@ let () =
     if ids = [] || List.mem "ext-aggregates" ids then
       record "ext-aggregates" print_ext_aggregates;
     if ids = [] || List.mem "ext-adaptive" ids then record "ext-adaptive" print_ext_adaptive;
+    if ids = [] || List.mem "ext-winregion" ids then
+      record "ext-winregion" print_ext_winregion;
+    if ids = [] || List.mem "ext-evict" ids then record "ext-evict" print_ext_evict;
     if ids = [] || List.mem "ext-nway" ids then record "ext-nway" print_ext_nway;
     if ids = [] || List.mem "ext-sensitivity" ids then
       record "ext-sensitivity" print_ext_sensitivity;

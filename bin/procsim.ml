@@ -116,6 +116,39 @@ let sim_cmd =
              only on observable results — a faulted-then-recovered run produces a \
              byte-identical file to the oracle's (CI compares them with cmp).")
   in
+  let cache_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-budget" ] ~docv:"PAGES"
+          ~doc:
+            "Place every strategy's stored results under a shared cache budget of $(docv) \
+             pages: admissions/evictions are decided by $(b,--cache-policy), and evicted \
+             entries fall back to recompute-on-access.  0 degrades CI and AVM to \
+             Always-Recompute cost behavior.")
+  in
+  let cache_policy =
+    let parse s =
+      match Cache.Policy.of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown policy %S (lru|cost-aware)" s))
+    in
+    let pp ppf p = Format.pp_print_string ppf (Cache.Policy.name p) in
+    Arg.(
+      value
+      & opt (some (conv (parse, pp))) None
+      & info [ "cache-policy" ] ~docv:"POLICY"
+          ~doc:"Eviction policy for $(b,--cache-budget): lru or cost-aware.")
+  in
+  let adaptive =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Also run the adaptive strategy selector (starting from Always Recompute, \
+             migrating procedures when the cost model predicts a cheaper strategy) and \
+             report it as a fifth row.")
+  in
   (* Faulted runs go through Driver.run_with_crashes, strategy by strategy.
      Crash points are spread deterministically from the fault seed: a probe
      run with a disabled injector measures each strategy's touch count and
@@ -176,7 +209,21 @@ let sim_cmd =
       write_file file (to_string doc);
       Printf.printf "wrote %s\n" file
   in
-  let run model params seed scale jobs faults results_json =
+  (* The adaptive row has no single analytic prediction, so it gets its
+     own line with migration/eviction telemetry instead of pp_result. *)
+  let print_adaptive (r : Workload.Driver.result) =
+    let open Workload.Driver in
+    let m = Obs.Ctx.metrics r.obs in
+    Printf.printf
+      "%-22s q=%d u=%d measured=%.1f ms/query (reads=%d writes=%d screens=%d delta=%d \
+       inval=%d migrations=%d)%s\n"
+      "adaptive" r.queries r.updates r.measured_ms_per_query r.page_reads r.page_writes
+      r.cpu_screens r.delta_ops r.invalidations
+      (Obs.Metrics.get m Obs.Metrics.Adaptive_migrations)
+      (if r.consistent then "" else " INCONSISTENT")
+  in
+  let run model params seed scale jobs faults results_json cache_budget cache_policy
+      adaptive =
     if jobs < 1 then (
       Printf.eprintf "procsim: --jobs must be >= 1\n";
       exit 2);
@@ -184,11 +231,34 @@ let sim_cmd =
     Printf.printf "simulating %s at N=%g, N1=%g, N2=%g, q=%g, k=%g (seed %d, jobs %d)\n\n"
       (Model.which_name model) params.Params.n params.Params.n1 params.Params.n2
       params.Params.q params.Params.k seed jobs;
-    if faults <> None || results_json <> None then
+    if faults <> None || results_json <> None then begin
+      if cache_budget <> None || cache_policy <> None || adaptive then (
+        Printf.eprintf
+          "procsim: --cache-budget/--cache-policy/--adaptive cannot be combined with \
+           --faults/--results-json\n";
+        exit 2);
       run_crash_mode model params seed faults results_json
+    end
     else begin
-      let results = Workload.Parallel.run_all ~seed ~jobs ~model ~params () in
-      List.iter (fun r -> Format.printf "%a@." Workload.Driver.pp_result r) results
+      let results =
+        Workload.Parallel.run_all ~seed ~jobs ?cache_budget ?cache_policy ~adaptive ~model
+          ~params ()
+      in
+      List.iteri
+        (fun i r ->
+          if adaptive && i = List.length results - 1 then print_adaptive r
+          else Format.printf "%a@." Workload.Driver.pp_result r)
+        results;
+      if cache_budget <> None then begin
+        let peak =
+          List.fold_left
+            (fun acc (r : Workload.Driver.result) ->
+              max acc r.Workload.Driver.cache_peak_pages)
+            0 results
+        in
+        Printf.printf "\ncache budget: %d pages (peak used across runs: %d)\n"
+          (Option.get cache_budget) peak
+      end
     end
   in
   Cmd.v
@@ -198,8 +268,11 @@ let sim_cmd =
           and report measured vs analytic ms/query.  With $(b,--faults) the run goes \
           through the fault-injection layer (crashes + transient failures + recovery); \
           with $(b,--results-json) the observable results are exported for oracle \
-          comparison.")
-    Term.(const run $ model_term $ params_term $ seed $ scale $ jobs $ faults $ results_json)
+          comparison.  $(b,--cache-budget) bounds the pages the stored results may \
+          occupy; $(b,--adaptive) adds the runtime strategy selector as a fifth row.")
+    Term.(
+      const run $ model_term $ params_term $ seed $ scale $ jobs $ faults $ results_json
+      $ cache_budget $ cache_policy $ adaptive)
 
 (* ----------------------------------------------------------------- cost *)
 

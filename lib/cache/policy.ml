@@ -1,0 +1,10 @@
+type t = Lru | Cost_aware
+
+let all = [ Lru; Cost_aware ]
+let name = function Lru -> "lru" | Cost_aware -> "cost-aware"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "lru" -> Some Lru
+  | "cost-aware" | "cost_aware" | "costaware" -> Some Cost_aware
+  | _ -> None

@@ -1,0 +1,20 @@
+(** Eviction policies for the budgeted result-cache manager.
+
+    - {!Lru} evicts the resident entry whose last access is oldest on the
+      manager's logical clock — the classic recency heuristic, blind to
+      how expensive an entry is to bring back.
+    - {!Cost_aware} evicts the resident entry with the smallest benefit
+      density [recompute_cost * access_rate / pages]: an entry is worth
+      its pages in proportion to how often it is read and how much work a
+      re-materialization would charge.  This is the replacement criterion
+      of the materialized-view caching literature (DynaMat-style goodness
+      per page), applied to Hanson's procedure results.
+
+    Both policies are deterministic: scores tie-break on the entry id, so
+    a run's eviction sequence is a pure function of the access sequence. *)
+
+type t = Lru | Cost_aware
+
+val all : t list
+val name : t -> string
+val of_string : string -> t option

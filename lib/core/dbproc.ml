@@ -93,6 +93,11 @@ module Fault = struct
   module Injector = Dbproc_fault.Injector
 end
 
+module Cache = struct
+  module Policy = Dbproc_cache.Policy
+  module Budget = Dbproc_cache.Budget
+end
+
 module Proc = struct
   module Ilock = Dbproc_proc.Ilock
   module Result_cache = Dbproc_proc.Result_cache

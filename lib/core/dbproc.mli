@@ -100,6 +100,11 @@ module Fault : sig
   module Injector = Dbproc_fault.Injector
 end
 
+module Cache : sig
+  module Policy = Dbproc_cache.Policy
+  module Budget = Dbproc_cache.Budget
+end
+
 module Proc : sig
   module Ilock = Dbproc_proc.Ilock
   module Result_cache = Dbproc_proc.Result_cache

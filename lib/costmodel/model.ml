@@ -156,6 +156,22 @@ let breakdown which (p : t) strategy =
 
 let cost which p strategy = sum (breakdown which p strategy)
 
+(* Per-procedure cost at observed statistics: the population collapses to
+   the single procedure (N1=1 or N2=1), its update probability and result
+   selectivity are replaced by the online estimates, and the closed form
+   is evaluated as usual.  For a P2 procedure the observed result
+   selectivity is f* = f·f2, so f is recovered by dividing out f2. *)
+let per_procedure which (p : t) ~p_hat ~f_hat ~p2 strategy =
+  let p_hat = Float.max 0.0 (Float.min p_hat 0.99) in
+  let f_hat = Float.max 1e-9 (Float.min f_hat 1.0) in
+  let f =
+    if p2 && p.f2 > 0.0 then Float.min 1.0 (f_hat /. p.f2) else f_hat
+  in
+  let base =
+    if p2 then { p with f; n1 = 0.0; n2 = 1.0 } else { p with f; n1 = 1.0; n2 = 0.0 }
+  in
+  cost which (with_update_probability base p_hat) strategy
+
 let tot_recompute which p = cost which p Strategy.Always_recompute
 let tot_cache_inval which p = cost which p Strategy.Cache_invalidate
 let tot_update_cache_avm which p = cost which p Strategy.Update_cache_avm

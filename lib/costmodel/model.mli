@@ -16,6 +16,17 @@ val cost : which -> Params.t -> Strategy.t -> float
 (** Expected total cost per procedure access, the quantity plotted on the
     y-axis of every figure. *)
 
+val per_procedure :
+  which -> Params.t -> p_hat:float -> f_hat:float -> p2:bool -> Strategy.t -> float
+(** {!cost} specialized to a single procedure with online-estimated
+    statistics — what the adaptive selector in
+    [Dbproc_proc.Manager] evaluates at each decision window.  [p_hat] is
+    the observed update probability (clamped to [\[0, 0.99\]]), [f_hat]
+    the observed result selectivity (result cardinality / N; for a P2
+    procedure this is f·f2 and the model divides f2 back out), [p2]
+    whether the procedure joins a second relation.  The rest of [Params.t]
+    (page geometry, unit costs, locality) is taken as given. *)
+
 val breakdown : which -> Params.t -> Strategy.t -> (string * float) list
 (** Named cost components summing to {!cost} (query-time terms are listed
     as-is; per-update terms are already scaled by k/q). *)

@@ -30,6 +30,32 @@ let default_config =
     trace = false;
   }
 
+(* Deliver one whole small frame on a socket that is about to be closed.
+   The fd is nonblocking, so a single [write] may land short and the peer
+   would decode a truncated frame; loop until every byte is out, retrying
+   EINTR and waiting (bounded) for writability on EAGAIN.  Gives up after
+   [max_waits] waits or on any hard error — the peer is gone, and the
+   caller closes the fd either way. *)
+let write_frame_before_close ?(max_waits = 50) fd s =
+  let len = String.length s in
+  let waits = ref 0 in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        if !waits < max_waits then begin
+          incr waits;
+          (match Unix.select [] [ fd ] [] 0.02 with
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go off
+        end
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 0
+
 (* ------------------------------------------------------- shard workers *)
 
 type work = W_ping | W_line of string | W_script of string
@@ -313,8 +339,7 @@ let run t =
         if Hashtbl.length conns >= cfg.max_conns then begin
           Metrics.incr m Metrics.Net_rejected;
           let s = Protocol.response_to_string ~id:0 (Protocol.Rejected "too many connections") in
-          (try ignore (Unix.write_substring fd s 0 (String.length s))
-           with Unix.Unix_error _ -> ());
+          write_frame_before_close fd s;
           (try Unix.close fd with Unix.Unix_error _ -> ())
         end
         else begin

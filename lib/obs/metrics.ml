@@ -39,8 +39,15 @@ type counter =
   | Net_frames_bad
   | Net_requests
   | Net_requests_served
+  | Cache_admissions
+  | Cache_evictions
+  | Cache_evicted_pages
+  | Cache_readmissions
+  | Cache_fallback_recomputes
+  | Adaptive_decisions
+  | Adaptive_migrations
 
-let n_counters = 40
+let n_counters = 47
 
 (* The variant is the key into one flat int array: no hashing, no
    allocation, no closures on the charging path. *)
@@ -85,6 +92,13 @@ let index = function
   | Net_frames_bad -> 37
   | Net_requests -> 38
   | Net_requests_served -> 39
+  | Cache_admissions -> 40
+  | Cache_evictions -> 41
+  | Cache_evicted_pages -> 42
+  | Cache_readmissions -> 43
+  | Cache_fallback_recomputes -> 44
+  | Adaptive_decisions -> 45
+  | Adaptive_migrations -> 46
 
 let counter_name = function
   | Pages_read -> "pages_read"
@@ -127,6 +141,13 @@ let counter_name = function
   | Net_frames_bad -> "net.frames_bad"
   | Net_requests -> "net.requests"
   | Net_requests_served -> "net.requests_served"
+  | Cache_admissions -> "cache.admissions"
+  | Cache_evictions -> "cache.evictions"
+  | Cache_evicted_pages -> "cache.evicted_pages"
+  | Cache_readmissions -> "cache.readmissions"
+  | Cache_fallback_recomputes -> "cache.fallback_recomputes"
+  | Adaptive_decisions -> "adaptive.decisions"
+  | Adaptive_migrations -> "adaptive.migrations"
 
 let all_counters =
   [
@@ -140,23 +161,38 @@ let all_counters =
     Recovery_replay_pages; Recovery_rebuilt_views;
     Recovery_conservative_invals; Net_accepted; Net_rejected; Net_bytes_in;
     Net_bytes_out; Net_frames_bad; Net_requests; Net_requests_served;
+    Cache_admissions; Cache_evictions; Cache_evicted_pages; Cache_readmissions;
+    Cache_fallback_recomputes; Adaptive_decisions; Adaptive_migrations;
   ]
 
-type gauge = Procedures_registered | Rete_memories | Buffer_pool_pages
+type gauge =
+  | Procedures_registered
+  | Rete_memories
+  | Buffer_pool_pages
+  | Cache_budget_pages
+  | Cache_resident_pages
 
-let n_gauges = 3
+let n_gauges = 5
 
 let gauge_index = function
   | Procedures_registered -> 0
   | Rete_memories -> 1
   | Buffer_pool_pages -> 2
+  | Cache_budget_pages -> 3
+  | Cache_resident_pages -> 4
 
 let gauge_name = function
   | Procedures_registered -> "procedures_registered"
   | Rete_memories -> "rete_memories"
   | Buffer_pool_pages -> "buffer_pool_pages"
+  | Cache_budget_pages -> "cache.budget_pages"
+  | Cache_resident_pages -> "cache.resident_pages"
 
-let all_gauges = [ Procedures_registered; Rete_memories; Buffer_pool_pages ]
+let all_gauges =
+  [
+    Procedures_registered; Rete_memories; Buffer_pool_pages; Cache_budget_pages;
+    Cache_resident_pages;
+  ]
 
 (* A registry instance: one flat int array per kind plus the enable flag.
    Instances are cheap (two small arrays) and independent, so every engine

@@ -61,6 +61,18 @@ type counter =
   | Net_requests  (** well-formed requests decoded (including admin) *)
   | Net_requests_served
       (** shard-executed requests answered (ping / exec line / exec script) *)
+  | Cache_admissions
+      (** entries admitted (made resident) by a budgeted result-cache manager *)
+  | Cache_evictions  (** entries evicted to make room under the page budget *)
+  | Cache_evicted_pages  (** pages released by those evictions *)
+  | Cache_readmissions
+      (** previously evicted entries recomputed and readmitted on access *)
+  | Cache_fallback_recomputes
+      (** accesses to evicted entries answered by a plain recompute because
+          the entry could not be (re)admitted under the budget *)
+  | Adaptive_decisions  (** adaptive-selector window evaluations *)
+  | Adaptive_migrations
+      (** procedures migrated to a different strategy by the selector *)
 
 val all_counters : counter list
 val counter_name : counter -> string
@@ -69,6 +81,10 @@ type gauge =
   | Procedures_registered  (** procedures currently registered *)
   | Rete_memories  (** Rete memory nodes created *)
   | Buffer_pool_pages  (** capacity of the last buffer pool created *)
+  | Cache_budget_pages
+      (** page budget of the last budgeted result-cache manager created
+          (0 = unlimited) *)
+  | Cache_resident_pages  (** pages currently resident under that budget *)
 
 val all_gauges : gauge list
 val gauge_name : gauge -> string

@@ -80,7 +80,7 @@ let owners t ~rel =
 
 type broken = { owner : int; tag : int; inserted : Tuple.t list; deleted : Tuple.t list }
 
-let broken_by t ~rel ~inserted ~deleted ~charge_screens =
+let broken_by ?charge_for t ~rel ~inserted ~deleted ~charge_screens =
   match Hashtbl.find_opt t.by_rel rel with
   | None -> []
   | Some locks ->
@@ -108,7 +108,12 @@ let broken_by t ~rel ~inserted ~deleted ~charge_screens =
             (fun (sub : subscription) ->
               if Cost.active t.cost then
                 Dbproc_obs.Metrics.incr (Cost.metrics t.cost) Dbproc_obs.Metrics.Ilock_probes;
-              if charge_screens then Cost.cpu_screen t.cost;
+              let charge =
+                match charge_for with
+                | Some f -> f sub.owner
+                | None -> charge_screens
+              in
+              if charge then Cost.cpu_screen t.cost;
               if Predicate.eval sub.restriction tuple then begin
                 let ins, del = bucket sub in
                 match side with

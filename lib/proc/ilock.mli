@@ -44,6 +44,7 @@ type broken = {
 }
 
 val broken_by :
+  ?charge_for:(int -> bool) ->
   t ->
   rel:string ->
   inserted:Tuple.t list ->
@@ -53,4 +54,9 @@ val broken_by :
 (** Owners whose lock region on [rel] the delta touches, with the
     restriction-satisfying tuples.  Owners whose region is touched by no
     tuple are absent.  With [charge_screens], one [C1] per
-    (covered tuple, owner) pair. *)
+    (covered tuple, owner) pair.  [charge_for] overrides [charge_screens]
+    per owner: each candidate pair charges iff [charge_for owner] — how a
+    mixed-strategy population charges screening only for the owners that
+    actually maintain differentially (AVM), exactly as a pure AVM
+    manager would, while Cache-and-Invalidate owners in the same
+    population stay on [C_inval]-only pricing. *)

@@ -3,6 +3,11 @@ open Dbproc_relation
 open Dbproc_query
 module Metrics = Dbproc_obs.Metrics
 module Trace = Dbproc_obs.Trace
+module Budget = Dbproc_cache.Budget
+module Model = Dbproc_costmodel.Model
+module Params = Dbproc_costmodel.Params
+module Strategy = Dbproc_costmodel.Strategy
+module MV = Dbproc_avm.Materialized_view
 
 (* All instrumentation charges the manager's own engine context, reached
    through its I/O layer. *)
@@ -22,12 +27,47 @@ let all_kinds = [ Always_recompute; Cache_invalidate; Update_cache_avm; Update_c
 type entry =
   | Ar of Plan.t
   | Ci of Result_cache.t
-  | Avm of Dbproc_avm.Materialized_view.t
+  | Avm of MV.t
   | Rvm of Dbproc_rete.Network.mem_node
+
+let entry_kind_name = function
+  | Ar _ -> kind_name Always_recompute
+  | Ci _ -> kind_name Cache_invalidate
+  | Avm _ -> kind_name Update_cache_avm
+  | Rvm _ -> kind_name Update_cache_rvm
 
 type proc_id = int
 
 type rvm_shape = [ `Left_deep | `Right_deep | `Auto of (string * float) list ]
+
+type adaptive = {
+  ad_model : Model.which;
+  ad_params : Params.t;
+  ad_window : int;
+  ad_hysteresis : float;
+}
+
+let adaptive_config ?(window = 8) ?(hysteresis = 0.1) ~model ~params () =
+  if window < 1 then invalid_arg "Manager.adaptive_config: window must be >= 1";
+  if hysteresis < 0.0 then invalid_arg "Manager.adaptive_config: hysteresis must be >= 0";
+  { ad_model = model; ad_params = params; ad_window = window; ad_hysteresis = hysteresis }
+
+(* One procedure.  [pe_state] is the entry's current strategy — under
+   [?adaptive] it migrates at runtime, otherwise it stays the manager's
+   kind forever.  [pe_cache] is the entry's slot in the shared budget
+   manager (CI/AVM stored copies only; plans and Rete memories are not
+   budgeted).  The access/conflict/cardinality fields feed the online
+   estimates the selector plugs into the closed-form model. *)
+type pentry = {
+  pe_def : View_def.t;
+  pe_p2 : bool;  (** joins a second relation (the paper's P2 shape) *)
+  mutable pe_state : entry;
+  mutable pe_cache : Budget.entry_id option;
+  mutable pe_accesses : int;  (** cumulative accesses observed *)
+  mutable pe_conflicts : int;  (** cumulative broken i-locks observed *)
+  mutable pe_next_decide : int;  (** event total at which the next decision fires *)
+  mutable pe_card : int;  (** last observed result cardinality *)
+}
 
 type t = {
   kind : kind;
@@ -35,19 +75,43 @@ type t = {
   record_bytes : int;
   rvm_shape : rvm_shape;
   ilocks : Ilock.t;
+  cache : Budget.t option;
+  adaptive : adaptive option;
   mutable builder : Dbproc_rete.Builder.t option;
   mutable inval : Inval_table.t option; (* durable validity, CI + ?recovery *)
-  mutable entries : (proc_id * (View_def.t * entry)) list; (* reversed *)
+  table : (proc_id, pentry) Hashtbl.t;
+  mutable ids_rev : proc_id list; (* registration order, reversed *)
   mutable next_id : int;
+  (* Manager-wide operation mix, the selector's online P estimate.  The
+     closed form takes the global update fraction and applies i-lock
+     selectivity and population dilution internally (p_inval,
+     total_procs), so per-procedure conflict counts must NOT be fed
+     back as the update probability — that would count selectivity
+     twice. *)
+  mutable ad_accesses : int;
+  mutable ad_updates : int;
 }
 
-let create kind ~io ~record_bytes ?rvm_shape:(shape = `Right_deep) ?recovery () =
+let create kind ~io ~record_bytes ?rvm_shape:(shape = `Right_deep) ?recovery ?cache ?adaptive
+    () =
+  (match (recovery, cache, adaptive) with
+  | Some _, Some _, _ ->
+    invalid_arg "Manager.create: ?cache is incompatible with ?recovery"
+  | Some _, _, Some _ ->
+    invalid_arg "Manager.create: ?adaptive is incompatible with ?recovery"
+  | _ -> ());
+  (match (kind, adaptive) with
+  | Update_cache_rvm, Some _ ->
+    invalid_arg "Manager.create: ?adaptive is incompatible with Update_cache_rvm"
+  | _ -> ());
   {
     kind;
     io;
     record_bytes;
     rvm_shape = shape;
     ilocks = Ilock.create ~cost:(Io.cost io) ();
+    cache;
+    adaptive;
     builder =
       (match kind with
       | Update_cache_rvm -> Some (Dbproc_rete.Builder.create ~io ~record_bytes ())
@@ -57,12 +121,32 @@ let create kind ~io ~record_bytes ?rvm_shape:(shape = `Right_deep) ?recovery () 
       | Cache_invalidate, Some scheme ->
         Some (Inval_table.create ~io ~scheme ~procs:0)
       | _ -> None);
-    entries = [];
+    table = Hashtbl.create 64;
+    ids_rev = [];
     next_id = 0;
+    ad_accesses = 0;
+    ad_updates = 0;
   }
 
 let kind t = t.kind
-let procedure_count t = List.length t.entries
+let procedure_count t = Hashtbl.length t.table
+let cache_budget t = t.cache
+
+let find t id =
+  match Hashtbl.find_opt t.table id with
+  | Some pe -> pe
+  | None -> invalid_arg (Printf.sprintf "Manager: unknown procedure %d" id)
+
+let def_of t id = (find t id).pe_def
+let proc_ids t = List.rev t.ids_rev
+
+(* Registration order, for recovery protocols and the Rete rebuild. *)
+let ordered t = List.rev_map (fun id -> (id, Hashtbl.find t.table id)) t.ids_rev
+
+let is_resident t pe =
+  match (t.cache, pe.pe_cache) with
+  | Some budget, Some cid -> Budget.resident budget cid
+  | _ -> true
 
 let subscribe_sources t id (def : View_def.t) =
   List.iteri
@@ -76,71 +160,372 @@ let shape_for t (def : View_def.t) =
   | (`Left_deep | `Right_deep) as fixed -> fixed
   | `Auto profile -> Dbproc_rete.Optimizer.choose_shape def ~profile
 
+let uncharged_recompute t (def : View_def.t) =
+  ignore t;
+  let io = Relation.io def.base.rel in
+  Cost.with_disabled (Io.cost io) (fun () -> Executor.run (Planner.compile def))
+
+let stored_pages pe =
+  match pe.pe_state with
+  | Ci cache -> Result_cache.page_count cache
+  | Avm view -> MV.page_count view
+  | Ar _ | Rvm _ -> 0
+
+(* Give a CI/AVM entry a slot in the shared budget manager (idempotent).
+   The evict callback drops a CI store's pages; an AVM view keeps its
+   store (recovery-style refresh rewrites it on readmission) and is
+   tracked purely through residency. *)
+let attach_budget t id pe =
+  match t.cache with
+  | None -> ()
+  | Some budget -> (
+    match (pe.pe_state, pe.pe_cache) with
+    | (Ci _ | Avm _), None ->
+      let cid =
+        Budget.register budget
+          ~name:(Printf.sprintf "p%d" id)
+          ~on_evict:(fun () ->
+            match pe.pe_state with Ci cache -> Result_cache.drop cache | _ -> ())
+          ()
+      in
+      pe.pe_cache <- Some cid
+    | _ -> ())
+
+(* Charged I/O units (page reads + writes) consumed by [f] — the online
+   recompute-cost estimate the cost-aware eviction policy scores with. *)
+let measured_units cost f =
+  let before = Cost.snapshot cost in
+  let r = f () in
+  let after = Cost.snapshot cost in
+  let units =
+    after.Cost.s_page_reads - before.Cost.s_page_reads + after.Cost.s_page_writes
+    - before.Cost.s_page_writes
+  in
+  (r, float_of_int (max 1 units))
+
+(* Model-predicted cheapest strategy for one procedure.  Ties go to the
+   earliest candidate, so AVM leads: exact ties happen at p_hat ~ 0
+   where every cached strategy collapses to pure hit cost, and there
+   differential maintenance (whose real cost the closed form
+   overestimates) is the robust choice. *)
+let model_best (a : adaptive) ~p_hat ~f_hat ~p2 =
+  let cost_of s = Model.per_procedure a.ad_model a.ad_params ~p_hat ~f_hat ~p2 s in
+  let best, best_cost =
+    List.fold_left
+      (fun (bs, bc) s ->
+        let c = cost_of s in
+        if c < bc then (s, c) else (bs, bc))
+      (Strategy.Update_cache_avm, cost_of Strategy.Update_cache_avm)
+      [ Strategy.Always_recompute; Strategy.Cache_invalidate ]
+  in
+  (best, best_cost, cost_of)
+
+(* The declared workload's update probability, the prior the selector
+   starts a procedure from before it has observed anything. *)
+let nominal_p (p : Params.t) =
+  if p.Params.k +. p.Params.q > 0.0 then p.Params.k /. (p.Params.k +. p.Params.q)
+  else 0.0
+
 let register t (def : View_def.t) =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let entry =
-    match t.kind with
-    | Always_recompute -> Ar (Planner.compile def)
-    | Cache_invalidate ->
+  let state, card =
+    match t.adaptive with
+    | Some a ->
+      (* Initial placement is the paper's static analysis: evaluate the
+         closed-form model with the declared workload's nominal update
+         probability and the procedure's registration-time cardinality,
+         and start the entry on the predicted-cheapest strategy.  Like
+         any fixed population, this setup is uncharged; the online
+         estimates then refine the placement at runtime (migrations are
+         charged).  Every entry holds i-locks so the selector can
+         observe conflict rates whatever its current strategy.  The
+         create-time guard rules out adaptive + RVM kinds. *)
       subscribe_sources t id def;
-      (match t.inval with
-      | Some tbl -> Inval_table.ensure_capacity tbl (id + 1)
-      | None -> ());
-      Ci (Result_cache.create ~record_bytes:t.record_bytes def)
-    | Update_cache_avm ->
-      subscribe_sources t id def;
-      Avm (Dbproc_avm.Materialized_view.create ~record_bytes:t.record_bytes def)
-    | Update_cache_rvm ->
-      let builder = Option.get t.builder in
-      let built = Dbproc_rete.Builder.add_view builder ~shape:(shape_for t def) def in
-      Rvm built.result
+      let card = List.length (uncharged_recompute t def) in
+      let p2 = List.length (View_def.sources def) > 1 in
+      let f_hat =
+        let n = a.ad_params.Params.n in
+        if card > 0 && n > 0.0 then float_of_int card /. n else 1e-9
+      in
+      let best, _, _ = model_best a ~p_hat:(nominal_p a.ad_params) ~f_hat ~p2 in
+      let state =
+        match best with
+        | Strategy.Always_recompute | Strategy.Update_cache_rvm ->
+          Ar (Planner.compile def)
+        | Strategy.Cache_invalidate ->
+          Ci (Result_cache.create ~record_bytes:t.record_bytes def)
+        | Strategy.Update_cache_avm -> Avm (MV.create ~record_bytes:t.record_bytes def)
+      in
+      (state, card)
+    | None ->
+      let state =
+        match t.kind with
+        | Always_recompute -> Ar (Planner.compile def)
+        | Cache_invalidate ->
+          subscribe_sources t id def;
+          (match t.inval with
+          | Some tbl -> Inval_table.ensure_capacity tbl (id + 1)
+          | None -> ());
+          Ci (Result_cache.create ~record_bytes:t.record_bytes def)
+        | Update_cache_avm ->
+          subscribe_sources t id def;
+          Avm (MV.create ~record_bytes:t.record_bytes def)
+        | Update_cache_rvm ->
+          let builder = Option.get t.builder in
+          let built =
+            Dbproc_rete.Builder.add_view builder ~shape:(shape_for t def) def
+          in
+          Rvm built.result
+      in
+      let card =
+        match state with
+        | Ci cache -> Result_cache.cardinality cache
+        | Avm view -> MV.cardinality view
+        | Ar _ | Rvm _ -> 0
+      in
+      (state, card)
   in
-  t.entries <- (id, (def, entry)) :: t.entries;
+  let pe =
+    {
+      pe_def = def;
+      pe_p2 = List.length (View_def.sources def) > 1;
+      pe_state = state;
+      pe_cache = None;
+      pe_accesses = 0;
+      pe_conflicts = 0;
+      pe_next_decide = 1;
+      pe_card = card;
+    }
+  in
+  Hashtbl.replace t.table id pe;
+  t.ids_rev <- id :: t.ids_rev;
+  attach_budget t id pe;
+  (* Initial admission is setup: population was uncharged, so eviction
+     traffic it forces is too.  An entry the budget turns away starts
+     non-resident and serves accesses by fallback recompute. *)
+  (match (t.cache, pe.pe_cache) with
+  | Some budget, Some cid ->
+    let pages = max 1 (stored_pages pe) in
+    Budget.note_recompute_cost budget cid (float_of_int pages);
+    Cost.with_disabled (Io.cost t.io) (fun () ->
+        if not (Budget.try_admit budget cid ~pages) then
+          match pe.pe_state with
+          | Ci cache -> Result_cache.drop cache
+          | _ -> ())
+  | _ -> ());
   Metrics.incr (obs_metrics t.io) Metrics.Proc_registrations;
   Metrics.add_gauge (obs_metrics t.io) Metrics.Procedures_registered;
   id
 
-let find t id =
-  match List.assoc_opt id t.entries with
-  | Some pair -> pair
-  | None -> invalid_arg (Printf.sprintf "Manager: unknown procedure %d" id)
+(* Pages a readmitted entry asks the budget for before the charged
+   rematerialization runs (the directory knows the last cardinality). *)
+let guess_pages t pe =
+  max 1 (Io.pages_for_records t.io ~record_bytes:t.record_bytes ~count:(max 1 pe.pe_card))
 
-let def_of t id = fst (find t id)
-let proc_ids t = List.rev_map fst t.entries
+let strategy_of_state = function
+  | Ar _ -> Strategy.Always_recompute
+  | Ci _ -> Strategy.Cache_invalidate
+  | Avm _ -> Strategy.Update_cache_avm
+  | Rvm _ -> Strategy.Update_cache_rvm
+
+(* Charged materialization of a freshly adopted CI state: one full
+   recompute plus the rewrite of the store — the paper's T1. *)
+let materialize_ci t pe cache =
+  match (t.cache, pe.pe_cache) with
+  | Some budget, Some cid ->
+    if Budget.try_admit budget cid ~pages:(guess_pages t pe) then begin
+      let _, units =
+        measured_units (Io.cost t.io) (fun () -> ignore (Result_cache.access cache))
+      in
+      Budget.note_recompute_cost budget cid units;
+      Budget.resize budget cid ~pages:(Result_cache.page_count cache)
+    end
+  | _ -> ignore (Result_cache.access cache)
+
+let materialize_avm t pe view =
+  match (t.cache, pe.pe_cache) with
+  | Some budget, Some cid ->
+    if Budget.try_admit budget cid ~pages:(guess_pages t pe) then begin
+      let (), units = measured_units (Io.cost t.io) (fun () -> MV.recompute_refresh view) in
+      Budget.note_recompute_cost budget cid units;
+      Budget.resize budget cid ~pages:(MV.page_count view)
+    end
+  | _ -> MV.recompute_refresh view
+
+(* Switch an entry to [target], charging the migration: the old stored
+   copy is given back (one charged eviction when it was resident) and the
+   new state's initial materialization runs fully charged.  Compiling a
+   plan is free, as at registration. *)
+let migrate t id pe (target : Strategy.t) =
+  Metrics.incr (obs_metrics t.io) Metrics.Adaptive_migrations;
+  Trace.with_span_f (obs_trace t.io)
+    (fun () ->
+      Printf.sprintf "migrate p%d %s->%s" id
+        (Strategy.short_name (strategy_of_state pe.pe_state))
+        (Strategy.short_name target))
+    (fun () ->
+      (match (t.cache, pe.pe_cache) with
+      | Some budget, Some cid -> Budget.release budget cid
+      | _ -> ());
+      (match pe.pe_state with
+      | Ci cache -> Result_cache.drop cache
+      | _ -> ());
+      match target with
+      | Strategy.Always_recompute -> pe.pe_state <- Ar (Planner.compile pe.pe_def)
+      | Strategy.Cache_invalidate ->
+        let cache = Result_cache.create ~record_bytes:t.record_bytes pe.pe_def in
+        (* created populated-and-uncharged; drop so the charged
+           materialization below pays the real T1 *)
+        Result_cache.drop cache;
+        pe.pe_state <- Ci cache;
+        attach_budget t id pe;
+        materialize_ci t pe cache
+      | Strategy.Update_cache_avm ->
+        let view = MV.create ~record_bytes:t.record_bytes pe.pe_def in
+        pe.pe_state <- Avm view;
+        attach_budget t id pe;
+        materialize_avm t pe view
+      | Strategy.Update_cache_rvm ->
+        invalid_arg "Manager: adaptive selector never targets RVM")
+
+(* Plug the online estimates — the manager-wide observed update
+   fraction and the procedure's last observed result selectivity, the
+   two axes of the paper's win-region plane — into the closed-form
+   model and migrate if another strategy is predicted cheaper by more
+   than the hysteresis margin.  Three deliberate timing choices:
+
+   - No decision fires before the procedure's first access: its
+     selectivity estimate is still the registration-time snapshot, and
+     the initial placement already encodes everything known then.
+   - The first decision fires at the first access, when migrating away
+     from Always-recompute is nearly free (materializing is the same
+     work the access was about to do anyway).
+   - Later decisions back off geometrically (next at roughly twice the
+     current event total, floored at [ad_window] apart).  The estimates
+     are cumulative, so late windows barely move them; deciding at every
+     window keeps re-crossing model boundaries on estimator wobble and
+     each flip pays full rematerialization. *)
+let maybe_decide t id pe =
+  match t.adaptive with
+  | None -> ()
+  | Some a ->
+    let total = pe.pe_accesses + pe.pe_conflicts in
+    if pe.pe_accesses >= 1 && total >= pe.pe_next_decide then begin
+      pe.pe_next_decide <- total + max a.ad_window total;
+      Metrics.incr (obs_metrics t.io) Metrics.Adaptive_decisions;
+      (* Observed workload mix, not per-procedure conflict rate: the
+         closed form dilutes k by i-lock selectivity and population size
+         itself, so it must be fed the raw update fraction. *)
+      let p_hat =
+        let ops = t.ad_updates + t.ad_accesses in
+        if ops > 0 then float_of_int t.ad_updates /. float_of_int ops
+        else nominal_p a.ad_params
+      in
+      let n = a.ad_params.Params.n in
+      let f_hat =
+        if pe.pe_card > 0 && n > 0.0 then float_of_int pe.pe_card /. n else 1e-9
+      in
+      let current = strategy_of_state pe.pe_state in
+      let best, best_cost, cost_of = model_best a ~p_hat ~f_hat ~p2:pe.pe_p2 in
+      if best <> current && cost_of current > best_cost *. (1.0 +. a.ad_hysteresis) then
+        migrate t id pe best
+    end
+
+let access_ci t id pe cache =
+  let tr = obs_trace t.io in
+  match (t.cache, pe.pe_cache) with
+  | Some budget, Some cid ->
+    Budget.note_access budget cid;
+    if Budget.resident budget cid then
+      if Result_cache.is_valid cache then Result_cache.access cache
+      else begin
+        (* a miss both refreshes the cost estimate and may change size *)
+        let r, units =
+          measured_units (Io.cost t.io) (fun () -> Result_cache.access cache)
+        in
+        Budget.note_recompute_cost budget cid units;
+        Budget.resize budget cid ~pages:(Result_cache.page_count cache);
+        r
+      end
+    else if Budget.try_admit budget cid ~pages:(guess_pages t pe) then begin
+      Metrics.incr (obs_metrics t.io) Metrics.Cache_readmissions;
+      (* the store was dropped at eviction, so this access takes the miss
+         path: full recompute + rewrite, the paper's T1 *)
+      let r, units = measured_units (Io.cost t.io) (fun () -> Result_cache.access cache) in
+      Budget.note_recompute_cost budget cid units;
+      Budget.resize budget cid ~pages:(Result_cache.page_count cache);
+      r
+    end
+    else begin
+      Metrics.incr (obs_metrics t.io) Metrics.Cache_fallback_recomputes;
+      Trace.with_span tr "recompute (fallback)" (fun () ->
+          Executor.run (Result_cache.plan cache))
+    end
+  | _ ->
+    let was_valid = Result_cache.is_valid cache in
+    let r = Result_cache.access cache in
+    (* The revalidation transition is logged only after the recomputed
+       contents have been fully rewritten to the cache's pages: a crash
+       between the rewrite and the log record leaves the durable table
+       saying "invalid", which is safe (recovery recomputes again). *)
+    (match t.inval with
+    | Some tbl when not was_valid -> Inval_table.set_valid tbl id
+    | _ -> ());
+    r
+
+let access_avm t pe view =
+  let tr = obs_trace t.io in
+  match (t.cache, pe.pe_cache) with
+  | Some budget, Some cid ->
+    Budget.note_access budget cid;
+    if Budget.resident budget cid then
+      Trace.with_span tr "execute (read cache)" (fun () -> MV.read view)
+    else if Budget.try_admit budget cid ~pages:(guess_pages t pe) then begin
+      Metrics.incr (obs_metrics t.io) Metrics.Cache_readmissions;
+      (* missed maintenance while evicted: refresh from scratch (charged),
+         then serve the read *)
+      let (), units = measured_units (Io.cost t.io) (fun () -> MV.recompute_refresh view) in
+      Budget.note_recompute_cost budget cid units;
+      Budget.resize budget cid ~pages:(MV.page_count view);
+      Trace.with_span tr "execute (read cache)" (fun () -> MV.read view)
+    end
+    else begin
+      Metrics.incr (obs_metrics t.io) Metrics.Cache_fallback_recomputes;
+      Trace.with_span tr "recompute (fallback)" (fun () -> Executor.run (MV.plan view))
+    end
+  | _ -> Trace.with_span tr "execute (read cache)" (fun () -> MV.read view)
 
 let access t id =
   let tr = obs_trace t.io in
   Metrics.incr (obs_metrics t.io) Metrics.Proc_accesses;
-  Trace.with_span_f tr
-    (fun () -> Printf.sprintf "access p%d [%s]" id (kind_name t.kind))
-    (fun () ->
-      match snd (find t id) with
-      | Ar plan -> Trace.with_span tr "execute" (fun () -> Executor.run plan)
-      | Ci cache ->
-        let was_valid = Result_cache.is_valid cache in
-        let r = Result_cache.access cache in
-        (* The revalidation transition is logged only after the recomputed
-           contents have been fully rewritten to the cache's pages: a crash
-           between the rewrite and the log record leaves the durable table
-           saying "invalid", which is safe (recovery recomputes again). *)
-        (match t.inval with
-        | Some tbl when not was_valid -> Inval_table.set_valid tbl id
-        | _ -> ());
-        r
-      | Avm view ->
-        Trace.with_span tr "execute (read cache)" (fun () ->
-            Dbproc_avm.Materialized_view.read view)
-      | Rvm node ->
-        Trace.with_span tr "execute (read cache)" (fun () ->
-            Dbproc_rete.Memory.read (Dbproc_rete.Network.memory node)))
+  let pe = find t id in
+  pe.pe_accesses <- pe.pe_accesses + 1;
+  t.ad_accesses <- t.ad_accesses + 1;
+  let r =
+    Trace.with_span_f tr
+      (fun () -> Printf.sprintf "access p%d [%s]" id (entry_kind_name pe.pe_state))
+      (fun () ->
+        match pe.pe_state with
+        | Ar plan -> Trace.with_span tr "execute" (fun () -> Executor.run plan)
+        | Ci cache -> access_ci t id pe cache
+        | Avm view -> access_avm t pe view
+        | Rvm node ->
+          Trace.with_span tr "execute (read cache)" (fun () ->
+              Dbproc_rete.Memory.read (Dbproc_rete.Network.memory node)))
+  in
+  pe.pe_card <- List.length r;
+  maybe_decide t id pe;
+  r
 
 let on_delta t ~rel ~inserted ~deleted =
   let news = inserted and olds = deleted in
   let tr = obs_trace t.io in
+  t.ad_updates <- t.ad_updates + 1;
+  let pure_fixed = t.adaptive = None && t.cache = None in
   match t.kind with
-  | Always_recompute -> ()
-  | Cache_invalidate ->
+  | Always_recompute when t.adaptive = None -> ()
+  | Cache_invalidate when pure_fixed ->
     Trace.with_span_f tr
       (fun () -> Printf.sprintf "update %s [ci]" (Relation.name rel))
       (fun () ->
@@ -148,7 +533,7 @@ let on_delta t ~rel ~inserted ~deleted =
             Ilock.broken_by t.ilocks ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
               ~charge_screens:false)
         |> List.iter (fun (b : Ilock.broken) ->
-               match snd (find t b.owner) with
+               match (find t b.owner).pe_state with
                | Ci cache ->
                  Trace.with_span_f tr
                    (fun () -> Printf.sprintf "invalidate p%d" b.owner)
@@ -159,7 +544,7 @@ let on_delta t ~rel ~inserted ~deleted =
                      | Some tbl when was_valid -> Inval_table.set_invalid tbl b.owner
                      | _ -> ())
                | _ -> assert false))
-  | Update_cache_avm ->
+  | Update_cache_avm when pure_fixed ->
     Trace.with_span_f tr
       (fun () -> Printf.sprintf "update %s [avm]" (Relation.name rel))
       (fun () ->
@@ -167,13 +552,13 @@ let on_delta t ~rel ~inserted ~deleted =
             Ilock.broken_by t.ilocks ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
               ~charge_screens:true)
         |> List.iter (fun (b : Ilock.broken) ->
-               match snd (find t b.owner) with
+               match (find t b.owner).pe_state with
                | Avm view ->
                  Trace.with_span_f tr
                    (fun () -> Printf.sprintf "maintain p%d" b.owner)
                    (fun () ->
-                     Dbproc_avm.Materialized_view.apply_source_delta view
-                       ~source_index:b.tag ~inserted:b.inserted ~deleted:b.deleted)
+                     MV.apply_source_delta view ~source_index:b.tag ~inserted:b.inserted
+                       ~deleted:b.deleted)
                | _ -> assert false))
   | Update_cache_rvm ->
     let builder = Option.get t.builder in
@@ -184,21 +569,64 @@ let on_delta t ~rel ~inserted ~deleted =
             Dbproc_rete.Network.apply_delta
               (Dbproc_rete.Builder.network builder)
               ~rel:(Relation.name rel) ~inserted:news ~deleted:olds))
+  | Always_recompute | Cache_invalidate | Update_cache_avm ->
+    (* Mixed population: budgeted and/or adaptive.  Screening charges C1
+       per candidate pair only for owners that maintain differentially
+       right now — a resident AVM entry — exactly as a pure AVM manager
+       would; CI owners stay on C_inval-only pricing and evicted entries
+       charge nothing (their next access recomputes anyway). *)
+    let tag = if t.adaptive <> None then "adaptive" else "budgeted" in
+    Trace.with_span_f tr
+      (fun () -> Printf.sprintf "update %s [%s]" (Relation.name rel) tag)
+      (fun () ->
+        let charge_for owner =
+          match Hashtbl.find_opt t.table owner with
+          | Some pe -> (
+            match pe.pe_state with Avm _ -> is_resident t pe | _ -> false)
+          | None -> false
+        in
+        Trace.with_span tr "screen" (fun () ->
+            Ilock.broken_by ~charge_for t.ilocks ~rel:(Relation.name rel) ~inserted:news
+              ~deleted:olds ~charge_screens:false)
+        |> List.iter (fun (b : Ilock.broken) ->
+               let pe = find t b.owner in
+               pe.pe_conflicts <- pe.pe_conflicts + 1;
+               (match pe.pe_state with
+               | Ar _ | Rvm _ -> ()
+               | Ci cache ->
+                 if is_resident t pe then
+                   Trace.with_span_f tr
+                     (fun () -> Printf.sprintf "invalidate p%d" b.owner)
+                     (fun () -> Result_cache.invalidate cache)
+               | Avm view ->
+                 if is_resident t pe then begin
+                   Trace.with_span_f tr
+                     (fun () -> Printf.sprintf "maintain p%d" b.owner)
+                     (fun () ->
+                       MV.apply_source_delta view ~source_index:b.tag ~inserted:b.inserted
+                         ~deleted:b.deleted);
+                   match (t.cache, pe.pe_cache) with
+                   | Some budget, Some cid ->
+                     Budget.resize budget cid ~pages:(MV.page_count view)
+                   | _ -> ()
+                 end);
+               maybe_decide t b.owner pe))
 
 let on_update t ~rel ~changes =
   on_delta t ~rel ~inserted:(List.map snd changes) ~deleted:(List.map fst changes)
 
-let uncharged_recompute t (def : View_def.t) =
-  ignore t;
-  let io = Relation.io def.base.rel in
-  Cost.with_disabled (Io.cost io) (fun () -> Executor.run (Planner.compile def))
+let current_strategy t id = strategy_of_state (find t id).pe_state
 
 let result_cardinality t id =
-  let def, entry = find t id in
-  match entry with
-  | Ar _ -> List.length (uncharged_recompute t def)
-  | Ci cache -> Result_cache.cardinality cache
-  | Avm view -> Dbproc_avm.Materialized_view.cardinality view
+  let pe = find t id in
+  match pe.pe_state with
+  | Ar _ -> List.length (uncharged_recompute t pe.pe_def)
+  | Ci cache ->
+    if is_resident t pe then Result_cache.cardinality cache
+    else List.length (uncharged_recompute t pe.pe_def)
+  | Avm view ->
+    if is_resident t pe then MV.cardinality view
+    else List.length (uncharged_recompute t pe.pe_def)
   | Rvm node -> Dbproc_rete.Memory.cardinality (Dbproc_rete.Network.memory node)
 
 let multiset_equal a b =
@@ -206,19 +634,22 @@ let multiset_equal a b =
   List.length a = List.length b && List.for_all2 Tuple.equal a b
 
 let matches_recompute t id =
-  let def, entry = find t id in
-  match entry with
+  let pe = find t id in
+  match pe.pe_state with
   | Ar _ -> true
   | Ci cache ->
     if not (Result_cache.is_valid cache) then true
     else
       Cost.with_disabled (Io.cost t.io) (fun () ->
-          multiset_equal (Result_cache.access cache) (uncharged_recompute t def))
-  | Avm view -> Dbproc_avm.Materialized_view.matches_recompute view
+          multiset_equal (Result_cache.access cache) (uncharged_recompute t pe.pe_def))
+  | Avm view ->
+    (* an evicted view missed maintenance by design; its next admission
+       refreshes from scratch, so there is nothing to check *)
+    if not (is_resident t pe) then true else MV.matches_recompute view
   | Rvm node ->
     multiset_equal
       (Dbproc_rete.Memory.contents (Dbproc_rete.Network.memory node))
-      (uncharged_recompute t def)
+      (uncharged_recompute t pe.pe_def)
 
 let end_of_transaction t =
   match t.inval with Some tbl -> Inval_table.end_of_transaction tbl | None -> ()
@@ -259,14 +690,14 @@ let recover t =
         let conservative = ref 0 in
         let reset_validity prove =
           List.iter
-            (fun (id, (_, entry)) ->
-              match entry with
+            (fun (id, pe) ->
+              match pe.pe_state with
               | Ci cache ->
                 let v = prove id in
                 if Result_cache.is_valid cache && not v then incr conservative;
                 Result_cache.set_validity cache v
               | _ -> assert false)
-            t.entries
+            (ordered t)
         in
         let replay, lost =
           match t.inval with
@@ -295,13 +726,13 @@ let recover t =
       | Update_cache_avm ->
         let n = ref 0 in
         List.iter
-          (fun (_, (_, entry)) ->
-            match entry with
+          (fun (_, pe) ->
+            match pe.pe_state with
             | Avm view ->
-              Dbproc_avm.Materialized_view.recompute_refresh view;
+              MV.recompute_refresh view;
               incr n
             | _ -> assert false)
-          t.entries;
+          (ordered t);
         if !n > 0 then Metrics.incr ~n:!n metrics Metrics.Recovery_rebuilt_views;
         {
           replay_pages = 0;
@@ -316,16 +747,15 @@ let recover t =
            executor; storing the rebuilt memories costs one write per
            memory page. *)
         let builder = Dbproc_rete.Builder.create ~io:t.io ~record_bytes:t.record_bytes () in
-        let rebuilt =
-          List.map
-            (fun (id, (def, _)) ->
-              ignore (Executor.run (Planner.compile def));
-              let built = Dbproc_rete.Builder.add_view builder ~shape:(shape_for t def) def in
-              (id, (def, Rvm built.result)))
-            (List.rev t.entries)
-        in
+        List.iter
+          (fun (_, pe) ->
+            ignore (Executor.run (Planner.compile pe.pe_def));
+            let built =
+              Dbproc_rete.Builder.add_view builder ~shape:(shape_for t pe.pe_def) pe.pe_def
+            in
+            pe.pe_state <- Rvm built.result)
+          (ordered t);
         t.builder <- Some builder;
-        t.entries <- List.rev rebuilt;
         let pages =
           List.fold_left
             (fun acc m -> acc + Dbproc_rete.Memory.page_count m)
@@ -333,7 +763,7 @@ let recover t =
             (Dbproc_rete.Network.memories (Dbproc_rete.Builder.network builder))
         in
         if pages > 0 then Cost.page_write ~count:pages cost;
-        let n = List.length rebuilt in
+        let n = procedure_count t in
         if n > 0 then Metrics.incr ~n metrics Metrics.Recovery_rebuilt_views;
         {
           replay_pages = 0;

@@ -36,12 +36,38 @@ type rvm_shape =
         the given relation-update-frequency profile — the paper's
         statically optimized Rete network *) ]
 
+type adaptive = {
+  ad_model : Dbproc_costmodel.Model.which;
+      (** which closed-form model prices the candidate strategies *)
+  ad_params : Dbproc_costmodel.Params.t;
+      (** workload-wide parameters (N, S, selectivities, unit costs); the
+          per-procedure estimates override [P] and [f] *)
+  ad_window : int;
+      (** minimum events (accesses + broken i-locks) per procedure
+          between decisions; actual gaps grow geometrically *)
+  ad_hysteresis : float;
+      (** migrate only when the current strategy is predicted more than
+          this fraction worse than the best candidate *)
+}
+(** Configuration for the runtime strategy selector (see {!create}). *)
+
+val adaptive_config :
+  ?window:int ->
+  ?hysteresis:float ->
+  model:Dbproc_costmodel.Model.which ->
+  params:Dbproc_costmodel.Params.t ->
+  unit ->
+  adaptive
+(** [window] defaults to [8], [hysteresis] to [0.1]. *)
+
 val create :
   kind ->
   io:Dbproc_storage.Io.t ->
   record_bytes:int ->
   ?rvm_shape:rvm_shape ->
   ?recovery:Inval_table.scheme ->
+  ?cache:Dbproc_cache.Budget.t ->
+  ?adaptive:adaptive ->
   unit ->
   t
 (** [record_bytes] is the width of stored result tuples (the paper's [S]).
@@ -50,10 +76,51 @@ val create :
     makes cache validity durable through an {!Inval_table} with the given
     scheme: every validity transition is recorded (charged per the scheme)
     and {!recover} can then prove validity after a crash instead of
-    conservatively invalidating everything. *)
+    conservatively invalidating everything.
+
+    [cache] places every CI/AVM stored copy under a shared
+    {!Dbproc_cache.Budget}: admissions and evictions are decided by its
+    policy, evictions drop the stored pages (charged one directory write),
+    and an access to an evicted entry either readmits it (charged
+    rematerialization — a CI store takes the full miss path [T1]; an AVM
+    view is refreshed from scratch and then read) or, when the budget
+    refuses, falls back to a plain recompute priced exactly like Always
+    Recompute.  With [budget_pages = 0] both CI and AVM therefore degrade
+    to AR cost behavior.  Rete memories are shared structures and stay
+    outside the budget.
+
+    [adaptive] turns on the runtime strategy selector.  Registration
+    places each procedure on the strategy
+    {!Dbproc_costmodel.Model.per_procedure} predicts cheapest at the
+    declared workload's nominal update probability and the
+    registration-time cardinality — the paper's static analysis, set up
+    uncharged like any fixed population.  At runtime the manager tracks
+    the manager-wide operation mix (the online P estimate; the closed
+    form applies i-lock selectivity and population dilution itself, so
+    it is fed the raw update fraction, not per-procedure conflict
+    counts) and each procedure's observed result cardinality (the
+    online f estimate), re-prices AR/CI/AVM at geometrically backed-off
+    decision points (the first at the procedure's first access, then at
+    roughly doubling event totals, at least [ad_window] apart), and
+    migrates when the predicted win beats [ad_hysteresis].  Migration
+    is charged: a resident stored copy is given back (one eviction
+    write) and the new strategy's state is materialized at full price.
+    The manager's [kind] no longer fixes the starting strategy; RVM is
+    neither a placement nor a migration target.
+
+    [cache] and [adaptive] are each incompatible with [recovery], and
+    [adaptive] with [Update_cache_rvm]; combining them raises
+    [Invalid_argument]. *)
 
 val kind : t -> kind
 val procedure_count : t -> int
+
+val cache_budget : t -> Dbproc_cache.Budget.t option
+(** The shared budget manager, when [?cache] was given. *)
+
+val current_strategy : t -> proc_id -> Dbproc_costmodel.Strategy.t
+(** The strategy currently serving the procedure — its starting kind
+    unless the adaptive selector has migrated it. *)
 
 val register : t -> View_def.t -> proc_id
 (** Install a procedure: compiles its plan and initializes whatever state

@@ -66,3 +66,7 @@ let access t =
 let accesses t = t.accesses
 let misses t = t.misses
 let set_validity t v = t.valid <- v
+
+let drop t =
+  Heap_file.clear t.store;
+  t.valid <- false

@@ -43,3 +43,9 @@ val set_validity : t -> bool -> unit
     after a crash the manager resets each cache to the validity the
     durable {!Inval_table} proves (or [false] when it cannot prove
     anything).  Not for normal operation — use {!invalidate}. *)
+
+val drop : t -> unit
+(** Discard the stored value: clear the store's pages (uncharged — the
+    budget manager charges the eviction itself) and mark the entry
+    invalid.  The next {!access} recomputes and rewrites from scratch;
+    budget eviction callbacks use this to give the pages back. *)

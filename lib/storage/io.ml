@@ -173,7 +173,25 @@ let read t ~file ~page =
 
 let write t ~file ~page =
   if should_charge t ~file ~page ~is_write:true then begin
-    (match t.lru with Some lru -> ignore (Lru.touch lru (file, page)) | None -> ());
+    (* Write-through: the write always charges and installs the page, but
+       hit/miss accounting is symmetric with [read] — a pool-resident page
+       is a hit, an installed one a miss — so hit-ratio metrics cover
+       write traffic too. *)
+    (match t.lru with
+    | None -> ()
+    | Some lru ->
+      if Lru.touch lru (file, page) then begin
+        t.hits <- t.hits + 1;
+        if Cost.active t.cost then
+          Dbproc_obs.Metrics.incr (Cost.metrics t.cost)
+            Dbproc_obs.Metrics.Buffer_hits
+      end
+      else begin
+        t.misses <- t.misses + 1;
+        if Cost.active t.cost then
+          Dbproc_obs.Metrics.incr (Cost.metrics t.cost)
+            Dbproc_obs.Metrics.Buffer_misses
+      end);
     fire_hook t ~op:`Write ~file ~page;
     Cost.page_write t.cost
   end

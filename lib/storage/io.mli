@@ -23,7 +23,12 @@ val direct : Cost.t -> page_bytes:int -> t
 
 val buffered : Cost.t -> page_bytes:int -> capacity:int -> t
 (** Write-through LRU buffer of [capacity] pages.  Reads charge only on a
-    miss; writes always charge (write-through) and install the page. *)
+    miss; writes always charge (write-through) and install the page.
+    Hit/miss accounting ({!buffer_hits}/{!buffer_misses} and the
+    [Buffer_hits]/[Buffer_misses] counters) covers reads and writes
+    symmetrically: a touch of a pool-resident page is a hit, of an absent
+    page a miss — whether a {e write} hits or misses changes the counters
+    but never the charge. *)
 
 val cost : t -> Cost.t
 

@@ -16,6 +16,8 @@ type result = {
   invalidations : int;
   consistent : bool;
   per_op : ([ `Query | `Update ] * float) list;
+  cache_peak_pages : int;
+  final_strategies : (int * Strategy.t) list;
   obs : Dbproc_obs.Ctx.t;
 }
 
@@ -55,16 +57,30 @@ let charges_of (params : Params.t) =
   }
 
 let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
-    ?(r2_update_fraction = 0.0) ?ctx ?buffer_pages ~model ~params strategy =
+    ?(r2_update_fraction = 0.0) ?ctx ?buffer_pages ?cache_budget ?cache_policy
+    ?(adaptive = false) ?adaptive_window ~model ~params strategy =
   (* Each run gets its own engine context unless the caller supplies one:
      no state is shared with any other run, which is what makes parallel
      execution safe and bit-identical to sequential. *)
   let obs = match ctx with Some c -> c | None -> Dbproc_obs.Ctx.create () in
   let db = Database.build ~seed ~ctx:obs ?buffer_pages ~model params in
   let record_bytes = iround params.Params.s in
+  let budget =
+    match (cache_budget, cache_policy) with
+    | None, None -> None
+    | budget_pages, policy ->
+      Some
+        (Dbproc_cache.Budget.create ?policy ?budget_pages ~io:db.Database.io ())
+  in
+  let adaptive_cfg =
+    if adaptive then
+      Some
+        (Dbproc_proc.Manager.adaptive_config ?window:adaptive_window ~model ~params ())
+    else None
+  in
   let manager =
     Dbproc_proc.Manager.create (manager_kind strategy) ~io:db.Database.io ~record_bytes
-      ?rvm_shape ()
+      ?rvm_shape ?cache:budget ?adaptive:adaptive_cfg ()
   in
   let proc_ids =
     List.map (fun def -> Dbproc_proc.Manager.register manager def) (Database.all_defs db)
@@ -147,6 +163,12 @@ let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
     invalidations = Cost.invalidations db.Database.cost;
     consistent;
     per_op = List.rev rr.rr_per_op_rev;
+    cache_peak_pages =
+      (match budget with Some b -> Dbproc_cache.Budget.max_used_pages b | None -> 0);
+    final_strategies =
+      List.map
+        (fun id -> (id, Dbproc_proc.Manager.current_strategy manager id))
+        proc_ids;
     obs;
   }
 
@@ -354,9 +376,12 @@ let pp_crash_result ppf r =
     (String.sub (result_digest r) 0 8)
     (if r.cr_consistent then "" else " INCONSISTENT")
 
-let run_all ?seed ?check_consistency ?r2_update_fraction ~model ~params () =
+let run_all ?seed ?check_consistency ?r2_update_fraction ?cache_budget ?cache_policy
+    ~model ~params () =
   List.map
-    (fun s -> run_strategy ?seed ?check_consistency ?r2_update_fraction ~model ~params s)
+    (fun s ->
+      run_strategy ?seed ?check_consistency ?r2_update_fraction ?cache_budget
+        ?cache_policy ~model ~params s)
     Strategy.all
 
 let scale_params (params : Params.t) ~factor =

@@ -34,6 +34,12 @@ type result = {
           access cost, updates their maintenance cost.  The paper reports
           only means; this exposes the distribution (Cache and Invalidate
           is bimodal: cheap hits, recompute-priced misses). *)
+  cache_peak_pages : int;
+      (** high-water mark of the shared result-cache budget — [0] when the
+          run had no budget manager *)
+  final_strategies : (int * Strategy.t) list;
+      (** each procedure's strategy when the run ended, in registration
+          order: the starting strategy unless [?adaptive] migrated it *)
   obs : Dbproc_obs.Ctx.t;
       (** the engine context the run charged — counters, latency
           histograms ([query_latency_ms/<tag>], [update_latency_ms/<tag>])
@@ -50,6 +56,10 @@ val run_strategy :
   ?r2_update_fraction:float ->
   ?ctx:Dbproc_obs.Ctx.t ->
   ?buffer_pages:int ->
+  ?cache_budget:int ->
+  ?cache_policy:Dbproc_cache.Policy.t ->
+  ?adaptive:bool ->
+  ?adaptive_window:int ->
   model:Model.which ->
   params:Params.t ->
   Strategy.t ->
@@ -64,7 +74,17 @@ val run_strategy :
     fresh private one (exposed as [result.obs]), so runs share no mutable
     state whatsoever and may execute on different domains.  [buffer_pages]
     runs the same workload over a buffered I/O layer instead of the
-    paper's direct one — results must be identical, only costs change. *)
+    paper's direct one — results must be identical, only costs change.
+
+    [cache_budget] / [cache_policy] place CI/AVM stored copies under a
+    shared {!Dbproc_cache.Budget} of that many pages with that eviction
+    policy (giving either implies the other's default: unlimited pages,
+    LRU).  [adaptive] (default false) turns on the runtime strategy
+    selector (see {!Dbproc_proc.Manager.create}); [strategy] is then only
+    the starting strategy and must not be RVM.  [adaptive_window] overrides
+    the selector's decision window.  The run stays deterministic: the
+    budget manager uses a logical clock and the selector only run-private
+    state, so results are byte-identical at any [--jobs]. *)
 
 (** {2 Crash/restart simulation}
 
@@ -143,11 +163,14 @@ val run_all :
   ?seed:int ->
   ?check_consistency:bool ->
   ?r2_update_fraction:float ->
+  ?cache_budget:int ->
+  ?cache_policy:Dbproc_cache.Policy.t ->
   model:Model.which ->
   params:Params.t ->
   unit ->
   result list
-(** All four strategies on the same sequence. *)
+(** All four strategies on the same sequence (cache knobs as in
+    {!run_strategy}, applied to every run). *)
 
 val scale_params : Params.t -> factor:float -> Params.t
 (** Shrink the database and procedure population by [factor] (divides N,

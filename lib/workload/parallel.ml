@@ -86,13 +86,20 @@ let map_array ?(jobs = 1) f xs =
 
 let map ?jobs f xs = Array.to_list (map_array ?jobs f (Array.of_list xs))
 
-let run_all ?seed ?check_consistency ?r2_update_fraction ?(jobs = 1) ~model
-    ~params () =
+let run_all ?seed ?check_consistency ?r2_update_fraction ?(jobs = 1) ?cache_budget
+    ?cache_policy ?(adaptive = false) ~model ~params () =
+  (* The adaptive run rides along as a fifth task (starting from Always
+     Recompute) so it is scheduled exactly like the fixed rows — results
+     stay in input order and byte-identical at any [jobs]. *)
+  let tasks =
+    List.map (fun s -> (s, false)) Strategy.all
+    @ (if adaptive then [ (Strategy.Always_recompute, true) ] else [])
+  in
   map ~jobs
-    (fun s ->
-      Driver.run_strategy ?seed ?check_consistency ?r2_update_fraction ~model
-        ~params s)
-    Strategy.all
+    (fun (s, ad) ->
+      Driver.run_strategy ?seed ?check_consistency ?r2_update_fraction ?cache_budget
+        ?cache_policy ~adaptive:ad ~model ~params s)
+    tasks
 
 let merge_obs results =
   let into = Dbproc_obs.Ctx.create () in

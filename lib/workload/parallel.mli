@@ -65,13 +65,19 @@ val run_all :
   ?check_consistency:bool ->
   ?r2_update_fraction:float ->
   ?jobs:int ->
+  ?cache_budget:int ->
+  ?cache_policy:Dbproc_cache.Policy.t ->
+  ?adaptive:bool ->
   model:Model.which ->
   params:Params.t ->
   unit ->
   Driver.result list
 (** {!Driver.run_all} with the four strategies fanned across domains:
     same arguments, same result list (bit-identical — each strategy run
-    derives everything from the seed), [jobs] of them in flight at once. *)
+    derives everything from the seed), [jobs] of them in flight at once.
+    [cache_budget]/[cache_policy] apply to every run (see
+    {!Driver.run_strategy}); [adaptive] appends a fifth run with the
+    runtime selector on (starting from Always Recompute). *)
 
 val merge_obs : Driver.result list -> Dbproc_obs.Ctx.t
 (** Fold every result's context into one fresh context (counters and

@@ -1,0 +1,205 @@
+(* Tests for Dbproc.Cache: the budgeted shared result-cache manager —
+   admission/eviction mechanics, the budget invariant, policy behavior
+   (including a qcheck shadow-model property for LRU eviction order), and
+   the eviction cost accounting. *)
+
+open Dbproc
+open Dbproc.Storage
+module Budget = Cache.Budget
+module Policy = Cache.Policy
+
+let make_io () =
+  let cost = Cost.create () in
+  (cost, Io.direct cost ~page_bytes:400)
+
+let make_budget ?policy ~budget_pages () =
+  let cost, io = make_io () in
+  (cost, Budget.create ?policy ~budget_pages ~io ())
+
+let reg ?(on_evict = fun () -> ()) b name = Budget.register b ~name ~on_evict ()
+
+let test_admit_and_residency () =
+  let _, b = make_budget ~budget_pages:10 () in
+  let e = reg b "e" in
+  Alcotest.(check bool) "starts non-resident" false (Budget.resident b e);
+  Alcotest.(check bool) "admits" true (Budget.try_admit b e ~pages:4);
+  Alcotest.(check bool) "resident" true (Budget.resident b e);
+  Alcotest.(check int) "used" 4 (Budget.used_pages b);
+  Alcotest.(check bool) "re-admit resizes" true (Budget.try_admit b e ~pages:6);
+  Alcotest.(check int) "resized" 6 (Budget.used_pages b)
+
+let test_oversized_request_refused () =
+  let _, b = make_budget ~budget_pages:10 () in
+  let e = reg b "big" in
+  Alcotest.(check bool) "refused" false (Budget.try_admit b e ~pages:11);
+  Alcotest.(check bool) "non-resident" false (Budget.resident b e);
+  Alcotest.(check int) "nothing used" 0 (Budget.used_pages b)
+
+let test_zero_budget_admits_nothing () =
+  let _, b = make_budget ~budget_pages:0 () in
+  let e = reg b "e" in
+  Alcotest.(check bool) "refused" false (Budget.try_admit b e ~pages:1);
+  Alcotest.(check int) "no evictions" 0 (Budget.evictions b);
+  Alcotest.(check int) "peak 0" 0 (Budget.max_used_pages b)
+
+let test_eviction_makes_room_and_fires_callback () =
+  let evicted = ref [] in
+  let _, b = make_budget ~budget_pages:10 () in
+  let a = Budget.register b ~name:"a" ~on_evict:(fun () -> evicted := "a" :: !evicted) () in
+  let c = Budget.register b ~name:"c" ~on_evict:(fun () -> evicted := "c" :: !evicted) () in
+  Alcotest.(check bool) "a admitted" true (Budget.try_admit b a ~pages:7);
+  Alcotest.(check bool) "c admitted" true (Budget.try_admit b c ~pages:7);
+  Alcotest.(check bool) "a evicted" false (Budget.resident b a);
+  Alcotest.(check bool) "c resident" true (Budget.resident b c);
+  Alcotest.(check (list string)) "callback fired" [ "a" ] !evicted;
+  Alcotest.(check int) "one eviction" 1 (Budget.evictions b)
+
+let test_eviction_charges_directory_write () =
+  let cost, b = make_budget ~budget_pages:10 () in
+  let a = reg b "a" and c = reg b "c" in
+  ignore (Budget.try_admit b a ~pages:7);
+  let before = Cost.page_writes cost in
+  ignore (Budget.try_admit b c ~pages:7);
+  Alcotest.(check int) "eviction = one page write" (before + 1) (Cost.page_writes cost)
+
+let test_release_returns_pages () =
+  let _, b = make_budget ~budget_pages:10 () in
+  let e = reg b "e" in
+  ignore (Budget.try_admit b e ~pages:8);
+  Budget.release b e;
+  Alcotest.(check bool) "non-resident" false (Budget.resident b e);
+  Alcotest.(check int) "pages back" 0 (Budget.used_pages b);
+  (* release of a non-resident entry is a no-op *)
+  let ev = Budget.evictions b in
+  Budget.release b e;
+  Alcotest.(check int) "idempotent" ev (Budget.evictions b)
+
+let test_resize_growth_can_self_evict () =
+  let _, b = make_budget ~budget_pages:10 () in
+  let e = reg b "e" in
+  ignore (Budget.try_admit b e ~pages:5);
+  Budget.resize b e ~pages:9;
+  Alcotest.(check int) "grew" 9 (Budget.used_pages b);
+  Budget.resize b e ~pages:11;
+  Alcotest.(check bool) "self-evicted when over budget" false (Budget.resident b e);
+  Alcotest.(check int) "nothing used" 0 (Budget.used_pages b)
+
+let test_lru_evicts_least_recently_used () =
+  let _, b = make_budget ~budget_pages:3 () in
+  let e1 = reg b "e1" and e2 = reg b "e2" and e3 = reg b "e3" in
+  ignore (Budget.try_admit b e1 ~pages:1);
+  ignore (Budget.try_admit b e2 ~pages:1);
+  Budget.note_access b e1;
+  (* e2 is now the coldest *)
+  ignore (Budget.try_admit b e3 ~pages:2);
+  Alcotest.(check bool) "e1 kept" true (Budget.resident b e1);
+  Alcotest.(check bool) "e2 evicted" false (Budget.resident b e2);
+  Alcotest.(check bool) "e3 resident" true (Budget.resident b e3)
+
+let test_cost_aware_keeps_expensive_entry () =
+  (* Same size and recency; the cheap-to-recompute entry goes first. *)
+  let _, b = make_budget ~policy:Policy.Cost_aware ~budget_pages:2 () in
+  let cheap = reg b "cheap" and dear = reg b "dear" in
+  ignore (Budget.try_admit b cheap ~pages:1);
+  ignore (Budget.try_admit b dear ~pages:1);
+  Budget.note_recompute_cost b cheap 1.0;
+  Budget.note_recompute_cost b dear 1000.0;
+  Budget.note_access b cheap;
+  Budget.note_access b dear;
+  let third = reg b "third" in
+  ignore (Budget.try_admit b third ~pages:1);
+  Alcotest.(check bool) "cheap evicted" false (Budget.resident b cheap);
+  Alcotest.(check bool) "dear kept" true (Budget.resident b dear)
+
+let test_policy_names_roundtrip () =
+  List.iter
+    (fun p ->
+      match Policy.of_string (Policy.name p) with
+      | Some p' -> Alcotest.(check bool) (Policy.name p) true (p = p')
+      | None -> Alcotest.failf "of_string failed for %s" (Policy.name p))
+    Policy.all;
+  Alcotest.(check bool) "unknown rejected" true (Policy.of_string "mru" = None)
+
+(* --- qcheck properties -------------------------------------------------- *)
+
+(* Shadow model for the LRU policy with unit-page entries: the resident
+   set must always equal a textbook LRU cache of capacity [budget] fed
+   the same access sequence. *)
+let lru_shadow_prop ops =
+  let budget = 3 and entries = 6 in
+  let _, b = make_budget ~policy:Policy.Lru ~budget_pages:budget () in
+  let ids = Array.init entries (fun i -> reg b (Printf.sprintf "e%d" i)) in
+  (* most-recent-first list of resident indices *)
+  let shadow = ref [] in
+  List.for_all
+    (fun i ->
+      let e = ids.(i) in
+      Budget.note_access b e;
+      if not (Budget.resident b e) then ignore (Budget.try_admit b e ~pages:1);
+      let without = List.filter (( <> ) i) !shadow in
+      let trimmed =
+        if List.length without >= budget then List.filteri (fun j _ -> j < budget - 1) without
+        else without
+      in
+      shadow := i :: trimmed;
+      List.for_all
+        (fun j -> Budget.resident b ids.(j) = List.mem j !shadow)
+        (List.init entries Fun.id))
+    ops
+
+let qcheck_lru_shadow =
+  QCheck.Test.make ~name:"LRU residency matches shadow model" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_bound 5))
+    lru_shadow_prop
+
+(* Whatever the op mix or policy, the high-water mark never exceeds the
+   budget. *)
+let budget_invariant_prop (policy, ops) =
+  let budget = 5 and entries = 4 in
+  let _, b = make_budget ~policy ~budget_pages:budget () in
+  let ids = Array.init entries (fun i -> reg b (Printf.sprintf "e%d" i)) in
+  List.iter
+    (fun (i, pages, kind) ->
+      let e = ids.(i mod entries) in
+      match kind mod 4 with
+      | 0 -> Budget.note_access b e
+      | 1 -> ignore (Budget.try_admit b e ~pages:(1 + (pages mod 7)))
+      | 2 -> Budget.resize b e ~pages:(1 + (pages mod 7))
+      | _ -> Budget.release b e)
+    ops;
+  Budget.max_used_pages b <= budget
+
+let qcheck_budget_invariant =
+  QCheck.Test.make ~name:"peak residency never exceeds the budget" ~count:200
+    QCheck.(
+      pair
+        (oneofl Policy.[ Lru; Cost_aware ])
+        (list_of_size (Gen.int_range 1 80) (triple (int_bound 10) (int_bound 10) (int_bound 10))))
+    budget_invariant_prop
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "admit and residency" `Quick test_admit_and_residency;
+          Alcotest.test_case "oversized request refused" `Quick test_oversized_request_refused;
+          Alcotest.test_case "zero budget admits nothing" `Quick test_zero_budget_admits_nothing;
+          Alcotest.test_case "eviction makes room, fires callback" `Quick
+            test_eviction_makes_room_and_fires_callback;
+          Alcotest.test_case "eviction charges a directory write" `Quick
+            test_eviction_charges_directory_write;
+          Alcotest.test_case "release returns pages" `Quick test_release_returns_pages;
+          Alcotest.test_case "resize growth can self-evict" `Quick
+            test_resize_growth_can_self_evict;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "LRU evicts coldest" `Quick test_lru_evicts_least_recently_used;
+          Alcotest.test_case "cost-aware keeps expensive entry" `Quick
+            test_cost_aware_keeps_expensive_entry;
+          Alcotest.test_case "names roundtrip" `Quick test_policy_names_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_lru_shadow;
+          QCheck_alcotest.to_alcotest qcheck_budget_invariant;
+        ] );
+    ]

@@ -422,6 +422,52 @@ let test_conn_limit_rejects () =
       | _ -> Alcotest.fail "admitted connection broken");
       Net.Client.close first)
 
+let test_conn_limit_reject_frame_complete () =
+  (* Regression: the Rejected frame used to be sent with a single
+     unchecked [Unix.write] — a short or interrupted write truncated the
+     frame mid-stream.  Now it goes through a bounded full-write loop, so
+     every rejected connection must receive one complete, well-formed
+     id-0 Rejected frame, every time. *)
+  with_server ~tweak:(fun c -> { c with Net.Server.max_conns = 1 }) (fun port ->
+      let first = Net.Client.connect ~host:"127.0.0.1" ~port () in
+      ignore (Net.Client.call first P.Ping);
+      for i = 1 to 10 do
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let buf = Bytes.create 4096 in
+        let dec = P.Decoder.create () in
+        let rec read_all () =
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> ()
+          | n ->
+            P.Decoder.feed dec buf ~off:0 ~len:n;
+            read_all ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+        in
+        read_all ();
+        (match P.Decoder.next_response dec with
+        | P.Msg (0, P.Rejected msg) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "attempt %d: reason given" i)
+            true
+            (String.length msg > 0)
+        | r ->
+          Alcotest.failf "attempt %d: expected a complete id-0 Rejected frame, got %s" i
+            (match r with
+            | P.Msg (id, m) -> P.response_to_string ~id m
+            | P.Awaiting -> "a truncated frame"
+            | P.Corrupt m -> "corrupt: " ^ m));
+        Alcotest.(check int)
+          (Printf.sprintf "attempt %d: clean frame boundary" i)
+          0 (P.Decoder.buffered dec);
+        Unix.close fd
+      done;
+      (* the admitted connection survived all ten rejections *)
+      (match Net.Client.call first P.Ping with
+      | P.Pong -> ()
+      | _ -> Alcotest.fail "admitted connection broken");
+      Net.Client.close first)
+
 let test_shard_isolation () =
   (* two connections on a 2-shard server land on different shards and
      must not see each other's relations *)
@@ -500,6 +546,8 @@ let () =
           Alcotest.test_case "malformed frame poisons connection" `Quick
             test_malformed_frame_poisons_connection;
           Alcotest.test_case "connection limit rejects" `Quick test_conn_limit_rejects;
+          Alcotest.test_case "reject frame always complete" `Quick
+            test_conn_limit_reject_frame_complete;
           Alcotest.test_case "shard isolation" `Quick test_shard_isolation;
           Alcotest.test_case "shutdown request drains" `Quick test_shutdown_request_drains;
         ] );

@@ -271,6 +271,50 @@ let test_manager_rvm_sharing_counts () =
   ignore (Manager.register m' (select_def fx "P1" 5 15));
   Alcotest.(check int) "avm has no sharing" 0 (Manager.shared_alpha_count m')
 
+let test_manager_zero_budget_falls_back () =
+  (* With a zero-page budget the CI store is never admitted: every access
+     answers with a plain recompute (counted as a fallback), results stay
+     correct, and nothing is ever resident. *)
+  let fx = make_fixture () in
+  let budget = Cache.Budget.create ~budget_pages:0 ~io:fx.io () in
+  let m = Manager.create Manager.Cache_invalidate ~io:fx.io ~record_bytes:100 ~cache:budget () in
+  let id = Manager.register m (select_def fx "P" 0 10) in
+  let r1 = Manager.access m id in
+  let r2 = Manager.access m id in
+  Alcotest.(check int) "10 tuples" 10 (List.length r1);
+  Alcotest.(check bool) "repeat access agrees" true
+    (List.for_all2 Tuple.equal (sorted r1) (sorted r2));
+  Alcotest.(check bool) "fallbacks counted" true
+    (Obs.Metrics.get (Cost.metrics fx.cost) Obs.Metrics.Cache_fallback_recomputes >= 2);
+  Alcotest.(check int) "nothing resident" 0 (Cache.Budget.used_pages budget);
+  Alcotest.(check int) "peak 0" 0 (Cache.Budget.max_used_pages budget)
+
+let test_manager_adaptive_placement () =
+  (* Registration places each procedure where the closed form is cheapest
+     at the declared workload's nominal P: an update-free workload gets a
+     cached strategy, an update-saturated one Always Recompute. *)
+  let open Dbproc.Costmodel in
+  let place params =
+    let fx = make_fixture () in
+    let ad = Manager.adaptive_config ~model:Model.Model1 ~params () in
+    let m =
+      Manager.create Manager.Always_recompute ~io:fx.io ~record_bytes:100 ~adaptive:ad ()
+    in
+    let id = Manager.register m (select_def fx "P" 0 10) in
+    Manager.current_strategy m id
+  in
+  let base = { Params.default with Params.n = 400.0 } in
+  let read_only = place { base with Params.k = 0.0; q = 50.0 } in
+  Alcotest.(check bool)
+    ("read-only workload cached, got " ^ Strategy.name read_only)
+    true
+    (read_only <> Strategy.Always_recompute);
+  let update_heavy = place { base with Params.k = 99.0; q = 1.0 } in
+  Alcotest.(check bool)
+    ("update-saturated workload recomputes, got " ^ Strategy.name update_heavy)
+    true
+    (update_heavy = Strategy.Always_recompute)
+
 let strategies_agree_property =
   (* Random workloads: all four strategies return identical access results
      and end consistent. *)
@@ -665,6 +709,8 @@ let () =
           Alcotest.test_case "unknown id" `Quick test_manager_unknown_id;
           Alcotest.test_case "CI invalidation flow" `Quick test_manager_ci_inval_flow;
           Alcotest.test_case "RVM sharing counts" `Quick test_manager_rvm_sharing_counts;
+          Alcotest.test_case "zero budget falls back" `Quick test_manager_zero_budget_falls_back;
+          Alcotest.test_case "adaptive placement" `Quick test_manager_adaptive_placement;
           Alcotest.test_case "all strategies agree (scenario)" `Quick test_all_strategies_agree;
           qc strategies_agree_property;
         ] );

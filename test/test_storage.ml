@@ -132,6 +132,24 @@ let test_io_buffered_hits () =
   Alcotest.(check int) "1 hit" 1 (Io.buffer_hits io);
   Alcotest.(check int) "1 miss" 1 (Io.buffer_misses io)
 
+let test_io_buffered_write_hits () =
+  (* Regression: the write-through path must feed the same hit/miss
+     counters as reads — a pool-resident page is a write hit, an installed
+     one a write miss — while still charging every write. *)
+  let c = Cost.create () in
+  let io = Io.buffered c ~page_bytes:4000 ~capacity:2 in
+  let f = Io.fresh_file io in
+  Io.write io ~file:f ~page:0;
+  (* miss: installs the page *)
+  Io.write io ~file:f ~page:0;
+  (* hit: page is pool-resident *)
+  Io.read io ~file:f ~page:0;
+  (* hit: reads see the installed page *)
+  Alcotest.(check int) "2 charged writes (write-through)" 2 (Cost.page_writes c);
+  Alcotest.(check int) "0 charged reads" 0 (Cost.page_reads c);
+  Alcotest.(check int) "2 hits (1 write, 1 read)" 2 (Io.buffer_hits io);
+  Alcotest.(check int) "1 miss (first write)" 1 (Io.buffer_misses io)
+
 let test_io_buffered_eviction () =
   let c = Cost.create () in
   let io = Io.buffered c ~page_bytes:4000 ~capacity:2 in
@@ -507,6 +525,7 @@ let () =
           Alcotest.test_case "touch dedup" `Quick test_io_touch_dedup;
           Alcotest.test_case "touch dedup nested" `Quick test_io_touch_dedup_nested;
           Alcotest.test_case "buffer hits" `Quick test_io_buffered_hits;
+          Alcotest.test_case "buffer write hits" `Quick test_io_buffered_write_hits;
           Alcotest.test_case "buffer eviction" `Quick test_io_buffered_eviction;
           Alcotest.test_case "buffer LRU order" `Quick test_io_buffered_lru_order;
           Alcotest.test_case "buffer flush" `Quick test_io_flush;

@@ -347,6 +347,90 @@ let test_nway_avm_grows_rvm_flat () =
     (Printf.sprintf "RVM beats AVM at m=5 (%.0f vs %.0f)" rvm5 avm5)
     true (rvm5 < avm5)
 
+let test_cache_zero_budget_degrades_to_ar () =
+  (* With a zero-page budget nothing is ever admitted: CI and AVM never
+     store, never invalidate, never maintain — every access falls back to
+     a plain recompute, so their measured cost is exactly
+     Always Recompute's. *)
+  let ar = Driver.run_strategy ~seed:11 ~model:Model.Model1 ~params:small Strategy.Always_recompute in
+  List.iter
+    (fun s ->
+      let r = Driver.run_strategy ~seed:11 ~cache_budget:0 ~model:Model.Model1 ~params:small s in
+      Alcotest.(check (float 1e-9))
+        (Strategy.name s ^ " at budget 0 = AR")
+        ar.Driver.measured_ms_per_query r.Driver.measured_ms_per_query;
+      Alcotest.(check bool) (Strategy.name s ^ " consistent") true r.Driver.consistent;
+      Alcotest.(check int) (Strategy.name s ^ " peak 0") 0 r.Driver.cache_peak_pages)
+    [ Strategy.Cache_invalidate; Strategy.Update_cache_avm ]
+
+let test_cache_budget_never_exceeded () =
+  (* The structural invariant, end to end: at any budget, the run's
+     high-water mark of resident pages stays within it, under both
+     eviction policies, and stored state remains consistent. *)
+  List.iter
+    (fun budget ->
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun s ->
+              let r =
+                Driver.run_strategy ~cache_budget:budget ~cache_policy:policy
+                  ~model:Model.Model1 ~params:small s
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %s budget %d: peak %d within budget" (Strategy.name s)
+                   (Dbproc.Cache.Policy.name policy) budget r.Driver.cache_peak_pages)
+                true
+                (r.Driver.cache_peak_pages <= budget);
+              Alcotest.(check bool)
+                (Printf.sprintf "%s budget %d consistent" (Strategy.name s) budget)
+                true r.Driver.consistent)
+            [ Strategy.Cache_invalidate; Strategy.Update_cache_avm ])
+        Dbproc.Cache.Policy.all)
+    [ 2; 8 ]
+
+let test_adaptive_consistent_with_cache () =
+  (* The selector plus a tight budget is the full tentpole stack; the
+     end-of-run recompute check must still pass and migrations must be
+     visible in final_strategies. *)
+  let params = Params.with_update_probability small 0.5 in
+  let r =
+    Driver.run_strategy ~adaptive:true ~cache_budget:16 ~model:Model.Model1 ~params
+      Strategy.Always_recompute
+  in
+  Alcotest.(check bool) "consistent" true r.Driver.consistent;
+  Alcotest.(check int) "every procedure reported" 16 (List.length r.Driver.final_strategies);
+  Alcotest.(check bool) "no RVM placements" true
+    (List.for_all (fun (_, s) -> s <> Strategy.Update_cache_rvm) r.Driver.final_strategies)
+
+let test_adaptive_parallel_byte_identical () =
+  (* The adaptive run rides Parallel.run_all as a fifth task; its result
+     must be byte-identical at any job count (logical clocks only, no
+     shared state). *)
+  let run jobs =
+    let results =
+      Parallel.run_all ~seed:4 ~jobs ~adaptive:true ~model:Model.Model1 ~params:small ()
+    in
+    Alcotest.(check int) "five runs" 5 (List.length results);
+    List.nth results 4
+  in
+  let base = run 1 in
+  List.iter
+    (fun jobs ->
+      let r = run jobs in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "jobs %d: same measured cost" jobs)
+        base.Driver.measured_ms_per_query r.Driver.measured_ms_per_query;
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs %d: same final strategies" jobs)
+        true
+        (base.Driver.final_strategies = r.Driver.final_strategies);
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs %d: same per-op trace" jobs)
+        true
+        (base.Driver.per_op = r.Driver.per_op))
+    [ 2; 4 ]
+
 let measured_tracks_analytic_property =
   (* Random operating points: the engine must stay within a bounded ratio
      of the analytic model for every strategy, and the strategy ORDER must
@@ -428,5 +512,15 @@ let () =
           Alcotest.test_case "n-way: AVM grows, RVM flat" `Slow test_nway_avm_grows_rvm_flat;
           qc driver_consistency_property;
           qc measured_tracks_analytic_property;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "zero budget degrades to AR" `Quick
+            test_cache_zero_budget_degrades_to_ar;
+          Alcotest.test_case "budget never exceeded" `Slow test_cache_budget_never_exceeded;
+          Alcotest.test_case "adaptive consistent with cache" `Quick
+            test_adaptive_consistent_with_cache;
+          Alcotest.test_case "adaptive parallel byte-identical" `Slow
+            test_adaptive_parallel_byte_identical;
         ] );
     ]
