@@ -902,6 +902,214 @@ let print_ext_evict () =
     (if !all_ok then "yes" else "NO");
   ctx
 
+let print_ext_contention () =
+  print_endline
+    "== ext-contention: N writers x M readers over one shared database (model 1)";
+  print_endline
+    "extension: the measurement the paper never made.  8 sessions interleave under a\n\
+     seeded scheduler over ONE database: writer sessions scan-then-rewrite R1 sel\n\
+     values (S locks upgraded to X points, breaking reader i-locks), reader sessions\n\
+     access procedures under the strategy.  Strict 2PL blocks, upgrade stand-offs\n\
+     deadlock, the youngest victim aborts via WAL rollback and restarts.  Sweeping\n\
+     the writer share maps the writer-vs-cached-reader frontier: blocked-time\n\
+     p50/p99, deadlock/victim counts, i-locks broken per committed writer txn.\n";
+  let params =
+    {
+      Workload.Driver.default_sim_params with
+      Params.n = 2000.0;
+      n1 = 4.0;
+      n2 = 4.0;
+      q = 10.0;
+      k = 10.0;
+    }
+  in
+  let manager_kind = function
+    | Strategy.Always_recompute -> Proc.Manager.Always_recompute
+    | Strategy.Cache_invalidate -> Proc.Manager.Cache_invalidate
+    | Strategy.Update_cache_avm -> Proc.Manager.Update_cache_avm
+    | Strategy.Update_cache_rvm -> Proc.Manager.Update_cache_rvm
+  in
+  let n_sessions = 8 and txns_per_session = 6 in
+  let writer_counts = [ 1; 2; 4 ] in
+  let cells =
+    List.concat_map (fun s -> List.map (fun w -> (s, w)) writer_counts) Strategy.all
+  in
+  let run_cell cell_ix (strategy, writers) =
+    let seed = Workload.Parallel.split_seed ~seed:!the_seed ~index:cell_ix in
+    let ctx = Obs.Ctx.create () in
+    let db = Workload.Database.build ~seed ~ctx ~model:Model.Model1 params in
+    let record_bytes = int_of_float (Float.round params.Params.s) in
+    let mgr =
+      Proc.Manager.create (manager_kind strategy) ~io:db.Workload.Database.io ~record_bytes ()
+    in
+    let defs = Workload.Database.all_defs db in
+    let pids = List.map (Proc.Manager.register mgr) defs in
+    let tm =
+      Txn.Manager.create ~record_bytes ~cost:db.Workload.Database.cost
+        ~io:db.Workload.Database.io
+        ~notify_delta:(fun ~rel ~inserted ~deleted ->
+          Proc.Manager.on_delta mgr ~rel ~inserted ~deleted)
+        ~notify_update:(fun ~rel ~changes -> Proc.Manager.on_update mgr ~rel ~changes)
+        ()
+    in
+    (* Each procedure pins one i-lock per source region, owner = proc id.
+       Writers' X grants break them; a commit re-pins the owner's set, as
+       the next access to the invalidated procedure would. *)
+    let ilock_regions =
+      List.map2
+        (fun pid def ->
+          ( pid,
+            List.map
+              (fun (s : Query.View_def.source) ->
+                Proc.Lock_manager.region_of_restriction
+                  ~rel:(Relation.name s.Query.View_def.rel)
+                  s.Query.View_def.restriction)
+              (Query.View_def.sources def) ))
+        pids defs
+    in
+    let pin_ilocks (pid, regions) =
+      List.iteri (fun i r -> Txn.Manager.set_ilock tm ~owner:pid ~tag:i r) regions
+    in
+    List.iter pin_ilocks ilock_regions;
+    let sprng = Util.Prng.create (Workload.Parallel.split_seed ~seed ~index:1) in
+    let sel_attr = Schema.index_of (Relation.schema db.Workload.Database.r1) "sel" in
+    let r1 = db.Workload.Database.r1 in
+    (* Writer transaction: scan the interval spanning its rewrites under
+       S, then upgrade to an X point per rewrite — the upgrade stand-off
+       two writers can reach is exactly the deadlock the detector must
+       break.  Locks are fixed at spec-build time so the interleaving is
+       a pure function of the seed. *)
+    let writer_txn () =
+      let upds = Workload.Database.random_update db sprng in
+      let sel_of tuple = Tuple.get tuple sel_attr in
+      let points =
+        List.concat_map
+          (fun (rid, newt) -> [ sel_of (Relation.get r1 rid); sel_of newt ])
+          upds
+      in
+      let lo = List.fold_left min (List.hd points) points in
+      let hi = List.fold_left max (List.hd points) points in
+      let scan =
+        {
+          Txn.Sim.locks =
+            [
+              ( `S,
+                Proc.Lock_manager.Interval
+                  {
+                    rel = Relation.name r1;
+                    attr = sel_attr;
+                    lo = Index.Btree.Inclusive lo;
+                    hi = Index.Btree.Inclusive hi;
+                  } );
+            ];
+          exec = (fun _ _ -> ());
+        }
+      in
+      scan
+      :: List.map
+           (fun (rid, newt) ->
+             {
+               Txn.Sim.locks =
+                 [
+                   ( `X,
+                     Proc.Lock_manager.point ~rel:(Relation.name r1) ~attr:sel_attr
+                       (sel_of newt) );
+                 ];
+               exec =
+                 (fun tm id ->
+                   let before = Relation.get r1 rid in
+                   ignore (Relation.update r1 rid newt);
+                   Txn.Manager.log_update tm id ~rel:r1 ~rid ~before ~after:newt;
+                   Proc.Manager.on_update mgr ~rel:r1 ~changes:[ (before, newt) ]);
+             })
+           upds
+    in
+    (* Reader transaction: take every source's S lock across separate
+       steps (holding the base lock while waiting on the next is what
+       lets readers sit inside writer stand-offs), then access. *)
+    let pid_arr = Array.of_list pids in
+    let reader_txn () =
+      let pid = Util.Prng.pick sprng pid_arr in
+      let regions = List.assoc pid ilock_regions in
+      List.map (fun r -> { Txn.Sim.locks = [ (`S, r) ]; exec = (fun _ _ -> ()) }) regions
+      @ [ { Txn.Sim.locks = []; exec = (fun _ _ -> ignore (Proc.Manager.access mgr pid)) } ]
+    in
+    let sessions =
+      List.init n_sessions (fun s ->
+          List.init txns_per_session (fun _ ->
+              if s < writers then writer_txn () else reader_txn ()))
+    in
+    let on_commit ~session:_ ~txn:_ ~broken =
+      List.sort_uniq compare
+        (List.map (fun (b : Proc.Lock_manager.broken) -> b.Proc.Lock_manager.owner) broken)
+      |> List.iter (fun owner ->
+             Txn.Manager.drop_ilocks tm ~owner;
+             pin_ilocks (owner, List.assoc owner ilock_regions))
+    in
+    let stats =
+      Txn.Sim.run ~on_commit ~seed:(Workload.Parallel.split_seed ~seed ~index:2) tm sessions
+    in
+    let total_ms =
+      Storage.Cost.total_ms Storage.Cost.default_charges db.Workload.Database.cost
+    in
+    (ctx, stats, Txn.Manager.live_count tm, total_ms)
+  in
+  let results =
+    Workload.Parallel.map ~jobs:!the_jobs
+      (fun (i, c) -> run_cell i c)
+      (List.mapi (fun i c -> (i, c)) cells)
+  in
+  let merged = Obs.Ctx.create () in
+  let table =
+    Util.Ascii_table.create
+      ~header:
+        [
+          "strategy"; "writers"; "committed"; "deadlocks"; "victims"; "restarts";
+          "blk p50"; "blk p99"; "ilk/wtxn"; "ms/txn"; "ok";
+        ]
+      ()
+  in
+  let all_ok = ref true in
+  List.iter2
+    (fun (strategy, writers) (ctx, (stats : Txn.Sim.stats), live, total_ms) ->
+      Obs.Ctx.merge_into ~into:merged ctx;
+      let m = Obs.Ctx.metrics ctx in
+      let cycles = Obs.Metrics.get m Obs.Metrics.Deadlock_cycles in
+      let victims = Obs.Metrics.get m Obs.Metrics.Deadlock_victims in
+      let blocked = Obs.Histogram.named (Obs.Ctx.histograms ctx) "txn.blocked_ms" in
+      let q p =
+        if Obs.Histogram.count blocked = 0 then "-"
+        else Printf.sprintf "%.1f" (Obs.Histogram.quantile blocked p)
+      in
+      let committed_writers = writers * txns_per_session in
+      (* every transaction must eventually commit (victims restart), and
+         the scheduler's victim count must agree with the counter *)
+      let ok =
+        stats.Txn.Sim.committed = n_sessions * txns_per_session
+        && stats.Txn.Sim.victim_aborts = victims
+        && live = 0
+      in
+      if not ok then all_ok := false;
+      Util.Ascii_table.add_row table
+        [
+          Strategy.short_name strategy;
+          string_of_int writers;
+          string_of_int stats.Txn.Sim.committed;
+          string_of_int cycles;
+          string_of_int victims;
+          string_of_int stats.Txn.Sim.restarts;
+          q 0.5;
+          q 0.99;
+          Printf.sprintf "%.1f" (float_of_int stats.Txn.Sim.broken_ilocks /. float_of_int committed_writers);
+          Printf.sprintf "%.1f" (total_ms /. float_of_int stats.Txn.Sim.committed);
+          (if ok then "yes" else "NO");
+        ])
+    cells results;
+  Util.Ascii_table.print table;
+  Printf.printf "\nevery transaction committed and victim counts reconcile: %s\n\n"
+    (if !all_ok then "yes" else "NO");
+  merged
+
 (* ------------------------------------------------------------ Bechamel *)
 
 let bechamel_tests () =
@@ -1186,6 +1394,8 @@ let () =
     if ids = [] || List.mem "ext-winregion" ids then
       record "ext-winregion" print_ext_winregion;
     if ids = [] || List.mem "ext-evict" ids then record "ext-evict" print_ext_evict;
+    if ids = [] || List.mem "ext-contention" ids then
+      record "ext-contention" print_ext_contention;
     if ids = [] || List.mem "ext-nway" ids then record "ext-nway" print_ext_nway;
     if ids = [] || List.mem "ext-sensitivity" ids then
       record "ext-sensitivity" print_ext_sensitivity;

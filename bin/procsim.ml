@@ -558,6 +558,7 @@ let shell_cmd =
           | Net.Protocol.Output output -> print_endline output
           | Net.Protocol.Failed msg -> Printf.printf "error: %s\n" msg
           | Net.Protocol.Rejected msg -> Printf.printf "rejected: %s\n" msg
+          | Net.Protocol.Aborted msg -> Printf.printf "aborted: %s\n" msg
           | Net.Protocol.Pong -> ());
           loop ()
       in
@@ -745,6 +746,15 @@ let loadgen_cmd =
       value & opt mode_conv Net.Loadgen.Mixed
       & info [ "mode" ] ~docv:"MODE" ~doc:"Request mix: $(b,mixed), $(b,ping) or $(b,exec).")
   in
+  let write_frac =
+    Arg.(
+      value & opt float 0.0
+      & info [ "write-frac" ] ~docv:"F"
+          ~doc:
+            "Fraction of requests that are writes (appends to a per-connection relation); the \
+             post-run reconciliation checks every acknowledged write against the server's \
+             $(b,heap_appends) counter.")
+  in
   let strict =
     Arg.(
       value & flag
@@ -758,12 +768,16 @@ let loadgen_cmd =
       value & flag
       & info [ "shutdown" ] ~doc:"Send a protocol shutdown request to the server after the run.")
   in
-  let run host port conns requests pipeline seed mode strict shutdown =
+  let run host port conns requests pipeline seed mode write_frac strict shutdown =
     if conns < 1 then `Error (true, "--connections must be >= 1")
     else if requests < 1 then `Error (true, "--requests must be >= 1")
     else if pipeline < 1 then `Error (true, "--pipeline must be >= 1")
+    else if not (write_frac >= 0.0 && write_frac <= 1.0) then
+      `Error (true, "--write-frac must be in [0, 1]")
     else begin
-      match Net.Loadgen.run ~host ~port ~pipeline ~seed ~mode ~conns ~requests () with
+      match
+        Net.Loadgen.run ~host ~port ~pipeline ~seed ~mode ~write_frac ~conns ~requests ()
+      with
       | Error msg -> `Error (false, msg)
       | Ok report ->
         Format.printf "%a@." Net.Loadgen.pp_report report;
@@ -790,7 +804,135 @@ let loadgen_cmd =
           reconciliation.")
     Term.(
       ret
-        (const run $ host $ port $ conns $ requests $ pipeline $ seed $ mode $ strict $ shutdown))
+        (const run $ host $ port $ conns $ requests $ pipeline $ seed $ mode $ write_frac
+       $ strict $ shutdown))
+
+(* ------------------------------------------------------------ txn-smoke *)
+
+(* An end-to-end deadlock drill over a real loopback socket: two clients
+   on one shard open transactions, write crosswise, and exactly one (the
+   younger) must come back [Aborted] while the other commits. *)
+let txn_smoke_cmd =
+  let contains haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let run () =
+    let config =
+      { Net.Server.default_config with host = "127.0.0.1"; port = 0; shards = 1; idle_timeout = 0.0 }
+    in
+    match Net.Server.create ~config () with
+    | exception e ->
+      `Error (false, Printf.sprintf "txn-smoke: cannot bind a loopback server (%s)" (Printexc.to_string e))
+    | server ->
+      let port = Net.Server.port server in
+      let d = Domain.spawn (fun () -> Net.Server.run server) in
+      let result =
+        try
+          let a = Net.Client.connect ~host:"127.0.0.1" ~port () in
+          let b = Net.Client.connect ~host:"127.0.0.1" ~port () in
+          let exec who client line =
+            match Net.Client.call client (Net.Protocol.Exec_line line) with
+            | Net.Protocol.Output out -> out
+            | Net.Protocol.Failed m -> failwith (Printf.sprintf "%s: %S failed: %s" who line m)
+            | Net.Protocol.Aborted m ->
+              failwith (Printf.sprintf "%s: %S unexpectedly aborted: %s" who line m)
+            | Net.Protocol.Rejected m -> failwith (Printf.sprintf "%s: %S rejected: %s" who line m)
+            | Net.Protocol.Pong -> failwith (Printf.sprintf "%s: %S answered with pong" who line)
+          in
+          let control who client req =
+            match Net.Client.call client req with
+            | Net.Protocol.Output _ -> ()
+            | resp ->
+              failwith
+                (Printf.sprintf "%s: transaction control got tag 0x%02x"
+                   who (Net.Protocol.response_tag resp))
+          in
+          ignore (exec "A" a "create T1 (k = int, v = int)");
+          ignore (exec "A" a "create T2 (k = int, v = int)");
+          ignore (exec "A" a "append to T1 (k = 1, v = 10)");
+          ignore (exec "A" a "append to T2 (k = 1, v = 20)");
+          (* A begins first, so A is the elder transaction; the victim
+             policy must pick B *)
+          control "A" a Net.Protocol.Begin;
+          control "B" b Net.Protocol.Begin;
+          ignore (exec "A" a "replace T1 (v = 111) where T1.k = 1");
+          ignore (exec "B" b "replace T2 (v = 222) where T2.k = 1");
+          (* crosswise: A needs B's relation and parks; B needs A's,
+             which closes the cycle *)
+          let a_req =
+            Net.Client.send a (Net.Protocol.Exec_line "replace T2 (v = 333) where T2.k = 1")
+          in
+          (match Net.Client.call b (Net.Protocol.Exec_line "replace T1 (v = 444) where T1.k = 1") with
+          | Net.Protocol.Aborted _ -> ()
+          | resp ->
+            failwith
+              (Printf.sprintf "B: expected the victim abort, got tag 0x%02x"
+                 (Net.Protocol.response_tag resp)));
+          let rec await_a () =
+            let id, resp = Net.Client.recv a in
+            if id <> a_req then await_a () else resp
+          in
+          (match await_a () with
+          | Net.Protocol.Output _ -> ()
+          | resp ->
+            failwith
+              (Printf.sprintf "A: parked replace should run after the abort, got tag 0x%02x"
+                 (Net.Protocol.response_tag resp)));
+          control "A" a Net.Protocol.Commit;
+          let rows = exec "A" a "retrieve (T1.v, T2.v) where T1.k = T2.k" in
+          if not (contains rows "111" && contains rows "333") then
+            failwith "A's committed writes are missing";
+          if contains rows "222" || contains rows "444" then
+            failwith "B's rolled-back writes survived";
+          let counters =
+            match Net.Client.call a Net.Protocol.Stats with
+            | Net.Protocol.Output body -> (
+              match Obs.Export.parse body with
+              | Error msg -> failwith ("stats: " ^ msg)
+              | Ok doc -> (
+                match Obs.Export.member "counters" doc with
+                | Some (Obs.Export.Obj fields) -> fields
+                | _ -> failwith "stats: no counters object"))
+            | _ -> failwith "stats call failed"
+          in
+          let geti name =
+            match List.assoc_opt name counters with
+            | Some (Obs.Export.Int n) -> n
+            | _ -> failwith (Printf.sprintf "stats: counter %S missing" name)
+          in
+          let expect name want =
+            let got = geti name in
+            if got <> want then failwith (Printf.sprintf "counter %s: expected %d, got %d" name want got)
+          in
+          expect "deadlock.cycles" 1;
+          expect "deadlock.victims" 1;
+          expect "txn.aborts" 1;
+          if geti "txn.commits" < 1 then failwith "counter txn.commits: expected >= 1";
+          if geti "net.parked" < 1 then failwith "counter net.parked: expected >= 1";
+          Net.Client.close a;
+          Net.Client.close b;
+          `Ok ()
+        with
+        | Failure msg -> `Error (false, "txn-smoke: " ^ msg)
+        | e -> `Error (false, "txn-smoke: " ^ Printexc.to_string e)
+      in
+      Net.Server.shutdown server;
+      Domain.join d;
+      (match result with
+      | `Ok () ->
+        print_endline "txn-smoke: OK — one deadlock cycle, one victim abort, elder committed"
+      | _ -> ());
+      result
+  in
+  Cmd.v
+    (Cmd.info "txn-smoke"
+       ~doc:
+         "End-to-end transaction smoke test: spin up a loopback server, force a deadlock \
+          between two clients writing crosswise, and assert exactly one victim abort with the \
+          other transaction committing.")
+    Term.(ret (const run $ const ()))
 
 (* --------------------------------------------------------------- params *)
 
@@ -822,4 +964,5 @@ let () =
             run_cmd;
             serve_cmd;
             loadgen_cmd;
+            txn_smoke_cmd;
           ]))

@@ -28,6 +28,9 @@
     - {!Rete} — the Rete network (shared view maintenance).
     - {!Proc} — database procedures: i-locks, result caches, the strategy
       manager.
+    - {!Txn} — transactions: strict two-phase locking, deadlock
+      detection, WAL-backed rollback, and the deterministic contention
+      simulator.
     - {!Lang} — the tiny definition/query language and its interpreter.
     - {!Costmodel} — the paper's closed-form model, every figure.
     - {!Workload} — synthetic database, update/access workloads, the
@@ -112,6 +115,11 @@ module Proc : sig
   module Lock_manager = Dbproc_proc.Lock_manager
   module Manager = Dbproc_proc.Manager
   module Adaptive = Dbproc_proc.Adaptive
+end
+
+module Txn : sig
+  module Manager = Dbproc_txn.Manager
+  module Sim = Dbproc_txn.Sim
 end
 
 module Lang : sig

@@ -25,6 +25,9 @@ type command =
   | Show of [ `Relations | `Procs | `Cost | `Network | `Script ]
   | Reset_cost
   | Help
+  | Begin
+  | Commit
+  | Abort
 
 let pp_literal ppf = function
   | L_int i -> Format.fprintf ppf "%d" i
@@ -105,3 +108,6 @@ let pp_command ppf = function
   | Show `Script -> Format.pp_print_string ppf "show script"
   | Reset_cost -> Format.pp_print_string ppf "reset cost"
   | Help -> Format.pp_print_string ppf "help"
+  | Begin -> Format.pp_print_string ppf "begin transaction"
+  | Commit -> Format.pp_print_string ppf "commit"
+  | Abort -> Format.pp_print_string ppf "abort"

@@ -20,6 +20,9 @@ exec progs1
 strategy rvm
 show relations | show procs | show cost
 reset cost
+begin [transaction]
+commit
+abort | rollback
 v} *)
 
 type ty = T_int | T_float | T_string
@@ -57,6 +60,9 @@ type command =
   | Show of [ `Relations | `Procs | `Cost | `Network | `Script ]
   | Reset_cost
   | Help
+  | Begin  (** open an explicit transaction ([begin \[transaction\]]) *)
+  | Commit  (** commit it, releasing 2PL locks *)
+  | Abort  (** roll it back ([abort] or [rollback]) *)
 
 val pp_command : Format.formatter -> command -> unit
 val pp_literal : Format.formatter -> literal -> unit

@@ -3,9 +3,25 @@ open Dbproc_relation
 open Dbproc_query
 open Dbproc_proc
 
+module Tm = Dbproc_txn.Manager
+
 exception Runtime_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* Per-client transaction state.  [implicit] marks an autocommit
+   transaction opened for a single statement (it survives parking — its
+   granted locks must be held across retries — and commits as soon as the
+   statement executes).  [doomed] is set when another client's deadlock
+   resolution aborted this client's transaction; the client learns on its
+   next statement. *)
+type client_state = {
+  mutable txn : Tm.id option;
+  mutable implicit : bool;
+  mutable doomed : bool;
+}
+
+type txn_layer = { tm : Tm.t; clients : (int, client_state) Hashtbl.t }
 
 type t = {
   cost : Cost.t;
@@ -17,6 +33,11 @@ type t = {
       (* definition order, reversed; the int list is a display projection *)
   mutable manager : Manager.t;
   mutable proc_ids : (string * Manager.proc_id) list;
+  mutable layer : txn_layer option;
+      (* created lazily by the first BEGIN — until then the session runs
+         exactly as before transactions existed (same costs, same output) *)
+  mutable logging_txn : Tm.id option;
+      (* the explicit transaction mutation statements log undo for *)
 }
 
 let fresh_manager t kind = Manager.create kind ~io:t.io ~record_bytes:t.tuple_bytes ()
@@ -38,6 +59,8 @@ let create ?ctx ?(page_bytes = 4000) ?(tuple_bytes = 100) () =
     defs = [];
     manager = Manager.create Manager.Always_recompute ~io ~record_bytes:tuple_bytes ();
     proc_ids = [];
+    layer = None;
+    logging_txn = None;
   }
 
 let strategy_name t = Manager.kind_name (Manager.kind t.manager)
@@ -397,6 +420,8 @@ let help_text =
       "  define proc NAME as retrieve (...) where ...";
       "  exec NAME";
       "  strategy ar | ci | avm | rvm";
+      "  begin [transaction]                      -- open an explicit transaction (2PL)";
+      "  commit | abort                           -- end it (abort rolls the WAL tail back)";
       "  show relations | show procs | show cost | show network | show script";
       "  save \"file.dbp\"                          -- dump a replayable session script";
       "  reset cost";
@@ -406,7 +431,25 @@ let help_text =
 
 (* ------------------------------------------------------------ commands *)
 
-let exec_command t (cmd : Ast.command) =
+(* Undo hooks: no-ops unless the statement runs inside an explicit
+   transaction (an autocommit statement acquires all its locks before
+   executing and commits immediately after, so it can never need undo). *)
+let undo_insert t ~rel ~rid ~tuple =
+  match (t.layer, t.logging_txn) with
+  | Some l, Some id -> Tm.log_insert l.tm id ~rel ~rid ~tuple
+  | _ -> ()
+
+let undo_delete t ~rel ~tuple =
+  match (t.layer, t.logging_txn) with
+  | Some l, Some id -> Tm.log_delete l.tm id ~rel ~tuple
+  | _ -> ()
+
+let undo_update t ~rel ~rid ~before ~after =
+  match (t.layer, t.logging_txn) with
+  | Some l, Some id -> Tm.log_update l.tm id ~rel ~rid ~before ~after
+  | _ -> ()
+
+let exec_command_body t (cmd : Ast.command) =
   match cmd with
   | Ast.Create { rel; attrs } ->
     if Catalog.find_opt t.catalog rel <> None then error "relation %S already exists" rel;
@@ -440,14 +483,19 @@ let exec_command t (cmd : Ast.command) =
   | Ast.Append { rel; values } ->
     let r = find_relation t rel in
     let tuple = tuple_of_assignments t r values in
-    ignore (Relation.insert r tuple);
+    let rid = Relation.insert r tuple in
+    undo_insert t ~rel:r ~rid ~tuple;
     Manager.on_delta t.manager ~rel:r ~inserted:[ tuple ] ~deleted:[];
     Printf.sprintf "appended 1 tuple to %s (%d total)" rel (Relation.cardinality r)
   | Ast.Delete { rel; quals } ->
     let r = find_relation t rel in
     let restriction = single_relation_restriction t r quals in
     let victims = matching_rids t r restriction in
-    List.iter (fun (rid, _) -> ignore (Relation.delete r rid)) victims;
+    List.iter
+      (fun (rid, _) ->
+        let tuple = Relation.delete r rid in
+        undo_delete t ~rel:r ~tuple)
+      victims;
     Manager.on_delta t.manager ~rel:r ~inserted:[] ~deleted:(List.map snd victims);
     Printf.sprintf "deleted %d tuples from %s" (List.length victims) rel
   | Ast.Replace { rel; values; quals } ->
@@ -473,6 +521,9 @@ let exec_command t (cmd : Ast.command) =
         victims
     in
     let old_new = Relation.update_batch r changes in
+    List.iter2
+      (fun (rid, _) (before, after) -> undo_update t ~rel:r ~rid ~before ~after)
+      changes old_new;
     Manager.on_update t.manager ~rel:r ~changes:old_new;
     Printf.sprintf "replaced %d tuples in %s" (List.length changes) rel
   | Ast.Retrieve r ->
@@ -562,15 +613,255 @@ let exec_command t (cmd : Ast.command) =
     Cost.reset t.cost;
     "cost counters reset"
   | Ast.Help -> help_text
+  | Ast.Begin | Ast.Commit | Ast.Abort ->
+    error "internal: transaction control escaped the transaction layer"
+
+(* --------------------------------------------------------- transactions *)
+
+type outcome =
+  | O_ok of string
+  | O_error of string
+  | O_blocked of int list
+  | O_aborted of string
+
+let ensure_layer t =
+  match t.layer with
+  | Some l -> l
+  | None ->
+    let tm =
+      Tm.create ~charges:t.charges ~record_bytes:t.tuple_bytes
+        ~notify_delta:(fun ~rel ~inserted ~deleted ->
+          Manager.on_delta t.manager ~rel ~inserted ~deleted)
+        ~notify_update:(fun ~rel ~changes -> Manager.on_update t.manager ~rel ~changes)
+        ~cost:t.cost ~io:t.io ()
+    in
+    let l = { tm; clients = Hashtbl.create 8 } in
+    t.layer <- Some l;
+    l
+
+let client_of l client =
+  match Hashtbl.find_opt l.clients client with
+  | Some cs -> cs
+  | None ->
+    let cs = { txn = None; implicit = false; doomed = false } in
+    Hashtbl.add l.clients client cs;
+    cs
+
+(* The locks a statement needs, computed BEFORE anything executes — a
+   statement that blocks has done no work and is retried verbatim.
+   Reads take S on what each plan source inspects; deletes and replaces
+   take X on the restriction's region plus (for replace) X points on
+   every assigned new value; appends take X on the whole relation
+   (phantom-conservative).  DDL and admin commands are unlocked. *)
+let lock_set t (cmd : Ast.command) =
+  let source_locks def =
+    List.map
+      (fun (s : View_def.source) ->
+        ( `S,
+          Lock_manager.region_of_restriction
+            ~rel:(Relation.name s.View_def.rel)
+            s.View_def.restriction ))
+      (View_def.sources def)
+  in
+  match cmd with
+  | Ast.Retrieve r | Ast.Explain r -> source_locks (bind_retrieve t r)
+  | Ast.Exec name -> (
+    match List.assoc_opt name t.defs with
+    | Some (def, _) -> source_locks def
+    | None -> [])
+  | Ast.Append { rel; _ } -> (
+    match Catalog.find_opt t.catalog rel with
+    | Some _ -> [ (`X, Lock_manager.Whole rel) ]
+    | None -> [])
+  | Ast.Delete { rel; quals } -> (
+    match Catalog.find_opt t.catalog rel with
+    | Some r ->
+      [ (`X, Lock_manager.region_of_restriction ~rel (single_relation_restriction t r quals)) ]
+    | None -> [])
+  | Ast.Replace { rel; values; quals } -> (
+    match Catalog.find_opt t.catalog rel with
+    | Some r ->
+      let base =
+        (`X, Lock_manager.region_of_restriction ~rel (single_relation_restriction t r quals))
+      in
+      let points =
+        List.filter_map
+          (fun (attr, lit) ->
+            match Schema.index_of_opt (Relation.schema r) attr with
+            | Some pos -> Some (`X, Lock_manager.point ~rel ~attr:pos (value_of_literal lit))
+            | None -> None)
+          values
+      in
+      base :: points
+    | None -> [])
+  | _ -> []
+
+let doom_owner l victim =
+  Hashtbl.iter
+    (fun _ cs ->
+      if cs.txn = Some victim then begin
+        cs.txn <- None;
+        cs.implicit <- false;
+        cs.doomed <- true
+      end)
+    l.clients
+
+let exec_txn t ~client (cmd : Ast.command) =
+  let l = ensure_layer t in
+  let cs = client_of l client in
+  if cs.doomed then begin
+    cs.doomed <- false;
+    cs.txn <- None;
+    cs.implicit <- false;
+    O_aborted "transaction aborted: chosen as deadlock victim"
+  end
+  else
+    match cmd with
+    | Ast.Begin -> (
+      match cs.txn with
+      | Some _ -> O_error "a transaction is already open"
+      | None ->
+        cs.txn <- Some (Tm.begin_ l.tm);
+        cs.implicit <- false;
+        O_ok "transaction started")
+    | Ast.Commit -> (
+      match cs.txn with
+      | None -> O_error "no open transaction"
+      | Some id ->
+        let broken = Tm.commit l.tm id in
+        cs.txn <- None;
+        O_ok
+          (if broken = [] then "committed"
+           else Printf.sprintf "committed (%d i-locks broken)" (List.length broken)))
+    | Ast.Abort -> (
+      match cs.txn with
+      | None -> O_error "no open transaction"
+      | Some id ->
+        let n = Tm.abort l.tm id in
+        cs.txn <- None;
+        O_ok (Printf.sprintf "aborted (%d undo records applied)" n))
+    | _ -> (
+      match lock_set t cmd with
+      | exception Runtime_error msg -> O_error msg
+      | exception Invalid_argument msg -> O_error msg
+      | locks -> (
+        let id =
+          match cs.txn with
+          | Some id -> id
+          | None ->
+            (* autocommit: a single-statement transaction.  It must persist
+               across parking — locks granted before the block are held. *)
+            let id = Tm.begin_ l.tm in
+            cs.txn <- Some id;
+            cs.implicit <- true;
+            id
+        in
+        let rec acquire_all = function
+          | [] -> `Go
+          | ((mode, region) :: rest) as all -> (
+            match Tm.acquire l.tm id ~mode region with
+            | Tm.Granted -> acquire_all rest
+            | Tm.Blocked blockers -> `Parked blockers
+            | Tm.Deadlock victim ->
+              if victim = id then begin
+                ignore (Tm.abort ~victim:true l.tm id);
+                cs.txn <- None;
+                cs.implicit <- false;
+                `Self_aborted
+              end
+              else begin
+                ignore (Tm.abort ~victim:true l.tm victim);
+                doom_owner l victim;
+                (* the victim's locks are released — retry the same lock *)
+                acquire_all all
+              end)
+        in
+        match acquire_all locks with
+        | `Parked blockers -> O_blocked blockers
+        | `Self_aborted -> O_aborted "deadlock: transaction aborted (victim)"
+        | `Go ->
+          let implicit = cs.implicit in
+          t.logging_txn <- (if implicit then None else Some id);
+          let result =
+            match exec_command_body t cmd with
+            | s -> Ok s
+            | exception Runtime_error msg -> Error msg
+            | exception Invalid_argument msg -> Error msg
+          in
+          t.logging_txn <- None;
+          if implicit then begin
+            ignore (Tm.commit l.tm id);
+            cs.txn <- None;
+            cs.implicit <- false
+          end;
+          (match result with Ok s -> O_ok s | Error msg -> O_error msg)))
+
+let exec_client t ~client line =
+  match Parser.parse_command line with
+  | exception Parser.Parse_error msg -> O_error msg
+  | exception Lexer.Lex_error msg -> O_error msg
+  | (Ast.Begin | Ast.Commit | Ast.Abort) as cmd -> exec_txn t ~client cmd
+  | cmd -> (
+    match t.layer with
+    | None -> (
+      (* no transaction has ever been opened: the pre-transaction fast
+         path, byte-identical in cost and output *)
+      match exec_command_body t cmd with
+      | s -> O_ok s
+      | exception Runtime_error msg -> O_error msg
+      | exception Invalid_argument msg -> O_error msg)
+    | Some _ -> exec_txn t ~client cmd)
+
+let in_transaction t ~client =
+  match t.layer with
+  | None -> false
+  | Some l -> (
+    match Hashtbl.find_opt l.clients client with Some { txn = Some _; _ } -> true | _ -> false)
+
+let abort_client t ~client =
+  match t.layer with
+  | None -> false
+  | Some l -> (
+    match Hashtbl.find_opt l.clients client with
+    | None -> false
+    | Some cs ->
+      Hashtbl.remove l.clients client;
+      (match cs.txn with
+      | Some id when Tm.is_live l.tm id ->
+        ignore (Tm.abort l.tm id);
+        true
+      | _ -> false))
+
+let exec_command t (cmd : Ast.command) =
+  match cmd with
+  | Ast.Begin | Ast.Commit | Ast.Abort -> (
+    match exec_txn t ~client:0 cmd with
+    | O_ok s -> s
+    | O_error msg | O_aborted msg -> error "%s" msg
+    | O_blocked _ -> error "blocked on a concurrent transaction")
+  | _ ->
+    (* Direct command execution (no lock acquisition — the single-session
+       compatibility path); mutations still log undo into client 0's open
+       explicit transaction so abort works from scripts and tests. *)
+    let logging =
+      match t.layer with
+      | Some l -> (
+        match Hashtbl.find_opt l.clients 0 with
+        | Some { txn = Some id; implicit = false; _ } -> Some id
+        | _ -> None)
+      | None -> None
+    in
+    t.logging_txn <- logging;
+    Fun.protect
+      ~finally:(fun () -> t.logging_txn <- None)
+      (fun () -> exec_command_body t cmd)
 
 let exec_line t line =
-  match Parser.parse_command line with
-  | exception Parser.Parse_error msg -> Error msg
-  | exception Lexer.Lex_error msg -> Error msg
-  | cmd -> (
-    try Ok (exec_command t cmd) with
-    | Runtime_error msg -> Error msg
-    | Invalid_argument msg -> Error msg)
+  match exec_client t ~client:0 line with
+  | O_ok s -> Ok s
+  | O_error msg -> Error msg
+  | O_aborted msg -> Error msg
+  | O_blocked _ -> Error "blocked on a concurrent transaction"
 
 let exec_script t script =
   let lines = String.split_on_char '\n' script in

@@ -32,8 +32,49 @@ val simulated_ms : t -> float
     default unit costs — the session's clock. *)
 
 val exec_command : t -> Ast.command -> string
-(** Execute one command, returning human-readable output.
+(** Execute one command, returning human-readable output.  Transaction
+    control ([Begin]/[Commit]/[Abort]) acts on client 0; once client 0
+    has an explicit transaction open, mutations log undo so [Abort] can
+    roll them back.  This compatibility entry point never takes locks —
+    use {!exec_client} for sessions shared by concurrent clients.
     @raise Runtime_error on semantic errors. *)
+
+(** {2 Transactions}
+
+    A session lazily grows a transaction layer ({!Dbproc_txn.Manager})
+    the first time any client issues [begin].  From then on {e every}
+    data statement — from any client — runs under strict two-phase
+    locking: an explicit transaction if the client opened one, an
+    implicit single-statement (autocommit) transaction otherwise.
+    Statements acquire all their locks {e before} executing anything, so
+    a blocked statement has no effects and is simply retried verbatim
+    when a lock holder finishes — that is what lets the server park
+    blocked requests instead of stalling a shard. *)
+
+type outcome =
+  | O_ok of string  (** executed; human-readable output *)
+  | O_error of string  (** parse or semantic error; no transaction change *)
+  | O_blocked of int list
+      (** the statement blocked on these transactions before executing
+          anything — park it and retry after any transaction finishes *)
+  | O_aborted of string
+      (** the client's transaction was aborted as a deadlock victim and
+          has been rolled back; the statement did not run *)
+
+val exec_client : t -> client:int -> string -> outcome
+(** Parse and execute one line on behalf of [client] (the server passes
+    its connection id; {!exec_line} is [exec_client ~client:0]).  Until
+    the first [begin] anywhere in the session this is byte-identical to
+    the pre-transaction interpreter — no locks, no extra cost. *)
+
+val in_transaction : t -> client:int -> bool
+(** Whether the client currently has a transaction open (explicit, or an
+    implicit one parked mid-acquisition). *)
+
+val abort_client : t -> client:int -> bool
+(** Disconnect cleanup: abort and roll back the client's open
+    transaction, if any, and forget the client.  Returns [true] when a
+    transaction was actually aborted. *)
 
 val exec_line : t -> string -> (string, string) result
 (** Parse and execute one input line; lexer/parser/runtime errors come

@@ -222,6 +222,16 @@ let command c =
     expect_keyword c "cost";
     Ast.Reset_cost
   | "help" -> Ast.Help
+  | "begin" ->
+    (* optional noise word: begin [transaction|work] *)
+    if peek_keyword c "transaction" || peek_keyword c "work" then advance c;
+    Ast.Begin
+  | "commit" ->
+    if peek_keyword c "transaction" || peek_keyword c "work" then advance c;
+    Ast.Commit
+  | "abort" | "rollback" ->
+    if peek_keyword c "transaction" || peek_keyword c "work" then advance c;
+    Ast.Abort
   | s -> error "unknown command %S" s
 
 let parse_command input =

@@ -10,6 +10,7 @@ type server_counts = {
   srv_frames_bad : int;
   srv_bytes_in : int;
   srv_bytes_out : int;
+  srv_heap_appends : int;
 }
 
 type report = {
@@ -19,8 +20,11 @@ type report = {
   ok : int;
   failed : int;
   rejected : int;
+  aborted : int;
   dropped : int;
   bad_frames : int;
+  writes_sent : int;
+  writes_ok : int;
   wall_s : float;
   rps : float;
   mean_ms : float;
@@ -37,12 +41,16 @@ let exec_lines = [| "show cost"; "show relations"; "show procs" |]
 
 type cstate = {
   fd : Unix.file_descr;
+  conn_ix : int;  (** index in the connection list, names LG<i> *)
   dec : Protocol.Decoder.t;
   out : Buffer.t;
   mutable out_pos : int;
   mutable quota : int;  (** requests this connection still has to send *)
   mutable next_id : int;
-  inflight : (int, float) Hashtbl.t;  (** id -> send wall time *)
+  inflight : (int, float * bool) Hashtbl.t;  (** id -> (send wall time, is_write) *)
+  mutable setup_id : int option;
+      (** the in-flight [create LG<i>] request of a writing connection;
+          quota requests are held back until it is answered *)
   mutable alive : bool;
 }
 
@@ -82,6 +90,7 @@ let fetch_server_counts ~host ~port =
                 srv_frames_bad = geti "net.frames_bad";
                 srv_bytes_in = geti "net.bytes_in";
                 srv_bytes_out = geti "net.bytes_out";
+                srv_heap_appends = geti "heap_appends";
               }
           | _ -> None))
       | _ -> None
@@ -91,24 +100,40 @@ let fetch_server_counts ~host ~port =
     result
 
 let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
-    ?(mode = Mixed) ?(fetch_stats = true) ~conns ~requests () =
+    ?(mode = Mixed) ?(write_frac = 0.0) ?(fetch_stats = true) ~conns ~requests () =
   if conns < 1 then Error "loadgen: need at least one connection"
   else if requests < 0 then Error "loadgen: negative request count"
   else if pipeline < 1 then Error "loadgen: pipeline depth must be >= 1"
+  else if not (write_frac >= 0.0 && write_frac <= 1.0) then
+    Error "loadgen: write fraction must be in [0, 1]"
   else begin
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
     let addr = resolve host port in
     let prng = Dbproc_util.Prng.create seed in
     let hist = Histogram.create ~name:"net.client.latency_ms" () in
     let sent = ref 0 and ok = ref 0 and failed = ref 0 in
-    let rejected = ref 0 and dropped = ref 0 and bad_frames = ref 0 in
-    let next_request () =
-      match mode with
-      | Ping_only -> Protocol.Ping
-      | Exec_only -> Protocol.Exec_line (Dbproc_util.Prng.pick prng exec_lines)
-      | Mixed ->
-        if Dbproc_util.Prng.bool prng then Protocol.Ping
-        else Protocol.Exec_line (Dbproc_util.Prng.pick prng exec_lines)
+    let rejected = ref 0 and aborted = ref 0 and dropped = ref 0 and bad_frames = ref 0 in
+    let writes_sent = ref 0 and writes_ok = ref 0 in
+    (* Writes are autocommit appends to the connection's private LG<i>
+       relation (created once up front), so they exercise the write path
+       without cross-connection conflicts — the post-run reconciliation
+       checks every acknowledged write against the server's heap_appends
+       counter. *)
+    let next_request c =
+      if write_frac > 0.0 && Dbproc_util.Prng.float prng < write_frac then
+        ( Protocol.Exec_line
+            (Printf.sprintf "append to LG%d (k = %d, v = %d)" c.conn_ix
+               (Dbproc_util.Prng.int prng 1_000_000)
+               (Dbproc_util.Prng.int prng 1_000_000)),
+          true )
+      else
+        ( (match mode with
+          | Ping_only -> Protocol.Ping
+          | Exec_only -> Protocol.Exec_line (Dbproc_util.Prng.pick prng exec_lines)
+          | Mixed ->
+            if Dbproc_util.Prng.bool prng then Protocol.Ping
+            else Protocol.Exec_line (Dbproc_util.Prng.pick prng exec_lines)),
+          false )
     in
     (* Connect every socket up front (blocking), then switch to
        non-blocking for the drive loop.  Quotas spread N over C. *)
@@ -117,8 +142,8 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
       |> List.filter (fun q -> q > 0)
     in
     match
-      List.map
-        (fun quota ->
+      List.mapi
+        (fun conn_ix quota ->
           let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
           (try
              Unix.connect fd addr;
@@ -129,12 +154,14 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
              raise e);
           {
             fd;
+            conn_ix;
             dec = Protocol.Decoder.create ();
             out = Buffer.create 1024;
             out_pos = 0;
             quota;
             next_id = 1;
             inflight = Hashtbl.create 16;
+            setup_id = None;
             alive = true;
           })
         quotas
@@ -156,32 +183,61 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
       in
       let finish_conn c =
         (* all answered and nothing left to send: clean close *)
-        if c.alive && c.quota = 0 && Hashtbl.length c.inflight = 0 then begin
+        if
+          c.alive && c.quota = 0 && c.setup_id = None
+          && Hashtbl.length c.inflight = 0
+        then begin
           c.alive <- false;
           try Unix.close c.fd with Unix.Unix_error _ -> ()
         end
       in
       let enqueue c =
-        while c.quota > 0 && Hashtbl.length c.inflight < pipeline do
-          let req = next_request () in
-          let id = c.next_id in
-          c.next_id <- c.next_id + 1;
-          Protocol.write_request c.out ~id req;
-          Hashtbl.replace c.inflight id (Unix.gettimeofday ());
-          c.quota <- c.quota - 1;
-          incr sent
-        done
+        (* a writing connection sends nothing until its LG<i> relation
+           exists — otherwise early appends would fail and skew counts *)
+        if c.setup_id = None then
+          while c.quota > 0 && Hashtbl.length c.inflight < pipeline do
+            let req, is_write = next_request c in
+            let id = c.next_id in
+            c.next_id <- c.next_id + 1;
+            Protocol.write_request c.out ~id req;
+            Hashtbl.replace c.inflight id (Unix.gettimeofday (), is_write);
+            c.quota <- c.quota - 1;
+            incr sent;
+            if is_write then incr writes_sent
+          done
+      in
+      let send_setup c =
+        let id = c.next_id in
+        c.next_id <- c.next_id + 1;
+        Protocol.write_request c.out ~id
+          (Protocol.Exec_line
+             (Printf.sprintf "create LG%d (k = int, v = int)" c.conn_ix));
+        c.setup_id <- Some id
       in
       let on_response c id (resp : Protocol.response) =
-        (match Hashtbl.find_opt c.inflight id with
-        | Some t0 ->
-          Hashtbl.remove c.inflight id;
-          Histogram.observe hist ((Unix.gettimeofday () -. t0) *. 1000.0)
-        | None -> () (* unsolicited, e.g. an id-0 server notice *));
-        match resp with
-        | Protocol.Pong | Protocol.Output _ -> incr ok
-        | Protocol.Failed _ -> incr failed
-        | Protocol.Rejected _ -> incr rejected
+        if c.setup_id = Some id then begin
+          (* setup answer: not a quota request, not counted in ok/failed *)
+          c.setup_id <- None;
+          enqueue c;
+          finish_conn c
+        end
+        else begin
+          let is_write =
+            match Hashtbl.find_opt c.inflight id with
+            | Some (t0, is_write) ->
+              Hashtbl.remove c.inflight id;
+              Histogram.observe hist ((Unix.gettimeofday () -. t0) *. 1000.0);
+              is_write
+            | None -> false (* unsolicited, e.g. an id-0 server notice *)
+          in
+          match resp with
+          | Protocol.Pong | Protocol.Output _ ->
+            incr ok;
+            if is_write then incr writes_ok
+          | Protocol.Failed _ -> incr failed
+          | Protocol.Rejected _ -> incr rejected
+          | Protocol.Aborted _ -> incr aborted
+        end
       in
       let read_conn c =
         match Unix.read c.fd rbuf 0 (Bytes.length rbuf) with
@@ -226,7 +282,9 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
           | exception Unix.Unix_error _ -> drop_conn c
         end
       in
-      List.iter enqueue states;
+      List.iter
+        (fun c -> if write_frac > 0.0 then send_setup c else enqueue c)
+        states;
       List.iter finish_conn states;
       (* Drive until every connection is done (or lost).  The deadline is
          a safety net against a stuck server — it converts into drops, not
@@ -260,7 +318,7 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
       in
       loop ();
       let wall_s = Unix.gettimeofday () -. t_start in
-      let answered = !ok + !failed + !rejected in
+      let answered = !ok + !failed + !rejected + !aborted in
       let server =
         if fetch_stats then fetch_server_counts ~host ~port else None
       in
@@ -273,8 +331,11 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
           ok = !ok;
           failed = !failed;
           rejected = !rejected;
+          aborted = !aborted;
           dropped = !dropped;
           bad_frames = !bad_frames;
+          writes_sent = !writes_sent;
+          writes_ok = !writes_ok;
           wall_s;
           rps = (if wall_s > 0.0 then float_of_int answered /. wall_s else Float.nan);
           mean_ms = (if Histogram.count hist = 0 then Float.nan else Histogram.mean hist);
@@ -289,21 +350,29 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
 let reconciled r =
   r.bad_frames = 0 && r.dropped = 0 && r.failed = 0
   && r.sent = r.requests
-  && r.ok + r.rejected = r.sent
+  && r.ok + r.rejected + r.aborted = r.sent
   &&
   match r.server with
   | None -> true
-  | Some s -> s.srv_frames_bad = 0 && s.srv_served = r.ok && s.srv_served + s.srv_rejected >= r.sent
+  | Some s ->
+    s.srv_frames_bad = 0
+    (* with writes enabled the per-connection setup requests are served
+       but not part of the quota, so served is a lower bound only *)
+    && (if r.writes_sent = 0 then s.srv_served = r.ok else s.srv_served >= r.ok)
+    && s.srv_served + s.srv_rejected >= r.sent
+    && (r.writes_sent = 0 || s.srv_heap_appends = r.writes_ok)
 
 let pp_report ppf r =
   let f x = if Float.is_nan x then "-" else Printf.sprintf "%.2f" x in
   Format.fprintf ppf
     "@[<v>loadgen: %d connections, %d requests (pipelined)@,\
-     sent %d  ok %d  failed %d  rejected %d  dropped %d  bad frames %d@,\
+     sent %d  ok %d  failed %d  rejected %d  aborted %d  dropped %d  bad frames %d@,\
      wall %.3f s  throughput %.0f req/s@,\
      latency ms: mean %s  p50 %s  p90 %s  p99 %s  max %s@]" r.conns r.requests
-    r.sent r.ok r.failed r.rejected r.dropped r.bad_frames r.wall_s r.rps
-    (f r.mean_ms) (f r.p50_ms) (f r.p90_ms) (f r.p99_ms) (f r.max_ms);
+    r.sent r.ok r.failed r.rejected r.aborted r.dropped r.bad_frames r.wall_s
+    r.rps (f r.mean_ms) (f r.p50_ms) (f r.p90_ms) (f r.p99_ms) (f r.max_ms);
+  if r.writes_sent > 0 then
+    Format.fprintf ppf "@,@[<v>writes: sent %d  ok %d@]" r.writes_sent r.writes_ok;
   match r.server with
   | None -> ()
   | Some s ->

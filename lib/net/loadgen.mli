@@ -34,6 +34,8 @@ type server_counts = {
   srv_frames_bad : int;
   srv_bytes_in : int;
   srv_bytes_out : int;
+  srv_heap_appends : int;
+      (** engine-side records appended — reconciles acknowledged writes *)
 }
 
 type report = {
@@ -43,8 +45,11 @@ type report = {
   ok : int;  (** [Pong] / [Output] responses *)
   failed : int;  (** [Failed] responses *)
   rejected : int;  (** [Rejected] responses (admission control) *)
+  aborted : int;  (** [Aborted] responses (deadlock victim rollback) *)
   dropped : int;  (** sent but never answered (connection lost) *)
   bad_frames : int;  (** malformed response frames seen client-side *)
+  writes_sent : int;  (** quota requests that were appends *)
+  writes_ok : int;  (** appends acknowledged with [Output] *)
   wall_s : float;
   rps : float;  (** answered requests per wall-clock second *)
   mean_ms : float;
@@ -61,18 +66,28 @@ val run :
   ?pipeline:int ->
   ?seed:int ->
   ?mode:mode ->
+  ?write_frac:float ->
   ?fetch_stats:bool ->
   conns:int ->
   requests:int ->
   unit ->
   (report, string) result
 (** Drive [requests] requests over [conns] connections with up to
-    [pipeline] (default 8) outstanding per connection.  [Error] only for
-    setup failures (cannot connect); per-request failures are reported in
-    the record. *)
+    [pipeline] (default 8) outstanding per connection.
+
+    [write_frac] (default 0) is the probability that a quota request is a
+    write: an [append] to the connection's private [LG<i>] relation,
+    created once up front by an extra setup request that is not part of
+    the quota.  Per-connection relations keep the writes conflict-free so
+    every acknowledged append must land — {!reconciled} checks the
+    server's [heap_appends] counter equals [writes_ok].
+
+    [Error] only for setup failures (cannot connect); per-request
+    failures are reported in the record. *)
 
 val reconciled : report -> bool
 (** No client-side errors or drops, and — when server counts were
-    fetched — [srv_served = sent] and [srv_frames_bad = 0]. *)
+    fetched — served/rejected/aborted totals and (for write runs) the
+    [heap_appends] counter all line up with what this client sent. *)
 
 val pp_report : Format.formatter -> report -> unit

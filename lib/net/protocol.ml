@@ -4,13 +4,21 @@ type request =
   | Exec_script of string
   | Stats
   | Shutdown
+  | Begin
+  | Commit
+  | Abort
 
-type response = Pong | Output of string | Failed of string | Rejected of string
+type response =
+  | Pong
+  | Output of string
+  | Failed of string
+  | Rejected of string
+  | Aborted of string
 
 let max_frame_default = 1 lsl 20
 let frame_overhead = 9
 
-(* Tag ranges are disjoint (requests 0x01-0x05, responses 0x10-0x13) so a
+(* Tag ranges are disjoint (requests 0x01-0x08, responses 0x10-0x14) so a
    stream decoded on the wrong side fails cleanly instead of misparsing. *)
 let request_tag = function
   | Ping -> 0x01
@@ -18,20 +26,24 @@ let request_tag = function
   | Exec_script _ -> 0x03
   | Stats -> 0x04
   | Shutdown -> 0x05
+  | Begin -> 0x06
+  | Commit -> 0x07
+  | Abort -> 0x08
 
 let response_tag = function
   | Pong -> 0x10
   | Output _ -> 0x11
   | Failed _ -> 0x12
   | Rejected _ -> 0x13
+  | Aborted _ -> 0x14
 
 let request_body = function
-  | Ping | Stats | Shutdown -> ""
+  | Ping | Stats | Shutdown | Begin | Commit | Abort -> ""
   | Exec_line s | Exec_script s -> s
 
 let response_body = function
   | Pong -> ""
-  | Output s | Failed s | Rejected s -> s
+  | Output s | Failed s | Rejected s | Aborted s -> s
 
 let write_frame buf ~id ~tag ~body =
   Buffer.add_int32_be buf (Int32.of_int (String.length body + 5));
@@ -146,6 +158,9 @@ module Decoder = struct
       | 0x03 -> Msg (id, Exec_script body)
       | 0x04 -> no_body t ~what:"stats" ~body (Msg (id, Stats))
       | 0x05 -> no_body t ~what:"shutdown" ~body (Msg (id, Shutdown))
+      | 0x06 -> no_body t ~what:"begin" ~body (Msg (id, Begin))
+      | 0x07 -> no_body t ~what:"commit" ~body (Msg (id, Commit))
+      | 0x08 -> no_body t ~what:"abort" ~body (Msg (id, Abort))
       | _ -> poison t (Printf.sprintf "unknown request tag 0x%02x" tag))
 
   let next_response t =
@@ -158,5 +173,6 @@ module Decoder = struct
       | 0x11 -> Msg (id, Output body)
       | 0x12 -> Msg (id, Failed body)
       | 0x13 -> Msg (id, Rejected body)
+      | 0x14 -> Msg (id, Aborted body)
       | _ -> poison t (Printf.sprintf "unknown response tag 0x%02x" tag))
 end

@@ -30,6 +30,9 @@ type request =
   | Exec_script of string  (** a whole script, one command per line *)
   | Stats  (** merged observability snapshot as JSON *)
   | Shutdown  (** ask the server to drain gracefully and exit *)
+  | Begin  (** open an explicit transaction on this connection *)
+  | Commit  (** commit the connection's transaction *)
+  | Abort  (** roll the connection's transaction back *)
 
 type response =
   | Pong
@@ -37,6 +40,9 @@ type response =
   | Failed of string  (** command-level error (parse / runtime) *)
   | Rejected of string
       (** admission control: connection or in-flight limit, or draining *)
+  | Aborted of string
+      (** the connection's transaction was aborted as a deadlock victim
+          and rolled back; the request did not execute *)
 
 val max_frame_default : int
 (** Default frame-size cap, 1 MiB — bounds decoder memory per

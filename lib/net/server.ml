@@ -63,10 +63,18 @@ type work = W_ping | W_line of string | W_script of string
 type job =
   | Exec of { conn_id : int; req_id : int; work : work }
   | Snapshot of { conn_id : int; req_id : int }
+  | Disconnect of { conn_id : int }
   | Quit
 
 type completion =
   | Done of { conn_id : int; req_id : int; resp : Protocol.response }
+  | Parked of { conn_id : int; req_id : int; work : work }
+      (** the statement blocked on another connection's transaction before
+          executing anything — the event loop re-queues it after the next
+          completion on the same shard instead of stalling the shard *)
+  | Freed of { conn_id : int }
+      (** a disconnect cleanup ran (any open transaction was aborted, its
+          locks released) — parked requests should be retried *)
   | Snap of { conn_id : int; req_id : int; ctx : Ctx.t }
 
 (* One shard = one domain owning one interpreter session and one engine
@@ -79,19 +87,26 @@ let shard_worker ~trace ~jobs ~completions ~wake () =
   if trace then Trace.set_enabled (Ctx.trace ctx) true;
   let session = Dbproc_lang.Interp.create ~ctx () in
   let request_ms = Histogram.named (Ctx.histograms ctx) "net.request.sim_ms" in
-  let exec work =
+  (* Lines execute on behalf of the connection, so each connection gets
+     its own transaction state in the shard's shared session.  A blocked
+     statement has executed nothing (locks come first) and is parked —
+     [`Park] — to be retried verbatim; the shard itself never waits.
+     Scripts keep the legacy single-client path (client 0, no parking). *)
+  let exec ~conn_id work =
     match work with
-    | W_ping -> Protocol.Pong
+    | W_ping -> `Resp Protocol.Pong
     | W_line line -> (
-      match Dbproc_lang.Interp.exec_line session line with
-      | Ok out -> Protocol.Output out
-      | Error msg -> Protocol.Failed msg
-      | exception e -> Protocol.Failed ("internal error: " ^ Printexc.to_string e))
+      match Dbproc_lang.Interp.exec_client session ~client:conn_id line with
+      | Dbproc_lang.Interp.O_ok out -> `Resp (Protocol.Output out)
+      | Dbproc_lang.Interp.O_error msg -> `Resp (Protocol.Failed msg)
+      | Dbproc_lang.Interp.O_aborted msg -> `Resp (Protocol.Aborted msg)
+      | Dbproc_lang.Interp.O_blocked _ -> `Park
+      | exception e -> `Resp (Protocol.Failed ("internal error: " ^ Printexc.to_string e)))
     | W_script script -> (
       match Dbproc_lang.Interp.exec_script session script with
-      | Ok out -> Protocol.Output out
-      | Error msg -> Protocol.Failed msg
-      | exception e -> Protocol.Failed ("internal error: " ^ Printexc.to_string e))
+      | Ok out -> `Resp (Protocol.Output out)
+      | Error msg -> `Resp (Protocol.Failed msg)
+      | exception e -> `Resp (Protocol.Failed ("internal error: " ^ Printexc.to_string e)))
   in
   let rec loop () =
     match Chan.pop jobs with
@@ -104,13 +119,20 @@ let shard_worker ~trace ~jobs ~completions ~wake () =
       Chan.push completions (Snap { conn_id; req_id; ctx = copy });
       wake ();
       loop ()
+    | Disconnect { conn_id } ->
+      ignore (Dbproc_lang.Interp.abort_client session ~client:conn_id);
+      Chan.push completions (Freed { conn_id });
+      wake ();
+      loop ()
     | Exec { conn_id; req_id; work } ->
       let t0 = Dbproc_lang.Interp.simulated_ms session in
-      let resp =
-        Trace.with_span (Ctx.trace ctx) "net.request" (fun () -> exec work)
+      let result =
+        Trace.with_span (Ctx.trace ctx) "net.request" (fun () -> exec ~conn_id work)
       in
       Histogram.observe request_ms (Dbproc_lang.Interp.simulated_ms session -. t0);
-      Chan.push completions (Done { conn_id; req_id; resp });
+      (match result with
+      | `Resp resp -> Chan.push completions (Done { conn_id; req_id; resp })
+      | `Park -> Chan.push completions (Parked { conn_id; req_id; work }));
       wake ();
       loop ()
   in
@@ -217,6 +239,10 @@ let run t =
   let conns : (int, conn) Hashtbl.t = Hashtbl.create 64 in
   (* stats fan-out in progress: (conn_id, req_id) -> (#replies, accumulator) *)
   let pending_stats : (int * int, int ref * Ctx.t) Hashtbl.t = Hashtbl.create 4 in
+  (* per-shard FIFO of lock-blocked requests waiting to be retried *)
+  let parked_q : (int * int * work) Queue.t array =
+    Array.init cfg.shards (fun _ -> Queue.create ())
+  in
   let conn_counter = ref 0 in
   let global_inflight = ref 0 in
   let draining = ref false in
@@ -229,7 +255,30 @@ let run t =
   in
   let close_conn c =
     Hashtbl.remove conns c.conn_id;
+    (* drop its parked requests (their in-flight slots with them) and tell
+       the shard to abort any open transaction so its locks release *)
+    let q = parked_q.(c.shard) in
+    let n = Queue.length q in
+    for _ = 1 to n do
+      let ((cid, _, _) as entry) = Queue.pop q in
+      if cid = c.conn_id then decr global_inflight else Queue.push entry q
+    done;
+    Chan.push shard_jobs.(c.shard) (Disconnect { conn_id = c.conn_id });
     try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  (* Retry every request parked on a shard: a completion there may mean a
+     commit, abort or disconnect released locks.  A retry that blocks
+     again simply re-parks (counted each time), so there is no spinning —
+     retries are driven by completions, never by the clock. *)
+  let retry_parked shard =
+    let q = parked_q.(shard) in
+    let n = Queue.length q in
+    for _ = 1 to n do
+      let conn_id, req_id, work = Queue.pop q in
+      if Hashtbl.mem conns conn_id then
+        Chan.push shard_jobs.(shard) (Exec { conn_id; req_id; work })
+      else decr global_inflight
+    done
   in
   let begin_drain () =
     if not !draining then begin
@@ -263,6 +312,10 @@ let run t =
     | Protocol.Ping -> admit W_ping
     | Protocol.Exec_line l -> admit (W_line l)
     | Protocol.Exec_script s -> admit (W_script s)
+    (* transaction control rides the same per-client line path *)
+    | Protocol.Begin -> admit (W_line "begin")
+    | Protocol.Commit -> admit (W_line "commit")
+    | Protocol.Abort -> admit (W_line "abort")
     | Protocol.Stats ->
       Hashtbl.replace pending_stats (c.conn_id, id) (ref 0, Ctx.create ());
       Array.iter
@@ -402,6 +455,20 @@ let run t =
           Metrics.incr m Metrics.Net_requests_served;
           respond c ~id:req_id resp
         | None -> ());
+        (* the finished request may have released locks *)
+        retry_parked (conn_id mod cfg.shards);
+        go ()
+      | Some (Parked { conn_id; req_id; work }) ->
+        Metrics.incr m Metrics.Net_parked;
+        (match Hashtbl.find_opt conns conn_id with
+        | Some c -> Queue.push (conn_id, req_id, work) parked_q.(c.shard)
+        | None ->
+          (* connection died while its request was in flight; the queued
+             Disconnect job will release any locks *)
+          decr global_inflight);
+        go ()
+      | Some (Freed { conn_id }) ->
+        retry_parked (conn_id mod cfg.shards);
         go ()
       | Some (Snap { conn_id; req_id; ctx = shard_ctx }) ->
         (match Hashtbl.find_opt pending_stats (conn_id, req_id) with

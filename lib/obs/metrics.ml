@@ -46,8 +46,17 @@ type counter =
   | Cache_fallback_recomputes
   | Adaptive_decisions
   | Adaptive_migrations
+  | Txn_begins
+  | Txn_commits
+  | Txn_aborts
+  | Txn_lock_waits
+  | Txn_undo_applied
+  | Txn_ilocks_broken
+  | Deadlock_cycles
+  | Deadlock_victims
+  | Net_parked
 
-let n_counters = 47
+let n_counters = 56
 
 (* The variant is the key into one flat int array: no hashing, no
    allocation, no closures on the charging path. *)
@@ -99,6 +108,15 @@ let index = function
   | Cache_fallback_recomputes -> 44
   | Adaptive_decisions -> 45
   | Adaptive_migrations -> 46
+  | Txn_begins -> 47
+  | Txn_commits -> 48
+  | Txn_aborts -> 49
+  | Txn_lock_waits -> 50
+  | Txn_undo_applied -> 51
+  | Txn_ilocks_broken -> 52
+  | Deadlock_cycles -> 53
+  | Deadlock_victims -> 54
+  | Net_parked -> 55
 
 let counter_name = function
   | Pages_read -> "pages_read"
@@ -148,6 +166,15 @@ let counter_name = function
   | Cache_fallback_recomputes -> "cache.fallback_recomputes"
   | Adaptive_decisions -> "adaptive.decisions"
   | Adaptive_migrations -> "adaptive.migrations"
+  | Txn_begins -> "txn.begins"
+  | Txn_commits -> "txn.commits"
+  | Txn_aborts -> "txn.aborts"
+  | Txn_lock_waits -> "txn.lock_waits"
+  | Txn_undo_applied -> "txn.undo_applied"
+  | Txn_ilocks_broken -> "txn.ilocks_broken"
+  | Deadlock_cycles -> "deadlock.cycles"
+  | Deadlock_victims -> "deadlock.victims"
+  | Net_parked -> "net.parked"
 
 let all_counters =
   [
@@ -163,6 +190,8 @@ let all_counters =
     Net_bytes_out; Net_frames_bad; Net_requests; Net_requests_served;
     Cache_admissions; Cache_evictions; Cache_evicted_pages; Cache_readmissions;
     Cache_fallback_recomputes; Adaptive_decisions; Adaptive_migrations;
+    Txn_begins; Txn_commits; Txn_aborts; Txn_lock_waits; Txn_undo_applied;
+    Txn_ilocks_broken; Deadlock_cycles; Deadlock_victims; Net_parked;
   ]
 
 type gauge =

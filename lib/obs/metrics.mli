@@ -73,6 +73,15 @@ type counter =
   | Adaptive_decisions  (** adaptive-selector window evaluations *)
   | Adaptive_migrations
       (** procedures migrated to a different strategy by the selector *)
+  | Txn_begins  (** transactions started (explicit or autocommit) *)
+  | Txn_commits  (** transactions committed *)
+  | Txn_aborts  (** transactions aborted (explicit, victim or disconnect) *)
+  | Txn_lock_waits  (** lock requests that blocked at least once *)
+  | Txn_undo_applied  (** undo records replayed backwards by aborts *)
+  | Txn_ilocks_broken  (** i-locks reported broken at transaction commit *)
+  | Deadlock_cycles  (** waits-for cycles detected *)
+  | Deadlock_victims  (** transactions aborted as deadlock victims *)
+  | Net_parked  (** blocked requests parked (re-queued) by the server *)
 
 val all_counters : counter list
 val counter_name : counter -> string

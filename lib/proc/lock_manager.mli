@@ -57,7 +57,18 @@ val acquire : t -> txn -> mode:[ `S | `X ] -> region -> [ `Granted | `Would_bloc
     transactions holding conflicting locks (the lock is NOT granted).
     Re-acquisition and S-then-X upgrade by the same transaction are
     granted.  An [`X] grant additionally breaks every overlapping i-lock
-    (recorded, reported at {!commit}). *)
+    (recorded, reported at {!commit}).
+
+    {b Upgrade deadlock.}  Two transactions that both hold S on
+    overlapping regions and both request the X upgrade each get
+    [`Would_block] naming the other — a stand-off neither can leave by
+    waiting, which this detector-only layer merely {e reports} (both
+    answers are correct: neither upgrade can be granted while the other
+    side's S lock lives).  {!Dbproc_txn.Manager} turns the report into a
+    resolution: its waits-for graph sees the 2-cycle on the second
+    upgrade request and answers [Deadlock victim] with the {e youngest}
+    transaction on the cycle, which the scheduler aborts and restarts —
+    the same rule as any other cycle. *)
 
 type broken = { owner : int; tag : int }
 

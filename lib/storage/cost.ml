@@ -14,6 +14,7 @@ type t = {
   mutable cpu_screens : int;
   mutable delta_ops : int;
   mutable invalidations : int;
+  mutable blocked_ms : float;
   mutable disabled_depth : int;
   obs : Dbproc_obs.Ctx.t;
 }
@@ -25,6 +26,7 @@ let create ?(ctx = Dbproc_obs.Ctx.default) () =
     cpu_screens = 0;
     delta_ops = 0;
     invalidations = 0;
+    blocked_ms = 0.0;
     disabled_depth = 0;
     obs = ctx;
   }
@@ -37,7 +39,8 @@ let reset t =
   t.page_writes <- 0;
   t.cpu_screens <- 0;
   t.delta_ops <- 0;
-  t.invalidations <- 0
+  t.invalidations <- 0;
+  t.blocked_ms <- 0.0
 
 let disable t = t.disabled_depth <- t.disabled_depth + 1
 let enable t = t.disabled_depth <- max 0 (t.disabled_depth - 1)
@@ -84,6 +87,18 @@ let invalidation ?(count = 1) t =
     t.invalidations <- t.invalidations + count;
     Metrics.incr ~n:count (metrics t) Metrics.Invalidations
   end
+
+(* Simulated wall time a transaction spent waiting on locks.  The wait
+   itself does no work — the milliseconds are the priced work other
+   transactions did while the waiter was parked, measured off the shared
+   simulated clock — so the accumulator is deliberately NOT part of
+   [total_ms]: adding it would double-count the holders' charges.  It is
+   deterministic (no wall clock) and per-bundle, so a shared-database
+   harness reads per-run blocked totals straight off its cost bundle. *)
+let charge_blocked t ~ms =
+  if active t && ms > 0.0 then t.blocked_ms <- t.blocked_ms +. ms
+
+let blocked_ms t = t.blocked_ms
 
 let page_reads t = t.page_reads
 let page_writes t = t.page_writes

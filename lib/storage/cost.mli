@@ -60,6 +60,18 @@ val cpu_screen : ?count:int -> t -> unit
 val delta_op : ?count:int -> t -> unit
 val invalidation : ?count:int -> t -> unit
 
+val charge_blocked : t -> ms:float -> unit
+(** Record simulated milliseconds a transaction spent blocked on a lock
+    ({!Dbproc_txn}'s 2PL waits).  The figure is read off the simulated
+    clock — the priced work other transactions completed while the waiter
+    was parked — so it is deterministic, and it is {e not} folded into
+    {!total_ms} (that would double-count the lock holders' charges).
+    Gated on {!active} like every other charge; negative or zero deltas
+    are ignored. *)
+
+val blocked_ms : t -> float
+(** Accumulated blocked time ({!charge_blocked} total since {!reset}). *)
+
 (** {2 Reading} *)
 
 val page_reads : t -> int

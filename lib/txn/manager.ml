@@ -1,0 +1,251 @@
+open Dbproc_relation
+open Dbproc_proc
+module Cost = Dbproc_storage.Cost
+module Wal = Dbproc_storage.Wal
+module Metrics = Dbproc_obs.Metrics
+module Histogram = Dbproc_obs.Histogram
+
+type id = int
+
+(* Physical undo, applied backwards on abort.  Records keep the tuple
+   alongside the rid so the inverse survives rid churn inside the same
+   transaction (insert-then-delete re-inserts under a fresh rid; the later
+   undo then locates its target by value instead of by the dead rid). *)
+type undo_op =
+  | U_insert of { rel : Relation.t; rid : Dbproc_storage.Heap_file.rid; tuple : Tuple.t }
+  | U_delete of { rel : Relation.t; tuple : Tuple.t }
+  | U_update of {
+      rel : Relation.t;
+      rid : Dbproc_storage.Heap_file.rid;
+      before : Tuple.t;
+      after : Tuple.t;
+    }
+
+type undo = { u_txn : int; op : undo_op }
+
+type txn_state = {
+  id : int;
+  lm_txn : Lock_manager.txn;
+  mutable first_lsn : Wal.lsn option;  (* first undo record, None = read-only *)
+  mutable n_undo : int;
+  mutable block_start : float option;  (* sim clock at first unsatisfied acquire *)
+}
+
+type t = {
+  cost : Cost.t;
+  charges : Cost.charges;
+  lm : Lock_manager.t;
+  wal : undo Wal.t;
+  notify_delta : rel:Relation.t -> inserted:Tuple.t list -> deleted:Tuple.t list -> unit;
+  notify_update : rel:Relation.t -> changes:(Tuple.t * Tuple.t) list -> unit;
+  live : (int, txn_state) Hashtbl.t;
+  lm_ids : (Lock_manager.txn, int) Hashtbl.t;
+  (* waits-for edges: blocked txn -> conflicting holders, refreshed on every
+     acquire attempt and dropped on grant or transaction end *)
+  edges : (int, int list) Hashtbl.t;
+  blocked_h : Histogram.t;
+  mutable next_id : int;
+}
+
+let create ?(charges = Cost.default_charges) ?(record_bytes = 100) ?notify_delta
+    ?notify_update ~cost ~io () =
+  let nop_delta ~rel:_ ~inserted:_ ~deleted:_ = () in
+  let nop_update ~rel:_ ~changes:_ = () in
+  {
+    cost;
+    charges;
+    lm = Lock_manager.create ();
+    wal = Wal.create ~io ~record_bytes ();
+    notify_delta = Option.value notify_delta ~default:nop_delta;
+    notify_update = Option.value notify_update ~default:nop_update;
+    live = Hashtbl.create 16;
+    lm_ids = Hashtbl.create 16;
+    edges = Hashtbl.create 16;
+    blocked_h = Histogram.named (Dbproc_obs.Ctx.histograms (Cost.ctx cost)) "txn.blocked_ms";
+    next_id = 1;
+  }
+
+let lock_manager t = t.lm
+let metrics t = Cost.metrics t.cost
+let now t = Cost.total_ms t.charges t.cost
+
+let state t id =
+  match Hashtbl.find_opt t.live id with
+  | Some st -> st
+  | None -> invalid_arg (Printf.sprintf "Txn.Manager: transaction %d is not live" id)
+
+let begin_ t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let st =
+    { id; lm_txn = Lock_manager.begin_txn t.lm; first_lsn = None; n_undo = 0; block_start = None }
+  in
+  Hashtbl.replace t.live id st;
+  Hashtbl.replace t.lm_ids st.lm_txn id;
+  Metrics.incr (metrics t) Metrics.Txn_begins;
+  id
+
+type acquire_result = Granted | Blocked of id list | Deadlock of id
+
+(* DFS over the waits-for edges looking for a path that returns to [start];
+   the returned list is every transaction on that cycle.  Dead transactions
+   have no outgoing edges, so stale inbound edges cannot fabricate a
+   cycle. *)
+let cycle_through t start =
+  let visited = Hashtbl.create 8 in
+  let rec dfs node path =
+    let succs = Option.value (Hashtbl.find_opt t.edges node) ~default:[] in
+    List.fold_left
+      (fun acc s ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if s = start then Some path
+            else if Hashtbl.mem visited s then None
+            else begin
+              Hashtbl.add visited s ();
+              dfs s (s :: path)
+            end)
+      None succs
+  in
+  Hashtbl.add visited start ();
+  dfs start [ start ]
+
+let close_block_interval t st =
+  match st.block_start with
+  | None -> ()
+  | Some t0 ->
+      let waited = now t -. t0 in
+      st.block_start <- None;
+      Cost.charge_blocked t.cost ~ms:waited;
+      Histogram.observe t.blocked_h (Float.max waited 0.0)
+
+let acquire t id ~mode region =
+  let st = state t id in
+  match Lock_manager.acquire t.lm st.lm_txn ~mode region with
+  | `Granted ->
+      Hashtbl.remove t.edges id;
+      close_block_interval t st;
+      Granted
+  | `Would_block holders ->
+      let blockers =
+        holders
+        |> List.filter_map (fun h -> Hashtbl.find_opt t.lm_ids h)
+        |> List.filter (fun b -> b <> id)
+        |> List.sort_uniq compare
+      in
+      Hashtbl.replace t.edges id blockers;
+      if st.block_start = None then begin
+        st.block_start <- Some (now t);
+        Metrics.incr (metrics t) Metrics.Txn_lock_waits
+      end;
+      (match cycle_through t id with
+      | Some members ->
+          Metrics.incr (metrics t) Metrics.Deadlock_cycles;
+          Deadlock (List.fold_left max id members)
+      | None -> Blocked blockers)
+
+let blocked_on t id = Option.value (Hashtbl.find_opt t.edges id) ~default:[]
+let set_ilock t ~owner ?tag region = Lock_manager.set_ilock t.lm ~owner ?tag region
+let drop_ilocks t ~owner = Lock_manager.drop_ilocks t.lm ~owner
+
+let log t st op =
+  let lsn = Wal.append t.wal { u_txn = st.id; op } in
+  if st.first_lsn = None then st.first_lsn <- Some lsn;
+  st.n_undo <- st.n_undo + 1
+
+let log_insert t id ~rel ~rid ~tuple = log t (state t id) (U_insert { rel; rid; tuple })
+let log_delete t id ~rel ~tuple = log t (state t id) (U_delete { rel; tuple })
+
+let log_update t id ~rel ~rid ~before ~after =
+  log t (state t id) (U_update { rel; rid; before; after })
+
+(* Locate a tuple by value when its logged rid no longer holds it (the rid
+   died to a same-transaction delete and the value came back under a fresh
+   rid during this replay).  The scan is charged — the slow path of a messy
+   rollback costs real reads. *)
+let find_rid rel tuple =
+  let found = ref None in
+  Relation.scan rel ~f:(fun rid tup -> if !found = None && Tuple.equal tup tuple then found := Some rid);
+  !found
+
+let locate rel rid expected =
+  match Relation.get rel rid with
+  | cur when Tuple.equal cur expected -> Some rid
+  | _ -> find_rid rel expected
+  | exception _ -> find_rid rel expected
+
+let apply_undo t op =
+  match op with
+  | U_insert { rel; rid; tuple } -> (
+      match locate rel rid tuple with
+      | Some rid ->
+          let deleted = Relation.delete rel rid in
+          t.notify_delta ~rel ~inserted:[] ~deleted:[ deleted ]
+      | None -> ())
+  | U_delete { rel; tuple } ->
+      ignore (Relation.insert rel tuple);
+      t.notify_delta ~rel ~inserted:[ tuple ] ~deleted:[]
+  | U_update { rel; rid; before; after } -> (
+      match locate rel rid after with
+      | Some rid ->
+          let old = Relation.update rel rid before in
+          t.notify_update ~rel ~changes:[ (old, before) ]
+      | None -> ())
+
+(* Remove a finished transaction everywhere, prune it out of other waiters'
+   edge lists, and advance the undo log's truncation point to the oldest
+   live transaction's first record. *)
+let finish t st =
+  Hashtbl.remove t.live st.id;
+  Hashtbl.remove t.lm_ids st.lm_txn;
+  Hashtbl.remove t.edges st.id;
+  let waiters = Hashtbl.fold (fun w bs acc -> (w, bs) :: acc) t.edges [] in
+  List.iter
+    (fun (w, bs) ->
+      if List.mem st.id bs then Hashtbl.replace t.edges w (List.filter (fun b -> b <> st.id) bs))
+    waiters;
+  let oldest =
+    Hashtbl.fold
+      (fun _ live acc ->
+        match (live.first_lsn, acc) with
+        | None, acc -> acc
+        | Some l, None -> Some l
+        | Some l, Some a -> Some (min l a))
+      t.live None
+  in
+  Wal.truncate_before t.wal (Option.value oldest ~default:(Wal.next_lsn t.wal))
+
+let commit t id =
+  let st = state t id in
+  close_block_interval t st;
+  if st.n_undo > 0 then Wal.force t.wal;
+  let broken = Lock_manager.commit t.lm st.lm_txn in
+  if broken <> [] then Metrics.incr ~n:(List.length broken) (metrics t) Metrics.Txn_ilocks_broken;
+  Metrics.incr (metrics t) Metrics.Txn_commits;
+  finish t st;
+  broken
+
+let abort ?(victim = false) t id =
+  let st = state t id in
+  close_block_interval t st;
+  let applied =
+    match st.first_lsn with
+    | None -> 0
+    | Some lsn ->
+        let mine =
+          Wal.records_from t.wal lsn |> List.filter (fun (_, r) -> r.u_txn = st.id) |> List.rev
+        in
+        List.iter (fun (_, r) -> apply_undo t r.op) mine;
+        List.length mine
+  in
+  if applied > 0 then Metrics.incr ~n:applied (metrics t) Metrics.Txn_undo_applied;
+  Lock_manager.abort t.lm st.lm_txn;
+  Metrics.incr (metrics t) Metrics.Txn_aborts;
+  if victim then Metrics.incr (metrics t) Metrics.Deadlock_victims;
+  finish t st;
+  applied
+
+let is_live t id = Hashtbl.mem t.live id
+let live_count t = Hashtbl.length t.live
+let undo_records_retained t = Wal.record_count t.wal

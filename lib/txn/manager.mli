@@ -1,0 +1,126 @@
+(** Real multi-statement transactions over one shared database: strict
+    two-phase locking with blocking, deadlock detection, and WAL-backed
+    abort.
+
+    {!Dbproc_proc.Lock_manager} already knows the paper's S/X/I region
+    model but only {e detects} conflicts (its [`Would_block] answer is a
+    report, not a suspension).  This manager turns that detection into a
+    transaction system:
+
+    - {!begin_} / {!commit} / {!abort} delimit multi-statement
+      transactions.  S and X locks are strict 2PL: everything is held to
+      the end of the transaction.
+    - {!acquire} either grants, reports [Blocked] (the caller must park
+      the transaction and retry after some lock holder finishes), or
+      reports [Deadlock victim]: the request closed a waits-for cycle and
+      [victim] — the {e youngest} transaction on the cycle, i.e. the one
+      that began last — must be aborted before anyone can make progress.
+      The manager never aborts on its own; the scheduler that owns the
+      victim's session calls {!abort} and restarts or fails it.
+    - write statements log physical undo records into a write-ahead log
+      ({!Dbproc_storage.Wal}); {!abort} replays the transaction's tail of
+      that log {e backwards}, restoring heap pages and index entries to
+      their pre-transaction state and handing each compensation to the
+      [notify_*] callbacks so derived state (cached results, materialized
+      views, Rete memories) follows.  Replay is fully charged: one read
+      per log page touched plus the page writes of the compensating
+      mutations.
+    - i-locks ride along unchanged: an X grant breaks overlapping
+      i-locks, {!commit} reports the broken owners.  A {e broken i-lock
+      stays broken on abort} — the write may have been visible before the
+      rollback, so invalidation must be conservative (exactly
+      {!Dbproc_proc.Lock_manager}'s rule).
+
+    Blocked time is simulated, not wall-clock: when a transaction first
+    blocks the manager notes the simulated clock, and when the lock is
+    finally granted (or the transaction dies) the elapsed simulated
+    milliseconds — the priced work other transactions did in between —
+    are recorded into the [txn.blocked_ms] histogram and accumulated via
+    {!Dbproc_storage.Cost.charge_blocked}.  Everything is deterministic
+    under a seeded scheduler ({!Sim}). *)
+
+open Dbproc_relation
+open Dbproc_proc
+
+type t
+
+type id = int
+(** Transaction identifiers, assigned by {!begin_} from 1 upward in begin
+    order — so larger id = younger transaction. *)
+
+val create :
+  ?charges:Dbproc_storage.Cost.charges ->
+  ?record_bytes:int ->
+  ?notify_delta:(rel:Relation.t -> inserted:Tuple.t list -> deleted:Tuple.t list -> unit) ->
+  ?notify_update:(rel:Relation.t -> changes:(Tuple.t * Tuple.t) list -> unit) ->
+  cost:Dbproc_storage.Cost.t ->
+  io:Dbproc_storage.Io.t ->
+  unit ->
+  t
+(** [charges] prices the simulated clock used for blocked-time accounting
+    (default {!Dbproc_storage.Cost.default_charges}).  [record_bytes]
+    sizes undo records for WAL page charging (default 100, the paper's
+    S).  [notify_delta]/[notify_update] receive the {e compensating}
+    mutations {!abort} applies, in undo order — wire them to
+    {!Dbproc_proc.Manager.on_delta}/[on_update] so every maintenance
+    strategy rolls its derived state back too. *)
+
+val lock_manager : t -> Lock_manager.t
+(** The underlying region lock table (shared with i-lock registration). *)
+
+val begin_ : t -> id
+
+type acquire_result =
+  | Granted
+  | Blocked of id list
+      (** conflicting lock holders; the request is NOT granted and no
+          state was changed except the waits-for edge — park and retry *)
+  | Deadlock of id
+      (** granting would close a waits-for cycle; the payload is the
+          youngest transaction on the cycle (possibly the requester).
+          Abort it, then retry. *)
+
+val acquire : t -> id -> mode:[ `S | `X ] -> Lock_manager.region -> acquire_result
+(** Strict 2PL acquire.  Re-acquisition and S-to-X upgrade by the same
+    transaction never self-block, but an upgrade {e can} deadlock against
+    another upgrader — see the upgrade-deadlock note in
+    {!Dbproc_proc.Lock_manager.acquire}; this manager resolves that
+    stand-off by youngest-victim abort like any other cycle. *)
+
+val blocked_on : t -> id -> id list
+(** Current waits-for edges of a blocked transaction (empty once
+    granted). *)
+
+val set_ilock : t -> owner:int -> ?tag:int -> Lock_manager.region -> unit
+val drop_ilocks : t -> owner:int -> unit
+
+(** {2 Undo logging}
+
+    Call after applying the base-table mutation, while holding the
+    covering X lock.  Each call appends one undo record to the WAL
+    (charged as the log's tail pages fill). *)
+
+val log_insert : t -> id -> rel:Relation.t -> rid:Dbproc_storage.Heap_file.rid -> tuple:Tuple.t -> unit
+val log_delete : t -> id -> rel:Relation.t -> tuple:Tuple.t -> unit
+
+val log_update :
+  t -> id -> rel:Relation.t -> rid:Dbproc_storage.Heap_file.rid -> before:Tuple.t -> after:Tuple.t -> unit
+
+val commit : t -> id -> Lock_manager.broken list
+(** Force the undo log's tail (commit boundary, charged when the
+    transaction logged anything), release every lock, and return the
+    i-locks the transaction's writes broke. *)
+
+val abort : ?victim:bool -> t -> id -> int
+(** Replay the transaction's undo records backwards (heap, indexes and
+    [notify_*]-subscribed derived state return to their pre-transaction
+    values), release its locks, and return the number of undo records
+    applied.  [victim:true] additionally counts a [deadlock.victims]
+    abort.  I-locks broken by the transaction stay broken. *)
+
+val is_live : t -> id -> bool
+val live_count : t -> int
+
+val undo_records_retained : t -> int
+(** Undo records still in the WAL (the tail below the oldest live
+    transaction is truncated at every commit/abort). *)

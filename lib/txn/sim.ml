@@ -1,0 +1,154 @@
+module Lock_manager = Dbproc_proc.Lock_manager
+module Prng = Dbproc_util.Prng
+
+type step = {
+  locks : ([ `S | `X ] * Lock_manager.region) list;
+  exec : Manager.t -> Manager.id -> unit;
+}
+
+type txn_spec = step list
+type session = txn_spec list
+
+type stats = {
+  committed : int;
+  victim_aborts : int;
+  restarts : int;
+  turns : int;
+  broken_ilocks : int;
+  commit_log : (int * int) list;
+}
+
+type sstate = {
+  spec : step array array;
+  mutable txn_i : int;
+  mutable step_i : int;
+  mutable cur : Manager.id option;
+  mutable blocked : bool;
+  mutable doomed : bool;  (* victim-aborted by another session; restart *)
+}
+
+let run ?(max_turns = 200_000) ?on_commit ~seed mgr sessions =
+  let prng = Prng.create seed in
+  let ss =
+    Array.of_list
+      (List.map
+         (fun spec ->
+           {
+             spec = Array.of_list (List.map Array.of_list spec);
+             txn_i = 0;
+             step_i = 0;
+             cur = None;
+             blocked = false;
+             doomed = false;
+           })
+         sessions)
+  in
+  let committed = ref 0
+  and victim_aborts = ref 0
+  and restarts = ref 0
+  and turns = ref 0
+  and broken_ilocks = ref 0
+  and commit_log = ref [] in
+  let finished s = s.txn_i >= Array.length s.spec in
+  let unblock_all () = Array.iter (fun s -> s.blocked <- false) ss in
+  (* Which session owns a manager transaction id right now. *)
+  let owner_of id =
+    let found = ref None in
+    Array.iteri (fun i s -> if s.cur = Some id then found := Some i) ss;
+    !found
+  in
+  let restart s =
+    s.doomed <- false;
+    s.blocked <- false;
+    s.step_i <- 0;
+    s.cur <- None;
+    incr restarts
+  in
+  (* Try to finish session [si]'s current step: re-acquire its locks from
+     the top (2PL re-grants held locks), resolving deadlocks as they
+     surface, then execute.  Returns without executing if parked. *)
+  let turn si =
+    let s = ss.(si) in
+    if s.doomed then restart s
+    else begin
+      let id =
+        match s.cur with
+        | Some id -> id
+        | None ->
+            let id = Manager.begin_ mgr in
+            s.cur <- Some id;
+            id
+      in
+      let step = s.spec.(s.txn_i).(s.step_i) in
+      let rec acquire_all = function
+        | [] -> `All_granted
+        | ((mode, region) :: rest) as locks -> (
+            match Manager.acquire mgr id ~mode region with
+            | Manager.Granted -> acquire_all rest
+            | Manager.Blocked _ ->
+                s.blocked <- true;
+                `Parked
+            | Manager.Deadlock victim ->
+                incr victim_aborts;
+                if victim = id then begin
+                  ignore (Manager.abort ~victim:true mgr id);
+                  unblock_all ();
+                  restart s;
+                  `Self_aborted
+                end
+                else begin
+                  ignore (Manager.abort ~victim:true mgr victim);
+                  (match owner_of victim with
+                  | Some oi ->
+                      ss.(oi).doomed <- true;
+                      ss.(oi).blocked <- false;
+                      ss.(oi).cur <- None
+                  | None -> ());
+                  unblock_all ();
+                  (* the victim's locks are gone — retry the same lock *)
+                  acquire_all locks
+                end)
+      in
+      match acquire_all step.locks with
+      | `Parked | `Self_aborted -> ()
+      | `All_granted ->
+          step.exec mgr id;
+          s.step_i <- s.step_i + 1;
+          if s.step_i >= Array.length s.spec.(s.txn_i) then begin
+            let broken = Manager.commit mgr id in
+            broken_ilocks := !broken_ilocks + List.length broken;
+            incr committed;
+            commit_log := (si, s.txn_i) :: !commit_log;
+            (match on_commit with
+            | Some f -> f ~session:si ~txn:s.txn_i ~broken
+            | None -> ());
+            s.txn_i <- s.txn_i + 1;
+            s.step_i <- 0;
+            s.cur <- None;
+            unblock_all ()
+          end
+    end
+  in
+  let rec loop () =
+    let unfinished = ref [] in
+    Array.iteri (fun i s -> if not (finished s) then unfinished := i :: !unfinished) ss;
+    match !unfinished with
+    | [] -> ()
+    | unfinished ->
+        let runnable = List.rev (List.filter (fun i -> not ss.(i).blocked) unfinished) in
+        if runnable = [] then failwith "Txn.Sim: every unfinished session is blocked";
+        incr turns;
+        if !turns > max_turns then failwith "Txn.Sim: max_turns exceeded (livelock?)";
+        let pick = List.nth runnable (Prng.int prng (List.length runnable)) in
+        turn pick;
+        loop ()
+  in
+  loop ();
+  {
+    committed = !committed;
+    victim_aborts = !victim_aborts;
+    restarts = !restarts;
+    turns = !turns;
+    broken_ilocks = !broken_ilocks;
+    commit_log = List.rev !commit_log;
+  }

@@ -1,0 +1,57 @@
+(** Deterministic multi-session scheduler over one {!Manager}.
+
+    The engine is single-threaded; concurrency under contention is
+    {e simulated} by interleaving sessions with a seeded PRNG.  Each
+    session runs a list of transactions; each transaction is a list of
+    statement steps, and a step is "acquire these locks, then execute
+    this closure" — exactly the discipline the interpreter uses, so a
+    step that blocks has executed nothing and can be retried verbatim.
+
+    One scheduler turn picks a runnable session uniformly at random and
+    tries to complete its current step: re-acquire the step's locks in
+    order (re-acquisition is free under 2PL), then execute.  Blocking
+    parks the session until any transaction finishes; a [Deadlock]
+    verdict aborts the youngest transaction on the cycle ([victim:true])
+    and — when the victim is another session — that session restarts its
+    current transaction from step 0 against the rolled-back database,
+    while the requester retries immediately.  Same seed, same sessions ⇒
+    the same interleaving, the same deadlocks, the same victims and the
+    same final database, every run. *)
+
+module Lock_manager = Dbproc_proc.Lock_manager
+
+type step = {
+  locks : ([ `S | `X ] * Lock_manager.region) list;
+      (** acquired in order before [exec] runs; held to transaction end *)
+  exec : Manager.t -> Manager.id -> unit;
+      (** the statement body: mutate relations, log undo, touch derived
+          state.  Runs at most once per (txn attempt, step). *)
+}
+
+type txn_spec = step list
+type session = txn_spec list
+
+type stats = {
+  committed : int;
+  victim_aborts : int;
+  restarts : int;  (** victim transactions re-run from step 0 *)
+  turns : int;
+  broken_ilocks : int;  (** i-locks reported broken across all commits *)
+  commit_log : (int * int) list;
+      (** (session index, transaction index) in commit order — the serial
+          order a conflict-equivalent oracle must replay *)
+}
+
+val run :
+  ?max_turns:int ->
+  ?on_commit:(session:int -> txn:int -> broken:Lock_manager.broken list -> unit) ->
+  seed:int ->
+  Manager.t ->
+  session list ->
+  stats
+(** [max_turns] (default 200_000) bounds the scheduler against livelock
+    bugs — exceeding it raises [Failure].  [on_commit] fires after each
+    commit with the i-locks it broke (the contention bench re-registers
+    procedure i-locks there).
+    @raise Failure if every unfinished session is blocked (a deadlock the
+    detector missed — a bug) or [max_turns] is exceeded. *)

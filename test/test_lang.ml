@@ -105,6 +105,23 @@ let test_parse_mutations () =
   | Ast.Replace { rel = "R"; values = [ ("v", Ast.L_int 9) ]; quals = [ _ ] } -> ()
   | _ -> Alcotest.fail "replace parse wrong"
 
+let test_parse_txn_control () =
+  (match Parser.parse_command "begin" with
+  | Ast.Begin -> ()
+  | _ -> Alcotest.fail "begin parse wrong");
+  (match Parser.parse_command "begin transaction" with
+  | Ast.Begin -> ()
+  | _ -> Alcotest.fail "begin transaction parse wrong");
+  (match Parser.parse_command "commit" with
+  | Ast.Commit -> ()
+  | _ -> Alcotest.fail "commit parse wrong");
+  (match Parser.parse_command "abort" with
+  | Ast.Abort -> ()
+  | _ -> Alcotest.fail "abort parse wrong");
+  match Parser.parse_command "rollback" with
+  | Ast.Abort -> ()
+  | _ -> Alcotest.fail "rollback parse wrong"
+
 let test_parse_errors () =
   List.iter
     (fun input ->
@@ -341,6 +358,82 @@ let test_interp_script_error_line () =
   Alcotest.(check bool) "line 4: prefix after blanks/comments" true
     (String.length msg2 > 8 && String.sub msg2 0 8 = "line 4: ")
 
+(* --------------------------------------------------------- Transactions *)
+
+let setup_txn () =
+  let s = Interp.create () in
+  ignore (ok (Interp.exec_line s "create T (k = int, v = int)"));
+  ignore (ok (Interp.exec_line s "append to T (k = 1, v = 10)"));
+  ignore (ok (Interp.exec_line s "append to T (k = 2, v = 20)"));
+  s
+
+let test_txn_abort_rolls_back () =
+  let s = setup_txn () in
+  let before = ok (Interp.exec_line s "retrieve (T.k, T.v) where T.k > 0") in
+  ignore (ok (Interp.exec_line s "begin"));
+  Alcotest.(check bool) "in transaction" true (Interp.in_transaction s ~client:0);
+  ignore (ok (Interp.exec_line s "replace T (v = 99) where T.k = 1"));
+  ignore (ok (Interp.exec_line s "append to T (k = 3, v = 30)"));
+  ignore (ok (Interp.exec_line s "delete from T where T.k = 2"));
+  let msg = ok (Interp.exec_line s "abort") in
+  Alcotest.(check bool) "abort reports undo records" true (contains msg "undo");
+  Alcotest.(check bool) "transaction closed" false (Interp.in_transaction s ~client:0);
+  Alcotest.(check string) "all three mutations rolled back" before
+    (ok (Interp.exec_line s "retrieve (T.k, T.v) where T.k > 0"))
+
+let test_txn_commit_persists () =
+  let s = setup_txn () in
+  ignore (ok (Interp.exec_line s "begin transaction"));
+  ignore (ok (Interp.exec_line s "replace T (v = 99) where T.k = 1"));
+  ignore (ok (Interp.exec_line s "commit"));
+  Alcotest.(check bool) "transaction closed" false (Interp.in_transaction s ~client:0);
+  let rows = ok (Interp.exec_line s "retrieve (T.v) where T.k = 1") in
+  Alcotest.(check bool) "committed write visible" true (contains rows "99")
+
+let test_txn_control_errors () =
+  let s = setup_txn () in
+  let m = err (Interp.exec_line s "commit") in
+  Alcotest.(check bool) "commit outside txn" true (contains m "no open transaction");
+  ignore (ok (Interp.exec_line s "begin"));
+  let m2 = err (Interp.exec_line s "begin") in
+  Alcotest.(check bool) "nested begin rejected" true (contains m2 "already");
+  ignore (ok (Interp.exec_line s "abort"))
+
+let test_txn_two_clients_block_and_deadlock () =
+  let s = setup_txn () in
+  ignore (ok (Interp.exec_line s "create T2 (k = int, v = int)"));
+  ignore (ok (Interp.exec_line s "append to T2 (k = 1, v = 20)"));
+  let okc client line =
+    match Interp.exec_client s ~client line with
+    | Interp.O_ok out -> out
+    | Interp.O_error m -> Alcotest.failf "client %d: %S error: %s" client line m
+    | Interp.O_blocked _ -> Alcotest.failf "client %d: %S blocked" client line
+    | Interp.O_aborted m -> Alcotest.failf "client %d: %S aborted: %s" client line m
+  in
+  ignore (okc 1 "begin");
+  ignore (okc 2 "begin");
+  ignore (okc 1 "replace T (v = 111) where T.k = 1");
+  ignore (okc 2 "replace T2 (v = 222) where T2.k = 1");
+  (* crosswise: client 1 blocks on 2's relation without executing *)
+  (match Interp.exec_client s ~client:1 "replace T2 (v = 333) where T2.k = 1" with
+  | Interp.O_blocked _ -> ()
+  | _ -> Alcotest.fail "client 1 should block on client 2");
+  (* client 2 closes the cycle and, being younger, is the victim *)
+  (match Interp.exec_client s ~client:2 "replace T (v = 444) where T.k = 1" with
+  | Interp.O_aborted m ->
+    Alcotest.(check bool) "victim message" true (contains m "deadlock")
+  | _ -> Alcotest.fail "client 2 should be the deadlock victim");
+  Alcotest.(check bool) "victim's txn closed" false (Interp.in_transaction s ~client:2);
+  (* the parked statement is an idempotent retry: run it verbatim now *)
+  ignore (okc 1 "replace T2 (v = 333) where T2.k = 1");
+  ignore (okc 1 "commit");
+  let rows = okc 0 "retrieve (T.v, T2.v) where T.k = T2.k" in
+  Alcotest.(check bool) "survivor's writes committed" true
+    (contains rows "111" && contains rows "333");
+  Alcotest.(check bool) "victim's write rolled back" false (contains rows "222");
+  (* disconnect cleanup is a no-op once the transaction is gone *)
+  Alcotest.(check bool) "abort_client finds nothing" false (Interp.abort_client s ~client:2)
+
 (* ------------------------------------------- printer/parser roundtrip *)
 
 (* Generators stay within the language's lexical island: identifier names
@@ -443,6 +536,7 @@ let () =
           Alcotest.test_case "retrieve with join" `Quick test_parse_retrieve_join;
           Alcotest.test_case "define/exec" `Quick test_parse_define_exec;
           Alcotest.test_case "mutations" `Quick test_parse_mutations;
+          Alcotest.test_case "transaction control" `Quick test_parse_txn_control;
           Alcotest.test_case "syntax errors" `Quick test_parse_errors;
           Alcotest.test_case "script" `Quick test_parse_script;
           QCheck_alcotest.to_alcotest parser_roundtrip_property;
@@ -467,5 +561,13 @@ let () =
           Alcotest.test_case "session roundtrip" `Quick test_interp_session_roundtrip;
           Alcotest.test_case "save to file" `Quick test_interp_save_file;
           Alcotest.test_case "script error line numbers" `Quick test_interp_script_error_line;
+        ] );
+      ( "txn",
+        [
+          Alcotest.test_case "abort rolls back" `Quick test_txn_abort_rolls_back;
+          Alcotest.test_case "commit persists" `Quick test_txn_commit_persists;
+          Alcotest.test_case "control errors" `Quick test_txn_control_errors;
+          Alcotest.test_case "two clients: block, deadlock, victim" `Quick
+            test_txn_two_clients_block_and_deadlock;
         ] );
     ]

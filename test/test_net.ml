@@ -24,6 +24,9 @@ let sample_requests =
     P.Exec_line "bytes \x00\x01\xff are fine";
     P.Exec_script "create R (k = int)\nappend to R (k = 1)\n";
     P.Stats;
+    P.Begin;
+    P.Commit;
+    P.Abort;
     P.Shutdown;
   ]
 
@@ -34,6 +37,7 @@ let sample_responses =
     P.Output "";
     P.Failed "line 2: unknown command \"nope\"";
     P.Rejected "server busy (in-flight limit)";
+    P.Aborted "deadlock: transaction aborted (victim)";
   ]
 
 let test_request_roundtrip () =
@@ -295,6 +299,7 @@ let test_loopback_script_matches_local () =
         | P.Output out -> out
         | P.Failed msg -> Alcotest.failf "remote script failed: %s" msg
         | P.Rejected msg -> Alcotest.failf "rejected: %s" msg
+        | P.Aborted msg -> Alcotest.failf "aborted: %s" msg
         | P.Pong -> Alcotest.fail "pong?"
       in
       Net.Client.close client;
@@ -485,6 +490,80 @@ let test_shard_isolation () =
       Net.Client.close a;
       Net.Client.close b)
 
+let test_txn_deadlock_over_loopback () =
+  (* two clients on one shard force the crosswise deadlock: A parks on
+     B's relation, B's request closes the cycle, B (younger) is the
+     victim, A's parked statement then runs and A commits *)
+  with_server (fun port ->
+      let a = Net.Client.connect ~host:"127.0.0.1" ~port () in
+      let b = Net.Client.connect ~host:"127.0.0.1" ~port () in
+      let exec who client line =
+        match Net.Client.call client (P.Exec_line line) with
+        | P.Output out -> out
+        | resp -> Alcotest.failf "%s: %S got tag 0x%02x" who line (P.response_tag resp)
+      in
+      let control who client req =
+        match Net.Client.call client req with
+        | P.Output _ -> ()
+        | resp -> Alcotest.failf "%s: control got tag 0x%02x" who (P.response_tag resp)
+      in
+      ignore (exec "A" a "create T1 (k = int, v = int)");
+      ignore (exec "A" a "create T2 (k = int, v = int)");
+      ignore (exec "A" a "append to T1 (k = 1, v = 10)");
+      ignore (exec "A" a "append to T2 (k = 1, v = 20)");
+      control "A" a P.Begin;
+      control "B" b P.Begin;
+      ignore (exec "A" a "replace T1 (v = 111) where T1.k = 1");
+      ignore (exec "B" b "replace T2 (v = 222) where T2.k = 1");
+      let a_req = Net.Client.send a (P.Exec_line "replace T2 (v = 333) where T2.k = 1") in
+      (match Net.Client.call b (P.Exec_line "replace T1 (v = 444) where T1.k = 1") with
+      | P.Aborted msg ->
+        Alcotest.(check bool) "victim message names the deadlock" true
+          (contains msg "deadlock")
+      | resp -> Alcotest.failf "B: expected Aborted, got tag 0x%02x" (P.response_tag resp));
+      let rec await_a () =
+        let id, resp = Net.Client.recv a in
+        if id <> a_req then await_a () else resp
+      in
+      (match await_a () with
+      | P.Output _ -> ()
+      | resp ->
+        Alcotest.failf "A: parked statement should run after the abort, got tag 0x%02x"
+          (P.response_tag resp));
+      control "A" a P.Commit;
+      let rows = exec "A" a "retrieve (T1.v, T2.v) where T1.k = T2.k" in
+      Alcotest.(check bool) "A's writes committed" true
+        (contains rows "111" && contains rows "333");
+      Alcotest.(check bool) "B's writes rolled back" false
+        (contains rows "222" || contains rows "444");
+      (* B's session survives its abort: autocommit still works *)
+      ignore (exec "B" b "retrieve (T2.v) where T2.k = 1");
+      Net.Client.close a;
+      Net.Client.close b)
+
+let test_txn_abort_restores_over_loopback () =
+  with_server (fun port ->
+      let c = Net.Client.connect ~host:"127.0.0.1" ~port () in
+      let exec line =
+        match Net.Client.call c (P.Exec_line line) with
+        | P.Output out -> out
+        | resp -> Alcotest.failf "%S got tag 0x%02x" line (P.response_tag resp)
+      in
+      ignore (exec "create T (k = int, v = int)");
+      ignore (exec "append to T (k = 1, v = 10)");
+      let before = exec "retrieve (T.v) where T.k = 1" in
+      (match Net.Client.call c P.Begin with
+      | P.Output _ -> ()
+      | resp -> Alcotest.failf "begin got tag 0x%02x" (P.response_tag resp));
+      ignore (exec "replace T (v = 99) where T.k = 1");
+      ignore (exec "append to T (k = 2, v = 20)");
+      (match Net.Client.call c P.Abort with
+      | P.Output msg ->
+        Alcotest.(check bool) "abort reports undo work" true (contains msg "undo")
+      | resp -> Alcotest.failf "abort got tag 0x%02x" (P.response_tag resp));
+      Alcotest.(check string) "state restored" before (exec "retrieve (T.v) where T.k = 1");
+      Net.Client.close c)
+
 let test_loadgen_reconciles () =
   with_server ~shards:2 (fun port ->
       match
@@ -499,6 +578,22 @@ let test_loadgen_reconciles () =
         Alcotest.(check int) "no bad frames" 0 r.Net.Loadgen.bad_frames;
         Alcotest.(check bool) "server counts fetched" true (r.Net.Loadgen.server <> None);
         Alcotest.(check bool) "reconciled" true (Net.Loadgen.reconciled r))
+
+let test_loadgen_writes_reconcile () =
+  with_server ~shards:2 (fun port ->
+      match
+        Net.Loadgen.run ~host:"127.0.0.1" ~port ~conns:4 ~requests:200 ~pipeline:8
+          ~seed:7 ~mode:Net.Loadgen.Mixed ~write_frac:0.4 ()
+      with
+      | Error msg -> Alcotest.failf "loadgen setup failed: %s" msg
+      | Ok r ->
+        Alcotest.(check int) "sent all" 200 r.Net.Loadgen.sent;
+        Alcotest.(check bool) "writes were generated" true (r.Net.Loadgen.writes_sent > 0);
+        Alcotest.(check int) "conflict-free writes all land"
+          r.Net.Loadgen.writes_sent r.Net.Loadgen.writes_ok;
+        Alcotest.(check int) "no bad frames" 0 r.Net.Loadgen.bad_frames;
+        Alcotest.(check bool) "writer counters reconcile with server" true
+          (Net.Loadgen.reconciled r))
 
 let test_shutdown_request_drains () =
   let config = { Net.Server.default_config with port = 0; shards = 1 } in
@@ -550,6 +645,14 @@ let () =
             test_conn_limit_reject_frame_complete;
           Alcotest.test_case "shard isolation" `Quick test_shard_isolation;
           Alcotest.test_case "shutdown request drains" `Quick test_shutdown_request_drains;
+          Alcotest.test_case "two-client deadlock: park, victim, commit" `Quick
+            test_txn_deadlock_over_loopback;
+          Alcotest.test_case "abort restores state over the wire" `Quick
+            test_txn_abort_restores_over_loopback;
         ] );
-      ("loadgen", [ Alcotest.test_case "reconciles" `Quick test_loadgen_reconciles ]);
+      ( "loadgen",
+        [
+          Alcotest.test_case "reconciles" `Quick test_loadgen_reconciles;
+          Alcotest.test_case "write mix reconciles" `Quick test_loadgen_writes_reconcile;
+        ] );
     ]

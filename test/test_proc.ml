@@ -447,6 +447,33 @@ let test_lm_ilock_break_reported_once () =
   ignore (Lock_manager.acquire lm t ~mode:`X (Lock_manager.point ~rel:"R" ~attr:0 (Value.Int 2)));
   Alcotest.(check int) "reported once" 1 (List.length (Lock_manager.commit lm t))
 
+let test_lm_upgrade_deadlock () =
+  (* two holders of overlapping S locks both requesting the X upgrade is
+     a stand-off: each side blocks on the other, and neither can make
+     progress by waiting.  This layer only detects — both answers must be
+     [`Would_block] naming the other; Txn.Manager resolves the 2-cycle by
+     aborting the youngest (see the upgrade-deadlock note in the mli). *)
+  let lm = Lock_manager.create () in
+  let t1 = Lock_manager.begin_txn lm in
+  let t2 = Lock_manager.begin_txn lm in
+  Alcotest.(check bool) "t1 S" true
+    (Lock_manager.acquire lm t1 ~mode:`S (iv "R" 0 10) = `Granted);
+  Alcotest.(check bool) "t2 S overlaps" true
+    (Lock_manager.acquire lm t2 ~mode:`S (iv "R" 5 15) = `Granted);
+  (match Lock_manager.acquire lm t1 ~mode:`X (iv "R" 0 10) with
+  | `Would_block [ h ] -> Alcotest.(check bool) "t1 blocked by t2" true (h = t2)
+  | `Would_block _ -> Alcotest.fail "t1 blocked by more than t2"
+  | `Granted -> Alcotest.fail "t1 upgrade granted through t2's S lock");
+  (match Lock_manager.acquire lm t2 ~mode:`X (iv "R" 5 15) with
+  | `Would_block [ h ] -> Alcotest.(check bool) "t2 blocked by t1" true (h = t1)
+  | `Would_block _ -> Alcotest.fail "t2 blocked by more than t1"
+  | `Granted -> Alcotest.fail "t2 upgrade granted through t1's S lock");
+  (* the resolution Txn.Manager applies: abort one side, the other's
+     upgrade is then granted *)
+  Lock_manager.abort lm t2;
+  Alcotest.(check bool) "t1 upgrade after abort" true
+    (Lock_manager.acquire lm t1 ~mode:`X (iv "R" 0 10) = `Granted)
+
 let test_lm_abort_keeps_breaks () =
   let lm = Lock_manager.create () in
   Lock_manager.set_ilock lm ~owner:7 (iv "R" 0 10);
@@ -720,6 +747,7 @@ let () =
           Alcotest.test_case "S compatible" `Quick test_lm_s_locks_compatible;
           Alcotest.test_case "X conflicts" `Quick test_lm_x_conflicts;
           Alcotest.test_case "reacquire/upgrade" `Quick test_lm_reacquire_and_upgrade;
+          Alcotest.test_case "upgrade deadlock stand-off" `Quick test_lm_upgrade_deadlock;
           Alcotest.test_case "i-lock break" `Quick test_lm_ilock_break;
           Alcotest.test_case "break reported once" `Quick test_lm_ilock_break_reported_once;
           Alcotest.test_case "abort keeps breaks" `Quick test_lm_abort_keeps_breaks;
