@@ -1218,6 +1218,80 @@ let bechamel_tests () =
              | Net.Protocol.Awaiting | Net.Protocol.Corrupt _ -> assert false));
     ]
   in
+  (* Executor engines head to head: the same prepared plan run by the
+     tuple-at-a-time interpreter and the compiled batch pipeline.  Cost
+     accounting is disabled (wall-clock of the engine itself). *)
+  let exec_tests =
+    let cost = Storage.Cost.create () in
+    Storage.Cost.disable cost;
+    let io = Storage.Io.direct cost ~page_bytes:4000 in
+    let r_schema = Schema.create [ ("k", Value.TInt); ("v", Value.TInt) ] in
+    let s_schema = Schema.create [ ("b", Value.TInt); ("w", Value.TInt) ] in
+    let r = Relation.create ~io ~name:"R" ~schema:r_schema ~tuple_bytes:100 in
+    Relation.load r
+      (List.init 20_000 (fun i -> Tuple.create [ Value.Int i; Value.Int (i mod 500) ]));
+    let s = Relation.create ~io ~name:"S" ~schema:s_schema ~tuple_bytes:100 in
+    Relation.load s
+      (List.init 500 (fun b -> Tuple.create [ Value.Int b; Value.Int (b * 10) ]));
+    Relation.add_hash_index ~primary:true s ~attr:"b" ~entry_bytes:20
+      ~expected_entries:500;
+    let scan_plan =
+      Query.Executor.prepare
+        (Query.Planner.compile
+           (Query.View_def.select ~name:"scan" ~rel:r
+              ~restriction:
+                [ Predicate.term ~attr:1 ~op:Predicate.Lt ~value:(Value.Int 250) ]))
+    in
+    let join_plan =
+      Query.Executor.prepare
+        (Query.Planner.compile
+           (Query.View_def.join
+              (Query.View_def.select ~name:"join" ~rel:r
+                 ~restriction:
+                   [ Predicate.term ~attr:0 ~op:Predicate.Lt ~value:(Value.Int 4000) ])
+              ~rel:s ~restriction:Predicate.always_true ~left:"R.v" ~op:Predicate.Eq
+              ~right:"b"))
+    in
+    let engine_test name engine prepared =
+      Test.make ~name
+        (Staged.stage (fun () ->
+             Query.Executor.set_engine engine;
+             ignore (Query.Executor.run_prepared prepared)))
+    in
+    (* Statement-replay throughput: the same retrieve line through a
+       session with and without the statement cache (parse + bind + plan
+       skipped on every repeat when it is on). *)
+    let stmt_test name plan_cache =
+      let interp = Lang.Interp.create ~ctx:(Obs.Ctx.create ()) ~plan_cache () in
+      List.iter
+        (fun line ->
+          match Lang.Interp.exec_line interp line with
+          | Ok _ -> ()
+          | Error msg -> failwith msg)
+        ("create emp (name = string, age = int, dept = int)"
+        :: List.init 200 (fun i ->
+               Printf.sprintf "append to emp (name = \"e%d\", age = %d, dept = %d)" i
+                 (20 + (i mod 40))
+                 (i mod 8)));
+      Test.make ~name
+        (Staged.stage (fun () ->
+             match
+               Lang.Interp.exec_line interp
+                 "retrieve (emp.name, emp.age) where emp.dept = 3 and emp.age < 32"
+             with
+             | Ok _ -> ()
+             | Error msg -> failwith msg))
+    in
+    [
+      engine_test "micro-exec-scan-interp" Query.Executor.Tuple_interp scan_plan;
+      engine_test "micro-exec-scan-compiled" Query.Executor.Batch_compiled scan_plan;
+      engine_test "micro-exec-join-interp" Query.Executor.Tuple_interp join_plan;
+      engine_test "micro-exec-join-compiled" Query.Executor.Batch_compiled join_plan;
+      stmt_test "micro-stmt-cache-on" true;
+      stmt_test "micro-stmt-cache-off" false;
+    ]
+  in
+  let micro_tests = micro_tests @ exec_tests in
   let sim_tests =
     [
       Test.make ~name:"sim-model1"

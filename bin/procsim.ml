@@ -669,7 +669,14 @@ let serve_cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Enable span tracing on every shard context.")
   in
-  let run host port shards max_conns max_inflight idle_timeout max_frame trace =
+  let no_plan_cache =
+    Arg.(
+      value & flag
+      & info [ "no-plan-cache" ]
+          ~doc:
+            "Disable the per-shard statement cache (every request re-parses, re-binds,              re-plans and re-compiles its line).")
+  in
+  let run host port shards max_conns max_inflight idle_timeout max_frame trace no_plan_cache =
     if shards < 1 then `Error (true, "--shards must be >= 1")
     else if max_conns < 1 then `Error (true, "--max-conns must be >= 1")
     else if max_inflight < 1 then `Error (true, "--max-inflight must be >= 1")
@@ -685,6 +692,7 @@ let serve_cmd =
           idle_timeout;
           max_frame;
           trace;
+          plan_cache = not no_plan_cache;
         }
       in
       match Net.Server.create ~config () with
@@ -714,7 +722,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ host $ port $ shards $ max_conns $ max_inflight $ idle_timeout $ max_frame
-       $ trace))
+       $ trace $ no_plan_cache))
 
 let loadgen_cmd =
   let host =
@@ -768,7 +776,23 @@ let loadgen_cmd =
       value & flag
       & info [ "shutdown" ] ~doc:"Send a protocol shutdown request to the server after the run.")
   in
-  let run host port conns requests pipeline seed mode write_frac strict shutdown =
+  let statement =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "statement" ] ~docv:"LINE"
+          ~doc:
+            "Pin every engine-executing request to this one shell line (statement replay)              instead of the seeded mix.")
+  in
+  let setup =
+    Arg.(
+      value & opt_all string []
+      & info [ "setup" ] ~docv:"LINE"
+          ~doc:
+            "Shell line each connection executes before its quota (repeatable; answers are              not counted, errors are tolerated) — use to create and populate the relations              a replayed $(b,--statement) reads.")
+  in
+  let run host port conns requests pipeline seed mode write_frac strict shutdown statement
+      setup =
     if conns < 1 then `Error (true, "--connections must be >= 1")
     else if requests < 1 then `Error (true, "--requests must be >= 1")
     else if pipeline < 1 then `Error (true, "--pipeline must be >= 1")
@@ -776,7 +800,8 @@ let loadgen_cmd =
       `Error (true, "--write-frac must be in [0, 1]")
     else begin
       match
-        Net.Loadgen.run ~host ~port ~pipeline ~seed ~mode ~write_frac ~conns ~requests ()
+        Net.Loadgen.run ~host ~port ~pipeline ~seed ~mode ~write_frac ?statement ~setup
+          ~conns ~requests ()
       with
       | Error msg -> `Error (false, msg)
       | Ok report ->
@@ -805,7 +830,7 @@ let loadgen_cmd =
     Term.(
       ret
         (const run $ host $ port $ conns $ requests $ pipeline $ seed $ mode $ write_frac
-       $ strict $ shutdown))
+       $ strict $ shutdown $ statement $ setup))
 
 (* ------------------------------------------------------------ txn-smoke *)
 

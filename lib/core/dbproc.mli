@@ -81,6 +81,8 @@ module Catalog = Dbproc_relation.Catalog
 module Query : sig
   module View_def = Dbproc_query.View_def
   module Plan = Dbproc_query.Plan
+  module Batch = Dbproc_query.Batch
+  module Compiled = Dbproc_query.Compiled
   module Executor = Dbproc_query.Executor
   module Planner = Dbproc_query.Planner
   module Explain = Dbproc_query.Explain
@@ -126,6 +128,7 @@ module Lang : sig
   module Ast = Dbproc_lang.Ast
   module Lexer = Dbproc_lang.Lexer
   module Parser = Dbproc_lang.Parser
+  module Stmt_cache = Dbproc_lang.Stmt_cache
   module Interp = Dbproc_lang.Interp
 end
 

@@ -38,11 +38,16 @@ type t = {
          exactly as before transactions existed (same costs, same output) *)
   mutable logging_txn : Tm.id option;
       (* the explicit transaction mutation statements log undo for *)
+  stmt_cache : Stmt_cache.t option;
+  mutable stmt_hint : Stmt_cache.entry option;
+      (* the cache entry for the statement text currently executing, set
+         by [exec_client] so the retrieve path and the lock computation
+         can reuse (or fill) its prepared plan *)
 }
 
 let fresh_manager t kind = Manager.create kind ~io:t.io ~record_bytes:t.tuple_bytes ()
 
-let create ?ctx ?(page_bytes = 4000) ?(tuple_bytes = 100) () =
+let create ?ctx ?(page_bytes = 4000) ?(tuple_bytes = 100) ?(plan_cache = true) () =
   let cost = Cost.create ?ctx () in
   (* Price the session's tracer off the simulated clock, like the workload
      driver does, so a span around any command reports simulated ms. *)
@@ -61,6 +66,11 @@ let create ?ctx ?(page_bytes = 4000) ?(tuple_bytes = 100) () =
     proc_ids = [];
     layer = None;
     logging_txn = None;
+    stmt_cache =
+      (if plan_cache then
+         Some (Stmt_cache.create ~metrics:(Dbproc_obs.Ctx.metrics (Cost.ctx cost)) ())
+       else None);
+    stmt_hint = None;
   }
 
 let strategy_name t = Manager.kind_name (Manager.kind t.manager)
@@ -292,6 +302,28 @@ let format_tuples tuples =
   Buffer.add_string buf (Printf.sprintf "(%d tuples)" (List.length tuples));
   Buffer.contents buf
 
+(* Bind + plan + compile a retrieve, reusing — and on a miss, filling —
+   the statement-cache entry for the line currently executing.  Binding,
+   planning and compilation are uncharged (compile-time work), so the
+   cache changes wall-clock only, never simulated cost. *)
+let retrieve_prepared t (r : Ast.retrieve) =
+  match t.stmt_hint with
+  | Some { Stmt_cache.prepared = Some p; _ } -> p
+  | hint ->
+    let def, projection = bind_retrieve_full t r in
+    let plan =
+      try Planner.compile def
+      with Planner.Unsupported_plan msg -> error "cannot plan this query: %s" msg
+    in
+    let p = { Stmt_cache.def; projection; exec = Executor.prepare plan } in
+    (match hint with Some e -> e.Stmt_cache.prepared <- Some p | None -> ());
+    p
+
+(* Drop every cached statement plan; called after anything that can
+   change plan choice (DDL, index creation, strategy migration). *)
+let invalidate_stmts t =
+  match t.stmt_cache with Some c -> Stmt_cache.invalidate c | None -> ()
+
 let register_procedure t name def =
   let id = Manager.register t.manager def in
   t.proc_ids <- (name, id) :: t.proc_ids
@@ -465,6 +497,7 @@ let exec_command_body t (cmd : Ast.command) =
            attrs)
     in
     ignore (Catalog.create_relation t.catalog ~name:rel ~schema ~tuple_bytes:t.tuple_bytes);
+    invalidate_stmts t;
     Printf.sprintf "created %s with %d attributes" rel (List.length attrs)
   | Ast.Index { rel; kind; attr; primary } ->
     let r = find_relation t rel in
@@ -477,6 +510,7 @@ let exec_command_body t (cmd : Ast.command) =
          Relation.add_hash_index ~primary r ~attr ~entry_bytes:20
            ~expected_entries:(max 64 (Relation.cardinality r))
      with Invalid_argument msg -> error "%s" msg);
+    invalidate_stmts t;
     Printf.sprintf "indexed %s.%s (%s%s)" rel attr
       (match kind with `Btree -> "btree" | `Hash -> "hash")
       (if primary then ", primary" else "")
@@ -527,13 +561,9 @@ let exec_command_body t (cmd : Ast.command) =
     Manager.on_update t.manager ~rel:r ~changes:old_new;
     Printf.sprintf "replaced %d tuples in %s" (List.length changes) rel
   | Ast.Retrieve r ->
-    let def, projection = bind_retrieve_full t r in
-    let plan =
-      try Planner.compile def
-      with Planner.Unsupported_plan msg -> error "cannot plan this query: %s" msg
-    in
+    let { Stmt_cache.projection; exec; _ } = retrieve_prepared t r in
     let before = Cost.snapshot t.cost in
-    let tuples = Executor.run plan in
+    let tuples = Executor.run_prepared exec in
     let spent = Cost.diff_ms t.charges ~before ~after:(Cost.snapshot t.cost) in
     Printf.sprintf "%s\n%.0f ms (simulated)"
       (format_tuples (List.map (project projection) tuples))
@@ -575,6 +605,7 @@ let exec_command_body t (cmd : Ast.command) =
     t.manager <- fresh_manager t kind;
     t.proc_ids <- [];
     List.iter (fun (name, (def, _)) -> register_procedure t name def) (List.rev t.defs);
+    invalidate_stmts t;
     Printf.sprintf "strategy is now %s (%d procedures re-registered)" (strategy_name t)
       (List.length t.defs)
   | Ast.Show `Relations ->
@@ -664,7 +695,11 @@ let lock_set t (cmd : Ast.command) =
       (View_def.sources def)
   in
   match cmd with
-  | Ast.Retrieve r | Ast.Explain r -> source_locks (bind_retrieve t r)
+  | Ast.Retrieve r | Ast.Explain r ->
+    source_locks
+      (match t.stmt_hint with
+      | Some { Stmt_cache.prepared = Some p; _ } -> p.Stmt_cache.def
+      | _ -> bind_retrieve t r)
   | Ast.Exec name -> (
     match List.assoc_opt name t.defs with
     | Some (def, _) -> source_locks def
@@ -796,8 +831,36 @@ let exec_txn t ~client (cmd : Ast.command) =
           end;
           (match result with Ok s -> O_ok s | Error msg -> O_error msg)))
 
+(* Parse through the statement cache: a cached line skips the lexer and
+   parser entirely (and, once its entry is prepared, the binder, planner
+   and plan compiler too).  Only [retrieve] is cached end-to-end —
+   everything else re-parses each time. *)
+let parse_cached t line =
+  match t.stmt_cache with
+  | None -> Parser.parse_command line
+  | Some cache -> (
+    let key = Stmt_cache.normalize line in
+    match Stmt_cache.find cache key with
+    | Some entry ->
+      (match entry.Stmt_cache.prepared with
+      | Some _ -> Stmt_cache.note_hit cache
+      | None -> Stmt_cache.note_miss cache);
+      t.stmt_hint <- Some entry;
+      entry.Stmt_cache.cmd
+    | None ->
+      let cmd = Parser.parse_command line in
+      (match cmd with
+      | Ast.Retrieve _ ->
+        let entry = { Stmt_cache.cmd; prepared = None } in
+        Stmt_cache.store cache key entry;
+        Stmt_cache.note_miss cache;
+        t.stmt_hint <- Some entry
+      | _ -> ());
+      cmd)
+
 let exec_client t ~client line =
-  match Parser.parse_command line with
+  t.stmt_hint <- None;
+  match parse_cached t line with
   | exception Parser.Parse_error msg -> O_error msg
   | exception Lexer.Lex_error msg -> O_error msg
   | (Ast.Begin | Ast.Commit | Ast.Abort) as cmd -> exec_txn t ~client cmd
@@ -833,6 +896,7 @@ let abort_client t ~client =
       | _ -> false))
 
 let exec_command t (cmd : Ast.command) =
+  t.stmt_hint <- None;
   match cmd with
   | Ast.Begin | Ast.Commit | Ast.Abort -> (
     match exec_txn t ~client:0 cmd with

@@ -13,13 +13,28 @@ exception Runtime_error of string
 
 type t
 
-val create : ?ctx:Dbproc_obs.Ctx.t -> ?page_bytes:int -> ?tuple_bytes:int -> unit -> t
+val create :
+  ?ctx:Dbproc_obs.Ctx.t ->
+  ?page_bytes:int ->
+  ?tuple_bytes:int ->
+  ?plan_cache:bool ->
+  unit ->
+  t
 (** A fresh session.  [page_bytes] defaults to the paper's B = 4000,
     [tuple_bytes] to S = 100.  [ctx] binds the session's cost accounting
     to its own engine observability context (default: the shared
     {!Dbproc_obs.Ctx.default}) — server shards pass one context per shard
     so sessions in different domains never share a counter cell.  The
-    session's tracer is clocked off its own simulated milliseconds. *)
+    session's tracer is clocked off its own simulated milliseconds.
+
+    [plan_cache] (default [true]) enables the per-session statement
+    cache: repeated statement text skips the parser, and repeated
+    [retrieve] text additionally reuses the bound, planned and compiled
+    plan ({!Stmt_cache}).  The cache is invalidated on [create], [index]
+    and [strategy].  Parsing and planning are uncharged, so the cache
+    never changes simulated cost — only wall-clock.  Hits, misses and
+    invalidations are counted in the session's metrics registry as
+    [plan_cache.*]. *)
 
 val strategy_name : t -> string
 val procedure_names : t -> string list

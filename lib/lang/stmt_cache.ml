@@ -1,0 +1,65 @@
+open Dbproc_query
+module Metrics = Dbproc_obs.Metrics
+
+type prepared = {
+  def : View_def.t;
+  projection : int list option;
+  exec : Executor.prepared;
+}
+
+type entry = { cmd : Ast.command; mutable prepared : prepared option }
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  metrics : Metrics.t;
+  max_entries : int;
+}
+
+let create ?(max_entries = 512) ~metrics () =
+  { tbl = Hashtbl.create 64; metrics; max_entries }
+
+(* Normalized key: whitespace runs collapsed to one space, ends trimmed.
+   Case is preserved — string literals are case-significant, and the
+   lexer already accepts keywords in one case only. *)
+let normalize line =
+  let buf = Buffer.create (String.length line) in
+  let pending = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\r' | '\n' -> if Buffer.length buf > 0 then pending := true
+      | c ->
+        if !pending then begin
+          Buffer.add_char buf ' ';
+          pending := false
+        end;
+        Buffer.add_char buf c)
+    line;
+  Buffer.contents buf
+
+let find t key = Hashtbl.find_opt t.tbl key
+
+let store t key entry =
+  if Hashtbl.length t.tbl >= t.max_entries && not (Hashtbl.mem t.tbl key) then ()
+  else Hashtbl.replace t.tbl key entry
+
+let note_hit t = Metrics.incr t.metrics Metrics.Plan_cache_hits
+let note_miss t = Metrics.incr t.metrics Metrics.Plan_cache_misses
+
+(* Drop every cached statement; counts one invalidation per entry that
+   held a prepared plan.  Called on DDL (create/index), on [strategy]
+   (the session analogue of an adaptive strategy migration), and on
+   anything else that could change plan choice. *)
+let invalidate t =
+  let dropped =
+    Hashtbl.fold (fun _ e acc -> if e.prepared <> None then acc + 1 else acc) t.tbl 0
+  in
+  if dropped > 0 then Metrics.incr ~n:dropped t.metrics Metrics.Plan_cache_invalidations;
+  Hashtbl.reset t.tbl
+
+let stats t =
+  ( Metrics.get t.metrics Metrics.Plan_cache_hits,
+    Metrics.get t.metrics Metrics.Plan_cache_misses,
+    Metrics.get t.metrics Metrics.Plan_cache_invalidations )
+
+let size t = Hashtbl.length t.tbl

@@ -49,8 +49,11 @@ type cstate = {
   mutable next_id : int;
   inflight : (int, float * bool) Hashtbl.t;  (** id -> (send wall time, is_write) *)
   mutable setup_id : int option;
-      (** the in-flight [create LG<i>] request of a writing connection;
-          quota requests are held back until it is answered *)
+      (** the in-flight setup request; quota requests are held back until
+          the whole setup queue is answered *)
+  mutable setup_queue : string list;
+      (** setup lines not yet sent (user [setup] lines, then the
+          [create LG<i>] of a writing connection) *)
   mutable alive : bool;
 }
 
@@ -100,7 +103,8 @@ let fetch_server_counts ~host ~port =
     result
 
 let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
-    ?(mode = Mixed) ?(write_frac = 0.0) ?(fetch_stats = true) ~conns ~requests () =
+    ?(mode = Mixed) ?(write_frac = 0.0) ?(fetch_stats = true) ?statement ?(setup = [])
+    ~conns ~requests () =
   if conns < 1 then Error "loadgen: need at least one connection"
   else if requests < 0 then Error "loadgen: negative request count"
   else if pipeline < 1 then Error "loadgen: pipeline depth must be >= 1"
@@ -126,14 +130,19 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
                (Dbproc_util.Prng.int prng 1_000_000)
                (Dbproc_util.Prng.int prng 1_000_000)),
           true )
-      else
+      else begin
+        let exec_line () =
+          match statement with
+          | Some line -> Protocol.Exec_line line
+          | None -> Protocol.Exec_line (Dbproc_util.Prng.pick prng exec_lines)
+        in
         ( (match mode with
           | Ping_only -> Protocol.Ping
-          | Exec_only -> Protocol.Exec_line (Dbproc_util.Prng.pick prng exec_lines)
+          | Exec_only -> exec_line ()
           | Mixed ->
-            if Dbproc_util.Prng.bool prng then Protocol.Ping
-            else Protocol.Exec_line (Dbproc_util.Prng.pick prng exec_lines)),
+            if Dbproc_util.Prng.bool prng then Protocol.Ping else exec_line ()),
           false )
+      end
     in
     (* Connect every socket up front (blocking), then switch to
        non-blocking for the drive loop.  Quotas spread N over C. *)
@@ -162,6 +171,12 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
             next_id = 1;
             inflight = Hashtbl.create 16;
             setup_id = None;
+            setup_queue =
+              (setup
+              @
+              if write_frac > 0.0 then
+                [ Printf.sprintf "create LG%d (k = int, v = int)" conn_ix ]
+              else []);
             alive = true;
           })
         quotas
@@ -184,7 +199,7 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
       let finish_conn c =
         (* all answered and nothing left to send: clean close *)
         if
-          c.alive && c.quota = 0 && c.setup_id = None
+          c.alive && c.quota = 0 && c.setup_id = None && c.setup_queue = []
           && Hashtbl.length c.inflight = 0
         then begin
           c.alive <- false;
@@ -192,9 +207,10 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
         end
       in
       let enqueue c =
-        (* a writing connection sends nothing until its LG<i> relation
-           exists — otherwise early appends would fail and skew counts *)
-        if c.setup_id = None then
+        (* nothing is sent until every setup line is answered — otherwise
+           early requests would fail against missing relations and skew
+           counts *)
+        if c.setup_id = None && c.setup_queue = [] then
           while c.quota > 0 && Hashtbl.length c.inflight < pipeline do
             let req, is_write = next_request c in
             let id = c.next_id in
@@ -207,19 +223,24 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
           done
       in
       let send_setup c =
-        let id = c.next_id in
-        c.next_id <- c.next_id + 1;
-        Protocol.write_request c.out ~id
-          (Protocol.Exec_line
-             (Printf.sprintf "create LG%d (k = int, v = int)" c.conn_ix));
-        c.setup_id <- Some id
+        match c.setup_queue with
+        | [] -> ()
+        | line :: rest ->
+          c.setup_queue <- rest;
+          let id = c.next_id in
+          c.next_id <- c.next_id + 1;
+          Protocol.write_request c.out ~id (Protocol.Exec_line line);
+          c.setup_id <- Some id
       in
       let on_response c id (resp : Protocol.response) =
         if c.setup_id = Some id then begin
           (* setup answer: not a quota request, not counted in ok/failed *)
           c.setup_id <- None;
-          enqueue c;
-          finish_conn c
+          if c.setup_queue <> [] then send_setup c
+          else begin
+            enqueue c;
+            finish_conn c
+          end
         end
         else begin
           let is_write =
@@ -283,7 +304,7 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
         end
       in
       List.iter
-        (fun c -> if write_frac > 0.0 then send_setup c else enqueue c)
+        (fun c -> if c.setup_queue <> [] then send_setup c else enqueue c)
         states;
       List.iter finish_conn states;
       (* Drive until every connection is done (or lost).  The deadline is

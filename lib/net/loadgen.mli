@@ -68,12 +68,21 @@ val run :
   ?mode:mode ->
   ?write_frac:float ->
   ?fetch_stats:bool ->
+  ?statement:string ->
+  ?setup:string list ->
   conns:int ->
   requests:int ->
   unit ->
   (report, string) result
 (** Drive [requests] requests over [conns] connections with up to
     [pipeline] (default 8) outstanding per connection.
+
+    [statement] pins every engine-executing request to one fixed shell
+    line instead of the seeded mix — the statement-replay workload the
+    per-session statement cache targets.  [setup] lines are sent by every
+    connection before its quota (answers uncounted, errors tolerated — on
+    a shared shard session only the first connection's [create] wins),
+    so replayed statements can run against populated relations.
 
     [write_frac] (default 0) is the probability that a quota request is a
     write: an [append] to the connection's private [LG<i>] relation,

@@ -13,6 +13,7 @@ type config = {
   drain_grace : float;
   max_frame : int;
   trace : bool;
+  plan_cache : bool;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     drain_grace = 5.0;
     max_frame = Protocol.max_frame_default;
     trace = false;
+    plan_cache = true;
   }
 
 (* Deliver one whole small frame on a socket that is about to be closed.
@@ -82,10 +84,10 @@ type completion =
    response — is a deterministic function of the job sequence.  The shard
    never touches a socket; it talks to the event loop only through the
    two channels and the wake callback. *)
-let shard_worker ~trace ~jobs ~completions ~wake () =
+let shard_worker ~trace ~plan_cache ~jobs ~completions ~wake () =
   let ctx = Ctx.create () in
   if trace then Trace.set_enabled (Ctx.trace ctx) true;
-  let session = Dbproc_lang.Interp.create ~ctx () in
+  let session = Dbproc_lang.Interp.create ~ctx ~plan_cache () in
   let request_ms = Histogram.named (Ctx.histograms ctx) "net.request.sim_ms" in
   (* Lines execute on behalf of the connection, so each connection gets
      its own transaction state in the shard's shared session.  A blocked
@@ -232,8 +234,8 @@ let run t =
     Array.map
       (fun jobs ->
         Domain.spawn
-          (shard_worker ~trace:cfg.trace ~jobs ~completions:t.completions
-             ~wake:(wake t)))
+          (shard_worker ~trace:cfg.trace ~plan_cache:cfg.plan_cache ~jobs
+             ~completions:t.completions ~wake:(wake t)))
       shard_jobs
   in
   let conns : (int, conn) Hashtbl.t = Hashtbl.create 64 in

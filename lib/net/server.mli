@@ -44,6 +44,7 @@ type config = {
   drain_grace : float;  (** seconds to flush on shutdown *)
   max_frame : int;
   trace : bool;  (** enable span tracing on every shard context *)
+  plan_cache : bool;  (** per-shard statement cache (on by default) *)
 }
 
 val default_config : config

@@ -55,8 +55,13 @@ type counter =
   | Deadlock_cycles
   | Deadlock_victims
   | Net_parked
+  | Tuples_batched
+  | Batches_emitted
+  | Plan_cache_hits
+  | Plan_cache_misses
+  | Plan_cache_invalidations
 
-let n_counters = 56
+let n_counters = 61
 
 (* The variant is the key into one flat int array: no hashing, no
    allocation, no closures on the charging path. *)
@@ -117,6 +122,11 @@ let index = function
   | Deadlock_cycles -> 53
   | Deadlock_victims -> 54
   | Net_parked -> 55
+  | Tuples_batched -> 56
+  | Batches_emitted -> 57
+  | Plan_cache_hits -> 58
+  | Plan_cache_misses -> 59
+  | Plan_cache_invalidations -> 60
 
 let counter_name = function
   | Pages_read -> "pages_read"
@@ -175,6 +185,11 @@ let counter_name = function
   | Deadlock_cycles -> "deadlock.cycles"
   | Deadlock_victims -> "deadlock.victims"
   | Net_parked -> "net.parked"
+  | Tuples_batched -> "tuples_batched"
+  | Batches_emitted -> "batches_emitted"
+  | Plan_cache_hits -> "plan_cache.hits"
+  | Plan_cache_misses -> "plan_cache.misses"
+  | Plan_cache_invalidations -> "plan_cache.invalidations"
 
 let all_counters =
   [
@@ -192,6 +207,8 @@ let all_counters =
     Cache_fallback_recomputes; Adaptive_decisions; Adaptive_migrations;
     Txn_begins; Txn_commits; Txn_aborts; Txn_lock_waits; Txn_undo_applied;
     Txn_ilocks_broken; Deadlock_cycles; Deadlock_victims; Net_parked;
+    Tuples_batched; Batches_emitted; Plan_cache_hits; Plan_cache_misses;
+    Plan_cache_invalidations;
   ]
 
 type gauge =

@@ -82,6 +82,13 @@ type counter =
   | Deadlock_cycles  (** waits-for cycles detected *)
   | Deadlock_victims  (** transactions aborted as deadlock victims *)
   | Net_parked  (** blocked requests parked (re-queued) by the server *)
+  | Tuples_batched  (** tuples carried through columnar executor batches *)
+  | Batches_emitted  (** batches emitted by compiled-pipeline stages *)
+  | Plan_cache_hits  (** statements served from a session statement cache *)
+  | Plan_cache_misses
+      (** cacheable statements that had to be parsed, bound and planned *)
+  | Plan_cache_invalidations
+      (** cached statements dropped on DDL / index / strategy changes *)
 
 val all_counters : counter list
 val counter_name : counter -> string

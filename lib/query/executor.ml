@@ -1,6 +1,21 @@
 open Dbproc_storage
 open Dbproc_relation
 
+(* ------------------------------------------------------------- engines *)
+
+type engine = Tuple_interp | Batch_compiled
+
+let engine_of_env () =
+  match Sys.getenv_opt "DBPROC_ENGINE" with
+  | Some ("interp" | "tuple") -> Tuple_interp
+  | _ -> Batch_compiled
+
+let engine = ref (engine_of_env ())
+let current_engine () = !engine
+let set_engine e = engine := e
+
+(* ----------------------------------------- tuple-at-a-time interpreter *)
+
 let charge_screen io = Cost.cpu_screen (Io.cost io)
 
 let note_scanned io =
@@ -28,16 +43,14 @@ let run_access (plan : Plan.t) =
       invalid_arg
         (Printf.sprintf "Executor: plan expects a btree on %s.%s" (Relation.name rel) attr)
     | Some btree ->
-      let rids = ref [] in
-      Dbproc_index.Btree.range btree ~lo ~hi ~f:(fun _k rid -> rids := rid :: !rids);
+      (* fold directly in range order: one reversal of the accumulated
+         output, not two of the rid list *)
       let out = ref [] in
-      List.iter
-        (fun rid ->
+      Dbproc_index.Btree.range btree ~lo ~hi ~f:(fun _k rid ->
           let tuple = Relation.get rel rid in
           note_scanned io;
           charge_screen io;
-          if Predicate.eval residual tuple then out := tuple :: !out)
-        (List.rev !rids);
+          if Predicate.eval residual tuple then out := tuple :: !out);
       List.rev !out)
 
 let run_probe (probe : Plan.join_probe) outer_tuples =
@@ -73,20 +86,50 @@ let run_probe (probe : Plan.join_probe) outer_tuples =
       outer_tuples
   end
 
+(* ------------------------------------------------- prepared statements *)
+
+type prepared = { plan : Plan.t; mutable compiled : Compiled.t option }
+
+let prepare plan = { plan; compiled = None }
+
+let compiled_of p =
+  match p.compiled with
+  | Some c -> c
+  | None ->
+    let c = Compiled.of_plan p.plan in
+    p.compiled <- Some c;
+    c
+
+let plan_of p = p.plan
+
+(* ------------------------------------------------------- entry points *)
+
+let run_prepared (p : prepared) =
+  let plan = p.plan in
+  let io = Relation.io plan.base_rel in
+  if Io.counting io then Dbproc_obs.Metrics.incr (Io.metrics io) Dbproc_obs.Metrics.Plans_executed;
+  Io.with_touch_dedup io (fun () ->
+      match !engine with
+      | Batch_compiled -> Compiled.execute (compiled_of p)
+      | Tuple_interp ->
+        let base = run_access plan in
+        List.fold_left (fun acc pr -> run_probe pr acc) base plan.probes)
+
+let run plan = run_prepared (prepare plan)
+
+let run_base (plan : Plan.t) =
+  let io = Relation.io plan.base_rel in
+  Io.with_touch_dedup io (fun () ->
+      match !engine with
+      | Batch_compiled -> Compiled.execute_base (Compiled.of_plan { plan with probes = [] })
+      | Tuple_interp -> run_access plan)
+
 let probe_chain ~probes ~outer =
   match probes with
   | [] -> outer
   | first :: _ ->
     let io = Relation.io first.Plan.probe_rel in
-    Io.with_touch_dedup io (fun () -> List.fold_left (fun acc p -> run_probe p acc) outer probes)
-
-let run_base (plan : Plan.t) =
-  let io = Relation.io plan.base_rel in
-  Io.with_touch_dedup io (fun () -> run_access plan)
-
-let run (plan : Plan.t) =
-  let io = Relation.io plan.base_rel in
-  if Io.counting io then Dbproc_obs.Metrics.incr (Io.metrics io) Dbproc_obs.Metrics.Plans_executed;
-  Io.with_touch_dedup io (fun () ->
-      let base = run_access plan in
-      List.fold_left (fun acc p -> run_probe p acc) base plan.probes)
+    Io.with_touch_dedup io (fun () ->
+        match !engine with
+        | Batch_compiled -> Compiled.probe_pipeline probes outer
+        | Tuple_interp -> List.fold_left (fun acc p -> run_probe p acc) outer probes)

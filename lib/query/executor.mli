@@ -9,12 +9,27 @@
       "additional [C1 fN] predicate tests" per join).
 
     Tuples flowing between stages are concatenations of the source tuples,
-    matching {!View_def.schema}. *)
+    matching {!View_def.schema}.
+
+    {b Engines.}  Two interchangeable engines execute plans: the original
+    tuple-at-a-time tree interpreter, and the compiled batch pipeline
+    ({!Compiled}, the default).  Both charge identically — the cost model
+    prices page and screen touches, not dispatch — so simulated-cost
+    output is byte-identical whichever engine runs; only wall-clock
+    differs.  The [DBPROC_ENGINE] environment variable ([interp]/[tuple]
+    selects the interpreter; anything else, or unset, the compiled
+    engine) fixes the initial engine, and {!set_engine} switches at run
+    time (tests and the engine-differential CI gate). *)
 
 open Dbproc_relation
 
+type engine = Tuple_interp | Batch_compiled
+
+val current_engine : unit -> engine
+val set_engine : engine -> unit
+
 val run : Plan.t -> Tuple.t list
-(** Execute a full plan. *)
+(** Execute a full plan under the current engine. *)
 
 val run_base : Plan.t -> Tuple.t list
 (** Execute only the base access path (no probes). *)
@@ -24,3 +39,19 @@ val probe_chain : probes:Plan.join_probe list -> outer:Tuple.t list -> Tuple.t l
     — the building block AVM uses to join delta tuples to the other base
     relations.  Charged like the probe stages of {!run} (page dedup scoped
     to this call). *)
+
+(** {2 Prepared plans}
+
+    A {!prepared} bundles a plan with its lazily compiled batch pipeline,
+    so a statement executed many times (the statement cache, procedure
+    managers) pays compilation once.  Preparation charges nothing, so
+    caching it cannot change simulated cost. *)
+
+type prepared
+
+val prepare : Plan.t -> prepared
+val plan_of : prepared -> Plan.t
+
+val run_prepared : prepared -> Tuple.t list
+(** Like {!run}; under the compiled engine the pipeline is compiled on
+    first use and reused. *)

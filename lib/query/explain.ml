@@ -5,6 +5,7 @@ type step = { description : string; est_pages : float; est_screens : float }
 
 type report = {
   plan_text : string;
+  pipeline : string list;
   steps : step list;
   est_ms : float;
   measured_ms : float;
@@ -127,6 +128,7 @@ let explain_run (def : View_def.t) =
   let after = Cost.snapshot cost in
   {
     plan_text;
+    pipeline = Compiled.pipeline (Compiled.of_plan plan);
     steps;
     est_ms;
     measured_ms = Cost.diff_ms charges ~before ~after;
@@ -137,6 +139,8 @@ let explain_run (def : View_def.t) =
 
 let pp_report ppf r =
   Format.fprintf ppf "plan: %s@\n" r.plan_text;
+  if r.pipeline <> [] then
+    Format.fprintf ppf "compiled: %s@\n" (String.concat " -> " r.pipeline);
   List.iter
     (fun s ->
       Format.fprintf ppf "  %-52s ~%.1f pages, ~%.0f screens@\n" s.description s.est_pages

@@ -15,6 +15,9 @@ type step = {
 
 type report = {
   plan_text : string;
+  pipeline : string list;
+      (** the compiled batch pipeline, one line per stage
+          ({!Compiled.pipeline}) *)
   steps : step list;
   est_ms : float;
   measured_ms : float;

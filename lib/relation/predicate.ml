@@ -26,6 +26,71 @@ type t = term list
 let always_true = []
 let eval terms tuple = List.for_all (fun t -> eval_term t tuple) terms
 
+(* Compile a term, once, into a closure specialized on the constant's
+   constructor and the operator: per row the work is one field load, one
+   monomorphic comparison and an integer test — no term-list walk and no
+   inner closure dispatch.  Integer constants (the common case) get one
+   flat closure per operator; the mixed-constructor fallback keeps
+   {!Value.compare} ordering.  The attribute position must already be
+   validated against the schema (the binder and planner do), as the
+   field load is unchecked. *)
+let compile_term { attr; op; value } =
+  match value with
+  | Value.Int c -> (
+    match op with
+    | Lt -> (
+      fun tuple ->
+        match Tuple.unsafe_get tuple attr with
+        | Value.Int x -> x < c
+        | x -> Value.compare x value < 0)
+    | Le -> (
+      fun tuple ->
+        match Tuple.unsafe_get tuple attr with
+        | Value.Int x -> x <= c
+        | x -> Value.compare x value <= 0)
+    | Eq -> (
+      fun tuple ->
+        match Tuple.unsafe_get tuple attr with Value.Int x -> x = c | _ -> false)
+    | Ne -> (
+      fun tuple ->
+        match Tuple.unsafe_get tuple attr with Value.Int x -> x <> c | _ -> true)
+    | Ge -> (
+      fun tuple ->
+        match Tuple.unsafe_get tuple attr with
+        | Value.Int x -> x >= c
+        | x -> Value.compare x value >= 0)
+    | Gt -> (
+      fun tuple ->
+        match Tuple.unsafe_get tuple attr with
+        | Value.Int x -> x > c
+        | x -> Value.compare x value > 0))
+  | _ ->
+    let cmp =
+      match value with
+      | Value.Int _ -> fun x -> Value.compare x value
+      | Value.Float c -> (
+        fun x -> match x with Value.Float x -> Float.compare x c | x -> Value.compare x value)
+      | Value.Str c -> (
+        fun x -> match x with Value.Str x -> String.compare x c | x -> Value.compare x value)
+    in
+    (match op with
+    | Lt -> fun tuple -> cmp (Tuple.unsafe_get tuple attr) < 0
+    | Le -> fun tuple -> cmp (Tuple.unsafe_get tuple attr) <= 0
+    | Eq -> fun tuple -> cmp (Tuple.unsafe_get tuple attr) = 0
+    | Ne -> fun tuple -> cmp (Tuple.unsafe_get tuple attr) <> 0
+    | Ge -> fun tuple -> cmp (Tuple.unsafe_get tuple attr) >= 0
+    | Gt -> fun tuple -> cmp (Tuple.unsafe_get tuple attr) > 0)
+
+let compile = function
+  | [] -> fun _ -> true
+  | [ t ] -> compile_term t
+  | terms ->
+    let compiled = Array.of_list (List.map compile_term terms) in
+    let k = Array.length compiled in
+    fun tuple ->
+      let rec go i = i >= k || (compiled.(i) tuple && go (i + 1)) in
+      go 0
+
 let sort_terms terms =
   List.sort
     (fun a b ->

@@ -24,6 +24,16 @@ type t = term list
 val always_true : t
 val eval : t -> Tuple.t -> bool
 
+val compile_term : term -> Tuple.t -> bool
+(** A term compiled, once, into a closure specialized on the constant's
+    constructor and the operator — the batch executor's per-row test.
+    The attribute position must be valid for every tuple evaluated (the
+    field load is unchecked). *)
+
+val compile : t -> Tuple.t -> bool
+(** The conjunction compiled term by term; [always_true] compiles to a
+    constant closure. *)
+
 val equal : t -> t -> bool
 (** Structural equality after sorting terms — used to detect shared
     subexpressions when building Rete networks. *)

@@ -103,6 +103,10 @@ let index_descriptions t =
 
 let get t rid = Heap_file.get t.heap rid
 let scan t ~f = Heap_file.scan t.heap ~f
+let scan_chunks t ~size ~f = Heap_file.scan_chunks t.heap ~size ~f
+
+let scan_filter_chunks t ~size ~keep ~f =
+  Heap_file.scan_filter_chunks t.heap ~size ~keep ~f
 let read_all t = Heap_file.read_all t.heap
 
 let fetch_by_key t ~attr key =
@@ -121,6 +125,25 @@ let fetch_by_key t ~attr key =
     let rids = Btree.search b key in
     List.map (fun rid -> (rid, Heap_file.get t.heap rid)) rids
   | None -> invalid_arg (Printf.sprintf "Relation %s: no index on %S" t.name attr)
+
+let probe t ~attr =
+  (* The attribute position is resolved once; the index is looked up per
+     call (the list is tiny) so the accessor stays valid if an index is
+     added later.  Charges are identical to [fetch_by_key]. *)
+  let pos = attr_pos t attr in
+  fun key ->
+    match List.assoc_opt pos t.indexes with
+    | Some (Hash_idx { index; primary = true }) ->
+      let rids = Hash_index.search index key in
+      Cost.with_disabled (Io.cost (io t)) (fun () ->
+          List.map (fun rid -> Heap_file.get t.heap rid) rids)
+    | Some (Hash_idx { index; primary = false }) ->
+      let rids = Hash_index.search index key in
+      List.map (fun rid -> Heap_file.get t.heap rid) rids
+    | Some (Btree_idx b) ->
+      let rids = Btree.search b key in
+      List.map (fun rid -> Heap_file.get t.heap rid) rids
+    | None -> invalid_arg (Printf.sprintf "Relation %s: no index on %S" t.name attr)
 
 let check_tuple t tuple =
   if not (Tuple.matches_schema t.schema tuple) then

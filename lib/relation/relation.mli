@@ -57,6 +57,29 @@ val fetch_by_key :
     matching heap tuples, charging index and heap reads.
     @raise Invalid_argument if no index exists on [attr]. *)
 
+val scan_chunks : t -> size:int -> f:(Tuple.t array -> int -> unit) -> unit
+(** Scan in rid order, handing out up to [size] tuples at a time
+    ([f buf n]: first [n] cells valid).  Charges exactly like {!scan}
+    (one read per allocated page); the batch executor's scan producer.
+    Each buffer is freshly allocated and ownership passes to [f]. *)
+
+val scan_filter_chunks :
+  t -> size:int -> keep:(Tuple.t -> bool) -> f:(Tuple.t array -> int -> unit) -> unit
+(** {!scan_chunks} with [keep] fused into the page walk: only surviving
+    tuples are buffered, in rid order, with the same one-read-per-page
+    charges.  The caller accounts for every stored tuple visited (the
+    whole relation).  The compiled executor's selective-scan producer. *)
+
+val probe : t -> attr:string -> Value.t -> Tuple.t list
+(** [probe t ~attr] is a point-probe accessor with the attribute position
+    resolved once: [probe t ~attr key] returns the matching tuples with
+    the same charges as {!fetch_by_key} (primary-hash bucket pages are
+    the data pages, so the heap fetch is free; otherwise one heap read
+    per rid).  The batch executor's index-join producer — partially apply
+    it outside the loop.
+    @raise Invalid_argument (when applied to a key) if no index exists on
+    [attr]. *)
+
 (** {2 Mutation} *)
 
 val insert : t -> Tuple.t -> Dbproc_storage.Heap_file.rid

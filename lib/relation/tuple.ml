@@ -8,6 +8,9 @@ let get t i =
   if i < 0 || i >= Array.length t then invalid_arg "Tuple.get: index out of range";
   t.(i)
 
+let unsafe_get (t : t) i = Array.unsafe_get t i
+let unsafe_of_array (a : Value.t array) : t = a
+
 let field schema name t = get t (Schema.index_of schema name)
 let concat = Array.append
 

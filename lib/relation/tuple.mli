@@ -9,6 +9,16 @@ val of_array : Value.t array -> t
 val arity : t -> int
 val get : t -> int -> Value.t
 
+val unsafe_get : t -> int -> Value.t
+(** {!get} without the bounds check — for the batch executor's inner
+    loops, where the position was validated against the schema once at
+    plan-compile time. *)
+
+val unsafe_of_array : Value.t array -> t
+(** Like {!of_array} but without the defensive copy.  The caller must
+    never mutate the array afterwards; used by the batch executor when
+    materializing row views of freshly built columns. *)
+
 val field : Schema.t -> string -> t -> Value.t
 (** Positional lookup by attribute name.  @raise Not_found if absent. *)
 

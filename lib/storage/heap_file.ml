@@ -191,6 +191,68 @@ let scan t ~f =
     done
   done
 
+let scan_chunks t ~size ~f =
+  (* Same page-at-a-time visit (and the same one-read-per-page charge) as
+     [scan], but records are handed out [size] at a time.  Each chunk's
+     buffer is freshly allocated and ownership passes to [f] — a consumer
+     can compact survivors in place and keep the array. *)
+  let size = max 1 size in
+  let buf = ref [||] in
+  let n = ref 0 in
+  let flush () =
+    if !n > 0 then begin
+      f !buf !n;
+      buf := [||];
+      n := 0
+    end
+  in
+  for page = 0 to t.page_count - 1 do
+    Io.read t.io ~file:t.file_id ~page;
+    let data = t.pages.(page) in
+    for slot = 0 to t.per_page - 1 do
+      match data.slots.(slot) with
+      | Some v ->
+        if Array.length !buf = 0 then buf := Array.make size v;
+        !buf.(!n) <- v;
+        incr n;
+        if !n = size then flush ()
+      | None -> ()
+    done
+  done;
+  flush ()
+
+let scan_filter_chunks t ~size ~keep ~f =
+  (* [scan_chunks] with the predicate fused into the page walk: records
+     failing [keep] are never buffered, so a selective scan writes only
+     survivors.  Charges are identical to [scan] — one read per page;
+     the caller owns per-record accounting (every stored record is
+     visited, kept or not).  Chunk buffers are freshly allocated and
+     ownership passes to [f]. *)
+  let size = max 1 size in
+  let buf = ref [||] in
+  let n = ref 0 in
+  let flush () =
+    if !n > 0 then begin
+      f !buf !n;
+      buf := [||];
+      n := 0
+    end
+  in
+  for page = 0 to t.page_count - 1 do
+    Io.read t.io ~file:t.file_id ~page;
+    let data = t.pages.(page) in
+    for slot = 0 to t.per_page - 1 do
+      match data.slots.(slot) with
+      | Some v when keep v ->
+        if Array.length !buf = 0 then buf := Array.make size v;
+        !buf.(!n) <- v;
+        incr n;
+        if !n = size then flush ()
+      | Some _ | None -> ()
+    done
+  done;
+  flush ()
+
 let fold t ~init ~f =
   let acc = ref init in
   scan t ~f:(fun rid v -> acc := f !acc rid v);

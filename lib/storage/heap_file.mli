@@ -61,6 +61,21 @@ val apply_batch : 'a t -> 'a op list -> rid list
 val scan : 'a t -> f:(rid -> 'a -> unit) -> unit
 (** Visit every record, charging one read per allocated page. *)
 
+val scan_chunks : 'a t -> size:int -> f:('a array -> int -> unit) -> unit
+(** Visit every record in rid order, [size] records at a time, charging
+    one read per allocated page — identical charges and record order to
+    {!scan}.  [f buf n] receives a freshly allocated buffer whose first
+    [n] cells are valid; ownership passes to [f], which may compact the
+    array in place and keep it. *)
+
+val scan_filter_chunks :
+  'a t -> size:int -> keep:('a -> bool) -> f:('a array -> int -> unit) -> unit
+(** {!scan_chunks} with the predicate fused into the page walk: only
+    records satisfying [keep] are buffered and handed out, in rid order.
+    Charges are identical to {!scan} (one read per allocated page; the
+    caller accounts for the records visited, kept or not — every stored
+    record is).  Buffer ownership passes to [f] as in {!scan_chunks}. *)
+
 val fold : 'a t -> init:'b -> f:('b -> rid -> 'a -> 'b) -> 'b
 
 val read_all : 'a t -> 'a list

@@ -69,7 +69,7 @@ type t = {
   mutable next_file : int;
   mutable hits : int;
   mutable misses : int;
-  dedup : (int * int * bool, unit) Hashtbl.t; (* (file, page, is_write) *)
+  dedup : (int, unit) Hashtbl.t; (* packed (file, page, is_write) keys *)
   mutable dedup_depth : int;
   mutable touch_hook : (touch -> unit) option;
 }
@@ -125,14 +125,17 @@ let with_touch_dedup t f =
     f
 
 (* True if the touch should be charged (first touch of the page in the
-   current dedup scope, or no scope active). *)
+   current dedup scope, or no scope active).  The (file, page, is_write)
+   triple packs into one immediate int — file ids and page numbers both
+   stay far below 2^30 in any simulated database — so the per-touch
+   check neither allocates nor runs the polymorphic hash. *)
 let should_charge t ~file ~page ~is_write =
   if t.dedup_depth = 0 then true
   else begin
-    let key = (file, page, is_write) in
+    let key = (file lsl 32) lor (page lsl 1) lor Bool.to_int is_write in
     if Hashtbl.mem t.dedup key then false
     else begin
-      Hashtbl.replace t.dedup key ();
+      Hashtbl.add t.dedup key ();
       true
     end
   end

@@ -1,0 +1,402 @@
+(* Tests for the compiled batch executor: batch primitives, engine
+   differentials (tuple interpreter vs compiled pipeline must return the
+   same tuples in the same order AND charge the same simulated cost),
+   planner edge cases, and the interpreter's statement cache. *)
+
+open Dbproc
+open Dbproc.Storage
+open Dbproc.Query
+module Metrics = Dbproc_obs.Metrics
+
+let tuple_list = Alcotest.testable Tuple.pp Tuple.equal
+let value_int i = Value.Int i
+
+let with_engine engine f =
+  let saved = Executor.current_engine () in
+  Executor.set_engine engine;
+  Fun.protect ~finally:(fun () -> Executor.set_engine saved) f
+
+(* Shared fixture, mirroring test_query: R(k, v) btree on k; S(b, w)
+   hash-primary on b. *)
+type fixture = { cost : Cost.t; r : Relation.t; s : Relation.t }
+
+let r_schema = Schema.create [ ("k", Value.TInt); ("v", Value.TInt) ]
+let s_schema = Schema.create [ ("b", Value.TInt); ("w", Value.TInt) ]
+
+let make_fixture ?(r_rows = 40) ?(s_rows = 10) () =
+  let cost = Cost.create () in
+  let io = Io.direct cost ~page_bytes:400 in
+  let r = Relation.create ~io ~name:"R" ~schema:r_schema ~tuple_bytes:100 in
+  Relation.load r
+    (List.init r_rows (fun i -> Tuple.create [ Value.Int i; Value.Int (i mod s_rows) ]));
+  Relation.add_btree_index r ~attr:"k" ~entry_bytes:20;
+  let s = Relation.create ~io ~name:"S" ~schema:s_schema ~tuple_bytes:100 in
+  Relation.load s (List.init s_rows (fun b -> Tuple.create [ Value.Int b; Value.Int (b * 100) ]));
+  Relation.add_hash_index ~primary:true s ~attr:"b" ~entry_bytes:100 ~expected_entries:s_rows;
+  { cost; r; s }
+
+let interval schema attr lo hi =
+  let pos = Schema.index_of schema attr in
+  [
+    Predicate.term ~attr:pos ~op:Predicate.Ge ~value:(Value.Int lo);
+    Predicate.term ~attr:pos ~op:Predicate.Lt ~value:(Value.Int hi);
+  ]
+
+let select_view fx lo hi =
+  View_def.select ~name:"V" ~rel:fx.r ~restriction:(interval r_schema "k" lo hi)
+
+let join_view fx lo hi =
+  View_def.join (select_view fx lo hi) ~rel:fx.s ~restriction:Predicate.always_true
+    ~left:"R.v" ~op:Predicate.Eq ~right:"b"
+
+(* ---------------------------------------------------------------- batch *)
+
+let test_batch_roundtrip () =
+  let tuples = List.init 10 (fun i -> Tuple.create [ Value.Int i; Value.Str "x" ]) in
+  let b = Batch.of_tuples ~arity:2 tuples in
+  Alcotest.(check int) "length" 10 (Batch.length b);
+  Alcotest.(check int) "arity" 2 (Batch.arity b);
+  Alcotest.(check (list tuple_list)) "roundtrip" tuples (Batch.to_tuples b);
+  Alcotest.(check (list tuple_list)) "empty" [] (Batch.to_tuples (Batch.empty ~arity:3))
+
+let test_batch_filter () =
+  let tuples = List.init 10 (fun i -> Tuple.create [ Value.Int i ]) in
+  let b = Batch.of_tuples ~arity:1 tuples in
+  let ge5 = [| Predicate.term ~attr:0 ~op:Predicate.Ge ~value:(value_int 5) |] in
+  let kept = Batch.filter ge5 b in
+  Alcotest.(check (list tuple_list))
+    "filtered, order kept"
+    (List.filteri (fun i _ -> i >= 5) tuples)
+    (Batch.to_tuples kept);
+  (* an all-pass filter returns the input unchanged *)
+  let all = Batch.filter [||] b in
+  Alcotest.(check bool) "no-op filter shares" true (all == b);
+  let none =
+    Batch.filter [| Predicate.term ~attr:0 ~op:Predicate.Lt ~value:(value_int 0) |] b
+  in
+  Alcotest.(check int) "none" 0 (Batch.length none)
+
+let test_batch_builder () =
+  let outer = Batch.of_tuples ~arity:2 [ Tuple.create [ Value.Int 1; Value.Int 2 ] ] in
+  let inner = Batch.of_tuples ~arity:1 [ Tuple.create [ Value.Int 7 ] ] in
+  let b = Batch.Builder.create ~arity:3 in
+  Batch.Builder.append_probe b outer 0 (Tuple.create [ Value.Int 9 ]);
+  Batch.Builder.append_pair b outer 0 inner 0;
+  let got = Batch.to_tuples (Batch.Builder.to_batch b) in
+  Alcotest.(check (list tuple_list))
+    "concatenated rows"
+    [
+      Tuple.create [ Value.Int 1; Value.Int 2; Value.Int 9 ];
+      Tuple.create [ Value.Int 1; Value.Int 2; Value.Int 7 ];
+    ]
+    got
+
+(* Builder growth across the doubling boundary keeps rows intact. *)
+let test_batch_builder_grow () =
+  let n = 3000 in
+  let outer = Batch.of_tuples ~arity:1 (List.init n (fun i -> Tuple.create [ Value.Int i ])) in
+  let b = Batch.Builder.create ~arity:1 in
+  let unit_outer = Batch.of_tuples ~arity:0 [ Tuple.create [] ] in
+  for i = 0 to n - 1 do
+    Batch.Builder.append_pair b unit_outer 0 outer i
+  done;
+  Alcotest.(check (list tuple_list))
+    "all rows, in order" (Batch.to_tuples outer)
+    (Batch.to_tuples (Batch.Builder.to_batch b))
+
+(* ------------------------------------------------- btree range ordering *)
+
+(* Satellite regression: Btree_range results must come back in ascending
+   key order (the interpreter used to double-reverse).  Both engines. *)
+let test_range_order engine () =
+  with_engine engine (fun () ->
+      let fx = make_fixture ~r_rows:50 () in
+      let plan = Planner.compile (select_view fx 7 31) in
+      (match plan.Plan.access with
+      | Plan.Btree_range _ -> ()
+      | _ -> Alcotest.fail "expected a btree range plan");
+      let keys =
+        List.map (fun t -> match Tuple.get t 0 with Value.Int k -> k | _ -> -1)
+          (Executor.run plan)
+      in
+      Alcotest.(check (list int)) "ascending range order" (List.init 24 (fun i -> 7 + i)) keys)
+
+(* --------------------------------------------------- planner edge cases *)
+
+let test_planner_point_no_index () =
+  let fx = make_fixture () in
+  (* equality on R.v: no index on v, so the only option is a full scan *)
+  let def =
+    View_def.select ~name:"V" ~rel:fx.r
+      ~restriction:[ Predicate.term ~attr:1 ~op:Predicate.Eq ~value:(value_int 3) ]
+  in
+  let plan = Planner.compile def in
+  (match plan.Plan.access with
+  | Plan.Full_scan { residual } ->
+    Alcotest.(check int) "predicate kept as residual" 1 (List.length residual)
+  | _ -> Alcotest.fail "expected Full_scan");
+  let rows = Executor.run plan in
+  Alcotest.(check int) "qualifying rows" 4 (List.length rows)
+
+let test_planner_range_only_hash () =
+  (* a range over S.b: S has only a hash index, which cannot serve a
+     range, so the planner must fall back to a full scan *)
+  let fx = make_fixture () in
+  let def =
+    View_def.select ~name:"V" ~rel:fx.s ~restriction:(interval s_schema "b" 2 6)
+  in
+  let plan = Planner.compile def in
+  (match plan.Plan.access with
+  | Plan.Full_scan _ -> ()
+  | _ -> Alcotest.fail "expected Full_scan for a range with only a hash index");
+  Alcotest.(check int) "qualifying rows" 4 (List.length (Executor.run plan))
+
+let test_empty_range engine () =
+  with_engine engine (fun () ->
+      let fx = make_fixture () in
+      (* lo > hi: the interval is empty; both engines return nothing and
+         the btree pages are still the only charges *)
+      let plan = Planner.compile (select_view fx 30 10) in
+      Alcotest.(check (list tuple_list)) "empty interval" [] (Executor.run plan))
+
+(* -------------------------------------------- engine differential (unit) *)
+
+let run_with_cost fx plan =
+  let before = Cost.snapshot fx.cost in
+  let tuples = Executor.run plan in
+  let after = Cost.snapshot fx.cost in
+  ( tuples,
+    after.Cost.s_page_reads - before.Cost.s_page_reads,
+    after.Cost.s_cpu_screens - before.Cost.s_cpu_screens )
+
+let check_engines_agree mk_def =
+  (* fresh fixture per engine so page dedup state cannot leak between runs *)
+  let run engine =
+    with_engine engine (fun () ->
+        let fx = make_fixture () in
+        run_with_cost fx (Planner.compile (mk_def fx)))
+  in
+  let t_i, reads_i, screens_i = run Executor.Tuple_interp in
+  let t_c, reads_c, screens_c = run Executor.Batch_compiled in
+  Alcotest.(check (list tuple_list)) "same tuples, same order" t_i t_c;
+  Alcotest.(check int) "same page reads" reads_i reads_c;
+  Alcotest.(check int) "same screens" screens_i screens_c
+
+let test_engines_agree_scan () =
+  check_engines_agree (fun fx ->
+      View_def.select ~name:"V" ~rel:fx.r
+        ~restriction:[ Predicate.term ~attr:1 ~op:Predicate.Le ~value:(value_int 4) ])
+
+let test_engines_agree_join () = check_engines_agree (fun fx -> join_view fx 3 27)
+
+let test_engines_agree_scan_join () =
+  (* join on a non-indexed inner attribute forces the scan-join stage *)
+  check_engines_agree (fun fx ->
+      View_def.join (select_view fx 0 6) ~rel:fx.s ~restriction:Predicate.always_true
+        ~left:"R.v" ~op:Predicate.Eq ~right:"w")
+
+let test_engines_agree_empty_outer () =
+  (* empty base: no probe work, and the inner relation is never read *)
+  check_engines_agree (fun fx -> join_view fx 100 200)
+
+(* ------------------------------------------- engine differential (qcheck) *)
+
+(* Random single-relation and two-relation plans; interp and compiled must
+   return identical tuples and charge identical costs. *)
+let exec_spec_gen =
+  let open QCheck.Gen in
+  let* r_rows = int_range 0 120 in
+  let* s_rows = int_range 1 15 in
+  let* lo = int_range (-5) 130 in
+  let* len = int_range (-10) 60 in
+  let* shape = int_range 0 3 in
+  (* 0 = range select, 1 = point select, 2 = index join, 3 = scan join *)
+  return (r_rows, s_rows, lo, len, shape)
+
+let exec_spec_print (r_rows, s_rows, lo, len, shape) =
+  Printf.sprintf "r=%d s=%d lo=%d len=%d shape=%d" r_rows s_rows lo len shape
+
+let build_def fx (_r_rows, s_rows, lo, len, shape) =
+  match shape with
+  | 0 -> select_view fx lo (lo + len)
+  | 1 ->
+    View_def.select ~name:"V" ~rel:fx.r
+      ~restriction:
+        [ Predicate.term ~attr:1 ~op:Predicate.Eq ~value:(value_int (abs lo mod s_rows)) ]
+  | 2 -> join_view fx lo (lo + len)
+  | _ ->
+    View_def.join (select_view fx lo (lo + len)) ~rel:fx.s
+      ~restriction:[ Predicate.term ~attr:1 ~op:Predicate.Ge ~value:(value_int 0) ]
+      ~left:"R.v" ~op:Predicate.Eq ~right:"w"
+
+let test_qcheck_differential =
+  QCheck.Test.make ~count:120 ~name:"engine differential: random plans"
+    (QCheck.make ~print:exec_spec_print exec_spec_gen)
+    (fun ((r_rows, s_rows, _, _, _) as spec) ->
+      let run engine =
+        with_engine engine (fun () ->
+            let fx = make_fixture ~r_rows ~s_rows () in
+            run_with_cost fx (Planner.compile (build_def fx spec)))
+      in
+      let t_i, reads_i, screens_i = run Executor.Tuple_interp in
+      let t_c, reads_c, screens_c = run Executor.Batch_compiled in
+      if not (List.equal Tuple.equal t_i t_c) then
+        QCheck.Test.fail_reportf "tuples differ: %d vs %d rows" (List.length t_i)
+          (List.length t_c);
+      if reads_i <> reads_c then
+        QCheck.Test.fail_reportf "page reads differ: %d vs %d" reads_i reads_c;
+      if screens_i <> screens_c then
+        QCheck.Test.fail_reportf "screens differ: %d vs %d" screens_i screens_c;
+      true)
+
+(* ------------------------------------------------------ batching metrics *)
+
+let test_batch_counters () =
+  with_engine Executor.Batch_compiled (fun () ->
+      let m = Dbproc_obs.Ctx.metrics Dbproc_obs.Ctx.default in
+      let before_t = Metrics.get m Metrics.Tuples_batched in
+      let before_b = Metrics.get m Metrics.Batches_emitted in
+      let fx = make_fixture ~r_rows:60 () in
+      let plan = Planner.compile (select_view fx 0 60) in
+      let rows = Executor.run plan in
+      Alcotest.(check int) "rows" 60 (List.length rows);
+      Alcotest.(check int) "tuples batched" 60
+        (Metrics.get m Metrics.Tuples_batched - before_t);
+      Alcotest.(check bool) "batches emitted" true
+        (Metrics.get m Metrics.Batches_emitted - before_b >= 1))
+
+(* -------------------------------------------------------- statement cache *)
+
+open Dbproc.Lang
+
+let get_metric interp c = Metrics.get (Dbproc_obs.Ctx.metrics (Interp.obs interp)) c
+
+let setup_session () =
+  let interp = Interp.create ~ctx:(Dbproc_obs.Ctx.create ()) () in
+  List.iter
+    (fun line ->
+      match Interp.exec_line interp line with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "setup %S: %s" line msg)
+    [
+      "create emp (name = string, dept = int)";
+      "append to emp (name = \"a\", dept = 1)";
+      "append to emp (name = \"b\", dept = 2)";
+    ];
+  interp
+
+let test_stmt_cache_hits () =
+  let interp = setup_session () in
+  let q = "retrieve (emp.all) where emp.dept = 1" in
+  let first = Result.get_ok (Interp.exec_line interp q) in
+  (* same text, extra whitespace: normalization must still hit *)
+  let second =
+    Result.get_ok (Interp.exec_line interp "retrieve  (emp.all)  where emp.dept = 1")
+  in
+  let third = Result.get_ok (Interp.exec_line interp q) in
+  Alcotest.(check string) "hit output identical" first second;
+  Alcotest.(check string) "hit output identical again" first third;
+  Alcotest.(check int) "one miss" 1 (get_metric interp Metrics.Plan_cache_misses);
+  Alcotest.(check int) "two hits" 2 (get_metric interp Metrics.Plan_cache_hits)
+
+let test_stmt_cache_invalidation () =
+  let interp = setup_session () in
+  let q = "retrieve (emp.all) where emp.dept = 2" in
+  ignore (Result.get_ok (Interp.exec_line interp q));
+  ignore (Result.get_ok (Interp.exec_line interp q));
+  Alcotest.(check int) "hit before DDL" 1 (get_metric interp Metrics.Plan_cache_hits);
+  (* index creation changes plan choice: the cache must drop the entry *)
+  ignore (Result.get_ok (Interp.exec_line interp "index emp hash on dept"));
+  Alcotest.(check int) "invalidated" 1 (get_metric interp Metrics.Plan_cache_invalidations);
+  let replanned = Result.get_ok (Interp.exec_line interp q) in
+  Alcotest.(check int) "miss after invalidation" 2
+    (get_metric interp Metrics.Plan_cache_misses);
+  (* and the replanned query (now a hash point) returns the same rows *)
+  ignore replanned;
+  ignore (Result.get_ok (Interp.exec_line interp q));
+  Alcotest.(check int) "hits again" 2 (get_metric interp Metrics.Plan_cache_hits)
+
+let test_stmt_cache_cost_neutral () =
+  (* the cache must not change simulated cost: same session script with
+     and without the cache charges identical milliseconds *)
+  let script =
+    [
+      "create emp (name = string, dept = int)";
+      "append to emp (name = \"a\", dept = 1)";
+      "append to emp (name = \"b\", dept = 2)";
+      "retrieve (emp.all) where emp.dept = 1";
+      "retrieve (emp.all) where emp.dept = 1";
+      "retrieve (emp.all) where emp.dept = 1";
+    ]
+  in
+  let run plan_cache =
+    let interp = Interp.create ~ctx:(Dbproc_obs.Ctx.create ()) ~plan_cache () in
+    let out =
+      List.map (fun line -> Result.get_ok (Interp.exec_line interp line)) script
+    in
+    (out, Interp.simulated_ms interp)
+  in
+  let out_cached, ms_cached = run true in
+  let out_plain, ms_plain = run false in
+  Alcotest.(check (list string)) "same output" out_plain out_cached;
+  Alcotest.(check (float 0.0)) "same simulated ms" ms_plain ms_cached
+
+let test_stmt_cache_strategy_invalidates () =
+  let interp = setup_session () in
+  let q = "retrieve (emp.all) where emp.dept = 1" in
+  ignore (Result.get_ok (Interp.exec_line interp q));
+  ignore (Result.get_ok (Interp.exec_line interp "strategy ci"));
+  Alcotest.(check int) "strategy migration invalidates" 1
+    (get_metric interp Metrics.Plan_cache_invalidations);
+  ignore (Result.get_ok (Interp.exec_line interp q));
+  Alcotest.(check int) "replanned" 2 (get_metric interp Metrics.Plan_cache_misses)
+
+(* ----------------------------------------------------------------- suite *)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "exec"
+    [
+      ( "batch",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_batch_roundtrip;
+          Alcotest.test_case "filter" `Quick test_batch_filter;
+          Alcotest.test_case "builder" `Quick test_batch_builder;
+          Alcotest.test_case "builder growth" `Quick test_batch_builder_grow;
+        ] );
+      ( "order",
+        [
+          Alcotest.test_case "btree range order (interp)" `Quick
+            (test_range_order Executor.Tuple_interp);
+          Alcotest.test_case "btree range order (compiled)" `Quick
+            (test_range_order Executor.Batch_compiled);
+        ] );
+      ( "planner-edge",
+        [
+          Alcotest.test_case "point predicate without index" `Quick
+            test_planner_point_no_index;
+          Alcotest.test_case "range with only a hash index" `Quick
+            test_planner_range_only_hash;
+          Alcotest.test_case "empty range (interp)" `Quick
+            (test_empty_range Executor.Tuple_interp);
+          Alcotest.test_case "empty range (compiled)" `Quick
+            (test_empty_range Executor.Batch_compiled);
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "scan" `Quick test_engines_agree_scan;
+          Alcotest.test_case "index join" `Quick test_engines_agree_join;
+          Alcotest.test_case "scan join" `Quick test_engines_agree_scan_join;
+          Alcotest.test_case "empty outer" `Quick test_engines_agree_empty_outer;
+          qc test_qcheck_differential;
+        ] );
+      ("metrics", [ Alcotest.test_case "batch counters" `Quick test_batch_counters ]);
+      ( "stmt-cache",
+        [
+          Alcotest.test_case "hits and normalization" `Quick test_stmt_cache_hits;
+          Alcotest.test_case "DDL invalidation" `Quick test_stmt_cache_invalidation;
+          Alcotest.test_case "cost neutrality" `Quick test_stmt_cache_cost_neutral;
+          Alcotest.test_case "strategy invalidation" `Quick
+            test_stmt_cache_strategy_invalidates;
+        ] );
+    ]
