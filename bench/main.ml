@@ -1110,6 +1110,89 @@ let print_ext_contention () =
     (if !all_ok then "yes" else "NO");
   merged
 
+let print_ext_failover () =
+  print_endline
+    "== ext-failover: request latency through a node kill and replica promotion (3-node cluster)";
+  print_endline
+    "extension: the cluster's headline scenario.  A seeded loadgen-style statement mix\n\
+     (30% writes, point reads, a cross-shard join every 25th op) runs against a 3-node\n\
+     range-partitioned cluster with WAL-shipping replicas; the fault injector kills\n\
+     node 1's primary mid-run, the coordinator promotes its replica (replaying the\n\
+     shipped log) and retries the in-flight statement.  Latency is the per-statement\n\
+     simulated cost the server-side histogram records — p50/p99 before, during (the\n\
+     20-op window from the crash), and after; every statement must still succeed and\n\
+     the merged cluster counters must reconcile appends with acks.\n";
+  let nodes = 3 and n_ops = 300 and before_ops = 150 and window = 20 in
+  let setup =
+    [ "create R (k = int, v = int)"; "create S (k = int, w = int)" ]
+    @ List.init 45 (fun i ->
+          Printf.sprintf "append to R (k = %d, v = %d)" (i * 21001 mod 1_000_000) i)
+    @ List.init 15 (fun i ->
+          Printf.sprintf "append to S (k = %d, w = %d)" (i * 42002 mod 1_000_000) (100 + i))
+    @ [ "define proc PJ as retrieve (R.v, S.w) where R.k = S.k" ]
+  in
+  let injector = Fault.Injector.create ~seed:!the_seed () in
+  Fault.Injector.schedule_node_kills injector
+    [ { Fault.Injector.node = 1; at_op = List.length setup + before_ops + 1 } ];
+  let local = Net.Coordinator.create_local ~injector ~nodes () in
+  let c = Net.Coordinator.coordinator local in
+  List.iter (fun line -> assert (Net.Coordinator.exec c line).Net.Coordinator.ok) setup;
+  let prng = Util.Prng.create !the_seed in
+  let acked_appends = ref 60 (* setup *) and all_ok = ref true in
+  let latencies =
+    List.init n_ops (fun i ->
+        let line =
+          if (i + 1) mod 25 = 0 then "exec PJ"
+          else if Util.Prng.int prng 10 < 3 then begin
+            incr acked_appends;
+            Printf.sprintf "append to R (k = %d, v = %d)" (Util.Prng.int prng 1_000_000)
+              (Util.Prng.int prng 1000)
+          end
+          else
+            Printf.sprintf "retrieve (R.v) where R.k = %d" (Util.Prng.int prng 1_000_000)
+        in
+        let t0 = Net.Coordinator.sim_ms c in
+        let r = Net.Coordinator.exec c line in
+        if not r.Net.Coordinator.ok then all_ok := false;
+        Net.Coordinator.sim_ms c -. t0)
+  in
+  let phase name ops =
+    [
+      name;
+      string_of_int (List.length ops);
+      Printf.sprintf "%.1f" (Util.Stats.mean ops);
+      Printf.sprintf "%.1f" (Util.Stats.percentile 0.5 ops);
+      Printf.sprintf "%.1f" (Util.Stats.percentile 0.99 ops);
+      Printf.sprintf "%.1f" (List.fold_left max 0.0 ops);
+    ]
+  in
+  let take n xs = List.filteri (fun i _ -> i < n) xs in
+  let drop n xs = List.filteri (fun i _ -> i >= n) xs in
+  let table =
+    Util.Ascii_table.create ~header:[ "phase"; "ops"; "mean ms"; "p50"; "p99"; "max" ] ()
+  in
+  Util.Ascii_table.add_row table (phase "before kill" (take before_ops latencies));
+  Util.Ascii_table.add_row table
+    (phase "during (crash+promote)" (take window (drop before_ops latencies)));
+  Util.Ascii_table.add_row table (phase "after" (drop (before_ops + window) latencies));
+  Util.Ascii_table.print table;
+  let merged = Net.Coordinator.snapshot c in
+  let g k = Obs.Metrics.get (Obs.Ctx.metrics merged) k in
+  let reconciled = g Obs.Metrics.Heap_appends = !acked_appends in
+  if not reconciled then all_ok := false;
+  Printf.printf
+    "\nkills %d  failovers %d  retries %d  records shipped %d  statements replayed %d\n"
+    (g Obs.Metrics.Fault_node_kills)
+    (g Obs.Metrics.Cluster_failovers)
+    (g Obs.Metrics.Cluster_retries)
+    (g Obs.Metrics.Repl_records_shipped)
+    (g Obs.Metrics.Repl_statements_replayed);
+  Printf.printf
+    "every statement succeeded and cluster heap appends (%d) match acked appends (%d): %s\n\n"
+    (g Obs.Metrics.Heap_appends) !acked_appends
+    (if !all_ok && reconciled then "yes" else "NO");
+  merged
+
 (* ------------------------------------------------------------ Bechamel *)
 
 let bechamel_tests () =
@@ -1470,6 +1553,8 @@ let () =
     if ids = [] || List.mem "ext-evict" ids then record "ext-evict" print_ext_evict;
     if ids = [] || List.mem "ext-contention" ids then
       record "ext-contention" print_ext_contention;
+    if ids = [] || List.mem "ext-failover" ids then
+      record "ext-failover" print_ext_failover;
     if ids = [] || List.mem "ext-nway" ids then record "ext-nway" print_ext_nway;
     if ids = [] || List.mem "ext-sensitivity" ids then
       record "ext-sensitivity" print_ext_sensitivity;

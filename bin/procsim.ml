@@ -559,6 +559,8 @@ let shell_cmd =
           | Net.Protocol.Failed msg -> Printf.printf "error: %s\n" msg
           | Net.Protocol.Rejected msg -> Printf.printf "rejected: %s\n" msg
           | Net.Protocol.Aborted msg -> Printf.printf "aborted: %s\n" msg
+          | Net.Protocol.Tuples body | Net.Protocol.Wal_records body ->
+            print_endline body
           | Net.Protocol.Pong -> ());
           loop ()
       in
@@ -724,6 +726,32 @@ let serve_cmd =
         (const run $ host $ port $ shards $ max_conns $ max_inflight $ idle_timeout $ max_frame
        $ trace $ no_plan_cache))
 
+(* "NODE:AT_OP" → a scheduled whole-node kill *)
+let parse_kill s =
+  match String.split_on_char ':' s with
+  | [ n; a ] -> (
+    match (int_of_string_opt n, int_of_string_opt a) with
+    | Some node, Some at_op when node >= 0 && at_op >= 1 ->
+      Ok { Fault.Injector.node; at_op }
+    | _ -> Error (Printf.sprintf "%S: expected NODE:AT_OP (node >= 0, at_op >= 1)" s))
+  | _ -> Error (Printf.sprintf "%S: expected NODE:AT_OP" s)
+
+let parse_kills specs =
+  List.fold_left
+    (fun acc s ->
+      match (acc, parse_kill s) with
+      | Error _, _ -> acc
+      | Ok ks, Ok k -> Ok (k :: ks)
+      | Ok _, Error msg -> Error msg)
+    (Ok []) specs
+
+let injector_of_kills ~seed = function
+  | [] -> None
+  | kills ->
+    let inj = Fault.Injector.create ~seed () in
+    Fault.Injector.schedule_node_kills inj kills;
+    Some inj
+
 let loadgen_cmd =
   let host =
     Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server address.")
@@ -791,34 +819,102 @@ let loadgen_cmd =
           ~doc:
             "Shell line each connection executes before its quota (repeatable; answers are              not counted, errors are tolerated) — use to create and populate the relations              a replayed $(b,--statement) reads.")
   in
+  let cluster =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cluster" ] ~docv:"NODES"
+          ~doc:
+            "Self-host the target: fork NODES node servers (each with a WAL-shipping              replica), run a coordinator front end, and drive that instead of              $(b,--host)/$(b,--port).  Everything is torn down after the run.")
+  in
+  let cluster_kill =
+    Arg.(
+      value & opt_all string []
+      & info [ "cluster-kill" ] ~docv:"NODE:AT_OP"
+          ~doc:
+            "With $(b,--cluster): SIGKILL node NODE's primary before the AT_OP-th statement              the coordinator routes; its replica is promoted and the run continues              (repeatable).")
+  in
+  let cluster_base_port =
+    Arg.(
+      value & opt int 7500
+      & info [ "cluster-base-port" ] ~docv:"PORT"
+          ~doc:"With $(b,--cluster): first node port (primaries on PORT+2i, replicas on              PORT+2i+1).")
+  in
   let run host port conns requests pipeline seed mode write_frac strict shutdown statement
-      setup =
+      setup cluster cluster_kill cluster_base_port =
     if conns < 1 then `Error (true, "--connections must be >= 1")
     else if requests < 1 then `Error (true, "--requests must be >= 1")
     else if pipeline < 1 then `Error (true, "--pipeline must be >= 1")
     else if not (write_frac >= 0.0 && write_frac <= 1.0) then
       `Error (true, "--write-frac must be in [0, 1]")
     else begin
-      match
-        Net.Loadgen.run ~host ~port ~pipeline ~seed ~mode ~write_frac ?statement ~setup
-          ~conns ~requests ()
-      with
-      | Error msg -> `Error (false, msg)
-      | Ok report ->
-        Format.printf "%a@." Net.Loadgen.pp_report report;
-        let reconciled = Net.Loadgen.reconciled report in
-        Printf.printf "reconciled: %s\n" (if reconciled then "yes" else "NO");
-        if shutdown then begin
-          match Net.Client.connect ~host ~port () with
-          | exception _ -> prerr_endline "loadgen: shutdown request failed (cannot connect)"
-          | client ->
-            (try ignore (Net.Client.call client Net.Protocol.Shutdown)
-             with Net.Client.Closed | Net.Client.Protocol_error _ -> ());
-            Net.Client.close client
-        end;
-        if strict && not reconciled then
-          `Error (false, "loadgen: run did not reconcile (see report above)")
-        else `Ok ()
+      let drive ~host ~port =
+        match
+          Net.Loadgen.run ~host ~port ~pipeline ~seed ~mode ~write_frac ?statement ~setup
+            ~conns ~requests ()
+        with
+        | Error msg -> `Error (false, msg)
+        | Ok report ->
+          Format.printf "%a@." Net.Loadgen.pp_report report;
+          let reconciled = Net.Loadgen.reconciled report in
+          Printf.printf "reconciled: %s\n" (if reconciled then "yes" else "NO");
+          if shutdown then begin
+            match Net.Client.connect ~host ~port () with
+            | exception _ -> prerr_endline "loadgen: shutdown request failed (cannot connect)"
+            | client ->
+              (try ignore (Net.Client.call client Net.Protocol.Shutdown)
+               with Net.Client.Closed | Net.Client.Protocol_error _ -> ());
+              Net.Client.close client
+          end;
+          if strict && not reconciled then
+            `Error (false, "loadgen: run did not reconcile (see report above)")
+          else `Ok ()
+      in
+      match cluster with
+      | None -> drive ~host ~port
+      | Some nodes when nodes < 1 -> `Error (true, "--cluster must be >= 1")
+      | Some nodes -> (
+        match parse_kills cluster_kill with
+        | Error msg -> `Error (true, msg)
+        | Ok kills -> (
+          match Net.Cluster.launch ~base_port:cluster_base_port ~nodes () with
+          | exception Failure msg -> `Error (false, msg)
+          | cl -> (
+            let injector = injector_of_kills ~seed kills in
+            let backend =
+              Net.Cluster.coordinator_backend ?injector
+                ~on_kill:(Net.Cluster.kill_primary cl)
+                ~links:(fun () -> Net.Cluster.links cl)
+                ()
+            in
+            let config =
+              Net.Cluster.serve_config
+                ~config:
+                  {
+                    Net.Server.default_config with
+                    host = "127.0.0.1";
+                    port = 0;
+                    idle_timeout = 0.0;
+                  }
+                ()
+            in
+            match Net.Server.create ~config ~backend () with
+            | exception e ->
+              Net.Cluster.shutdown cl;
+              `Error
+                (false, Printf.sprintf "cannot start coordinator: %s" (Printexc.to_string e))
+            | server ->
+              let d = Domain.spawn (fun () -> Net.Server.run server) in
+              Printf.printf
+                "loadgen: self-hosted cluster of %d node%s (+replicas) behind 127.0.0.1:%d\n%!"
+                nodes
+                (if nodes = 1 then "" else "s")
+                (Net.Server.port server);
+              let result = drive ~host:"127.0.0.1" ~port:(Net.Server.port server) in
+              Net.Server.shutdown server;
+              Domain.join d;
+              Net.Cluster.shutdown cl;
+              result)))
     end
   in
   Cmd.v
@@ -830,7 +926,242 @@ let loadgen_cmd =
     Term.(
       ret
         (const run $ host $ port $ conns $ requests $ pipeline $ seed $ mode $ write_frac
-       $ strict $ shutdown $ statement $ setup))
+       $ strict $ shutdown $ statement $ setup $ cluster $ cluster_kill
+       $ cluster_base_port))
+
+let cluster_cmd =
+  let host =
+    Arg.(
+      value
+      & opt string Net.Server.default_config.host
+      & info [ "host" ] ~docv:"HOST" ~doc:"Address the coordinator front end binds.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt int Net.Server.default_config.port
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Coordinator port (0 picks an ephemeral port).")
+  in
+  let nodes =
+    Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"K" ~doc:"Partitions (node-server processes).")
+  in
+  let base_port =
+    Arg.(
+      value & opt int 7500
+      & info [ "base-port" ] ~docv:"PORT"
+          ~doc:"First node port: primaries on PORT+2i, replicas on PORT+2i+1.")
+  in
+  let no_replicas =
+    Arg.(value & flag & info [ "no-replicas" ] ~doc:"Run the nodes unreplicated (a node kill loses its partition).")
+  in
+  let kill =
+    Arg.(
+      value & opt_all string []
+      & info [ "kill" ] ~docv:"NODE:AT_OP"
+          ~doc:
+            "SIGKILL node NODE's primary before the AT_OP-th statement the coordinator              routes; its replica is promoted and serving continues (repeatable).")
+  in
+  let key_domain =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "key-domain" ] ~docv:"N" ~doc:"Integer key space the range partitioning divides.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-injector seed.")
+  in
+  let run host port nodes base_port no_replicas kill key_domain seed =
+    if nodes < 1 then `Error (true, "--nodes must be >= 1")
+    else if key_domain < 1 then `Error (true, "--key-domain must be >= 1")
+    else
+      match parse_kills kill with
+      | Error msg -> `Error (true, msg)
+      | Ok kills -> (
+        match
+          Net.Cluster.launch ~base_port ~replicas:(not no_replicas) ~nodes ()
+        with
+        | exception Failure msg -> `Error (false, msg)
+        | cl -> (
+          let injector = injector_of_kills ~seed kills in
+          let backend =
+            Net.Cluster.coordinator_backend ~key_domain ?injector
+              ~on_kill:(Net.Cluster.kill_primary cl)
+              ~links:(fun () -> Net.Cluster.links cl)
+              ()
+          in
+          let config =
+            Net.Cluster.serve_config
+              ~config:{ Net.Server.default_config with host; port; idle_timeout = 0.0 }
+              ()
+          in
+          match Net.Server.create ~config ~backend () with
+          | exception Unix.Unix_error (err, _, _) ->
+            Net.Cluster.shutdown cl;
+            `Error
+              (false, Printf.sprintf "cannot bind %s:%d: %s" host port (Unix.error_message err))
+          | server ->
+            let stop _ = Net.Server.shutdown server in
+            (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+             with Invalid_argument _ -> ());
+            (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+             with Invalid_argument _ -> ());
+            Printf.printf
+              "procsim cluster: %d node%s%s on ports %d.., coordinator on %s:%d\n%!" nodes
+              (if nodes = 1 then "" else "s")
+              (if no_replicas then "" else " (+replicas)")
+              base_port host (Net.Server.port server);
+            Net.Server.run server;
+            Net.Cluster.shutdown cl;
+            print_endline "procsim cluster: drained, bye.";
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Serve a sharded cluster: fork K node-server processes (key-range partitions, each \
+          with a WAL-shipping replica) behind one coordinator front end speaking the same \
+          wire protocol as $(b,serve).  $(b,--kill) schedules whole-node crashes with \
+          replica promotion.")
+    Term.(
+      ret
+        (const run $ host $ port $ nodes $ base_port $ no_replicas $ kill $ key_domain
+       $ seed))
+
+(* The cluster-vs-single-node differential as a CLI: the same seeded
+   statement stream (mutations, point and broadcast retrieves, a
+   cross-shard join and a procedure over it) runs against an in-process
+   K-node cluster and a single local interpreter; tuple statements must
+   produce byte-identical digests of the sorted serialized result
+   multiset, everything else byte-identical output. *)
+let cluster_check_cmd =
+  let nodes =
+    Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"K" ~doc:"Cluster size.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.") in
+  let appends =
+    Arg.(value & opt int 60 & info [ "appends" ] ~docv:"N" ~doc:"Tuples appended across the two relations.")
+  in
+  let kill =
+    Arg.(
+      value & opt_all string []
+      & info [ "kill" ] ~docv:"NODE:AT_OP"
+          ~doc:"Schedule in-process node kills; the differential must hold through promotion              (repeatable).")
+  in
+  let cluster_json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cluster-json" ] ~docv:"FILE" ~doc:"Write the cluster's per-statement digests as JSON.")
+  in
+  let single_json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "single-json" ] ~docv:"FILE" ~doc:"Write the single-node digests as JSON.")
+  in
+  let run nodes seed appends kill cluster_json single_json =
+    if nodes < 1 then `Error (true, "--nodes must be >= 1")
+    else if appends < 2 then `Error (true, "--appends must be >= 2")
+    else
+      match parse_kills kill with
+      | Error msg -> `Error (true, msg)
+      | Ok kills ->
+        let prng = Util.Prng.create seed in
+        let n_r = appends - (appends / 3) in
+        let n_s = appends / 3 in
+        let r_keys = Array.init n_r (fun _ -> Util.Prng.int prng 1_000_000) in
+        let stmts =
+          [ "create R (k = int, v = int)"; "create S (k = int, w = int)" ]
+          @ List.init n_r (fun i ->
+                Printf.sprintf "append to R (k = %d, v = %d)" r_keys.(i)
+                  (Util.Prng.int prng 1000))
+          (* half of S shares keys with R so the join crosses shards *)
+          @ List.init n_s (fun i ->
+                let k =
+                  if i mod 2 = 0 then r_keys.(Util.Prng.int prng n_r)
+                  else Util.Prng.int prng 1_000_000
+                in
+                Printf.sprintf "append to S (k = %d, w = %d)" k (Util.Prng.int prng 1000))
+          @ [
+              Printf.sprintf "retrieve (R.v) where R.k = %d" r_keys.(0);
+              "retrieve (R.all) where R.v < 500";
+              "retrieve (R.v, S.w) where R.k = S.k";
+              "define proc PJ as retrieve (R.v, S.w) where R.k = S.k";
+              "exec PJ";
+              Printf.sprintf "delete from R where R.k = %d" r_keys.(1);
+              "replace R (v = 1001) where R.v >= 500";
+              "retrieve (R.all)";
+              "exec PJ";
+            ]
+        in
+        let injector = injector_of_kills ~seed kills in
+        let local = Net.Coordinator.create_local ?injector ~nodes () in
+        let c = Net.Coordinator.coordinator local in
+        let single = Lang.Interp.create () in
+        let mismatches = ref 0 in
+        let results =
+          List.map
+            (fun line ->
+              let r = Net.Coordinator.exec c line in
+              let cluster_out, single_out =
+                match r.Net.Coordinator.digest with
+                | Some d -> (
+                  ( "digest:" ^ d,
+                    match Lang.Interp.fetch single line with
+                    | Ok (tuples, _) -> "digest:" ^ Net.Wire.digest_tuples tuples
+                    | Error msg -> "error:" ^ msg ))
+                | None -> (
+                  ( (if r.Net.Coordinator.ok then "output:" else "error:")
+                    ^ r.Net.Coordinator.output,
+                    match Lang.Interp.exec_line single line with
+                    | Ok out -> "output:" ^ out
+                    | Error msg -> "error:" ^ msg ))
+              in
+              if cluster_out <> single_out then begin
+                incr mismatches;
+                Printf.printf "MISMATCH %s\n  cluster: %s\n  single:  %s\n" line cluster_out
+                  single_out
+              end;
+              (line, cluster_out, single_out))
+            stmts
+        in
+        let write_json path side =
+          let buf = Buffer.create 4096 in
+          Buffer.add_string buf "{\n";
+          List.iteri
+            (fun i (line, cl, sg) ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %S: %S%s\n" line
+                   (if side = `Cluster then cl else sg)
+                   (if i = List.length results - 1 then "" else ",")))
+            results;
+          Buffer.add_string buf "}\n";
+          Obs.Export.write_file path (Buffer.contents buf)
+        in
+        Option.iter (fun p -> write_json p `Cluster) cluster_json;
+        Option.iter (fun p -> write_json p `Single) single_json;
+        let m = Obs.Ctx.metrics (Net.Coordinator.ctx c) in
+        Printf.printf
+          "cluster-check: %d statements, %d nodes, %d routed, %d broadcast, joins %d shipped / \
+           %d broadcast, %d failover%s — %s\n"
+          (List.length stmts) nodes
+          (Obs.Metrics.get m Obs.Metrics.Cluster_stmts_routed)
+          (Obs.Metrics.get m Obs.Metrics.Cluster_stmts_broadcast)
+          (Obs.Metrics.get m Obs.Metrics.Cluster_joins_shipped)
+          (Obs.Metrics.get m Obs.Metrics.Cluster_joins_broadcast)
+          (Obs.Metrics.get m Obs.Metrics.Cluster_failovers)
+          (if Obs.Metrics.get m Obs.Metrics.Cluster_failovers = 1 then "" else "s")
+          (if !mismatches = 0 then "all digests match" else
+             Printf.sprintf "%d MISMATCHES" !mismatches);
+        if !mismatches = 0 then `Ok ()
+        else `Error (false, "cluster-check: cluster and single node disagree")
+  in
+  Cmd.v
+    (Cmd.info "cluster-check"
+       ~doc:
+         "Run the cluster-vs-single-node differential oracle: a seeded statement stream \
+          (including a cross-shard join) against an in-process K-node cluster and a single \
+          interpreter must produce byte-identical result digests.  Exits nonzero on any \
+          mismatch.")
+    Term.(ret (const run $ nodes $ seed $ appends $ kill $ cluster_json $ single_json))
 
 (* ------------------------------------------------------------ txn-smoke *)
 
@@ -865,6 +1196,8 @@ let txn_smoke_cmd =
               failwith (Printf.sprintf "%s: %S unexpectedly aborted: %s" who line m)
             | Net.Protocol.Rejected m -> failwith (Printf.sprintf "%s: %S rejected: %s" who line m)
             | Net.Protocol.Pong -> failwith (Printf.sprintf "%s: %S answered with pong" who line)
+            | Net.Protocol.Tuples _ | Net.Protocol.Wal_records _ ->
+              failwith (Printf.sprintf "%s: %S answered with a node-tier frame" who line)
           in
           let control who client req =
             match Net.Client.call client req with
@@ -988,6 +1321,8 @@ let () =
             shell_cmd;
             run_cmd;
             serve_cmd;
+            cluster_cmd;
+            cluster_check_cmd;
             loadgen_cmd;
             txn_smoke_cmd;
           ]))

@@ -162,4 +162,8 @@ module Net : sig
   module Server = Dbproc_net.Server
   module Client = Dbproc_net.Client
   module Loadgen = Dbproc_net.Loadgen
+  module Wire = Dbproc_net.Wire
+  module Node = Dbproc_net.Node
+  module Coordinator = Dbproc_net.Coordinator
+  module Cluster = Dbproc_net.Cluster
 end

@@ -24,6 +24,8 @@ let default_config =
 
 exception Crash of { touch : int }
 
+type node_kill = { node : int; at_op : int }
+
 type t = {
   config : config;
   prng : Prng.t;
@@ -32,6 +34,9 @@ type t = {
   mutable injected : int;
   mutable retries : int;
   mutable crashes : int;
+  mutable kill_points : node_kill list; (* ascending by at_op, each once *)
+  mutable ops : int;
+  mutable node_kills : int;
 }
 
 let create ?(config = default_config) ~seed () =
@@ -49,6 +54,9 @@ let create ?(config = default_config) ~seed () =
     injected = 0;
     retries = 0;
     crashes = 0;
+    kill_points = [];
+    ops = 0;
+    node_kills = 0;
   }
 
 let schedule_crashes t points =
@@ -59,6 +67,29 @@ let touches t = t.touches
 let injected t = t.injected
 let retries t = t.retries
 let crashes t = t.crashes
+
+(* Node kills are scheduled on a separate logical clock — coordinator-routed
+   operations rather than page touches — because the thing being killed is
+   a whole node process, not a device.  Same determinism contract as the
+   crash schedule: absolute points, each fires once, stale points dropped. *)
+let schedule_node_kills t kills =
+  t.kill_points <-
+    List.sort_uniq compare (List.filter (fun k -> k.at_op > t.ops) kills)
+
+let note_op ?metrics t =
+  t.ops <- t.ops + 1;
+  match t.kill_points with
+  | k :: rest when t.ops >= k.at_op ->
+    t.kill_points <- rest;
+    t.node_kills <- t.node_kills + 1;
+    (match metrics with
+    | Some m -> Metrics.incr m Metrics.Fault_node_kills
+    | None -> ());
+    Some k.node
+  | _ -> None
+
+let ops t = t.ops
+let node_kills t = t.node_kills
 
 let backoff_ms config ~attempt =
   Float.min config.backoff_cap_ms

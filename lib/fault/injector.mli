@@ -70,3 +70,32 @@ val retries : t -> int
 
 val crashes : t -> int
 (** Crash points fired. *)
+
+(** {2 Node kills}
+
+    Whole-node failures for the cluster layer.  These run on a separate
+    logical clock — operations routed by a {!Dbproc_net.Coordinator}
+    rather than page touches — because the unit being killed is a node
+    process, not a device.  The coordinator calls {!note_op} once per
+    routed statement; when the counter reaches the next scheduled point
+    the kill fires (once) and the coordinator takes the node down and
+    fails over to its replica. *)
+
+type node_kill = { node : int; at_op : int }
+(** Kill [node] when the routed-operation counter reaches [at_op]
+    (1-based: [at_op = 1] fires on the first operation). *)
+
+val schedule_node_kills : t -> node_kill list -> unit
+(** Replace the node-kill schedule.  Points are absolute operation
+    counts; duplicates and points at or below the current counter are
+    dropped.  At most one kill fires per operation. *)
+
+val note_op : ?metrics:Dbproc_obs.Metrics.t -> t -> int option
+(** Count one routed operation; [Some node] when a scheduled kill fires
+    (counted as ["fault.node_kills"] in [metrics] when given). *)
+
+val ops : t -> int
+(** Routed operations counted so far. *)
+
+val node_kills : t -> int
+(** Node kills fired. *)

@@ -945,3 +945,45 @@ let exec_script t script =
       end
   in
   go 1 lines
+
+(* ------------------------------------------------------ cluster support *)
+
+let bind_retrieve_projected t r = bind_retrieve_full t r
+
+(* Raw-tuple execution of a [retrieve] or [exec] line for the cluster
+   coordinator: same charging and statement-cache path as the formatted
+   arms of [exec_command_body], but the tuples come back unformatted so a
+   coordinator can merge partitions and digest a sorted multiset.  Runs
+   outside the lock layer — cluster nodes serve exactly one coordinator
+   client and never open transactions. *)
+let fetch t line =
+  t.stmt_hint <- None;
+  match parse_cached t line with
+  | exception Parser.Parse_error msg -> Error msg
+  | exception Lexer.Lex_error msg -> Error msg
+  | cmd -> (
+    let run () =
+      match cmd with
+      | Ast.Retrieve r ->
+        let { Stmt_cache.projection; exec; _ } = retrieve_prepared t r in
+        let before = Cost.snapshot t.cost in
+        let tuples = Executor.run_prepared exec in
+        let spent = Cost.diff_ms t.charges ~before ~after:(Cost.snapshot t.cost) in
+        (List.map (project projection) tuples, spent)
+      | Ast.Exec name -> (
+        match List.assoc_opt name t.proc_ids with
+        | None -> error "unknown procedure %S" name
+        | Some id ->
+          let projection =
+            match List.assoc_opt name t.defs with Some (_, p) -> p | None -> None
+          in
+          let before = Cost.snapshot t.cost in
+          let tuples = Manager.access t.manager id in
+          let spent = Cost.diff_ms t.charges ~before ~after:(Cost.snapshot t.cost) in
+          (List.map (project projection) tuples, spent))
+      | _ -> error "fetch: not a tuple-producing statement"
+    in
+    match run () with
+    | result -> Ok result
+    | exception Runtime_error msg -> Error msg
+    | exception Invalid_argument msg -> Error msg)

@@ -104,3 +104,24 @@ val bind_retrieve : t -> Ast.retrieve -> Dbproc_query.View_def.t
     split the qualification into per-relation restrictions and join
     terms, and assemble a view definition whose join chain follows the
     target order. *)
+
+(** {2 Cluster support} *)
+
+val bind_retrieve_projected :
+  t -> Ast.retrieve -> Dbproc_query.View_def.t * int list option
+(** {!bind_retrieve} plus the output projection (positions into the view
+    schema; [None] means all attributes) — what a cluster coordinator
+    needs to evaluate a cross-shard join over shipped partitions. *)
+
+val fetch :
+  t -> string -> (Dbproc_relation.Tuple.t list * float, string) result
+(** Execute a [retrieve] or [exec] line and return the raw result tuples
+    plus the simulated milliseconds the execution charged, instead of
+    formatted output.  Same charging and statement-cache behavior as
+    {!exec_line}; runs outside the lock layer (cluster nodes serve one
+    coordinator client and never open transactions). *)
+
+val literal_syntax : Dbproc_relation.Value.t -> string
+(** Print a value as shell literal syntax that re-lexes to the same
+    value ([%d] / [%.17g] / [%S]) — used to reconstruct routable
+    statements and the cluster wire format. *)

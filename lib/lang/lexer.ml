@@ -66,6 +66,22 @@ let tokenize input =
           else (j, seen_dot)
         in
         let stop, is_float = num (i + 1) false in
+        (* optional exponent: [eE][+-]?digits forces a float, so %.17g
+           output ("1e-05") round-trips through the shell *)
+        let stop, is_float =
+          if
+            stop < n
+            && (input.[stop] = 'e' || input.[stop] = 'E')
+            &&
+            let j = if stop + 1 < n && (input.[stop + 1] = '+' || input.[stop + 1] = '-') then stop + 2 else stop + 1 in
+            j < n && is_digit input.[j]
+          then begin
+            let j = if input.[stop + 1] = '+' || input.[stop + 1] = '-' then stop + 2 else stop + 1 in
+            let rec exp j = if j < n && is_digit input.[j] then exp (j + 1) else j in
+            (exp j, true)
+          end
+          else (stop, is_float)
+        in
         let text = String.sub input i (stop - i) in
         let tok =
           if is_float then FLOAT (float_of_string text)

@@ -11,12 +11,13 @@ type entry = { cmd : Ast.command; mutable prepared : prepared option }
 
 type t = {
   tbl : (string, entry) Hashtbl.t;
+  order : string Queue.t;  (* insertion order; FIFO eviction at capacity *)
   metrics : Metrics.t;
   max_entries : int;
 }
 
 let create ?(max_entries = 512) ~metrics () =
-  { tbl = Hashtbl.create 64; metrics; max_entries }
+  { tbl = Hashtbl.create 64; order = Queue.create (); metrics; max_entries }
 
 (* Normalized key: whitespace runs collapsed to one space, ends trimmed.
    Case is preserved — string literals are case-significant, and the
@@ -39,9 +40,23 @@ let normalize line =
 
 let find t key = Hashtbl.find_opt t.tbl key
 
+(* At capacity a new key evicts the oldest insertion (FIFO): statement
+   replay workloads re-store a hot statement right after its eviction, so
+   recency bookkeeping on hits buys nothing the re-store doesn't.  The
+   [order] queue only ever holds live keys — [invalidate] clears it
+   wholesale — so the front is always evictable. *)
 let store t key entry =
-  if Hashtbl.length t.tbl >= t.max_entries && not (Hashtbl.mem t.tbl key) then ()
-  else Hashtbl.replace t.tbl key entry
+  if not (Hashtbl.mem t.tbl key) then begin
+    if Hashtbl.length t.tbl >= t.max_entries then begin
+      match Queue.take_opt t.order with
+      | None -> ()
+      | Some oldest ->
+        Hashtbl.remove t.tbl oldest;
+        Metrics.incr t.metrics Metrics.Plan_cache_evictions
+    end;
+    Queue.add key t.order
+  end;
+  Hashtbl.replace t.tbl key entry
 
 let note_hit t = Metrics.incr t.metrics Metrics.Plan_cache_hits
 let note_miss t = Metrics.incr t.metrics Metrics.Plan_cache_misses
@@ -55,7 +70,8 @@ let invalidate t =
     Hashtbl.fold (fun _ e acc -> if e.prepared <> None then acc + 1 else acc) t.tbl 0
   in
   if dropped > 0 then Metrics.incr ~n:dropped t.metrics Metrics.Plan_cache_invalidations;
-  Hashtbl.reset t.tbl
+  Hashtbl.reset t.tbl;
+  Queue.clear t.order
 
 let stats t =
   ( Metrics.get t.metrics Metrics.Plan_cache_hits,

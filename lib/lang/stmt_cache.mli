@@ -30,8 +30,10 @@ type entry = { cmd : Ast.command; mutable prepared : prepared option }
 type t
 
 val create : ?max_entries:int -> metrics:Dbproc_obs.Metrics.t -> unit -> t
-(** [max_entries] (default 512) bounds the table; once full, new
-    statements simply bypass the cache. *)
+(** [max_entries] (default 512) bounds the table; at capacity a new
+    statement evicts the oldest insertion (FIFO), counted as
+    [plan_cache.evictions].  A hit after eviction is a plain miss: the
+    statement recompiles and is re-stored as the newest entry. *)
 
 val normalize : string -> string
 (** Collapse whitespace runs, trim ends; case-preserving. *)
@@ -40,6 +42,8 @@ val find : t -> string -> entry option
 (** Lookup by normalized key (the caller normalizes once). *)
 
 val store : t -> string -> entry -> unit
+(** Insert or refresh.  Inserting a new key at capacity evicts the
+    oldest live insertion first, so [size] never exceeds [max_entries]. *)
 
 val note_hit : t -> unit
 val note_miss : t -> unit

@@ -1,0 +1,243 @@
+(* ------------------------------------------------------- node processes *)
+
+type proc = {
+  pid : int;
+  port : int;
+  mutable conn : Client.t option;  (* lazily (re)opened *)
+  mutable reaped : bool;
+}
+
+(* Fork one node server.  The child binds inside the fork (so the parent
+   knows the port up front), runs the select loop until a Shutdown frame
+   or a signal, and leaves with [Unix._exit] — never running the
+   parent's at_exit machinery.  One shard: a cluster node is one
+   partition, and the coordinator is its only client. *)
+let spawn_node ?(shards = 1) ~port () =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let config =
+         {
+           Server.default_config with
+           host = "127.0.0.1";
+           port;
+           shards;
+           idle_timeout = 0.0;
+         }
+       in
+       let srv = Server.create ~config () in
+       Server.run srv
+     with _ -> ());
+    Unix._exit 0
+  | pid -> { pid; port; conn = None; reaped = false }
+
+let connect_proc p =
+  match p.conn with
+  | Some c -> Some c
+  | None -> (
+    match Client.connect ~host:"127.0.0.1" ~port:p.port () with
+    | c ->
+      p.conn <- Some c;
+      Some c
+    | exception _ -> None)
+
+let drop_conn p =
+  (match p.conn with
+  | Some c -> ( try Client.close c with _ -> ())
+  | None -> ());
+  p.conn <- None
+
+(* Wait until the node answers a ping (its listener is up and a shard is
+   serving).  Polls with small sleeps; [false] after [timeout] seconds. *)
+let wait_ready ?(timeout = 10.0) p =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let ok =
+      match connect_proc p with
+      | None -> false
+      | Some c -> (
+        match Client.call c Protocol.Ping with
+        | Protocol.Pong -> true
+        | _ -> false
+        | exception _ ->
+          drop_conn p;
+          false)
+    in
+    if ok then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      ignore (Unix.select [] [] [] 0.02);
+      go ()
+    end
+  in
+  go ()
+
+(* A socket-backed coordinator link.  Transport failures surface as
+   [Error] — the coordinator's failover logic decides what they mean;
+   the connection is dropped so a later call does not read a stale
+   stream. *)
+let proc_link p : Coordinator.link =
+ fun req ->
+  match connect_proc p with
+  | None -> Error (Printf.sprintf "node on port %d unreachable" p.port)
+  | Some c -> (
+    match Client.call c req with
+    | resp -> Ok resp
+    | exception e ->
+      drop_conn p;
+      Error
+        (Printf.sprintf "node on port %d: %s" p.port
+           (match e with
+           | Client.Closed -> "connection closed"
+           | Client.Protocol_error msg -> "protocol error: " ^ msg
+           | Unix.Unix_error (err, _, _) -> Unix.error_message err
+           | e -> Printexc.to_string e)))
+
+let reap p =
+  if not p.reaped then begin
+    (try ignore (Unix.waitpid [] p.pid) with Unix.Unix_error _ -> ());
+    p.reaped <- true
+  end
+
+(* The fault injector's idea of a node crash: SIGKILL, no drain, no
+   flush — the process version of yanking the plug. *)
+let kill p =
+  drop_conn p;
+  (try Unix.kill p.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  reap p
+
+(* Graceful stop for teardown paths (not a fault). *)
+let stop p =
+  (match connect_proc p with
+  | Some c -> (
+    (try ignore (Client.call c Protocol.Shutdown) with _ -> ());
+    try Client.close c with _ -> ())
+  | None -> ());
+  p.conn <- None;
+  (* If the drain never finishes, don't hang the parent. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec wait () =
+    if p.reaped then ()
+    else
+      match Unix.waitpid [ Unix.WNOHANG ] p.pid with
+      | 0, _ ->
+        if Unix.gettimeofday () > deadline then kill p
+        else begin
+          ignore (Unix.select [] [] [] 0.02);
+          wait ()
+        end
+      | _ -> p.reaped <- true
+      | exception Unix.Unix_error _ -> p.reaped <- true
+  in
+  wait ()
+
+(* ------------------------------------------------------ process cluster *)
+
+type t = {
+  primaries : proc array;
+  replicas : proc option array;
+}
+
+let launch ?(base_port = 7500) ?(replicas = true) ~nodes () =
+  if nodes < 1 then invalid_arg "Cluster.launch: nodes must be >= 1";
+  let primaries =
+    Array.init nodes (fun i -> spawn_node ~port:(base_port + (2 * i)) ())
+  in
+  let replica_procs =
+    Array.init nodes (fun i ->
+        if replicas then Some (spawn_node ~port:(base_port + (2 * i) + 1) ())
+        else None)
+  in
+  let all =
+    Array.to_list primaries
+    @ List.filter_map Fun.id (Array.to_list replica_procs)
+  in
+  if not (List.for_all wait_ready all) then begin
+    List.iter kill all;
+    failwith "Cluster.launch: a node server never became ready"
+  end;
+  { primaries; replicas = replica_procs }
+
+let links t =
+  Array.init (Array.length t.primaries) (fun i ->
+      (proc_link t.primaries.(i), Option.map proc_link t.replicas.(i)))
+
+let kill_primary t i = kill t.primaries.(i)
+
+let shutdown t =
+  Array.iter stop t.primaries;
+  Array.iter (Option.iter stop) t.replicas
+
+let pids t =
+  Array.to_list (Array.map (fun p -> p.pid) t.primaries)
+  @ List.filter_map (Option.map (fun p -> p.pid)) (Array.to_list t.replicas)
+
+(* ------------------------------------------- coordinator as a backend *)
+
+(* Run a whole cluster behind one {!Server}: the factory builds the
+   coordinator inside the (single) shard domain so the shard context is
+   the coordinator context and [Stats] returns the merged cluster view.
+   The serving tier's own [net.*] counters live in the event loop's
+   context and merge into the same snapshot, exactly as for a node
+   server — so a load generator's [--strict] reconciliation works
+   unchanged against a cluster.
+
+   The coordinator-internal tags are not entry points here: a client of
+   the cluster speaks lines, and the coordinator speaks {!Protocol} to
+   the node tier on its own connections. *)
+let coordinator_backend ?key_domain ?injector ?(on_kill = fun _ -> ())
+    ~links:mk_links () ctx =
+  let coord =
+    Coordinator.create ~ctx ?key_domain ?injector ~on_kill ~links:(mk_links ()) ()
+  in
+  let exec_line line =
+    let r = Coordinator.exec coord line in
+    if r.Coordinator.ok then Protocol.Output r.Coordinator.output
+    else Protocol.Failed r.Coordinator.output
+  in
+  let exec_script script =
+    let lines = String.split_on_char '\n' script in
+    let buf = Buffer.create 256 in
+    let rec go lineno = function
+      | [] -> Protocol.Output (Buffer.contents buf)
+      | line :: rest ->
+        let trimmed = String.trim line in
+        if
+          trimmed = ""
+          || (String.length trimmed >= 2 && String.sub trimmed 0 2 = "--")
+        then go (lineno + 1) rest
+        else
+          let r = Coordinator.exec coord trimmed in
+          if r.Coordinator.ok then begin
+            Buffer.add_string buf
+              (Printf.sprintf "> %s\n%s\n" trimmed r.Coordinator.output);
+            go (lineno + 1) rest
+          end
+          else Protocol.Failed (Printf.sprintf "line %d: %s" lineno r.Coordinator.output)
+    in
+    go 1 lines
+  in
+  let b_request ~client:_ (req : Protocol.request) =
+    `Resp
+      (match req with
+      | Protocol.Ping -> Protocol.Pong
+      | Protocol.Exec_line line -> exec_line line
+      | Protocol.Exec_script script -> exec_script script
+      | Protocol.Begin | Protocol.Commit | Protocol.Abort ->
+        Protocol.Failed "transactions are not supported across a cluster"
+      | Protocol.Stats | Protocol.Shutdown ->
+        Protocol.Failed "handled by the event loop"
+      | Protocol.Fetch _ | Protocol.Join_probe _ | Protocol.Wal_pull _
+      | Protocol.Wal_push _ | Protocol.Promote ->
+        Protocol.Failed "node-tier request sent to a coordinator")
+  in
+  {
+    Server.b_request;
+    b_disconnect = (fun ~client:_ -> ());
+    b_snapshot = (fun () -> Coordinator.snapshot coord);
+    b_sim_ms = (fun () -> Coordinator.sim_ms coord);
+  }
+
+let serve_config ?(config = Server.default_config) () =
+  (* One shard: one coordinator, one scratch binder, one route table. *)
+  { config with Server.shards = 1 }

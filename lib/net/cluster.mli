@@ -1,0 +1,75 @@
+(** Process clusters: forked node servers behind socket links, and the
+    coordinator-as-a-{!Server.backend} glue.
+
+    A cluster here is K forked {!Server} processes (one shard each — a
+    node is one partition with one client, the coordinator), optionally
+    doubled with a replica process per node, plus a front-end server
+    whose single shard hosts a {!Coordinator} instead of a node.  The
+    [procsim cluster] subcommand and the failover bench both build on
+    this; tests use {!Coordinator.create_local} instead (no processes,
+    deterministic kill switches). *)
+
+type proc
+(** One forked node-server process. *)
+
+val spawn_node : ?shards:int -> port:int -> unit -> proc
+(** Fork a node server bound to [127.0.0.1:port] (the child never
+    returns).  [shards] defaults to 1. *)
+
+val wait_ready : ?timeout:float -> proc -> bool
+(** Poll until the node answers a ping; [false] after [timeout] (default
+    10 s). *)
+
+val proc_link : proc -> Coordinator.link
+(** A socket-backed link: connects lazily, reports transport failures as
+    [Error] (the coordinator's failover decides what they mean). *)
+
+val kill : proc -> unit
+(** SIGKILL and reap — the process version of a node crash. *)
+
+val stop : proc -> unit
+(** Graceful drain (a {!Protocol.Shutdown} frame), falling back to
+    {!kill} if the child does not exit within 5 s. *)
+
+(** {2 Whole clusters} *)
+
+type t
+
+val launch : ?base_port:int -> ?replicas:bool -> nodes:int -> unit -> t
+(** Fork [nodes] primaries on [base_port + 2i] and (when [replicas],
+    the default) a replica each on [base_port + 2i + 1]; default base
+    port 7500.  Waits for every process to answer pings.
+    @raise Failure (after killing the children) if one never does. *)
+
+val links : t -> (Coordinator.link * Coordinator.link option) array
+(** Socket links in {!Coordinator.create} shape. *)
+
+val kill_primary : t -> int -> unit
+(** Crash node [i]'s primary process — wire this as the coordinator's
+    [on_kill]. *)
+
+val shutdown : t -> unit
+(** Gracefully stop every remaining process. *)
+
+val pids : t -> int list
+
+(** {2 Coordinator front-end} *)
+
+val coordinator_backend :
+  ?key_domain:int ->
+  ?injector:Dbproc_fault.Injector.t ->
+  ?on_kill:(int -> unit) ->
+  links:(unit -> (Coordinator.link * Coordinator.link option) array) ->
+  unit ->
+  Dbproc_obs.Ctx.t ->
+  Server.backend
+(** A {!Server.create} backend factory hosting a {!Coordinator}.  The
+    links thunk runs in the shard domain (so the sockets are owned by
+    the domain that uses them), and the coordinator adopts the shard
+    context — a {!Protocol.Stats} request returns the merged cluster
+    view, so a load generator's [--strict] reconciliation works
+    unchanged against a cluster.  Pair with {!serve_config}. *)
+
+val serve_config : ?config:Server.config -> unit -> Server.config
+(** The given config forced to one shard: one coordinator, one scratch
+    binder, one route table. *)

@@ -1,0 +1,817 @@
+open Dbproc_obs
+open Dbproc_relation
+module Interp = Dbproc_lang.Interp
+module Parser = Dbproc_lang.Parser
+module Lexer = Dbproc_lang.Lexer
+module Ast = Dbproc_lang.Ast
+module View_def = Dbproc_query.View_def
+module Injector = Dbproc_fault.Injector
+
+type link = Protocol.request -> (Protocol.response, string) result
+
+type slot = {
+  mutable primary : link;
+  mutable replica : link option;
+  mutable shipped : int;  (* next primary-rlog lsn to pull *)
+  mutable down : bool;  (* lost with no replica left: keyspace hole *)
+}
+
+type rel_info = {
+  mutable count : int;  (* cluster-wide cardinality *)
+  attrs : (string * Ast.ty) list;  (* declared schema; attr 0 partitions *)
+}
+
+type result = { output : string; ok : bool; digest : string option }
+
+type t = {
+  ctx : Ctx.t;
+  slots : slot array;
+  key_domain : int;
+  injector : Injector.t option;
+  on_kill : int -> unit;
+  scratch : Interp.t;
+      (* binder twin: replays DDL only, never holds data — resolves
+         names, types and join structure with single-node error parity *)
+  mutable fetched_ms : float;
+      (* accumulated per-statement max-across-nodes simulated ms *)
+  rels : (string, rel_info) Hashtbl.t;
+  procs : (string, Ast.retrieve) Hashtbl.t;
+}
+
+let create ?ctx ?(key_domain = 1_000_000) ?injector ?(on_kill = fun _ -> ())
+    ~links () =
+  if Array.length links = 0 then invalid_arg "Coordinator.create: no nodes";
+  if key_domain < 1 then invalid_arg "Coordinator.create: key_domain must be >= 1";
+  let ctx = match ctx with Some c -> c | None -> Ctx.create () in
+  {
+    ctx;
+    slots =
+      Array.map
+        (fun (primary, replica) -> { primary; replica; shipped = 0; down = false })
+        links;
+    key_domain;
+    injector;
+    on_kill;
+    scratch = Interp.create ~ctx ~plan_cache:false ();
+    fetched_ms = 0.0;
+    rels = Hashtbl.create 16;
+    procs = Hashtbl.create 16;
+  }
+
+let ctx t = t.ctx
+let m t = Ctx.metrics t.ctx
+let node_count t = Array.length t.slots
+let node_down t i = t.slots.(i).down
+let alive_count t =
+  Array.fold_left (fun acc s -> if s.down then acc else acc + 1) 0 t.slots
+let shipped_lsn t i = t.slots.(i).shipped
+
+(* The coordinator's simulated clock: scratch-binder charges plus, for
+   each tuple-returning statement, the max simulated ms across the nodes
+   that served it (partitions run in parallel). *)
+let sim_ms t = Interp.simulated_ms t.scratch +. t.fetched_ms
+
+(* ------------------------------------------------------------ failover *)
+
+(* Promote node [i]'s replica to primary.  The replica replays its whole
+   received log through its session (charged), after which it serves the
+   full partition.  No second replica is spun up: a later loss of the
+   same node leaves a keyspace hole and the slot goes down for good. *)
+let promote_replica t i =
+  let slot = t.slots.(i) in
+  match slot.replica with
+  | None ->
+    slot.down <- true;
+    None
+  | Some r -> (
+    slot.replica <- None;
+    match r Protocol.Promote with
+    | Ok (Protocol.Output _) ->
+      slot.primary <- r;
+      Metrics.incr (m t) Metrics.Cluster_failovers;
+      Some r
+    | Ok _ | Error _ ->
+      slot.down <- true;
+      None)
+
+(* A scheduled (or manual) whole-node kill: take the primary down via the
+   transport's kill switch, then fail over immediately so the very next
+   routed statement lands on the promoted replica. *)
+let kill_node t i =
+  let slot = t.slots.(i) in
+  if not slot.down then begin
+    t.on_kill i;
+    ignore (promote_replica t i)
+  end
+
+let node_error i = Printf.sprintf "node %d is down" i
+
+(* Read-only call with fail-over-and-retry-once: reads are idempotent, so
+   if the primary dies mid-call the promoted replica re-serves the same
+   request. *)
+let call t i req =
+  let slot = t.slots.(i) in
+  if slot.down then Error (node_error i)
+  else
+    match slot.primary req with
+    | Ok resp -> Ok resp
+    | Error _ -> (
+      match promote_replica t i with
+      | None -> Error (node_error i)
+      | Some link -> (
+        Metrics.incr (m t) Metrics.Cluster_retries;
+        match link req with
+        | Ok resp -> Ok resp
+        | Error e ->
+          slot.down <- true;
+          Error e))
+
+(* Mutating call: execute on the primary, then synchronously ship the new
+   replication-log tail to the replica before acknowledging.  The ack
+   therefore implies the statement is durable on two nodes (or the slot
+   knowingly runs unreplicated).  If the primary dies before the ship
+   completes, the statement is provably absent from the replica's
+   received log, so promoting and re-executing once is exactly-once. *)
+let exec_mut t i line =
+  let rec go ~retried =
+    let slot = t.slots.(i) in
+    if slot.down then Error (node_error i)
+    else
+      let refail () =
+        if retried then begin
+          slot.down <- true;
+          Error (node_error i)
+        end
+        else
+          match promote_replica t i with
+          | None -> Error (node_error i)
+          | Some _ ->
+            Metrics.incr (m t) Metrics.Cluster_retries;
+            go ~retried:true
+      in
+      match slot.primary (Protocol.Exec_line line) with
+      | Error _ -> refail ()
+      | Ok (Protocol.Failed _ as resp) -> Ok resp (* no mutation, nothing to ship *)
+      | Ok (Protocol.Output _ as resp) -> (
+        match slot.replica with
+        | None -> Ok resp
+        | Some rep -> (
+          match slot.primary (Protocol.Wal_pull (string_of_int slot.shipped)) with
+          | Error _ -> refail ()
+          | Ok (Protocol.Wal_records body) -> (
+            match rep (Protocol.Wal_push body) with
+            | Ok (Protocol.Output _) ->
+              (match Wire.parse_records_body body with
+              | records ->
+                List.iter
+                  (fun (lsn, _) -> if lsn >= slot.shipped then slot.shipped <- lsn + 1)
+                  records
+              | exception Wire.Malformed _ -> ());
+              Ok resp
+            | Ok _ | Error _ ->
+              (* replica refused or died: run unreplicated from here on *)
+              slot.replica <- None;
+              Ok resp)
+          | Ok _ ->
+            slot.replica <- None;
+            Ok resp))
+      | Ok resp -> Ok resp
+  in
+  go ~retried:false
+
+(* ------------------------------------------------------------- routing *)
+
+let value_of_literal = function
+  | Ast.L_int i -> Value.Int i
+  | Ast.L_float f -> Value.Float f
+  | Ast.L_string s -> Value.Str s
+
+(* Key-range partitioning over [0, key_domain): node i owns the i-th
+   equal slice.  Out-of-range keys clamp to the edge nodes; non-integer
+   partition attributes hash to a pseudo-key, which keeps routing
+   deterministic (same value, same node) if not range-ordered. *)
+let owner t v =
+  let n = Array.length t.slots in
+  let of_int k =
+    if k < 0 then 0
+    else if k >= t.key_domain then n - 1
+    else k * n / t.key_domain
+  in
+  match v with
+  | Value.Int k -> of_int k
+  | Value.Float f -> of_int (int_of_float f)
+  | Value.Str s -> Hashtbl.hash s mod n
+
+let all_nodes t = List.init (Array.length t.slots) Fun.id
+
+(* The partition attribute is the relation's first declared attribute. *)
+let partition_attr t rel =
+  match Hashtbl.find_opt t.rels rel with
+  | Some { attrs = (name, _) :: _; _ } -> Some name
+  | _ -> None
+
+(* A statement whose qualification pins the partition attribute with [=]
+   routes to the single owning node. *)
+let point_node t rel (quals : Ast.qual list) =
+  match partition_attr t rel with
+  | None -> None
+  | Some pattr ->
+    List.find_map
+      (fun (q : Ast.qual) ->
+        match q with
+        | { left = lrel, lattr; op = Ast.C_eq; right = Ast.Lit lit }
+          when lrel = rel && lattr = pattr ->
+          Some (owner t (value_of_literal lit))
+        | _ -> None)
+      quals
+
+let target_nodes t rel quals =
+  match point_node t rel quals with
+  | Some i ->
+    Metrics.incr (m t) Metrics.Cluster_stmts_routed;
+    [ i ]
+  | None ->
+    Metrics.incr (m t) Metrics.Cluster_stmts_broadcast;
+    all_nodes t
+
+let fail fmt = Format.kasprintf (fun output -> { output; ok = false; digest = None }) fmt
+let ok_out output = { output; ok = true; digest = None }
+
+let op_syntax = function
+  | Predicate.Eq -> "="
+  | Predicate.Ne -> "!="
+  | Predicate.Lt -> "<"
+  | Predicate.Le -> "<="
+  | Predicate.Gt -> ">"
+  | Predicate.Ge -> ">="
+
+(* Reconstruct a node-local sub-retrieve for one bound source: the full
+   partition of its relation, filtered by its own restriction terms. *)
+let sub_retrieve (src : View_def.source) =
+  let rel = Relation.name src.rel in
+  let schema = Relation.schema src.rel in
+  let quals =
+    List.map
+      (fun (term : Predicate.term) ->
+        Printf.sprintf "%s.%s %s %s" rel
+          (Schema.attr schema term.Predicate.attr).Schema.name
+          (op_syntax term.Predicate.op)
+          (Interp.literal_syntax term.Predicate.value))
+      src.restriction
+  in
+  Printf.sprintf "retrieve (%s.all)%s" rel
+    (match quals with [] -> "" | qs -> " where " ^ String.concat " and " qs)
+
+(* Fetch and merge one statement's tuples from a set of nodes; the
+   cluster's simulated time for the statement is the max across nodes
+   (partitions execute in parallel). *)
+let fetch_from t nodes stmt =
+  let rec go acc ms = function
+    | [] -> Ok (List.concat (List.rev acc), ms)
+    | i :: rest -> (
+      match call t i (Protocol.Fetch stmt) with
+      | Error e -> Error e
+      | Ok (Protocol.Failed msg) -> Error msg
+      | Ok (Protocol.Tuples body) -> (
+        match Wire.parse_tuples_body body with
+        | node_ms, tuples ->
+          let n = List.length tuples in
+          if n > 0 then Metrics.incr ~n (m t) Metrics.Cluster_tuples_shipped;
+          go (tuples :: acc) (Float.max ms node_ms) rest
+        | exception Wire.Malformed msg -> Error ("bad tuples body: " ^ msg))
+      | Ok _ -> Error "unexpected response to fetch")
+  in
+  go [] 0.0 nodes
+
+let probe_from t nodes ~attr ~stmt keys =
+  let body = Wire.join_probe_body ~attr ~stmt keys in
+  let rec go acc ms = function
+    | [] -> Ok (List.concat (List.rev acc), ms)
+    | i :: rest -> (
+      match call t i (Protocol.Join_probe body) with
+      | Error e -> Error e
+      | Ok (Protocol.Failed msg) -> Error msg
+      | Ok (Protocol.Tuples reply) -> (
+        match Wire.parse_tuples_body reply with
+        | node_ms, tuples ->
+          let n = List.length tuples in
+          if n > 0 then Metrics.incr ~n (m t) Metrics.Cluster_tuples_shipped;
+          go (tuples :: acc) (Float.max ms node_ms) rest
+        | exception Wire.Malformed msg -> Error ("bad tuples body: " ^ msg))
+      | Ok _ -> Error "unexpected response to join probe")
+  in
+  go [] 0.0 nodes
+
+let project projection tuple =
+  match projection with
+  | None -> tuple
+  | Some positions -> Tuple.create (List.map (Tuple.get tuple) positions)
+
+(* Evaluate the bound join chain over per-source shipped partitions —
+   the same left-deep semantics as the executor, hash-joining on [=]. *)
+let eval_join (def : View_def.t) projection per_source =
+  match per_source with
+  | [] -> []
+  | base :: rest ->
+    let chain =
+      List.fold_left2
+        (fun acc (step : View_def.join_step) src_tuples ->
+          match step.View_def.op with
+          | Predicate.Eq ->
+            let table = Hashtbl.create (List.length src_tuples * 2) in
+            List.iter
+              (fun s ->
+                let key = Tuple.get s step.View_def.right_attr in
+                Hashtbl.add table key s)
+              src_tuples;
+            List.concat_map
+              (fun l ->
+                let key = Tuple.get l step.View_def.left_attr in
+                List.rev_map (fun s -> Tuple.concat l s) (Hashtbl.find_all table key))
+              acc
+          | op ->
+            List.concat_map
+              (fun l ->
+                List.filter_map
+                  (fun s ->
+                    if
+                      Predicate.eval_op op
+                        (Tuple.get l step.View_def.left_attr)
+                        (Tuple.get s step.View_def.right_attr)
+                    then Some (Tuple.concat l s)
+                    else None)
+                  src_tuples)
+              acc)
+        base def.View_def.steps rest
+    in
+    List.map (project projection) chain
+
+(* Deterministic display: first 20 of the sorted serialized multiset,
+   matching the single-node format shape (tuple order differs — the
+   differential oracle compares digests, not display text). *)
+let format_tuples tuples =
+  let sorted =
+    List.sort compare (List.map (fun tu -> (Wire.encode_tuple tu, tu)) tuples)
+  in
+  let buf = Buffer.create 256 in
+  let rec show n = function
+    | [] -> 0
+    | rest when n = 0 -> List.length rest
+    | (_, tu) :: rest ->
+      Buffer.add_string buf (Format.asprintf "  %a\n" Tuple.pp tu);
+      show (n - 1) rest
+  in
+  let hidden = show 20 sorted in
+  if hidden > 0 then Buffer.add_string buf (Printf.sprintf "  ... %d more\n" hidden);
+  Buffer.add_string buf (Printf.sprintf "(%d tuples)" (List.length tuples));
+  Buffer.contents buf
+
+let tuple_result t ?suffix tuples ms =
+  t.fetched_ms <- t.fetched_ms +. ms;
+  {
+    output =
+      Printf.sprintf "%s\n%.0f ms (simulated%s)" (format_tuples tuples) ms
+        (match suffix with None -> "" | Some s -> ", " ^ s);
+    ok = true;
+    digest = Some (Wire.digest_tuples tuples);
+  }
+
+(* Cross-shard join: with two sources equi-joined we ship the smaller
+   side — fetch it whole, send its join-key set to the bigger side's
+   nodes, and get back only matching tuples (a semijoin).  Anything else
+   (longer chains, non-equality joins) broadcasts every source. *)
+let join_retrieve t (def : View_def.t) projection ~suffix =
+  let sources = View_def.sources def in
+  let count_of (src : View_def.source) =
+    match Hashtbl.find_opt t.rels (Relation.name src.rel) with
+    | Some info -> info.count
+    | None -> 0
+  in
+  let shipped_plan () =
+    match (sources, def.View_def.steps) with
+    | [ base; side ], [ step ] when step.View_def.op = Predicate.Eq ->
+      Some (base, side, step)
+    | _ -> None
+  in
+  let fetch_all () =
+    let rec go acc ms = function
+      | [] -> Ok (List.rev acc, ms)
+      | src :: rest -> (
+        match fetch_from t (all_nodes t) (sub_retrieve src) with
+        | Error e -> Error e
+        | Ok (tuples, node_ms) -> go (tuples :: acc) (Float.max ms node_ms) rest)
+    in
+    go [] 0.0 sources
+  in
+  let fetched =
+    match shipped_plan () with
+    | Some (base, side, step) when count_of base <> count_of side ->
+      Metrics.incr (m t) Metrics.Cluster_joins_shipped;
+      let base_smaller = count_of base < count_of side in
+      let small, small_attr, big, big_attr =
+        if base_smaller then
+          (base, step.View_def.left_attr, side, step.View_def.right_attr)
+        else (side, step.View_def.right_attr, base, step.View_def.left_attr)
+      in
+      (match fetch_from t (all_nodes t) (sub_retrieve small) with
+      | Error e -> Error e
+      | Ok (small_tuples, ms1) -> (
+        let keys = Hashtbl.create 64 in
+        List.iter
+          (fun tu -> Hashtbl.replace keys (Tuple.get tu small_attr) ())
+          small_tuples;
+        let key_list = Hashtbl.fold (fun k () acc -> k :: acc) keys [] in
+        match
+          probe_from t (all_nodes t) ~attr:big_attr ~stmt:(sub_retrieve big) key_list
+        with
+        | Error e -> Error e
+        | Ok (big_tuples, ms2) ->
+          let per_source =
+            if base_smaller then [ small_tuples; big_tuples ]
+            else [ big_tuples; small_tuples ]
+          in
+          Ok (per_source, Float.max ms1 ms2)))
+    | _ ->
+      Metrics.incr (m t) Metrics.Cluster_joins_broadcast;
+      fetch_all ()
+  in
+  match fetched with
+  | Error e -> fail "%s" e
+  | Ok (per_source, ms) ->
+    let tuples = eval_join def projection per_source in
+    tuple_result t ?suffix tuples ms
+
+(* A retrieve (or proc body) routed as tuples.  Single-source retrieves
+   ship the original statement verbatim — each node restricts and
+   projects its own partition; multi-source ones take the join path. *)
+let retrieve_tuples t line (r : Ast.retrieve) ~suffix =
+  match Interp.bind_retrieve_projected t.scratch r with
+  | exception Interp.Runtime_error msg -> fail "%s" msg
+  | def, projection -> (
+    match View_def.sources def with
+    | [ _ ] -> (
+      let rel = Relation.name (List.hd (View_def.relations def)) in
+      match fetch_from t (target_nodes t rel r.Ast.quals) line with
+      | Error e -> fail "%s" e
+      | Ok (tuples, ms) -> tuple_result t ?suffix tuples ms)
+    | _ -> join_retrieve t def projection ~suffix)
+
+(* ------------------------------------------------- per-command routing *)
+
+let scan_count fmt output =
+  try Scanf.sscanf output fmt (fun n _ -> Some n) with
+  | Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+(* DDL and strategy changes replay on the scratch binder first (catching
+   semantic errors with single-node parity, before any node state
+   changes), then broadcast to every node.  The scratch output doubles as
+   the cluster output — these outputs are data-independent. *)
+let route_ddl t line ~on_success =
+  match Interp.exec_line t.scratch line with
+  | Error msg -> fail "%s" msg
+  | Ok output ->
+    Metrics.incr (m t) Metrics.Cluster_stmts_broadcast;
+    let rec go = function
+      | [] ->
+        on_success ();
+        ok_out output
+      | i :: rest -> (
+        match exec_mut t i line with
+        | Error e -> fail "%s" e
+        | Ok (Protocol.Output _) -> go rest
+        | Ok (Protocol.Failed msg) -> fail "%s" msg
+        | Ok _ -> fail "unexpected response from node %d" i)
+    in
+    go (all_nodes t)
+
+let exec_on_nodes t nodes line ~parse ~describe =
+  let rec go total = function
+    | [] -> Ok total
+    | i :: rest -> (
+      match exec_mut t i line with
+      | Error e -> Error e
+      | Ok (Protocol.Output out) -> (
+        match parse out with
+        | Some n -> go (total + n) rest
+        | None -> Error (Printf.sprintf "unparseable %s output from node %d" describe i))
+      | Ok (Protocol.Failed msg) -> Error msg
+      | Ok _ -> Error (Printf.sprintf "unexpected response from node %d" i))
+  in
+  go 0 nodes
+
+let quals_local rel (quals : Ast.qual list) =
+  List.for_all
+    (fun (q : Ast.qual) ->
+      fst q.Ast.left = rel
+      && match q.Ast.right with Ast.Lit _ -> true | Ast.Attr _ -> false)
+    quals
+
+let append_syntax rel fields =
+  Printf.sprintf "append to %s (%s)" rel
+    (String.concat ", "
+       (List.map
+          (fun (name, v) -> Printf.sprintf "%s = %s" name (Interp.literal_syntax v))
+          fields))
+
+let quals_syntax quals =
+  match quals with
+  | [] -> ""
+  | qs ->
+    " where "
+    ^ String.concat " and "
+        (List.map
+           (fun (q : Ast.qual) ->
+             Printf.sprintf "%s.%s %s %s" (fst q.Ast.left) (snd q.Ast.left)
+               (Ast.comparison_symbol q.Ast.op)
+               (match q.Ast.right with
+               | Ast.Lit lit -> Interp.literal_syntax (value_of_literal lit)
+               | Ast.Attr (r, a) -> r ^ "." ^ a))
+           qs)
+
+(* Replace that assigns the partition attribute re-homes tuples: fetch
+   the victims, delete them where they live, re-append the rewritten
+   tuples to their new owners. *)
+let rehome_replace t rel (values : (string * Ast.literal) list) quals info =
+  let nodes = target_nodes t rel quals in
+  let fetch_stmt = Printf.sprintf "retrieve (%s.all)%s" rel (quals_syntax quals) in
+  match fetch_from t nodes fetch_stmt with
+  | Error e -> fail "%s" e
+  | Ok (victims, _ms) -> (
+    let delete_stmt = Printf.sprintf "delete from %s%s" rel (quals_syntax quals) in
+    match
+      exec_on_nodes t nodes delete_stmt
+        ~parse:(scan_count "deleted %d tuples from %s")
+        ~describe:"delete"
+    with
+    | Error e -> fail "%s" e
+    | Ok deleted -> (
+      info.count <- info.count - deleted;
+      let rewrite tuple =
+        List.mapi
+          (fun i (name, _ty) ->
+            match List.assoc_opt name values with
+            | Some lit -> (name, value_of_literal lit)
+            | None -> (name, Tuple.get tuple i))
+          info.attrs
+      in
+      let rec put = function
+        | [] ->
+          ok_out (Printf.sprintf "replaced %d tuples in %s" deleted rel)
+        | tuple :: rest -> (
+          let fields = rewrite tuple in
+          let dest = owner t (snd (List.hd fields)) in
+          match exec_mut t dest (append_syntax rel fields) with
+          | Ok (Protocol.Output _) ->
+            info.count <- info.count + 1;
+            put rest
+          | Ok (Protocol.Failed msg) -> fail "%s" msg
+          | Ok _ -> fail "unexpected response from node %d" dest
+          | Error e -> fail "%s" e)
+      in
+      put victims))
+
+let route_cmd t line (cmd : Ast.command) =
+  match cmd with
+  | Ast.Create { rel; attrs } ->
+    route_ddl t line ~on_success:(fun () ->
+        Hashtbl.replace t.rels rel { count = 0; attrs })
+  | Ast.Index _ | Ast.Strategy _ ->
+    route_ddl t line ~on_success:(fun () -> ())
+  | Ast.Define_proc { name; body } ->
+    route_ddl t line ~on_success:(fun () -> Hashtbl.replace t.procs name body)
+  | Ast.Append { rel; values } -> (
+    match Hashtbl.find_opt t.rels rel with
+    | None -> fail "unknown relation %S" rel
+    | Some info -> (
+      let dest =
+        match partition_attr t rel with
+        | Some pattr -> (
+          match List.assoc_opt pattr values with
+          | Some lit -> owner t (value_of_literal lit)
+          | None -> 0 (* node 0 reports the missing-attribute error *))
+        | None -> 0
+      in
+      Metrics.incr (m t) Metrics.Cluster_stmts_routed;
+      match exec_mut t dest line with
+      | Error e -> fail "%s" e
+      | Ok (Protocol.Output _) ->
+        info.count <- info.count + 1;
+        ok_out (Printf.sprintf "appended 1 tuple to %s (%d total)" rel info.count)
+      | Ok (Protocol.Failed msg) -> fail "%s" msg
+      | Ok _ -> fail "unexpected response from node %d" dest))
+  | Ast.Delete { rel; quals } -> (
+    match Hashtbl.find_opt t.rels rel with
+    | None -> fail "unknown relation %S" rel
+    | Some info -> (
+      if not (quals_local rel quals) then
+        fail "delete restriction must reference only %s" rel
+      else
+        match
+          exec_on_nodes t (target_nodes t rel quals) line
+            ~parse:(scan_count "deleted %d tuples from %s")
+            ~describe:"delete"
+        with
+        | Error e -> fail "%s" e
+        | Ok n ->
+          info.count <- info.count - n;
+          ok_out (Printf.sprintf "deleted %d tuples from %s" n rel)))
+  | Ast.Replace { rel; values; quals } -> (
+    match Hashtbl.find_opt t.rels rel with
+    | None -> fail "unknown relation %S" rel
+    | Some info -> (
+      if not (quals_local rel quals) then
+        fail "replace restriction must reference only %s" rel
+      else
+        let rehomes =
+          match partition_attr t rel with
+          | Some pattr -> List.mem_assoc pattr values
+          | None -> false
+        in
+        if rehomes then rehome_replace t rel values quals info
+        else
+          match
+            exec_on_nodes t (target_nodes t rel quals) line
+              ~parse:(scan_count "replaced %d tuples in %s")
+              ~describe:"replace"
+          with
+          | Error e -> fail "%s" e
+          | Ok n -> ok_out (Printf.sprintf "replaced %d tuples in %s" n rel)))
+  | Ast.Retrieve r -> retrieve_tuples t line r ~suffix:None
+  | Ast.Exec name -> (
+    match Hashtbl.find_opt t.procs name with
+    | None -> fail "unknown procedure %S" name
+    | Some body -> (
+      let suffix = Some (Interp.strategy_name t.scratch) in
+      match Interp.bind_retrieve_projected t.scratch body with
+      | exception Interp.Runtime_error msg -> fail "%s" msg
+      | def, projection -> (
+        match View_def.sources def with
+        | [ _ ] -> (
+          (* single-relation proc: every node serves its partition from
+             its own manager, so the paper's strategies (and their
+             caches) do the work *)
+          let rel = Relation.name (List.hd (View_def.relations def)) in
+          match fetch_from t (target_nodes t rel body.Ast.quals) line with
+          | Error e -> fail "%s" e
+          | Ok (tuples, ms) -> tuple_result t ?suffix tuples ms)
+        | _ -> join_retrieve t def projection ~suffix)))
+  | Ast.Explain _ | Ast.Show _ | Ast.Help -> (
+    (* node 0's local view stands in for the cluster *)
+    Metrics.incr (m t) Metrics.Cluster_stmts_routed;
+    match call t 0 (Protocol.Exec_line line) with
+    | Ok (Protocol.Output out) -> ok_out out
+    | Ok (Protocol.Failed msg) -> fail "%s" msg
+    | Ok _ -> fail "unexpected response from node 0"
+    | Error e -> fail "%s" e)
+  | Ast.Reset_cost ->
+    Metrics.incr (m t) Metrics.Cluster_stmts_broadcast;
+    let rec go = function
+      | [] -> ok_out "cost counters reset"
+      | i :: rest -> (
+        match call t i (Protocol.Exec_line line) with
+        | Ok (Protocol.Output _) -> go rest
+        | Ok (Protocol.Failed msg) -> fail "%s" msg
+        | Ok _ -> fail "unexpected response from node %d" i
+        | Error e -> fail "%s" e)
+    in
+    go (all_nodes t)
+  | Ast.Save _ -> fail "save is not supported on a cluster"
+  | Ast.Begin | Ast.Commit | Ast.Abort ->
+    fail "transactions are not supported across a cluster"
+
+let exec t line =
+  (match t.injector with
+  | Some inj -> (
+    match Injector.note_op ~metrics:(m t) inj with
+    | Some node -> kill_node t node
+    | None -> ())
+  | None -> ());
+  match Parser.parse_command line with
+  | exception Parser.Parse_error msg -> fail "%s" msg
+  | exception Lexer.Lex_error msg -> fail "%s" msg
+  | cmd -> route_cmd t line cmd
+
+(* -------------------------------------------------------- cluster view *)
+
+let counter_of_name =
+  let tbl = Hashtbl.create 97 in
+  List.iter
+    (fun c -> Hashtbl.replace tbl (Metrics.counter_name c) c)
+    Metrics.all_counters;
+  fun name -> Hashtbl.find_opt tbl name
+
+let gauge_of_name =
+  let tbl = Hashtbl.create 17 in
+  List.iter (fun g -> Hashtbl.replace tbl (Metrics.gauge_name g) g) Metrics.all_gauges;
+  fun name -> Hashtbl.find_opt tbl name
+
+let is_net_counter name =
+  String.length name >= 4 && String.sub name 0 4 = "net."
+
+(* One cluster view: the coordinator's own context (cluster.* counters,
+   scratch-binder charges) plus every live node's exported counters and
+   gauges, folded in by name.  Node [net.*] counters are skipped — node
+   traffic is coordinator-internal, and the serving tier's own net
+   counters are what a load generator reconciles against.  Node
+   histograms are not merged (quantiles cannot be re-merged from
+   exports); the coordinator's own histograms survive. *)
+let snapshot t =
+  let copy = Ctx.create () in
+  Ctx.merge_into ~into:copy t.ctx;
+  let mc = Ctx.metrics copy in
+  Array.iteri
+    (fun i slot ->
+      if not slot.down then
+        match call t i Protocol.Stats with
+        | Ok (Protocol.Output body) -> (
+          match Export.parse body with
+          | Error _ -> ()
+          | Ok json ->
+            (match Export.member "counters" json with
+            | Some (Export.Obj kvs) ->
+              List.iter
+                (fun (name, v) ->
+                  match v with
+                  | Export.Int n when n > 0 && not (is_net_counter name) -> (
+                    match counter_of_name name with
+                    | Some c -> Metrics.incr ~n mc c
+                    | None -> ())
+                  | _ -> ())
+                kvs
+            | _ -> ());
+            (match Export.member "gauges" json with
+            | Some (Export.Obj kvs) ->
+              List.iter
+                (fun (name, v) ->
+                  match v with
+                  | Export.Int n when n <> 0 -> (
+                    match gauge_of_name name with
+                    | Some g -> Metrics.add_gauge ~n mc g
+                    | None -> ())
+                  | _ -> ())
+                kvs
+            | _ -> ())
+          )
+        | Ok _ | Error _ -> ())
+    t.slots;
+  copy
+
+(* --------------------------------------------------- in-process cluster *)
+
+let node_link node =
+  let dead = ref false in
+  let link req =
+    if !dead then Error "node killed"
+    else
+      Ok
+        (match req with
+        | Protocol.Ping -> Protocol.Pong
+        | Protocol.Exec_line line -> (
+          match Node.exec_line node ~client:0 line with
+          | Dbproc_lang.Interp.O_ok out -> Protocol.Output out
+          | Dbproc_lang.Interp.O_error msg -> Protocol.Failed msg
+          | Dbproc_lang.Interp.O_aborted msg -> Protocol.Aborted msg
+          | Dbproc_lang.Interp.O_blocked _ ->
+            Protocol.Failed "blocked on a concurrent transaction")
+        | Protocol.Exec_script s -> (
+          match Node.exec_script node s with
+          | Ok out -> Protocol.Output out
+          | Error msg -> Protocol.Failed msg)
+        | Protocol.Stats ->
+          Protocol.Output (Export.to_string (Export.snapshot (Node.ctx node)))
+        | Protocol.Shutdown -> Protocol.Output "draining"
+        | Protocol.Begin | Protocol.Commit | Protocol.Abort ->
+          Protocol.Failed "transactions are not supported on a cluster node"
+        | other -> (
+          match Node.handle node other with
+          | Some resp -> resp
+          | None -> Protocol.Failed "unhandled request"))
+  in
+  (link, fun () -> dead := true)
+
+type local = { coord : t; nodes : Node.t array; kill_switches : (unit -> unit) array }
+
+let create_local ?ctx ?key_domain ?injector ?(replicas = true) ~nodes:n () =
+  if n < 1 then invalid_arg "Coordinator.create_local: nodes must be >= 1";
+  let primaries = Array.init n (fun _ -> Node.create ()) in
+  let replicas_arr =
+    if replicas then Array.init n (fun _ -> Some (Node.create ())) else Array.make n None
+  in
+  let prim_links = Array.map node_link primaries in
+  let repl_links =
+    Array.map (function Some nd -> Some (node_link nd) | None -> None) replicas_arr
+  in
+  let links =
+    Array.init n (fun i ->
+        (fst prim_links.(i), Option.map fst repl_links.(i)))
+  in
+  let kill_switches = Array.map snd prim_links in
+  let coord =
+    create ?ctx ?key_domain ?injector
+      ~on_kill:(fun i -> kill_switches.(i) ())
+      ~links ()
+  in
+  { coord; nodes = primaries; kill_switches }
+
+let coordinator l = l.coord
+let local_node l i = l.nodes.(i)

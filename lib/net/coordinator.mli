@@ -1,0 +1,118 @@
+(** The cluster coordinator: key-range sharding, statement routing,
+    cross-shard joins, WAL-shipping replication and node-kill failover.
+
+    A coordinator owns an array of {e slots}, one per partition.  Each
+    slot holds a primary {!link} and optionally a replica link — a link
+    is just [request -> (response, string) result], so the same
+    coordinator drives in-process nodes (tests, {!create_local}) and
+    remote node servers over sockets ({!Cluster}) unchanged.
+
+    {b Partitioning.}  A relation's first declared attribute is its
+    partition attribute; node [i] of [n] owns keys in
+    [[i*key_domain/n, (i+1)*key_domain/n)].  Out-of-range integer keys
+    clamp to the edge nodes and string keys hash, so routing is total.
+    Appends route to the owning node; deletes/replaces/retrieves route to
+    one node when the qualification pins the partition attribute with
+    [=], and broadcast otherwise.  DDL replays on a data-less scratch
+    binder first (single-node error parity) and then broadcasts.
+
+    {b Cross-shard joins.}  A retrieve (or procedure) joining two
+    relations ships the smaller side: its partitions are fetched whole,
+    and its join-key set probes the bigger side's nodes, which return
+    only matching tuples ({!Protocol.Join_probe} — a semijoin).  Longer
+    chains and non-equality joins broadcast-fetch every source.  The
+    coordinator evaluates the bound join chain over the shipped
+    partitions with the executor's left-deep semantics and reports the
+    result with a digest of the sorted serialized multiset — the value
+    the cluster-vs-single-node differential compares.
+
+    {b Replication and failover.}  Every acknowledged mutation is
+    shipped synchronously: the coordinator pulls the primary's new
+    replication-log tail ({!Protocol.Wal_pull}) and pushes it to the
+    replica ({!Protocol.Wal_push}) {e before} acknowledging, so an ack
+    means the statement is durable on two nodes.  When a primary dies
+    the replica is promoted (it replays the shipped log) and the
+    in-flight statement retries exactly once — exactly-once, because a
+    mutation is acknowledged only after its ship completed, so an
+    unshipped statement is provably absent from the replica.  A slot
+    that loses its last link goes {e down} and answers errors.
+
+    Transactions and [save] are refused: the cluster has no distributed
+    commit.  Everything is counted under [cluster.*] / [repl.*] /
+    [fault.node_kills] in the coordinator's context. *)
+
+type link = Protocol.request -> (Protocol.response, string) result
+
+type t
+
+val create :
+  ?ctx:Dbproc_obs.Ctx.t ->
+  ?key_domain:int ->
+  ?injector:Dbproc_fault.Injector.t ->
+  ?on_kill:(int -> unit) ->
+  links:(link * link option) array ->
+  unit ->
+  t
+(** One slot per [(primary, replica)] pair.  [key_domain] (default
+    1_000_000, matching {!Loadgen}) bounds the integer key space the
+    range partitioning divides.  [injector] is consulted before every
+    statement; a scheduled node kill fires [on_kill i] (e.g. a process
+    kill or an in-process kill switch) and promotes [i]'s replica. *)
+
+type result = { output : string; ok : bool; digest : string option }
+(** [digest] is set for tuple-returning statements: MD5 over the sorted
+    serialized result multiset ({!Wire.digest_tuples}). *)
+
+val exec : t -> string -> result
+(** Route and execute one statement line. *)
+
+val snapshot : t -> Dbproc_obs.Ctx.t
+(** The merged cluster view: the coordinator's own context plus every
+    live node's exported counters and gauges folded in by name.  Node
+    [net.*] counters are excluded (coordinator-internal traffic) and
+    node histograms are not merged (quantiles cannot be recombined from
+    exports). *)
+
+val ctx : t -> Dbproc_obs.Ctx.t
+val node_count : t -> int
+val alive_count : t -> int
+val node_down : t -> int -> bool
+val sim_ms : t -> float
+(** The coordinator's simulated clock: scratch-binder charges plus, for
+    each tuple-returning statement, the max simulated milliseconds
+    across the nodes that served it (partitions run in parallel). *)
+
+val shipped_lsn : t -> int -> int
+(** Next primary replication-log LSN the coordinator would pull for this
+    slot — how far the replica has been shipped. *)
+
+val kill_node : t -> int -> unit
+(** Manually kill node [i]'s primary: fires [on_kill] and promotes the
+    replica (or downs the slot). *)
+
+(** {2 In-process clusters}
+
+    For tests and differential checks: nodes are {!Node.t} values driven
+    directly, each behind a kill switch so {!kill_node} (or a scheduled
+    injector kill) makes the "process" unreachable. *)
+
+type local
+
+val create_local :
+  ?ctx:Dbproc_obs.Ctx.t ->
+  ?key_domain:int ->
+  ?injector:Dbproc_fault.Injector.t ->
+  ?replicas:bool ->
+  nodes:int ->
+  unit ->
+  local
+(** [nodes] primaries, each with its own replica when [replicas]
+    (default [true]). *)
+
+val coordinator : local -> t
+val local_node : local -> int -> Node.t
+(** Primary node [i] — for asserting on replication-log LSNs and node
+    state in tests. *)
+
+val node_link : Node.t -> link * (unit -> unit)
+(** Wrap a node as an in-process link plus its kill switch. *)

@@ -252,7 +252,8 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
             | None -> false (* unsolicited, e.g. an id-0 server notice *)
           in
           match resp with
-          | Protocol.Pong | Protocol.Output _ ->
+          | Protocol.Pong | Protocol.Output _ | Protocol.Tuples _
+          | Protocol.Wal_records _ ->
             incr ok;
             if is_write then incr writes_ok
           | Protocol.Failed _ -> incr failed

@@ -1,0 +1,194 @@
+open Dbproc_obs
+module Interp = Dbproc_lang.Interp
+module Parser = Dbproc_lang.Parser
+module Lexer = Dbproc_lang.Lexer
+module Ast = Dbproc_lang.Ast
+module Cost = Dbproc_storage.Cost
+module Io = Dbproc_storage.Io
+module Wal = Dbproc_storage.Wal
+
+type t = {
+  session : Interp.t;
+  ctx : Ctx.t;
+  rlog : string Wal.t;  (* primary replication log: replicable statements *)
+  recv : string Wal.t;  (* replica side: shipped records, applied lazily *)
+  mutable applied : int;  (* next recv lsn a promotion will replay *)
+  mutable promoted : bool;
+}
+
+(* Both logs charge the node's own context: shipping reads pages off the
+   primary's log, promotion reads them back off the replica's — the same
+   simulated currency as PR 3's recovery replay.  Statements average well
+   under a WAL slot, so the paper's 100-byte record keeps log page math
+   consistent with the heap's. *)
+let create ?ctx ?(plan_cache = true) () =
+  let ctx = match ctx with Some c -> c | None -> Ctx.create () in
+  let session = Interp.create ~ctx ~plan_cache () in
+  let log_io () =
+    let cost = Cost.create ~ctx () in
+    Io.direct cost ~page_bytes:4000
+  in
+  {
+    session;
+    ctx;
+    rlog = Wal.create ~io:(log_io ()) ~record_bytes:100 ();
+    recv = Wal.create ~io:(log_io ()) ~record_bytes:100 ();
+    applied = 0;
+    promoted = false;
+  }
+
+let session t = t.session
+let ctx t = t.ctx
+let rlog_next_lsn t = Wal.next_lsn t.rlog
+let recv_next_lsn t = Wal.next_lsn t.recv
+let promoted t = t.promoted
+
+(* Statements worth shipping: the ones that change what a promoted
+   replica must be able to serve.  [Exec]/[Retrieve] only read (their
+   cache side effects are rebuilt by the replica's own executions), and
+   transaction control never reaches a replication log — a statement is
+   logged only when it ran to completion outside an explicit transaction,
+   so the log never contains effects that a later [abort] undid. *)
+let replicable line =
+  match Parser.parse_command line with
+  | Ast.Create _ | Ast.Index _ | Ast.Append _ | Ast.Delete _ | Ast.Replace _
+  | Ast.Define_proc _ | Ast.Strategy _ ->
+    true
+  | _ -> false
+  | exception Parser.Parse_error _ -> false
+  | exception Lexer.Lex_error _ -> false
+
+let exec_line t ~client line =
+  let outcome = Interp.exec_client t.session ~client line in
+  (match outcome with
+  | Interp.O_ok _ ->
+    if (not (Interp.in_transaction t.session ~client)) && replicable line then
+      ignore (Wal.append t.rlog line)
+  | _ -> ());
+  outcome
+
+let exec_script t script =
+  (* Same loop and output format as [Interp.exec_script], but line by
+     line through [exec_line] so exactly the statements that executed are
+     replicated — a script that fails midway has its completed prefix in
+     the log, matching the node's state. *)
+  let lines = String.split_on_char '\n' script in
+  let buf = Buffer.create 256 in
+  let rec go lineno = function
+    | [] -> Ok (Buffer.contents buf)
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || (String.length trimmed >= 2 && String.sub trimmed 0 2 = "--")
+      then go (lineno + 1) rest
+      else begin
+        match exec_line t ~client:0 trimmed with
+        | Interp.O_ok output ->
+          Buffer.add_string buf (Printf.sprintf "> %s\n%s\n" trimmed output);
+          go (lineno + 1) rest
+        | Interp.O_error msg | Interp.O_aborted msg ->
+          Error (Printf.sprintf "line %d: %s" lineno msg)
+        | Interp.O_blocked _ ->
+          Error (Printf.sprintf "line %d: blocked on a concurrent transaction" lineno)
+      end
+  in
+  go 1 lines
+
+let fetch t line =
+  match Interp.fetch t.session line with
+  | Ok (tuples, ms) -> Protocol.Tuples (Wire.tuples_body ~ms tuples)
+  | Error msg -> Protocol.Failed msg
+
+let join_probe t body =
+  match Wire.parse_join_probe_body body with
+  | exception Wire.Malformed msg -> Protocol.Failed ("join probe: " ^ msg)
+  | attr, stmt, keys -> (
+    match Interp.fetch t.session stmt with
+    | Error msg -> Protocol.Failed msg
+    | Ok (tuples, ms) ->
+      let set = Hashtbl.create (List.length keys * 2) in
+      List.iter (fun k -> Hashtbl.replace set k ()) keys;
+      let hits =
+        List.filter
+          (fun tuple ->
+            match Dbproc_relation.Tuple.get tuple attr with
+            | v -> Hashtbl.mem set v
+            | exception Invalid_argument _ -> false)
+          tuples
+      in
+      Protocol.Tuples (Wire.tuples_body ~ms hits))
+
+let wal_pull t body =
+  match int_of_string_opt (String.trim body) with
+  | None -> Protocol.Failed (Printf.sprintf "wal pull: bad lsn %S" body)
+  | Some from_lsn -> (
+    match Wal.records_from t.rlog from_lsn with
+    | records ->
+      let n = List.length records in
+      if n > 0 then
+        Metrics.incr ~n (Ctx.metrics t.ctx) Metrics.Repl_records_shipped;
+      Protocol.Wal_records (Wire.records_body records)
+    | exception Invalid_argument msg -> Protocol.Failed ("wal pull: " ^ msg))
+
+(* Shipped records append to the received log in primary-LSN order, so a
+   replica's recv LSNs coincide with the primary's rlog LSNs.  Re-shipped
+   prefixes are skipped (idempotent); a gap means the coordinator lost
+   records and the replica refuses rather than diverge. *)
+let wal_push t body =
+  match Wire.parse_records_body body with
+  | exception Wire.Malformed msg -> Protocol.Failed ("wal push: " ^ msg)
+  | records ->
+    let expected = Wal.next_lsn t.recv in
+    let rec apply = function
+      | [] -> Protocol.Output (Printf.sprintf "received through %d" (Wal.next_lsn t.recv))
+      | (lsn, _) :: rest when lsn < Wal.next_lsn t.recv -> apply rest
+      | (lsn, stmt) :: rest when lsn = Wal.next_lsn t.recv ->
+        ignore (Wal.append t.recv stmt);
+        Metrics.incr (Ctx.metrics t.ctx) Metrics.Repl_records_received;
+        apply rest
+      | (lsn, _) :: _ ->
+        Protocol.Failed
+          (Printf.sprintf "wal push: gap (got lsn %d, expected %d)" lsn expected)
+    in
+    apply records
+
+(* Promotion: replay the shipped tail through the session.  Reading the
+   received log back charges one page read per log page (the recovery
+   cost), and each replayed statement re-executes at full simulated
+   price — a promoted replica has genuinely done the work its state
+   claims.  Replayed statements land in this node's own rlog via
+   [exec_line], so a promoted node is immediately a valid primary. *)
+let promote t =
+  match Wal.records_from t.recv t.applied with
+  | exception Invalid_argument msg -> Protocol.Failed ("promote: " ^ msg)
+  | records -> (
+    let rec replay n = function
+      | [] -> Ok n
+      | (lsn, stmt) :: rest -> (
+        match exec_line t ~client:0 stmt with
+        | Interp.O_ok _ ->
+          t.applied <- lsn + 1;
+          Metrics.incr (Ctx.metrics t.ctx) Metrics.Repl_statements_replayed;
+          replay (n + 1) rest
+        | Interp.O_error msg | Interp.O_aborted msg ->
+          Error (Printf.sprintf "replay failed at lsn %d: %s" lsn msg)
+        | Interp.O_blocked _ -> Error (Printf.sprintf "replay blocked at lsn %d" lsn))
+    in
+    match replay 0 records with
+    | Ok n ->
+      t.promoted <- true;
+      Protocol.Output (Printf.sprintf "promoted: replayed %d statements" n)
+    | Error msg -> Protocol.Failed msg)
+
+let handle t (req : Protocol.request) : Protocol.response option =
+  match req with
+  | Protocol.Fetch line -> Some (fetch t line)
+  | Protocol.Join_probe body -> Some (join_probe t body)
+  | Protocol.Wal_pull body -> Some (wal_pull t body)
+  | Protocol.Wal_push body -> Some (wal_push t body)
+  | Protocol.Promote -> Some (promote t)
+  | Protocol.Ping | Protocol.Exec_line _ | Protocol.Exec_script _ | Protocol.Stats
+  | Protocol.Shutdown | Protocol.Begin | Protocol.Commit | Protocol.Abort ->
+    None
+
+let disconnect t ~client = ignore (Interp.abort_client t.session ~client)
+let sim_ms t = Interp.simulated_ms t.session

@@ -1,0 +1,67 @@
+(** A cluster node: one interpreter session plus the WAL-shipping
+    replication machinery, speaking the coordinator-facing protocol tags.
+
+    A node is what a {!Server} shard hosts (the default backend wraps
+    one), and what an in-process cluster drives directly.  It plays both
+    replication roles:
+
+    - {b primary}: every replicable statement that executes successfully
+      outside an explicit transaction is appended, as statement text, to
+      the node's replication log (a {!Dbproc_storage.Wal.t} of 100-byte
+      records charged to the node's own context).  A coordinator pulls
+      the tail with {!Protocol.Wal_pull} after each mutation it routes.
+    - {b replica}: {!Protocol.Wal_push} appends shipped records to a
+      received log in primary-LSN order (idempotent on re-shipped
+      prefixes, refusing gaps).  Nothing is applied until
+      {!Protocol.Promote}, which replays the received statements through
+      the session at full simulated price — so a promoted replica has
+      done the work its state claims, and its [heap_appends] counter
+      matches the writes the cluster acknowledged.
+
+    Replication covers autocommit statements only: a statement executed
+    under an explicit transaction is not logged (its effects could be
+    rolled back after logging).  A cluster coordinator never opens
+    transactions, so this is only visible to clients talking to a node
+    server directly. *)
+
+type t
+
+val create : ?ctx:Dbproc_obs.Ctx.t -> ?plan_cache:bool -> unit -> t
+(** A fresh node: its own session bound to [ctx] (default: a fresh
+    context), plus empty primary and received replication logs charged
+    to the same context. *)
+
+val session : t -> Dbproc_lang.Interp.t
+val ctx : t -> Dbproc_obs.Ctx.t
+
+val exec_line : t -> client:int -> string -> Dbproc_lang.Interp.outcome
+(** {!Dbproc_lang.Interp.exec_client}, plus primary-side replication
+    logging on success. *)
+
+val exec_script : t -> string -> (string, string) result
+(** Same loop and output format as {!Dbproc_lang.Interp.exec_script},
+    but via {!exec_line} so exactly the executed prefix is replicated. *)
+
+val handle : t -> Protocol.request -> Protocol.response option
+(** Serve a coordinator-facing request ([Fetch] / [Join_probe] /
+    [Wal_pull] / [Wal_push] / [Promote]); [None] for the core tags,
+    which belong to the server loop / {!exec_line} paths. *)
+
+val disconnect : t -> client:int -> unit
+(** Abort the client's open transaction, if any. *)
+
+val sim_ms : t -> float
+(** The session's simulated clock ({!Dbproc_lang.Interp.simulated_ms}). *)
+
+val rlog_next_lsn : t -> int
+(** Next primary replication-log LSN (= records logged so far). *)
+
+val recv_next_lsn : t -> int
+(** Next received-log LSN — how far this replica has been shipped. *)
+
+val promoted : t -> bool
+
+val replicable : string -> bool
+(** Whether a statement line would be replicated ([create] / [index] /
+    [append] / [delete] / [replace] / [define proc] / [strategy]).
+    Unparseable lines are not. *)

@@ -7,6 +7,11 @@ type request =
   | Begin
   | Commit
   | Abort
+  | Fetch of string
+  | Join_probe of string
+  | Wal_pull of string
+  | Wal_push of string
+  | Promote
 
 type response =
   | Pong
@@ -14,11 +19,13 @@ type response =
   | Failed of string
   | Rejected of string
   | Aborted of string
+  | Tuples of string
+  | Wal_records of string
 
 let max_frame_default = 1 lsl 20
 let frame_overhead = 9
 
-(* Tag ranges are disjoint (requests 0x01-0x08, responses 0x10-0x14) so a
+(* Tag ranges are disjoint (requests 0x01-0x0d, responses 0x10-0x16) so a
    stream decoded on the wrong side fails cleanly instead of misparsing. *)
 let request_tag = function
   | Ping -> 0x01
@@ -29,6 +36,11 @@ let request_tag = function
   | Begin -> 0x06
   | Commit -> 0x07
   | Abort -> 0x08
+  | Fetch _ -> 0x09
+  | Join_probe _ -> 0x0a
+  | Wal_pull _ -> 0x0b
+  | Wal_push _ -> 0x0c
+  | Promote -> 0x0d
 
 let response_tag = function
   | Pong -> 0x10
@@ -36,14 +48,17 @@ let response_tag = function
   | Failed _ -> 0x12
   | Rejected _ -> 0x13
   | Aborted _ -> 0x14
+  | Tuples _ -> 0x15
+  | Wal_records _ -> 0x16
 
 let request_body = function
-  | Ping | Stats | Shutdown | Begin | Commit | Abort -> ""
-  | Exec_line s | Exec_script s -> s
+  | Ping | Stats | Shutdown | Begin | Commit | Abort | Promote -> ""
+  | Exec_line s | Exec_script s | Fetch s | Join_probe s | Wal_pull s | Wal_push s
+    -> s
 
 let response_body = function
   | Pong -> ""
-  | Output s | Failed s | Rejected s | Aborted s -> s
+  | Output s | Failed s | Rejected s | Aborted s | Tuples s | Wal_records s -> s
 
 let write_frame buf ~id ~tag ~body =
   Buffer.add_int32_be buf (Int32.of_int (String.length body + 5));
@@ -161,6 +176,11 @@ module Decoder = struct
       | 0x06 -> no_body t ~what:"begin" ~body (Msg (id, Begin))
       | 0x07 -> no_body t ~what:"commit" ~body (Msg (id, Commit))
       | 0x08 -> no_body t ~what:"abort" ~body (Msg (id, Abort))
+      | 0x09 -> Msg (id, Fetch body)
+      | 0x0a -> Msg (id, Join_probe body)
+      | 0x0b -> Msg (id, Wal_pull body)
+      | 0x0c -> Msg (id, Wal_push body)
+      | 0x0d -> no_body t ~what:"promote" ~body (Msg (id, Promote))
       | _ -> poison t (Printf.sprintf "unknown request tag 0x%02x" tag))
 
   let next_response t =
@@ -174,5 +194,7 @@ module Decoder = struct
       | 0x12 -> Msg (id, Failed body)
       | 0x13 -> Msg (id, Rejected body)
       | 0x14 -> Msg (id, Aborted body)
+      | 0x15 -> Msg (id, Tuples body)
+      | 0x16 -> Msg (id, Wal_records body)
       | _ -> poison t (Printf.sprintf "unknown response tag 0x%02x" tag))
 end

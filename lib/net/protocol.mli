@@ -33,6 +33,23 @@ type request =
   | Begin  (** open an explicit transaction on this connection *)
   | Commit  (** commit the connection's transaction *)
   | Abort  (** roll the connection's transaction back *)
+  | Fetch of string
+      (** coordinator-facing: execute a [retrieve]/[exec] line and reply
+          {!Tuples} — raw result tuples instead of formatted output, so
+          partitions can be merged ({!Wire} defines the body format) *)
+  | Join_probe of string
+      (** coordinator-facing semijoin probe: a local retrieve plus a
+          shipped key set; the node replies {!Tuples} restricted to
+          tuples whose join attribute is in the set *)
+  | Wal_pull of string
+      (** coordinator-facing: body is a decimal LSN; the primary replies
+          {!Wal_records} with its replication-log tail from that LSN *)
+  | Wal_push of string
+      (** coordinator-facing: shipped replication records for a replica's
+          received log (idempotent by LSN) *)
+  | Promote
+      (** coordinator-facing: a replica replays its received log and
+          becomes a primary *)
 
 type response =
   | Pong
@@ -43,6 +60,12 @@ type response =
   | Aborted of string
       (** the connection's transaction was aborted as a deadlock victim
           and rolled back; the request did not execute *)
+  | Tuples of string
+      (** raw result tuples for {!Fetch}/{!Join_probe} ({!Wire} format:
+          a simulated-ms line, then one serialized tuple per line) *)
+  | Wal_records of string
+      (** replication-log tail for {!Wal_pull}: LSN-stamped statement
+          records, one per line *)
 
 val max_frame_default : int
 (** Default frame-size cap, 1 MiB — bounds decoder memory per

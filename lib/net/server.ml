@@ -58,9 +58,59 @@ let write_frame_before_close ?(max_waits = 50) fd s =
   in
   go 0
 
+(* ------------------------------------------------------------ backends *)
+
+type backend = {
+  b_request :
+    client:int -> Protocol.request -> [ `Resp of Protocol.response | `Park ];
+  b_disconnect : client:int -> unit;
+  b_snapshot : unit -> Ctx.t;
+  b_sim_ms : unit -> float;
+}
+
+(* The default backend: one {!Node.t} per shard — an interpreter session
+   plus the replication machinery, so any node server can act as a
+   cluster primary or replica with no extra configuration. *)
+let node_backend ~plan_cache ctx =
+  let node = Node.create ~ctx ~plan_cache () in
+  let line ~client l =
+    match Node.exec_line node ~client l with
+    | Dbproc_lang.Interp.O_ok out -> `Resp (Protocol.Output out)
+    | Dbproc_lang.Interp.O_error msg -> `Resp (Protocol.Failed msg)
+    | Dbproc_lang.Interp.O_aborted msg -> `Resp (Protocol.Aborted msg)
+    | Dbproc_lang.Interp.O_blocked _ -> `Park
+  in
+  let b_request ~client (req : Protocol.request) =
+    match req with
+    | Protocol.Ping -> `Resp Protocol.Pong
+    | Protocol.Exec_line l -> line ~client l
+    (* transaction control rides the same per-client line path *)
+    | Protocol.Begin -> line ~client "begin"
+    | Protocol.Commit -> line ~client "commit"
+    | Protocol.Abort -> line ~client "abort"
+    | Protocol.Exec_script s -> (
+      match Node.exec_script node s with
+      | Ok out -> `Resp (Protocol.Output out)
+      | Error msg -> `Resp (Protocol.Failed msg))
+    | req -> (
+      match Node.handle node req with
+      | Some resp -> `Resp resp
+      | None -> `Resp (Protocol.Failed "request not handled by this backend"))
+  in
+  {
+    b_request;
+    b_disconnect = (fun ~client -> Node.disconnect node ~client);
+    b_snapshot =
+      (fun () ->
+        let copy = Ctx.create () in
+        Ctx.merge_into ~into:copy ctx;
+        copy);
+    b_sim_ms = (fun () -> Node.sim_ms node);
+  }
+
 (* ------------------------------------------------------- shard workers *)
 
-type work = W_ping | W_line of string | W_script of string
+type work = W_req of Protocol.request
 
 type job =
   | Exec of { conn_id : int; req_id : int; work : work }
@@ -79,59 +129,46 @@ type completion =
           locks released) — parked requests should be retried *)
   | Snap of { conn_id : int; req_id : int; ctx : Ctx.t }
 
-(* One shard = one domain owning one interpreter session and one engine
-   context.  Jobs arrive FIFO, so the session — and therefore every
-   response — is a deterministic function of the job sequence.  The shard
-   never touches a socket; it talks to the event loop only through the
-   two channels and the wake callback. *)
-let shard_worker ~trace ~plan_cache ~jobs ~completions ~wake () =
+(* One shard = one domain owning one backend and one engine context.
+   Jobs arrive FIFO, so the backend — and therefore every response — is a
+   deterministic function of the job sequence.  The shard never touches a
+   socket; it talks to the event loop only through the two channels and
+   the wake callback.
+
+   Requests execute on behalf of the connection, so each connection gets
+   its own transaction state in the shard's shared backend.  A blocked
+   statement has executed nothing (locks come first) and is parked —
+   [`Park] — to be retried verbatim; the shard itself never waits. *)
+let shard_worker ~trace ~make_backend ~jobs ~completions ~wake () =
   let ctx = Ctx.create () in
   if trace then Trace.set_enabled (Ctx.trace ctx) true;
-  let session = Dbproc_lang.Interp.create ~ctx ~plan_cache () in
+  let b : backend = make_backend ctx in
   let request_ms = Histogram.named (Ctx.histograms ctx) "net.request.sim_ms" in
-  (* Lines execute on behalf of the connection, so each connection gets
-     its own transaction state in the shard's shared session.  A blocked
-     statement has executed nothing (locks come first) and is parked —
-     [`Park] — to be retried verbatim; the shard itself never waits.
-     Scripts keep the legacy single-client path (client 0, no parking). *)
-  let exec ~conn_id work =
-    match work with
-    | W_ping -> `Resp Protocol.Pong
-    | W_line line -> (
-      match Dbproc_lang.Interp.exec_client session ~client:conn_id line with
-      | Dbproc_lang.Interp.O_ok out -> `Resp (Protocol.Output out)
-      | Dbproc_lang.Interp.O_error msg -> `Resp (Protocol.Failed msg)
-      | Dbproc_lang.Interp.O_aborted msg -> `Resp (Protocol.Aborted msg)
-      | Dbproc_lang.Interp.O_blocked _ -> `Park
-      | exception e -> `Resp (Protocol.Failed ("internal error: " ^ Printexc.to_string e)))
-    | W_script script -> (
-      match Dbproc_lang.Interp.exec_script session script with
-      | Ok out -> `Resp (Protocol.Output out)
-      | Error msg -> `Resp (Protocol.Failed msg)
-      | exception e -> `Resp (Protocol.Failed ("internal error: " ^ Printexc.to_string e)))
+  let exec ~conn_id (W_req req) =
+    match b.b_request ~client:conn_id req with
+    | result -> result
+    | exception e -> `Resp (Protocol.Failed ("internal error: " ^ Printexc.to_string e))
   in
   let rec loop () =
     match Chan.pop jobs with
     | Quit -> ()
     | Snapshot { conn_id; req_id } ->
-      (* Hand the event loop a private copy so it never reads a context a
-         shard domain is still charging. *)
-      let copy = Ctx.create () in
-      Ctx.merge_into ~into:copy ctx;
-      Chan.push completions (Snap { conn_id; req_id; ctx = copy });
+      (* The backend hands the event loop a private copy so it never
+         reads a context a shard domain is still charging. *)
+      Chan.push completions (Snap { conn_id; req_id; ctx = b.b_snapshot () });
       wake ();
       loop ()
     | Disconnect { conn_id } ->
-      ignore (Dbproc_lang.Interp.abort_client session ~client:conn_id);
+      b.b_disconnect ~client:conn_id;
       Chan.push completions (Freed { conn_id });
       wake ();
       loop ()
     | Exec { conn_id; req_id; work } ->
-      let t0 = Dbproc_lang.Interp.simulated_ms session in
+      let t0 = b.b_sim_ms () in
       let result =
         Trace.with_span (Ctx.trace ctx) "net.request" (fun () -> exec ~conn_id work)
       in
-      Histogram.observe request_ms (Dbproc_lang.Interp.simulated_ms session -. t0);
+      Histogram.observe request_ms (b.b_sim_ms () -. t0);
       (match result with
       | `Resp resp -> Chan.push completions (Done { conn_id; req_id; resp })
       | `Park -> Chan.push completions (Parked { conn_id; req_id; work }));
@@ -161,6 +198,7 @@ let pending_out c = Buffer.length c.out - c.out_pos
 
 type t = {
   config : config;
+  backend : Ctx.t -> backend;
   listen_fd : Unix.file_descr;
   bound_port : int;
   sctx : Ctx.t;
@@ -182,8 +220,13 @@ let resolve host port =
   | { Unix.ai_addr; _ } :: _ -> ai_addr
   | [] | (exception _) -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?backend () =
   if config.shards < 1 then invalid_arg "Server.create: shards must be >= 1";
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> node_backend ~plan_cache:config.plan_cache
+  in
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let addr = resolve config.host config.port in
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -205,6 +248,7 @@ let create ?(config = default_config) () =
   Unix.set_nonblock wake_wr;
   {
     config;
+    backend;
     listen_fd = fd;
     bound_port;
     sctx = Ctx.create ();
@@ -234,7 +278,7 @@ let run t =
     Array.map
       (fun jobs ->
         Domain.spawn
-          (shard_worker ~trace:cfg.trace ~plan_cache:cfg.plan_cache ~jobs
+          (shard_worker ~trace:cfg.trace ~make_backend:t.backend ~jobs
              ~completions:t.completions ~wake:(wake t)))
       shard_jobs
   in
@@ -311,13 +355,6 @@ let run t =
       end
     in
     match req with
-    | Protocol.Ping -> admit W_ping
-    | Protocol.Exec_line l -> admit (W_line l)
-    | Protocol.Exec_script s -> admit (W_script s)
-    (* transaction control rides the same per-client line path *)
-    | Protocol.Begin -> admit (W_line "begin")
-    | Protocol.Commit -> admit (W_line "commit")
-    | Protocol.Abort -> admit (W_line "abort")
     | Protocol.Stats ->
       Hashtbl.replace pending_stats (c.conn_id, id) (ref 0, Ctx.create ());
       Array.iter
@@ -326,6 +363,7 @@ let run t =
     | Protocol.Shutdown ->
       respond c ~id (Protocol.Output "draining");
       begin_drain ()
+    | req -> admit (W_req req)
   in
 
   let poison_conn c msg =

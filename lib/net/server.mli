@@ -52,11 +52,36 @@ val default_config : config
     connection), 1 MiB write buffer and frame cap, 30 s idle timeout,
     5 s drain grace, tracing off. *)
 
+type backend = {
+  b_request :
+    client:int -> Protocol.request -> [ `Resp of Protocol.response | `Park ];
+      (** Serve one request on behalf of connection [client].  [`Park]
+          means the statement blocked on another connection's transaction
+          before executing anything; the event loop re-queues it after
+          the next completion on the same shard. *)
+  b_disconnect : client:int -> unit;
+      (** Connection closed: abort its open transaction, if any. *)
+  b_snapshot : unit -> Dbproc_obs.Ctx.t;
+      (** A {e private copy} of the shard's observability state, safe for
+          the event loop to read while the shard keeps charging. *)
+  b_sim_ms : unit -> float;
+      (** Simulated-milliseconds clock, sampled around each request for
+          the [net.request.sim_ms] histogram. *)
+}
+(** What a shard domain hosts.  The default backend wraps a {!Node.t}
+    (interpreter session + replication machinery); a cluster coordinator
+    front-end plugs in its own. *)
+
+val node_backend : plan_cache:bool -> Dbproc_obs.Ctx.t -> backend
+(** The default backend factory, exposed so wrappers can delegate. *)
+
 type t
 
-val create : ?config:config -> unit -> t
-(** Bind and listen (does not accept yet).  Raises [Unix.Unix_error] if
-    the address is unavailable. *)
+val create : ?config:config -> ?backend:(Dbproc_obs.Ctx.t -> backend) -> unit -> t
+(** Bind and listen (does not accept yet).  [backend] is called once per
+    shard, in that shard's domain, with the shard's fresh context
+    (default: {!node_backend} with the config's [plan_cache]).  Raises
+    [Unix.Unix_error] if the address is unavailable. *)
 
 val config : t -> config
 

@@ -60,8 +60,20 @@ type counter =
   | Plan_cache_hits
   | Plan_cache_misses
   | Plan_cache_invalidations
+  | Plan_cache_evictions
+  | Repl_records_shipped
+  | Repl_records_received
+  | Repl_statements_replayed
+  | Cluster_stmts_routed
+  | Cluster_stmts_broadcast
+  | Cluster_tuples_shipped
+  | Cluster_joins_shipped
+  | Cluster_joins_broadcast
+  | Cluster_failovers
+  | Cluster_retries
+  | Fault_node_kills
 
-let n_counters = 61
+let n_counters = 73
 
 (* The variant is the key into one flat int array: no hashing, no
    allocation, no closures on the charging path. *)
@@ -127,6 +139,18 @@ let index = function
   | Plan_cache_hits -> 58
   | Plan_cache_misses -> 59
   | Plan_cache_invalidations -> 60
+  | Plan_cache_evictions -> 61
+  | Repl_records_shipped -> 62
+  | Repl_records_received -> 63
+  | Repl_statements_replayed -> 64
+  | Cluster_stmts_routed -> 65
+  | Cluster_stmts_broadcast -> 66
+  | Cluster_tuples_shipped -> 67
+  | Cluster_joins_shipped -> 68
+  | Cluster_joins_broadcast -> 69
+  | Cluster_failovers -> 70
+  | Cluster_retries -> 71
+  | Fault_node_kills -> 72
 
 let counter_name = function
   | Pages_read -> "pages_read"
@@ -190,6 +214,18 @@ let counter_name = function
   | Plan_cache_hits -> "plan_cache.hits"
   | Plan_cache_misses -> "plan_cache.misses"
   | Plan_cache_invalidations -> "plan_cache.invalidations"
+  | Plan_cache_evictions -> "plan_cache.evictions"
+  | Repl_records_shipped -> "repl.records_shipped"
+  | Repl_records_received -> "repl.records_received"
+  | Repl_statements_replayed -> "repl.statements_replayed"
+  | Cluster_stmts_routed -> "cluster.stmts_routed"
+  | Cluster_stmts_broadcast -> "cluster.stmts_broadcast"
+  | Cluster_tuples_shipped -> "cluster.tuples_shipped"
+  | Cluster_joins_shipped -> "cluster.joins_shipped"
+  | Cluster_joins_broadcast -> "cluster.joins_broadcast"
+  | Cluster_failovers -> "cluster.failovers"
+  | Cluster_retries -> "cluster.retries"
+  | Fault_node_kills -> "fault.node_kills"
 
 let all_counters =
   [
@@ -208,7 +244,11 @@ let all_counters =
     Txn_begins; Txn_commits; Txn_aborts; Txn_lock_waits; Txn_undo_applied;
     Txn_ilocks_broken; Deadlock_cycles; Deadlock_victims; Net_parked;
     Tuples_batched; Batches_emitted; Plan_cache_hits; Plan_cache_misses;
-    Plan_cache_invalidations;
+    Plan_cache_invalidations; Plan_cache_evictions; Repl_records_shipped;
+    Repl_records_received; Repl_statements_replayed; Cluster_stmts_routed;
+    Cluster_stmts_broadcast; Cluster_tuples_shipped; Cluster_joins_shipped;
+    Cluster_joins_broadcast; Cluster_failovers; Cluster_retries;
+    Fault_node_kills;
   ]
 
 type gauge =

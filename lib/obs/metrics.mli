@@ -89,6 +89,30 @@ type counter =
       (** cacheable statements that had to be parsed, bound and planned *)
   | Plan_cache_invalidations
       (** cached statements dropped on DDL / index / strategy changes *)
+  | Plan_cache_evictions
+      (** cached statements evicted (oldest-first) to admit a new one at
+          [max_entries] capacity *)
+  | Repl_records_shipped
+      (** replication-log records pulled off a primary for shipping *)
+  | Repl_records_received
+      (** replication-log records appended to a replica's received log *)
+  | Repl_statements_replayed
+      (** shipped statements replayed by a replica at promotion *)
+  | Cluster_stmts_routed
+      (** statements a coordinator routed to a single owning node *)
+  | Cluster_stmts_broadcast
+      (** statements a coordinator broadcast to every node *)
+  | Cluster_tuples_shipped
+      (** tuples shipped from nodes to a coordinator for merging *)
+  | Cluster_joins_shipped
+      (** cross-shard joins executed ship-smaller-side (semijoin) *)
+  | Cluster_joins_broadcast
+      (** cross-shard joins that fell back to broadcast fetches *)
+  | Cluster_failovers  (** replica promotions after a node loss *)
+  | Cluster_retries
+      (** statements retried on a promoted replica after a node died
+          mid-call *)
+  | Fault_node_kills  (** whole-node kills fired by the fault injector *)
 
 val all_counters : counter list
 val counter_name : counter -> string

@@ -1,0 +1,282 @@
+(* Tests for the sharded cluster: coordinator routing, the
+   cluster-vs-single-node differential oracle, WAL-shipping replication
+   and node-kill failover.
+
+   The backbone is the differential: every statement runs against a
+   3-node in-process cluster AND a single local interpreter.  Mutations
+   and DDL must produce byte-identical output (the coordinator
+   synthesizes cluster-wide counts); tuple statements must produce
+   byte-identical digests of the sorted serialized result multiset
+   (partition order differs, the multiset must not). *)
+
+open Dbproc
+module Coordinator = Net.Coordinator
+module Node = Net.Node
+module Wire = Net.Wire
+module P = Net.Protocol
+module Injector = Fault.Injector
+module Metrics = Obs.Metrics
+
+let mget c counter = Metrics.get (Obs.Ctx.metrics (Coordinator.ctx c)) counter
+
+(* Deterministic keys spanning the default 1M key domain, so a 3-node
+   cluster sees every partition. *)
+let key i = i * 7919 mod 1_000_000
+
+(* One statement against both: digests for tuple statements, exact
+   output for everything else. *)
+let check_stmt c single line =
+  let r = Coordinator.exec c line in
+  match r.Coordinator.digest with
+  | Some d -> (
+    match Lang.Interp.fetch single line with
+    | Ok (tuples, _ms) ->
+      Alcotest.(check string) ("digest: " ^ line) (Wire.digest_tuples tuples) d
+    | Error msg -> Alcotest.failf "single-node %S failed: %s" line msg)
+  | None -> (
+    match Lang.Interp.exec_line single line with
+    | Ok out ->
+      if not r.Coordinator.ok then
+        Alcotest.failf "cluster %S failed: %s" line r.Coordinator.output;
+      Alcotest.(check string) ("output: " ^ line) out r.Coordinator.output
+    | Error msg ->
+      if r.Coordinator.ok then
+        Alcotest.failf "cluster %S succeeded where single-node failed: %s" line msg;
+      Alcotest.(check string) ("error: " ^ line) msg r.Coordinator.output)
+
+let setup_stmts =
+  [ "create R (k = int, v = int)"; "create S (k = int, w = int)" ]
+  @ List.init 40 (fun i ->
+        Printf.sprintf "append to R (k = %d, v = %d)" (key i) i)
+  (* S shares half its keys with R, so the join has cross-shard matches *)
+  @ List.init 15 (fun i ->
+        Printf.sprintf "append to S (k = %d, w = %d)" (key (2 * i)) (100 + i))
+
+let query_stmts =
+  [
+    Printf.sprintf "retrieve (R.v) where R.k = %d" (key 3);
+    "retrieve (R.all) where R.v < 20";
+    "retrieve (R.v, S.w) where R.k = S.k";
+    "define proc PJ as retrieve (R.v, S.w) where R.k = S.k";
+    "exec PJ";
+    Printf.sprintf "delete from R where R.k = %d" (key 5);
+    "replace R (v = 999) where R.v > 35";
+    "retrieve (R.all)";
+    "exec PJ";
+  ]
+
+let test_differential () =
+  let local = Coordinator.create_local ~nodes:3 () in
+  let c = Coordinator.coordinator local in
+  let single = Lang.Interp.create () in
+  List.iter (check_stmt c single) (setup_stmts @ query_stmts);
+  (* the cross-shard join exercised both routing modes *)
+  Alcotest.(check bool)
+    "some statements point-routed" true
+    (mget c Metrics.Cluster_stmts_routed > 0);
+  Alcotest.(check bool)
+    "some statements broadcast" true
+    (mget c Metrics.Cluster_stmts_broadcast > 0);
+  Alcotest.(check bool)
+    "join shipped tuples" true
+    (mget c Metrics.Cluster_tuples_shipped > 0)
+
+let test_wal_shipping () =
+  let local = Coordinator.create_local ~nodes:3 () in
+  let c = Coordinator.coordinator local in
+  let single = Lang.Interp.create () in
+  List.iter (check_stmt c single) setup_stmts;
+  (* synchronous shipping: every replicable statement a primary executed
+     has been pulled and pushed before its ack *)
+  for i = 0 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "node %d fully shipped" i)
+      (Node.rlog_next_lsn (Coordinator.local_node local i))
+      (Coordinator.shipped_lsn c i)
+  done;
+  Alcotest.(check bool)
+    "records were shipped" true
+    (Metrics.get
+       (Obs.Ctx.metrics (Node.ctx (Coordinator.local_node local 0)))
+       Metrics.Repl_records_shipped
+    > 0)
+
+let test_failover () =
+  (* Kill node 1 mid-append-stream: its replica must be promoted, the
+     in-flight statement retried, and the cluster must stay byte-for-byte
+     equivalent to the single node — including the data that lived on the
+     killed primary. *)
+  let inj = Injector.create ~seed:7 () in
+  Injector.schedule_node_kills inj [ { Injector.node = 1; at_op = 25 } ];
+  let local = Coordinator.create_local ~injector:inj ~nodes:3 () in
+  let c = Coordinator.coordinator local in
+  let single = Lang.Interp.create () in
+  List.iter (check_stmt c single) (setup_stmts @ query_stmts);
+  Alcotest.(check int) "one node kill" 1 (mget c Metrics.Fault_node_kills);
+  Alcotest.(check int) "one failover" 1 (mget c Metrics.Cluster_failovers);
+  Alcotest.(check int) "no slot lost" 3 (Coordinator.alive_count c);
+  (* replays charge the node's own context, not the coordinator's... *)
+  Alcotest.(check int)
+    "replays are node-side work" 0
+    (mget c Metrics.Repl_statements_replayed);
+  (* ...and are visible through the merged cluster view *)
+  let merged = Coordinator.snapshot c in
+  Alcotest.(check bool)
+    "merged view sees the replay" true
+    (Metrics.get (Obs.Ctx.metrics merged) Metrics.Repl_statements_replayed > 0)
+
+let test_kill_without_replica_downs_slot () =
+  let local = Coordinator.create_local ~replicas:false ~nodes:2 () in
+  let c = Coordinator.coordinator local in
+  let single = Lang.Interp.create () in
+  List.iter (check_stmt c single)
+    [ "create R (k = int, v = int)"; "append to R (k = 1, v = 1)" ];
+  Coordinator.kill_node c 1;
+  Alcotest.(check bool) "slot 1 down" true (Coordinator.node_down c 1);
+  Alcotest.(check int) "one alive" 1 (Coordinator.alive_count c);
+  Alcotest.(check int) "no failover possible" 0 (mget c Metrics.Cluster_failovers);
+  (* a broadcast over a downed slot reports the hole instead of lying *)
+  let r = Coordinator.exec c "retrieve (R.all)" in
+  Alcotest.(check bool) "broadcast reports the hole" false r.Coordinator.ok
+
+let exec_ok node line =
+  match Node.exec_line node ~client:0 line with
+  | Lang.Interp.O_ok out -> out
+  | Lang.Interp.O_error msg | Lang.Interp.O_aborted msg ->
+    Alcotest.failf "%S failed: %s" line msg
+  | Lang.Interp.O_blocked _ -> Alcotest.failf "%S blocked" line
+
+let handle_exn node req =
+  match Node.handle node req with
+  | Some resp -> resp
+  | None -> Alcotest.fail "request not handled"
+
+let test_wal_push_idempotent_and_gapless () =
+  let a = Node.create () in
+  ignore (exec_ok a "create T (k = int, v = int)");
+  ignore (exec_ok a "append to T (k = 1, v = 10)");
+  ignore (exec_ok a "append to T (k = 2, v = 20)");
+  Alcotest.(check int) "three replicable statements logged" 3 (Node.rlog_next_lsn a);
+  let body =
+    match handle_exn a (P.Wal_pull "0") with
+    | P.Wal_records body -> body
+    | _ -> Alcotest.fail "expected Wal_records"
+  in
+  let b = Node.create () in
+  let push body =
+    match handle_exn b (P.Wal_push body) with
+    | P.Output out -> Ok out
+    | P.Failed msg -> Error msg
+    | _ -> Alcotest.fail "expected Output/Failed"
+  in
+  Alcotest.(check (result string string))
+    "first push" (Ok "received through 3") (push body);
+  Alcotest.(check (result string string))
+    "re-shipped prefix is idempotent" (Ok "received through 3") (push body);
+  Alcotest.(check int) "no duplicate records" 3 (Node.recv_next_lsn b);
+  (match push (Wire.records_body [ (7, "append to T (k = 9, v = 90)") ]) with
+  | Error msg ->
+    Alcotest.(check bool) "gap refused" true
+      (String.length msg >= 13 && String.sub msg 0 13 = "wal push: gap")
+  | Ok out -> Alcotest.failf "gap accepted: %s" out);
+  Alcotest.(check int) "gap did not append" 3 (Node.recv_next_lsn b);
+  (* promotion replays exactly the shipped statements *)
+  (match handle_exn b P.Promote with
+  | P.Output out ->
+    Alcotest.(check string) "promotion replay" "promoted: replayed 3 statements" out
+  | _ -> Alcotest.fail "promote failed");
+  Alcotest.(check bool) "promoted flag" true (Node.promoted b);
+  let digest node =
+    match Lang.Interp.fetch (Node.session node) "retrieve (T.all)" with
+    | Ok (tuples, _) -> Wire.digest_tuples tuples
+    | Error msg -> Alcotest.failf "fetch failed: %s" msg
+  in
+  Alcotest.(check string) "replica state = primary state" (digest a) (digest b);
+  (* replayed statements landed in b's own rlog: a valid primary now *)
+  Alcotest.(check int) "promoted node can be pulled from" 3 (Node.rlog_next_lsn b)
+
+let test_semijoin_vs_broadcast () =
+  let local = Coordinator.create_local ~nodes:3 () in
+  let c = Coordinator.coordinator local in
+  let single = Lang.Interp.create () in
+  List.iter (check_stmt c single) setup_stmts;
+  (* |R| = 40, |S| = 15: the equi-join ships the smaller side *)
+  check_stmt c single "retrieve (R.v, S.w) where R.k = S.k";
+  Alcotest.(check int) "unequal sides: semijoin" 1 (mget c Metrics.Cluster_joins_shipped);
+  Alcotest.(check int) "no broadcast yet" 0 (mget c Metrics.Cluster_joins_broadcast);
+  (* equal cardinalities: no smaller side, broadcast both *)
+  let eq_setup =
+    [ "create A (k = int, x = int)"; "create B (k = int, y = int)" ]
+    @ List.init 6 (fun i -> Printf.sprintf "append to A (k = %d, x = %d)" (key i) i)
+    @ List.init 6 (fun i -> Printf.sprintf "append to B (k = %d, y = %d)" (key i) i)
+  in
+  List.iter (check_stmt c single) eq_setup;
+  check_stmt c single "retrieve (A.x, B.y) where A.k = B.k";
+  Alcotest.(check int) "equal sides: broadcast" 1 (mget c Metrics.Cluster_joins_broadcast)
+
+let test_replace_rehomes_partition_key () =
+  (* assigning the partition attribute moves tuples between nodes; the
+     cluster must still agree with the single node afterwards *)
+  let local = Coordinator.create_local ~nodes:3 () in
+  let c = Coordinator.coordinator local in
+  let single = Lang.Interp.create () in
+  List.iter (check_stmt c single) setup_stmts;
+  check_stmt c single
+    (Printf.sprintf "replace R (k = %d) where R.k = %d" (key 30) (key 3));
+  check_stmt c single "retrieve (R.all)";
+  check_stmt c single (Printf.sprintf "retrieve (R.v) where R.k = %d" (key 30))
+
+let test_stats_merge () =
+  let local = Coordinator.create_local ~nodes:3 () in
+  let c = Coordinator.coordinator local in
+  let single = Lang.Interp.create () in
+  List.iter (check_stmt c single) setup_stmts;
+  let merged = Coordinator.snapshot c in
+  let g counter = Metrics.get (Obs.Ctx.metrics merged) counter in
+  (* replicas apply lazily, so cluster heap appends = acknowledged
+     appends exactly — the invariant loadgen --strict reconciles *)
+  Alcotest.(check int) "heap appends = acked appends" 55 (g Metrics.Heap_appends);
+  Alcotest.(check bool) "cluster counters present" true (g Metrics.Cluster_stmts_routed > 0);
+  Alcotest.(check bool) "node repl counters merged" true (g Metrics.Repl_records_shipped > 0);
+  (* node-tier net.* counters are coordinator-internal and excluded *)
+  Alcotest.(check int) "no node net counters" 0 (g Metrics.Net_requests)
+
+let test_transactions_refused () =
+  let local = Coordinator.create_local ~nodes:2 () in
+  let c = Coordinator.coordinator local in
+  let r = Coordinator.exec c "begin" in
+  Alcotest.(check bool) "begin refused" false r.Coordinator.ok;
+  Alcotest.(check string) "begin message"
+    "transactions are not supported across a cluster" r.Coordinator.output
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "cluster = single node (incl. cross-shard join)" `Quick
+            test_differential;
+          Alcotest.test_case "replace re-homes the partition key" `Quick
+            test_replace_rehomes_partition_key;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "synchronous WAL shipping" `Quick test_wal_shipping;
+          Alcotest.test_case "wal push idempotent, gaps refused" `Quick
+            test_wal_push_idempotent_and_gapless;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "node kill promotes replica, differential holds" `Quick
+            test_failover;
+          Alcotest.test_case "kill without replica downs the slot" `Quick
+            test_kill_without_replica_downs_slot;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "semijoin when sides differ, broadcast when equal" `Quick
+            test_semijoin_vs_broadcast;
+          Alcotest.test_case "transactions refused" `Quick test_transactions_refused;
+        ] );
+      ("stats", [ Alcotest.test_case "merged cluster view" `Quick test_stats_merge ]);
+    ]

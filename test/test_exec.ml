@@ -18,7 +18,7 @@ let with_engine engine f =
 
 (* Shared fixture, mirroring test_query: R(k, v) btree on k; S(b, w)
    hash-primary on b. *)
-type fixture = { cost : Cost.t; r : Relation.t; s : Relation.t }
+type fixture = { cost : Cost.t; io : Io.t; r : Relation.t; s : Relation.t }
 
 let r_schema = Schema.create [ ("k", Value.TInt); ("v", Value.TInt) ]
 let s_schema = Schema.create [ ("b", Value.TInt); ("w", Value.TInt) ]
@@ -33,7 +33,7 @@ let make_fixture ?(r_rows = 40) ?(s_rows = 10) () =
   let s = Relation.create ~io ~name:"S" ~schema:s_schema ~tuple_bytes:100 in
   Relation.load s (List.init s_rows (fun b -> Tuple.create [ Value.Int b; Value.Int (b * 100) ]));
   Relation.add_hash_index ~primary:true s ~attr:"b" ~entry_bytes:100 ~expected_entries:s_rows;
-  { cost; r; s }
+  { cost; io; r; s }
 
 let interval schema attr lo hi =
   let pos = Schema.index_of schema attr in
@@ -199,6 +199,56 @@ let test_engines_agree_empty_outer () =
   (* empty base: no probe work, and the inner relation is never read *)
   check_engines_agree (fun fx -> join_view fx 100 200)
 
+(* Charge parity must survive fault injection: both engines issue the
+   same charged touch sequence, so a seeded injector fails the same
+   touches, forces the same re-issues, and the retried runs still agree
+   on tuples, priced I/O and total simulated ms. *)
+let test_engines_agree_under_faults () =
+  let config =
+    {
+      Fault.Injector.default_config with
+      Fault.Injector.read_fail_prob = 0.15;
+      write_fail_prob = 0.15;
+    }
+  in
+  let run engine mk_def =
+    with_engine engine (fun () ->
+        let fx = make_fixture ~r_rows:80 () in
+        let inj = Fault.Injector.create ~config ~seed:17 () in
+        Fault.Injector.install inj fx.io;
+        Fun.protect ~finally:(fun () -> Fault.Injector.uninstall fx.io) @@ fun () ->
+        let tuples, reads, screens = run_with_cost fx (Planner.compile (mk_def fx)) in
+        ( tuples,
+          reads,
+          screens,
+          Fault.Injector.injected inj,
+          Fault.Injector.retries inj,
+          Cost.total_ms Cost.default_charges fx.cost ))
+  in
+  List.iter
+    (fun (what, mk_def) ->
+      let t_i, reads_i, screens_i, inj_i, retries_i, ms_i =
+        run Executor.Tuple_interp mk_def
+      in
+      let t_c, reads_c, screens_c, inj_c, retries_c, ms_c =
+        run Executor.Batch_compiled mk_def
+      in
+      Alcotest.(check bool) (what ^ ": faults actually injected") true (inj_i > 0);
+      Alcotest.(check (list tuple_list)) (what ^ ": same tuples under faults") t_i t_c;
+      Alcotest.(check int) (what ^ ": same page reads under faults") reads_i reads_c;
+      Alcotest.(check int) (what ^ ": same screens under faults") screens_i screens_c;
+      Alcotest.(check int) (what ^ ": same faults injected") inj_i inj_c;
+      Alcotest.(check int) (what ^ ": same retries") retries_i retries_c;
+      Alcotest.(check (float 0.0)) (what ^ ": same simulated ms") ms_i ms_c)
+    [
+      ("scan", fun fx -> select_view fx 0 70);
+      ("index join", fun fx -> join_view fx 3 60);
+      ( "scan join",
+        fun fx ->
+          View_def.join (select_view fx 0 40) ~rel:fx.s ~restriction:Predicate.always_true
+            ~left:"R.v" ~op:Predicate.Eq ~right:"w" );
+    ]
+
 (* ------------------------------------------- engine differential (qcheck) *)
 
 (* Random single-relation and two-relation plans; interp and compiled must
@@ -351,6 +401,68 @@ let test_stmt_cache_strategy_invalidates () =
   ignore (Result.get_ok (Interp.exec_line interp q));
   Alcotest.(check int) "replanned" 2 (get_metric interp Metrics.Plan_cache_misses)
 
+(* Eviction at max_entries: FIFO, size-bounded, hit-after-evict is a
+   plain miss that re-stores as the newest entry. *)
+let test_stmt_cache_eviction_unit () =
+  let m = Metrics.create () in
+  let cache = Stmt_cache.create ~max_entries:4 ~metrics:m () in
+  let entry () = { Stmt_cache.cmd = Ast.Help; prepared = None } in
+  let key i = Printf.sprintf "retrieve (emp.all) where emp.dept = %d" i in
+  let evictions () = Metrics.get m Metrics.Plan_cache_evictions in
+  for i = 0 to 3 do
+    Stmt_cache.store cache (key i) (entry ())
+  done;
+  Alcotest.(check int) "filled to capacity" 4 (Stmt_cache.size cache);
+  Alcotest.(check int) "no evictions below capacity" 0 (evictions ());
+  Stmt_cache.store cache (key 4) (entry ());
+  Alcotest.(check int) "size bounded at capacity" 4 (Stmt_cache.size cache);
+  Alcotest.(check int) "one eviction" 1 (evictions ());
+  Alcotest.(check bool) "oldest insertion evicted" true (Stmt_cache.find cache (key 0) = None);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d survives" i)
+        true
+        (Stmt_cache.find cache (key i) <> None))
+    [ 1; 2; 3; 4 ];
+  (* hit-after-evict: the evicted statement misses and re-stores as the
+     newest entry, pushing out the current FIFO front *)
+  Stmt_cache.store cache (key 0) (entry ());
+  Alcotest.(check int) "still bounded" 4 (Stmt_cache.size cache);
+  Alcotest.(check int) "second eviction" 2 (evictions ());
+  Alcotest.(check bool) "front (key 1) evicted" true (Stmt_cache.find cache (key 1) = None);
+  Alcotest.(check bool) "re-stored key back" true (Stmt_cache.find cache (key 0) <> None);
+  (* refreshing a live key is a replace, not an insert: nothing evicts *)
+  Stmt_cache.store cache (key 4) (entry ());
+  Alcotest.(check int) "refresh does not evict" 2 (evictions ());
+  Alcotest.(check int) "refresh keeps size" 4 (Stmt_cache.size cache);
+  (* wholesale invalidation still drops everything, evicted or not *)
+  Stmt_cache.invalidate cache;
+  Alcotest.(check int) "invalidate empties" 0 (Stmt_cache.size cache);
+  Stmt_cache.store cache (key 9) (entry ());
+  Alcotest.(check int) "usable after invalidate" 1 (Stmt_cache.size cache);
+  Alcotest.(check int) "no spurious eviction after invalidate" 2 (evictions ())
+
+(* End-to-end through the session: overflow the default 512-entry cache
+   with distinct statements; the first statement must then recompile (a
+   plain miss), not answer from a ghost entry. *)
+let test_stmt_cache_eviction_session () =
+  let interp = setup_session () in
+  let q i = Printf.sprintf "retrieve (emp.all) where emp.dept = %d" i in
+  let first = Result.get_ok (Interp.exec_line interp (q 0)) in
+  for i = 1 to 512 do
+    ignore (Result.get_ok (Interp.exec_line interp (q i)))
+  done;
+  Alcotest.(check int) "one eviction past capacity" 1
+    (get_metric interp Metrics.Plan_cache_evictions);
+  let misses = get_metric interp Metrics.Plan_cache_misses in
+  let again = Result.get_ok (Interp.exec_line interp (q 0)) in
+  Alcotest.(check string) "same answer after re-compile" first again;
+  Alcotest.(check int) "hit-after-evict is a miss" (misses + 1)
+    (get_metric interp Metrics.Plan_cache_misses);
+  Alcotest.(check int) "re-store evicted the next FIFO entry" 2
+    (get_metric interp Metrics.Plan_cache_evictions)
+
 (* ----------------------------------------------------------------- suite *)
 
 let () =
@@ -388,6 +500,8 @@ let () =
           Alcotest.test_case "index join" `Quick test_engines_agree_join;
           Alcotest.test_case "scan join" `Quick test_engines_agree_scan_join;
           Alcotest.test_case "empty outer" `Quick test_engines_agree_empty_outer;
+          Alcotest.test_case "charge parity under transient faults" `Quick
+            test_engines_agree_under_faults;
           qc test_qcheck_differential;
         ] );
       ("metrics", [ Alcotest.test_case "batch counters" `Quick test_batch_counters ]);
@@ -398,5 +512,9 @@ let () =
           Alcotest.test_case "cost neutrality" `Quick test_stmt_cache_cost_neutral;
           Alcotest.test_case "strategy invalidation" `Quick
             test_stmt_cache_strategy_invalidates;
+          Alcotest.test_case "eviction at max_entries (unit)" `Quick
+            test_stmt_cache_eviction_unit;
+          Alcotest.test_case "eviction at max_entries (session)" `Quick
+            test_stmt_cache_eviction_session;
         ] );
     ]

@@ -28,6 +28,11 @@ let sample_requests =
     P.Commit;
     P.Abort;
     P.Shutdown;
+    P.Fetch "retrieve (R.all) where R.k = 3";
+    P.Join_probe "attr 0\nstmt retrieve (S.all)\ni 1\ni 7";
+    P.Wal_pull "42";
+    P.Wal_push "3\tappend to R (k = 1)\n4\tdelete from R where R.k = 0";
+    P.Promote;
   ]
 
 let sample_responses =
@@ -38,6 +43,8 @@ let sample_responses =
     P.Failed "line 2: unknown command \"nope\"";
     P.Rejected "server busy (in-flight limit)";
     P.Aborted "deadlock: transaction aborted (victim)";
+    P.Tuples "ms 0x1.8p4\ni 1\ti 10";
+    P.Wal_records "7\tappend to R (k = 9)";
   ]
 
 let test_request_roundtrip () =
@@ -115,6 +122,57 @@ let test_decoder_rejects () =
   Alcotest.(check bool) "response tag rejected as request" true
     (contains (corrupt_after pong) "tag")
 
+(* The boundary the rejection tests skip: a payload of exactly
+   [max_frame] bytes is legal and must decode — one byte more is not.
+   Checked for a core tag and through every coordinator-facing tag on
+   both sides of the protocol. *)
+let test_decoder_exact_max_frame () =
+  let max_frame = 256 in
+  let body_len = max_frame - 5 (* id + tag *) in
+  let decode_request encoded =
+    let dec = P.Decoder.create ~max_frame () in
+    P.Decoder.feed_string dec encoded;
+    P.Decoder.next_request dec
+  in
+  let roundtrip_request what req =
+    let encoded = P.request_to_string ~id:7 req in
+    Alcotest.(check int) (what ^ ": frame is exactly max") (4 + max_frame)
+      (String.length encoded);
+    match decode_request encoded with
+    | P.Msg (id, got) ->
+      Alcotest.(check int) (what ^ ": id") 7 id;
+      Alcotest.(check bool) (what ^ ": payload") true (got = req)
+    | P.Awaiting -> Alcotest.failf "%s: starved on an exact-max frame" what
+    | P.Corrupt msg -> Alcotest.failf "%s: rejected an exact-max frame: %s" what msg
+  in
+  let body = String.make body_len 'x' in
+  roundtrip_request "exec_line" (P.Exec_line body);
+  roundtrip_request "fetch" (P.Fetch body);
+  roundtrip_request "join_probe" (P.Join_probe body);
+  roundtrip_request "wal_pull" (P.Wal_pull body);
+  roundtrip_request "wal_push" (P.Wal_push body);
+  (* responses too: Tuples/Wal_records are what actually get big *)
+  List.iter
+    (fun (what, resp) ->
+      let encoded = P.response_to_string ~id:3 resp in
+      Alcotest.(check int) (what ^ ": frame is exactly max") (4 + max_frame)
+        (String.length encoded);
+      let dec = P.Decoder.create ~max_frame () in
+      P.Decoder.feed_string dec encoded;
+      match P.Decoder.next_response dec with
+      | P.Msg (_, got) -> Alcotest.(check bool) (what ^ ": payload") true (got = resp)
+      | P.Awaiting | P.Corrupt _ -> Alcotest.failf "%s: exact-max response rejected" what)
+    [
+      ("output", P.Output body);
+      ("tuples", P.Tuples body);
+      ("wal_records", P.Wal_records body);
+    ];
+  (* one byte over: rejected from the length field alone *)
+  match decode_request (P.request_to_string ~id:7 (P.Exec_line (body ^ "y"))) with
+  | P.Corrupt msg ->
+    Alcotest.(check bool) "one-over is oversized" true (contains msg "oversized")
+  | _ -> Alcotest.fail "max_frame + 1 must be rejected"
+
 let test_decoder_poisoned_stays_poisoned () =
   let dec = P.Decoder.create () in
   P.Decoder.feed_string dec "\x00\x00\x00\x01x";
@@ -146,6 +204,11 @@ let request_gen =
       return P.Shutdown;
       map (fun s -> P.Exec_line s) (string_size (int_bound 80));
       map (fun s -> P.Exec_script s) (string_size (int_bound 300));
+      return P.Promote;
+      map (fun s -> P.Fetch s) (string_size (int_bound 80));
+      map (fun s -> P.Join_probe s) (string_size (int_bound 120));
+      map (fun n -> P.Wal_pull (string_of_int n)) (int_bound 1_000_000);
+      map (fun s -> P.Wal_push s) (string_size (int_bound 200));
     ]
 
 let fuzz_roundtrip_chunked =
@@ -301,6 +364,7 @@ let test_loopback_script_matches_local () =
         | P.Rejected msg -> Alcotest.failf "rejected: %s" msg
         | P.Aborted msg -> Alcotest.failf "aborted: %s" msg
         | P.Pong -> Alcotest.fail "pong?"
+        | P.Tuples _ | P.Wal_records _ -> Alcotest.fail "node-tier frame?"
       in
       Net.Client.close client;
       Alcotest.(check string) "socket output = local output" local remote)
@@ -619,6 +683,8 @@ let () =
           Alcotest.test_case "response roundtrip bytewise" `Quick
             test_response_roundtrip_bytewise;
           Alcotest.test_case "decoder rejects malformed" `Quick test_decoder_rejects;
+          Alcotest.test_case "exactly max_frame decodes" `Quick
+            test_decoder_exact_max_frame;
           Alcotest.test_case "poisoning is permanent" `Quick
             test_decoder_poisoned_stays_poisoned;
           Alcotest.test_case "truncated at EOF" `Quick test_decoder_truncated_at_eof;

@@ -11,6 +11,22 @@ open Dbproc
 open Dbproc.Costmodel
 open Dbproc.Workload
 module Injector = Fault.Injector
+module Executor = Query.Executor
+
+(* The crash/abort differentials must hold under BOTH execution engines
+   (the compiled engine had zero recovery coverage before this): each
+   parameterized case pins the engine for its run and restores the
+   session's (possibly DBPROC_ENGINE-selected) engine after. *)
+let with_engine engine f =
+  let saved = Executor.current_engine () in
+  Executor.set_engine engine;
+  Fun.protect ~finally:(fun () -> Executor.set_engine saved) f
+
+let engine_name = function
+  | Executor.Tuple_interp -> "interp"
+  | Executor.Batch_compiled -> "compiled"
+
+let both_engines = [ Executor.Tuple_interp; Executor.Batch_compiled ]
 
 (* Small enough that a ~20-point sweep over four strategies stays fast,
    big enough that every strategy does real maintenance work. *)
@@ -189,7 +205,8 @@ let test_faulted_run_deterministic () =
 (* The headline sweep: for every strategy, crash the engine at ~20 points
    spread over the whole measured phase; each recovered run must be
    indistinguishable from the oracle. *)
-let test_crash_point_sweep () =
+let test_crash_point_sweep engine () =
+  with_engine engine @@ fun () ->
   List.iter
     (fun strategy ->
       let oracle = oracle_of strategy in
@@ -203,13 +220,47 @@ let test_crash_point_sweep () =
       while !point <= touches do
         let r = run ~crash_points:[ !point ] strategy in
         Alcotest.(check int)
-          (Printf.sprintf "%s: crash point %d fired" (Strategy.name strategy) !point)
+          (Printf.sprintf "%s/%s: crash point %d fired" (engine_name engine)
+             (Strategy.name strategy) !point)
           1 r.Driver.cr_stats.Driver.cs_crashes;
         check_matches_oracle
-          ~what:(Printf.sprintf "%s @%d" (Strategy.name strategy) !point)
+          ~what:
+            (Printf.sprintf "%s/%s @%d" (engine_name engine) (Strategy.name strategy)
+               !point)
           oracle r;
         point := !point + stride
       done)
+    Strategy.all
+
+(* The two engines must also agree with EACH OTHER, not just each with
+   its own oracle: a faulted, crashed run's digest and priced I/O are
+   engine-independent. *)
+let test_crash_digest_engine_independent () =
+  List.iter
+    (fun strategy ->
+      let per_engine =
+        List.map
+          (fun engine ->
+            with_engine engine (fun () ->
+                let touches =
+                  (run ~fault_config:Injector.no_faults strategy).Driver.cr_stats
+                    .Driver.cs_touches
+                in
+                run ~crash_points:[ touches / 2 ] strategy))
+          both_engines
+      in
+      match per_engine with
+      | [ a; b ] ->
+        Alcotest.(check string)
+          (Strategy.name strategy ^ ": crashed digest engine-independent")
+          (Driver.result_digest a) (Driver.result_digest b);
+        Alcotest.(check int)
+          (Strategy.name strategy ^ ": crashed reads engine-independent")
+          a.Driver.cr_page_reads b.Driver.cr_page_reads;
+        Alcotest.(check int)
+          (Strategy.name strategy ^ ": replay pages engine-independent")
+          a.Driver.cr_stats.Driver.cs_replay_pages b.Driver.cr_stats.Driver.cs_replay_pages
+      | _ -> assert false)
     Strategy.all
 
 let test_multi_crash () =
@@ -376,7 +427,12 @@ let () =
           Alcotest.test_case "oracle sane" `Quick test_oracle_sane;
           Alcotest.test_case "zero drift when disabled" `Quick test_zero_drift_when_disabled;
           Alcotest.test_case "faulted run deterministic" `Quick test_faulted_run_deterministic;
-          Alcotest.test_case "crash-point sweep" `Slow test_crash_point_sweep;
+          Alcotest.test_case "crash-point sweep (interp)" `Slow
+            (test_crash_point_sweep Executor.Tuple_interp);
+          Alcotest.test_case "crash-point sweep (compiled)" `Slow
+            (test_crash_point_sweep Executor.Batch_compiled);
+          Alcotest.test_case "crashed digest engine-independent" `Quick
+            test_crash_digest_engine_independent;
           Alcotest.test_case "multi-crash" `Quick test_multi_crash;
           Alcotest.test_case "faults + crashes" `Quick test_faults_and_crashes_combined;
         ] );
