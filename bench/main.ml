@@ -21,6 +21,10 @@ let sim_p_sweep = [ 0.0; 0.2; 0.5; 0.8 ]
    experiment runs. *)
 let the_seed = ref 42
 let the_jobs = ref 1
+
+(* --strategies comma-list filter (None = all five).  Restricts the fixed
+   columns of ext-winregion so CI can run a cheap HOIVM-vs-AVM slice. *)
+let the_strategies : Strategy.t list option ref = ref None
 let json_out : string option ref = ref None
 let experiments : (string * Obs.Export.json) list ref = ref []
 
@@ -63,14 +67,13 @@ let print_sim_comparison ?(label = "") ?(params = Workload.Driver.default_sim_pa
   let table =
     Util.Ascii_table.create
       ~header:
-        [
-          "P";
-          "AR meas"; "AR model";
-          "CI meas"; "CI model";
-          "AVM meas"; "AVM model";
-          "RVM meas"; "RVM model";
-          "ok";
-        ]
+        (("P"
+         :: List.concat_map
+              (fun s ->
+                let n = Strategy.short_name s in
+                [ n ^ " meas"; n ^ " model" ])
+              Strategy.all)
+        @ [ "ok" ])
       ()
   in
   (* Every (P, strategy) point is independent — fan them all out at once
@@ -265,7 +268,9 @@ let print_ext_update_mix () =
   let params = Workload.Driver.default_sim_params in
   let table =
     Util.Ascii_table.create
-      ~header:[ "R2 fraction"; "AR"; "CI"; "AVM"; "RVM"; "RVM-opt"; "ok" ]
+      ~header:
+        (("R2 fraction" :: List.map Strategy.short_name Strategy.all)
+        @ [ "RVM-opt"; "ok" ])
       ()
   in
   let all_runs = ref [] in
@@ -589,7 +594,9 @@ let print_ext_sensitivity () =
      operating point.  Expect: AR insensitive to everything but f and N; UC driven by k\n\
      and the object-count parameters; CI spiked by C_inval; only RVM responds to SF.\n";
   let table =
-    Util.Ascii_table.create ~header:[ "parameter"; "AR"; "CI"; "AVM"; "RVM" ] ()
+    Util.Ascii_table.create
+      ~header:("parameter" :: List.map Strategy.short_name Strategy.all)
+      ()
   in
   List.iter
     (fun (name, cells) ->
@@ -746,7 +753,7 @@ let steady_state_ms (r : Workload.Driver.result) =
 
 let print_ext_winregion () =
   print_endline
-    "== ext-winregion: adaptive selector vs fixed strategies across the (P, f) plane";
+    "== ext-winregion: adaptive selector vs fixed strategies across the (P, f, skew) grid";
   print_endline
     "extension: at every grid point the manager-level selector (model placement at\n\
      the nominal P, online mix/selectivity estimates -> closed-form model -> charged\n\
@@ -757,86 +764,124 @@ let print_ext_winregion () =
      AR-win sample at f = 0.05 sits at P = 0.97 because the closed form prices P2\n\
      differential maintenance below the engine's measured cost at high update\n\
      rates, so right on the crossover curve a model-driven selector can sit on the\n\
-     wrong side; the criterion targets points where a region has a clear winner.\n";
+     wrong side; the criterion targets points where a region has a clear winner.\n\
+     skew > 0 points draw update victims from a hot/cold model (that fraction of\n\
+     R1's tuples takes the rest of the updates) -- the frontier beyond the paper,\n\
+     where HOIVM's heavy-key fast path and deferred coalesced flush should beat\n\
+     all four paper strategies.  --strategies ar,ci,avm,rvm,hoivm restricts the\n\
+     fixed columns (the adaptive row runs only with the full set).\n";
   let base =
     { Workload.Driver.default_sim_params with Params.q = 240.0; k = 240.0 }
   in
   let ctx = Obs.Ctx.create () in
+  let fixed_strategies =
+    match !the_strategies with Some ss -> ss | None -> Strategy.all
+  in
+  let with_adaptive = !the_strategies = None in
   let table =
     Util.Ascii_table.create
       ~header:
-        [ "P"; "f"; "AR"; "CI"; "AVM"; "adaptive"; "final mix"; "migr"; "vs best"; "ok" ]
+        ([ "P"; "f"; "skew" ]
+        @ List.map Strategy.short_name fixed_strategies
+        @ (if with_adaptive then [ "adaptive"; "final mix"; "migr"; "vs best"; "ok" ]
+           else [])
+        @ [ "winner" ])
       ()
   in
   let mix (r : Workload.Driver.result) =
     let count s =
       List.length (List.filter (fun (_, s') -> s' = s) r.Workload.Driver.final_strategies)
     in
-    Printf.sprintf "ar:%d ci:%d avm:%d"
+    Printf.sprintf "ar:%d ci:%d avm:%d rvm:%d ho:%d"
       (count Strategy.Always_recompute)
       (count Strategy.Cache_invalidate)
       (count Strategy.Update_cache_avm)
+      (count Strategy.Update_cache_rvm)
+      (count Strategy.Update_cache_hoivm)
   in
   let all_ok = ref true in
+  let hoivm_wins_skewed = ref 0 in
   List.iter
-    (fun (p, f) ->
+    (fun (p, f, skew) ->
       let params = Params.with_update_probability { base with Params.f } p in
-          let runs =
-            Workload.Parallel.map ~jobs:!the_jobs
-              (fun (s, ad) ->
-                Workload.Driver.run_strategy ~seed:!the_seed ~check_consistency:false
-                  ~adaptive:ad ~adaptive_window:4 ~model:Model.Model1 ~params s)
-              [
-                (Strategy.Always_recompute, false);
-                (Strategy.Cache_invalidate, false);
-                (Strategy.Update_cache_avm, false);
-                (Strategy.Always_recompute, true);
-              ]
+      let runs =
+        Workload.Parallel.map ~jobs:!the_jobs
+          (fun (s, ad) ->
+            Workload.Driver.run_strategy ~seed:!the_seed ~check_consistency:false
+              ~update_skew:skew ~adaptive:ad ~adaptive_window:4 ~model:Model.Model1
+              ~params s)
+          (List.map (fun s -> (s, false)) fixed_strategies
+          @ (if with_adaptive then [ (Strategy.Always_recompute, true) ] else []))
+      in
+      List.iter
+        (fun (r : Workload.Driver.result) ->
+          Obs.Ctx.merge_into ~into:ctx r.Workload.Driver.obs)
+        runs;
+      let fixed_ms =
+        List.map steady_state_ms
+          (List.filteri (fun i _ -> i < List.length fixed_strategies) runs)
+      in
+      let best = List.fold_left Float.min (List.hd fixed_ms) (List.tl fixed_ms) in
+      let winner =
+        fst
+          (List.fold_left2
+             (fun (ws, wc) s c -> if c < wc then (Strategy.short_name s, c) else (ws, wc))
+             ("?", Float.infinity) fixed_strategies fixed_ms)
+      in
+      (if skew > 0.0 && winner = "HOIVM" then incr hoivm_wins_skewed);
+      let adaptive_cells =
+        if not with_adaptive then []
+        else begin
+          let adaptive_run = List.nth runs (List.length fixed_strategies) in
+          let ad = steady_state_ms adaptive_run in
+          let ratio = if best > 0.0 then ad /. best else 1.0 in
+          let ok = ratio <= 1.10 +. 1e-9 in
+          if not ok then all_ok := false;
+          let migrations =
+            Obs.Metrics.get
+              (Obs.Ctx.metrics adaptive_run.Workload.Driver.obs)
+              Obs.Metrics.Adaptive_migrations
           in
-          List.iter
-            (fun (r : Workload.Driver.result) ->
-              Obs.Ctx.merge_into ~into:ctx r.Workload.Driver.obs)
-            runs;
-          match List.map steady_state_ms runs with
-          | [ ar; ci; avm; ad ] ->
-            let best = Float.min ar (Float.min ci avm) in
-            let ratio = if best > 0.0 then ad /. best else 1.0 in
-            let ok = ratio <= 1.10 +. 1e-9 in
-            if not ok then all_ok := false;
-            let adaptive_run = List.nth runs 3 in
-            let migrations =
-              Obs.Metrics.get
-                (Obs.Ctx.metrics adaptive_run.Workload.Driver.obs)
-                Obs.Metrics.Adaptive_migrations
-            in
-            Util.Ascii_table.add_row table
-              [
-                Printf.sprintf "%.2f" p;
-                Printf.sprintf "%g" f;
-                Printf.sprintf "%.0f" ar;
-                Printf.sprintf "%.0f" ci;
-                Printf.sprintf "%.0f" avm;
-                Printf.sprintf "%.0f" ad;
-                mix adaptive_run;
-                string_of_int migrations;
-                Printf.sprintf "%.2fx" ratio;
-                (if ok then "yes" else "NO");
-              ]
-          | _ -> assert false)
+          [
+            Printf.sprintf "%.0f" ad;
+            mix adaptive_run;
+            string_of_int migrations;
+            Printf.sprintf "%.2fx" ratio;
+            (if ok then "yes" else "NO");
+          ]
+        end
+      in
+      Util.Ascii_table.add_row table
+        ([ Printf.sprintf "%.2f" p; Printf.sprintf "%g" f; Printf.sprintf "%g" skew ]
+        @ List.map (Printf.sprintf "%.0f") fixed_ms
+        @ adaptive_cells @ [ winner ]))
     [
-      (0.1, 0.001);
-      (0.1, 0.01);
-      (0.1, 0.05);
-      (0.5, 0.001);
-      (0.5, 0.01);
-      (0.5, 0.05);
-      (0.9, 0.001);
-      (0.9, 0.01);
-      (0.97, 0.05);
+      (0.1, 0.001, 0.0);
+      (0.1, 0.01, 0.0);
+      (0.1, 0.05, 0.0);
+      (0.5, 0.001, 0.0);
+      (0.5, 0.01, 0.0);
+      (0.5, 0.05, 0.0);
+      (0.9, 0.001, 0.0);
+      (0.9, 0.01, 0.0);
+      (0.97, 0.05, 0.0);
+      (0.5, 0.01, 0.05);
+      (0.5, 0.05, 0.05);
+      (0.8, 0.01, 0.05);
+      (0.8, 0.05, 0.05);
     ];
   Util.Ascii_table.print table;
-  Printf.printf "\nadaptive within 10%% of best fixed at every grid point: %s\n\n"
-    (if !all_ok then "yes" else "NO");
+  if with_adaptive then
+    Printf.printf "\nadaptive within 10%% of best fixed at every grid point: %s\n"
+      (if !all_ok then "yes" else "NO");
+  if
+    List.mem Strategy.Update_cache_hoivm fixed_strategies
+    && List.length fixed_strategies > 1
+  then
+    Printf.printf "HOIVM wins at %d skewed grid point%s: %s\n" !hoivm_wins_skewed
+      (if !hoivm_wins_skewed = 1 then "" else "s")
+      (if !hoivm_wins_skewed > 0 then "yes" else "NO");
+  print_newline ();
   ctx
 
 let print_ext_evict () =
@@ -923,12 +968,7 @@ let print_ext_contention () =
       k = 10.0;
     }
   in
-  let manager_kind = function
-    | Strategy.Always_recompute -> Proc.Manager.Always_recompute
-    | Strategy.Cache_invalidate -> Proc.Manager.Cache_invalidate
-    | Strategy.Update_cache_avm -> Proc.Manager.Update_cache_avm
-    | Strategy.Update_cache_rvm -> Proc.Manager.Update_cache_rvm
-  in
+  let manager_kind = Proc.Manager.kind_of_strategy in
   let n_sessions = 8 and txns_per_session = 6 in
   let writer_counts = [ 1; 2; 4 ] in
   let cells =
@@ -1483,7 +1523,26 @@ let () =
     | "--json" :: path :: rest ->
       json_out := Some path;
       parse quota bechamel sim csv ids rest
-    | [ (("--seed" | "--jobs" | "--json") as flag) ] ->
+    | "--strategies" :: v :: rest ->
+      let names = String.split_on_char ',' v |> List.map String.trim in
+      let parsed =
+        List.map
+          (fun name ->
+            match Strategy.of_string name with
+            | Some s -> s
+            | None ->
+              Printf.eprintf
+                "bench: --strategies: unknown strategy %S (ar|ci|avm|rvm|hoivm)\n" name;
+              exit 2)
+          names
+      in
+      if parsed = [] then begin
+        Printf.eprintf "bench: --strategies expects a non-empty comma list\n";
+        exit 2
+      end;
+      the_strategies := Some parsed;
+      parse quota bechamel sim csv ids rest
+    | [ (("--seed" | "--jobs" | "--json" | "--strategies") as flag) ] ->
       Printf.eprintf "bench: %s requires a value\n" flag;
       exit 2
     | id :: rest -> parse quota bechamel sim csv (id :: ids) rest

@@ -280,7 +280,7 @@ let strategy_term =
   let parse s =
     match Strategy.of_string s with
     | Some s -> Ok s
-    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S (ar|ci|avm|rvm)" s))
+    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S (ar|ci|avm|rvm|hoivm)" s))
   in
   Arg.(
     value
@@ -352,7 +352,9 @@ let sensitivity_cmd =
       (Params.update_probability params)
       params.Params.f (Model.which_name model);
     let table =
-      Util.Ascii_table.create ~header:[ "parameter"; "AR"; "CI"; "AVM"; "RVM" ] ()
+      Util.Ascii_table.create
+        ~header:("parameter" :: List.map Strategy.short_name Strategy.all)
+        ()
     in
     List.iter
       (fun (name, cells) ->

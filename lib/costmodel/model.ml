@@ -135,6 +135,66 @@ let rvm_update_terms which (p : t) =
     ("probe right memory", c_join_mem);
   ]
 
+(* --- Update Cache, higher-order (HOIVM) --------------------------------- *)
+
+(* Per-update work is purely in-memory: screens as for AVM, A_net/D_net
+   bookkeeping, and C1 hash probes (one per surviving delta tuple and per
+   joined tuple emitted) against the materialized prefix views — where
+   AVM pays charged page probes (Y2/Y7) per update, HOIVM pays C1. *)
+let hoivm_update_terms which (p : t) =
+  let c_screen_p1 = p.n1 *. p.c1 *. p.f *. p.l in
+  let c_screen_p2 = p.n2 *. p.c1 *. p.f *. p.l in
+  let c_overhead = p.c3 *. 2.0 *. p.f *. p.l *. total_procs p in
+  let chains = match which with Model1 -> 1.0 | Model2 -> 2.0 in
+  let c_propagate = p.n2 *. p.c1 *. 2.0 *. (2.0 *. p.f *. p.l) *. chains in
+  [
+    ("screen P1", c_screen_p1);
+    ("screen P2", c_screen_p2);
+    ("A/D set overhead", c_overhead);
+    ("propagate delta (in-memory)", c_propagate);
+  ]
+
+(* Store pages are touched only when the procedure is read: every update
+   since its previous read has folded a net view-level delta into the
+   pending maps, and the read applies them in one batch.  That is a
+   single Yao draw over the whole accumulation window — [window]
+   procedures share the query stream, so k/q * window updates coalesce —
+   instead of AVM's separate Y3/Y4 draw per update.  The draw saturates
+   at the stored object's page count, which is exactly the higher-order
+   win at high update probability.
+
+   The delta count per window is an expectation, not a deterministic
+   draw size (updates hit a given procedure's interval as independent
+   trials), so the touched-page count uses the Poissonized form
+   m·(1 - e^(-k/m)) instead of Yao at integer k: at an expected one
+   delta per window the flush fires with probability 1 - 1/e, it is not
+   a certainty.  The two forms agree for k << 1 (both ≈ k) and at
+   saturation (both → m). *)
+let flush_pages ~m ~k =
+  if k <= 0.0 then 0.0
+  else begin
+    let m1 = Float.max 1.0 m in
+    m1 *. (1.0 -. exp (-.k /. m1))
+  end
+
+let hoivm_read_terms ?window which (p : t) =
+  let window = Float.max 1.0 (Option.value window ~default:(total_procs p)) in
+  let u1 = updates_per_query p *. window *. 2.0 *. p.f *. p.l in
+  let flush_p1 = 2.0 *. p.c2 *. flush_pages ~m:(p.f *. blocks p) ~k:u1 in
+  let fs = f_star p in
+  let u2 = updates_per_query p *. window *. 2.0 *. fs *. p.l in
+  let flush_top = 2.0 *. p.c2 *. flush_pages ~m:(fs *. blocks p) ~k:u2 in
+  let flush_p2 =
+    match which with
+    | Model1 -> flush_p1 +. flush_top
+    | Model2 -> flush_p1 +. (2.0 *. flush_top) (* extra join-prefix store *)
+  in
+  [
+    ("C_read", c_read p);
+    ( "flush pending (one coalesced batch)",
+      ((p.n1 *. flush_p1) +. (p.n2 *. flush_p2)) /. total_procs p );
+  ]
+
 (* --- Totals -------------------------------------------------------------- *)
 
 let sum = List.fold_left (fun acc (_, v) -> acc +. v) 0.0
@@ -153,6 +213,11 @@ let breakdown which (p : t) strategy =
     :: List.map
          (fun (name, v) -> ("(k/q) " ^ name, updates_per_query p *. v))
          (rvm_update_terms which p)
+  | Strategy.Update_cache_hoivm ->
+    hoivm_read_terms which p
+    @ List.map
+        (fun (name, v) -> ("(k/q) " ^ name, updates_per_query p *. v))
+        (hoivm_update_terms which p)
 
 let cost which p strategy = sum (breakdown which p strategy)
 
@@ -163,6 +228,13 @@ let cost which p strategy = sum (breakdown which p strategy)
    selectivity is f* = f·f2, so f is recovered by dividing out f2. *)
 let per_procedure which (p : t) ~p_hat ~f_hat ~p2 strategy =
   let p_hat = Float.max 0.0 (Float.min p_hat 0.99) in
+  (* Floor the observed selectivity at half a tuple: a currently-empty
+     result does not mean a permanently-empty one (updates move tuples
+     into the interval), and pricing it as exactly empty makes every
+     cached strategy collapse to an identical hit cost — the selector
+     would then break the tie arbitrarily instead of by how each
+     strategy degrades when the first tuple arrives. *)
+  let f_hat = Float.max f_hat (0.5 /. Float.max 1.0 p.n) in
   let f_hat = Float.max 1e-9 (Float.min f_hat 1.0) in
   let f =
     if p2 && p.f2 > 0.0 then Float.min 1.0 (f_hat /. p.f2) else f_hat
@@ -170,11 +242,44 @@ let per_procedure which (p : t) ~p_hat ~f_hat ~p2 strategy =
   let base =
     if p2 then { p with f; n1 = 0.0; n2 = 1.0 } else { p with f; n1 = 1.0; n2 = 0.0 }
   in
-  cost which (with_update_probability base p_hat) strategy
+  let priced = with_update_probability base p_hat in
+  match strategy with
+  | Strategy.Update_cache_hoivm ->
+    (* The flush window depends on the real population (a procedure is
+       read once per total_procs queries), which the single-procedure
+       collapse would otherwise erase.  The collapse convention prices
+       access-side work per this procedure's read but update-side work
+       per query (AVM's maintenance term is k/q x one procedure's
+       refresh); the coalesced flush is update-side work that happens to
+       be paid at read time, so its per-query contribution divides by
+       the window — otherwise HOIVM is overpriced by a factor of the
+       population size against AVM's per-query maintenance. *)
+    let window = Float.max 1.0 (total_procs p) in
+    let read_terms = hoivm_read_terms ~window which priced in
+    let flush =
+      sum (List.filter (fun (name, _) -> name <> "C_read") read_terms)
+    in
+    c_read priced +. (flush /. window)
+    +. (updates_per_query priced *. sum (hoivm_update_terms which priced))
+  | Strategy.Update_cache_avm | Strategy.Update_cache_rvm ->
+    (* The paper's closed form counts one page touch per refreshed store
+       page (C2·Y3/Y4); the engine this selector controls pays a
+       read-modify-write, i.e. two.  Figure reproductions keep the
+       paper's form; the migration decision prices the second touch so
+       differential maintenance is not half-priced against HOIVM's
+       flush, which already charges both I/Os. *)
+    let writeback =
+      p.c2
+      *. ((priced.n1 *. y3 priced) +. (priced.n2 *. y4 priced))
+      /. total_procs priced
+    in
+    cost which priced strategy +. (updates_per_query priced *. writeback)
+  | _ -> cost which priced strategy
 
 let tot_recompute which p = cost which p Strategy.Always_recompute
 let tot_cache_inval which p = cost which p Strategy.Cache_invalidate
 let tot_update_cache_avm which p = cost which p Strategy.Update_cache_avm
 let tot_update_cache_rvm which p = cost which p Strategy.Update_cache_rvm
+let tot_update_cache_hoivm which p = cost which p Strategy.Update_cache_hoivm
 let c_query_p2 = c_query_p2
 let c_process_query = c_process_query

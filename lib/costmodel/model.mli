@@ -37,9 +37,18 @@ val tot_recompute : which -> Params.t -> float
 val tot_cache_inval : which -> Params.t -> float
 val tot_update_cache_avm : which -> Params.t -> float
 val tot_update_cache_rvm : which -> Params.t -> float
+val tot_update_cache_hoivm : which -> Params.t -> float
 
 (** {2 Intermediate quantities} (exposed for tests against hand-computed
     values) *)
+
+val flush_pages : m:float -> k:float -> float
+(** Expected store pages touched by one coalesced HOIVM flush:
+    m·(1 − e^(−k/m)) with [m] floored at one page — the Poissonized form
+    of the Yao draw, because the per-window delta count [k] is an
+    expectation over independent interval hits, not a deterministic draw
+    size.  Agrees with Yao for k ≪ 1 and saturates at the store's page
+    count for k ≫ m. *)
 
 val c_query_p1 : Params.t -> float
 val c_query_p2 : which -> Params.t -> float

@@ -71,6 +71,34 @@ let rvm_update (p : t) _m =
   let join_spine = p.n2 *. p.c2 *. y_spine in
   screens_p1 +. screens_chain +. refresh_p1 +. refresh_alpha +. refresh_chain +. join_spine
 
+(* Higher-order maintenance of a length-m chain: screens and A/D
+   bookkeeping as for AVM, then one C1 hash probe (plus one C1 per tuple
+   emitted) per chain hop instead of a charged page draw per hop — the
+   prefix views absorb the join work in memory, and store pages wait for
+   the read-time flush ({!hoivm_flush}). *)
+let hoivm_update (p : t) m =
+  let screens = total_procs p *. p.c1 *. p.f *. p.l in
+  let overhead = p.c3 *. 2.0 *. p.f *. p.l *. total_procs p in
+  let rec hops i acc =
+    if i > m then acc
+    else hops (i + 1) (acc +. (p.n2 *. p.c1 *. 2.0 *. delta_inflow p i))
+  in
+  screens +. overhead +. hops 2 0.0
+
+(* One coalesced batch per read over the whole accumulation window: the
+   P1 store plus every chain-prefix store, each one Poissonized page
+   draw ({!Model.flush_pages} — the per-window delta count is an
+   expectation, not a deterministic draw size). *)
+let hoivm_flush (p : t) m =
+  let window = Float.max 1.0 (total_procs p) in
+  let u1 = updates_per_query p *. window *. 2.0 *. p.f *. p.l in
+  let flush_p1 = 2.0 *. p.c2 *. Model.flush_pages ~m:(p.f *. blocks p) ~k:u1 in
+  let fs = f_star p in
+  let u2 = updates_per_query p *. window *. 2.0 *. fs *. p.l in
+  let flush_prefix = 2.0 *. p.c2 *. Model.flush_pages ~m:(fs *. blocks p) ~k:u2 in
+  let chain = flush_p1 +. (float_of_int (max 0 (m - 1)) *. flush_prefix) in
+  ((p.n1 *. flush_p1) +. (p.n2 *. chain)) /. total_procs p
+
 let maintenance_per_update (p : t) ~chain_length strategy =
   if chain_length < 1 then invalid_arg "Nway_model: chain_length must be >= 1";
   match (strategy : Strategy.t) with
@@ -80,6 +108,7 @@ let maintenance_per_update (p : t) ~chain_length strategy =
     total_procs p *. p_inval *. p.c_inval
   | Strategy.Update_cache_avm -> avm_update p chain_length
   | Strategy.Update_cache_rvm -> rvm_update p chain_length
+  | Strategy.Update_cache_hoivm -> hoivm_update p chain_length
 
 let cost (p : t) ~chain_length strategy =
   if chain_length < 1 then invalid_arg "Nway_model: chain_length must be >= 1";
@@ -97,3 +126,6 @@ let cost (p : t) ~chain_length strategy =
     (p.c2 *. mixed_proc_size p m) +. (updates_per_query p *. avm_update p m)
   | Strategy.Update_cache_rvm ->
     (p.c2 *. mixed_proc_size p m) +. (updates_per_query p *. rvm_update p m)
+  | Strategy.Update_cache_hoivm ->
+    (p.c2 *. mixed_proc_size p m) +. hoivm_flush p m
+    +. (updates_per_query p *. hoivm_update p m)

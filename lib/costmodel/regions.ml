@@ -1,6 +1,11 @@
-type winner_class = AR | CI | UC
+type winner_class = AR | CI | UC | HO
 
-let winner_class_char = function AR -> 'R' | CI -> 'C' | UC -> 'U'
+let winner_class_char = function AR -> 'R' | CI -> 'C' | UC -> 'U' | HO -> 'H'
+
+(* The paper's strategies only; HOIVM is ours, kept out of the Figure
+   12-15 reproductions. *)
+let paper_strategies =
+  List.filter (fun s -> s <> Strategy.Update_cache_hoivm) Strategy.all
 
 let best which params =
   let costs = List.map (fun s -> (s, Model.cost which params s)) Strategy.all in
@@ -16,11 +21,23 @@ let best_update_cache which params =
   then Strategy.Update_cache_avm
   else Strategy.Update_cache_rvm
 
+let best_paper which params =
+  let costs = List.map (fun s -> (s, Model.cost which params s)) paper_strategies in
+  fst
+    (List.fold_left
+       (fun (bs, bc) (s, c) -> if c < bc then (s, c) else (bs, bc))
+       (List.hd costs) (List.tl costs))
+
 let best_class which params =
   let ar = Model.cost which params Strategy.Always_recompute in
   let ci = Model.cost which params Strategy.Cache_invalidate in
   let uc = Model.cost which params (best_update_cache which params) in
   if ar <= ci && ar <= uc then AR else if ci <= ar && ci <= uc then CI else UC
+
+let best_class_extended which params =
+  let ho = Model.cost which params Strategy.Update_cache_hoivm in
+  let paper = Model.cost which params (best_paper which params) in
+  if ho < paper then HO else best_class which params
 
 let ci_within_factor which params ~factor =
   let ci = Model.cost which params Strategy.Cache_invalidate in
@@ -29,3 +46,6 @@ let ci_within_factor which params ~factor =
 
 let classify_at which params ~f ~p =
   best_class which (Params.with_update_probability { params with f } p)
+
+let classify_at_extended which params ~f ~p =
+  best_class_extended which (Params.with_update_probability { params with f } p)

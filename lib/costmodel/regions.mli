@@ -1,18 +1,31 @@
 (** "Who wins where" classification over the parameter space — the paper's
     Figures 12-15 and 19. *)
 
-type winner_class = AR | CI | UC
+type winner_class = AR | CI | UC | HO
 (** The paper's region figures compare three algorithm classes, with UC
-    represented by its cheaper variant. *)
+    represented by its cheaper variant.  [HO] marks where our
+    higher-order maintainer beats all four paper strategies; it only
+    appears in the extended classifications, never the paper ones. *)
 
 val winner_class_char : winner_class -> char
-(** 'R', 'C', 'U' — the marks used in region maps. *)
+(** 'R', 'C', 'U', 'H' — the marks used in region maps. *)
 
 val best : Model.which -> Params.t -> Strategy.t
-(** Cheapest of all four strategies (ties broken in {!Strategy.all}
+(** Cheapest of all five strategies (ties broken in {!Strategy.all}
     order). *)
 
+val paper_strategies : Strategy.t list
+(** {!Strategy.all} minus HOIVM — the four the paper analyzes. *)
+
+val best_paper : Model.which -> Params.t -> Strategy.t
+(** Cheapest of the paper's four strategies (HOIVM excluded). *)
+
 val best_class : Model.which -> Params.t -> winner_class
+(** Paper classification: never returns [HO]. *)
+
+val best_class_extended : Model.which -> Params.t -> winner_class
+(** [best_class], except [HO] when HOIVM undercuts every paper
+    strategy. *)
 
 val best_update_cache : Model.which -> Params.t -> Strategy.t
 (** The cheaper Update Cache variant (AVM or RVM). *)
@@ -24,3 +37,7 @@ val ci_within_factor : Model.which -> Params.t -> factor:float -> bool
 val classify_at : Model.which -> Params.t -> f:float -> p:float -> winner_class
 (** {!best_class} with the object size and update probability overridden
     — one cell of a region map. *)
+
+val classify_at_extended : Model.which -> Params.t -> f:float -> p:float -> winner_class
+(** {!best_class_extended} at an overridden (f, P) — one cell of the
+    extended (five-strategy) region map. *)

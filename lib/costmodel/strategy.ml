@@ -1,25 +1,39 @@
-type t = Always_recompute | Cache_invalidate | Update_cache_avm | Update_cache_rvm
+type t =
+  | Always_recompute
+  | Cache_invalidate
+  | Update_cache_avm
+  | Update_cache_rvm
+  | Update_cache_hoivm
 
-let all = [ Always_recompute; Cache_invalidate; Update_cache_avm; Update_cache_rvm ]
+let all =
+  [ Always_recompute; Cache_invalidate; Update_cache_avm; Update_cache_rvm;
+    Update_cache_hoivm ]
 
 let name = function
   | Always_recompute -> "always-recompute"
   | Cache_invalidate -> "cache-and-invalidate"
   | Update_cache_avm -> "update-cache (AVM)"
   | Update_cache_rvm -> "update-cache (RVM)"
+  | Update_cache_hoivm -> "update-cache (HOIVM)"
 
 let short_name = function
   | Always_recompute -> "AR"
   | Cache_invalidate -> "CI"
   | Update_cache_avm -> "AVM"
   | Update_cache_rvm -> "RVM"
+  | Update_cache_hoivm -> "HOIVM"
 
+(* The one name<->variant table: every surface that parses a strategy name
+   (the language's [set strategy], procsim flags, bench --strategies
+   filters) goes through [of_string], so accepted spellings stay in one
+   place. *)
 let of_string s =
   match String.lowercase_ascii s with
   | "ar" | "always-recompute" | "recompute" -> Some Always_recompute
   | "ci" | "cache-and-invalidate" | "cache-invalidate" | "caching" -> Some Cache_invalidate
   | "avm" | "update-cache-avm" -> Some Update_cache_avm
   | "rvm" | "update-cache-rvm" -> Some Update_cache_rvm
+  | "hoivm" | "update-cache-hoivm" -> Some Update_cache_hoivm
   | _ -> None
 
 let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,15 +1,23 @@
-(** The four query-processing strategies the paper compares. *)
+(** The four query-processing strategies the paper compares, plus the
+    higher-order IVM extension ({!Update_cache_hoivm}). *)
 
 type t =
   | Always_recompute
   | Cache_invalidate
   | Update_cache_avm  (** Update Cache via non-shared algebraic maintenance *)
   | Update_cache_rvm  (** Update Cache via shared Rete maintenance *)
+  | Update_cache_hoivm
+      (** Update Cache via recursive higher-order deltas with heavy-light
+          partitioning (DBToaster-style; not in the paper) *)
 
 val all : t list
 val name : t -> string
 val short_name : t -> string
-(** Two/three-letter tags: AR, CI, AVM, RVM. *)
+(** Two/three/five-letter tags: AR, CI, AVM, RVM, HOIVM. *)
 
 val of_string : string -> t option
+(** The shared name↔variant table: [ar]/[ci]/[avm]/[rvm]/[hoivm] plus the
+    long spellings, case-insensitive.  Every strategy-name parse site
+    (language, CLI flags, bench args) routes through here. *)
+
 val pp : Format.formatter -> t -> unit

@@ -423,11 +423,8 @@ let session_script t =
                          (Schema.attrs schema) (Tuple.to_list tuple)))))))
     (Catalog.names t.catalog);
   let strategy_word =
-    match Manager.kind t.manager with
-    | Manager.Always_recompute -> "ar"
-    | Manager.Cache_invalidate -> "ci"
-    | Manager.Update_cache_avm -> "avm"
-    | Manager.Update_cache_rvm -> "rvm"
+    String.lowercase_ascii
+      (Dbproc_costmodel.Strategy.short_name (Manager.strategy_of_kind (Manager.kind t.manager)))
   in
   Buffer.add_string buf (Printf.sprintf "strategy %s\n" strategy_word);
   List.iter
@@ -451,7 +448,7 @@ let help_text =
       "  explain retrieve (REL.all, ...) [where quals]";
       "  define proc NAME as retrieve (...) where ...";
       "  exec NAME";
-      "  strategy ar | ci | avm | rvm";
+      "  strategy ar | ci | avm | rvm | hoivm";
       "  begin [transaction]                      -- open an explicit transaction (2PL)";
       "  commit | abort                           -- end it (abort rolls the WAL tail back)";
       "  show relations | show procs | show cost | show network | show script";
@@ -595,12 +592,9 @@ let exec_command_body t (cmd : Ast.command) =
         spent (strategy_name t))
   | Ast.Strategy s ->
     let kind =
-      match String.lowercase_ascii s with
-      | "ar" | "always-recompute" -> Manager.Always_recompute
-      | "ci" | "cache-invalidate" -> Manager.Cache_invalidate
-      | "avm" -> Manager.Update_cache_avm
-      | "rvm" -> Manager.Update_cache_rvm
-      | _ -> error "unknown strategy %S (ar, ci, avm, rvm)" s
+      match Dbproc_costmodel.Strategy.of_string s with
+      | Some strategy -> Manager.kind_of_strategy strategy
+      | None -> error "unknown strategy %S (ar, ci, avm, rvm, hoivm)" s
     in
     t.manager <- fresh_manager t kind;
     t.proc_ids <- [];

@@ -72,8 +72,12 @@ type counter =
   | Cluster_failovers
   | Cluster_retries
   | Fault_node_kills
+  | Hoivm_delta_applies
+  | Hoivm_ho_views
+  | Hoivm_heavy_keys
+  | Hoivm_lazy_flushes
 
-let n_counters = 73
+let n_counters = 77
 
 (* The variant is the key into one flat int array: no hashing, no
    allocation, no closures on the charging path. *)
@@ -151,6 +155,10 @@ let index = function
   | Cluster_failovers -> 70
   | Cluster_retries -> 71
   | Fault_node_kills -> 72
+  | Hoivm_delta_applies -> 73
+  | Hoivm_ho_views -> 74
+  | Hoivm_heavy_keys -> 75
+  | Hoivm_lazy_flushes -> 76
 
 let counter_name = function
   | Pages_read -> "pages_read"
@@ -226,6 +234,10 @@ let counter_name = function
   | Cluster_failovers -> "cluster.failovers"
   | Cluster_retries -> "cluster.retries"
   | Fault_node_kills -> "fault.node_kills"
+  | Hoivm_delta_applies -> "hoivm.delta_applies"
+  | Hoivm_ho_views -> "hoivm.ho_views"
+  | Hoivm_heavy_keys -> "hoivm.heavy_keys"
+  | Hoivm_lazy_flushes -> "hoivm.lazy_flushes"
 
 let all_counters =
   [
@@ -248,7 +260,8 @@ let all_counters =
     Repl_records_received; Repl_statements_replayed; Cluster_stmts_routed;
     Cluster_stmts_broadcast; Cluster_tuples_shipped; Cluster_joins_shipped;
     Cluster_joins_broadcast; Cluster_failovers; Cluster_retries;
-    Fault_node_kills;
+    Fault_node_kills; Hoivm_delta_applies; Hoivm_ho_views; Hoivm_heavy_keys;
+    Hoivm_lazy_flushes;
   ]
 
 type gauge =

@@ -113,6 +113,15 @@ type counter =
       (** statements retried on a promoted replica after a node died
           mid-call *)
   | Fault_node_kills  (** whole-node kills fired by the fault injector *)
+  | Hoivm_delta_applies
+      (** higher-order delta propagations applied by the HOIVM maintainer *)
+  | Hoivm_ho_views
+      (** delta (alpha) and delta-of-delta (prefix) views derived at
+          registration *)
+  | Hoivm_heavy_keys  (** keys promoted to the heavy (eager) path *)
+  | Hoivm_lazy_flushes
+      (** drains of the cold-tail delta buffer (threshold, read or
+          consistency-forced) *)
 
 val all_counters : counter list
 val counter_name : counter -> string

@@ -8,33 +8,60 @@ module Model = Dbproc_costmodel.Model
 module Params = Dbproc_costmodel.Params
 module Strategy = Dbproc_costmodel.Strategy
 module MV = Dbproc_avm.Materialized_view
+module HO = Dbproc_hoivm.Maintainer
 
 (* All instrumentation charges the manager's own engine context, reached
    through its I/O layer. *)
 let obs_metrics io = Io.metrics io
 let obs_trace io = Io.trace io
 
-type kind = Always_recompute | Cache_invalidate | Update_cache_avm | Update_cache_rvm
+type kind =
+  | Always_recompute
+  | Cache_invalidate
+  | Update_cache_avm
+  | Update_cache_rvm
+  | Update_cache_hoivm
 
 let kind_name = function
   | Always_recompute -> "always-recompute"
   | Cache_invalidate -> "cache-invalidate"
   | Update_cache_avm -> "update-cache-avm"
   | Update_cache_rvm -> "update-cache-rvm"
+  | Update_cache_hoivm -> "update-cache-hoivm"
 
-let all_kinds = [ Always_recompute; Cache_invalidate; Update_cache_avm; Update_cache_rvm ]
+let all_kinds =
+  [ Always_recompute; Cache_invalidate; Update_cache_avm; Update_cache_rvm;
+    Update_cache_hoivm ]
+
+(* The manager<->costmodel strategy mapping, shared by every caller that
+   translates parsed strategy names (driver, language, CLI, bench). *)
+let kind_of_strategy = function
+  | Strategy.Always_recompute -> Always_recompute
+  | Strategy.Cache_invalidate -> Cache_invalidate
+  | Strategy.Update_cache_avm -> Update_cache_avm
+  | Strategy.Update_cache_rvm -> Update_cache_rvm
+  | Strategy.Update_cache_hoivm -> Update_cache_hoivm
+
+let strategy_of_kind = function
+  | Always_recompute -> Strategy.Always_recompute
+  | Cache_invalidate -> Strategy.Cache_invalidate
+  | Update_cache_avm -> Strategy.Update_cache_avm
+  | Update_cache_rvm -> Strategy.Update_cache_rvm
+  | Update_cache_hoivm -> Strategy.Update_cache_hoivm
 
 type entry =
   | Ar of Plan.t
   | Ci of Result_cache.t
   | Avm of MV.t
   | Rvm of Dbproc_rete.Network.mem_node
+  | Hoivm of HO.t
 
 let entry_kind_name = function
   | Ar _ -> kind_name Always_recompute
   | Ci _ -> kind_name Cache_invalidate
   | Avm _ -> kind_name Update_cache_avm
   | Rvm _ -> kind_name Update_cache_rvm
+  | Hoivm _ -> kind_name Update_cache_hoivm
 
 type proc_id = int
 
@@ -169,18 +196,20 @@ let stored_pages pe =
   match pe.pe_state with
   | Ci cache -> Result_cache.page_count cache
   | Avm view -> MV.page_count view
+  | Hoivm ho -> HO.page_count ho
   | Ar _ | Rvm _ -> 0
 
-(* Give a CI/AVM entry a slot in the shared budget manager (idempotent).
-   The evict callback drops a CI store's pages; an AVM view keeps its
-   store (recovery-style refresh rewrites it on readmission) and is
-   tracked purely through residency. *)
+(* Give a CI/AVM/HOIVM entry a slot in the shared budget manager
+   (idempotent).  The evict callback drops a CI store's pages; AVM views
+   and HOIVM derived stores keep their pages (recovery-style refresh
+   rewrites them on readmission) and are tracked purely through
+   residency. *)
 let attach_budget t id pe =
   match t.cache with
   | None -> ()
   | Some budget -> (
     match (pe.pe_state, pe.pe_cache) with
-    | (Ci _ | Avm _), None ->
+    | (Ci _ | Avm _ | Hoivm _), None ->
       let cid =
         Budget.register budget
           ~name:(Printf.sprintf "p%d" id)
@@ -216,7 +245,8 @@ let model_best (a : adaptive) ~p_hat ~f_hat ~p2 =
         let c = cost_of s in
         if c < bc then (s, c) else (bs, bc))
       (Strategy.Update_cache_avm, cost_of Strategy.Update_cache_avm)
-      [ Strategy.Always_recompute; Strategy.Cache_invalidate ]
+      [ Strategy.Always_recompute; Strategy.Cache_invalidate;
+        Strategy.Update_cache_hoivm ]
   in
   (best, best_cost, cost_of)
 
@@ -256,6 +286,7 @@ let register t (def : View_def.t) =
         | Strategy.Cache_invalidate ->
           Ci (Result_cache.create ~record_bytes:t.record_bytes def)
         | Strategy.Update_cache_avm -> Avm (MV.create ~record_bytes:t.record_bytes def)
+        | Strategy.Update_cache_hoivm -> Hoivm (HO.create ~record_bytes:t.record_bytes def)
       in
       (state, card)
     | None ->
@@ -271,6 +302,9 @@ let register t (def : View_def.t) =
         | Update_cache_avm ->
           subscribe_sources t id def;
           Avm (MV.create ~record_bytes:t.record_bytes def)
+        | Update_cache_hoivm ->
+          subscribe_sources t id def;
+          Hoivm (HO.create ~record_bytes:t.record_bytes def)
         | Update_cache_rvm ->
           let builder = Option.get t.builder in
           let built =
@@ -282,6 +316,7 @@ let register t (def : View_def.t) =
         match state with
         | Ci cache -> Result_cache.cardinality cache
         | Avm view -> MV.cardinality view
+        | Hoivm ho -> HO.cardinality ho
         | Ar _ | Rvm _ -> 0
       in
       (state, card)
@@ -328,6 +363,7 @@ let strategy_of_state = function
   | Ci _ -> Strategy.Cache_invalidate
   | Avm _ -> Strategy.Update_cache_avm
   | Rvm _ -> Strategy.Update_cache_rvm
+  | Hoivm _ -> Strategy.Update_cache_hoivm
 
 (* Charged materialization of a freshly adopted CI state: one full
    recompute plus the rewrite of the store — the paper's T1. *)
@@ -352,6 +388,16 @@ let materialize_avm t pe view =
       Budget.resize budget cid ~pages:(MV.page_count view)
     end
   | _ -> MV.recompute_refresh view
+
+let materialize_hoivm t pe ho =
+  match (t.cache, pe.pe_cache) with
+  | Some budget, Some cid ->
+    if Budget.try_admit budget cid ~pages:(guess_pages t pe) then begin
+      let (), units = measured_units (Io.cost t.io) (fun () -> HO.recompute_refresh ho) in
+      Budget.note_recompute_cost budget cid units;
+      Budget.resize budget cid ~pages:(HO.page_count ho)
+    end
+  | _ -> HO.recompute_refresh ho
 
 (* Switch an entry to [target], charging the migration: the old stored
    copy is given back (one charged eviction when it was resident) and the
@@ -386,6 +432,11 @@ let migrate t id pe (target : Strategy.t) =
         pe.pe_state <- Avm view;
         attach_budget t id pe;
         materialize_avm t pe view
+      | Strategy.Update_cache_hoivm ->
+        let ho = HO.create ~record_bytes:t.record_bytes pe.pe_def in
+        pe.pe_state <- Hoivm ho;
+        attach_budget t id pe;
+        materialize_hoivm t pe ho
       | Strategy.Update_cache_rvm ->
         invalid_arg "Manager: adaptive selector never targets RVM")
 
@@ -496,6 +547,32 @@ let access_avm t pe view =
     end
   | _ -> Trace.with_span tr "execute (read cache)" (fun () -> MV.read view)
 
+let access_hoivm t pe ho =
+  let tr = obs_trace t.io in
+  match (t.cache, pe.pe_cache) with
+  | Some budget, Some cid ->
+    Budget.note_access budget cid;
+    if Budget.resident budget cid then begin
+      let r = Trace.with_span tr "execute (flush + read cache)" (fun () -> HO.read ho) in
+      (* the read-time flush can grow or shrink the derived stores *)
+      Budget.resize budget cid ~pages:(HO.page_count ho);
+      r
+    end
+    else if Budget.try_admit budget cid ~pages:(guess_pages t pe) then begin
+      Metrics.incr (obs_metrics t.io) Metrics.Cache_readmissions;
+      (* missed maintenance while evicted: rebuild every derived view
+         from scratch (charged), then serve the read *)
+      let (), units = measured_units (Io.cost t.io) (fun () -> HO.recompute_refresh ho) in
+      Budget.note_recompute_cost budget cid units;
+      Budget.resize budget cid ~pages:(HO.page_count ho);
+      Trace.with_span tr "execute (read cache)" (fun () -> HO.read ho)
+    end
+    else begin
+      Metrics.incr (obs_metrics t.io) Metrics.Cache_fallback_recomputes;
+      Trace.with_span tr "recompute (fallback)" (fun () -> Executor.run (HO.plan ho))
+    end
+  | _ -> Trace.with_span tr "execute (flush + read cache)" (fun () -> HO.read ho)
+
 let access t id =
   let tr = obs_trace t.io in
   Metrics.incr (obs_metrics t.io) Metrics.Proc_accesses;
@@ -510,6 +587,7 @@ let access t id =
         | Ar plan -> Trace.with_span tr "execute" (fun () -> Executor.run plan)
         | Ci cache -> access_ci t id pe cache
         | Avm view -> access_avm t pe view
+        | Hoivm ho -> access_hoivm t pe ho
         | Rvm node ->
           Trace.with_span tr "execute (read cache)" (fun () ->
               Dbproc_rete.Memory.read (Dbproc_rete.Network.memory node)))
@@ -560,6 +638,22 @@ let on_delta t ~rel ~inserted ~deleted =
                      MV.apply_source_delta view ~source_index:b.tag ~inserted:b.inserted
                        ~deleted:b.deleted)
                | _ -> assert false))
+  | Update_cache_hoivm when pure_fixed ->
+    Trace.with_span_f tr
+      (fun () -> Printf.sprintf "update %s [hoivm]" (Relation.name rel))
+      (fun () ->
+        Trace.with_span tr "screen" (fun () ->
+            Ilock.broken_by t.ilocks ~rel:(Relation.name rel) ~inserted:news ~deleted:olds
+              ~charge_screens:true)
+        |> List.iter (fun (b : Ilock.broken) ->
+               match (find t b.owner).pe_state with
+               | Hoivm ho ->
+                 Trace.with_span_f tr
+                   (fun () -> Printf.sprintf "maintain p%d" b.owner)
+                   (fun () ->
+                     HO.apply_source_delta ho ~source_index:b.tag ~inserted:b.inserted
+                       ~deleted:b.deleted)
+               | _ -> assert false))
   | Update_cache_rvm ->
     let builder = Option.get t.builder in
     Trace.with_span_f tr
@@ -569,7 +663,7 @@ let on_delta t ~rel ~inserted ~deleted =
             Dbproc_rete.Network.apply_delta
               (Dbproc_rete.Builder.network builder)
               ~rel:(Relation.name rel) ~inserted:news ~deleted:olds))
-  | Always_recompute | Cache_invalidate | Update_cache_avm ->
+  | Always_recompute | Cache_invalidate | Update_cache_avm | Update_cache_hoivm ->
     (* Mixed population: budgeted and/or adaptive.  Screening charges C1
        per candidate pair only for owners that maintain differentially
        right now — a resident AVM entry — exactly as a pure AVM manager
@@ -582,7 +676,7 @@ let on_delta t ~rel ~inserted ~deleted =
         let charge_for owner =
           match Hashtbl.find_opt t.table owner with
           | Some pe -> (
-            match pe.pe_state with Avm _ -> is_resident t pe | _ -> false)
+            match pe.pe_state with Avm _ | Hoivm _ -> is_resident t pe | _ -> false)
           | None -> false
         in
         Trace.with_span tr "screen" (fun () ->
@@ -609,7 +703,16 @@ let on_delta t ~rel ~inserted ~deleted =
                    | Some budget, Some cid ->
                      Budget.resize budget cid ~pages:(MV.page_count view)
                    | _ -> ()
-                 end);
+                 end
+               | Hoivm ho ->
+                 if is_resident t pe then
+                   (* page application is deferred to the next read;
+                      resize happens there *)
+                   Trace.with_span_f tr
+                     (fun () -> Printf.sprintf "maintain p%d" b.owner)
+                     (fun () ->
+                       HO.apply_source_delta ho ~source_index:b.tag ~inserted:b.inserted
+                         ~deleted:b.deleted));
                maybe_decide t b.owner pe))
 
 let on_update t ~rel ~changes =
@@ -626,6 +729,9 @@ let result_cardinality t id =
     else List.length (uncharged_recompute t pe.pe_def)
   | Avm view ->
     if is_resident t pe then MV.cardinality view
+    else List.length (uncharged_recompute t pe.pe_def)
+  | Hoivm ho ->
+    if is_resident t pe then HO.cardinality ho
     else List.length (uncharged_recompute t pe.pe_def)
   | Rvm node -> Dbproc_rete.Memory.cardinality (Dbproc_rete.Network.memory node)
 
@@ -646,6 +752,7 @@ let matches_recompute t id =
     (* an evicted view missed maintenance by design; its next admission
        refreshes from scratch, so there is nothing to check *)
     if not (is_resident t pe) then true else MV.matches_recompute view
+  | Hoivm ho -> if not (is_resident t pe) then true else HO.matches_recompute ho
   | Rvm node ->
     multiset_equal
       (Dbproc_rete.Memory.contents (Dbproc_rete.Network.memory node))
@@ -730,6 +837,27 @@ let recover t =
             match pe.pe_state with
             | Avm view ->
               MV.recompute_refresh view;
+              incr n
+            | _ -> assert false)
+          (ordered t);
+        if !n > 0 then Metrics.incr ~n:!n metrics Metrics.Recovery_rebuilt_views;
+        {
+          replay_pages = 0;
+          rebuilt_views = !n;
+          lost_log_records = 0;
+          conservative_invalidations = 0;
+        }
+      | Update_cache_hoivm ->
+        (* No durable validity record, like AVM and RVM: every derived
+           view (α-memories, join prefixes, the top) is conservatively
+           rebuilt from the base relations; pending and buffered deltas
+           died with the buffer pool and are subsumed by the rebuild. *)
+        let n = ref 0 in
+        List.iter
+          (fun (_, pe) ->
+            match pe.pe_state with
+            | Hoivm ho ->
+              HO.recompute_refresh ho;
               incr n
             | _ -> assert false)
           (ordered t);

@@ -19,10 +19,23 @@
 open Dbproc_relation
 open Dbproc_query
 
-type kind = Always_recompute | Cache_invalidate | Update_cache_avm | Update_cache_rvm
+type kind =
+  | Always_recompute
+  | Cache_invalidate
+  | Update_cache_avm
+  | Update_cache_rvm
+  | Update_cache_hoivm
+      (** maintain a {!Dbproc_hoivm.Maintainer} — recursive higher-order
+          deltas with heavy-light partitioning (not in the paper) *)
 
 val kind_name : kind -> string
 val all_kinds : kind list
+
+val kind_of_strategy : Dbproc_costmodel.Strategy.t -> kind
+val strategy_of_kind : kind -> Dbproc_costmodel.Strategy.t
+(** The one shared strategy↔kind table; callers translating parsed
+    strategy names (driver, language, CLI, bench) must use these instead
+    of local matches. *)
 
 type t
 

@@ -166,6 +166,43 @@ let random_update t prng =
   random_rewrite t prng ~rel:t.r1 ~rids:t.r1_rids ~attr:"sel"
     ~domain:(Array.length t.r1_rids)
 
+(* Like [random_rewrite] but the victims are drawn from a hot/cold
+   locality model over the rid array instead of uniformly: a fraction [z]
+   of the tuples (the hot keys) absorbs 1-z of all updates.  Distinctness
+   comes from rejection over the skewed draw, which is deterministic in
+   the prng, and both draws per victim happen before anything is applied,
+   so crash-replay re-applies the identical change set. *)
+let random_rewrite_hot t prng ~rel ~rids ~attr ~domain ~locality =
+  let n = Array.length rids in
+  let l = min (max 1 (iround t.params.l)) n in
+  let pos = Schema.index_of (Relation.schema rel) attr in
+  let seen = Hashtbl.create l in
+  let rec pick () =
+    let idx = Locality.sample locality prng in
+    if Hashtbl.mem seen idx then pick ()
+    else begin
+      Hashtbl.add seen idx ();
+      idx
+    end
+  in
+  let picks = List.init l (fun _ -> pick ()) in
+  Cost.with_disabled t.cost (fun () ->
+      List.map
+        (fun idx ->
+          let rid = rids.(idx) in
+          let old_tuple = Relation.get rel rid in
+          let values =
+            List.mapi
+              (fun i v -> if i = pos then Value.Int (Prng.int prng domain) else v)
+              (Tuple.to_list old_tuple)
+          in
+          (rid, Tuple.create values))
+        picks)
+
+let random_update_hot t prng ~locality =
+  random_rewrite_hot t prng ~rel:t.r1 ~rids:t.r1_rids ~attr:"sel"
+    ~domain:(Array.length t.r1_rids) ~locality
+
 let random_update_r2 t prng =
   random_rewrite t prng ~rel:t.r2 ~rids:t.r2_rids ~attr:"sel2"
     ~domain:(Array.length t.r2_rids)

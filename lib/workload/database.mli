@@ -67,6 +67,18 @@ val random_update :
     f-interval with probability ≈ f, the paper's lock-breaking model.
     Returns the (rid, new-tuple) pairs, not yet applied. *)
 
+val random_update_hot :
+  t ->
+  Dbproc_util.Prng.t ->
+  locality:Dbproc_util.Locality.t ->
+  (Dbproc_storage.Heap_file.rid * Tuple.t) list
+(** Like {!random_update} but the l victim tuples are drawn from a
+    hot/cold {!Dbproc_util.Locality} model over R1's rids instead of
+    uniformly: the hot keys absorb most of the update stream (a Zipf-like
+    skew the paper does not model).  Drives the skewed points of the
+    ext-winregion map, where repeated hits on the same keys reward
+    HOIVM's heavy-key fast path and pending-delta cancellation. *)
+
 val random_update_r2 :
   t -> Dbproc_util.Prng.t -> (Dbproc_storage.Heap_file.rid * Tuple.t) list
 (** Like {!random_update} but against R2: l distinct R2 tuples get fresh

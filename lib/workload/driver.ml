@@ -32,11 +32,7 @@ type run_record = {
 
 let iround x = int_of_float (Float.round x)
 
-let manager_kind = function
-  | Strategy.Always_recompute -> Dbproc_proc.Manager.Always_recompute
-  | Strategy.Cache_invalidate -> Dbproc_proc.Manager.Cache_invalidate
-  | Strategy.Update_cache_avm -> Dbproc_proc.Manager.Update_cache_avm
-  | Strategy.Update_cache_rvm -> Dbproc_proc.Manager.Update_cache_rvm
+let manager_kind = Dbproc_proc.Manager.kind_of_strategy
 
 type op = Query of int | Update
 
@@ -57,8 +53,8 @@ let charges_of (params : Params.t) =
   }
 
 let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
-    ?(r2_update_fraction = 0.0) ?ctx ?buffer_pages ?cache_budget ?cache_policy
-    ?(adaptive = false) ?adaptive_window ~model ~params strategy =
+    ?(r2_update_fraction = 0.0) ?(update_skew = 0.0) ?ctx ?buffer_pages ?cache_budget
+    ?cache_policy ?(adaptive = false) ?adaptive_window ~model ~params strategy =
   (* Each run gets its own engine context unless the caller supplies one:
      no state is shared with any other run, which is what makes parallel
      execution safe and bit-identical to sequential. *)
@@ -94,6 +90,13 @@ let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
     else Locality.uniform ~n
   in
   let ops = op_sequence workload_prng ~q ~k ~locality in
+  (* Hot/cold skew over R1's tuples for the update stream (the paper's
+     updates are uniform); shared by every strategy at the same seed. *)
+  let update_locality =
+    if update_skew > 0.0 && update_skew < 1.0 then
+      Some (Locality.create ~z:update_skew ~n:(Array.length db.Database.r1_rids))
+    else None
+  in
   (* Counters reset in lock-step with the cost model, so after the run
      Obs totals equal the cost charges (build/registration work charged
      so far is wiped from both). *)
@@ -126,7 +129,11 @@ let run_strategy ?(seed = 42) ?(check_consistency = true) ?rvm_shape
           in
           let rel, changes =
             if target_r2 then (db.Database.r2, Database.random_update_r2 db workload_prng)
-            else (db.Database.r1, Database.random_update db workload_prng)
+            else
+              ( db.Database.r1,
+                match update_locality with
+                | Some locality -> Database.random_update_hot db workload_prng ~locality
+                | None -> Database.random_update db workload_prng )
           in
           (* The base-table update itself costs the same under every
              strategy; the paper's per-access costs exclude it. *)

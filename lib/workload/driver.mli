@@ -54,6 +54,7 @@ val run_strategy :
   ?check_consistency:bool ->
   ?rvm_shape:Dbproc_proc.Manager.rvm_shape ->
   ?r2_update_fraction:float ->
+  ?update_skew:float ->
   ?ctx:Dbproc_obs.Ctx.t ->
   ?buffer_pages:int ->
   ?cache_budget:int ->
@@ -70,6 +71,10 @@ val run_strategy :
     against recomputation when the run ends.  [r2_update_fraction]
     (default 0, the paper's workload) makes that fraction of update
     transactions modify R2 instead of R1 — the ext-update-mix extension.
+    [update_skew] (default 0, i.e. uniform) draws update victims from a
+    hot/cold {!Dbproc_util.Locality} model with that hot fraction (e.g.
+    0.05: 5% of R1's tuples take 95% of updates) — the skewed points of
+    the ext-winregion map, where HOIVM's heavy-key fast path pays off.
     [ctx] is the engine context to charge; by default each run creates a
     fresh private one (exposed as [result.obs]), so runs share no mutable
     state whatsoever and may execute on different domains.  [buffer_pages]

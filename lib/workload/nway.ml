@@ -14,11 +14,7 @@ type result = {
 
 let iround x = int_of_float (Float.round x)
 
-let manager_kind = function
-  | Strategy.Always_recompute -> Dbproc_proc.Manager.Always_recompute
-  | Strategy.Cache_invalidate -> Dbproc_proc.Manager.Cache_invalidate
-  | Strategy.Update_cache_avm -> Dbproc_proc.Manager.Update_cache_avm
-  | Strategy.Update_cache_rvm -> Dbproc_proc.Manager.Update_cache_rvm
+let manager_kind = Dbproc_proc.Manager.kind_of_strategy
 
 (* Build C1 .. Cm: C1 has the B-tree selection attribute; each Ci carries
    a pointer attribute [next] drawn uniformly over C_{i+1}'s key domain,

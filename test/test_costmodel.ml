@@ -340,7 +340,7 @@ let test_sensitivity_table_shape () =
   Alcotest.(check int) "10 axes" 10 (List.length table);
   List.iter
     (fun (_, cells) ->
-      Alcotest.(check int) "4 strategies" 4 (List.length cells);
+      Alcotest.(check int) "5 strategies" 5 (List.length cells);
       List.iter (fun (_, e) -> Alcotest.(check bool) "finite" true (Float.is_finite e)) cells)
     table
 

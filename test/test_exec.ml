@@ -321,6 +321,11 @@ open Dbproc.Lang
 
 let get_metric interp c = Metrics.get (Dbproc_obs.Ctx.metrics (Interp.obs interp)) c
 
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
 let setup_session () =
   let interp = Interp.create ~ctx:(Dbproc_obs.Ctx.create ()) () in
   List.iter
@@ -400,6 +405,34 @@ let test_stmt_cache_strategy_invalidates () =
     (get_metric interp Metrics.Plan_cache_invalidations);
   ignore (Result.get_ok (Interp.exec_line interp q));
   Alcotest.(check int) "replanned" 2 (get_metric interp Metrics.Plan_cache_misses)
+
+(* A failed [strategy] command must leave the statement cache intact:
+   the unknown name is rejected before the manager is replaced, so every
+   cached plan still compiles against the live manager.  And [hoivm]
+   must be a real strategy wherever the shared name table is consulted —
+   accepted by [strategy], reported by [show script]. *)
+let test_stmt_cache_failed_strategy_keeps_cache () =
+  let interp = setup_session () in
+  let q = "retrieve (emp.all) where emp.dept = 1" in
+  ignore (Result.get_ok (Interp.exec_line interp q));
+  (match Interp.exec_line interp "strategy zigzag" with
+  | Error msg ->
+    Alcotest.(check bool) "error names the strategy" true
+      (contains msg "zigzag")
+  | Ok out -> Alcotest.failf "unknown strategy accepted: %s" out);
+  Alcotest.(check int) "failed strategy does not invalidate" 0
+    (get_metric interp Metrics.Plan_cache_invalidations);
+  let hits = get_metric interp Metrics.Plan_cache_hits in
+  ignore (Result.get_ok (Interp.exec_line interp q));
+  Alcotest.(check int) "replay after failed strategy is a cache hit" (hits + 1)
+    (get_metric interp Metrics.Plan_cache_hits);
+  (* a real migration to hoivm does invalidate, once *)
+  ignore (Result.get_ok (Interp.exec_line interp "strategy hoivm"));
+  Alcotest.(check int) "hoivm migration invalidates" 1
+    (get_metric interp Metrics.Plan_cache_invalidations);
+  let script = Result.get_ok (Interp.exec_line interp "show script") in
+  Alcotest.(check bool) "session script round-trips strategy hoivm" true
+    (contains script "strategy hoivm")
 
 (* Eviction at max_entries: FIFO, size-bounded, hit-after-evict is a
    plain miss that re-stores as the newest entry. *)
@@ -512,6 +545,8 @@ let () =
           Alcotest.test_case "cost neutrality" `Quick test_stmt_cache_cost_neutral;
           Alcotest.test_case "strategy invalidation" `Quick
             test_stmt_cache_strategy_invalidates;
+          Alcotest.test_case "failed strategy keeps cache" `Quick
+            test_stmt_cache_failed_strategy_keeps_cache;
           Alcotest.test_case "eviction at max_entries (unit)" `Quick
             test_stmt_cache_eviction_unit;
           Alcotest.test_case "eviction at max_entries (session)" `Quick

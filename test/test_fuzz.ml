@@ -231,6 +231,7 @@ let strategies =
     Manager.Cache_invalidate;
     Manager.Update_cache_avm;
     Manager.Update_cache_rvm;
+    Manager.Update_cache_hoivm;
   ]
 
 let fuzz_all_strategies =

@@ -195,6 +195,20 @@ let test_zero_drift_when_disabled () =
       check_matches_oracle ~what:name off disabled)
     Strategy.all
 
+(* The access-result digest is a property of the workload, not of the
+   maintenance strategy: every strategy's oracle run must produce the
+   same digest as AR's.  This is what lets any strategy (HOIVM included)
+   be checked against the AR oracle rather than only against itself. *)
+let test_digest_strategy_independent () =
+  let reference = Driver.result_digest (oracle_of Strategy.Always_recompute) in
+  List.iter
+    (fun strategy ->
+      Alcotest.(check string)
+        (Strategy.name strategy ^ " digest = AR digest")
+        reference
+        (Driver.result_digest (oracle_of strategy)))
+    Strategy.all
+
 let test_faulted_run_deterministic () =
   let once () = run ~fault_config:Injector.default_config Strategy.Cache_invalidate in
   let a = once () and b = once () in
@@ -427,6 +441,8 @@ let () =
           Alcotest.test_case "oracle sane" `Quick test_oracle_sane;
           Alcotest.test_case "zero drift when disabled" `Quick test_zero_drift_when_disabled;
           Alcotest.test_case "faulted run deterministic" `Quick test_faulted_run_deterministic;
+          Alcotest.test_case "digest strategy-independent" `Quick
+            test_digest_strategy_independent;
           Alcotest.test_case "crash-point sweep (interp)" `Slow
             (test_crash_point_sweep Executor.Tuple_interp);
           Alcotest.test_case "crash-point sweep (compiled)" `Slow

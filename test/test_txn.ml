@@ -240,6 +240,98 @@ let rollback_differential engine kind () =
   Alcotest.(check int) "undo counter" !logged (Obs.Metrics.get m Obs.Metrics.Txn_undo_applied)
 
 (* ------------------------------------------------------------------ *)
+(* Randomized interleavings: HOIVM vs the AR oracle                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A random script of committed updates, aborted transactions and
+   procedure accesses, replayed once under Update_cache_hoivm and once
+   under the Always_recompute oracle.  Both runs draw the same update
+   victims (same PRNG, same consumption order), so every access must
+   return the identical visible result, and HOIVM's stores must survive
+   matches_recompute at the end — the transactional half of the HOIVM
+   differential (the crash/recovery half is test_recovery.ml's sweep). *)
+type hoivm_op = Commit_update | Abort_update | Access of int
+
+let hoivm_script_gen =
+  QCheck.Gen.(
+    pair (int_bound 10_000)
+      (list_size (5 -- 25)
+         (frequency
+            [
+              (3, return Commit_update);
+              (2, return Abort_update);
+              (3, map (fun i -> Access i) (int_bound 10));
+            ])))
+
+let hoivm_script_print (seed, script) =
+  Printf.sprintf "seed %d: %s" seed
+    (String.concat " "
+       (List.map
+          (function
+            | Commit_update -> "U"
+            | Abort_update -> "A"
+            | Access i -> Printf.sprintf "Q%d" i)
+          script))
+
+let run_hoivm_script kind (seed, script) =
+  let ctx = Obs.Ctx.create () in
+  let db =
+    Workload.Database.build ~seed:11 ~ctx ~model:Costmodel.Model.Model1 small_params
+  in
+  let mgr = Proc.Manager.create kind ~io:db.Workload.Database.io ~record_bytes:100 () in
+  let pids = List.map (Proc.Manager.register mgr) (Workload.Database.all_defs db) in
+  List.iter (fun p -> ignore (Proc.Manager.access mgr p)) pids;
+  let tm =
+    TM.create
+      ~notify_update:(fun ~rel ~changes -> Proc.Manager.on_update mgr ~rel ~changes)
+      ~notify_delta:(fun ~rel ~inserted ~deleted ->
+        Proc.Manager.on_delta mgr ~rel ~inserted ~deleted)
+      ~cost:db.Workload.Database.cost ~io:db.Workload.Database.io ()
+  in
+  let prng = Util.Prng.create seed in
+  let pid_arr = Array.of_list pids in
+  let apply_logged id =
+    List.iter
+      (fun (rid, newt) ->
+        let before = Relation.get db.Workload.Database.r1 rid in
+        ignore (Relation.update db.Workload.Database.r1 rid newt);
+        TM.log_update tm id ~rel:db.Workload.Database.r1 ~rid ~before ~after:newt;
+        Proc.Manager.on_update mgr ~rel:db.Workload.Database.r1
+          ~changes:[ (before, newt) ])
+      (Workload.Database.random_update db prng)
+  in
+  let digests =
+    List.filter_map
+      (function
+        | Commit_update ->
+          let id = TM.begin_ tm in
+          apply_logged id;
+          ignore (TM.commit tm id);
+          None
+        | Abort_update ->
+          let id = TM.begin_ tm in
+          apply_logged id;
+          ignore (TM.abort tm id);
+          None
+        | Access i ->
+          Some
+            (digest_results
+               (Proc.Manager.access mgr pid_arr.(i mod Array.length pid_arr))))
+      script
+  in
+  let consistent = List.for_all (fun p -> Proc.Manager.matches_recompute mgr p) pids in
+  (digests, consistent)
+
+let hoivm_vs_ar_interleavings =
+  QCheck.Test.make ~count:25
+    ~name:"hoivm matches the AR oracle on random update/query/abort interleavings"
+    (QCheck.make ~print:hoivm_script_print hoivm_script_gen)
+    (fun spec ->
+      let d_ar, ok_ar = run_hoivm_script Proc.Manager.Always_recompute spec in
+      let d_ho, ok_ho = run_hoivm_script Proc.Manager.Update_cache_hoivm spec in
+      ok_ar && ok_ho && d_ar = d_ho)
+
+(* ------------------------------------------------------------------ *)
 (* Simulator: determinism of stats, blocked time and deadlocks         *)
 (* ------------------------------------------------------------------ *)
 
@@ -391,6 +483,8 @@ let () =
           Alcotest.test_case "victims restart and all commit" `Quick
             test_sim_victims_are_restarted;
         ] );
+      ( "hoivm differential",
+        [ QCheck_alcotest.to_alcotest hoivm_vs_ar_interleavings ] );
       ( "serializability",
         [ QCheck_alcotest.to_alcotest serialization_test ] );
     ]

@@ -411,8 +411,8 @@ let test_adaptive_parallel_byte_identical () =
     let results =
       Parallel.run_all ~seed:4 ~jobs ~adaptive:true ~model:Model.Model1 ~params:small ()
     in
-    Alcotest.(check int) "five runs" 5 (List.length results);
-    List.nth results 4
+    Alcotest.(check int) "six runs" 6 (List.length results);
+    List.nth results 5
   in
   let base = run 1 in
   List.iter
