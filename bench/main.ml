@@ -1233,6 +1233,138 @@ let print_ext_failover () =
     (if !all_ok && reconciled then "yes" else "NO");
   merged
 
+let print_ext_2pc () =
+  print_endline
+    "== ext-2pc: distributed commit latency and abort rate vs cross-shard fraction (3-node cluster)";
+  print_endline
+    "extension: two clients run transactions concurrently (statements interleaved in\n\
+     lockstep) against a 3-node cluster; each transaction is begin + 3 appends +\n\
+     commit.  A single-shard transaction keeps its keys inside one partition, a\n\
+     cross-shard one spreads them over the key domain, so the cross-shard fraction\n\
+     controls how many participants two-phase commit must coordinate — and how often\n\
+     the two clients' whole-relation append locks collide across nodes (deadlock\n\
+     victims).  Commit latency is the simulated-clock delta around the commit\n\
+     statement: one prepare round-trip per participant plus the decision-log append\n\
+     and commit fan-out.\n";
+  let nodes = 3 and rounds = 40 in
+  let slice = 1_000_000 / nodes in
+  let fractions = [ 0.0; 0.25; 0.5; 1.0 ] in
+  let table =
+    Util.Ascii_table.create
+      ~header:
+        [
+          "cross-shard"; "txns"; "committed"; "aborted"; "abort %"; "parts/txn";
+          "mean commit ms"; "p99 commit ms";
+        ]
+      ()
+  in
+  let last = ref None in
+  List.iter
+    (fun frac ->
+      let local = Net.Coordinator.create_local ~nodes () in
+      let c = Net.Coordinator.coordinator local in
+      assert (Net.Coordinator.exec c "create R (k = int, v = int)").Net.Coordinator.ok;
+      let prng = Util.Prng.create !the_seed in
+      let commit_ms = ref [] and committed = ref 0 and aborted = ref 0 in
+      (* commit cost lands on the participants (prepare handling, local
+         commit, WAL), so the commit latency sample is the delta of the
+         whole cluster's simulated clock, not just the coordinator's *)
+      let cluster_ms () =
+        let acc = ref (Net.Coordinator.sim_ms c) in
+        for i = 0 to nodes - 1 do
+          acc :=
+            !acc
+            +. Lang.Interp.simulated_ms
+                 (Net.Node.session (Net.Coordinator.local_node local i))
+        done;
+        !acc
+      in
+      let mk_script () =
+        let cross = Util.Prng.float prng < frac in
+        let home = Util.Prng.int prng nodes in
+        let body =
+          List.init 3 (fun _ ->
+              let k =
+                if cross then Util.Prng.int prng 1_000_000
+                else (home * slice) + Util.Prng.int prng slice
+              in
+              Printf.sprintf "append to R (k = %d, v = %d)" k
+                (Util.Prng.int prng 1000))
+        in
+        ("begin" :: body) @ [ "commit" ]
+      in
+      (* one transaction per client per round, statements interleaved in
+         lockstep; a parked statement is retried after the peer moves *)
+      for _ = 1 to rounds do
+        let scripts = [| mk_script (); mk_script () |] in
+        let parked = [| None; None |] and finished = [| false; false |] in
+        let step cl =
+          if not finished.(cl) then
+            let line =
+              match parked.(cl) with
+              | Some l -> l
+              | None -> (
+                match scripts.(cl) with
+                | l :: rest ->
+                  scripts.(cl) <- rest;
+                  l
+                | [] -> assert false)
+            in
+            let t0 = if line = "commit" then cluster_ms () else 0.0 in
+            match Net.Coordinator.exec_client c ~client:(cl + 1) line with
+            | `Park _ -> parked.(cl) <- Some line
+            | `Done r ->
+              parked.(cl) <- None;
+              if r.Net.Coordinator.aborted then begin
+                incr aborted;
+                finished.(cl) <- true;
+                scripts.(cl) <- []
+              end
+              else if line = "commit" then begin
+                commit_ms := (cluster_ms () -. t0) :: !commit_ms;
+                incr committed;
+                finished.(cl) <- true
+              end
+        in
+        let guard = ref 0 in
+        while not (finished.(0) && finished.(1)) do
+          incr guard;
+          if !guard > 1000 then failwith "ext-2pc: interleaving livelocked";
+          step 0;
+          step 1
+        done
+      done;
+      let m = Obs.Ctx.metrics (Net.Coordinator.ctx c) in
+      let g k = Obs.Metrics.get m k in
+      let txns = (2 * rounds) in
+      Util.Ascii_table.add_row table
+        [
+          Printf.sprintf "%.2f" frac;
+          string_of_int txns;
+          string_of_int !committed;
+          string_of_int !aborted;
+          Printf.sprintf "%.1f" (100.0 *. float_of_int !aborted /. float_of_int txns);
+          Printf.sprintf "%.2f"
+            (float_of_int (g Obs.Metrics.Txn2pc_participants)
+            /. float_of_int (max 1 (g Obs.Metrics.Txn2pc_begins)));
+          Printf.sprintf "%.1f" (Util.Stats.mean !commit_ms);
+          Printf.sprintf "%.1f" (Util.Stats.percentile 0.99 !commit_ms);
+        ];
+      last := Some (Net.Coordinator.snapshot c))
+    fractions;
+  Util.Ascii_table.print table;
+  (match !last with
+  | Some merged ->
+    let g k = Obs.Metrics.get (Obs.Ctx.metrics merged) k in
+    Printf.printf
+      "\nfull-cross run: prepares %d  commit decisions %d  aborts %d  deadlock cycles %d\n\n"
+      (g Obs.Metrics.Txn2pc_prepares)
+      (g Obs.Metrics.Txn2pc_commits)
+      (g Obs.Metrics.Txn2pc_aborts)
+      (g Obs.Metrics.Deadlock_cycles)
+  | None -> ());
+  match !last with Some s -> s | None -> assert false
+
 (* ------------------------------------------------------------ Bechamel *)
 
 let bechamel_tests () =
@@ -1614,6 +1746,7 @@ let () =
       record "ext-contention" print_ext_contention;
     if ids = [] || List.mem "ext-failover" ids then
       record "ext-failover" print_ext_failover;
+    if ids = [] || List.mem "ext-2pc" ids then record "ext-2pc" print_ext_2pc;
     if ids = [] || List.mem "ext-nway" ids then record "ext-nway" print_ext_nway;
     if ids = [] || List.mem "ext-sensitivity" ids then
       record "ext-sensitivity" print_ext_sensitivity;

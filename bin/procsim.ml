@@ -561,6 +561,8 @@ let shell_cmd =
           | Net.Protocol.Failed msg -> Printf.printf "error: %s\n" msg
           | Net.Protocol.Rejected msg -> Printf.printf "rejected: %s\n" msg
           | Net.Protocol.Aborted msg -> Printf.printf "aborted: %s\n" msg
+          | Net.Protocol.Blocked holders ->
+            Printf.printf "blocked on transaction(s) %s\n" holders
           | Net.Protocol.Tuples body | Net.Protocol.Wal_records body ->
             print_endline body
           | Net.Protocol.Pong -> ());
@@ -886,6 +888,7 @@ let loadgen_cmd =
             let backend =
               Net.Cluster.coordinator_backend ?injector
                 ~on_kill:(Net.Cluster.kill_primary cl)
+                ~spawn_replica:(Net.Cluster.spawn_replica cl)
                 ~links:(fun () -> Net.Cluster.links cl)
                 ()
             in
@@ -988,6 +991,7 @@ let cluster_cmd =
           let backend =
             Net.Cluster.coordinator_backend ~key_domain ?injector
               ~on_kill:(Net.Cluster.kill_primary cl)
+              ~spawn_replica:(Net.Cluster.spawn_replica cl)
               ~links:(fun () -> Net.Cluster.links cl)
               ()
           in
@@ -1059,13 +1063,73 @@ let cluster_check_cmd =
       value & opt (some string) None
       & info [ "single-json" ] ~docv:"FILE" ~doc:"Write the single-node digests as JSON.")
   in
-  let run nodes seed appends kill cluster_json single_json =
+  let txn =
+    Arg.(
+      value & flag
+      & info [ "txn" ]
+          ~doc:
+            "Also run a batch of distributed transactions (cross-shard writes ending in \
+             commit or abort) and hold the final state to the committed-or-aborted oracle: \
+             a single-node replay of exactly the transactions the cluster committed.")
+  in
+  let kill_point =
+    Arg.(
+      value & opt_all string []
+      & info [ "kill-point" ] ~docv:"PHASE[:ROUND[:NODE]]"
+          ~doc:
+            "Schedule a node kill inside the 2PC window: $(b,prepare) kills before the \
+             node can vote (the transaction must abort), $(b,commit) kills inside the \
+             in-doubt window (the decision log must still commit it).  ROUND is the \
+             1-based distributed commit round, NODE the victim (defaults 1:1; \
+             repeatable; implies --txn).")
+  in
+  let parse_kill_point nodes s =
+    let bad () =
+      Error (Printf.sprintf "bad --kill-point %S (want prepare|commit[:ROUND[:NODE]])" s)
+    in
+    match String.split_on_char ':' s with
+    | phase :: rest -> (
+      let parsed_phase =
+        match phase with
+        | "prepare" -> Some `Prepare
+        | "commit" -> Some `Commit
+        | _ -> None
+      in
+      match parsed_phase with
+      | None -> bad ()
+      | Some p -> (
+        let int_at i default =
+          match List.nth_opt rest i with
+          | None -> Some default
+          | Some s -> int_of_string_opt s
+        in
+        match (int_at 0 1, int_at 1 (min 1 (nodes - 1))) with
+        | Some round, Some node when round >= 1 && node >= 0 && node < nodes ->
+          Ok { Fault.Injector.tk_node = node; phase = p; at_commit = round }
+        | _ -> bad ()))
+    | [] -> bad ()
+  in
+  let parse_kill_points nodes specs =
+    List.fold_left
+      (fun acc s ->
+        match (acc, parse_kill_point nodes s) with
+        | Error _, _ -> acc
+        | Ok ks, Ok k -> Ok (k :: ks)
+        | Ok _, Error msg -> Error msg)
+      (Ok []) specs
+  in
+  let run nodes seed appends kill txn kill_point cluster_json single_json =
     if nodes < 1 then `Error (true, "--nodes must be >= 1")
     else if appends < 2 then `Error (true, "--appends must be >= 2")
     else
-      match parse_kills kill with
+      match
+        match (parse_kills kill, parse_kill_points nodes kill_point) with
+        | (Error _ as e), _ | _, (Error _ as e) -> e
+        | Ok ks, Ok kps -> Ok (ks, kps)
+      with
       | Error msg -> `Error (true, msg)
-      | Ok kills ->
+      | Ok (kills, kill_points) ->
+        let txn = txn || kill_points <> [] in
         let prng = Util.Prng.create seed in
         let n_r = appends - (appends / 3) in
         let n_s = appends / 3 in
@@ -1094,37 +1158,106 @@ let cluster_check_cmd =
               "exec PJ";
             ]
         in
-        let injector = injector_of_kills ~seed kills in
+        let injector =
+          match (kills, kill_points) with
+          | [], [] -> None
+          | _ ->
+            let inj = Fault.Injector.create ~seed () in
+            Fault.Injector.schedule_node_kills inj kills;
+            Fault.Injector.schedule_txn_kills inj kill_points;
+            Some inj
+        in
         let local = Net.Coordinator.create_local ?injector ~nodes () in
         let c = Net.Coordinator.coordinator local in
         let single = Lang.Interp.create () in
         let mismatches = ref 0 in
-        let results =
-          List.map
-            (fun line ->
-              let r = Net.Coordinator.exec c line in
-              let cluster_out, single_out =
-                match r.Net.Coordinator.digest with
-                | Some d -> (
-                  ( "digest:" ^ d,
-                    match Lang.Interp.fetch single line with
-                    | Ok (tuples, _) -> "digest:" ^ Net.Wire.digest_tuples tuples
-                    | Error msg -> "error:" ^ msg ))
-                | None -> (
-                  ( (if r.Net.Coordinator.ok then "output:" else "error:")
-                    ^ r.Net.Coordinator.output,
-                    match Lang.Interp.exec_line single line with
-                    | Ok out -> "output:" ^ out
-                    | Error msg -> "error:" ^ msg ))
-              in
-              if cluster_out <> single_out then begin
-                incr mismatches;
-                Printf.printf "MISMATCH %s\n  cluster: %s\n  single:  %s\n" line cluster_out
-                  single_out
-              end;
-              (line, cluster_out, single_out))
-            stmts
+        let check_line line =
+          let r = Net.Coordinator.exec c line in
+          let cluster_out, single_out =
+            match r.Net.Coordinator.digest with
+            | Some d -> (
+              ( "digest:" ^ d,
+                match Lang.Interp.fetch single line with
+                | Ok (tuples, _) -> "digest:" ^ Net.Wire.digest_tuples tuples
+                | Error msg -> "error:" ^ msg ))
+            | None -> (
+              ( (if r.Net.Coordinator.ok then "output:" else "error:")
+                ^ r.Net.Coordinator.output,
+                match Lang.Interp.exec_line single line with
+                | Ok out -> "output:" ^ out
+                | Error msg -> "error:" ^ msg ))
+          in
+          if cluster_out <> single_out then begin
+            incr mismatches;
+            Printf.printf "MISMATCH %s\n  cluster: %s\n  single:  %s\n" line cluster_out
+              single_out
+          end;
+          (line, cluster_out, single_out)
         in
+        let results = List.map check_line stmts in
+        (* Distributed transactions against the committed-or-aborted
+           oracle: run each scenario on the cluster only, observe its
+           outcome, replay exactly the committed ones into the single
+           session (strict 2PL makes commit order a serial order), then
+           hold the final relation state to the usual digest check. *)
+        let txn_results =
+          if not txn then []
+          else begin
+            let app rel =
+              Printf.sprintf "append to %s (k = %d, %s = %d)" rel
+                (Util.Prng.int prng 1_000_000)
+                (if rel = "R" then "v" else "w")
+                (Util.Prng.int prng 1000)
+            in
+            let scenarios =
+              [
+                ("txn1", [ app "R"; app "R"; app "R" ], `Commit);
+                ( "txn2",
+                  [
+                    app "R";
+                    app "S";
+                    Printf.sprintf "delete from R where R.k = %d" r_keys.(2);
+                  ],
+                  `Commit );
+                ("txn3", [ app "R"; app "S" ], `Abort);
+                ("txn4", [ app "S"; app "R"; app "R" ], `Commit);
+              ]
+            in
+            let run_scenario (name, body, terminal) =
+              let r = Net.Coordinator.exec c "begin" in
+              if not r.Net.Coordinator.ok then (name, body, "error:" ^ r.Net.Coordinator.output)
+              else
+                let rec go = function
+                  | [] -> (
+                    match terminal with
+                    | `Abort ->
+                      ignore (Net.Coordinator.exec c "abort");
+                      (name, body, "aborted")
+                    | `Commit ->
+                      let r = Net.Coordinator.exec c "commit" in
+                      if r.Net.Coordinator.ok then (name, body, "committed")
+                      else (name, body, "aborted"))
+                  | stmt :: rest ->
+                    let r = Net.Coordinator.exec c stmt in
+                    if r.Net.Coordinator.ok then go rest
+                    else if r.Net.Coordinator.aborted then (name, body, "aborted")
+                    else (name, body, "error:" ^ r.Net.Coordinator.output)
+                in
+                go body
+            in
+            let outcomes = List.map run_scenario scenarios in
+            (* the oracle replays only what the cluster decided to commit *)
+            List.iter
+              (fun (_, body, outcome) ->
+                if outcome = "committed" then
+                  List.iter (fun l -> ignore (Lang.Interp.exec_line single l)) body)
+              outcomes;
+            List.map (fun (name, _, outcome) -> (name, outcome, outcome)) outcomes
+            @ List.map check_line
+                [ "retrieve (R.all)"; "retrieve (S.all)"; "exec PJ" ]
+          end
+        in
+        let results = results @ txn_results in
         let write_json path side =
           let buf = Buffer.create 4096 in
           Buffer.add_string buf "{\n";
@@ -1153,6 +1286,13 @@ let cluster_check_cmd =
           (if Obs.Metrics.get m Obs.Metrics.Cluster_failovers = 1 then "" else "s")
           (if !mismatches = 0 then "all digests match" else
              Printf.sprintf "%d MISMATCHES" !mismatches);
+        if txn then
+          Printf.printf
+            "cluster-check: 2PC %d begun, %d committed, %d aborted, %d in-doubt resolved\n"
+            (Obs.Metrics.get m Obs.Metrics.Txn2pc_begins)
+            (Obs.Metrics.get m Obs.Metrics.Txn2pc_commits)
+            (Obs.Metrics.get m Obs.Metrics.Txn2pc_aborts)
+            (Obs.Metrics.get m Obs.Metrics.Txn2pc_in_doubt_resolved);
         if !mismatches = 0 then `Ok ()
         else `Error (false, "cluster-check: cluster and single node disagree")
   in
@@ -1161,9 +1301,14 @@ let cluster_check_cmd =
        ~doc:
          "Run the cluster-vs-single-node differential oracle: a seeded statement stream \
           (including a cross-shard join) against an in-process K-node cluster and a single \
-          interpreter must produce byte-identical result digests.  Exits nonzero on any \
-          mismatch.")
-    Term.(ret (const run $ nodes $ seed $ appends $ kill $ cluster_json $ single_json))
+          interpreter must produce byte-identical result digests.  $(b,--txn) adds \
+          distributed transactions held to the committed-or-aborted oracle, and \
+          $(b,--kill-point) crashes a participant inside the 2PC window.  Exits nonzero \
+          on any mismatch.")
+    Term.(
+      ret
+        (const run $ nodes $ seed $ appends $ kill $ txn $ kill_point $ cluster_json
+       $ single_json))
 
 (* ------------------------------------------------------------ txn-smoke *)
 
@@ -1197,6 +1342,8 @@ let txn_smoke_cmd =
             | Net.Protocol.Aborted m ->
               failwith (Printf.sprintf "%s: %S unexpectedly aborted: %s" who line m)
             | Net.Protocol.Rejected m -> failwith (Printf.sprintf "%s: %S rejected: %s" who line m)
+            | Net.Protocol.Blocked h ->
+              failwith (Printf.sprintf "%s: %S blocked on transaction(s) %s" who line h)
             | Net.Protocol.Pong -> failwith (Printf.sprintf "%s: %S answered with pong" who line)
             | Net.Protocol.Tuples _ | Net.Protocol.Wal_records _ ->
               failwith (Printf.sprintf "%s: %S answered with a node-tier frame" who line)

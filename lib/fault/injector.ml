@@ -26,6 +26,10 @@ exception Crash of { touch : int }
 
 type node_kill = { node : int; at_op : int }
 
+type txn_phase = [ `Prepare | `Commit ]
+
+type txn_kill = { tk_node : int; phase : txn_phase; at_commit : int }
+
 type t = {
   config : config;
   prng : Prng.t;
@@ -37,6 +41,8 @@ type t = {
   mutable kill_points : node_kill list; (* ascending by at_op, each once *)
   mutable ops : int;
   mutable node_kills : int;
+  mutable txn_kill_points : txn_kill list; (* each consumed once *)
+  mutable commit_rounds : int;
 }
 
 let create ?(config = default_config) ~seed () =
@@ -57,6 +63,8 @@ let create ?(config = default_config) ~seed () =
     kill_points = [];
     ops = 0;
     node_kills = 0;
+    txn_kill_points = [];
+    commit_rounds = 0;
   }
 
 let schedule_crashes t points =
@@ -90,6 +98,36 @@ let note_op ?metrics t =
 
 let ops t = t.ops
 let node_kills t = t.node_kills
+
+(* 2PC-window kills run on a third clock: distributed commit rounds.  A
+   round starts when the coordinator enters phase one; [`Prepare] points
+   fire there (before any prepare is sent), [`Commit] points fire after
+   the commit decision is logged but before the commit fan-out — the
+   classic in-doubt window. *)
+let schedule_txn_kills t kills =
+  t.txn_kill_points <-
+    List.sort_uniq compare (List.filter (fun k -> k.at_commit > t.commit_rounds) kills)
+
+let note_2pc ?metrics t ~(phase : txn_phase) =
+  (match phase with `Prepare -> t.commit_rounds <- t.commit_rounds + 1 | `Commit -> ());
+  let fires, rest =
+    List.partition
+      (fun k -> k.phase = phase && k.at_commit <= t.commit_rounds)
+      t.txn_kill_points
+  in
+  match fires with
+  | [] -> None
+  | k :: dropped ->
+    (* at most one kill per phase entry; later duplicates are dropped *)
+    ignore dropped;
+    t.txn_kill_points <- rest;
+    t.node_kills <- t.node_kills + 1;
+    (match metrics with
+    | Some m -> Metrics.incr m Metrics.Fault_node_kills
+    | None -> ());
+    Some k.tk_node
+
+let commit_rounds t = t.commit_rounds
 
 let backoff_ms config ~attempt =
   Float.min config.backoff_cap_ms

@@ -98,4 +98,35 @@ val ops : t -> int
 (** Routed operations counted so far. *)
 
 val node_kills : t -> int
-(** Node kills fired. *)
+(** Node kills fired (including 2PC-window kills). *)
+
+(** {2 2PC-window kills}
+
+    Kill points inside the two-phase-commit window, on a third logical
+    clock: distributed commit rounds.  The coordinator calls
+    {!note_2pc}[ ~phase:`Prepare] when it enters phase one of a commit
+    (which advances the round counter) and [~phase:`Commit] after the
+    commit decision is logged but before the commit fan-out — so a
+    [`Prepare] kill loses a participant before it can vote (the
+    transaction aborts globally) and a [`Commit] kill opens the classic
+    in-doubt window (the decision log must drive the promoted replica to
+    the committed state). *)
+
+type txn_phase = [ `Prepare | `Commit ]
+
+type txn_kill = { tk_node : int; phase : txn_phase; at_commit : int }
+(** Kill [tk_node] when commit round [at_commit] (1-based) reaches
+    [phase]. *)
+
+val schedule_txn_kills : t -> txn_kill list -> unit
+(** Replace the 2PC kill schedule.  Duplicates and rounds at or below
+    the current counter are dropped; at most one kill fires per phase
+    entry. *)
+
+val note_2pc :
+  ?metrics:Dbproc_obs.Metrics.t -> t -> phase:txn_phase -> int option
+(** Note a 2PC phase entry; [Some node] when a scheduled kill fires
+    (counted as ["fault.node_kills"] in [metrics] when given). *)
+
+val commit_rounds : t -> int
+(** Distributed commit rounds entered so far. *)

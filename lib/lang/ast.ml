@@ -34,6 +34,16 @@ let pp_literal ppf = function
   | L_float f -> Format.fprintf ppf "%g" f
   | L_string s -> Format.fprintf ppf "%S" s
 
+(* Mirror a comparison across its operands: [lit op attr] is the same
+   predicate as [attr (flip op) lit]. *)
+let flip_comparison = function
+  | C_eq -> C_eq
+  | C_ne -> C_ne
+  | C_lt -> C_gt
+  | C_le -> C_ge
+  | C_gt -> C_lt
+  | C_ge -> C_le
+
 let comparison_symbol = function
   | C_eq -> "="
   | C_ne -> "!="

@@ -67,3 +67,8 @@ type command =
 val pp_command : Format.formatter -> command -> unit
 val pp_literal : Format.formatter -> literal -> unit
 val comparison_symbol : comparison -> string
+
+val flip_comparison : comparison -> comparison
+(** Mirror a comparison across its operands: [lit op attr] is the same
+    predicate as [attr (flip_comparison op) lit].  Used to canonicalize
+    mirrored quals ([where 5 = r.k]) at parse time. *)

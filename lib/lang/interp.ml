@@ -735,6 +735,32 @@ let doom_owner l victim =
       end)
     l.clients
 
+(* Acquire every lock in [locks] for [id], resolving deadlocks as they
+   surface: a victim other than [id] is aborted and the acquisition
+   retried; [id] itself losing aborts the caller's transaction. *)
+let acquire_locks l cs id locks =
+  let rec acquire_all = function
+    | [] -> `Go
+    | ((mode, region) :: rest) as all -> (
+      match Tm.acquire l.tm id ~mode region with
+      | Tm.Granted -> acquire_all rest
+      | Tm.Blocked blockers -> `Parked blockers
+      | Tm.Deadlock victim ->
+        if victim = id then begin
+          ignore (Tm.abort ~victim:true l.tm id);
+          cs.txn <- None;
+          cs.implicit <- false;
+          `Self_aborted
+        end
+        else begin
+          ignore (Tm.abort ~victim:true l.tm victim);
+          doom_owner l victim;
+          (* the victim's locks are released — retry the same lock *)
+          acquire_all all
+        end)
+  in
+  acquire_all locks
+
 let exec_txn t ~client (cmd : Ast.command) =
   let l = ensure_layer t in
   let cs = client_of l client in
@@ -785,27 +811,7 @@ let exec_txn t ~client (cmd : Ast.command) =
             cs.implicit <- true;
             id
         in
-        let rec acquire_all = function
-          | [] -> `Go
-          | ((mode, region) :: rest) as all -> (
-            match Tm.acquire l.tm id ~mode region with
-            | Tm.Granted -> acquire_all rest
-            | Tm.Blocked blockers -> `Parked blockers
-            | Tm.Deadlock victim ->
-              if victim = id then begin
-                ignore (Tm.abort ~victim:true l.tm id);
-                cs.txn <- None;
-                cs.implicit <- false;
-                `Self_aborted
-              end
-              else begin
-                ignore (Tm.abort ~victim:true l.tm victim);
-                doom_owner l victim;
-                (* the victim's locks are released — retry the same lock *)
-                acquire_all all
-              end)
-        in
-        match acquire_all locks with
+        match acquire_locks l cs id locks with
         | `Parked blockers -> O_blocked blockers
         | `Self_aborted -> O_aborted "deadlock: transaction aborted (victim)"
         | `Go ->
@@ -944,40 +950,113 @@ let exec_script t script =
 
 let bind_retrieve_projected t r = bind_retrieve_full t r
 
-(* Raw-tuple execution of a [retrieve] or [exec] line for the cluster
-   coordinator: same charging and statement-cache path as the formatted
-   arms of [exec_command_body], but the tuples come back unformatted so a
-   coordinator can merge partitions and digest a sorted multiset.  Runs
-   outside the lock layer — cluster nodes serve exactly one coordinator
-   client and never open transactions. *)
+(* Raw-tuple execution of a [retrieve] or [exec] command body: same
+   charging and statement-cache path as the formatted arms of
+   [exec_command_body], but the tuples come back unformatted so a
+   coordinator can merge partitions and digest a sorted multiset. *)
+let fetch_body t cmd =
+  let run () =
+    match cmd with
+    | Ast.Retrieve r ->
+      let { Stmt_cache.projection; exec; _ } = retrieve_prepared t r in
+      let before = Cost.snapshot t.cost in
+      let tuples = Executor.run_prepared exec in
+      let spent = Cost.diff_ms t.charges ~before ~after:(Cost.snapshot t.cost) in
+      (List.map (project projection) tuples, spent)
+    | Ast.Exec name -> (
+      match List.assoc_opt name t.proc_ids with
+      | None -> error "unknown procedure %S" name
+      | Some id ->
+        let projection =
+          match List.assoc_opt name t.defs with Some (_, p) -> p | None -> None
+        in
+        let before = Cost.snapshot t.cost in
+        let tuples = Manager.access t.manager id in
+        let spent = Cost.diff_ms t.charges ~before ~after:(Cost.snapshot t.cost) in
+        (List.map (project projection) tuples, spent))
+    | _ -> error "fetch: not a tuple-producing statement"
+  in
+  match run () with
+  | result -> Ok result
+  | exception Runtime_error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+(* Lock-free fetch: the pre-transaction fast path.  Once any client has
+   opened a transaction on this session, readers that must respect 2PL
+   should go through [fetch_client] instead. *)
 let fetch t line =
   t.stmt_hint <- None;
   match parse_cached t line with
   | exception Parser.Parse_error msg -> Error msg
   | exception Lexer.Lex_error msg -> Error msg
+  | cmd -> fetch_body t cmd
+
+type fetch_outcome =
+  | F_tuples of Dbproc_relation.Tuple.t list * float
+  | F_error of string
+  | F_blocked of int list
+  | F_aborted of string
+
+(* Raw-tuple fetch under the lock layer: takes the statement's S locks
+   inside [client]'s transaction (autocommitting a single-statement one
+   if none is open), so a distributed transaction's reads are covered by
+   strict 2PL like its writes.  Falls back to the unlocked fast path
+   while no transaction has ever been opened. *)
+let fetch_client t ~client line =
+  t.stmt_hint <- None;
+  match parse_cached t line with
+  | exception Parser.Parse_error msg -> F_error msg
+  | exception Lexer.Lex_error msg -> F_error msg
   | cmd -> (
-    let run () =
-      match cmd with
-      | Ast.Retrieve r ->
-        let { Stmt_cache.projection; exec; _ } = retrieve_prepared t r in
-        let before = Cost.snapshot t.cost in
-        let tuples = Executor.run_prepared exec in
-        let spent = Cost.diff_ms t.charges ~before ~after:(Cost.snapshot t.cost) in
-        (List.map (project projection) tuples, spent)
-      | Ast.Exec name -> (
-        match List.assoc_opt name t.proc_ids with
-        | None -> error "unknown procedure %S" name
-        | Some id ->
-          let projection =
-            match List.assoc_opt name t.defs with Some (_, p) -> p | None -> None
+    match t.layer with
+    | None -> (
+      match fetch_body t cmd with
+      | Ok (tuples, ms) -> F_tuples (tuples, ms)
+      | Error msg -> F_error msg)
+    | Some l ->
+      let cs = client_of l client in
+      if cs.doomed then begin
+        cs.doomed <- false;
+        cs.txn <- None;
+        cs.implicit <- false;
+        F_aborted "transaction aborted: chosen as deadlock victim"
+      end
+      else (
+        match lock_set t cmd with
+        | exception Runtime_error msg -> F_error msg
+        | exception Invalid_argument msg -> F_error msg
+        | locks -> (
+          let id =
+            match cs.txn with
+            | Some id -> id
+            | None ->
+              let id = Tm.begin_ l.tm in
+              cs.txn <- Some id;
+              cs.implicit <- true;
+              id
           in
-          let before = Cost.snapshot t.cost in
-          let tuples = Manager.access t.manager id in
-          let spent = Cost.diff_ms t.charges ~before ~after:(Cost.snapshot t.cost) in
-          (List.map (project projection) tuples, spent))
-      | _ -> error "fetch: not a tuple-producing statement"
-    in
-    match run () with
-    | result -> Ok result
-    | exception Runtime_error msg -> Error msg
-    | exception Invalid_argument msg -> Error msg)
+          match acquire_locks l cs id locks with
+          | `Parked blockers -> F_blocked blockers
+          | `Self_aborted -> F_aborted "deadlock: transaction aborted (victim)"
+          | `Go ->
+            let implicit = cs.implicit in
+            let result = fetch_body t cmd in
+            if implicit then begin
+              ignore (Tm.commit l.tm id);
+              cs.txn <- None;
+              cs.implicit <- false
+            end;
+            (match result with
+            | Ok (tuples, ms) -> F_tuples (tuples, ms)
+            | Error msg -> F_error msg))))
+
+(* Which client owns transaction [id]?  Lets a cluster node translate
+   [O_blocked] holder ids into the coordinator's global transaction ids. *)
+let client_of_txn t id =
+  match t.layer with
+  | None -> None
+  | Some l ->
+    Hashtbl.fold
+      (fun client cs acc ->
+        match acc with Some _ -> acc | None -> if cs.txn = Some id then Some client else None)
+      l.clients None

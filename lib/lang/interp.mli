@@ -118,8 +118,30 @@ val fetch :
 (** Execute a [retrieve] or [exec] line and return the raw result tuples
     plus the simulated milliseconds the execution charged, instead of
     formatted output.  Same charging and statement-cache behavior as
-    {!exec_line}; runs outside the lock layer (cluster nodes serve one
-    coordinator client and never open transactions). *)
+    {!exec_line}; runs outside the lock layer — the fast path while no
+    transaction has ever been opened on the session.  Readers that must
+    respect 2PL go through {!fetch_client}. *)
+
+type fetch_outcome =
+  | F_tuples of Dbproc_relation.Tuple.t list * float
+      (** raw result tuples plus the simulated ms the execution charged *)
+  | F_error of string  (** parse or semantic error *)
+  | F_blocked of int list
+      (** blocked on these transactions before reading anything *)
+  | F_aborted of string
+      (** the client's transaction was aborted as a deadlock victim *)
+
+val fetch_client : t -> client:int -> string -> fetch_outcome
+(** {!fetch} under the lock layer: acquires the statement's S locks
+    inside [client]'s open transaction (or an implicit single-statement
+    one) before reading, so a distributed transaction's reads are covered
+    by strict 2PL like its writes.  Identical to {!fetch} while no
+    transaction has ever been opened. *)
+
+val client_of_txn : t -> int -> int option
+(** Which client owns the given transaction-manager id, if any — lets a
+    cluster node translate {!O_blocked} holder ids into the global
+    transaction ids the coordinator knows. *)
 
 val literal_syntax : Dbproc_relation.Value.t -> string
 (** Print a value as shell literal syntax that re-lexes to the same

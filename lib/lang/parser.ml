@@ -79,16 +79,26 @@ let dotted c =
   (rel, attr)
 
 let qual c =
-  let left = dotted c in
-  let op = comparison c in
-  let right =
-    match c.toks with
-    | IDENT _ :: DOT :: _ ->
-      let r, a = dotted c in
-      Ast.Attr (r, a)
-    | _ -> Ast.Lit (literal c)
-  in
-  { Ast.left; op; right }
+  match c.toks with
+  | (INT _ | FLOAT _ | STRING _) :: _ ->
+    (* Mirrored form [lit op rel.attr]: canonicalize to attr-on-the-left
+       so downstream consumers (evaluation, cluster routing) see one
+       shape. *)
+    let lit = literal c in
+    let op = comparison c in
+    let left = dotted c in
+    { Ast.left; op = Ast.flip_comparison op; right = Ast.Lit lit }
+  | _ ->
+    let left = dotted c in
+    let op = comparison c in
+    let right =
+      match c.toks with
+      | IDENT _ :: DOT :: _ ->
+        let r, a = dotted c in
+        Ast.Attr (r, a)
+      | _ -> Ast.Lit (literal c)
+    in
+    { Ast.left; op; right }
 
 let quals_opt c =
   if peek_keyword c "where" then begin

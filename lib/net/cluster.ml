@@ -134,12 +134,20 @@ let stop p =
 (* ------------------------------------------------------ process cluster *)
 
 type t = {
-  primaries : proc array;
-  replicas : proc option array;
+  primaries : proc array;  (* current primary per slot (rotated on failover) *)
+  replicas : proc option array;  (* current replica per slot *)
+  mutable spares : proc list;  (* warm standbys for re-replication *)
+  mutable all : proc list;  (* every process ever spawned, for teardown *)
 }
 
-let launch ?(base_port = 7500) ?(replicas = true) ~nodes () =
+(* Spares are forked here, up front, because [Unix.fork] is illegal once
+   the caller has spawned domains — and the callers that matter (a
+   self-hosted loadgen, [cluster serve]) put the coordinator behind a
+   multi-domain {!Server}.  A warm standby pool sidesteps the
+   restriction and matches how real clusters re-replicate anyway. *)
+let launch ?(base_port = 7500) ?(replicas = true) ?spares ~nodes () =
   if nodes < 1 then invalid_arg "Cluster.launch: nodes must be >= 1";
+  let spares = Option.value spares ~default:(if replicas then nodes else 0) in
   let primaries =
     Array.init nodes (fun i -> spawn_node ~port:(base_port + (2 * i)) ())
   in
@@ -148,29 +156,50 @@ let launch ?(base_port = 7500) ?(replicas = true) ~nodes () =
         if replicas then Some (spawn_node ~port:(base_port + (2 * i) + 1) ())
         else None)
   in
+  let spare_procs =
+    List.init spares (fun k -> spawn_node ~port:(base_port + (2 * nodes) + k) ())
+  in
   let all =
     Array.to_list primaries
     @ List.filter_map Fun.id (Array.to_list replica_procs)
+    @ spare_procs
   in
   if not (List.for_all wait_ready all) then begin
     List.iter kill all;
     failwith "Cluster.launch: a node server never became ready"
   end;
-  { primaries; replicas = replica_procs }
+  { primaries; replicas = replica_procs; spares = spare_procs; all }
 
 let links t =
   Array.init (Array.length t.primaries) (fun i ->
       (proc_link t.primaries.(i), Option.map proc_link t.replicas.(i)))
 
+(* Killing "node i" always hits the process *currently serving* as the
+   slot's primary — after a failover plus re-replication that is the
+   promoted ex-replica, so a double kill genuinely loses two machines. *)
 let kill_primary t i = kill t.primaries.(i)
 
-let shutdown t =
-  Array.iter stop t.primaries;
-  Array.iter (Option.iter stop) t.replicas
+(* Re-replication over processes: slot [i]'s replica was just promoted,
+   so rotate it into the primary seat and hand the slot a warm standby
+   from the spare pool.  [None] (replica-less slot, or the pool ran dry)
+   leaves the slot running unreplicated. *)
+let spawn_replica t i =
+  match t.replicas.(i) with
+  | None -> None
+  | Some promoted ->
+    t.primaries.(i) <- promoted;
+    (match t.spares with
+    | [] ->
+      t.replicas.(i) <- None;
+      None
+    | p :: rest ->
+      t.spares <- rest;
+      t.replicas.(i) <- Some p;
+      Some (proc_link p))
 
-let pids t =
-  Array.to_list (Array.map (fun p -> p.pid) t.primaries)
-  @ List.filter_map (Option.map (fun p -> p.pid)) (Array.to_list t.replicas)
+let shutdown t = List.iter stop t.all
+
+let pids t = List.map (fun p -> p.pid) t.all
 
 (* ------------------------------------------- coordinator as a backend *)
 
@@ -186,14 +215,20 @@ let pids t =
    the cluster speaks lines, and the coordinator speaks {!Protocol} to
    the node tier on its own connections. *)
 let coordinator_backend ?key_domain ?injector ?(on_kill = fun _ -> ())
-    ~links:mk_links () ctx =
+    ?(spawn_replica = fun _ -> None) ~links:mk_links () ctx =
   let coord =
-    Coordinator.create ~ctx ?key_domain ?injector ~on_kill ~links:(mk_links ()) ()
+    Coordinator.create ~ctx ?key_domain ?injector ~on_kill ~spawn_replica
+      ~links:(mk_links ()) ()
   in
-  let exec_line line =
-    let r = Coordinator.exec coord line in
+  let resp_of (r : Coordinator.result) =
     if r.Coordinator.ok then Protocol.Output r.Coordinator.output
+    else if r.Coordinator.aborted then Protocol.Aborted r.Coordinator.output
     else Protocol.Failed r.Coordinator.output
+  in
+  let exec_line ~client line =
+    match Coordinator.exec_client coord ~client line with
+    | `Done r -> `Resp (resp_of r)
+    | `Park _ -> `Park
   in
   let exec_script script =
     let lines = String.split_on_char '\n' script in
@@ -217,23 +252,26 @@ let coordinator_backend ?key_domain ?injector ?(on_kill = fun _ -> ())
     in
     go 1 lines
   in
-  let b_request ~client:_ (req : Protocol.request) =
-    `Resp
-      (match req with
-      | Protocol.Ping -> Protocol.Pong
-      | Protocol.Exec_line line -> exec_line line
-      | Protocol.Exec_script script -> exec_script script
-      | Protocol.Begin | Protocol.Commit | Protocol.Abort ->
-        Protocol.Failed "transactions are not supported across a cluster"
-      | Protocol.Stats | Protocol.Shutdown ->
-        Protocol.Failed "handled by the event loop"
-      | Protocol.Fetch _ | Protocol.Join_probe _ | Protocol.Wal_pull _
-      | Protocol.Wal_push _ | Protocol.Promote ->
-        Protocol.Failed "node-tier request sent to a coordinator")
+  let b_request ~client (req : Protocol.request) =
+    match req with
+    | Protocol.Ping -> `Resp Protocol.Pong
+    | Protocol.Exec_line line -> exec_line ~client line
+    (* transaction control rides the same per-client line path, exactly
+       as on a single node — [begin] opens a distributed transaction *)
+    | Protocol.Begin -> exec_line ~client "begin"
+    | Protocol.Commit -> exec_line ~client "commit"
+    | Protocol.Abort -> exec_line ~client "abort"
+    | Protocol.Exec_script script -> `Resp (exec_script script)
+    | Protocol.Stats | Protocol.Shutdown ->
+      `Resp (Protocol.Failed "handled by the event loop")
+    | Protocol.Fetch _ | Protocol.Join_probe _ | Protocol.Wal_pull _
+    | Protocol.Wal_push _ | Protocol.Promote | Protocol.Txn_exec _
+    | Protocol.Txn_prepare _ | Protocol.Txn_commit _ | Protocol.Txn_abort _ ->
+      `Resp (Protocol.Failed "node-tier request sent to a coordinator")
   in
   {
     Server.b_request;
-    b_disconnect = (fun ~client:_ -> ());
+    b_disconnect = (fun ~client -> Coordinator.disconnect_client coord ~client);
     b_snapshot = (fun () -> Coordinator.snapshot coord);
     b_sim_ms = (fun () -> Coordinator.sim_ms coord);
   }

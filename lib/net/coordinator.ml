@@ -6,6 +6,9 @@ module Lexer = Dbproc_lang.Lexer
 module Ast = Dbproc_lang.Ast
 module View_def = Dbproc_query.View_def
 module Injector = Dbproc_fault.Injector
+module Cost = Dbproc_storage.Cost
+module Io = Dbproc_storage.Io
+module Wal = Dbproc_storage.Wal
 
 type link = Protocol.request -> (Protocol.response, string) result
 
@@ -21,7 +24,36 @@ type rel_info = {
   attrs : (string * Ast.ty) list;  (* declared schema; attr 0 partitions *)
 }
 
-type result = { output : string; ok : bool; digest : string option }
+type result = {
+  output : string;
+  ok : bool;
+  digest : string option;
+  aborted : bool;
+}
+
+(* A distributed transaction open at the coordinator.  Statements are
+   routed as they arrive; each touched node becomes a participant, and
+   the replicable statements are remembered per node so a decided-commit
+   transaction can be re-applied to a promoted replica that never heard
+   the commit (in-doubt resolution). *)
+type ctxn = {
+  gtid : int;  (* global transaction id; larger = younger *)
+  owner_client : int;
+  mutable participants : int list;  (* reversed first-touch order *)
+  mutable tstmts : (int * string) list;  (* (node, statement), reversed *)
+  mutable deltas : (string * int) list;  (* rel-count deltas, for rollback *)
+  mutable doomed : string option;  (* forced-abort reason (failover) *)
+}
+
+(* A logged commit decision.  [d_durable] lists the participants whose
+   branch is known committed-and-shipped; promotion of any other
+   participant replays [d_stmts] for that node off this record. *)
+type decision = {
+  d_gtid : int;
+  d_participants : int list;
+  d_stmts : (int * string) list;  (* execution order *)
+  mutable d_durable : int list;
+}
 
 type t = {
   ctx : Ctx.t;
@@ -29,6 +61,9 @@ type t = {
   key_domain : int;
   injector : Injector.t option;
   on_kill : int -> unit;
+  spawn_replica : int -> link option;
+      (* re-replication after failover: a fresh, empty replica link for
+         slot [i], or [None] to run unreplicated from then on *)
   scratch : Interp.t;
       (* binder twin: replays DDL only, never holds data — resolves
          names, types and join structure with single-node error parity *)
@@ -36,10 +71,27 @@ type t = {
       (* accumulated per-statement max-across-nodes simulated ms *)
   rels : (string, rel_info) Hashtbl.t;
   procs : (string, Ast.retrieve) Hashtbl.t;
+  mutable next_gtid : int;
+  ctxns : (int, ctxn) Hashtbl.t;  (* client -> open distributed txn *)
+  victims : (int, string) Hashtbl.t;
+      (* clients whose transaction was aborted from under them (deadlock
+         victim chosen while parked): the next statement reports the
+         abort instead of silently running autocommit *)
+  waits : (int, int list) Hashtbl.t;  (* gtid -> blocker gtids *)
+  mutable decisions : decision list;  (* newest first *)
+  dlog : string Wal.t;  (* coordinator decision log: "commit <gtid>" *)
 }
 
+(* Statement execution unwinds through these when a node reports a lock
+   conflict or a local abort; [exec_client] catches both at the top. *)
+exception Stmt_blocked of int list  (* holder gtids, -1 for non-txn holders *)
+exception Stmt_aborted of string
+
+let parse_holders s =
+  List.filter_map int_of_string_opt (String.split_on_char ' ' (String.trim s))
+
 let create ?ctx ?(key_domain = 1_000_000) ?injector ?(on_kill = fun _ -> ())
-    ~links () =
+    ?(spawn_replica = fun _ -> None) ~links () =
   if Array.length links = 0 then invalid_arg "Coordinator.create: no nodes";
   if key_domain < 1 then invalid_arg "Coordinator.create: key_domain must be >= 1";
   let ctx = match ctx with Some c -> c | None -> Ctx.create () in
@@ -52,10 +104,20 @@ let create ?ctx ?(key_domain = 1_000_000) ?injector ?(on_kill = fun _ -> ())
     key_domain;
     injector;
     on_kill;
+    spawn_replica;
     scratch = Interp.create ~ctx ~plan_cache:false ();
     fetched_ms = 0.0;
     rels = Hashtbl.create 16;
     procs = Hashtbl.create 16;
+    next_gtid = 1;
+    ctxns = Hashtbl.create 8;
+    victims = Hashtbl.create 8;
+    waits = Hashtbl.create 8;
+    decisions = [];
+    dlog =
+      Wal.create
+        ~io:(Io.direct (Cost.create ~ctx ()) ~page_bytes:4000)
+        ~record_bytes:100 ();
   }
 
 let ctx t = t.ctx
@@ -73,15 +135,95 @@ let sim_ms t = Interp.simulated_ms t.scratch +. t.fetched_ms
 
 (* ------------------------------------------------------------ failover *)
 
+(* A replica that refuses a push or dies mid-ship is dropped and the slot
+   runs unreplicated — counted, so a strict reconciliation can tell a
+   durable cluster from one that silently degraded. *)
+let drop_replica t slot =
+  slot.replica <- None;
+  Metrics.incr (m t) Metrics.Repl_dropped
+
+(* Ship the primary's unshipped replication-log tail to the replica.
+   Used after commit fan-out and re-replication; a pull failure leaves
+   [shipped] alone (the next mutation retries), a push failure drops the
+   replica. *)
+let ship_slot t i =
+  let slot = t.slots.(i) in
+  match slot.replica with
+  | None -> ()
+  | Some rep -> (
+    match slot.primary (Protocol.Wal_pull (string_of_int slot.shipped)) with
+    | Ok (Protocol.Wal_records body) -> (
+      match rep (Protocol.Wal_push body) with
+      | Ok (Protocol.Output _) -> (
+        match Wire.parse_records_body body with
+        | records ->
+          List.iter
+            (fun (lsn, _) -> if lsn >= slot.shipped then slot.shipped <- lsn + 1)
+            records
+        | exception Wire.Malformed _ -> ())
+      | Ok _ | Error _ -> drop_replica t slot)
+    | Ok _ | Error _ -> ())
+
+(* Losing node [i] kills every local branch it hosted: transactions still
+   open at the coordinator with [i] among their participants can never
+   commit.  They are doomed rather than aborted in place — the owning
+   client learns on its next statement (or commit), which fans the abort
+   out to the surviving participants. *)
+let doom_open_txns t i =
+  Hashtbl.iter
+    (fun _ cx ->
+      if cx.doomed = None && List.mem i cx.participants then
+        cx.doomed <- Some (Printf.sprintf "participant node %d failed" i))
+    t.ctxns
+
+(* Re-apply one decided-commit transaction's statements for node [i],
+   straight through the autocommit path (each statement re-logs to the
+   promoted primary's rlog, so it ships onward to any fresh replica). *)
+let reapply t d i =
+  List.iter
+    (fun (nd, stmt) ->
+      if nd = i then ignore (t.slots.(i).primary (Protocol.Exec_line stmt)))
+    d.d_stmts;
+  d.d_durable <- i :: d.d_durable;
+  Metrics.incr (m t) Metrics.Txn2pc_in_doubt_resolved
+
+(* In-doubt resolution: a freshly promoted primary replayed only the
+   *shipped* log, which never contains a distributed branch that had not
+   committed locally.  Every decided-commit transaction this node
+   participated in but is not yet durable on is replayed here, oldest
+   first, off the coordinator's decision log — the kill-between-prepare-
+   and-commit window closes to "committed everywhere". *)
+let resolve_in_doubt t i =
+  List.iter
+    (fun d ->
+      if List.mem i d.d_participants && not (List.mem i d.d_durable) then
+        reapply t d i)
+    (List.rev t.decisions)
+
+(* Close the durability gap after failover: attach a fresh, empty replica
+   to the promoted primary and ship the full re-logged history, so the
+   slot survives a *second* kill. *)
+let attach_replica t i =
+  match t.spawn_replica i with
+  | None -> ()
+  | Some rep ->
+    let slot = t.slots.(i) in
+    slot.replica <- Some rep;
+    slot.shipped <- 0;
+    Metrics.incr (m t) Metrics.Repl_replicas_attached;
+    ship_slot t i
+
 (* Promote node [i]'s replica to primary.  The replica replays its whole
    received log through its session (charged), after which it serves the
-   full partition.  No second replica is spun up: a later loss of the
-   same node leaves a keyspace hole and the slot goes down for good. *)
+   full partition; then open transactions that lost a branch here are
+   doomed, decided commits it missed are re-applied, and a fresh replica
+   is attached (when the cluster can spawn one). *)
 let promote_replica t i =
   let slot = t.slots.(i) in
   match slot.replica with
   | None ->
     slot.down <- true;
+    doom_open_txns t i;
     None
   | Some r -> (
     slot.replica <- None;
@@ -89,9 +231,13 @@ let promote_replica t i =
     | Ok (Protocol.Output _) ->
       slot.primary <- r;
       Metrics.incr (m t) Metrics.Cluster_failovers;
+      doom_open_txns t i;
+      resolve_in_doubt t i;
+      attach_replica t i;
       Some r
     | Ok _ | Error _ ->
       slot.down <- true;
+      doom_open_txns t i;
       None)
 
 (* A scheduled (or manual) whole-node kill: take the primary down via the
@@ -151,6 +297,8 @@ let exec_mut t i line =
       in
       match slot.primary (Protocol.Exec_line line) with
       | Error _ -> refail ()
+      | Ok (Protocol.Blocked s) -> raise (Stmt_blocked (parse_holders s))
+      | Ok (Protocol.Aborted msg) -> raise (Stmt_aborted msg)
       | Ok (Protocol.Failed _ as resp) -> Ok resp (* no mutation, nothing to ship *)
       | Ok (Protocol.Output _ as resp) -> (
         match slot.replica with
@@ -170,10 +318,10 @@ let exec_mut t i line =
               Ok resp
             | Ok _ | Error _ ->
               (* replica refused or died: run unreplicated from here on *)
-              slot.replica <- None;
+              drop_replica t slot;
               Ok resp)
           | Ok _ ->
-            slot.replica <- None;
+            drop_replica t slot;
             Ok resp))
       | Ok resp -> Ok resp
   in
@@ -199,7 +347,14 @@ let owner t v =
   in
   match v with
   | Value.Int k -> of_int k
-  | Value.Float f -> of_int (int_of_float f)
+  | Value.Float f ->
+    (* [int_of_float] on nan/±infinity is unspecified — clamp the
+       non-finite and out-of-range cases deterministically so routing
+       stays a total function of the value. *)
+    if Float.is_nan f then 0
+    else if f < 0.0 then 0
+    else if f >= float_of_int t.key_domain then n - 1
+    else of_int (int_of_float f)
   | Value.Str s -> Hashtbl.hash s mod n
 
 let all_nodes t = List.init (Array.length t.slots) Fun.id
@@ -234,8 +389,14 @@ let target_nodes t rel quals =
     Metrics.incr (m t) Metrics.Cluster_stmts_broadcast;
     all_nodes t
 
-let fail fmt = Format.kasprintf (fun output -> { output; ok = false; digest = None }) fmt
-let ok_out output = { output; ok = true; digest = None }
+let fail fmt =
+  Format.kasprintf
+    (fun output -> { output; ok = false; digest = None; aborted = false })
+    fmt
+
+let ok_out output = { output; ok = true; digest = None; aborted = false }
+
+let aborted_result output = { output; ok = false; digest = None; aborted = true }
 
 let op_syntax = function
   | Predicate.Eq -> "="
@@ -272,6 +433,8 @@ let fetch_from t nodes stmt =
       match call t i (Protocol.Fetch stmt) with
       | Error e -> Error e
       | Ok (Protocol.Failed msg) -> Error msg
+      | Ok (Protocol.Blocked s) -> raise (Stmt_blocked (parse_holders s))
+      | Ok (Protocol.Aborted msg) -> raise (Stmt_aborted msg)
       | Ok (Protocol.Tuples body) -> (
         match Wire.parse_tuples_body body with
         | node_ms, tuples ->
@@ -291,6 +454,8 @@ let probe_from t nodes ~attr ~stmt keys =
       match call t i (Protocol.Join_probe body) with
       | Error e -> Error e
       | Ok (Protocol.Failed msg) -> Error msg
+      | Ok (Protocol.Blocked s) -> raise (Stmt_blocked (parse_holders s))
+      | Ok (Protocol.Aborted msg) -> raise (Stmt_aborted msg)
       | Ok (Protocol.Tuples reply) -> (
         match Wire.parse_tuples_body reply with
         | node_ms, tuples ->
@@ -374,6 +539,7 @@ let tuple_result t ?suffix tuples ms =
         (match suffix with None -> "" | Some s -> ", " ^ s);
     ok = true;
     digest = Some (Wire.digest_tuples tuples);
+    aborted = false;
   }
 
 (* Cross-shard join: with two sources equi-joined we ship the smaller
@@ -661,6 +827,8 @@ let route_cmd t line (cmd : Ast.command) =
     match call t 0 (Protocol.Exec_line line) with
     | Ok (Protocol.Output out) -> ok_out out
     | Ok (Protocol.Failed msg) -> fail "%s" msg
+    | Ok (Protocol.Blocked s) -> raise (Stmt_blocked (parse_holders s))
+    | Ok (Protocol.Aborted msg) -> raise (Stmt_aborted msg)
     | Ok _ -> fail "unexpected response from node 0"
     | Error e -> fail "%s" e)
   | Ast.Reset_cost ->
@@ -677,9 +845,344 @@ let route_cmd t line (cmd : Ast.command) =
     go (all_nodes t)
   | Ast.Save _ -> fail "save is not supported on a cluster"
   | Ast.Begin | Ast.Commit | Ast.Abort ->
-    fail "transactions are not supported across a cluster"
+    (* handled by [exec_client] before routing; reaching here means a
+       caller bypassed the transaction layer *)
+    fail "internal: transaction control escaped the 2PC layer"
 
-let exec t line =
+(* ------------------------------------------ distributed transactions *)
+
+(* 2PC over the nodes' 2PL branches.  The coordinator is the transaction
+   manager: it allocates global ids, tracks the participant set as
+   statements route, runs presumed-abort two-phase commit, and resolves
+   in-doubt transactions off its decision log when a replica is
+   promoted.  Gtid order doubles as age order — larger is younger, which
+   is what the deadlock victim choice keys on. *)
+
+let enlist t cx i =
+  if not (List.mem i cx.participants) then begin
+    cx.participants <- i :: cx.participants;
+    Metrics.incr (m t) Metrics.Txn2pc_participants
+  end
+
+(* Global abort: fan [Txn_abort] to every participant (presumed abort —
+   a node that never enlisted, or already dropped the branch, aborts
+   trivially), roll the coordinator's cardinality cache back, and forget
+   the transaction. *)
+let abort_ctxn t cx =
+  let gtid = string_of_int cx.gtid in
+  List.iter
+    (fun i ->
+      let slot = t.slots.(i) in
+      if not slot.down then ignore (slot.primary (Protocol.Txn_abort gtid)))
+    (List.rev cx.participants);
+  List.iter
+    (fun (rel, d) ->
+      match Hashtbl.find_opt t.rels rel with
+      | Some info -> info.count <- info.count - d
+      | None -> ())
+    cx.deltas;
+  Hashtbl.remove t.ctxns cx.owner_client;
+  Hashtbl.remove t.waits cx.gtid;
+  Metrics.incr (m t) Metrics.Txn2pc_aborts
+
+(* Either the statement failed ordinarily, or the node it needed died
+   mid-transaction (dooming the whole transaction on promotion). *)
+let txn_error cx msg =
+  match cx.doomed with
+  | Some reason -> raise (Stmt_aborted ("transaction aborted: " ^ reason))
+  | None -> fail "%s" msg
+
+(* Route one statement to node [i] under the transaction.  No
+   failover-retry here: if the primary dies, the branch (and its locks
+   and effects) died with it — promotion dooms the transaction and the
+   caller aborts it globally. *)
+let txn_send t cx i line =
+  enlist t cx i;
+  let slot = t.slots.(i) in
+  if slot.down then Error (node_error i)
+  else
+    match
+      slot.primary (Protocol.Txn_exec (string_of_int cx.gtid ^ " " ^ line))
+    with
+    | Error _ ->
+      ignore (promote_replica t i);
+      Error (node_error i)
+    | Ok resp -> Ok resp
+
+let txn_mut t cx i line =
+  match txn_send t cx i line with
+  | Error e -> Error e
+  | Ok (Protocol.Output out) ->
+    if Node.replicable line then cx.tstmts <- (i, line) :: cx.tstmts;
+    Ok out
+  | Ok (Protocol.Blocked s) -> raise (Stmt_blocked (parse_holders s))
+  | Ok (Protocol.Aborted msg) -> raise (Stmt_aborted msg)
+  | Ok (Protocol.Failed msg) -> Error msg
+  | Ok _ -> Error (Printf.sprintf "unexpected response from node %d" i)
+
+(* Fetch-and-merge under the transaction: like [fetch_from] but through
+   [Txn_exec], so partition reads take S locks inside the branch. *)
+let txn_fetch_from t cx nodes stmt =
+  let rec go acc ms = function
+    | [] -> Ok (List.concat (List.rev acc), ms)
+    | i :: rest -> (
+      match txn_send t cx i stmt with
+      | Error e -> Error e
+      | Ok (Protocol.Failed msg) -> Error msg
+      | Ok (Protocol.Blocked s) -> raise (Stmt_blocked (parse_holders s))
+      | Ok (Protocol.Aborted msg) -> raise (Stmt_aborted msg)
+      | Ok (Protocol.Tuples body) -> (
+        match Wire.parse_tuples_body body with
+        | node_ms, tuples ->
+          let n = List.length tuples in
+          if n > 0 then Metrics.incr ~n (m t) Metrics.Cluster_tuples_shipped;
+          go (tuples :: acc) (Float.max ms node_ms) rest
+        | exception Wire.Malformed msg -> Error ("bad tuples body: " ^ msg))
+      | Ok _ -> Error "unexpected response to fetch")
+  in
+  go [] 0.0 nodes
+
+let txn_retrieve t cx line (r : Ast.retrieve) ~suffix =
+  match Interp.bind_retrieve_projected t.scratch r with
+  | exception Interp.Runtime_error msg -> fail "%s" msg
+  | def, _projection -> (
+    match View_def.sources def with
+    | [ _ ] -> (
+      let rel = Relation.name (List.hd (View_def.relations def)) in
+      match txn_fetch_from t cx (target_nodes t rel r.Ast.quals) line with
+      | Error e -> txn_error cx e
+      | Ok (tuples, ms) -> tuple_result t ?suffix tuples ms)
+    | _ ->
+      fail "cross-shard joins are not supported inside a distributed transaction")
+
+(* Statement routing inside an open transaction.  Mutations must resolve
+   to a single owning node (a broadcast delete could not be undone
+   exactly-once across promotions); reads may broadcast — they are
+   idempotent and their S locks are per-branch anyway. *)
+let txn_route t cx line (cmd : Ast.command) =
+  match cmd with
+  | Ast.Append { rel; values } -> (
+    match Hashtbl.find_opt t.rels rel with
+    | None -> fail "unknown relation %S" rel
+    | Some info -> (
+      let dest =
+        match partition_attr t rel with
+        | Some pattr -> (
+          match List.assoc_opt pattr values with
+          | Some lit -> owner t (value_of_literal lit)
+          | None -> 0 (* node 0 reports the missing-attribute error *))
+        | None -> 0
+      in
+      Metrics.incr (m t) Metrics.Cluster_stmts_routed;
+      match txn_mut t cx dest line with
+      | Error e -> txn_error cx e
+      | Ok _ ->
+        info.count <- info.count + 1;
+        cx.deltas <- (rel, 1) :: cx.deltas;
+        ok_out (Printf.sprintf "appended 1 tuple to %s (%d total)" rel info.count)))
+  | Ast.Delete { rel; quals } -> (
+    match Hashtbl.find_opt t.rels rel with
+    | None -> fail "unknown relation %S" rel
+    | Some info -> (
+      if not (quals_local rel quals) then
+        fail "delete restriction must reference only %s" rel
+      else
+        match point_node t rel quals with
+        | None ->
+          fail
+            "a delete inside a distributed transaction must pin %s's partition \
+             attribute with '='"
+            rel
+        | Some i -> (
+          Metrics.incr (m t) Metrics.Cluster_stmts_routed;
+          match txn_mut t cx i line with
+          | Error e -> txn_error cx e
+          | Ok out -> (
+            match scan_count "deleted %d tuples from %s" out with
+            | None -> fail "unparseable delete output from node %d" i
+            | Some n ->
+              info.count <- info.count - n;
+              cx.deltas <- (rel, -n) :: cx.deltas;
+              ok_out (Printf.sprintf "deleted %d tuples from %s" n rel)))))
+  | Ast.Replace { rel; values; quals } -> (
+    match Hashtbl.find_opt t.rels rel with
+    | None -> fail "unknown relation %S" rel
+    | Some _ -> (
+      if not (quals_local rel quals) then
+        fail "replace restriction must reference only %s" rel
+      else
+        let rehomes =
+          match partition_attr t rel with
+          | Some pattr -> List.mem_assoc pattr values
+          | None -> false
+        in
+        if rehomes then
+          fail
+            "replacing the partition attribute inside a distributed transaction \
+             is not supported"
+        else
+          match point_node t rel quals with
+          | None ->
+            fail
+              "a replace inside a distributed transaction must pin %s's \
+               partition attribute with '='"
+              rel
+          | Some i -> (
+            Metrics.incr (m t) Metrics.Cluster_stmts_routed;
+            match txn_mut t cx i line with
+            | Error e -> txn_error cx e
+            | Ok out -> (
+              match scan_count "replaced %d tuples in %s" out with
+              | None -> fail "unparseable replace output from node %d" i
+              | Some n -> ok_out (Printf.sprintf "replaced %d tuples in %s" n rel)))))
+  | Ast.Retrieve r -> txn_retrieve t cx line r ~suffix:None
+  | Ast.Exec name -> (
+    match Hashtbl.find_opt t.procs name with
+    | None -> fail "unknown procedure %S" name
+    | Some body ->
+      let suffix = Some (Interp.strategy_name t.scratch) in
+      txn_retrieve t cx line body ~suffix)
+  | Ast.Create _ | Ast.Index _ | Ast.Define_proc _ | Ast.Strategy _ ->
+    fail "DDL is not supported inside a distributed transaction"
+  | Ast.Explain _ | Ast.Show _ | Ast.Help | Ast.Reset_cost ->
+    fail "not supported inside a distributed transaction"
+  | Ast.Save _ -> fail "save is not supported on a cluster"
+  | Ast.Begin -> fail "a transaction is already open"
+  | Ast.Commit | Ast.Abort ->
+    fail "internal: transaction control escaped the 2PC layer"
+
+(* Two-phase commit, presumed abort.  Phase one sends [Txn_prepare] to
+   every participant: yes iff the local branch is still live.  All-yes
+   logs the decision (the commit point) and registers the decision
+   record; phase two fans [Txn_commit] out and ships each node's
+   replication log.  A participant lost after the decision is repaired
+   on promotion by [resolve_in_doubt] — the classic in-doubt window the
+   seeded kill points exercise. *)
+let commit_ctxn t cx =
+  let gtid = string_of_int cx.gtid in
+  let participants = List.rev cx.participants in
+  Hashtbl.remove t.waits cx.gtid;
+  (match t.injector with
+  | Some inj -> (
+    match Injector.note_2pc ~metrics:(m t) inj ~phase:`Prepare with
+    | Some node -> kill_node t node
+    | None -> ())
+  | None -> ());
+  match cx.doomed with
+  | Some reason ->
+    abort_ctxn t cx;
+    aborted_result ("transaction aborted: " ^ reason)
+  | None ->
+    let vote_yes i =
+      let slot = t.slots.(i) in
+      if slot.down then false
+      else begin
+        Metrics.incr (m t) Metrics.Txn2pc_prepares;
+        match slot.primary (Protocol.Txn_prepare gtid) with
+        | Ok (Protocol.Output _) -> true
+        | Ok _ -> false
+        | Error _ ->
+          ignore (promote_replica t i);
+          false
+      end
+    in
+    if not (List.for_all vote_yes participants) then begin
+      abort_ctxn t cx;
+      aborted_result "transaction aborted: a participant voted no"
+    end
+    else begin
+      (* the commit point: decision logged, outcome fixed *)
+      ignore (Wal.append t.dlog ("commit " ^ gtid));
+      let d =
+        {
+          d_gtid = cx.gtid;
+          d_participants = participants;
+          d_stmts = List.rev cx.tstmts;
+          d_durable = [];
+        }
+      in
+      t.decisions <- d :: t.decisions;
+      Metrics.incr (m t) Metrics.Txn2pc_commits;
+      Hashtbl.remove t.ctxns cx.owner_client;
+      (match t.injector with
+      | Some inj -> (
+        match Injector.note_2pc ~metrics:(m t) inj ~phase:`Commit with
+        | Some node -> kill_node t node
+        | None -> ())
+      | None -> ());
+      List.iter
+        (fun i ->
+          if not (List.mem i d.d_durable) then begin
+            let slot = t.slots.(i) in
+            if not slot.down then
+              match slot.primary (Protocol.Txn_commit gtid) with
+              | Ok (Protocol.Output _) ->
+                d.d_durable <- i :: d.d_durable;
+                ship_slot t i
+              | Ok _ ->
+                (* a promoted primary with no branch: repair in place *)
+                reapply t d i;
+                ship_slot t i
+              | Error _ ->
+                (* promotion resolves this decision via the in-doubt sweep *)
+                ignore (promote_replica t i)
+          end)
+        participants;
+      ok_out "committed"
+    end
+
+(* Coordinator-side deadlock handling over the blocked statement's holder
+   gtids: maintain a waits-for graph, and on a cycle abort the youngest
+   transaction on it globally.  Holders outside any distributed
+   transaction (gtid -1) have no edges — a cycle through them cannot be
+   broken here and the statement just parks. *)
+let find_ctxn_by_gtid t g =
+  Hashtbl.fold
+    (fun _ cx acc -> if cx.gtid = g then Some cx else acc)
+    t.ctxns None
+
+let detect_cycle t start =
+  let visited = Hashtbl.create 8 in
+  let rec dfs g path =
+    if g = start && path <> [] then Some path
+    else if Hashtbl.mem visited g then None
+    else begin
+      Hashtbl.add visited g ();
+      match Hashtbl.find_opt t.waits g with
+      | None -> None
+      | Some holders -> List.find_map (fun h -> dfs h (h :: path)) holders
+    end
+  in
+  dfs start []
+
+let resolve_blocked t cx holders =
+  let holders = List.filter (fun h -> h >= 0 && h <> cx.gtid) holders in
+  Hashtbl.replace t.waits cx.gtid holders;
+  match detect_cycle t cx.gtid with
+  | None -> `Park
+  | Some cycle ->
+    Metrics.incr (m t) Metrics.Deadlock_cycles;
+    let victim = List.fold_left max cx.gtid cycle in
+    Metrics.incr (m t) Metrics.Deadlock_victims;
+    if victim = cx.gtid then `Self_abort
+    else (
+      match find_ctxn_by_gtid t victim with
+      | Some vcx ->
+        abort_ctxn t vcx;
+        (* the victim's owner is parked elsewhere: leave a tombstone so
+           its next statement reports the abort (single-node sessions
+           learn the same way, via the doomed flag) *)
+        Hashtbl.replace t.victims vcx.owner_client
+          "deadlock: transaction aborted (victim)";
+        `Retry
+      | None -> `Park)
+
+(* The transaction-aware entry point.  [client] is the caller's session
+   identity (a server passes its connection id); each client has at most
+   one open distributed transaction.  [`Park] means the statement blocked
+   on live transactions and should be retried verbatim — exactly the
+   single-node server's parking contract, lifted to the cluster. *)
+let exec_client t ~client line =
   (match t.injector with
   | Some inj -> (
     match Injector.note_op ~metrics:(m t) inj with
@@ -687,9 +1190,86 @@ let exec t line =
     | None -> ())
   | None -> ());
   match Parser.parse_command line with
-  | exception Parser.Parse_error msg -> fail "%s" msg
-  | exception Lexer.Lex_error msg -> fail "%s" msg
-  | cmd -> route_cmd t line cmd
+  | exception Parser.Parse_error msg -> `Done (fail "%s" msg)
+  | exception Lexer.Lex_error msg -> `Done (fail "%s" msg)
+  | cmd -> (
+    match Hashtbl.find_opt t.ctxns client with
+    | None when Hashtbl.mem t.victims client ->
+      (* the transaction was aborted from under this client (deadlock
+         victim chosen while it was parked): report that once *)
+      let reason = Hashtbl.find t.victims client in
+      Hashtbl.remove t.victims client;
+      `Done (aborted_result reason)
+    | None -> (
+      match cmd with
+      | Ast.Begin ->
+        let gtid = t.next_gtid in
+        t.next_gtid <- gtid + 1;
+        Hashtbl.replace t.ctxns client
+          {
+            gtid;
+            owner_client = client;
+            participants = [];
+            tstmts = [];
+            deltas = [];
+            doomed = None;
+          };
+        Metrics.incr (m t) Metrics.Txn2pc_begins;
+        `Done (ok_out "transaction started")
+      | Ast.Commit | Ast.Abort -> `Done (fail "no open transaction")
+      | _ -> (
+        match route_cmd t line cmd with
+        | r -> `Done r
+        | exception Stmt_blocked holders -> `Park holders
+        | exception Stmt_aborted msg -> `Done (aborted_result msg)))
+    | Some cx -> (
+      match cx.doomed with
+      | Some reason ->
+        abort_ctxn t cx;
+        `Done (aborted_result ("transaction aborted: " ^ reason))
+      | None -> (
+        match cmd with
+        | Ast.Begin -> `Done (fail "a transaction is already open")
+        | Ast.Commit -> `Done (commit_ctxn t cx)
+        | Ast.Abort ->
+          abort_ctxn t cx;
+          `Done (ok_out "aborted")
+        | _ ->
+          (* bounded victim-abort retries: each round either makes
+             progress or parks; the bound only guards surprises *)
+          let rec attempt budget =
+            match txn_route t cx line cmd with
+            | r ->
+              Hashtbl.remove t.waits cx.gtid;
+              `Done r
+            | exception Stmt_blocked holders -> (
+              match resolve_blocked t cx holders with
+              | `Park -> `Park holders
+              | `Retry -> if budget = 0 then `Park holders else attempt (budget - 1)
+              | `Self_abort ->
+                abort_ctxn t cx;
+                `Done (aborted_result "deadlock: transaction aborted (victim)"))
+            | exception Stmt_aborted msg ->
+              (* the local branch died (node-side deadlock victim or a
+                 lost participant): finish the global abort *)
+              abort_ctxn t cx;
+              `Done (aborted_result msg)
+          in
+          attempt 8)))
+
+(* Single-driver compatibility entry point: everything runs as client 0.
+   A park here means waiting on a transaction only this same driver could
+   finish, so it surfaces as an error rather than spinning. *)
+let exec t line =
+  match exec_client t ~client:0 line with
+  | `Done r -> r
+  | `Park _ -> fail "blocked on a concurrent transaction"
+
+let disconnect_client t ~client =
+  Hashtbl.remove t.victims client;
+  match Hashtbl.find_opt t.ctxns client with
+  | Some cx -> abort_ctxn t cx
+  | None -> ()
 
 (* -------------------------------------------------------- cluster view *)
 
@@ -771,8 +1351,9 @@ let node_link node =
           | Dbproc_lang.Interp.O_ok out -> Protocol.Output out
           | Dbproc_lang.Interp.O_error msg -> Protocol.Failed msg
           | Dbproc_lang.Interp.O_aborted msg -> Protocol.Aborted msg
-          | Dbproc_lang.Interp.O_blocked _ ->
-            Protocol.Failed "blocked on a concurrent transaction")
+          | Dbproc_lang.Interp.O_blocked blockers ->
+            Protocol.Blocked
+              (String.concat " " (Node.blocker_gtids node blockers)))
         | Protocol.Exec_script s -> (
           match Node.exec_script node s with
           | Ok out -> Protocol.Output out
@@ -805,13 +1386,29 @@ let create_local ?ctx ?key_domain ?injector ?(replicas = true) ~nodes:n () =
     Array.init n (fun i ->
         (fst prim_links.(i), Option.map fst repl_links.(i)))
   in
-  let kill_switches = Array.map snd prim_links in
+  (* [cur_switch] always kills the node *currently serving* as slot i's
+     primary, [rep_switch] its current replica — so a second kill of the
+     same slot takes down the promoted node, not the corpse. *)
+  let cur_switch = Array.map snd prim_links in
+  let rep_switch =
+    Array.map (function Some (_, k) -> Some k | None -> None) repl_links
+  in
+  let spawn_replica i =
+    match rep_switch.(i) with
+    | None -> None
+    | Some promoted_switch ->
+      cur_switch.(i) <- promoted_switch;
+      let nd = Node.create () in
+      let link, switch = node_link nd in
+      rep_switch.(i) <- Some switch;
+      Some link
+  in
   let coord =
     create ?ctx ?key_domain ?injector
-      ~on_kill:(fun i -> kill_switches.(i) ())
-      ~links ()
+      ~on_kill:(fun i -> cur_switch.(i) ())
+      ~spawn_replica ~links ()
   in
-  { coord; nodes = primaries; kill_switches }
+  { coord; nodes = primaries; kill_switches = cur_switch }
 
 let coordinator l = l.coord
 let local_node l i = l.nodes.(i)

@@ -34,12 +34,30 @@
     the replica is promoted (it replays the shipped log) and the
     in-flight statement retries exactly once — exactly-once, because a
     mutation is acknowledged only after its ship completed, so an
-    unshipped statement is provably absent from the replica.  A slot
-    that loses its last link goes {e down} and answers errors.
+    unshipped statement is provably absent from the replica.  After a
+    successful promotion the coordinator asks [spawn_replica] for a
+    fresh replica, attaches it to the promoted primary and ships the
+    re-logged history, so the slot survives a second kill; without one
+    the slot runs unreplicated ([repl.dropped] counts replicas lost
+    mid-ship as well).  A slot that loses its last link goes {e down}
+    and answers errors.
 
-    Transactions and [save] are refused: the cluster has no distributed
-    commit.  Everything is counted under [cluster.*] / [repl.*] /
-    [fault.node_kills] in the coordinator's context. *)
+    {b Distributed transactions.}  The coordinator doubles as the 2PC
+    transaction manager: [begin] on a client allocates a global
+    transaction id, statements route to participant branches
+    ({!Protocol.Txn_exec}), and [commit] runs presumed-abort two-phase
+    commit — prepare votes, a decision record appended to the
+    coordinator's own decision log (the commit point), then commit
+    fan-out with synchronous shipping.  A participant lost between
+    prepare and commit is repaired at promotion by replaying the decided
+    transaction's statements off the decision log (in-doubt resolution).
+    Blocked statements surface as [`Park] exactly like the single-node
+    server's parking contract; a coordinator-side waits-for graph over
+    the holder gtids aborts the youngest transaction on a cycle.
+    Counted under [txn2pc.*].
+
+    [save] is refused.  Everything else is counted under [cluster.*] /
+    [repl.*] / [fault.node_kills] in the coordinator's context. *)
 
 type link = Protocol.request -> (Protocol.response, string) result
 
@@ -50,6 +68,7 @@ val create :
   ?key_domain:int ->
   ?injector:Dbproc_fault.Injector.t ->
   ?on_kill:(int -> unit) ->
+  ?spawn_replica:(int -> link option) ->
   links:(link * link option) array ->
   unit ->
   t
@@ -57,14 +76,39 @@ val create :
     1_000_000, matching {!Loadgen}) bounds the integer key space the
     range partitioning divides.  [injector] is consulted before every
     statement; a scheduled node kill fires [on_kill i] (e.g. a process
-    kill or an in-process kill switch) and promotes [i]'s replica. *)
+    kill or an in-process kill switch) and promotes [i]'s replica.
+    [spawn_replica i] (default [fun _ -> None]) supplies a fresh, empty
+    replica link attached to slot [i] after each successful promotion. *)
 
-type result = { output : string; ok : bool; digest : string option }
+type result = {
+  output : string;
+  ok : bool;
+  digest : string option;
+  aborted : bool;
+}
 (** [digest] is set for tuple-returning statements: MD5 over the sorted
-    serialized result multiset ({!Wire.digest_tuples}). *)
+    serialized result multiset ({!Wire.digest_tuples}).  [aborted] marks
+    a failure that rolled back the client's transaction (deadlock victim,
+    participant vote, lost node) rather than an ordinary error. *)
 
 val exec : t -> string -> result
-(** Route and execute one statement line. *)
+(** Route and execute one statement line as client 0 (a blocked statement
+    fails rather than parking — only this driver could unblock it). *)
+
+val exec_client :
+  t -> client:int -> string -> [ `Done of result | `Park of int list ]
+(** Route and execute one statement line on behalf of [client].  Each
+    client has at most one open distributed transaction; [`Park holders]
+    means the statement blocked on the given transactions (gtids, [-1]
+    for non-transactional holders) before doing anything and should be
+    retried verbatim. *)
+
+val disconnect_client : t -> client:int -> unit
+(** Abort the client's open distributed transaction, if any. *)
+
+val owner : t -> Dbproc_relation.Value.t -> int
+(** The node owning a partition-attribute value — total for every value,
+    including non-finite floats (exposed for routing tests). *)
 
 val snapshot : t -> Dbproc_obs.Ctx.t
 (** The merged cluster view: the coordinator's own context plus every
@@ -107,7 +151,10 @@ val create_local :
   unit ->
   local
 (** [nodes] primaries, each with its own replica when [replicas]
-    (default [true]). *)
+    (default [true]).  After a failover the promoted node gets a fresh
+    in-process replica and the kill switches rotate, so killing the same
+    slot again takes down the {e promoted} primary — the double-kill
+    durability path. *)
 
 val coordinator : local -> t
 val local_node : local -> int -> Node.t

@@ -11,6 +11,9 @@ type server_counts = {
   srv_bytes_in : int;
   srv_bytes_out : int;
   srv_heap_appends : int;
+  srv_repl_dropped : int;
+      (** replicas the cluster dropped mid-ship — acknowledged writes may
+          be durable on one node only (always 0 against a single node) *)
 }
 
 type report = {
@@ -94,6 +97,7 @@ let fetch_server_counts ~host ~port =
                 srv_bytes_in = geti "net.bytes_in";
                 srv_bytes_out = geti "net.bytes_out";
                 srv_heap_appends = geti "heap_appends";
+                srv_repl_dropped = geti "repl.dropped";
               }
           | _ -> None))
       | _ -> None
@@ -256,7 +260,7 @@ let run ?(host = "127.0.0.1") ?(port = 7411) ?(pipeline = 8) ?(seed = 42)
           | Protocol.Wal_records _ ->
             incr ok;
             if is_write then incr writes_ok
-          | Protocol.Failed _ -> incr failed
+          | Protocol.Failed _ | Protocol.Blocked _ -> incr failed
           | Protocol.Rejected _ -> incr rejected
           | Protocol.Aborted _ -> incr aborted
         end
@@ -401,4 +405,8 @@ let pp_report ppf r =
     Format.fprintf ppf
       "@,@[<v>server: accepted %d  rejected %d  requests %d  served %d  bad frames %d@,\
        bytes in %d  out %d@]" s.srv_accepted s.srv_rejected s.srv_requests
-      s.srv_served s.srv_frames_bad s.srv_bytes_in s.srv_bytes_out
+      s.srv_served s.srv_frames_bad s.srv_bytes_in s.srv_bytes_out;
+    if s.srv_repl_dropped > 0 then
+      Format.fprintf ppf
+        "@,warning: %d replica(s) dropped mid-ship — acknowledged writes may be \
+         durable on one node only" s.srv_repl_dropped

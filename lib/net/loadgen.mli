@@ -36,6 +36,9 @@ type server_counts = {
   srv_bytes_out : int;
   srv_heap_appends : int;
       (** engine-side records appended — reconciles acknowledged writes *)
+  srv_repl_dropped : int;
+      (** replicas the cluster dropped mid-ship — acknowledged writes may
+          be durable on one node only (always 0 against a single node) *)
 }
 
 type report = {

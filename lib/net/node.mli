@@ -18,11 +18,19 @@
       done the work its state claims, and its [heap_appends] counter
       matches the writes the cluster acknowledged.
 
-    Replication covers autocommit statements only: a statement executed
-    under an explicit transaction is not logged (its effects could be
-    rolled back after logging).  A cluster coordinator never opens
-    transactions, so this is only visible to clients talking to a node
-    server directly. *)
+    Replication covers committed work only: an autocommit statement is
+    logged as it completes, while a statement executed under a
+    distributed transaction is buffered on its local branch and re-logged
+    at {!Protocol.Txn_commit} (its effects could otherwise be rolled back
+    after logging).
+
+    As a 2PC {b participant}, the node keeps one local branch per global
+    transaction id: a dedicated interpreter client opened lazily by the
+    first {!Protocol.Txn_exec}, voting in phase one with
+    {!Protocol.Txn_prepare} (yes iff the branch is still live — a
+    deadlock victim votes no), and committing or rolling back on the
+    coordinator's decision.  Prepares and commits are appended to a
+    decision log; aborts are presumed and not logged. *)
 
 type t
 
@@ -44,8 +52,14 @@ val exec_script : t -> string -> (string, string) result
 
 val handle : t -> Protocol.request -> Protocol.response option
 (** Serve a coordinator-facing request ([Fetch] / [Join_probe] /
-    [Wal_pull] / [Wal_push] / [Promote]); [None] for the core tags,
-    which belong to the server loop / {!exec_line} paths. *)
+    [Wal_pull] / [Wal_push] / [Promote] / [Txn_exec] / [Txn_prepare] /
+    [Txn_commit] / [Txn_abort]); [None] for the core tags, which belong
+    to the server loop / {!exec_line} paths. *)
+
+val blocker_gtids : t -> int list -> string list
+(** Translate {!Dbproc_lang.Interp.O_blocked} holder ids into global
+    transaction ids, ["-1"] for holders with no distributed branch on
+    this node (a parked local autocommit statement). *)
 
 val disconnect : t -> client:int -> unit
 (** Abort the client's open transaction, if any. *)
@@ -58,6 +72,9 @@ val rlog_next_lsn : t -> int
 
 val recv_next_lsn : t -> int
 (** Next received-log LSN — how far this replica has been shipped. *)
+
+val dlog_next_lsn : t -> int
+(** Next 2PC decision-log LSN (= prepare/commit records logged). *)
 
 val promoted : t -> bool
 

@@ -12,6 +12,10 @@ type request =
   | Wal_pull of string
   | Wal_push of string
   | Promote
+  | Txn_exec of string
+  | Txn_prepare of string
+  | Txn_commit of string
+  | Txn_abort of string
 
 type response =
   | Pong
@@ -21,12 +25,14 @@ type response =
   | Aborted of string
   | Tuples of string
   | Wal_records of string
+  | Blocked of string
 
 let max_frame_default = 1 lsl 20
 let frame_overhead = 9
 
-(* Tag ranges are disjoint (requests 0x01-0x0d, responses 0x10-0x16) so a
-   stream decoded on the wrong side fails cleanly instead of misparsing. *)
+(* Tag ranges are disjoint (requests 0x01-0x0d and 0x20-0x23, responses
+   0x10-0x17) so a stream decoded on the wrong side fails cleanly instead
+   of misparsing. *)
 let request_tag = function
   | Ping -> 0x01
   | Exec_line _ -> 0x02
@@ -41,6 +47,10 @@ let request_tag = function
   | Wal_pull _ -> 0x0b
   | Wal_push _ -> 0x0c
   | Promote -> 0x0d
+  | Txn_exec _ -> 0x20
+  | Txn_prepare _ -> 0x21
+  | Txn_commit _ -> 0x22
+  | Txn_abort _ -> 0x23
 
 let response_tag = function
   | Pong -> 0x10
@@ -50,15 +60,19 @@ let response_tag = function
   | Aborted _ -> 0x14
   | Tuples _ -> 0x15
   | Wal_records _ -> 0x16
+  | Blocked _ -> 0x17
 
 let request_body = function
   | Ping | Stats | Shutdown | Begin | Commit | Abort | Promote -> ""
   | Exec_line s | Exec_script s | Fetch s | Join_probe s | Wal_pull s | Wal_push s
+  | Txn_exec s | Txn_prepare s | Txn_commit s | Txn_abort s
     -> s
 
 let response_body = function
   | Pong -> ""
-  | Output s | Failed s | Rejected s | Aborted s | Tuples s | Wal_records s -> s
+  | Output s | Failed s | Rejected s | Aborted s | Tuples s | Wal_records s
+  | Blocked s
+    -> s
 
 let write_frame buf ~id ~tag ~body =
   Buffer.add_int32_be buf (Int32.of_int (String.length body + 5));
@@ -181,6 +195,10 @@ module Decoder = struct
       | 0x0b -> Msg (id, Wal_pull body)
       | 0x0c -> Msg (id, Wal_push body)
       | 0x0d -> no_body t ~what:"promote" ~body (Msg (id, Promote))
+      | 0x20 -> Msg (id, Txn_exec body)
+      | 0x21 -> Msg (id, Txn_prepare body)
+      | 0x22 -> Msg (id, Txn_commit body)
+      | 0x23 -> Msg (id, Txn_abort body)
       | _ -> poison t (Printf.sprintf "unknown request tag 0x%02x" tag))
 
   let next_response t =
@@ -196,5 +214,6 @@ module Decoder = struct
       | 0x14 -> Msg (id, Aborted body)
       | 0x15 -> Msg (id, Tuples body)
       | 0x16 -> Msg (id, Wal_records body)
+      | 0x17 -> Msg (id, Blocked body)
       | _ -> poison t (Printf.sprintf "unknown response tag 0x%02x" tag))
 end

@@ -50,6 +50,22 @@ type request =
   | Promote
       (** coordinator-facing: a replica replays its received log and
           becomes a primary *)
+  | Txn_exec of string
+      (** coordinator-facing 2PC: body is ["<gtid> <line>"] — execute
+          [line] on this node under distributed transaction [gtid],
+          opening the local branch lazily on first touch.  Retrieves
+          reply {!Tuples}; mutations reply {!Output}; lock conflicts
+          reply {!Blocked} *)
+  | Txn_prepare of string
+      (** coordinator-facing 2PC phase one: body is the gtid; the node
+          votes yes ({!Output} ["prepared"], decision-logged) iff the
+          local branch is still live, else {!Failed} *)
+  | Txn_commit of string
+      (** coordinator-facing 2PC phase two: commit the local branch,
+          decision-log it, and re-log its statements for replication *)
+  | Txn_abort of string
+      (** coordinator-facing 2PC: roll the local branch back (presumed
+          abort — unknown gtids succeed trivially) *)
 
 type response =
   | Pong
@@ -66,6 +82,11 @@ type response =
   | Wal_records of string
       (** replication-log tail for {!Wal_pull}: LSN-stamped statement
           records, one per line *)
+  | Blocked of string
+      (** the statement blocked on locks held by concurrent transactions;
+          body is a space-separated list of holder gtids ([-1] for a
+          holder with no global id).  The statement did not execute and
+          may be retried *)
 
 val max_frame_default : int
 (** Default frame-size cap, 1 MiB — bounds decoder memory per

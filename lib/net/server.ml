@@ -78,7 +78,15 @@ let node_backend ~plan_cache ctx =
     | Dbproc_lang.Interp.O_ok out -> `Resp (Protocol.Output out)
     | Dbproc_lang.Interp.O_error msg -> `Resp (Protocol.Failed msg)
     | Dbproc_lang.Interp.O_aborted msg -> `Resp (Protocol.Aborted msg)
-    | Dbproc_lang.Interp.O_blocked _ -> `Park
+    | Dbproc_lang.Interp.O_blocked blockers ->
+      (* A statement blocked by a distributed branch must answer, not
+         park: the lock holder's commit arrives on the same (single)
+         coordinator connection a park would stall.  Local contention
+         keeps the parking contract. *)
+      let gtids = Node.blocker_gtids node blockers in
+      if List.exists (fun g -> g <> "-1") gtids then
+        `Resp (Protocol.Blocked (String.concat " " gtids))
+      else `Park
   in
   let b_request ~client (req : Protocol.request) =
     match req with

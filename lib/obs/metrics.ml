@@ -76,8 +76,16 @@ type counter =
   | Hoivm_ho_views
   | Hoivm_heavy_keys
   | Hoivm_lazy_flushes
+  | Txn2pc_begins
+  | Txn2pc_participants
+  | Txn2pc_prepares
+  | Txn2pc_commits
+  | Txn2pc_aborts
+  | Txn2pc_in_doubt_resolved
+  | Repl_dropped
+  | Repl_replicas_attached
 
-let n_counters = 77
+let n_counters = 85
 
 (* The variant is the key into one flat int array: no hashing, no
    allocation, no closures on the charging path. *)
@@ -159,6 +167,14 @@ let index = function
   | Hoivm_ho_views -> 74
   | Hoivm_heavy_keys -> 75
   | Hoivm_lazy_flushes -> 76
+  | Txn2pc_begins -> 77
+  | Txn2pc_participants -> 78
+  | Txn2pc_prepares -> 79
+  | Txn2pc_commits -> 80
+  | Txn2pc_aborts -> 81
+  | Txn2pc_in_doubt_resolved -> 82
+  | Repl_dropped -> 83
+  | Repl_replicas_attached -> 84
 
 let counter_name = function
   | Pages_read -> "pages_read"
@@ -238,6 +254,14 @@ let counter_name = function
   | Hoivm_ho_views -> "hoivm.ho_views"
   | Hoivm_heavy_keys -> "hoivm.heavy_keys"
   | Hoivm_lazy_flushes -> "hoivm.lazy_flushes"
+  | Txn2pc_begins -> "txn2pc.begins"
+  | Txn2pc_participants -> "txn2pc.participants"
+  | Txn2pc_prepares -> "txn2pc.prepares"
+  | Txn2pc_commits -> "txn2pc.commits"
+  | Txn2pc_aborts -> "txn2pc.aborts"
+  | Txn2pc_in_doubt_resolved -> "txn2pc.in_doubt_resolved"
+  | Repl_dropped -> "repl.dropped"
+  | Repl_replicas_attached -> "repl.replicas_attached"
 
 let all_counters =
   [
@@ -261,7 +285,9 @@ let all_counters =
     Cluster_stmts_broadcast; Cluster_tuples_shipped; Cluster_joins_shipped;
     Cluster_joins_broadcast; Cluster_failovers; Cluster_retries;
     Fault_node_kills; Hoivm_delta_applies; Hoivm_ho_views; Hoivm_heavy_keys;
-    Hoivm_lazy_flushes;
+    Hoivm_lazy_flushes; Txn2pc_begins; Txn2pc_participants; Txn2pc_prepares;
+    Txn2pc_commits; Txn2pc_aborts; Txn2pc_in_doubt_resolved; Repl_dropped;
+    Repl_replicas_attached;
   ]
 
 type gauge =

@@ -122,6 +122,19 @@ type counter =
   | Hoivm_lazy_flushes
       (** drains of the cold-tail delta buffer (threshold, read or
           consistency-forced) *)
+  | Txn2pc_begins  (** distributed transactions opened by the coordinator *)
+  | Txn2pc_participants
+      (** participant enlistments (one per node joining a distributed txn) *)
+  | Txn2pc_prepares  (** prepare requests sent to participants *)
+  | Txn2pc_commits  (** commit decisions logged by the coordinator *)
+  | Txn2pc_aborts  (** distributed transactions aborted globally *)
+  | Txn2pc_in_doubt_resolved
+      (** committed txn/participant pairs re-applied to a promoted replica
+          from the coordinator's decision log *)
+  | Repl_dropped
+      (** replicas dropped after a refused [Wal_push] or a dead link *)
+  | Repl_replicas_attached
+      (** fresh replicas attached to a promoted primary after failover *)
 
 val all_counters : counter list
 val counter_name : counter -> string

@@ -241,13 +241,413 @@ let test_stats_merge () =
   (* node-tier net.* counters are coordinator-internal and excluded *)
   Alcotest.(check int) "no node net counters" 0 (g Metrics.Net_requests)
 
-let test_transactions_refused () =
-  let local = Coordinator.create_local ~nodes:2 () in
+(* ------------------------------------------- distributed transactions *)
+
+(* Keys with known owners on a 3-node cluster over the default 1M key
+   domain: node 0 owns [0, 333334), node 1 the middle, node 2 the top. *)
+let k0 = 10
+and k1 = 400_000
+and k2 = 900_000
+
+let exec_ok_c c line =
+  let r = Coordinator.exec c line in
+  if not r.Coordinator.ok then
+    Alcotest.failf "cluster %S failed: %s" line r.Coordinator.output;
+  r
+
+let oracle_exec single line =
+  match Lang.Interp.exec_line single line with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "oracle %S failed: %s" line msg
+
+let txn_body =
+  [
+    Printf.sprintf "append to R (k = %d, v = 1000)" k0;
+    Printf.sprintf "append to R (k = %d, v = 1001)" k1;
+    Printf.sprintf "append to R (k = %d, v = 1002)" k2;
+    Printf.sprintf "delete from R where R.k = %d" (key 7);
+    Printf.sprintf "replace R (v = 777) where R.k = %d" (key 4);
+  ]
+
+let test_txn_cross_shard_commit () =
+  let local = Coordinator.create_local ~nodes:3 () in
   let c = Coordinator.coordinator local in
-  let r = Coordinator.exec c "begin" in
-  Alcotest.(check bool) "begin refused" false r.Coordinator.ok;
-  Alcotest.(check string) "begin message"
-    "transactions are not supported across a cluster" r.Coordinator.output
+  let single = Lang.Interp.create () in
+  List.iter (check_stmt c single) setup_stmts;
+  ignore (exec_ok_c c "begin");
+  List.iter (fun l -> ignore (exec_ok_c c l)) txn_body;
+  (* reads inside the transaction see the branch's own uncommitted
+     writes: the point retrieve finds the k0 append *)
+  let r = Coordinator.exec c (Printf.sprintf "retrieve (R.v) where R.k = %d" k0)
+  in
+  (match r.Coordinator.digest with
+  | None -> Alcotest.fail "txn retrieve returned no digest"
+  | Some d ->
+    Alcotest.(check bool) "txn read sees own write" false
+      (d = Wire.digest_tuples []));
+  ignore (exec_ok_c c "commit");
+  (* committed transaction = the same statements applied autocommit *)
+  List.iter (oracle_exec single) txn_body;
+  check_stmt c single "retrieve (R.all)";
+  Alcotest.(check int) "one begin" 1 (mget c Metrics.Txn2pc_begins);
+  Alcotest.(check int) "one commit decision" 1 (mget c Metrics.Txn2pc_commits);
+  Alcotest.(check int) "no aborts" 0 (mget c Metrics.Txn2pc_aborts);
+  Alcotest.(check int) "all three shards enlisted" 3
+    (mget c Metrics.Txn2pc_participants);
+  Alcotest.(check int) "one prepare per participant" 3
+    (mget c Metrics.Txn2pc_prepares)
+
+let test_txn_abort_rolls_back () =
+  let local = Coordinator.create_local ~nodes:3 () in
+  let c = Coordinator.coordinator local in
+  let single = Lang.Interp.create () in
+  List.iter (check_stmt c single) setup_stmts;
+  ignore (exec_ok_c c "begin");
+  List.iter (fun l -> ignore (exec_ok_c c l)) txn_body;
+  ignore (exec_ok_c c "abort");
+  (* an aborted transaction left nothing behind on any shard *)
+  check_stmt c single "retrieve (R.all)";
+  check_stmt c single (Printf.sprintf "retrieve (R.v) where R.k = %d" (key 7));
+  Alcotest.(check int) "one abort" 1 (mget c Metrics.Txn2pc_aborts);
+  Alcotest.(check int) "no commit" 0 (mget c Metrics.Txn2pc_commits)
+
+let test_txn_kill_at_prepare_aborts () =
+  (* A participant dies before it can vote: the transaction must abort
+     globally and leave the cluster exactly as if it never ran. *)
+  let inj = Injector.create ~seed:11 () in
+  Injector.schedule_txn_kills inj
+    [ { Injector.tk_node = 1; phase = `Prepare; at_commit = 1 } ];
+  let local = Coordinator.create_local ~injector:inj ~nodes:3 () in
+  let c = Coordinator.coordinator local in
+  let single = Lang.Interp.create () in
+  List.iter (check_stmt c single) setup_stmts;
+  ignore (exec_ok_c c "begin");
+  List.iter (fun l -> ignore (exec_ok_c c l)) txn_body;
+  let r = Coordinator.exec c "commit" in
+  Alcotest.(check bool) "commit reports failure" false r.Coordinator.ok;
+  Alcotest.(check bool) "failure is an abort" true r.Coordinator.aborted;
+  (* aborted oracle: the transaction contributes nothing *)
+  check_stmt c single "retrieve (R.all)";
+  Alcotest.(check int) "one node kill" 1 (mget c Metrics.Fault_node_kills);
+  Alcotest.(check int) "failover happened" 1 (mget c Metrics.Cluster_failovers);
+  Alcotest.(check int) "global abort" 1 (mget c Metrics.Txn2pc_aborts);
+  Alcotest.(check int) "no commit decision" 0 (mget c Metrics.Txn2pc_commits);
+  (* the cluster is fully operational afterwards *)
+  check_stmt c single (Printf.sprintf "append to R (k = %d, v = 5)" k1);
+  check_stmt c single "retrieve (R.all)"
+
+let test_txn_kill_in_doubt_commits () =
+  (* The classic in-doubt window: a participant dies after the commit
+     decision is logged but before its commit message arrives.  The
+     promoted replica never saw the branch, so only the coordinator's
+     decision log can (and must) drive it to the committed state. *)
+  let inj = Injector.create ~seed:13 () in
+  Injector.schedule_txn_kills inj
+    [ { Injector.tk_node = 1; phase = `Commit; at_commit = 1 } ];
+  let local = Coordinator.create_local ~injector:inj ~nodes:3 () in
+  let c = Coordinator.coordinator local in
+  let single = Lang.Interp.create () in
+  List.iter (check_stmt c single) setup_stmts;
+  ignore (exec_ok_c c "begin");
+  List.iter (fun l -> ignore (exec_ok_c c l)) txn_body;
+  ignore (exec_ok_c c "commit");
+  (* committed oracle: every statement of the transaction is durable,
+     including node 1's branch, which only the decision log carried *)
+  List.iter (oracle_exec single) txn_body;
+  check_stmt c single "retrieve (R.all)";
+  check_stmt c single (Printf.sprintf "retrieve (R.v) where R.k = %d" k1);
+  Alcotest.(check int) "one node kill" 1 (mget c Metrics.Fault_node_kills);
+  Alcotest.(check int) "commit decided" 1 (mget c Metrics.Txn2pc_commits);
+  Alcotest.(check int) "no abort" 0 (mget c Metrics.Txn2pc_aborts);
+  Alcotest.(check bool) "in-doubt branch resolved off the decision log" true
+    (mget c Metrics.Txn2pc_in_doubt_resolved >= 1);
+  Alcotest.(check bool) "fresh replica attached after promotion" true
+    (mget c Metrics.Repl_replicas_attached >= 1)
+
+let test_double_kill_same_slot () =
+  (* Re-replication closes the failover durability gap: after the first
+     kill the promoted primary gets a fresh replica and ships its full
+     history, so a second kill of the same slot still loses no data. *)
+  let inj = Injector.create ~seed:17 () in
+  Injector.schedule_node_kills inj
+    [ { Injector.node = 1; at_op = 20 }; { Injector.node = 1; at_op = 40 } ];
+  let local = Coordinator.create_local ~injector:inj ~nodes:3 () in
+  let c = Coordinator.coordinator local in
+  let single = Lang.Interp.create () in
+  List.iter (check_stmt c single) (setup_stmts @ query_stmts);
+  Alcotest.(check int) "two kills fired" 2 (mget c Metrics.Fault_node_kills);
+  Alcotest.(check int) "two failovers" 2 (mget c Metrics.Cluster_failovers);
+  Alcotest.(check int) "two fresh replicas attached" 2
+    (mget c Metrics.Repl_replicas_attached);
+  Alcotest.(check int) "no slot lost" 3 (Coordinator.alive_count c);
+  check_stmt c single "retrieve (R.all)"
+
+let test_txn_deadlock_victim () =
+  (* Appends take X on the whole relation per node, so two transactions
+     appending to the same relation on opposite shards in opposite order
+     build a cross-node waits-for cycle only the coordinator can see.
+     The younger transaction (larger gtid) must die; the older one's
+     parked statement then goes through. *)
+  let local = Coordinator.create_local ~nodes:3 () in
+  let c = Coordinator.coordinator local in
+  ignore (exec_ok_c c "create R (k = int, v = int)");
+  let step client line =
+    match Coordinator.exec_client c ~client line with
+    | `Done r -> `Done r
+    | `Park holders -> `Park holders
+  in
+  let done_ok client line =
+    match step client line with
+    | `Done r when r.Coordinator.ok -> ()
+    | `Done r -> Alcotest.failf "client %d %S: %s" client line r.Coordinator.output
+    | `Park _ -> Alcotest.failf "client %d %S parked" client line
+  in
+  done_ok 1 "begin";
+  done_ok 2 "begin";
+  done_ok 1 (Printf.sprintf "append to R (k = %d, v = 1)" k0);
+  done_ok 2 (Printf.sprintf "append to R (k = %d, v = 2)" k2);
+  (* client 1 now wants client 2's shard: parks behind gtid 2 *)
+  (match step 1 (Printf.sprintf "append to R (k = %d, v = 3)" k2) with
+  | `Park holders ->
+    Alcotest.(check bool) "parked behind a live gtid" true
+      (List.exists (fun h -> h >= 0) holders)
+  | `Done r -> Alcotest.failf "expected park, got: %s" r.Coordinator.output);
+  (* client 2 wants client 1's shard: the cycle closes, and client 2 is
+     the younger transaction, so it self-aborts *)
+  (match step 2 (Printf.sprintf "append to R (k = %d, v = 4)" k0) with
+  | `Done r ->
+    Alcotest.(check bool) "victim aborted" true r.Coordinator.aborted
+  | `Park _ -> Alcotest.fail "deadlock went undetected");
+  Alcotest.(check bool) "cycle counted" true (mget c Metrics.Deadlock_cycles >= 1);
+  (* the victim's locks are gone: client 1's parked statement succeeds *)
+  done_ok 1 (Printf.sprintf "append to R (k = %d, v = 3)" k2);
+  done_ok 1 "commit";
+  (* the survivor's appends committed; the victim's rolled back entirely,
+     including the one it made before the deadlock *)
+  let single = Lang.Interp.create () in
+  List.iter (oracle_exec single)
+    [
+      "create R (k = int, v = int)";
+      Printf.sprintf "append to R (k = %d, v = 1)" k0;
+      Printf.sprintf "append to R (k = %d, v = 3)" k2;
+    ];
+  check_stmt c single "retrieve (R.all)"
+
+let test_replica_drop_is_counted () =
+  (* Satellite regression: a replica that dies mid-ship must not vanish
+     silently — the slot runs unreplicated and [repl.dropped] says so. *)
+  let node = Node.create () in
+  let plink, _kill = Coordinator.node_link node in
+  let rlink : Coordinator.link = function
+    | P.Wal_push _ -> Error "replica lost mid-ship"
+    | _ -> Error "replica unreachable"
+  in
+  let c = Coordinator.create ~links:[| (plink, Some rlink) |] () in
+  let r = Coordinator.exec c "create R (k = int, v = int)" in
+  Alcotest.(check bool) "ddl ok" true r.Coordinator.ok;
+  Alcotest.(check int) "ddl push failed: replica dropped" 1
+    (mget c Metrics.Repl_dropped);
+  (* the write is still acknowledged — durable on one node only *)
+  let r = Coordinator.exec c "append to R (k = 1, v = 1)" in
+  Alcotest.(check bool) "append acked" true r.Coordinator.ok;
+  Alcotest.(check int) "no double count once dropped" 1
+    (mget c Metrics.Repl_dropped);
+  Alcotest.(check int) "slot alive, unreplicated" 1 (Coordinator.alive_count c)
+
+(* ------------------------------------------------- routing edge cases *)
+
+let test_mirrored_qual_point_routes () =
+  (* [where 5 = R.k] pins the partition attribute just as [R.k = 5]
+     does: the retrieve must route to one node, not broadcast. *)
+  let local = Coordinator.create_local ~nodes:3 () in
+  let c = Coordinator.coordinator local in
+  let single = Lang.Interp.create () in
+  List.iter (check_stmt c single) setup_stmts;
+  let routed0 = mget c Metrics.Cluster_stmts_routed in
+  let bcast0 = mget c Metrics.Cluster_stmts_broadcast in
+  check_stmt c single (Printf.sprintf "retrieve (R.v) where %d = R.k" (key 3));
+  Alcotest.(check int) "mirrored qual point-routed" (routed0 + 1)
+    (mget c Metrics.Cluster_stmts_routed);
+  Alcotest.(check int) "no broadcast" bcast0 (mget c Metrics.Cluster_stmts_broadcast);
+  let routed1 = mget c Metrics.Cluster_stmts_routed in
+  check_stmt c single
+    (Printf.sprintf "delete from R where %d = R.k" (key 3));
+  Alcotest.(check int) "mirrored delete point-routed" (routed1 + 1)
+    (mget c Metrics.Cluster_stmts_routed);
+  Alcotest.(check int) "still no broadcast" bcast0
+    (mget c Metrics.Cluster_stmts_broadcast)
+
+let test_owner_total =
+  QCheck.Test.make ~count:500 ~name:"owner is total over every value"
+    QCheck.(
+      let special =
+        oneofl
+          [
+            Float.nan;
+            Float.infinity;
+            Float.neg_infinity;
+            -1.0;
+            1.0e308;
+            -0.0;
+            Float.max_float;
+          ]
+      in
+      let value =
+        oneof
+          [
+            map (fun i -> Value.Int i) int;
+            map (fun f -> Value.Float f) float;
+            map (fun f -> Value.Float f) special;
+            map (fun s -> Value.Str s) string;
+          ]
+      in
+      make ~print:(fun v -> Value.to_string v) (gen value))
+    (fun v ->
+      let local = Coordinator.create_local ~replicas:false ~nodes:3 () in
+      let c = Coordinator.coordinator local in
+      let i = Coordinator.owner c v in
+      i >= 0 && i < 3)
+
+(* --------------------------------- qcheck interleaving differential *)
+
+(* Random interleavings of two concurrent distributed transactions
+   (appends and point deletes ending in commit or abort), optionally with
+   a node kill mid-run.  The oracle replays the transactions the cluster
+   actually committed, in commit order, into a single-node session —
+   strict 2PL makes commit order a valid serial order — and the final
+   relation digests must agree. *)
+
+type qcl = {
+  qid : int;
+  mutable pending : string list;  (* statements not yet issued *)
+  mutable parked : string option;  (* a statement that blocked *)
+  mutable finished : bool;
+  mutable commit_seq : int option;  (* order among committed txns *)
+  body : string list;  (* the mutation statements, for the oracle *)
+}
+
+let qstep c seq cl =
+  if not cl.finished then
+    let line =
+      match cl.parked with
+      | Some l -> l
+      | None ->
+        let l = List.hd cl.pending in
+        cl.pending <- List.tl cl.pending;
+        l
+    in
+    match Coordinator.exec_client c ~client:cl.qid line with
+    | `Park _ -> cl.parked <- Some line
+    | `Done r ->
+      cl.parked <- None;
+      if r.Coordinator.aborted then begin
+        cl.finished <- true;
+        cl.pending <- []
+      end
+      else if line = "commit" then begin
+        cl.finished <- true;
+        if r.Coordinator.ok then begin
+          cl.commit_seq <- Some !seq;
+          incr seq
+        end
+      end
+      else if line = "abort" then cl.finished <- true
+      else if not r.Coordinator.ok then
+        (* statement-level errors don't happen in generated scripts *)
+        Alcotest.failf "client %d %S failed: %s" cl.qid line r.Coordinator.output
+
+let txn_interleaving_prop (script1, script2, schedule, kill) =
+  let inj = Injector.create ~seed:23 () in
+  (match kill with
+  | Some (node, at) ->
+    (* after the single setup statement, so the relation exists *)
+    Injector.schedule_node_kills inj [ { Injector.node; at_op = 2 + at } ]
+  | None -> ());
+  let local = Coordinator.create_local ~injector:inj ~nodes:3 () in
+  let c = Coordinator.coordinator local in
+  ignore (exec_ok_c c "create T (k = int, v = int)");
+  let mk qid body terminal =
+    {
+      qid;
+      pending = ("begin" :: body) @ [ terminal ];
+      parked = None;
+      finished = false;
+      commit_seq = None;
+      body;
+    }
+  in
+  let body1, term1 = script1 and body2, term2 = script2 in
+  let cl1 = mk 1 body1 term1 and cl2 = mk 2 body2 term2 in
+  let seq = ref 0 in
+  List.iter
+    (fun first ->
+      let cl = if first then cl1 else cl2 in
+      if cl.finished then qstep c seq (if first then cl2 else cl1)
+      else qstep c seq cl)
+    schedule;
+  (* drain: a parked client can always make progress once the other
+     finishes (strict 2PL releases at commit/abort; a cycle aborts the
+     younger), so a bounded drain terminates *)
+  let guard = ref 0 in
+  while (not cl1.finished) || not cl2.finished do
+    incr guard;
+    if !guard > 500 then Alcotest.fail "interleaving livelocked";
+    qstep c seq cl1;
+    qstep c seq cl2
+  done;
+  (* committed-or-aborted oracle, in commit order *)
+  let single = Lang.Interp.create () in
+  oracle_exec single "create T (k = int, v = int)";
+  let committed =
+    List.filter (fun cl -> cl.commit_seq <> None) [ cl1; cl2 ]
+    |> List.sort (fun a b -> compare a.commit_seq b.commit_seq)
+  in
+  List.iter (fun cl -> List.iter (oracle_exec single) cl.body) committed;
+  let cluster_digest =
+    match (Coordinator.exec c "retrieve (T.all)").Coordinator.digest with
+    | Some d -> d
+    | None -> Alcotest.fail "cluster retrieve returned no digest"
+  in
+  let oracle_digest =
+    match Lang.Interp.fetch single "retrieve (T.all)" with
+    | Ok (tuples, _) -> Wire.digest_tuples tuples
+    | Error msg -> Alcotest.failf "oracle retrieve failed: %s" msg
+  in
+  cluster_digest = oracle_digest
+
+let test_txn_interleaving_differential =
+  let open QCheck in
+  let gen_script =
+    Gen.(
+      let op =
+        map
+          (fun ((is_append, k), v) ->
+            if is_append then Printf.sprintf "append to T (k = %d, v = %d)" k v
+            else Printf.sprintf "delete from T where T.k = %d" k)
+          (pair (pair bool (int_bound 999_999)) (int_bound 99))
+      in
+      pair
+        (list_size (int_range 1 5) op)
+        (map (fun b -> if b then "commit" else "abort") bool))
+  in
+  let gen_case =
+    Gen.(
+      quad gen_script gen_script
+        (list_size (int_range 4 16) bool)
+        (opt (pair (int_bound 2) (int_bound 10))))
+  in
+  Test.make ~count:30 ~name:"random txn interleavings match the serial oracle"
+    (make
+       ~print:(fun ((b1, t1), (b2, t2), sched, kill) ->
+         Printf.sprintf "cl1=[%s;%s] cl2=[%s;%s] sched=[%s] kill=%s"
+           (String.concat "; " b1) t1 (String.concat "; " b2) t2
+           (String.concat ""
+              (List.map (fun b -> if b then "1" else "2") sched))
+           (match kill with
+           | None -> "none"
+           | Some (n, at) -> Printf.sprintf "node %d at +%d" n at))
+       gen_case)
+    txn_interleaving_prop
 
 let () =
   Alcotest.run "cluster"
@@ -271,12 +671,32 @@ let () =
             test_failover;
           Alcotest.test_case "kill without replica downs the slot" `Quick
             test_kill_without_replica_downs_slot;
+          Alcotest.test_case "double kill of one slot survives re-replication"
+            `Quick test_double_kill_same_slot;
+          Alcotest.test_case "replica dropped mid-ship is counted" `Quick
+            test_replica_drop_is_counted;
         ] );
       ( "routing",
         [
           Alcotest.test_case "semijoin when sides differ, broadcast when equal" `Quick
             test_semijoin_vs_broadcast;
-          Alcotest.test_case "transactions refused" `Quick test_transactions_refused;
+          Alcotest.test_case "mirrored qualification point-routes" `Quick
+            test_mirrored_qual_point_routes;
+          QCheck_alcotest.to_alcotest test_owner_total;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "cross-shard 2PC commit" `Quick
+            test_txn_cross_shard_commit;
+          Alcotest.test_case "abort rolls back every branch" `Quick
+            test_txn_abort_rolls_back;
+          Alcotest.test_case "kill at prepare aborts globally" `Quick
+            test_txn_kill_at_prepare_aborts;
+          Alcotest.test_case "kill in the in-doubt window still commits" `Quick
+            test_txn_kill_in_doubt_commits;
+          Alcotest.test_case "cross-node deadlock aborts the youngest" `Quick
+            test_txn_deadlock_victim;
+          QCheck_alcotest.to_alcotest test_txn_interleaving_differential;
         ] );
       ("stats", [ Alcotest.test_case "merged cluster view" `Quick test_stats_merge ]);
     ]

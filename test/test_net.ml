@@ -33,6 +33,10 @@ let sample_requests =
     P.Wal_pull "42";
     P.Wal_push "3\tappend to R (k = 1)\n4\tdelete from R where R.k = 0";
     P.Promote;
+    P.Txn_exec "7 append to R (k = 1, v = 2)";
+    P.Txn_prepare "7";
+    P.Txn_commit "7";
+    P.Txn_abort "12";
   ]
 
 let sample_responses =
@@ -45,6 +49,8 @@ let sample_responses =
     P.Aborted "deadlock: transaction aborted (victim)";
     P.Tuples "ms 0x1.8p4\ni 1\ti 10";
     P.Wal_records "7\tappend to R (k = 9)";
+    P.Blocked "3 -1 7";
+    P.Blocked "";
   ]
 
 let test_request_roundtrip () =
@@ -364,6 +370,7 @@ let test_loopback_script_matches_local () =
         | P.Rejected msg -> Alcotest.failf "rejected: %s" msg
         | P.Aborted msg -> Alcotest.failf "aborted: %s" msg
         | P.Pong -> Alcotest.fail "pong?"
+        | P.Blocked _ -> Alcotest.fail "blocked?"
         | P.Tuples _ | P.Wal_records _ -> Alcotest.fail "node-tier frame?"
       in
       Net.Client.close client;
